@@ -1,0 +1,38 @@
+//! # archsim — architectural simulation substrate
+//!
+//! The reproduction's stand-in for Linux `perf`: a set-associative cache
+//! hierarchy matching the study platform (32 KiB L1-I/L1-D, 256 KiB L2,
+//! 10 MiB L3 — Table 3 of the paper), a branch prediction unit (gshare
+//! direction predictor, BTB, return-address stack, and a four-component
+//! ITTAGE indirect-target predictor — the piece that makes interpreter
+//! dispatch predictable, the paper's Table 5 finding), and a simple
+//! superscalar cycle model for IPC.
+//!
+//! [`ArchSim`] implements [`engines::Profiler`], so any engine run in
+//! profiled mode streams its instruction fetches, data accesses, and
+//! branches through the simulator:
+//!
+//! ```
+//! use archsim::ArchSim;
+//! use engines::{Engine, EngineKind};
+//!
+//! let src = "export fn main() -> i32 { return 6 * 7; }";
+//! let bytes = wacc::compile_to_bytes(src, wacc::OptLevel::O2)?;
+//! let compiled = Engine::new(EngineKind::Wasm3).compile(&bytes)?;
+//! let mut inst = compiled.instantiate(&wasi_rt::imports(), Box::new(wasi_rt::WasiCtx::new()))?;
+//! let mut sim = ArchSim::new();
+//! inst.invoke_profiled("main", &[], &mut sim)?;
+//! let c = sim.counters();
+//! assert!(c.instructions > 0 && c.ipc() > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;
+pub mod sim;
+
+pub use branch::{BranchPredictor, BranchStats};
+pub use cache::{Cache, CacheStats, Hierarchy};
+pub use sim::{ArchSim, Counters};

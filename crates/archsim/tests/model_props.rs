@@ -1,0 +1,87 @@
+//! Property tests for the architectural models: the set-associative cache
+//! must agree with a brute-force reference model, and counters must stay
+//! internally consistent.
+
+use archsim::{ArchSim, Cache};
+use engines::profiler::{BranchKind, Profiler};
+use proptest::prelude::*;
+
+/// A brute-force fully-explicit model of a set-associative LRU cache.
+struct RefCache {
+    sets: Vec<Vec<u64>>, // per set: lines in LRU order (front = MRU)
+    ways: usize,
+    set_mask: u64,
+}
+
+impl RefCache {
+    fn new(size: usize, ways: usize) -> RefCache {
+        let sets = size / 64 / ways;
+        RefCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> 6;
+        let set = (line & self.set_mask) as usize;
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|l| *l == line) {
+            let l = s.remove(pos);
+            s.insert(0, l);
+            true
+        } else {
+            s.insert(0, line);
+            s.truncate(self.ways);
+            false
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production cache and the reference model agree on every access
+    /// of a random trace.
+    #[test]
+    fn cache_matches_reference_model(
+        addrs in proptest::collection::vec(0u64..(1 << 18), 1..2000)
+    ) {
+        let mut real = Cache::new(4096, 4);
+        let mut reference = RefCache::new(4096, 4);
+        for addr in addrs {
+            let a = real.access(addr & !63);
+            let b = reference.access(addr & !63);
+            prop_assert_eq!(a, b, "divergence at {:#x}", addr);
+        }
+    }
+
+    /// Counters are internally consistent for arbitrary event streams.
+    #[test]
+    fn counters_are_consistent(
+        events in proptest::collection::vec((0u8..4, any::<u64>(), 1u32..64), 0..500)
+    ) {
+        let mut sim = ArchSim::new();
+        let mut branches = 0u64;
+        for (kind, addr, len) in events {
+            match kind {
+                0 => sim.read(addr, len),
+                1 => sim.write(addr, len),
+                2 => sim.fetch(addr, len),
+                _ => {
+                    sim.branch(addr, BranchKind::Cond, addr % 2 == 0, addr ^ 0x40);
+                    branches += 1;
+                }
+            }
+            sim.uops(1);
+        }
+        let c = sim.counters();
+        prop_assert_eq!(c.branches, branches);
+        prop_assert!(c.branch_misses <= c.branches);
+        prop_assert!(c.cache_misses <= c.cache_references);
+        prop_assert!(c.l1d_misses <= c.l1d_accesses);
+        prop_assert!(c.l1i_misses <= c.l1i_accesses);
+        prop_assert!(c.cycles >= c.instructions / 4);
+    }
+}

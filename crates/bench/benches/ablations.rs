@@ -1,0 +1,162 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! dispatch technique, opcode fusion, register vs stack execution, and
+//! the individual optimizer passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engines::interp::threaded::{FusionLevel, ThreadedCode};
+use engines::interp::tree::TreeCode;
+use engines::jit::exec::RegCode;
+use engines::jit::lower::lower;
+use engines::jit::opt::{optimize, PassConfig};
+use engines::{Imports, NullProfiler, Runtime};
+use std::rc::Rc;
+use wasm_core::Module;
+
+fn bench_module() -> (Rc<Module>, u32, i32) {
+    // A loop-heavy kernel with calls, branches, and memory traffic.
+    let b = suite::by_name("crc32").expect("registered");
+    let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+    let module = Rc::new(wasm_core::decode::decode(&bytes).expect("decode"));
+    wasm_core::validate::validate(&module).expect("valid");
+    let idx = module.exported_func("run").expect("entry");
+    (module, idx, b.sizes.test)
+}
+
+fn runtime_for(module: &Rc<Module>) -> Runtime {
+    // The benchmark imports WASI but never calls it on this path; a sink
+    // import set would fail the link, so use the real one.
+    let mut imports = Imports::new();
+    // Register WASI sinks compatible with the module's import types.
+    use wasm_core::types::{FuncType, ValType::*};
+    imports.func("wasi_snapshot_preview1", "fd_write", FuncType::new(&[I32, I32, I32, I32], &[I32]), |_, _| Ok(Some(wasm_core::types::Value::I32(0))));
+    imports.func("wasi_snapshot_preview1", "fd_read", FuncType::new(&[I32, I32, I32, I32], &[I32]), |_, _| Ok(Some(wasm_core::types::Value::I32(0))));
+    imports.func("wasi_snapshot_preview1", "proc_exit", FuncType::new(&[I32], &[]), |_, _| Ok(None));
+    imports.func("wasi_snapshot_preview1", "clock_time_get", FuncType::new(&[I32, I64, I32], &[I32]), |_, _| Ok(Some(wasm_core::types::Value::I32(0))));
+    imports.func("wasi_snapshot_preview1", "random_get", FuncType::new(&[I32, I32], &[I32]), |_, _| Ok(Some(wasm_core::types::Value::I32(0))));
+    Runtime::instantiate(module, &imports, Box::new(())).expect("instantiate")
+}
+
+/// Switch dispatch (tree) vs token threading (wasm3) vs subroutine
+/// threading (compiled tier): the central interpreter-design ablation.
+fn ablation_dispatch(c: &mut Criterion) {
+    let (module, idx, n) = bench_module();
+    let mut g = c.benchmark_group("ablation_dispatch");
+
+    let tree = TreeCode::load(module.clone()).expect("tree");
+    g.bench_function("switch_dispatch(tree)", |bench| {
+        bench.iter(|| {
+            let mut rt = runtime_for(&module);
+            tree.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+        })
+    });
+
+    let threaded = ThreadedCode::load(module.clone()).expect("threaded");
+    g.bench_function("token_threading(wasm3)", |bench| {
+        bench.iter(|| {
+            let mut rt = runtime_for(&module);
+            threaded.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+        })
+    });
+
+    let funcs: Vec<_> = module
+        .funcs
+        .iter()
+        .map(|f| {
+            let mut rf = lower(&module, f).expect("lower");
+            optimize(&mut rf, &PassConfig::standard());
+            rf
+        })
+        .collect();
+    let compiled = RegCode::new(module.clone(), funcs);
+    g.bench_function("subroutine_threading(compiled)", |bench| {
+        bench.iter(|| {
+            let mut rt = runtime_for(&module);
+            compiled.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+        })
+    });
+    g.finish();
+}
+
+/// Super-instruction fusion in the threaded interpreter, on vs off.
+fn ablation_fusion(c: &mut Criterion) {
+    let (module, idx, n) = bench_module();
+    let mut g = c.benchmark_group("ablation_fusion");
+    for (label, fuse) in [
+        ("full", FusionLevel::Full),
+        ("const", FusionLevel::Const),
+        ("none", FusionLevel::None),
+    ] {
+        let code = ThreadedCode::load_with_options(module.clone(), fuse).expect("load");
+        g.bench_function(BenchmarkId::new("threaded", label), |bench| {
+            bench.iter(|| {
+                let mut rt = runtime_for(&module);
+                code.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Register code vs stack code: singlepass-lowered register IR against the
+/// threaded stack machine on identical input.
+fn ablation_register_vs_stack(c: &mut Criterion) {
+    let (module, idx, n) = bench_module();
+    let mut g = c.benchmark_group("ablation_register_vs_stack");
+    let funcs: Vec<_> = module.funcs.iter().map(|f| lower(&module, f).expect("lower")).collect();
+    let reg = RegCode::new(module.clone(), funcs);
+    g.bench_function("register(singlepass)", |bench| {
+        bench.iter(|| {
+            let mut rt = runtime_for(&module);
+            reg.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+        })
+    });
+    let stack = ThreadedCode::load_with_options(module.clone(), FusionLevel::None).expect("load");
+    g.bench_function("stack(threaded,unfused)", |bench| {
+        bench.iter(|| {
+            let mut rt = runtime_for(&module);
+            stack.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+        })
+    });
+    g.finish();
+}
+
+/// Optimizer pass toggles in the LLVM-analogue tier.
+fn ablation_passes(c: &mut Criterion) {
+    let (module, idx, n) = bench_module();
+    let mut g = c.benchmark_group("ablation_passes");
+    let full = PassConfig::aggressive();
+    let variants: Vec<(&str, PassConfig)> = vec![
+        ("full", full),
+        ("no_imm_fuse", PassConfig { imm_fuse: false, ..full }),
+        ("no_cmp_fuse", PassConfig { cmp_fuse: false, ..full }),
+        ("no_lvn", PassConfig { lvn: false, ..full }),
+        ("no_copy_prop", PassConfig { copy_prop: false, ..full }),
+        ("none", PassConfig::none()),
+    ];
+    for (label, config) in variants {
+        let funcs: Vec<_> = module
+            .funcs
+            .iter()
+            .map(|f| {
+                let mut rf = lower(&module, f).expect("lower");
+                optimize(&mut rf, &config);
+                rf
+            })
+            .collect();
+        let code = RegCode::new(module.clone(), funcs);
+        g.bench_function(BenchmarkId::new("exec", label), |bench| {
+            bench.iter(|| {
+                let mut rt = runtime_for(&module);
+                code.invoke(&mut rt, idx, &[n as u64], &mut NullProfiler).expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = ablation_dispatch, ablation_fusion, ablation_register_vs_stack, ablation_passes
+}
+criterion_main!(ablations);

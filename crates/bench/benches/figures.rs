@@ -1,0 +1,139 @@
+//! Criterion benchmarks: one group per paper table/figure. These time the
+//! underlying measurements at reduced scale so `cargo bench` regenerates
+//! the performance-relevant data quickly; the `wabench-harness` binary
+//! produces the full tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engines::{Backend, Engine, EngineKind};
+use harness::runner;
+use wacc::OptLevel;
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+/// Representative benchmarks, one per suite group.
+fn picks() -> Vec<&'static suite::Benchmark> {
+    ["quicksort", "crc32", "gemm", "whitedb"]
+        .iter()
+        .map(|n| suite::by_name(n).expect("registered"))
+        .collect()
+}
+
+fn exec(kind: EngineKind, bytes: &[u8], n: i32) {
+    let compiled = Engine::new(kind).compile(bytes).expect("compile");
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    let out = inst.invoke("run", &[Value::I32(n)]).expect("run");
+    std::hint::black_box(out);
+}
+
+/// Figure 1: execution time per engine vs native.
+fn fig1_exec_time(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_exec_time");
+    for b in picks() {
+        let n = b.sizes.test;
+        let bytes = runner::wasm_bytes(b, OptLevel::O2);
+        g.bench_with_input(BenchmarkId::new("native", b.name), &n, |bench, &n| {
+            bench.iter(|| std::hint::black_box((b.native)(n)))
+        });
+        for kind in EngineKind::all() {
+            g.bench_with_input(
+                BenchmarkId::new(kind.name(), b.name),
+                &n,
+                |bench, &n| bench.iter(|| exec(kind, &bytes, n)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 2: Wasmer backend comparison.
+fn fig2_jit_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_jit_backends");
+    for b in picks() {
+        let n = b.sizes.test;
+        let bytes = runner::wasm_bytes(b, OptLevel::O2);
+        for backend in Backend::all() {
+            g.bench_with_input(
+                BenchmarkId::new(backend.to_string(), b.name),
+                &n,
+                |bench, &n| bench.iter(|| exec(EngineKind::Wasmer(backend), &bytes, n)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figure 3 / Table 4: AOT vs JIT startup+run.
+fn fig3_aot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_aot");
+    for b in picks() {
+        let n = b.sizes.test;
+        let bytes = runner::wasm_bytes(b, OptLevel::O2);
+        let engine = Engine::new(EngineKind::Wavm);
+        let artifact = engine.precompile(&bytes).expect("precompile");
+        g.bench_with_input(BenchmarkId::new("jit", b.name), &n, |bench, &n| {
+            bench.iter(|| exec(EngineKind::Wavm, &bytes, n))
+        });
+        g.bench_with_input(BenchmarkId::new("aot", b.name), &n, |bench, &n| {
+            bench.iter(|| {
+                let compiled = engine.load_artifact(&artifact).expect("load");
+                let mut inst = compiled
+                    .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+                    .expect("instantiate");
+                std::hint::black_box(inst.invoke("run", &[Value::I32(n)]).expect("run"));
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4: optimization levels (Wasm3, the most sensitive engine).
+fn fig4_opt_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_opt_levels");
+    for b in picks() {
+        let n = b.sizes.test;
+        for level in OptLevel::all() {
+            let bytes = runner::wasm_bytes(b, level);
+            g.bench_with_input(
+                BenchmarkId::new(format!("wasm3{level}"), b.name),
+                &n,
+                |bench, &n| bench.iter(|| exec(EngineKind::Wasm3, &bytes, n)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Figures 5-10 are derived from accounting/simulation rather than timing;
+/// this target times the simulation itself (throughput of the substrate).
+fn sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("archsim_throughput");
+    let b = suite::by_name("crc32").expect("registered");
+    let bytes = runner::wasm_bytes(b, OptLevel::O2);
+    let n = b.sizes.test;
+    for kind in [EngineKind::Wasmtime, EngineKind::Wamr] {
+        g.bench_function(BenchmarkId::new("profiled", kind.name()), |bench| {
+            bench.iter(|| {
+                let mut sim = archsim::ArchSim::new();
+                let compiled = Engine::new(kind)
+                    .compile_profiled(&bytes, &mut sim)
+                    .expect("compile");
+                let mut inst = compiled
+                    .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+                    .expect("instantiate");
+                inst.invoke_profiled("run", &[Value::I32(n)], &mut sim)
+                    .expect("run");
+                std::hint::black_box(sim.counters())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig1_exec_time, fig2_jit_backends, fig3_aot, fig4_opt_levels, sim_throughput
+}
+criterion_main!(figures);

@@ -1,0 +1,1 @@
+//! Criterion benchmark targets live under `benches/`.

@@ -1,0 +1,82 @@
+//! Memory accounting: a per-instance breakdown of runtime-owned memory,
+//! standing in for the paper's maximum-resident-set-size measurements.
+
+/// A breakdown of the memory a runtime instance holds, in bytes.
+///
+/// `linear_memory_peak` is the guest's own data (the part a native build
+/// of the program would also allocate); everything else is runtime
+/// overhead. The sum plays the role of MRSS in the Figure 5 experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Fixed footprint of the runtime binary itself (code, allocator
+    /// arenas, runtime tables). Calibrated per engine to the documented
+    /// baseline RSS of the real runtime it models.
+    pub runtime_fixed: usize,
+    /// The Wasm binary retained in memory.
+    pub module_binary: usize,
+    /// Decoded module structures (types, bodies, segments).
+    pub decoded_module: usize,
+    /// Engine code: interpreter bytecode, threaded code, or machine code.
+    pub code: usize,
+    /// Retained compiler IR (the LLVM-style tier keeps it alive).
+    pub retained_ir: usize,
+    /// Side metadata: control maps, jump tables, type tables.
+    pub metadata: usize,
+    /// Peak of the value/call stack.
+    pub exec_stack_peak: usize,
+    /// Peak guest linear memory.
+    pub linear_memory_peak: usize,
+}
+
+impl MemoryReport {
+    /// Total peak memory (the MRSS analogue).
+    pub fn total(&self) -> usize {
+        self.runtime_fixed
+            + self.module_binary
+            + self.decoded_module
+            + self.code
+            + self.retained_ir
+            + self.metadata
+            + self.exec_stack_peak
+            + self.linear_memory_peak
+    }
+
+    /// Runtime-owned overhead: everything except the guest's own data.
+    pub fn runtime_overhead(&self) -> usize {
+        self.total() - self.linear_memory_peak
+    }
+
+    /// MRSS normalized to a native execution with the given peak footprint
+    /// (guest data plus the native process baseline).
+    pub fn normalized_to_native(&self, native_peak: usize) -> f64 {
+        self.total() as f64 / native_peak.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = MemoryReport {
+            runtime_fixed: 100,
+            module_binary: 10,
+            decoded_module: 20,
+            code: 30,
+            retained_ir: 5,
+            metadata: 15,
+            exec_stack_peak: 8,
+            linear_memory_peak: 1000,
+        };
+        assert_eq!(r.total(), 1188);
+        assert_eq!(r.runtime_overhead(), 188);
+        assert!((r.normalized_to_native(1100) - 1.08).abs() < 0.001);
+    }
+
+    #[test]
+    fn normalization_guards_zero() {
+        let r = MemoryReport::default();
+        assert_eq!(r.normalized_to_native(0), 0.0);
+    }
+}

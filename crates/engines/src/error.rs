@@ -1,0 +1,158 @@
+//! Runtime error types: traps, link errors, and engine errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// A WebAssembly trap: abnormal termination of execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Trap {
+    /// A memory access was outside the bounds of linear memory.
+    MemoryOutOfBounds,
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// `INT_MIN / -1` style overflow in signed division.
+    IntegerOverflow,
+    /// A float-to-int truncation had no representable result.
+    InvalidConversionToInt,
+    /// The `unreachable` instruction executed.
+    Unreachable,
+    /// `call_indirect` through a null/out-of-bounds table element.
+    UndefinedElement,
+    /// `call_indirect` signature mismatch.
+    IndirectCallTypeMismatch,
+    /// The runtime call stack limit was exceeded.
+    StackOverflow,
+    /// Execution exceeded the configured fuel budget.
+    OutOfFuel,
+    /// The guest requested termination via WASI `proc_exit`.
+    Exit(i32),
+    /// A host function reported an error.
+    Host(String),
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::MemoryOutOfBounds => write!(f, "out of bounds memory access"),
+            Trap::DivisionByZero => write!(f, "integer divide by zero"),
+            Trap::IntegerOverflow => write!(f, "integer overflow"),
+            Trap::InvalidConversionToInt => write!(f, "invalid conversion to integer"),
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::UndefinedElement => write!(f, "undefined table element"),
+            Trap::IndirectCallTypeMismatch => write!(f, "indirect call type mismatch"),
+            Trap::StackOverflow => write!(f, "call stack exhausted"),
+            Trap::OutOfFuel => write!(f, "fuel exhausted"),
+            Trap::Exit(code) => write!(f, "guest exited with code {code}"),
+            Trap::Host(msg) => write!(f, "host error: {msg}"),
+        }
+    }
+}
+
+impl Error for Trap {}
+
+/// An error while linking imports at instantiation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkError {
+    /// Description of the missing or mismatched import.
+    pub message: String,
+}
+
+impl LinkError {
+    /// Creates a link error.
+    pub fn new(message: impl Into<String>) -> Self {
+        LinkError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link error: {}", self.message)
+    }
+}
+
+impl Error for LinkError {}
+
+/// A top-level engine error: decode, validation, link, or trap.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// The module bytes failed to decode.
+    Decode(wasm_core::DecodeError),
+    /// The module failed validation.
+    Validate(wasm_core::ValidateError),
+    /// Instantiation failed to link imports.
+    Link(LinkError),
+    /// Execution trapped.
+    Trap(Trap),
+    /// An AOT artifact was malformed or built by a different engine.
+    BadArtifact(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Decode(e) => write!(f, "{e}"),
+            EngineError::Validate(e) => write!(f, "{e}"),
+            EngineError::Link(e) => write!(f, "{e}"),
+            EngineError::Trap(t) => write!(f, "trap: {t}"),
+            EngineError::BadArtifact(m) => write!(f, "bad AOT artifact: {m}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Decode(e) => Some(e),
+            EngineError::Validate(e) => Some(e),
+            EngineError::Link(e) => Some(e),
+            EngineError::Trap(t) => Some(t),
+            EngineError::BadArtifact(_) => None,
+        }
+    }
+}
+
+impl From<wasm_core::DecodeError> for EngineError {
+    fn from(e: wasm_core::DecodeError) -> Self {
+        EngineError::Decode(e)
+    }
+}
+
+impl From<wasm_core::ValidateError> for EngineError {
+    fn from(e: wasm_core::ValidateError) -> Self {
+        EngineError::Validate(e)
+    }
+}
+
+impl From<LinkError> for EngineError {
+    fn from(e: LinkError) -> Self {
+        EngineError::Link(e)
+    }
+}
+
+impl From<Trap> for EngineError {
+    fn from(t: Trap) -> Self {
+        EngineError::Trap(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_display() {
+        assert_eq!(Trap::DivisionByZero.to_string(), "integer divide by zero");
+        assert_eq!(Trap::Exit(3).to_string(), "guest exited with code 3");
+    }
+
+    #[test]
+    fn engine_error_from_trap() {
+        let e: EngineError = Trap::Unreachable.into();
+        assert!(matches!(e, EngineError::Trap(Trap::Unreachable)));
+        assert!(e.source().is_some());
+    }
+}

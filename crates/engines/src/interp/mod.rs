@@ -1,0 +1,26 @@
+//! The two interpretation-based engines.
+//!
+//! - [`tree`]: a classic in-place interpreter over the decoded instruction
+//!   stream with a runtime label stack — the execution strategy of WAMR's
+//!   classic interpreter.
+//! - [`threaded`]: a pre-translated direct-threaded interpreter with
+//!   resolved branch targets and fused super-instructions — the execution
+//!   strategy of Wasm3.
+
+pub mod threaded;
+pub mod tree;
+
+/// A runtime control-stack entry used by the tree interpreter.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Label {
+    /// pc of the matching `End`.
+    pub end_pc: u32,
+    /// pc just after the opening instruction (loop branch target).
+    pub start_pc: u32,
+    /// Value-stack height at entry.
+    pub height: u32,
+    /// Number of result values carried over a branch (0 or 1).
+    pub arity: u8,
+    /// Loops branch to their start and keep their label.
+    pub is_loop: bool,
+}

@@ -1,0 +1,422 @@
+//! The register-based internal IR that the compiled tiers produce.
+//!
+//! WebAssembly's operand stack has statically known heights at every
+//! program point, so a one-pass "stack slot = virtual register" allocation
+//! turns stack code into register code: locals occupy registers
+//! `0..nlocals`, and the stack slot at height `h` occupies register
+//! `nlocals + h`. The optimizing tiers then rewrite this code.
+
+use wasm_core::instr::Instr;
+
+/// A virtual register index.
+pub type Reg = u16;
+
+/// A register-IR operation. Branch targets are op indices within the
+/// function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ROp {
+    /// `rd <- bits`
+    Const {
+        /// Destination.
+        rd: Reg,
+        /// Raw 64-bit value.
+        bits: u64,
+    },
+    /// `rd <- rs`
+    Move {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd <- op(ra, rb)` — `op` is a binary numeric [`Instr`].
+    Bin {
+        /// The operator.
+        op: Instr,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+    },
+    /// Fused ALU chain: `rd <- op2(op1(ra, rb), rc)` (or with the chain
+    /// value as `op2`'s second operand when `swapped`). One dispatch for
+    /// two operations — the optimizing tiers' superinstructions.
+    Bin2 {
+        /// First operator.
+        op1: Instr,
+        /// Second operator.
+        op2: Instr,
+        /// Destination.
+        rd: Reg,
+        /// First operand of `op1`.
+        ra: Reg,
+        /// Second operand of `op1`.
+        rb: Reg,
+        /// Remaining operand of `op2`.
+        rc: Reg,
+        /// When set, `rd <- op2(rc, op1(ra, rb))`.
+        swapped: bool,
+    },
+    /// `rd <- op(ra, imm)` — binary op with a fused constant operand
+    /// (the optimizing tiers' immediate forms).
+    BinImm {
+        /// The operator.
+        op: Instr,
+        /// Destination.
+        rd: Reg,
+        /// Left operand.
+        ra: Reg,
+        /// Fused right operand (raw bits).
+        imm: u64,
+    },
+    /// `rd <- op(ra)` — `op` is a unary numeric [`Instr`].
+    Un {
+        /// The operator.
+        op: Instr,
+        /// Destination.
+        rd: Reg,
+        /// Operand.
+        ra: Reg,
+    },
+    /// `rd <- memory[addr + offset]` with `op`'s width/sign behavior.
+    Load {
+        /// The load instruction.
+        op: Instr,
+        /// Destination.
+        rd: Reg,
+        /// Address register.
+        addr: Reg,
+        /// Constant offset.
+        offset: u32,
+    },
+    /// `memory[addr + offset] <- val` with `op`'s width behavior.
+    Store {
+        /// The store instruction.
+        op: Instr,
+        /// Address register.
+        addr: Reg,
+        /// Value register.
+        val: Reg,
+        /// Constant offset.
+        offset: u32,
+    },
+    /// `rd <- cond != 0 ? a : b`
+    Select {
+        /// Destination.
+        rd: Reg,
+        /// Condition.
+        cond: Reg,
+        /// Value if non-zero.
+        a: Reg,
+        /// Value if zero.
+        b: Reg,
+    },
+    /// `rd <- globals[idx]`
+    GlobalGet {
+        /// Destination.
+        rd: Reg,
+        /// Global index.
+        idx: u32,
+    },
+    /// `globals[idx] <- rs`
+    GlobalSet {
+        /// Global index.
+        idx: u32,
+        /// Source.
+        rs: Reg,
+    },
+    /// `rd <- memory.size`
+    MemSize {
+        /// Destination.
+        rd: Reg,
+    },
+    /// `rd <- memory.grow(rs)`
+    MemGrow {
+        /// Destination.
+        rd: Reg,
+        /// Page delta.
+        rs: Reg,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target op index.
+        target: u32,
+    },
+    /// Jump if `cond != 0`.
+    BrIf {
+        /// Condition register.
+        cond: Reg,
+        /// Target op index.
+        target: u32,
+    },
+    /// Jump if `cond == 0`.
+    BrIfZ {
+        /// Condition register.
+        cond: Reg,
+        /// Target op index.
+        target: u32,
+    },
+    /// Fused compare-and-branch: jump if `cmp(ra, rb)` is true.
+    BrCmp {
+        /// The comparison instruction.
+        op: Instr,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Target op index.
+        target: u32,
+    },
+    /// Fused compare-and-branch: jump if `cmp(ra, rb)` is false.
+    BrCmpZ {
+        /// The comparison instruction.
+        op: Instr,
+        /// Left operand.
+        ra: Reg,
+        /// Right operand.
+        rb: Reg,
+        /// Target op index.
+        target: u32,
+    },
+    /// Jump through a table (pool index) selected by `idx`.
+    BrTable {
+        /// Selector register.
+        idx: Reg,
+        /// Index into the function's jump-table pool.
+        table: u32,
+    },
+    /// Direct call: arguments in `args..args+nargs`, result to `args`.
+    Call {
+        /// Callee (combined function index space).
+        f: u32,
+        /// First argument register.
+        args: Reg,
+        /// Argument count.
+        nargs: u8,
+        /// Whether the callee returns a value.
+        ret: bool,
+    },
+    /// Indirect call through table 0.
+    CallIndirect {
+        /// Expected type index.
+        type_idx: u32,
+        /// Element-index register.
+        elem: Reg,
+        /// First argument register.
+        args: Reg,
+        /// Argument count.
+        nargs: u8,
+        /// Whether the callee returns a value.
+        ret: bool,
+    },
+    /// Return, with the result in `rs` when `has` is set.
+    Ret {
+        /// Result register.
+        rs: Reg,
+        /// Whether a result is returned.
+        has: bool,
+    },
+    /// Unconditional trap (`unreachable`).
+    Trap,
+    /// No-op (produced by optimization; removed by compaction).
+    Nop,
+}
+
+impl ROp {
+    /// Registers this op reads.
+    pub fn uses(&self) -> [Option<Reg>; 3] {
+        use ROp::*;
+        match *self {
+            Const { .. } | GlobalGet { .. } | MemSize { .. } | Jump { .. } | Trap | Nop => {
+                [None, None, None]
+            }
+            Move { rs, .. }
+            | Un { ra: rs, .. }
+            | BinImm { ra: rs, .. }
+            | GlobalSet { rs, .. }
+            | MemGrow { rs, .. } => [Some(rs), None, None],
+            Bin { ra, rb, .. } | BrCmp { ra, rb, .. } | BrCmpZ { ra, rb, .. } => {
+                [Some(ra), Some(rb), None]
+            }
+            Bin2 { ra, rb, rc, .. } => [Some(ra), Some(rb), Some(rc)],
+            Load { addr, .. } => [Some(addr), None, None],
+            Store { addr, val, .. } => [Some(addr), Some(val), None],
+            Select { cond, a, b, .. } => [Some(cond), Some(a), Some(b)],
+            BrIf { cond, .. } | BrIfZ { cond, .. } | BrTable { idx: cond, .. } => {
+                [Some(cond), None, None]
+            }
+            Call { .. } | CallIndirect { .. } => [None, None, None], // handled specially
+            Ret { rs, has } => [if has { Some(rs) } else { None }, None, None],
+        }
+    }
+
+    /// The register this op defines, if any.
+    pub fn def(&self) -> Option<Reg> {
+        use ROp::*;
+        match *self {
+            Const { rd, .. }
+            | Move { rd, .. }
+            | Bin { rd, .. }
+            | Bin2 { rd, .. }
+            | BinImm { rd, .. }
+            | Un { rd, .. }
+            | Load { rd, .. }
+            | Select { rd, .. }
+            | GlobalGet { rd, .. }
+            | MemSize { rd }
+            | MemGrow { rd, .. } => Some(rd),
+            Call { args, ret, .. } | CallIndirect { args, ret, .. } => {
+                if ret {
+                    Some(args)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the op has side effects beyond its register def (memory,
+    /// globals, control flow, traps, calls).
+    pub fn has_side_effect(&self) -> bool {
+        use ROp::*;
+        match self {
+            Store { .. } | GlobalSet { .. } | MemGrow { .. } | Jump { .. } | BrIf { .. }
+            | BrIfZ { .. } | BrCmp { .. } | BrCmpZ { .. } | BrTable { .. } | Call { .. }
+            | CallIndirect { .. } | Ret { .. } | Trap => true,
+            // Division/remainder can trap, so Bin is only pure for
+            // non-trapping operators.
+            Bin2 { op1, op2, .. } => {
+                let trapping = |op: &Instr| matches!(
+                    op,
+                    Instr::I32DivS | Instr::I32DivU | Instr::I32RemS | Instr::I32RemU
+                        | Instr::I64DivS | Instr::I64DivU | Instr::I64RemS | Instr::I64RemU
+                );
+                trapping(op1) || trapping(op2)
+            }
+            Bin { op, .. } | BinImm { op, .. } => matches!(
+                op,
+                Instr::I32DivS
+                    | Instr::I32DivU
+                    | Instr::I32RemS
+                    | Instr::I32RemU
+                    | Instr::I64DivS
+                    | Instr::I64DivU
+                    | Instr::I64RemS
+                    | Instr::I64RemU
+            ),
+            // Float-to-int truncations can trap.
+            Un { op, .. } => matches!(
+                op,
+                Instr::I32TruncF32S
+                    | Instr::I32TruncF32U
+                    | Instr::I32TruncF64S
+                    | Instr::I32TruncF64U
+                    | Instr::I64TruncF32S
+                    | Instr::I64TruncF32U
+                    | Instr::I64TruncF64S
+                    | Instr::I64TruncF64U
+            ),
+            // Loads can trap (OOB), so they are not freely removable.
+            Load { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// Whether this op unconditionally transfers control.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            ROp::Jump { .. } | ROp::BrTable { .. } | ROp::Ret { .. } | ROp::Trap
+        )
+    }
+
+    /// The branch target, if this op has exactly one.
+    pub fn target(&self) -> Option<u32> {
+        use ROp::*;
+        match *self {
+            Jump { target }
+            | BrIf { target, .. }
+            | BrIfZ { target, .. }
+            | BrCmp { target, .. }
+            | BrCmpZ { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Rewrites the branch target, if this op has one.
+    pub fn set_target(&mut self, new: u32) {
+        use ROp::*;
+        match self {
+            Jump { target }
+            | BrIf { target, .. }
+            | BrIfZ { target, .. }
+            | BrCmp { target, .. }
+            | BrCmpZ { target, .. } => *target = new,
+            _ => {}
+        }
+    }
+}
+
+/// A compiled function in register IR.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RFunc {
+    /// The operations.
+    pub ops: Vec<ROp>,
+    /// Number of parameters.
+    pub nparams: u16,
+    /// Number of locals (including parameters).
+    pub nlocals: u16,
+    /// Total virtual registers used (locals + max stack depth).
+    pub nregs: u16,
+    /// Whether the function returns a value.
+    pub result: bool,
+    /// Jump-table pool for `BrTable` (targets plus default last).
+    pub tables: Vec<Vec<u32>>,
+}
+
+impl RFunc {
+    /// Estimated machine-code bytes (used for memory accounting and
+    /// I-cache addressing): real tiers emit roughly 8 bytes per IR op.
+    pub fn machine_code_bytes(&self) -> usize {
+        self.ops.len() * 8 + self.tables.iter().map(|t| t.len() * 4).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_and_defs() {
+        let op = ROp::Bin {
+            op: Instr::I32Add,
+            rd: 3,
+            ra: 1,
+            rb: 2,
+        };
+        assert_eq!(op.def(), Some(3));
+        assert_eq!(op.uses(), [Some(1), Some(2), None]);
+        assert!(!op.has_side_effect());
+
+        let div = ROp::Bin {
+            op: Instr::I32DivS,
+            rd: 3,
+            ra: 1,
+            rb: 2,
+        };
+        assert!(div.has_side_effect());
+    }
+
+    #[test]
+    fn target_rewrite() {
+        let mut op = ROp::BrIf { cond: 0, target: 5 };
+        assert_eq!(op.target(), Some(5));
+        op.set_target(9);
+        assert_eq!(op.target(), Some(9));
+        assert!(ROp::Ret { rs: 0, has: false }.is_terminator());
+        assert!(!op.is_terminator());
+    }
+}

@@ -1,0 +1,560 @@
+//! One-pass lowering of WebAssembly stack code to register IR.
+//!
+//! This *is* the SinglePass tier: what it emits is executed directly by
+//! the singlepass engine. The optimizing tiers run the passes in
+//! [`super::opt`] over its output.
+
+use crate::jit::ir::{RFunc, ROp, Reg};
+use wasm_core::control::ControlMap;
+use wasm_core::instr::Instr;
+use wasm_core::module::Module;
+
+/// A pending `br_table` trampoline: (op index to patch, table slot,
+/// optional value move applied before the jump).
+type Trampoline = (usize, u32, Option<(Reg, Reg)>);
+
+struct OpenBlock {
+    is_loop: bool,
+    loop_target: u32,
+    /// Stack height at entry (not counting locals).
+    height: u16,
+    arity: u8,
+    end_arity: u8,
+    /// Plain fixups: `ops` indices whose target is this block's end.
+    fixups: Vec<usize>,
+    /// Table fixups: `(table_idx, slot)` whose target is this block's end
+    /// (slot == -1 is the default entry).
+    table_fixups: Vec<(usize, i32)>,
+    if_skip: Option<usize>,
+    born_dead: bool,
+    unreachable: bool,
+}
+
+/// Lowers one validated function to register IR.
+///
+/// # Errors
+///
+/// Fails only on malformed control structure, which validation excludes.
+pub fn lower(
+    module: &Module,
+    func: &wasm_core::module::Func,
+) -> Result<RFunc, wasm_core::ValidateError> {
+    let _map = ControlMap::build(&func.body)?;
+    let ty = &module.types[func.type_idx as usize];
+    let nparams = ty.params.len() as u16;
+    let nlocals = nparams + func.locals.len() as u16;
+    let has_result = !ty.results.is_empty();
+
+    let mut out = RFunc {
+        nparams,
+        nlocals,
+        result: has_result,
+        ..RFunc::default()
+    };
+    let mut height: u16 = 0;
+    let mut max_height: u16 = 0;
+    let mut blocks: Vec<OpenBlock> = vec![OpenBlock {
+        is_loop: false,
+        loop_target: 0,
+        height: 0,
+        arity: has_result as u8,
+        end_arity: has_result as u8,
+        fixups: Vec::new(),
+        table_fixups: Vec::new(),
+        if_skip: None,
+        born_dead: false,
+        unreachable: false,
+    }];
+
+    // Register of the stack slot at height `h`.
+    let slot = |h: u16| -> Reg { nlocals + h };
+
+    let body = &func.body;
+    let mut i = 0usize;
+    while i < body.len() {
+        let instr = &body[i];
+        let dead = blocks.last().expect("block stack").unreachable;
+        max_height = max_height.max(height);
+
+        match instr {
+            Instr::Block(bt) | Instr::Loop(bt) | Instr::If(bt) => {
+                if dead {
+                    blocks.push(OpenBlock {
+                        is_loop: false,
+                        loop_target: 0,
+                        height,
+                        arity: 0,
+                        end_arity: 0,
+                        fixups: Vec::new(),
+                        table_fixups: Vec::new(),
+                        if_skip: None,
+                        born_dead: true,
+                        unreachable: true,
+                    });
+                    i += 1;
+                    continue;
+                }
+                let is_loop = matches!(instr, Instr::Loop(_));
+                let is_if = matches!(instr, Instr::If(_));
+                if is_if {
+                    height -= 1;
+                }
+                let mut blk = OpenBlock {
+                    is_loop,
+                    loop_target: out.ops.len() as u32,
+                    height,
+                    arity: if is_loop { 0 } else { bt.arity() as u8 },
+                    end_arity: bt.arity() as u8,
+                    fixups: Vec::new(),
+                    table_fixups: Vec::new(),
+                    if_skip: None,
+                    born_dead: false,
+                    unreachable: false,
+                };
+                if is_if {
+                    blk.if_skip = Some(out.ops.len());
+                    out.ops.push(ROp::BrIfZ {
+                        cond: slot(height),
+                        target: u32::MAX,
+                    });
+                }
+                blocks.push(blk);
+            }
+            Instr::Else => {
+                let (entry_height, was_dead, born_dead) = {
+                    let blk = blocks.last().expect("blocks");
+                    (blk.height, blk.unreachable, blk.born_dead)
+                };
+                let jump_site = if was_dead {
+                    None
+                } else {
+                    let s = out.ops.len();
+                    out.ops.push(ROp::Jump { target: u32::MAX });
+                    Some(s)
+                };
+                let else_start = out.ops.len() as u32;
+                let blk = blocks.last_mut().expect("blocks");
+                if let Some(skip) = blk.if_skip.take() {
+                    out.ops[skip].set_target(else_start);
+                }
+                if let Some(s) = jump_site {
+                    blk.fixups.push(s);
+                }
+                blk.unreachable = born_dead;
+                height = entry_height;
+            }
+            Instr::End => {
+                let blk = blocks.pop().expect("blocks");
+                let end_pos = out.ops.len() as u32;
+                if let Some(skip) = blk.if_skip {
+                    out.ops[skip].set_target(end_pos);
+                }
+                for site in &blk.fixups {
+                    out.ops[*site].set_target(end_pos);
+                }
+                for (table, slot_idx) in &blk.table_fixups {
+                    let t = &mut out.tables[*table];
+                    let pos = if *slot_idx < 0 {
+                        t.len() - 1
+                    } else {
+                        *slot_idx as usize
+                    };
+                    t[pos] = end_pos;
+                }
+                height = blk.height + blk.end_arity as u16;
+                if blocks.is_empty() {
+                    out.ops.push(ROp::Ret {
+                        rs: slot(0),
+                        has: has_result,
+                    });
+                    break;
+                }
+            }
+            _ if dead => {}
+            Instr::Br(d) => {
+                emit_branch(&mut out, &mut blocks, *d, &mut height, nlocals, None);
+                blocks.last_mut().expect("blocks").unreachable = true;
+            }
+            Instr::BrIf(d) => {
+                height -= 1;
+                let cond = slot(height);
+                emit_branch(&mut out, &mut blocks, *d, &mut height, nlocals, Some(cond));
+            }
+            Instr::BrTable(pool) => {
+                height -= 1;
+                let sel = slot(height);
+                let table = &module.br_tables[*pool as usize];
+                let table_idx = out.tables.len();
+                // Resolve each entry; entries needing a value move get a
+                // trampoline emitted right after the BrTable (dead space).
+                let mut entries: Vec<u32> = Vec::with_capacity(table.targets.len() + 1);
+                let mut trampolines: Vec<Trampoline> = Vec::new();
+                for (slot_idx, &d) in table
+                    .targets
+                    .iter()
+                    .chain(std::iter::once(&table.default))
+                    .enumerate()
+                {
+                    let is_default = slot_idx == table.targets.len();
+                    let bidx = blocks.len() - 1 - d as usize;
+                    let blk = &blocks[bidx];
+                    let keep = blk.arity;
+                    let needs_move = keep == 1 && height != blk.height + 1;
+                    let mv = if needs_move {
+                        Some((slot(blk.height), slot(height - 1)))
+                    } else {
+                        None
+                    };
+                    if blk.is_loop && mv.is_none() {
+                        entries.push(blk.loop_target);
+                    } else {
+                        // Trampoline (also used for forward targets needing
+                        // moves; plain forward targets are patched in place).
+                        if mv.is_none() {
+                            entries.push(u32::MAX);
+                            let sl = if is_default { -1 } else { slot_idx as i32 };
+                            blocks[bidx].table_fixups.push((table_idx, sl));
+                        } else {
+                            entries.push(u32::MAX); // patched to trampoline below
+                            trampolines.push((slot_idx, d, mv));
+                        }
+                    }
+                }
+                out.tables.push(entries);
+                out.ops.push(ROp::BrTable {
+                    idx: sel,
+                    table: table_idx as u32,
+                });
+                for (slot_idx, d, mv) in trampolines {
+                    let tramp = out.ops.len() as u32;
+                    out.tables[table_idx][slot_idx] = tramp;
+                    let (rd, rs) = mv.expect("trampolines only for moves");
+                    out.ops.push(ROp::Move { rd, rs });
+                    let bidx = blocks.len() - 1 - d as usize;
+                    if blocks[bidx].is_loop {
+                        let t = blocks[bidx].loop_target;
+                        out.ops.push(ROp::Jump { target: t });
+                    } else {
+                        let s = out.ops.len();
+                        out.ops.push(ROp::Jump { target: u32::MAX });
+                        blocks[bidx].fixups.push(s);
+                    }
+                }
+                blocks.last_mut().expect("blocks").unreachable = true;
+            }
+            Instr::Return => {
+                out.ops.push(ROp::Ret {
+                    rs: if has_result { slot(height - 1) } else { 0 },
+                    has: has_result,
+                });
+                blocks.last_mut().expect("blocks").unreachable = true;
+            }
+            Instr::Unreachable => {
+                out.ops.push(ROp::Trap);
+                blocks.last_mut().expect("blocks").unreachable = true;
+            }
+            Instr::Nop => {}
+            Instr::Drop => height -= 1,
+            Instr::Select => {
+                height -= 2;
+                out.ops.push(ROp::Select {
+                    rd: slot(height - 1),
+                    cond: slot(height + 1),
+                    a: slot(height - 1),
+                    b: slot(height),
+                });
+            }
+            Instr::LocalGet(n) => {
+                out.ops.push(ROp::Move {
+                    rd: slot(height),
+                    rs: *n as Reg,
+                });
+                height += 1;
+            }
+            Instr::LocalSet(n) => {
+                height -= 1;
+                out.ops.push(ROp::Move {
+                    rd: *n as Reg,
+                    rs: slot(height),
+                });
+            }
+            Instr::LocalTee(n) => {
+                out.ops.push(ROp::Move {
+                    rd: *n as Reg,
+                    rs: slot(height - 1),
+                });
+            }
+            Instr::GlobalGet(n) => {
+                out.ops.push(ROp::GlobalGet {
+                    rd: slot(height),
+                    idx: *n,
+                });
+                height += 1;
+            }
+            Instr::GlobalSet(n) => {
+                height -= 1;
+                out.ops.push(ROp::GlobalSet {
+                    idx: *n,
+                    rs: slot(height),
+                });
+            }
+            Instr::MemorySize => {
+                out.ops.push(ROp::MemSize { rd: slot(height) });
+                height += 1;
+            }
+            Instr::MemoryGrow => {
+                out.ops.push(ROp::MemGrow {
+                    rd: slot(height - 1),
+                    rs: slot(height - 1),
+                });
+            }
+            Instr::I32Const(v) => {
+                out.ops.push(ROp::Const {
+                    rd: slot(height),
+                    bits: *v as u32 as u64,
+                });
+                height += 1;
+            }
+            Instr::I64Const(v) => {
+                out.ops.push(ROp::Const {
+                    rd: slot(height),
+                    bits: *v as u64,
+                });
+                height += 1;
+            }
+            Instr::F32Const(b) => {
+                out.ops.push(ROp::Const {
+                    rd: slot(height),
+                    bits: *b as u64,
+                });
+                height += 1;
+            }
+            Instr::F64Const(b) => {
+                out.ops.push(ROp::Const {
+                    rd: slot(height),
+                    bits: *b,
+                });
+                height += 1;
+            }
+            Instr::Call(f) => {
+                let cty = module.func_type(*f).expect("validated");
+                let nargs = cty.params.len() as u16;
+                let ret = !cty.results.is_empty();
+                height -= nargs;
+                out.ops.push(ROp::Call {
+                    f: *f,
+                    args: slot(height),
+                    nargs: nargs as u8,
+                    ret,
+                });
+                if ret {
+                    height += 1;
+                }
+            }
+            Instr::CallIndirect(type_idx) => {
+                let cty = &module.types[*type_idx as usize];
+                let nargs = cty.params.len() as u16;
+                let ret = !cty.results.is_empty();
+                height -= 1; // element index
+                let elem = slot(height);
+                height -= nargs;
+                out.ops.push(ROp::CallIndirect {
+                    type_idx: *type_idx,
+                    elem,
+                    args: slot(height),
+                    nargs: nargs as u8,
+                    ret,
+                });
+                if ret {
+                    height += 1;
+                }
+            }
+            other => {
+                if let Some((_, m)) = wasm_core::opcode::mem_opcode(other) {
+                    if crate::interp::tree::is_store_op(other) {
+                        height -= 2;
+                        out.ops.push(ROp::Store {
+                            op: *other,
+                            addr: slot(height),
+                            val: slot(height + 1),
+                            offset: m.offset,
+                        });
+                    } else {
+                        out.ops.push(ROp::Load {
+                            op: *other,
+                            rd: slot(height - 1),
+                            addr: slot(height - 1),
+                            offset: m.offset,
+                        });
+                    }
+                } else if crate::numeric::is_binary(*other) {
+                    height -= 1;
+                    out.ops.push(ROp::Bin {
+                        op: *other,
+                        rd: slot(height - 1),
+                        ra: slot(height - 1),
+                        rb: slot(height),
+                    });
+                } else if crate::numeric::is_unary(*other) {
+                    out.ops.push(ROp::Un {
+                        op: *other,
+                        rd: slot(height - 1),
+                        ra: slot(height - 1),
+                    });
+                } else {
+                    unreachable!("unhandled instruction in lowering: {other:?}");
+                }
+            }
+        }
+        i += 1;
+    }
+
+    out.nregs = nlocals + max_height + 2;
+    Ok(out)
+}
+
+/// Emits a branch of depth `d`; `cond` is `Some(reg)` for `br_if`.
+fn emit_branch(
+    out: &mut RFunc,
+    blocks: &mut [OpenBlock],
+    d: u32,
+    height: &mut u16,
+    nlocals: u16,
+    cond: Option<Reg>,
+) {
+    let bidx = blocks.len() - 1 - d as usize;
+    let (is_loop, loop_target, bheight, arity) = {
+        let b = &blocks[bidx];
+        (b.is_loop, b.loop_target, b.height, b.arity)
+    };
+    let slot = |h: u16| -> Reg { nlocals + h };
+    let needs_move = arity == 1 && *height != bheight + 1;
+    let mv = if needs_move {
+        Some(ROp::Move {
+            rd: slot(bheight),
+            rs: slot(*height - 1),
+        })
+    } else {
+        None
+    };
+
+    match cond {
+        None => {
+            if let Some(m) = mv {
+                out.ops.push(m);
+            }
+            if is_loop {
+                out.ops.push(ROp::Jump {
+                    target: loop_target,
+                });
+            } else {
+                let s = out.ops.len();
+                out.ops.push(ROp::Jump { target: u32::MAX });
+                blocks[bidx].fixups.push(s);
+            }
+        }
+        Some(c) => {
+            match mv {
+                None => {
+                    if is_loop {
+                        out.ops.push(ROp::BrIf {
+                            cond: c,
+                            target: loop_target,
+                        });
+                    } else {
+                        let s = out.ops.len();
+                        out.ops.push(ROp::BrIf {
+                            cond: c,
+                            target: u32::MAX,
+                        });
+                        blocks[bidx].fixups.push(s);
+                    }
+                }
+                Some(m) => {
+                    // if (!c) skip; move; jump target; skip:
+                    let skip_site = out.ops.len();
+                    out.ops.push(ROp::BrIfZ {
+                        cond: c,
+                        target: u32::MAX,
+                    });
+                    out.ops.push(m);
+                    if is_loop {
+                        out.ops.push(ROp::Jump {
+                            target: loop_target,
+                        });
+                    } else {
+                        let s = out.ops.len();
+                        out.ops.push(ROp::Jump { target: u32::MAX });
+                        blocks[bidx].fixups.push(s);
+                    }
+                    let after = out.ops.len() as u32;
+                    out.ops[skip_site].set_target(after);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasm_core::builder::ModuleBuilder;
+    use wasm_core::types::{FuncType, ValType};
+
+    fn lower_module(m: &Module) -> Vec<RFunc> {
+        wasm_core::validate::validate(m).unwrap();
+        m.funcs.iter().map(|f| lower(m, f).unwrap()).collect()
+    }
+
+    #[test]
+    fn add_lowers_to_register_code() {
+        let mut b = ModuleBuilder::new();
+        b.begin_func(FuncType::new(&[ValType::I32, ValType::I32], &[ValType::I32]));
+        b.emit(Instr::LocalGet(0));
+        b.emit(Instr::LocalGet(1));
+        b.emit(Instr::I32Add);
+        b.finish_func();
+        let m = b.build();
+        let f = &lower_module(&m)[0];
+        // move r2<-r0; move r3<-r1; add r2<-r2,r3; ret r2
+        assert_eq!(f.ops.len(), 4);
+        assert!(matches!(f.ops[2], ROp::Bin { op: Instr::I32Add, rd: 2, ra: 2, rb: 3 }));
+        assert!(matches!(f.ops[3], ROp::Ret { rs: 2, has: true }));
+    }
+
+    #[test]
+    fn nregs_covers_stack_depth() {
+        let mut b = ModuleBuilder::new();
+        b.begin_func(FuncType::new(&[], &[ValType::I32]));
+        for _ in 0..5 {
+            b.emit(Instr::I32Const(1));
+        }
+        for _ in 0..4 {
+            b.emit(Instr::I32Add);
+        }
+        b.finish_func();
+        let m = b.build();
+        let f = &lower_module(&m)[0];
+        assert!(f.nregs >= 5);
+    }
+
+    #[test]
+    fn branch_with_value_emits_move() {
+        // block (result i32): const 1; const 2; br 0 (carries 2 from height 2 to 0)
+        let mut b = ModuleBuilder::new();
+        b.begin_func(FuncType::new(&[], &[ValType::I32]));
+        b.emit(Instr::Block(wasm_core::instr::BlockType::Value(ValType::I32)));
+        b.emit(Instr::I32Const(1));
+        b.emit(Instr::I32Const(2));
+        b.emit(Instr::Br(0));
+        b.emit(Instr::End);
+        b.finish_func();
+        let m = b.build();
+        let f = &lower_module(&m)[0];
+        assert!(
+            f.ops.iter().any(|op| matches!(op, ROp::Move { rd: 0, rs: 1 })),
+            "expected value move, got {:?}",
+            f.ops
+        );
+    }
+}

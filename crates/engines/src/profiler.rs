@@ -1,0 +1,191 @@
+//! Profiling hooks threaded through every engine's execution loop.
+//!
+//! In profiled mode an engine reports, for every step it takes, the
+//! instruction fetches, retired micro-ops, data accesses, and branches it
+//! would perform on real hardware. The `archsim` crate implements
+//! [`Profiler`] with a cache hierarchy and branch predictors; the
+//! [`NullProfiler`] compiles to nothing for plain timing runs.
+//!
+//! ## Synthetic address space
+//!
+//! Profiled addresses live in a flat synthetic 64-bit space so the cache
+//! simulator can distinguish the regions that matter:
+//!
+//! | region | base | contents |
+//! |---|---|---|
+//! | handler/machine code | [`CODE_BASE`] | engine handler code & compiled code (I-side) |
+//! | bytecode | [`BYTECODE_BASE`] | decoded/threaded bytecode, fetched as *data* by interpreters |
+//! | metadata | [`META_BASE`] | engine tables: type info, control maps, br_tables |
+//! | value stack | [`STACK_BASE`] | operand stack, locals, call frames |
+//! | globals | [`GLOBALS_BASE`] | module globals |
+//! | linear memory | [`HEAP_BASE`] | the guest's linear memory |
+
+/// Base address of compiled code / interpreter handler code (I-side).
+pub const CODE_BASE: u64 = 0x1000_0000;
+/// Base address of decoded bytecode (interpreters fetch this as data).
+pub const BYTECODE_BASE: u64 = 0x2000_0000;
+/// Base address of runtime metadata (control maps, type tables).
+pub const META_BASE: u64 = 0x5000_0000;
+/// Base address of globals storage.
+pub const GLOBALS_BASE: u64 = 0x6000_0000;
+/// Base address of the value/call stack region.
+pub const STACK_BASE: u64 = 0x7000_0000;
+/// Base address of guest linear memory.
+pub const HEAP_BASE: u64 = 0x8000_0000;
+
+/// What kind of control transfer a [`Profiler::branch`] event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Cond,
+    /// Unconditional direct branch.
+    Uncond,
+    /// Indirect branch (interpreter dispatch, `br_table`).
+    Indirect,
+    /// Direct call.
+    Call,
+    /// Indirect call (`call_indirect`, host call through a table).
+    IndirectCall,
+    /// Function return.
+    Ret,
+}
+
+/// Receives microarchitectural events from a profiled execution.
+///
+/// Implementations must be cheap: engines call these in their innermost
+/// loops. All default implementations are no-ops so simple profilers can
+/// override only what they need.
+pub trait Profiler {
+    /// `len` bytes of instruction fetch at `addr` (I-side).
+    #[inline]
+    fn fetch(&mut self, addr: u64, len: u32) {
+        let _ = (addr, len);
+    }
+
+    /// `n` retired micro-ops.
+    #[inline]
+    fn uops(&mut self, n: u64) {
+        let _ = n;
+    }
+
+    /// Data read of `len` bytes at `addr`.
+    #[inline]
+    fn read(&mut self, addr: u64, len: u32) {
+        let _ = (addr, len);
+    }
+
+    /// Data write of `len` bytes at `addr`.
+    #[inline]
+    fn write(&mut self, addr: u64, len: u32) {
+        let _ = (addr, len);
+    }
+
+    /// A branch at `site` of the given kind; `taken` and `target` describe
+    /// its resolution.
+    #[inline]
+    fn branch(&mut self, site: u64, kind: BranchKind, taken: bool, target: u64) {
+        let _ = (site, kind, taken, target);
+    }
+}
+
+/// A profiler that ignores everything; used for plain timing runs.
+///
+/// With this type every hook inlines to nothing, so unprofiled execution
+/// pays no cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {}
+
+/// A simple event-counting profiler, useful in tests and as a lightweight
+/// alternative to the full architectural simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingProfiler {
+    /// Total instruction-fetch events.
+    pub fetches: u64,
+    /// Total retired micro-ops.
+    pub uops: u64,
+    /// Total data reads.
+    pub reads: u64,
+    /// Total data writes.
+    pub writes: u64,
+    /// Total branch events.
+    pub branches: u64,
+    /// Branch events that were taken.
+    pub taken_branches: u64,
+    /// Indirect branches (dispatch, br_table, indirect calls).
+    pub indirect_branches: u64,
+}
+
+impl Profiler for CountingProfiler {
+    #[inline]
+    fn fetch(&mut self, _addr: u64, _len: u32) {
+        self.fetches += 1;
+    }
+
+    #[inline]
+    fn uops(&mut self, n: u64) {
+        self.uops += n;
+    }
+
+    #[inline]
+    fn read(&mut self, _addr: u64, _len: u32) {
+        self.reads += 1;
+    }
+
+    #[inline]
+    fn write(&mut self, _addr: u64, _len: u32) {
+        self.writes += 1;
+    }
+
+    #[inline]
+    fn branch(&mut self, _site: u64, kind: BranchKind, taken: bool, _target: u64) {
+        self.branches += 1;
+        if taken {
+            self.taken_branches += 1;
+        }
+        if matches!(kind, BranchKind::Indirect | BranchKind::IndirectCall) {
+            self.indirect_branches += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_profiler_counts() {
+        let mut p = CountingProfiler::default();
+        p.fetch(CODE_BASE, 4);
+        p.uops(3);
+        p.read(HEAP_BASE, 8);
+        p.write(HEAP_BASE + 8, 4);
+        p.branch(CODE_BASE, BranchKind::Indirect, true, CODE_BASE + 64);
+        p.branch(CODE_BASE, BranchKind::Cond, false, 0);
+        assert_eq!(p.fetches, 1);
+        assert_eq!(p.uops, 3);
+        assert_eq!(p.reads, 1);
+        assert_eq!(p.writes, 1);
+        assert_eq!(p.branches, 2);
+        assert_eq!(p.taken_branches, 1);
+        assert_eq!(p.indirect_branches, 1);
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let bases = [
+            CODE_BASE,
+            BYTECODE_BASE,
+            META_BASE,
+            GLOBALS_BASE,
+            STACK_BASE,
+            HEAP_BASE,
+        ];
+        for w in bases.windows(2) {
+            assert!(w[0] < w[1]);
+            // Each region has at least 256 MiB of room.
+            assert!(w[1] - w[0] >= 0x1000_0000);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Shared instance state: imports, host functions, globals, tables, and
+//! the instantiation logic common to all five engines.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::{LinkError, Trap};
+use crate::memory::LinearMemory;
+use wasm_core::module::{ConstExpr, ImportKind, Module};
+use wasm_core::types::{FuncType, ValType, Value};
+
+/// Context passed to host functions: the guest's memory plus arbitrary
+/// host state (e.g. a WASI context).
+pub struct HostCtx<'a> {
+    /// The instance's linear memory, if it has one.
+    pub memory: Option<&'a mut LinearMemory>,
+    /// Host-defined state installed at instantiation.
+    pub data: &'a mut dyn Any,
+}
+
+impl fmt::Debug for HostCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostCtx")
+            .field("has_memory", &self.memory.is_some())
+            .finish()
+    }
+}
+
+/// A host function callable from the guest.
+pub type HostFn = Rc<dyn Fn(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap>>;
+
+/// The set of host items provided to instantiation.
+#[derive(Default, Clone)]
+pub struct Imports {
+    funcs: HashMap<(String, String), (FuncType, HostFn)>,
+    globals: HashMap<(String, String), Value>,
+}
+
+impl Imports {
+    /// Creates an empty import set.
+    pub fn new() -> Self {
+        Imports::default()
+    }
+
+    /// Registers a host function under `module.name`.
+    pub fn func(
+        &mut self,
+        module: &str,
+        name: &str,
+        ty: FuncType,
+        f: impl Fn(&mut HostCtx<'_>, &[Value]) -> Result<Option<Value>, Trap> + 'static,
+    ) -> &mut Self {
+        self.funcs
+            .insert((module.to_string(), name.to_string()), (ty, Rc::new(f)));
+        self
+    }
+
+    /// Registers an immutable global import value.
+    pub fn global(&mut self, module: &str, name: &str, value: Value) -> &mut Self {
+        self.globals
+            .insert((module.to_string(), name.to_string()), value);
+        self
+    }
+
+    fn lookup_func(&self, module: &str, name: &str) -> Option<&(FuncType, HostFn)> {
+        self.funcs.get(&(module.to_string(), name.to_string()))
+    }
+
+    fn lookup_global(&self, module: &str, name: &str) -> Option<Value> {
+        self.globals
+            .get(&(module.to_string(), name.to_string()))
+            .copied()
+    }
+}
+
+impl fmt::Debug for Imports {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Imports")
+            .field("funcs", &self.funcs.keys().collect::<Vec<_>>())
+            .field("globals", &self.globals.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Default maximum call depth before a stack-overflow trap.
+pub const DEFAULT_CALL_DEPTH_LIMIT: usize = 2048;
+
+/// The mutable runtime state of an instantiated module, shared by all
+/// engine executors.
+pub struct Runtime {
+    /// Linear memory (at most one in the MVP).
+    pub memory: Option<LinearMemory>,
+    /// Raw global values (imports first, then module-defined).
+    pub globals: Vec<u64>,
+    /// Types of the globals, parallel to `globals`.
+    pub global_types: Vec<ValType>,
+    /// Table 0: function indices.
+    pub table: Vec<Option<u32>>,
+    /// Imported host functions, indexed by imported-function position.
+    pub host_funcs: Vec<(FuncType, HostFn)>,
+    /// Host state handed to host functions.
+    pub host_data: Box<dyn Any>,
+    /// Maximum call depth.
+    pub call_depth_limit: usize,
+    /// High-water mark of the value stack (slots), for memory accounting.
+    pub peak_value_stack: usize,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("memory_pages", &self.memory.as_ref().map(|m| m.size_pages()))
+            .field("globals", &self.globals.len())
+            .field("table", &self.table.len())
+            .field("host_funcs", &self.host_funcs.len())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Builds runtime state for `module` using `imports`, performing all
+    /// instantiation-time work except running the start function: memory
+    /// and table allocation, global initialization, and active segment
+    /// copying.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] for missing/mismatched imports, or a
+    /// [`Trap`]-equivalent link error if an active segment is out of
+    /// bounds.
+    pub fn instantiate(
+        module: &Module,
+        imports: &Imports,
+        host_data: Box<dyn Any>,
+    ) -> Result<Runtime, LinkError> {
+        let mut host_funcs = Vec::new();
+        let mut imported_globals: Vec<(ValType, u64)> = Vec::new();
+        for imp in &module.imports {
+            match &imp.kind {
+                ImportKind::Func(type_idx) => {
+                    let want = module
+                        .types
+                        .get(*type_idx as usize)
+                        .ok_or_else(|| LinkError::new("import type index out of bounds"))?;
+                    let (ty, f) = imports.lookup_func(&imp.module, &imp.name).ok_or_else(|| {
+                        LinkError::new(format!(
+                            "missing function import {}.{}",
+                            imp.module, imp.name
+                        ))
+                    })?;
+                    if ty != want {
+                        return Err(LinkError::new(format!(
+                            "function import {}.{} type mismatch: want {want}, have {ty}",
+                            imp.module, imp.name
+                        )));
+                    }
+                    host_funcs.push((ty.clone(), f.clone()));
+                }
+                ImportKind::Global(g) => {
+                    let v = imports.lookup_global(&imp.module, &imp.name).ok_or_else(|| {
+                        LinkError::new(format!(
+                            "missing global import {}.{}",
+                            imp.module, imp.name
+                        ))
+                    })?;
+                    if v.ty() != g.val_type {
+                        return Err(LinkError::new(format!(
+                            "global import {}.{} type mismatch",
+                            imp.module, imp.name
+                        )));
+                    }
+                    imported_globals.push((g.val_type, v.to_bits()));
+                }
+                ImportKind::Memory(_) | ImportKind::Table(_) => {
+                    return Err(LinkError::new(
+                        "memory/table imports are not supported by these engines",
+                    ));
+                }
+            }
+        }
+
+        let memory = module.memory_type(0).map(|m| LinearMemory::new(m.limits));
+        let mut memory = memory;
+
+        // Globals: imported first, then module-defined.
+        let mut globals: Vec<u64> = imported_globals.iter().map(|(_, v)| *v).collect();
+        let mut global_types: Vec<ValType> = imported_globals.iter().map(|(t, _)| *t).collect();
+        for g in &module.globals {
+            let bits = eval_const(&g.init, &imported_globals);
+            globals.push(bits);
+            global_types.push(g.ty.val_type);
+        }
+
+        // Table + element segments.
+        let mut table: Vec<Option<u32>> = match module.table_type(0) {
+            Some(t) => vec![None; t.limits.min as usize],
+            None => Vec::new(),
+        };
+        for seg in &module.elems {
+            let off = eval_const(&seg.offset, &imported_globals) as u32 as usize;
+            if off + seg.funcs.len() > table.len() {
+                return Err(LinkError::new("element segment out of bounds"));
+            }
+            for (i, f) in seg.funcs.iter().enumerate() {
+                table[off + i] = Some(*f);
+            }
+        }
+
+        // Data segments.
+        for seg in &module.data {
+            let off = eval_const(&seg.offset, &imported_globals) as u32;
+            let mem = memory
+                .as_mut()
+                .ok_or_else(|| LinkError::new("data segment without memory"))?;
+            mem.write_slice(off, &seg.bytes)
+                .map_err(|_| LinkError::new("data segment out of bounds"))?;
+        }
+
+        Ok(Runtime {
+            memory,
+            globals,
+            global_types,
+            table,
+            host_funcs,
+            host_data,
+            call_depth_limit: DEFAULT_CALL_DEPTH_LIMIT,
+            peak_value_stack: 0,
+        })
+    }
+
+    /// Calls imported host function `idx` with raw argument slots, returning
+    /// a raw result slot (0 for void functions).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any trap raised by the host function.
+    pub fn call_host(&mut self, idx: u32, args: &[u64]) -> Result<u64, Trap> {
+        let (ty, f) = self.host_funcs[idx as usize].clone();
+        let vals: Vec<Value> = ty
+            .params
+            .iter()
+            .zip(args)
+            .map(|(t, bits)| Value::from_bits(*t, *bits))
+            .collect();
+        let mut ctx = HostCtx {
+            memory: self.memory.as_mut(),
+            data: &mut *self.host_data,
+        };
+        let result = f(&mut ctx, &vals)?;
+        match (result, ty.results.first()) {
+            (Some(v), Some(want)) if v.ty() == *want => Ok(v.to_bits()),
+            (None, None) => Ok(0),
+            _ => Err(Trap::Host(
+                "host function returned wrong result type".to_string(),
+            )),
+        }
+    }
+
+    /// Resident guest memory in bytes (touched pages, the MRSS analogue).
+    pub fn peak_linear_memory(&self) -> usize {
+        self.memory.as_ref().map(|m| m.resident_bytes()).unwrap_or(0)
+    }
+}
+
+fn eval_const(expr: &ConstExpr, imported_globals: &[(ValType, u64)]) -> u64 {
+    match *expr {
+        ConstExpr::I32(v) => v as u32 as u64,
+        ConstExpr::I64(v) => v as u64,
+        ConstExpr::F32(bits) => bits as u64,
+        ConstExpr::F64(bits) => bits,
+        ConstExpr::GlobalGet(i) => imported_globals[i as usize].1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasm_core::builder::ModuleBuilder;
+    use wasm_core::types::Limits;
+
+    #[test]
+    fn missing_import_is_link_error() {
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "f", FuncType::new(&[], &[]));
+        let m = b.build();
+        let err = Runtime::instantiate(&m, &Imports::new(), Box::new(())).unwrap_err();
+        assert!(err.message.contains("missing function import"));
+    }
+
+    #[test]
+    fn import_type_mismatch_is_link_error() {
+        let mut b = ModuleBuilder::new();
+        b.import_func("env", "f", FuncType::new(&[ValType::I32], &[]));
+        let m = b.build();
+        let mut imports = Imports::new();
+        imports.func("env", "f", FuncType::new(&[], &[]), |_, _| Ok(None));
+        assert!(Runtime::instantiate(&m, &imports, Box::new(())).is_err());
+    }
+
+    #[test]
+    fn data_segments_initialize_memory() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.data(8, vec![1, 2, 3, 4]);
+        let m = b.build();
+        let rt = Runtime::instantiate(&m, &Imports::new(), Box::new(())).unwrap();
+        let mem = rt.memory.as_ref().unwrap();
+        assert_eq!(mem.load_i32(8, 0).unwrap(), i32::from_le_bytes([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn out_of_bounds_data_segment_fails() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        b.data(65534, vec![1, 2, 3, 4]);
+        let m = b.build();
+        assert!(Runtime::instantiate(&m, &Imports::new(), Box::new(())).is_err());
+    }
+
+    #[test]
+    fn elem_segments_fill_table() {
+        let mut b = ModuleBuilder::new();
+        b.table(4, None);
+        let f = b.begin_func(FuncType::new(&[], &[]));
+        b.finish_func();
+        b.elems(1, vec![f]);
+        let m = b.build();
+        let rt = Runtime::instantiate(&m, &Imports::new(), Box::new(())).unwrap();
+        assert_eq!(rt.table, vec![None, Some(0), None, None]);
+    }
+
+    #[test]
+    fn host_function_round_trip() {
+        let mut b = ModuleBuilder::new();
+        b.import_func("m", "double", FuncType::new(&[ValType::I32], &[ValType::I32]));
+        let module = b.build();
+        let mut imports = Imports::new();
+        imports.func(
+            "m",
+            "double",
+            FuncType::new(&[ValType::I32], &[ValType::I32]),
+            |_, args| Ok(Some(Value::I32(args[0].unwrap_i32() * 2))),
+        );
+        let mut rt = Runtime::instantiate(&module, &imports, Box::new(())).unwrap();
+        assert_eq!(rt.call_host(0, &[21]).unwrap(), 42);
+    }
+
+    #[test]
+    fn imported_global_feeds_initializer() {
+        use wasm_core::module::{Global, Import};
+        use wasm_core::types::{GlobalType, Mutability};
+        let mut m = Module::new();
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "base".into(),
+            kind: ImportKind::Global(GlobalType {
+                val_type: ValType::I32,
+                mutability: Mutability::Const,
+            }),
+        });
+        m.globals.push(Global {
+            ty: GlobalType {
+                val_type: ValType::I32,
+                mutability: Mutability::Var,
+            },
+            init: ConstExpr::GlobalGet(0),
+        });
+        let mut imports = Imports::new();
+        imports.global("env", "base", Value::I32(77));
+        let rt = Runtime::instantiate(&m, &imports, Box::new(())).unwrap();
+        assert_eq!(rt.globals, vec![77, 77]);
+        let _ = Limits::at_least(1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for `LinearMemory`: reads and writes must agree with a
+//! flat byte-array reference model, bounds checks must be exact, and
+//! `grow` must respect limits and preserve contents.
+
+use engines::memory::LinearMemory;
+use proptest::prelude::*;
+use wasm_core::types::Limits;
+
+const PAGE: u64 = 65536;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u32, u32, [u8; 8]),
+    Read(u32, u32),
+    Grow(u32),
+}
+
+fn op_strategy(max_pages: u32) -> impl Strategy<Value = Op> {
+    let span = max_pages as u64 * PAGE;
+    prop_oneof![
+        4 => (0..span as u32, 0u32..16, any::<[u8; 8]>()).prop_map(|(a, o, d)| Op::Write(a, o, d)),
+        4 => (0..span as u32, 0u32..16).prop_map(|(a, o)| Op::Read(a, o)),
+        1 => (0u32..3).prop_map(Op::Grow),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every read/write/grow agrees with a plain `Vec<u8>` model, and every
+    /// out-of-bounds access traps in both.
+    #[test]
+    fn memory_matches_flat_model(
+        ops in proptest::collection::vec(op_strategy(4), 1..200)
+    ) {
+        let max = 3u32;
+        let mut mem = LinearMemory::new(Limits { min: 1, max: Some(max) });
+        let mut model: Vec<u8> = vec![0; PAGE as usize];
+
+        for op in ops {
+            match op {
+                Op::Write(addr, offset, data) => {
+                    let ea = addr as u64 + offset as u64;
+                    let real = mem.write::<8>(addr, offset, data);
+                    if ea + 8 <= model.len() as u64 {
+                        prop_assert!(real.is_ok(), "in-bounds write trapped at {ea}");
+                        model[ea as usize..ea as usize + 8].copy_from_slice(&data);
+                    } else {
+                        prop_assert!(real.is_err(), "oob write succeeded at {ea}");
+                    }
+                }
+                Op::Read(addr, offset) => {
+                    let ea = addr as u64 + offset as u64;
+                    let real = mem.read::<8>(addr, offset);
+                    if ea + 8 <= model.len() as u64 {
+                        let expect: [u8; 8] =
+                            model[ea as usize..ea as usize + 8].try_into().unwrap();
+                        prop_assert_eq!(real.expect("in-bounds read"), expect);
+                    } else {
+                        prop_assert!(real.is_err(), "oob read succeeded at {ea}");
+                    }
+                }
+                Op::Grow(delta) => {
+                    let old_pages = (model.len() as u64 / PAGE) as u32;
+                    let got = mem.grow(delta);
+                    if old_pages + delta <= max {
+                        prop_assert_eq!(got, old_pages as i32);
+                        model.resize(((old_pages + delta) as u64 * PAGE) as usize, 0);
+                    } else {
+                        prop_assert_eq!(got, -1, "grow past max succeeded");
+                    }
+                }
+            }
+            prop_assert_eq!(mem.size_bytes(), model.len());
+        }
+
+        // Full-content agreement at the end.
+        let all = mem.slice(0, model.len() as u32).expect("full slice");
+        prop_assert_eq!(all, &model[..]);
+        // Peak covers the current size; resident never exceeds peak.
+        prop_assert!(mem.peak_bytes() >= mem.size_bytes());
+        prop_assert!(mem.resident_bytes() <= mem.peak_bytes());
+    }
+
+    /// Typed loads round-trip typed stores at arbitrary aligned and
+    /// unaligned addresses.
+    #[test]
+    fn typed_round_trip(addr in 0u32..(PAGE as u32 - 8), v32 in any::<i32>(), v64 in any::<i64>()) {
+        let mut mem = LinearMemory::new(Limits { min: 1, max: Some(1) });
+        mem.store_i32(addr, 0, v32).unwrap();
+        prop_assert_eq!(mem.load_i32(addr, 0).unwrap(), v32);
+        mem.store_i64(addr, 0, v64).unwrap();
+        prop_assert_eq!(mem.load_i64(addr, 0).unwrap(), v64);
+        // Little-endian byte order, as wasm requires.
+        let lo = mem.read::<1>(addr, 0).unwrap()[0];
+        prop_assert_eq!(lo, v64 as u8);
+    }
+
+    /// `grow` preserves existing contents verbatim.
+    #[test]
+    fn grow_preserves_contents(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let mut mem = LinearMemory::new(Limits { min: 1, max: Some(4) });
+        mem.write_slice(100, &data).unwrap();
+        assert_eq!(mem.grow(2), 1);
+        let back = mem.slice(100, data.len() as u32).unwrap();
+        prop_assert_eq!(back, &data[..]);
+        // The newly-grown region reads as zeros.
+        let fresh = mem.slice(PAGE as u32, 64).unwrap();
+        prop_assert!(fresh.iter().all(|b| *b == 0));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the shared numeric kernel: WebAssembly arithmetic
+//! semantics checked against independent Rust reference computations,
+//! plus agreement between the direct `apply_*` entry points and the
+//! resolved function pointers used by the compiled tiers.
+
+use engines::numeric::{apply_binary, apply_unary, binary_fn, unary_fn};
+use proptest::prelude::*;
+use wasm_core::instr::Instr;
+
+fn b32(op: Instr, a: i32, b: i32) -> Result<u64, engines::Trap> {
+    apply_binary(op, a as u32 as u64, b as u32 as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// i32 add/sub/mul wrap; the result is zero-extended into the slot.
+    #[test]
+    fn i32_arith_wraps(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(b32(Instr::I32Add, a, b).unwrap(), a.wrapping_add(b) as u32 as u64);
+        prop_assert_eq!(b32(Instr::I32Sub, a, b).unwrap(), a.wrapping_sub(b) as u32 as u64);
+        prop_assert_eq!(b32(Instr::I32Mul, a, b).unwrap(), a.wrapping_mul(b) as u32 as u64);
+    }
+
+    /// Signed division traps exactly on divide-by-zero and MIN / -1;
+    /// everywhere else it matches Rust's truncating division.
+    #[test]
+    fn i32_div_s_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let got = b32(Instr::I32DivS, a, b);
+        if b == 0 || (a == i32::MIN && b == -1) {
+            prop_assert!(got.is_err());
+        } else {
+            prop_assert_eq!(got.unwrap(), (a / b) as u32 as u64);
+        }
+    }
+
+    /// rem_s traps only on zero; MIN % -1 is defined as 0 in wasm.
+    #[test]
+    fn i32_rem_s_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let got = b32(Instr::I32RemS, a, b);
+        if b == 0 {
+            prop_assert!(got.is_err());
+        } else if a == i32::MIN && b == -1 {
+            prop_assert_eq!(got.unwrap(), 0);
+        } else {
+            prop_assert_eq!(got.unwrap(), (a % b) as u32 as u64);
+        }
+    }
+
+    /// Shift and rotate counts are taken modulo the bit width.
+    #[test]
+    fn i32_shifts_mask_count(a in any::<i32>(), s in any::<i32>()) {
+        prop_assert_eq!(b32(Instr::I32Shl, a, s).unwrap(), a.wrapping_shl(s as u32) as u32 as u64);
+        prop_assert_eq!(b32(Instr::I32ShrS, a, s).unwrap(), a.wrapping_shr(s as u32) as u32 as u64);
+        prop_assert_eq!(
+            b32(Instr::I32ShrU, a, s).unwrap(),
+            ((a as u32).wrapping_shr(s as u32)) as u64
+        );
+        prop_assert_eq!(
+            b32(Instr::I32Rotl, a, s).unwrap(),
+            (a as u32).rotate_left(s as u32 & 31) as u64
+        );
+    }
+
+    /// i64 division mirrors the i32 rules at 64 bits.
+    #[test]
+    fn i64_div_s_semantics(a in any::<i64>(), b in any::<i64>()) {
+        let got = apply_binary(Instr::I64DivS, a as u64, b as u64);
+        if b == 0 || (a == i64::MIN && b == -1) {
+            prop_assert!(got.is_err());
+        } else {
+            prop_assert_eq!(got.unwrap(), (a / b) as u64);
+        }
+    }
+
+    /// f64 min/max propagate NaN and order -0.0 below +0.0.
+    #[test]
+    fn f64_min_max(a in any::<f64>(), b in any::<f64>()) {
+        let min = f64::from_bits(
+            apply_binary(Instr::F64Min, a.to_bits(), b.to_bits()).unwrap() );
+        let max = f64::from_bits(
+            apply_binary(Instr::F64Max, a.to_bits(), b.to_bits()).unwrap() );
+        if a.is_nan() || b.is_nan() {
+            prop_assert!(min.is_nan());
+            prop_assert!(max.is_nan());
+        } else if a == 0.0 && b == 0.0 {
+            // min picks a negative zero if present; max a positive one.
+            prop_assert_eq!(min.is_sign_negative(), a.is_sign_negative() || b.is_sign_negative());
+            prop_assert_eq!(max.is_sign_positive(), a.is_sign_positive() || b.is_sign_positive());
+        } else {
+            prop_assert_eq!(min, a.min(b));
+            prop_assert_eq!(max, a.max(b));
+        }
+    }
+
+    /// f64.nearest rounds half-to-even, unlike Rust's `round`.
+    #[test]
+    fn f64_nearest_half_even(i in -1000i64..1000) {
+        let x = i as f64 + 0.5;
+        let got = f64::from_bits(apply_unary(Instr::F64Nearest, x.to_bits()).unwrap());
+        // Round-half-even: i.5 rounds to the even of {i, i+1}.
+        let even = if i % 2 == 0 { i as f64 } else { (i + 1) as f64 };
+        prop_assert_eq!(got, even);
+    }
+
+    /// i32.trunc_f64_s traps outside the representable range and
+    /// truncates toward zero inside it.
+    #[test]
+    fn trunc_traps_out_of_range(x in any::<f64>()) {
+        let got = apply_unary(Instr::I32TruncF64S, x.to_bits());
+        if x.is_nan() || x <= -2147483649.0 || x >= 2147483648.0 {
+            prop_assert!(got.is_err());
+        } else {
+            prop_assert_eq!(got.unwrap(), (x.trunc() as i32) as u32 as u64);
+        }
+    }
+
+    /// clz/ctz/popcnt agree with the hardware intrinsics.
+    #[test]
+    fn bit_counts(a in any::<i32>()) {
+        let v = a as u32 as u64;
+        prop_assert_eq!(apply_unary(Instr::I32Clz, v).unwrap(), (a as u32).leading_zeros() as u64);
+        prop_assert_eq!(apply_unary(Instr::I32Ctz, v).unwrap(), (a as u32).trailing_zeros() as u64);
+        prop_assert_eq!(apply_unary(Instr::I32Popcnt, v).unwrap(), (a as u32).count_ones() as u64);
+    }
+
+    /// The resolved function pointers (compiled-tier fast path) return the
+    /// same bits as the direct `apply_*` dispatch for every operator.
+    #[test]
+    fn resolved_fns_match_dispatch(a in any::<u64>(), b in any::<u64>()) {
+        use Instr::*;
+        for op in [
+            I32Add, I32Sub, I32Mul, I32DivS, I32DivU, I32RemS, I32RemU, I32And, I32Or,
+            I32Xor, I32Shl, I32ShrS, I32ShrU, I32Rotl, I32Rotr, I32Eq, I32LtS, I32GtU,
+            I64Add, I64Mul, I64DivS, I64Shl, I64LtS, F32Add, F32Mul, F32Div, F32Lt,
+            F64Add, F64Sub, F64Mul, F64Div, F64Min, F64Max, F64Copysign, F64Eq, F64Le,
+        ] {
+            let direct = apply_binary(op, a, b);
+            let resolved = binary_fn(op)(a, b);
+            match (direct, resolved) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "mismatch on {:?}", op),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "trap disagreement on {:?}", op),
+            }
+        }
+        for op in [
+            I32Clz, I32Ctz, I32Popcnt, I32Eqz, I64Eqz, I64Clz, I32WrapI64,
+            I64ExtendI32S, I64ExtendI32U, F64Abs, F64Neg, F64Sqrt, F64Ceil, F64Floor,
+            F64Trunc, F64Nearest, F32DemoteF64, F64PromoteF32, I32TruncF64S,
+            F64ConvertI32S, F64ReinterpretI64, I64ReinterpretF64,
+        ] {
+            let direct = apply_unary(op, a);
+            let resolved = unary_fn(op)(a);
+            match (direct, resolved) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "mismatch on {:?}", op),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "trap disagreement on {:?}", op),
+            }
+        }
+    }
+}

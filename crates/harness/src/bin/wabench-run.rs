@@ -1,0 +1,91 @@
+//! `wabench-run`: execute a `.wasm` file on a chosen engine with the
+//! in-memory WASI host — the reproduction's standalone-runtime CLI.
+//!
+//! ```text
+//! wabench-run module.wasm [--engine wasmtime|wavm|wasmer|wasm3|wamr] [--invoke NAME] [--stdin FILE]
+//! ```
+
+use engines::{Backend, Engine, EngineKind};
+use wasi_rt::WasiCtx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut kind = EngineKind::Wasmtime;
+    let mut entry = "_start".to_string();
+    let mut stdin_file: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--engine" => {
+                i += 1;
+                kind = match args[i].as_str() {
+                    "wasmtime" => EngineKind::Wasmtime,
+                    "wavm" => EngineKind::Wavm,
+                    "wasmer" => EngineKind::Wasmer(Backend::Cranelift),
+                    "wasmer-singlepass" => EngineKind::Wasmer(Backend::Singlepass),
+                    "wasmer-llvm" => EngineKind::Wasmer(Backend::Llvm),
+                    "wasm3" => EngineKind::Wasm3,
+                    "wamr" => EngineKind::Wamr,
+                    other => {
+                        eprintln!("unknown engine {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--invoke" => {
+                i += 1;
+                entry = args[i].clone();
+            }
+            "--stdin" => {
+                i += 1;
+                stdin_file = Some(args[i].clone());
+            }
+            other => file = Some(other.to_string()),
+        }
+        i += 1;
+    }
+    let Some(file) = file else {
+        eprintln!("usage: wabench-run module.wasm [--engine E] [--invoke NAME] [--stdin FILE]");
+        std::process::exit(2);
+    };
+    let bytes = std::fs::read(&file).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(1);
+    });
+    let engine = Engine::new(kind);
+    let module = engine.compile(&bytes).unwrap_or_else(|e| {
+        eprintln!("{file}: {e}");
+        std::process::exit(1);
+    });
+    let mut ctx = WasiCtx::new();
+    if let Some(path) = stdin_file {
+        let content = std::fs::read(&path).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        });
+        ctx.push_stdin(&content);
+    }
+    let mut instance = module
+        .instantiate(&wasi_rt::imports(), Box::new(ctx))
+        .unwrap_or_else(|e| {
+            eprintln!("instantiate: {e}");
+            std::process::exit(1);
+        });
+    let exit_code = match instance.invoke(&entry, &[]) {
+        Ok(_) => 0,
+        Err(engines::Trap::Exit(code)) => code,
+        Err(t) => {
+            eprintln!("trap: {t}");
+            101
+        }
+    };
+    let ctx = instance
+        .host_data()
+        .downcast_ref::<WasiCtx>()
+        .expect("wasi host data");
+    use std::io::Write as _;
+    std::io::stdout().write_all(ctx.stdout()).expect("stdout");
+    std::io::stderr().write_all(ctx.stderr()).expect("stderr");
+    std::process::exit(exit_code);
+}

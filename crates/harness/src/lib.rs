@@ -1,0 +1,60 @@
+//! # harness — experiment drivers
+//!
+//! Regenerates every table and figure of the paper's evaluation from the
+//! systems built in this workspace. Each `experiments::fig*` function runs
+//! the measurement and returns [`report::Report`]s; the `wabench-harness`
+//! binary renders them and (with `all`) writes `EXPERIMENTS.md`.
+//!
+//! Absolute numbers differ from the paper's Xeon testbed (our substrate is
+//! a simulator), but each report carries the paper's reported values in a
+//! note so the *shape* can be compared directly.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod stats;
+
+use report::Report;
+use runner::Scale;
+
+/// An experiment driver: runs at a scale, returns the reports it built.
+pub type ExperimentFn = fn(Scale) -> Vec<Report>;
+
+/// All experiment entry points, in paper order, with ids used by the CLI.
+pub fn experiment_list() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("fig1", experiments::fig1 as ExperimentFn),
+        ("fig2", experiments::fig2),
+        ("fig3", experiments::fig3_table4),
+        ("fig4", experiments::fig4),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8_table5),
+        ("fig9", experiments::fig9_fig10),
+    ]
+}
+
+/// Whether an experiment uses the architectural simulator (these default
+/// to a smaller scale; full workloads would take hours under simulation).
+pub fn is_simulated(id: &str) -> bool {
+    matches!(id, "fig6" | "fig7" | "fig8" | "fig9")
+}
+
+/// Aliases accepted by the CLI for individual tables/figures.
+pub fn resolve_alias(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "fig1" | "figure1" => "fig1",
+        "fig2" | "fig11" => "fig2",
+        "fig3" | "fig12" | "table4" => "fig3",
+        "fig4" => "fig4",
+        "fig5" | "fig13" => "fig5",
+        "fig6" | "fig14" => "fig6",
+        "fig7" => "fig7",
+        "fig8" | "table5" => "fig8",
+        "fig9" | "fig10" => "fig9",
+        _ => return None,
+    })
+}

@@ -1,0 +1,128 @@
+//! Rendering experiment results as aligned Markdown tables, with the
+//! paper's reported values alongside for comparison.
+
+use std::fmt::Write as _;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Identifier, e.g. `"Figure 1"`.
+    pub id: String,
+    /// Title as in the paper.
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-text notes: paper-reported values and interpretation.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, header: Vec<String>) -> Report {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            header,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the report as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}: {}\n", self.id, self.title);
+        let widths: Vec<usize> = (0..self.header.len())
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| r.get(c).map(|s| s.len()).unwrap_or(0))
+                    .chain(std::iter::once(self.header[c].len()))
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("{:width$}", s, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(r));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n> {n}");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a ratio like the paper (`1.59x`).
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Formats seconds.
+pub fn secs(v: f64) -> String {
+    if v < 0.001 {
+        format!("{:.1}us", v * 1e6)
+    } else if v < 1.0 {
+        format!("{:.2}ms", v * 1e3)
+    } else {
+        format!("{v:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut r = Report::new(
+            "Figure 0",
+            "demo",
+            vec!["bench".into(), "value".into()],
+        );
+        r.row(vec!["alpha".into(), "1.00x".into()]);
+        r.row(vec!["b".into(), "10.00x".into()]);
+        r.note("paper reports 2.00x");
+        let md = r.to_markdown();
+        assert!(md.contains("### Figure 0: demo"));
+        assert!(md.contains("| alpha | 1.00x  |"));
+        assert!(md.contains("> paper reports"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ratio(1.589), "1.59x");
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(secs(0.5), "500.00ms");
+        assert_eq!(secs(2.0), "2.00s");
+        assert_eq!(secs(0.0000005), "0.5us");
+    }
+}

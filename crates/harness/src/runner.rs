@@ -1,0 +1,255 @@
+//! Measurement machinery shared by all experiments.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use archsim::{ArchSim, Counters};
+use engines::account::MemoryReport;
+use engines::{Engine, EngineKind};
+use suite::Benchmark;
+use wacc::OptLevel;
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+/// Which workload scale an experiment runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny (CI-friendly smoke runs).
+    Test,
+    /// Medium — the default for the harness.
+    Profile,
+    /// Large — closest to the paper's full workloads.
+    Timing,
+}
+
+impl Scale {
+    /// The scale argument for a benchmark.
+    pub fn arg(self, b: &Benchmark) -> i32 {
+        match self {
+            Scale::Test => b.sizes.test,
+            Scale::Profile => b.sizes.profile,
+            Scale::Timing => b.sizes.timing,
+        }
+    }
+}
+
+/// Compiled-bytes cache: compiling 50 benchmarks once per (name, level).
+type BytesCache = HashMap<(&'static str, OptLevel), Vec<u8>>;
+static CACHE: Mutex<Option<BytesCache>> = Mutex::new(None);
+
+/// Compiles a benchmark (cached).
+pub fn wasm_bytes(b: &Benchmark, level: OptLevel) -> Vec<u8> {
+    let mut guard = CACHE.lock().expect("cache lock");
+    let cache = guard.get_or_insert_with(HashMap::new);
+    cache
+        .entry((b.name, level))
+        .or_insert_with(|| b.compile(level).expect("registered benchmarks compile"))
+        .clone()
+}
+
+/// A timed engine execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecTime {
+    /// Seconds spent in decode+validate+compile/translate.
+    pub compile_s: f64,
+    /// Seconds spent executing (instantiate + run).
+    pub exec_s: f64,
+}
+
+impl ExecTime {
+    /// Total runtime seconds, the paper's "execution time".
+    pub fn total(&self) -> f64 {
+        self.compile_s + self.exec_s
+    }
+}
+
+/// Runs a benchmark on an engine, returning wall-clock components and
+/// verifying the checksum.
+///
+/// # Panics
+///
+/// Panics if the engine produces a wrong checksum (measurement results
+/// would be meaningless).
+pub fn run_engine(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> ExecTime {
+    let engine = Engine::new(kind);
+    let t0 = std::time::Instant::now();
+    let compiled = engine.compile(bytes).expect("compile");
+    let compile_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    let out = inst.invoke("run", &[Value::I32(n)]).expect("run");
+    let exec_s = t1.elapsed().as_secs_f64();
+    assert_eq!(out, Some(Value::I32(expected)), "{kind} checksum");
+    ExecTime { compile_s, exec_s }
+}
+
+/// Runs a benchmark on an engine with AOT: precompile once (timed
+/// separately), then load + execute.
+pub fn run_engine_aot(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> (f64, ExecTime) {
+    let engine = Engine::new(kind);
+    let t0 = std::time::Instant::now();
+    let artifact = engine.precompile(bytes).expect("precompile");
+    let aot_compile_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let compiled = engine.load_artifact(&artifact).expect("load artifact");
+    let load_s = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    let out = inst.invoke("run", &[Value::I32(n)]).expect("run");
+    let exec_s = t2.elapsed().as_secs_f64();
+    assert_eq!(out, Some(Value::I32(expected)), "{kind} AOT checksum");
+    (
+        aot_compile_s,
+        ExecTime {
+            compile_s: load_s,
+            exec_s,
+        },
+    )
+}
+
+/// Times the native implementation.
+pub fn run_native(b: &Benchmark, n: i32) -> f64 {
+    let t0 = std::time::Instant::now();
+    let v = (b.native)(n);
+    let dt = t0.elapsed().as_secs_f64();
+    std::hint::black_box(v);
+    dt
+}
+
+/// Cache of profiled counters: the four architectural experiments reuse
+/// the same runs.
+#[allow(clippy::type_complexity)]
+static PROFILE_CACHE: Mutex<Option<HashMap<(String, Vec<u8>, i32), Counters>>> =
+    Mutex::new(None);
+
+fn profile_cache_get(key: &(String, Vec<u8>, i32)) -> Option<Counters> {
+    PROFILE_CACHE
+        .lock()
+        .expect("profile cache lock")
+        .as_ref()
+        .and_then(|m| m.get(key).copied())
+}
+
+fn profile_cache_put(key: (String, Vec<u8>, i32), c: Counters) {
+    PROFILE_CACHE
+        .lock()
+        .expect("profile cache lock")
+        .get_or_insert_with(HashMap::new)
+        .insert(key, c);
+}
+
+/// Profiled run: compile (with cost replay for compiling engines) and
+/// execute under the architectural simulator. Results are cached; the
+/// four architectural experiments share the same runs.
+pub fn run_profiled(kind: EngineKind, bytes: &[u8], n: i32) -> Counters {
+    let key = (kind.name().to_string(), bytes.to_vec(), n);
+    if let Some(c) = profile_cache_get(&key) {
+        return c;
+    }
+    let mut sim = ArchSim::new();
+    let engine = Engine::new(kind);
+    let compiled = engine.compile_profiled(bytes, &mut sim).expect("compile");
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    inst.invoke_profiled("run", &[Value::I32(n)], &mut sim)
+        .expect("run");
+    let c = sim.counters();
+    profile_cache_put(key, c);
+    c
+}
+
+/// The native baseline for architectural experiments: best-code (LLVM
+/// tier) execution with *no* compilation events — the steady-state
+/// instruction stream a native binary would retire.
+pub fn run_native_profiled(bytes: &[u8], n: i32) -> Counters {
+    let key = ("native".to_string(), bytes.to_vec(), n);
+    if let Some(c) = profile_cache_get(&key) {
+        return c;
+    }
+    let mut sim = ArchSim::new();
+    let engine = Engine::new(EngineKind::Wavm);
+    let compiled = engine.compile(bytes).expect("compile");
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    inst.invoke_profiled("run", &[Value::I32(n)], &mut sim)
+        .expect("run");
+    let c = sim.counters();
+    profile_cache_put(key, c);
+    c
+}
+
+/// Runs and reports the instance's memory breakdown.
+pub fn run_memory(kind: EngineKind, bytes: &[u8], n: i32) -> MemoryReport {
+    let engine = Engine::new(kind);
+    let compiled = engine.compile(bytes).expect("compile");
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    inst.invoke("run", &[Value::I32(n)]).expect("run");
+    inst.memory_report()
+}
+
+/// Native process baseline RSS for MRSS normalization (code + libc +
+/// allocator of a small static binary).
+pub const NATIVE_BASE_RSS: usize = 1 << 21; // 2 MiB
+
+/// The paper's engine presentation order.
+pub fn engines() -> [EngineKind; 5] {
+    EngineKind::all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crc() -> &'static Benchmark {
+        suite::by_name("crc32").expect("registered")
+    }
+
+    #[test]
+    fn engine_run_verifies_checksum() {
+        let b = crc();
+        let n = b.sizes.test;
+        let expected = (b.native)(n);
+        let bytes = wasm_bytes(b, OptLevel::O2);
+        let t = run_engine(EngineKind::Wasmtime, &bytes, n, expected);
+        assert!(t.compile_s > 0.0 && t.exec_s > 0.0);
+    }
+
+    #[test]
+    fn aot_split_reported() {
+        let b = crc();
+        let n = b.sizes.test;
+        let expected = (b.native)(n);
+        let bytes = wasm_bytes(b, OptLevel::O2);
+        let (aot_s, t) = run_engine_aot(EngineKind::Wavm, &bytes, n, expected);
+        assert!(aot_s > 0.0);
+        assert!(t.exec_s > 0.0);
+    }
+
+    #[test]
+    fn profiled_counters_nonzero() {
+        let b = crc();
+        let bytes = wasm_bytes(b, OptLevel::O2);
+        let c = run_profiled(EngineKind::Wamr, &bytes, b.sizes.test);
+        assert!(c.instructions > 0);
+        assert!(c.cycles > 0);
+        let native = run_native_profiled(&bytes, b.sizes.test);
+        assert!(native.instructions < c.instructions);
+    }
+
+    #[test]
+    fn memory_report_nonzero() {
+        let b = crc();
+        let bytes = wasm_bytes(b, OptLevel::O2);
+        let r = run_memory(EngineKind::Wasm3, &bytes, b.sizes.test);
+        assert!(r.linear_memory_peak > 0);
+        assert!(r.total() > r.linear_memory_peak);
+    }
+}

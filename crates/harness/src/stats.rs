@@ -1,0 +1,82 @@
+//! Statistics helpers used when aggregating benchmark results.
+
+/// Geometric mean of strictly positive values (the paper aggregates
+/// normalized results this way).
+///
+/// Returns 0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Minimum (0 for empty).
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min).min(f64::MAX)
+}
+
+/// Maximum (0 for empty).
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(0.0, f64::max)
+}
+
+/// Measures `f`'s wall-clock seconds, repeating until the total exceeds
+/// `min_total` seconds (or `max_iters`), and returning the minimum
+/// single-iteration time.
+pub fn time_secs(mut f: impl FnMut(), min_total: f64, max_iters: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..max_iters {
+        let t0 = std::time::Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+        if total >= min_total {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let v = [1.0, 2.0, 9.0];
+        assert!((mean(&v) - 4.0).abs() < 1e-12);
+        assert_eq!(min(&v), 1.0);
+        assert_eq!(max(&v), 9.0);
+    }
+
+    #[test]
+    fn timing_returns_positive() {
+        let t = time_secs(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            0.0,
+            1,
+        );
+        assert!(t >= 0.0);
+    }
+}

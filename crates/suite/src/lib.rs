@@ -1,0 +1,306 @@
+//! # suite — WABench
+//!
+//! The 50-program benchmark suite of the paper (Table 2): 4 JetStream2
+//! programs, 9 MiBench programs, all 30 PolyBench kernels, and 7 whole
+//! applications. Every benchmark exists twice:
+//!
+//! - a **WaCC** source (compiled to Wasm + WASI at any `-O` level), and
+//! - a **native Rust** implementation mirroring it operation-for-operation.
+//!
+//! Both produce the *same i32 checksum* for the same scale argument, which
+//! the test suite verifies differentially across all five engines.
+//!
+//! ## Conventions
+//!
+//! - Entry point: `export fn run(n: i32) -> i32` — `n` scales the
+//!   workload, the result is a checksum.
+//! - Shared helpers ([`COMMON`]): a deterministic xorshift32 PRNG
+//!   (`srand`/`rand32`/`randn`), FNV-style checksum mixing (`mix`,
+//!   `fmix`), and scratch space at addresses `64..128`.
+//! - Benchmark data lives at addresses ≥ 64 KiB.
+//!
+//! ```
+//! let b = suite::by_name("crc32").expect("registered");
+//! let bytes = b.compile(wacc::OptLevel::O2).expect("compiles");
+//! assert_eq!(&bytes[..4], b"\0asm");
+//! let native = (b.native)(b.sizes.test);
+//! assert_eq!(native, b.checksum_via_evaluator(b.sizes.test).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod native;
+
+use wacc::OptLevel;
+
+/// Shared WaCC helpers prepended to every benchmark source.
+///
+/// Scratch addresses `64..128` belong to these helpers (the compiler
+/// prelude owns `0..64`, string literals start at 128).
+pub const COMMON: &str = r#"
+// ---- WABench common helpers ----
+global __rng: i32 = -1831433763;
+
+fn srand(s: i32) {
+    __rng = s | 1;
+}
+
+fn rand32() -> i32 {
+    let x: i32 = __rng;
+    x = x ^ (x << 13);
+    x = x ^ (x >>> 17);
+    x = x ^ (x << 5);
+    __rng = x;
+    return x;
+}
+
+fn randn(n: i32) -> i32 {
+    return remu(rand32(), n);
+}
+
+fn mix(h: i32, v: i32) -> i32 {
+    return (h ^ v) * 16777619;
+}
+
+fn fmix(h: i32, x: f64) -> i32 {
+    store_f64(64, x);
+    let b: i64 = load_i64(64);
+    return mix(mix(h, b as i32), (b >>> 32) as i32);
+}
+"#;
+
+/// Benchmark suite groups (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Web benchmarks from JetStream2.
+    JetStream2,
+    /// Embedded benchmarks from MiBench.
+    MiBench,
+    /// Numerical kernels from PolyBench.
+    PolyBench,
+    /// Whole applications.
+    Apps,
+}
+
+impl Group {
+    /// All groups in presentation order.
+    pub fn all() -> [Group; 4] {
+        [Group::JetStream2, Group::MiBench, Group::PolyBench, Group::Apps]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Group::JetStream2 => "JetStream2",
+            Group::MiBench => "MiBench",
+            Group::PolyBench => "PolyBench",
+            Group::Apps => "Whole Applications",
+        }
+    }
+}
+
+impl std::fmt::Display for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Workload scale arguments for the three measurement contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sizes {
+    /// Tiny: unit/differential tests.
+    pub test: i32,
+    /// Medium: profiled (simulated) runs.
+    pub profile: i32,
+    /// Large: wall-clock timing runs.
+    pub timing: i32,
+}
+
+/// One WABench benchmark.
+pub struct Benchmark {
+    /// Short name (Table 2 spelling).
+    pub name: &'static str,
+    /// Suite group.
+    pub group: Group,
+    /// Application domain (Table 2).
+    pub domain: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// WaCC source (without [`COMMON`], which [`Benchmark::full_source`]
+    /// prepends).
+    pub source: &'static str,
+    /// The mirrored native implementation.
+    pub native: fn(i32) -> i32,
+    /// Scale arguments.
+    pub sizes: Sizes,
+    /// Approximate native data footprint in bytes at scale `n`
+    /// (for MRSS normalization).
+    pub native_footprint: fn(i32) -> usize,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .field("group", &self.group)
+            .finish()
+    }
+}
+
+impl Benchmark {
+    /// The complete WaCC source (common helpers + benchmark).
+    pub fn full_source(&self) -> String {
+        format!("{COMMON}\n{}", self.source)
+    }
+
+    /// Compiles the benchmark to Wasm binary bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors (a registered benchmark never fails).
+    pub fn compile(&self, level: OptLevel) -> Result<Vec<u8>, wacc::CompileError> {
+        wacc::compile_to_bytes(&self.full_source(), level)
+    }
+
+    /// Runs `run(n)` on the WaCC reference evaluator (used in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string on compile failure or trap.
+    pub fn checksum_via_evaluator(&self, n: i32) -> Result<i32, String> {
+        let program =
+            wacc::frontend(&self.full_source(), OptLevel::O0).map_err(|e| e.to_string())?;
+        let mut ev = wacc::eval::Evaluator::new(&program);
+        match ev.call("run", &[wacc::eval::V::I32(n)]) {
+            Ok(Some(wacc::eval::V::I32(v))) => Ok(v),
+            Ok(other) => Err(format!("run() returned {other:?}")),
+            Err(t) => Err(t.to_string()),
+        }
+    }
+}
+
+mod registry;
+
+pub use registry::{all, by_name};
+
+/// The mirrored native-side helpers matching [`COMMON`].
+pub mod common {
+    /// The xorshift32 PRNG matching the WaCC `rand32`.
+    #[derive(Debug, Clone)]
+    pub struct Rng(pub i32);
+
+    impl Rng {
+        /// Matches `srand(s)`.
+        pub fn new(seed: i32) -> Rng {
+            Rng(seed | 1)
+        }
+
+        /// Matches `rand32()`.
+        #[allow(clippy::should_implement_trait)] // mirrors the .wc builtin name
+        pub fn next(&mut self) -> i32 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x = ((x as u32) >> 17) as i32 ^ x;
+            x ^= x << 5;
+            self.0 = x;
+            x
+        }
+
+        /// Matches `randn(n)`.
+        pub fn below(&mut self, n: i32) -> i32 {
+            (self.next() as u32 % n as u32) as i32
+        }
+    }
+
+    /// Matches the WaCC `mix`.
+    pub fn mix(h: i32, v: i32) -> i32 {
+        (h ^ v).wrapping_mul(16777619)
+    }
+
+    /// Matches the WaCC `fmix`.
+    pub fn fmix(h: i32, x: f64) -> i32 {
+        let b = x.to_bits();
+        mix(mix(h, b as i32), (b >> 32) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_fifty_benchmarks() {
+        assert_eq!(all().len(), 50);
+        assert_eq!(all().iter().filter(|b| b.group == Group::JetStream2).count(), 4);
+        assert_eq!(all().iter().filter(|b| b.group == Group::MiBench).count(), 9);
+        assert_eq!(all().iter().filter(|b| b.group == Group::PolyBench).count(), 30);
+        assert_eq!(all().iter().filter(|b| b.group == Group::Apps).count(), 7);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("gemm").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn common_rng_matches_wacc() {
+        // Evaluate rand32 three times in WaCC and natively.
+        let src = format!(
+            "{COMMON}\nexport fn run(n: i32) -> i32 {{ srand(n); let h: i32 = 0; h = mix(h, rand32()); h = mix(h, rand32()); h = mix(h, rand32()); return h; }}"
+        );
+        let program = wacc::frontend(&src, OptLevel::O0).unwrap();
+        let mut ev = wacc::eval::Evaluator::new(&program);
+        let got = match ev.call("run", &[wacc::eval::V::I32(42)]).unwrap() {
+            Some(wacc::eval::V::I32(v)) => v,
+            other => panic!("{other:?}"),
+        };
+        let mut rng = common::Rng::new(42);
+        let mut h = 0i32;
+        for _ in 0..3 {
+            h = common::mix(h, rng.next());
+        }
+        assert_eq!(got, h);
+    }
+}
+
+#[cfg(test)]
+mod validation {
+    use super::*;
+
+    /// Every registered benchmark: evaluator checksum == native checksum.
+    #[test]
+    fn native_matches_evaluator_at_test_scale() {
+        for b in all() {
+            let native = (b.native)(b.sizes.test);
+            let eval = b
+                .checksum_via_evaluator(b.sizes.test)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert_eq!(native, eval, "{} checksum mismatch", b.name);
+        }
+    }
+
+    /// Every registered benchmark compiles at every level and validates.
+    #[test]
+    fn all_compile_and_validate() {
+        for b in all() {
+            for level in wacc::OptLevel::all() {
+                let bytes = b
+                    .compile(level)
+                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", b.name));
+                let module = wasm_core::decode::decode(&bytes)
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+                wasm_core::validate::validate(&module)
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            }
+        }
+    }
+}

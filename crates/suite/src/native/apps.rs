@@ -1,0 +1,897 @@
+//! Native mirrors of the seven whole applications.
+
+use crate::common::{fmix, mix, Rng};
+
+#[inline]
+fn remu(a: i32, b: i32) -> i32 {
+    (a as u32 % b as u32) as i32
+}
+
+/// bzip2: BWT + MTF + RLE block compressor.
+pub fn bzip2(n: i32) -> i32 {
+    let mut rng = Rng::new(79);
+    let nn = n as usize;
+    let mut input = vec![0u8; nn];
+    let mut i = 0usize;
+    while i < nn {
+        let w = rng.below(16);
+        let wl = remu(w * 7 + 3, 6) + 2;
+        let mut k = 0;
+        while k < wl && i < nn {
+            input[i] = (97 + remu(w * 13 + k * 5, 26)) as u8;
+            i += 1;
+            k += 1;
+        }
+        if i < nn {
+            input[i] = 32;
+            i += 1;
+        }
+    }
+    let mut out: Vec<u8> = Vec::new();
+    let rot_less = |block: &[u8], a: usize, b: usize| -> bool {
+        let len = block.len();
+        for k in 0..len {
+            let ca = block[(a + k) % len];
+            let cb = block[(b + k) % len];
+            if ca < cb {
+                return true;
+            }
+            if ca > cb {
+                return false;
+            }
+        }
+        false
+    };
+    let mut h = 0i32;
+    let bs = 192usize;
+    let mut off = 0usize;
+    while off < nn {
+        let len = bs.min(nn - off);
+        let block = &input[off..off + len];
+        let mut rot: Vec<usize> = (0..len).collect();
+        for i in 1..len {
+            let v = rot[i];
+            let mut j = i as isize - 1;
+            while j >= 0 && rot_less(block, v, rot[j as usize]) {
+                rot[j as usize + 1] = rot[j as usize];
+                j -= 1;
+            }
+            rot[(j + 1) as usize] = v;
+        }
+        let start = out.len();
+        let mut primary = 0usize;
+        for (i, &r) in rot.iter().enumerate() {
+            if r == 0 {
+                primary = i;
+            }
+            out.push(block[(r + len - 1) % len]);
+        }
+        out.push((primary & 255) as u8);
+        out.push(((primary >> 8) & 255) as u8);
+        let end = out.len() - 2;
+        let mut mtf: Vec<u8> = (0..=255u8).collect();
+        let mut zrun = 0i32;
+        for p in start..end {
+            let c = out[p];
+            let r = mtf.iter().position(|&x| x == c).expect("byte present");
+            for k in (1..=r).rev() {
+                mtf[k] = mtf[k - 1];
+            }
+            mtf[0] = c;
+            if r == 0 {
+                zrun += 1;
+            } else {
+                if zrun > 0 {
+                    h = mix(h, -zrun);
+                    zrun = 0;
+                }
+                h = mix(h, r as i32);
+            }
+        }
+        if zrun > 0 {
+            h = mix(h, -zrun);
+        }
+        off += bs;
+    }
+    mix(h, out.len() as i32)
+}
+
+/// snappy: LZ77 with 4-byte hashing, plus round-trip verification.
+pub fn snappy(n: i32) -> i32 {
+    let mut rng = Rng::new(83);
+    let nn = n as usize;
+    let mut input = vec![0u8; nn];
+    let mut i = 0usize;
+    while i < nn {
+        let phrase = rng.below(32);
+        let pl = remu(phrase * 11 + 5, 24) + 4;
+        let mut k = 0;
+        while k < pl && i < nn {
+            input[i] = (32 + remu(phrase * 31 + k * 17, 90)) as u8;
+            i += 1;
+            k += 1;
+        }
+    }
+    let load4 =
+        |b: &[u8], p: usize| -> i32 { i32::from_le_bytes(b[p..p + 4].try_into().expect("len")) };
+    let hash4 = |v: i32| -> usize { ((v.wrapping_mul(-1640531527) as u32) >> 18) as usize };
+    let mut hash = vec![-1i32; 16384];
+    let mut comp: Vec<u8> = Vec::new();
+    let mut pos = 0usize;
+    let mut lit_start = 0usize;
+    while pos + 4 <= nn {
+        let hh = hash4(load4(&input, pos));
+        let cand = hash[hh];
+        hash[hh] = pos as i32;
+        if cand >= 0
+            && pos - (cand as usize) < 32768
+            && load4(&input, cand as usize) == load4(&input, pos)
+        {
+            let mut litlen = pos - lit_start;
+            while litlen > 0 {
+                let chunk = litlen.min(60);
+                comp.push((chunk << 2) as u8);
+                for k in 0..chunk {
+                    comp.push(input[lit_start + k]);
+                }
+                lit_start += chunk;
+                litlen -= chunk;
+            }
+            let cand = cand as usize;
+            let mut mlen = 4usize;
+            while pos + mlen < nn && mlen < 60 && input[cand + mlen] == input[pos + mlen] {
+                mlen += 1;
+            }
+            let offset = pos - cand;
+            comp.push((1 | (mlen << 2)) as u8);
+            comp.push((offset & 255) as u8);
+            comp.push(((offset >> 8) & 255) as u8);
+            pos += mlen;
+            lit_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    let mut litlen = nn - lit_start;
+    while litlen > 0 {
+        let chunk = litlen.min(60);
+        comp.push((chunk << 2) as u8);
+        for k in 0..chunk {
+            comp.push(input[lit_start + k]);
+        }
+        lit_start += chunk;
+        litlen -= chunk;
+    }
+    let comp_len = comp.len();
+    let mut decomp: Vec<u8> = Vec::with_capacity(nn);
+    let mut rp = 0usize;
+    while rp < comp_len {
+        let tag = comp[rp] as usize;
+        rp += 1;
+        if tag & 1 != 0 {
+            let mlen = tag >> 2;
+            let offset = comp[rp] as usize | ((comp[rp + 1] as usize) << 8);
+            rp += 2;
+            for _ in 0..mlen {
+                let b = decomp[decomp.len() - offset];
+                decomp.push(b);
+            }
+        } else {
+            let litlen2 = tag >> 2;
+            for _ in 0..litlen2 {
+                decomp.push(comp[rp]);
+                rp += 1;
+            }
+        }
+    }
+    let ok = (decomp == input) as i32;
+    let mut h = mix(0, comp_len as i32);
+    h = mix(h, ok);
+    let mut k = 0usize;
+    while k < comp_len {
+        h = mix(h, comp[k] as i32);
+        k += 13;
+    }
+    h
+}
+
+/// whitedb: in-memory record store with a hash index.
+pub fn whitedb(n: i32) -> i32 {
+    const RECSZ: usize = 5;
+    let mut recs: Vec<i32> = Vec::new();
+    let mut index = vec![0i32; 65536];
+    let key_hash =
+        |k: i32| -> usize { ((k.wrapping_mul(-1640531527) as u32 >> 16) & 65535) as usize };
+    let mut rng = Rng::new(89);
+    for i in 0..n {
+        let id = (recs.len() / RECSZ) as i32;
+        recs.extend_from_slice(&[i * 7 + 1, rng.below(1000), rng.below(1000), i, rng.next()]);
+        let mut slot = key_hash(i * 7 + 1);
+        while index[slot] != 0 {
+            slot = (slot + 1) & 65535;
+        }
+        index[slot] = id + 1;
+    }
+    let find = |recs: &[i32], index: &[i32], k: i32| -> i32 {
+        let mut slot = key_hash(k);
+        loop {
+            let v = index[slot];
+            if v == 0 {
+                return -1;
+            }
+            if v > 0 {
+                let id = (v - 1) as usize;
+                if recs[id * RECSZ] == k {
+                    return v - 1;
+                }
+            }
+            slot = (slot + 1) & 65535;
+        }
+    };
+    let mut h = 0i32;
+    let mut found = 0i32;
+    let mut sum = 0i32;
+    for _ in 0..n * 2 {
+        let k = rng.below(n * 14) + 1;
+        let id = find(&recs, &index, k);
+        if id >= 0 {
+            found += 1;
+            sum = sum.wrapping_add(recs[id as usize * RECSZ + 1]);
+        }
+    }
+    h = mix(h, found);
+    h = mix(h, sum);
+    let mut i = 0;
+    while i < n {
+        let id = find(&recs, &index, i * 7 + 1);
+        if id >= 0 {
+            recs[id as usize * RECSZ + 2] += 1;
+        }
+        i += 3;
+    }
+    let mut deleted = 0i32;
+    let mut i = 0;
+    while i < n {
+        let k = i * 7 + 1;
+        let mut slot = key_hash(k);
+        loop {
+            let v = index[slot];
+            if v == 0 {
+                break;
+            }
+            if v > 0 {
+                let id = (v - 1) as usize;
+                if recs[id * RECSZ] == k {
+                    index[slot] = -1;
+                    recs[id * RECSZ] = -1;
+                    deleted += 1;
+                    break;
+                }
+            }
+            slot = (slot + 1) & 65535;
+        }
+        i += 5;
+    }
+    h = mix(h, deleted);
+    let mut live = 0i32;
+    let mut agg = 0i32;
+    for id in 0..recs.len() / RECSZ {
+        if recs[id * RECSZ] >= 0 {
+            live += 1;
+            agg = agg
+                .wrapping_add(recs[id * RECSZ + 2])
+                .wrapping_sub(recs[id * RECSZ + 3]);
+        }
+    }
+    h = mix(h, live);
+    mix(h, agg)
+}
+
+/// espeak: letter-to-phoneme rules + formant synthesis.
+pub fn espeak(n: i32) -> i32 {
+    let mut rng = Rng::new(97);
+    let nn = n as usize;
+    let mut text = vec![0u8; nn];
+    let mut i = 0usize;
+    while i < nn {
+        let wl = rng.below(7) + 2;
+        let mut k = 0;
+        while k < wl && i < nn {
+            text[i] = (97 + rng.below(26)) as u8;
+            i += 1;
+            k += 1;
+        }
+        if i < nn {
+            text[i] = 32;
+            i += 1;
+        }
+    }
+    let is_vowel = |c: u8| matches!(c, b'a' | b'e' | b'i' | b'o' | b'u');
+    let mut phon: Vec<(i32, i32)> = Vec::new();
+    let mut i = 0usize;
+    while i < nn {
+        let c = text[i];
+        if c == 32 {
+            phon.push((0, 6));
+            i += 1;
+        } else if is_vowel(c) {
+            let mut dur = 10;
+            if i + 1 < nn && is_vowel(text[i + 1]) {
+                dur = 14;
+            }
+            phon.push((c as i32 - 96, dur));
+            i += 1;
+        } else if c == 116 && i + 1 < nn && text[i + 1] == 104 {
+            phon.push((30, 8));
+            i += 2;
+        } else if c == 115 && i + 1 < nn && text[i + 1] == 104 {
+            phon.push((31, 8));
+            i += 2;
+        } else if c == 99 && i + 1 < nn && text[i + 1] == 104 {
+            phon.push((32, 8));
+            i += 2;
+        } else {
+            phon.push((c as i32 - 96, 4));
+            i += 1;
+        }
+    }
+    fn sin_approx(x: f64) -> f64 {
+        let two_pi = 6.283185307179586;
+        let mut v = x - (x / two_pi).floor() * two_pi;
+        if v > 3.141592653589793 {
+            v -= two_pi;
+        }
+        let v2 = v * v;
+        v * (1.0 - v2 / 6.0 + v2 * v2 / 120.0 - v2 * v2 * v2 / 5040.0
+            + v2 * v2 * v2 * v2 / 362880.0)
+    }
+    let mut wave: Vec<i16> = Vec::new();
+    for &(id, dur) in &phon {
+        let f0 = 90.0 + id as f64 * 12.5;
+        let nsamp = dur * 16;
+        for t in 0..nsamp {
+            let ft = t as f64 / 8000.0;
+            let env = 1.0 - ((2 * t - nsamp) as f64 / nsamp as f64).abs();
+            let s = env
+                * (sin_approx(6.283185307179586 * f0 * ft)
+                    + 0.5 * sin_approx(6.283185307179586 * 2.0 * f0 * ft)
+                    + 0.25 * sin_approx(6.283185307179586 * 3.3 * f0 * ft));
+            wave.push((s * 8000.0) as i32 as i16);
+        }
+    }
+    let mut h = mix(0, phon.len() as i32);
+    h = mix(h, wave.len() as i32);
+    let mut k = 0usize;
+    while k < wave.len() {
+        h = mix(h, wave[k] as i32);
+        k += 37;
+    }
+    h
+}
+
+/// facedetection: two conv+pool stages plus a sliding-window classifier.
+pub fn facedetection(n: i32) -> i32 {
+    let nn = n as usize;
+    let mut rng = Rng::new(101);
+    let mut img = vec![0f64; nn * nn];
+    for y in 0..nn {
+        for x in 0..nn {
+            img[y * nn + x] = remu((x as i32) * 7 + (y as i32) * 3, 64) as f64 / 64.0;
+        }
+    }
+    let nblobs = n / 16;
+    for _ in 0..nblobs {
+        let cx = (rng.below(n - 12) + 6) as isize;
+        let cy = (rng.below(n - 12) + 6) as isize;
+        for dy in -5isize..=5 {
+            for dx in -5isize..=5 {
+                let d2 = dx * dx + dy * dy;
+                if d2 <= 25 {
+                    let p = ((cy + dy) as usize) * nn + (cx + dx) as usize;
+                    // Match the WaCC association: (img + 1.0) - d2/30.
+                    img[p] = img[p] + 1.0 - d2 as f64 / 30.0;
+                }
+            }
+        }
+    }
+    let mut k1 = [0f64; 9];
+    let mut k2 = [0f64; 9];
+    for k in 0..9 {
+        k1[k] = (rng.below(200) - 100) as f64 / 150.0;
+        k2[k] = (rng.below(200) - 100) as f64 / 150.0;
+    }
+    let mut wvec = [0f64; 16];
+    for w in wvec.iter_mut() {
+        *w = (rng.below(200) - 100) as f64 / 120.0;
+    }
+    let m1 = nn - 2;
+    let mut c1 = vec![0f64; m1 * m1];
+    for y in 0..m1 {
+        for x in 0..m1 {
+            let mut acc = 0f64;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    acc += k1[ky * 3 + kx] * img[(y + ky) * nn + x + kx];
+                }
+            }
+            if acc < 0.0 {
+                acc = 0.0;
+            }
+            c1[y * m1 + x] = acc;
+        }
+    }
+    let wasm_fmax = |a: f64, b: f64| -> f64 {
+        if a.is_nan() || b.is_nan() {
+            f64::NAN
+        } else {
+            a.max(b)
+        }
+    };
+    let q1 = m1 / 2;
+    let mut p1 = vec![0f64; q1 * q1];
+    for y in 0..q1 {
+        for x in 0..q1 {
+            let mut mx = c1[(y * 2) * m1 + x * 2];
+            mx = wasm_fmax(mx, c1[(y * 2) * m1 + x * 2 + 1]);
+            mx = wasm_fmax(mx, c1[(y * 2 + 1) * m1 + x * 2]);
+            mx = wasm_fmax(mx, c1[(y * 2 + 1) * m1 + x * 2 + 1]);
+            p1[y * q1 + x] = mx;
+        }
+    }
+    let m2 = q1 - 2;
+    let mut c2 = vec![0f64; m2 * m2];
+    for y in 0..m2 {
+        for x in 0..m2 {
+            let mut acc = 0f64;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    acc += k2[ky * 3 + kx] * p1[(y + ky) * q1 + x + kx];
+                }
+            }
+            if acc < 0.0 {
+                acc = 0.0;
+            }
+            c2[y * m2 + x] = acc;
+        }
+    }
+    let q2 = m2 / 2;
+    let mut p2 = vec![0f64; q2 * q2];
+    for y in 0..q2 {
+        for x in 0..q2 {
+            let mut mx = c2[(y * 2) * m2 + x * 2];
+            mx = wasm_fmax(mx, c2[(y * 2) * m2 + x * 2 + 1]);
+            mx = wasm_fmax(mx, c2[(y * 2 + 1) * m2 + x * 2]);
+            mx = wasm_fmax(mx, c2[(y * 2 + 1) * m2 + x * 2 + 1]);
+            p2[y * q2 + x] = mx;
+        }
+    }
+    let mut detections = 0i32;
+    let mut score_sum = 0f64;
+    let mut y = 0usize;
+    while y + 4 <= q2 {
+        let mut x = 0usize;
+        while x + 4 <= q2 {
+            let mut score = 0f64;
+            for wy in 0..4 {
+                for wx in 0..4 {
+                    score += wvec[wy * 4 + wx] * p2[(y + wy) * q2 + x + wx];
+                }
+            }
+            score_sum += score;
+            if score > 0.35 {
+                detections += 1;
+            }
+            x += 1;
+        }
+        y += 1;
+    }
+    let h = mix(0, detections);
+    fmix(h, score_sum)
+}
+
+/// mnist: 64-32-10 MLP trained with SGD on synthetic digits.
+pub fn mnist(n: i32) -> i32 {
+    let mut rng = Rng::new(103);
+    let mut w1 = vec![0f64; 64 * 32];
+    for w in w1.iter_mut() {
+        *w = (rng.below(200) - 100) as f64 / 400.0;
+    }
+    let mut b1 = [0f64; 32];
+    let mut w2 = vec![0f64; 32 * 10];
+    for w in w2.iter_mut() {
+        *w = (rng.below(200) - 100) as f64 / 400.0;
+    }
+    let mut b2 = [0f64; 10];
+    fn sigmoid(x: f64) -> f64 {
+        let mut v = x;
+        if v > 6.0 {
+            v = 6.0;
+        }
+        if v < -6.0 {
+            v = -6.0;
+        }
+        let z = -v;
+        let mut e = 1.0;
+        for k in (1..=16).rev() {
+            e = 1.0 + z * e / k as f64;
+        }
+        1.0 / (1.0 + e)
+    }
+    let lr = 0.5;
+    let mut correct = 0i32;
+    let mut xin = [0f64; 64];
+    let mut hid = [0f64; 32];
+    let mut outv = [0f64; 10];
+    let mut delta2 = [0f64; 10];
+    let mut delta1 = [0f64; 32];
+    for step in 0..n {
+        let label = remu(step, 10);
+        for v in xin.iter_mut() {
+            *v = 0.0;
+        }
+        for i in 0..8i32 {
+            for j in 0..8i32 {
+                let mut v = 0.0;
+                if remu(i + label, 4) == 0 || remu(j * (label + 2), 5) == 0 {
+                    v = 0.9;
+                }
+                if i == label - 2 || j == 9 - label {
+                    v = 1.0;
+                }
+                v += rng.below(20) as f64 / 100.0;
+                xin[(i * 8 + j) as usize] = v;
+            }
+        }
+        for j in 0..32 {
+            let mut a = b1[j];
+            for i in 0..64 {
+                a += xin[i] * w1[i * 32 + j];
+            }
+            hid[j] = sigmoid(a);
+        }
+        let mut best = 0usize;
+        let mut bestv = -1.0f64;
+        for k in 0..10 {
+            let mut a = b2[k];
+            for j in 0..32 {
+                a += hid[j] * w2[j * 10 + k];
+            }
+            let o = sigmoid(a);
+            outv[k] = o;
+            if o > bestv {
+                bestv = o;
+                best = k;
+            }
+        }
+        if best as i32 == label {
+            correct += 1;
+        }
+        for k in 0..10 {
+            let target = if k as i32 == label { 1.0 } else { 0.0 };
+            let o = outv[k];
+            delta2[k] = (o - target) * o * (1.0 - o);
+        }
+        for j in 0..32 {
+            let mut s = 0f64;
+            for k in 0..10 {
+                s += delta2[k] * w2[j * 10 + k];
+            }
+            let hv = hid[j];
+            delta1[j] = s * hv * (1.0 - hv);
+        }
+        for j in 0..32 {
+            for k in 0..10 {
+                w2[j * 10 + k] -= lr * delta2[k] * hid[j];
+            }
+        }
+        for k in 0..10 {
+            b2[k] -= lr * delta2[k];
+        }
+        for i in 0..64 {
+            for j in 0..32 {
+                w1[i * 32 + j] -= lr * delta1[j] * xin[i];
+            }
+        }
+        for j in 0..32 {
+            b1[j] -= lr * delta1[j];
+        }
+    }
+    let h = mix(0, correct);
+    let mut s = 0f64;
+    for v in &w1 {
+        s += v;
+    }
+    for v in &w2 {
+        s += v;
+    }
+    fmix(h, s)
+}
+
+/// gnuchess: alpha-beta self-play at depth `n`.
+pub fn gnuchess(n: i32) -> i32 {
+    const WP: i32 = 1;
+    const WN: i32 = 2;
+    const WB: i32 = 3;
+    const WR: i32 = 4;
+    const WQ: i32 = 5;
+    const WK: i32 = 6;
+    fn piece_side(p: i32) -> i32 {
+        if p == 0 {
+            -1
+        } else if p <= 6 {
+            0
+        } else {
+            1
+        }
+    }
+    fn piece_type(p: i32) -> i32 {
+        if p > 6 {
+            p - 6
+        } else {
+            p
+        }
+    }
+    let mut board = [0i32; 64];
+    board[0] = WR + 6;
+    board[1] = WN + 6;
+    board[2] = WB + 6;
+    board[3] = WQ + 6;
+    board[4] = WK + 6;
+    board[5] = WB + 6;
+    board[6] = WN + 6;
+    board[7] = WR + 6;
+    for f in 0..8 {
+        board[8 + f] = WP + 6;
+        board[48 + f] = WP;
+    }
+    board[56] = WR;
+    board[57] = WN;
+    board[58] = WB;
+    board[59] = WQ;
+    board[60] = WK;
+    board[61] = WB;
+    board[62] = WN;
+    board[63] = WR;
+
+    fn gen_moves(board: &[i32; 64], side: i32, out: &mut Vec<i32>) {
+        out.clear();
+        let add = |out: &mut Vec<i32>, board: &[i32; 64], from: i32, to: i32, promo: i32| {
+            let cap = board[to as usize];
+            out.push(from | (to << 6) | (cap << 12) | (promo << 16));
+        };
+        for s in 0..64i32 {
+            let p = board[s as usize];
+            if piece_side(p) != side {
+                continue;
+            }
+            let t = piece_type(p);
+            let rank = s >> 3;
+            let file = s & 7;
+            if t == WP {
+                let (dir, start_rank, last_rank) = if side == 1 { (8, 1, 7) } else { (-8, 6, 0) };
+                let fwd = s + dir;
+                if (0..64).contains(&fwd) && board[fwd as usize] == 0 {
+                    let promo = ((fwd >> 3) == last_rank) as i32;
+                    add(out, board, s, fwd, promo);
+                    if rank == start_rank && board[(fwd + dir) as usize] == 0 {
+                        add(out, board, s, fwd + dir, 0);
+                    }
+                }
+                if file > 0 {
+                    let c = s + dir - 1;
+                    if (0..64).contains(&c) && piece_side(board[c as usize]) == 1 - side {
+                        let promo = ((c >> 3) == last_rank) as i32;
+                        add(out, board, s, c, promo);
+                    }
+                }
+                if file < 7 {
+                    let c = s + dir + 1;
+                    if (0..64).contains(&c) && piece_side(board[c as usize]) == 1 - side {
+                        let promo = ((c >> 3) == last_rank) as i32;
+                        add(out, board, s, c, promo);
+                    }
+                }
+            } else if t == WN {
+                const OFFS: [(i32, i32); 8] = [
+                    (-2, -1),
+                    (-2, 1),
+                    (-1, -2),
+                    (-1, 2),
+                    (1, -2),
+                    (1, 2),
+                    (2, -1),
+                    (2, 1),
+                ];
+                for (dr, df) in OFFS {
+                    let nr = rank + dr;
+                    let nf = file + df;
+                    if (0..8).contains(&nr) && (0..8).contains(&nf) {
+                        let to = nr * 8 + nf;
+                        if piece_side(board[to as usize]) != side {
+                            add(out, board, s, to, 0);
+                        }
+                    }
+                }
+            } else if t == WK {
+                for dr in -1..=1 {
+                    for df in -1..=1 {
+                        if dr != 0 || df != 0 {
+                            let nr = rank + dr;
+                            let nf = file + df;
+                            if (0..8).contains(&nr) && (0..8).contains(&nf) {
+                                let to = nr * 8 + nf;
+                                if piece_side(board[to as usize]) != side {
+                                    add(out, board, s, to, 0);
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                const DIRS: [(i32, i32); 8] = [
+                    (-1, 0),
+                    (1, 0),
+                    (0, -1),
+                    (0, 1),
+                    (-1, -1),
+                    (-1, 1),
+                    (1, -1),
+                    (1, 1),
+                ];
+                for (d, (dr, df)) in DIRS.into_iter().enumerate() {
+                    let straight = d < 4;
+                    if t == WB && straight {
+                        continue;
+                    }
+                    if t == WR && !straight {
+                        continue;
+                    }
+                    let mut nr = rank + dr;
+                    let mut nf = file + df;
+                    while (0..8).contains(&nr) && (0..8).contains(&nf) {
+                        let to = nr * 8 + nf;
+                        let tp = board[to as usize];
+                        if piece_side(tp) == side {
+                            break;
+                        }
+                        add(out, board, s, to, 0);
+                        if tp != 0 {
+                            break;
+                        }
+                        nr += dr;
+                        nf += df;
+                    }
+                }
+            }
+        }
+    }
+    fn make_move(board: &mut [i32; 64], m: i32, side: i32) {
+        let from = m & 63;
+        let to = (m >> 6) & 63;
+        let promo = (m >> 16) & 1;
+        let mut p = board[from as usize];
+        if promo != 0 {
+            p = if side == 1 { WQ + 6 } else { WQ };
+        }
+        board[to as usize] = p;
+        board[from as usize] = 0;
+    }
+    fn unmake_move(board: &mut [i32; 64], m: i32, side: i32) {
+        let from = m & 63;
+        let to = (m >> 6) & 63;
+        let cap = (m >> 12) & 15;
+        let promo = (m >> 16) & 1;
+        let mut p = board[to as usize];
+        if promo != 0 {
+            p = if side == 1 { WP + 6 } else { WP };
+        }
+        board[from as usize] = p;
+        board[to as usize] = cap;
+    }
+    fn piece_value(t: i32) -> i32 {
+        match t {
+            1 => 100,
+            2 => 320,
+            3 => 330,
+            4 => 500,
+            5 => 900,
+            _ => 20000,
+        }
+    }
+    fn eval(board: &[i32; 64], side: i32) -> i32 {
+        let mut score = 0i32;
+        for s in 0..64i32 {
+            let p = board[s as usize];
+            if p == 0 {
+                continue;
+            }
+            let t = piece_type(p);
+            let mut v = piece_value(t);
+            let rank = s >> 3;
+            let file = s & 7;
+            let cr = if rank > 3 { 7 - rank } else { rank };
+            let cf = if file > 3 { 7 - file } else { file };
+            if t == WN || t == WB || t == WP {
+                v += (cr + cf) * 3;
+            }
+            if piece_side(p) == side {
+                score += v;
+            } else {
+                score -= v;
+            }
+        }
+        score
+    }
+    fn search(
+        board: &mut [i32; 64],
+        side: i32,
+        depth: i32,
+        alpha: i32,
+        beta: i32,
+        ply: i32,
+        nodes: &mut i32,
+    ) -> i32 {
+        *nodes += 1;
+        if depth == 0 {
+            return eval(board, side);
+        }
+        let mut moves = Vec::new();
+        gen_moves(board, side, &mut moves);
+        if moves.is_empty() {
+            return -19000;
+        }
+        let mut best = -30000;
+        let mut a = alpha;
+        for m in moves {
+            let cap = (m >> 12) & 15;
+            if piece_type(cap) == WK && cap != 0 {
+                return 20000 - ply;
+            }
+            make_move(board, m, side);
+            let v = -search(board, 1 - side, depth - 1, -beta, -a, ply + 1, nodes);
+            unmake_move(board, m, side);
+            if v > best {
+                best = v;
+            }
+            if best > a {
+                a = best;
+            }
+            if a >= beta {
+                break;
+            }
+        }
+        best
+    }
+    let mut nodes = 0i32;
+    let mut h = 0i32;
+    let mut side = 0i32;
+    for _ in 0..12 {
+        let mut moves = Vec::new();
+        gen_moves(&board, side, &mut moves);
+        if moves.is_empty() {
+            break;
+        }
+        let mut best_move = -1;
+        let mut best_score = -30000;
+        for m in moves {
+            let cap = (m >> 12) & 15;
+            let v = if piece_type(cap) == WK && cap != 0 {
+                20000
+            } else {
+                make_move(&mut board, m, side);
+                let v = -search(&mut board, 1 - side, n - 1, -30000, 30000, 0, &mut nodes);
+                unmake_move(&mut board, m, side);
+                v
+            };
+            if v > best_score {
+                best_score = v;
+                best_move = m;
+            }
+        }
+        make_move(&mut board, best_move, side);
+        h = mix(h, best_move);
+        h = mix(h, best_score);
+        side = 1 - side;
+    }
+    mix(h, nodes)
+}

@@ -1,0 +1,267 @@
+//! Native mirrors of the JetStream2 benchmarks.
+
+use crate::common::{fmix, mix, Rng};
+
+/// gcc-loops: ten vectorizer-tuning loop kernels.
+pub fn gcc_loops(n: i32) -> i32 {
+    let mut rng = Rng::new(7);
+    let len = n as usize;
+    let mut a = vec![0i32; len];
+    let mut b = vec![0i32; len];
+    let mut c = vec![0i32; len];
+    let mut x = vec![0f32; len];
+    let mut y = vec![0f32; len];
+    let mut z = vec![0f32; len];
+    for i in 0..len {
+        a[i] = rng.below(10000);
+        b[i] = rng.below(10000) - 5000;
+        c[i] = rng.below(100) + 1;
+        x[i] = rng.below(1000) as f32 / 8.0;
+        y[i] = rng.below(1000) as f32 / 16.0;
+        z[i] = 0.0;
+    }
+    let mut h = 0i32;
+    for i in 0..len {
+        a[i] = b[i].wrapping_add(c[i]);
+    }
+    for i in 0..len {
+        b[i] = a[i].wrapping_mul(3);
+    }
+    let mut s = 0i32;
+    for v in &a {
+        s = s.wrapping_add(*v);
+    }
+    h = mix(h, s);
+    let mut mx = -2147483647;
+    for v in &b {
+        if *v > mx {
+            mx = *v;
+        }
+    }
+    h = mix(h, mx);
+    let alpha = 1.5f32;
+    for i in 0..len {
+        z[i] = alpha * x[i] + y[i];
+    }
+    let mut dot = 0f32;
+    for i in 0..len {
+        dot += z[i] * x[i];
+    }
+    h = fmix(h, dot as f64);
+    for i in 0..len / 4 {
+        c[i] = a[i * 4];
+    }
+    for v in b.iter_mut() {
+        if *v > 0 {
+            *v = 0i32.wrapping_sub(*v);
+        }
+    }
+    let mut acc = 0i32;
+    for v in c.iter_mut() {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+    h = mix(h, acc);
+    for i in 0..len {
+        a[i] = b[len - 1 - i];
+    }
+    let mut i = 0;
+    while i < len {
+        h = mix(h, a[i]);
+        h = mix(h, c[i]);
+        h = fmix(h, z[i] as f64);
+        i += 16;
+    }
+    h
+}
+
+/// hashset: open-addressing hash table operations.
+pub fn hashset(n: i32) -> i32 {
+    fn hash_key(k: i32) -> i32 {
+        let h = k.wrapping_mul(-1640531527);
+        h ^ (((h as u32) >> 16) as i32)
+    }
+    let mut cap = 64i32;
+    while cap < n * 4 {
+        cap *= 2;
+    }
+    let mut table = vec![0i32; cap as usize];
+    let mask = cap - 1;
+    let probe = |table: &[i32], key: i32| -> usize {
+        let mut i = (hash_key(key) & mask) as usize;
+        loop {
+            let v = table[i];
+            if v == 0 || v == key {
+                return i;
+            }
+            i = (i + 1) & mask as usize;
+        }
+    };
+    let mut rng = Rng::new(11);
+    let mut h = 0i32;
+    let mut added = 0;
+    for _ in 0..n {
+        let key = (rng.below(n * 2) + 1) | 1;
+        let i = probe(&table, key);
+        if table[i] != key {
+            table[i] = key;
+            added += 1;
+        }
+    }
+    h = mix(h, added);
+    let mut hits = 0;
+    let mut rng = Rng::new(13);
+    for _ in 0..n * 2 {
+        let key = rng.below(n * 4) + 1;
+        let i = probe(&table, key);
+        hits += (table[i] == key) as i32;
+    }
+    h = mix(h, hits);
+    let mut occ = 0;
+    for v in &table {
+        if *v != 0 {
+            occ += 1;
+            h = mix(h, *v);
+        }
+    }
+    mix(h, occ)
+}
+
+/// quicksort: recursive quicksort with insertion cutoff.
+pub fn quicksort(n: i32) -> i32 {
+    fn insertion(arr: &mut [i32], lo: usize, hi: usize) {
+        for i in lo + 1..=hi {
+            let v = arr[i];
+            let mut j = i as isize - 1;
+            while j >= lo as isize && arr[j as usize] > v {
+                arr[j as usize + 1] = arr[j as usize];
+                j -= 1;
+            }
+            arr[(j + 1) as usize] = v;
+        }
+    }
+    fn qsort(arr: &mut [i32], lo: usize, hi: usize) {
+        if hi - lo < 16 {
+            insertion(arr, lo, hi);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        if arr[mid] < arr[lo] {
+            arr.swap(mid, lo);
+        }
+        if arr[hi] < arr[lo] {
+            arr.swap(hi, lo);
+        }
+        if arr[hi] < arr[mid] {
+            arr.swap(hi, mid);
+        }
+        let pivot = arr[mid];
+        let mut i = lo as isize - 1;
+        let mut j = hi as isize + 1;
+        loop {
+            i += 1;
+            while arr[i as usize] < pivot {
+                i += 1;
+            }
+            j -= 1;
+            while arr[j as usize] > pivot {
+                j -= 1;
+            }
+            if i >= j {
+                break;
+            }
+            arr.swap(i as usize, j as usize);
+        }
+        qsort(arr, lo, j as usize);
+        qsort(arr, j as usize + 1, hi);
+    }
+    let mut rng = Rng::new(17);
+    let len = n as usize;
+    let mut arr: Vec<i32> = (0..len).map(|_| rng.next()).collect();
+    qsort(&mut arr, 0, len - 1);
+    let mut h = 0i32;
+    let sorted = arr.windows(2).all(|w| w[0] <= w[1]) as i32;
+    h = mix(h, sorted);
+    let step = (n / 64).max(1) as usize;
+    let mut i = 0;
+    while i < len {
+        h = mix(h, arr[i]);
+        i += step;
+    }
+    h
+}
+
+/// tsf: typed-stream serialize + parse.
+pub fn tsf(n: i32) -> i32 {
+    let mut out: Vec<u8> = Vec::new();
+    let emit_varint = |out: &mut Vec<u8>, v: i32| {
+        let mut x = v as u32;
+        while x >= 128 {
+            out.push(((x & 127) | 128) as u8);
+            x >>= 7;
+        }
+        out.push(x as u8);
+    };
+    let mut rng = Rng::new(23);
+    for i in 0..n {
+        emit_varint(&mut out, i.wrapping_mul(7));
+        let tag = (i as u32 % 3) as i32;
+        out.push(tag as u8);
+        if tag == 0 {
+            emit_varint(&mut out, rng.below(100000));
+        } else if tag == 1 {
+            let v = rng.below(1000000) as f64 / 256.0;
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        } else {
+            let len = rng.below(24) + 1;
+            emit_varint(&mut out, len);
+            for _ in 0..len {
+                out.push((97 + rng.below(26)) as u8);
+            }
+        }
+    }
+    let total = out.len() as i32;
+    let mut pos = 0usize;
+    let take_u8 = |pos: &mut usize| -> i32 {
+        let v = out[*pos] as i32;
+        *pos += 1;
+        v
+    };
+    let take_varint = |pos: &mut usize| -> i32 {
+        let mut v = 0i32;
+        let mut shift = 0;
+        loop {
+            let b = take_u8(pos);
+            v |= (b & 127) << shift;
+            if b & 128 == 0 {
+                return v;
+            }
+            shift += 7;
+        }
+    };
+    let mut h = mix(0, total);
+    for _ in 0..n {
+        h = mix(h, take_varint(&mut pos));
+        let tag = take_varint(&mut pos) & 0xFF; // single byte, same value
+        if tag == 0 {
+            h = mix(h, take_varint(&mut pos));
+        } else if tag == 1 {
+            let mut b = 0u64;
+            for k in 0..8 {
+                b |= (out[pos] as u64) << (k * 8);
+                pos += 1;
+            }
+            h = fmix(h, f64::from_bits(b));
+        } else {
+            let len = take_varint(&mut pos);
+            let mut s = 0i32;
+            for _ in 0..len {
+                let c = out[pos] as i32;
+                pos += 1;
+                s = s.wrapping_mul(131).wrapping_add(c);
+            }
+            h = mix(h, s);
+        }
+    }
+    mix(h, pos as i32)
+}

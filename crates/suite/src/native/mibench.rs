@@ -1,0 +1,686 @@
+//! Native mirrors of the MiBench benchmarks.
+
+use crate::common::{fmix, mix, Rng};
+
+/// basicmath: cubic solver, integer square root, angle conversions.
+pub fn basicmath(n: i32) -> i32 {
+    fn cbrt_approx(x: f64) -> f64 {
+        if x == 0.0 {
+            return 0.0;
+        }
+        let mut g = x;
+        if g > 1.0 {
+            g = x / 3.0;
+        }
+        for _ in 0..40 {
+            g = (2.0 * g + x / (g * g)) / 3.0;
+        }
+        g
+    }
+    fn solve_cubic(a: f64, b: f64, c: f64, h0: i32) -> i32 {
+        let mut h = h0;
+        let q = (a * a - 3.0 * b) / 9.0;
+        let r = (2.0 * a * a * a - 9.0 * a * b + 27.0 * c) / 54.0;
+        let q3 = q * q * q;
+        let r2 = r * r;
+        if r2 < q3 {
+            let z = r / q3.sqrt();
+            let acosv = 1.5707963267948966 - z - z * z * z / 6.0 - 3.0 * z * z * z * z * z / 40.0;
+            let th = acosv / 3.0;
+            let sq = -2.0 * q.sqrt();
+            let c1 = 1.0 - th * th / 2.0 + th * th * th * th / 24.0;
+            let r1 = sq * c1 - a / 3.0;
+            h = fmix(h, r1);
+            h = mix(h, 3);
+        } else {
+            let mut e = cbrt_approx(r.abs() + (r2 - q3).sqrt());
+            if r > 0.0 {
+                e = -e;
+            }
+            let r1 = e + q / (e + 1e-300) - a / 3.0;
+            h = fmix(h, r1);
+            h = mix(h, 1);
+        }
+        h
+    }
+    fn isqrt(v: i32) -> i32 {
+        let mut res = 0i32;
+        let mut bit = 1i32 << 30;
+        let mut x = v;
+        while bit > x {
+            bit = ((bit as u32) >> 2) as i32;
+        }
+        while bit != 0 {
+            if x >= res.wrapping_add(bit) {
+                x -= res.wrapping_add(bit);
+                res = (((res as u32) >> 1) as i32).wrapping_add(bit);
+            } else {
+                res = ((res as u32) >> 1) as i32;
+            }
+            bit = ((bit as u32) >> 2) as i32;
+        }
+        res
+    }
+    let mut h = 0i32;
+    for i in 0..n {
+        let a = i as f64 / 10.0 - 5.0;
+        let b = i as f64 / 25.0;
+        let c = -1.0 - i as f64 / 50.0;
+        h = solve_cubic(a, b, c, h);
+    }
+    let mut rng = Rng::new(31);
+    for _ in 0..n * 4 {
+        h = mix(h, isqrt(rng.below(1000000000)));
+    }
+    let two_pi = 6.283185307179586;
+    for d in 0..360 {
+        let rad = d as f64 * two_pi / 360.0;
+        let back = rad * 360.0 / two_pi;
+        h = fmix(h, rad);
+        h = mix(h, back as i32);
+    }
+    h
+}
+
+/// bitcount: five bit-count strategies cross-checked.
+pub fn bitcount(n: i32) -> i32 {
+    fn count_shift(v: i32) -> i32 {
+        let mut c = 0;
+        let mut x = v as u32;
+        while x != 0 {
+            c += (x & 1) as i32;
+            x >>= 1;
+        }
+        c
+    }
+    fn count_kernighan(v: i32) -> i32 {
+        let mut c = 0;
+        let mut x = v;
+        while x != 0 {
+            x &= x.wrapping_sub(1);
+            c += 1;
+        }
+        c
+    }
+    fn count_swar(v: i32) -> i32 {
+        let mut x = v as u32;
+        x = x.wrapping_sub((x >> 1) & 0x55555555);
+        x = (x & 0x33333333).wrapping_add((x >> 2) & 0x33333333);
+        x = x.wrapping_add(x >> 4) & 0x0F0F0F0F;
+        (x.wrapping_mul(0x01010101) >> 24) as i32
+    }
+    let mut tab = [0u8; 256];
+    for (i, t) in tab.iter_mut().enumerate() {
+        *t = count_shift(i as i32) as u8;
+    }
+    let count_table = |v: i32| -> i32 {
+        let x = v as u32;
+        tab[(x & 255) as usize] as i32
+            + tab[((x >> 8) & 255) as usize] as i32
+            + tab[((x >> 16) & 255) as usize] as i32
+            + tab[((x >> 24) & 255) as usize] as i32
+    };
+    let mut rng = Rng::new(37);
+    let (mut t1, mut t2, mut t3, mut t4, mut t5) = (0i32, 0i32, 0i32, 0i32, 0i32);
+    for _ in 0..n {
+        let v = rng.next();
+        t1 = t1.wrapping_add(count_shift(v));
+        t2 = t2.wrapping_add(count_kernighan(v));
+        t3 = t3.wrapping_add(count_swar(v));
+        t4 = t4.wrapping_add(count_table(v));
+        t5 = t5.wrapping_add(v.count_ones() as i32);
+    }
+    if t1 != t5 || t2 != t5 || t3 != t5 || t4 != t5 {
+        return -1;
+    }
+    mix(mix(0, t1), t5)
+}
+
+/// crc32: CRC-32 over a generated buffer in three chunkings.
+pub fn crc32(n: i32) -> i32 {
+    let mut tab = [0u32; 256];
+    for (i, t) in tab.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *t = c;
+    }
+    let mut rng = Rng::new(41);
+    let buf: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
+    let update = |crc: u32, byte: u8| tab[((crc ^ byte as u32) & 255) as usize] ^ (crc >> 8);
+    let mut h = 0i32;
+    let mut crc = 0xFFFFFFFFu32;
+    for b in &buf {
+        crc = update(crc, *b);
+    }
+    h = mix(h, !(crc as i32));
+    crc = 0xFFFFFFFF;
+    for i in 0..(n / 2) as usize {
+        crc = update(crc, buf[i * 2]);
+    }
+    h = mix(h, !(crc as i32));
+    crc = 0xFFFFFFFF;
+    for b in buf.iter().rev() {
+        crc = update(crc, *b);
+    }
+    mix(h, !(crc as i32))
+}
+
+/// stringsearch: Horspool over generated pseudo-text.
+pub fn stringsearch(n: i32) -> i32 {
+    let mut rng = Rng::new(43);
+    let len = n as usize;
+    let mut text = vec![0u8; len];
+    let mut i = 0usize;
+    while i < len {
+        let wl = rng.below(8) + 2;
+        let mut k = 0;
+        while k < wl && i < len {
+            text[i] = (97 + rng.below(26)) as u8;
+            i += 1;
+            k += 1;
+        }
+        if i < len {
+            text[i] = 32;
+            i += 1;
+        }
+    }
+    let search = |text: &[u8], pat: &[u8]| -> i32 {
+        let m = pat.len();
+        let mut skip = [m as u8; 128];
+        for k in 0..m - 1 {
+            skip[pat[k] as usize] = (m - 1 - k) as u8;
+        }
+        let mut count = 0;
+        let mut pos = 0usize;
+        while pos + m <= text.len() {
+            let mut j = m as isize - 1;
+            while j >= 0 && text[pos + j as usize] == pat[j as usize] {
+                j -= 1;
+            }
+            if j < 0 {
+                count += 1;
+                pos += 1;
+            } else {
+                pos += skip[text[pos + m - 1] as usize] as usize;
+            }
+        }
+        count
+    };
+    let mut h = 0i32;
+    for p in 0..32 {
+        let m = (p % 5) + 2;
+        let pat: Vec<u8> = (0..m).map(|_| (97 + rng.below(26)) as u8).collect();
+        h = mix(h, search(&text, &pat));
+    }
+    h
+}
+
+/// sha: SHA-1 over a generated message.
+pub fn sha(n: i32) -> i32 {
+    let mut rng = Rng::new(47);
+    let mut msg: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
+    let (mut h0, mut h1, mut h2, mut h3, mut h4) =
+        (0x67452301u32, 0xEFCDAB89u32, 0x98BADCFEu32, 0x10325476u32, 0xC3D2E1F0u32);
+    // Padding.
+    let full = (n / 64) as usize;
+    let rem = n as usize - full * 64;
+    let tail_len = if rem + 9 > 64 { 128 } else { 64 };
+    msg.resize(full * 64 + tail_len, 0);
+    msg[n as usize] = 0x80;
+    let bits = (n as u64) * 8;
+    let end = full * 64 + tail_len;
+    msg[end - 8..end].copy_from_slice(&bits.to_be_bytes());
+
+    for block in msg.chunks_exact(64) {
+        let mut w = [0u32; 80];
+        for (t, wt) in w.iter_mut().take(16).enumerate() {
+            *wt = u32::from_be_bytes(block[t * 4..t * 4 + 4].try_into().expect("len"));
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h0, h1, h2, h3, h4);
+        for (t, wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(*wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h0 = h0.wrapping_add(a);
+        h1 = h1.wrapping_add(b);
+        h2 = h2.wrapping_add(c);
+        h3 = h3.wrapping_add(d);
+        h4 = h4.wrapping_add(e);
+    }
+    let mut h = 0i32;
+    for v in [h0, h1, h2, h3, h4] {
+        h = mix(h, v as i32);
+    }
+    h
+}
+
+/// adpcm: IMA-style encode + decode with drift measurement.
+pub fn adpcm(n: i32) -> i32 {
+    const NSTEPS: i32 = 89;
+    let mut steps = [0i32; NSTEPS as usize];
+    let mut s = 7i32;
+    for st in steps.iter_mut() {
+        *st = s;
+        s = s + (s >> 1) / 2 + 1;
+        if s > 32767 {
+            s = 32767;
+        }
+    }
+    fn index_adjust(code: i32) -> i32 {
+        match code & 7 {
+            0..=3 => -1,
+            4 => 2,
+            5 => 4,
+            6 => 6,
+            _ => 8,
+        }
+    }
+    let clamp_index = |i: i32| i.clamp(0, NSTEPS - 1);
+    let clamp16 = |v: i32| v.clamp(-32768, 32767);
+
+    let mut rng = Rng::new(53);
+    let pcm: Vec<i16> = (0..n)
+        .map(|i| {
+            let v = (i.wrapping_mul(37) as u32 % 4096) as i32 - 2048
+                + ((i.wrapping_mul(11) as u32 % 1024) as i32 - 512)
+                + rng.below(65)
+                - 32;
+            clamp16(v) as i16
+        })
+        .collect();
+
+    let (mut enc_pred, mut enc_index) = (0i32, 0i32);
+    let codes: Vec<u8> = pcm
+        .iter()
+        .map(|&sample| {
+            let step = steps[enc_index as usize];
+            let mut diff = sample as i32 - enc_pred;
+            let mut code = 0;
+            if diff < 0 {
+                code = 8;
+                diff = -diff;
+            }
+            let mut delta = step >> 3;
+            if diff >= step {
+                code |= 4;
+                diff -= step;
+                delta += step;
+            }
+            if diff >= step >> 1 {
+                code |= 2;
+                diff -= step >> 1;
+                delta += step >> 1;
+            }
+            if diff >= step >> 2 {
+                code |= 1;
+                delta += step >> 2;
+            }
+            enc_pred = if code & 8 != 0 {
+                clamp16(enc_pred - delta)
+            } else {
+                clamp16(enc_pred + delta)
+            };
+            enc_index = clamp_index(enc_index + index_adjust(code));
+            code as u8
+        })
+        .collect();
+
+    let (mut dec_pred, mut dec_index) = (0i32, 0i32);
+    let mut h = 0i32;
+    let mut drift = 0i64;
+    for (i, &code) in codes.iter().enumerate() {
+        let code = code as i32;
+        let step = steps[dec_index as usize];
+        let mut delta = step >> 3;
+        if code & 4 != 0 {
+            delta += step;
+        }
+        if code & 2 != 0 {
+            delta += step >> 1;
+        }
+        if code & 1 != 0 {
+            delta += step >> 2;
+        }
+        dec_pred = if code & 8 != 0 {
+            clamp16(dec_pred - delta)
+        } else {
+            clamp16(dec_pred + delta)
+        };
+        dec_index = clamp_index(dec_index + index_adjust(code));
+        let d = dec_pred - pcm[i] as i32;
+        drift += d.wrapping_mul(d) as i64;
+        if i as u32 % 997 == 0 {
+            h = mix(h, dec_pred);
+        }
+    }
+    mix(h, (drift / n as i64) as i32)
+}
+
+/// blowfish: Feistel cipher with PRNG-scheduled boxes.
+pub fn blowfish(n: i32) -> i32 {
+    let mut p = [0i32; 18];
+    let mut sbox = [0i32; 1024];
+    let mut rng = Rng::new(59);
+    for v in p.iter_mut() {
+        *v = rng.next();
+    }
+    for v in sbox.iter_mut() {
+        *v = rng.next();
+    }
+    fn f_func(sbox: &[i32; 1024], x: i32) -> i32 {
+        let xu = x as u32;
+        let a = (xu >> 24) as usize;
+        let b = ((xu >> 16) & 255) as usize;
+        let c = ((xu >> 8) & 255) as usize;
+        let d = (xu & 255) as usize;
+        (sbox[a].wrapping_add(sbox[256 + b]) ^ sbox[512 + c]).wrapping_add(sbox[768 + d])
+    }
+    let encrypt = |p: &[i32; 18], sbox: &[i32; 1024], mut xl: i32, mut xr: i32| -> (i32, i32) {
+        for i in 0..16 {
+            xl ^= p[i];
+            xr = f_func(sbox, xl) ^ xr;
+            std::mem::swap(&mut xl, &mut xr);
+        }
+        std::mem::swap(&mut xl, &mut xr);
+        xr ^= p[16];
+        xl ^= p[17];
+        (xl, xr)
+    };
+    let decrypt = |p: &[i32; 18], sbox: &[i32; 1024], mut xl: i32, mut xr: i32| -> (i32, i32) {
+        for i in (2..18).rev() {
+            xl ^= p[i];
+            xr = f_func(sbox, xl) ^ xr;
+            std::mem::swap(&mut xl, &mut xr);
+        }
+        std::mem::swap(&mut xl, &mut xr);
+        xr ^= p[1];
+        xl ^= p[0];
+        (xl, xr)
+    };
+    // Key schedule: encrypt the zero block through the P-array.
+    let (mut xl, mut xr) = (0i32, 0i32);
+    for i in 0..9 {
+        let (l, r) = encrypt(&p, &sbox, xl, xr);
+        xl = l;
+        xr = r;
+        p[i * 2] = xl;
+        p[i * 2 + 1] = xr;
+    }
+    let mut rng = Rng::new(61);
+    let mut data: Vec<i32> = (0..n * 2).map(|_| rng.next()).collect();
+    for b in 0..n as usize {
+        let (l, r) = encrypt(&p, &sbox, data[b * 2], data[b * 2 + 1]);
+        data[b * 2] = l;
+        data[b * 2 + 1] = r;
+    }
+    let mut h = 0i32;
+    let mut b = 0usize;
+    while b < n as usize {
+        h = mix(h, data[b * 2]);
+        b += 8;
+    }
+    let mut rng = Rng::new(61);
+    let mut ok = 1;
+    for b in 0..n as usize {
+        let (l, r) = decrypt(&p, &sbox, data[b * 2], data[b * 2 + 1]);
+        if l != rng.next() {
+            ok = 0;
+        }
+        if r != rng.next() {
+            ok = 0;
+        }
+    }
+    mix(h, ok)
+}
+
+/// rijndael: AES-128 ECB with a computed S-box.
+pub fn rijndael(n: i32) -> i32 {
+    fn xtime(x: i32) -> i32 {
+        let v = x << 1;
+        (if x & 0x80 != 0 { v ^ 0x1B } else { v }) & 0xFF
+    }
+    fn gmul(a: i32, b: i32) -> i32 {
+        let (mut p, mut x, mut y) = (0, a, b);
+        for _ in 0..8 {
+            if y & 1 != 0 {
+                p ^= x;
+            }
+            x = xtime(x);
+            y >>= 1;
+        }
+        p & 0xFF
+    }
+    fn rotl8(x: i32, k: i32) -> i32 {
+        ((x << k) | ((x as u32) >> (8 - k)) as i32) & 0xFF
+    }
+    let mut sbox = [0u8; 256];
+    sbox[0] = 0x63;
+    for a in 1..256 {
+        let mut inv = 1;
+        for b in 1..256 {
+            if gmul(a, b) == 1 {
+                inv = b;
+                break;
+            }
+        }
+        sbox[a as usize] =
+            ((inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3) ^ rotl8(inv, 4) ^ 0x63) & 0xFF)
+                as u8;
+    }
+    let sub = |x: i32| sbox[(x & 0xFF) as usize] as i32;
+
+    let mut rng = Rng::new(67);
+    let mut rkeys = [0u8; 176];
+    for k in rkeys.iter_mut().take(16) {
+        *k = rng.below(256) as u8;
+    }
+    let mut rcon = 1i32;
+    let mut i = 16usize;
+    while i < 176 {
+        let (mut t0, mut t1, mut t2, mut t3) = (
+            rkeys[i - 4] as i32,
+            rkeys[i - 3] as i32,
+            rkeys[i - 2] as i32,
+            rkeys[i - 1] as i32,
+        );
+        if i % 16 == 0 {
+            let tmp = t0;
+            t0 = sub(t1) ^ rcon;
+            t1 = sub(t2);
+            t2 = sub(t3);
+            t3 = sub(tmp);
+            rcon = xtime(rcon);
+        }
+        rkeys[i] = (rkeys[i - 16] as i32 ^ t0) as u8;
+        rkeys[i + 1] = (rkeys[i - 15] as i32 ^ t1) as u8;
+        rkeys[i + 2] = (rkeys[i - 14] as i32 ^ t2) as u8;
+        rkeys[i + 3] = (rkeys[i - 13] as i32 ^ t3) as u8;
+        i += 4;
+    }
+
+    let mut data: Vec<u8> = (0..n * 16).map(|_| rng.below(256) as u8).collect();
+    let mut state = [0u8; 32];
+    for blk in 0..n as usize {
+        let p = blk * 16;
+        state[..16].copy_from_slice(&data[p..p + 16]);
+        let add_round_key = |state: &mut [u8; 32], round: usize| {
+            for i in 0..16 {
+                state[i] ^= rkeys[round * 16 + i];
+            }
+        };
+        let sub_shift = |state: &mut [u8; 32], sbox: &[u8; 256]| {
+            for i in 0..16 {
+                state[16 + i] = sbox[state[i] as usize];
+            }
+            for r in 0..4usize {
+                for c in 0..4usize {
+                    state[r + c * 4] = state[16 + r + ((c + r) % 4) * 4];
+                }
+            }
+        };
+        let mix_columns = |state: &mut [u8; 32]| {
+            for c in 0..4usize {
+                let a0 = state[c * 4] as i32;
+                let a1 = state[c * 4 + 1] as i32;
+                let a2 = state[c * 4 + 2] as i32;
+                let a3 = state[c * 4 + 3] as i32;
+                state[c * 4] = ((xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3) & 0xFF) as u8;
+                state[c * 4 + 1] = ((a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3) & 0xFF) as u8;
+                state[c * 4 + 2] = ((a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)) & 0xFF) as u8;
+                state[c * 4 + 3] = (((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)) & 0xFF) as u8;
+            }
+        };
+        add_round_key(&mut state, 0);
+        for round in 1..10 {
+            sub_shift(&mut state, &sbox);
+            mix_columns(&mut state);
+            add_round_key(&mut state, round);
+        }
+        sub_shift(&mut state, &sbox);
+        add_round_key(&mut state, 10);
+        data[p..p + 16].copy_from_slice(&state[..16]);
+    }
+    let mut h = 0i32;
+    let mut i = 0usize;
+    while i < (n * 16) as usize {
+        h = mix(h, i32::from_le_bytes(data[i..i + 4].try_into().expect("len")));
+        i += 4;
+    }
+    h
+}
+
+/// jpeg: forward DCT + quantization + zigzag RLE over a synthetic image.
+pub fn jpeg(n: i32) -> i32 {
+    // Zigzag table (mirrors the WaCC construction).
+    let mut zig = [0u8; 64];
+    let mut idx = 0usize;
+    for s in 0..15i32 {
+        if s % 2 == 0 {
+            let mut r = s.min(7);
+            while r >= 0 && s - r <= 7 {
+                zig[idx] = (r * 8 + (s - r)) as u8;
+                idx += 1;
+                r -= 1;
+            }
+        } else {
+            let mut c = s.min(7);
+            while c >= 0 && s - c <= 7 {
+                zig[idx] = ((s - c) * 8 + c) as u8;
+                idx += 1;
+                c -= 1;
+            }
+        }
+    }
+    let mut qtab = [0i32; 64];
+    for r in 0..8 {
+        for c in 0..8 {
+            qtab[r * 8 + c] = 8 + (r + c) as i32 * 3;
+        }
+    }
+    fn cos_approx(x: f64) -> f64 {
+        let two_pi = 6.283185307179586;
+        let mut v = x - (x / two_pi).floor() * two_pi;
+        if v > 3.141592653589793 {
+            v -= two_pi;
+        }
+        let v2 = v * v;
+        1.0 - v2 / 2.0 + v2 * v2 / 24.0 - v2 * v2 * v2 / 720.0 + v2 * v2 * v2 * v2 / 40320.0
+            - v2 * v2 * v2 * v2 * v2 / 3628800.0
+    }
+    fn wasm_nearest(x: f64) -> f64 {
+        let r = x.round();
+        if (x - x.trunc()).abs() == 0.5 {
+            2.0 * (x / 2.0).round()
+        } else {
+            r
+        }
+    }
+    let img_w = (n * 8) as usize;
+    let mut rng = Rng::new(71);
+    let mut img = vec![0u8; img_w * img_w];
+    for y in 0..img_w {
+        for x in 0..img_w {
+            let v = ((x as i32).wrapping_mul(3).wrapping_add((y as i32).wrapping_mul(2)) as u32
+                % 256) as i32;
+            img[y * img_w + x] = ((v + rng.below(32)) & 255) as u8;
+        }
+    }
+    let mut out: Vec<u8> = Vec::new();
+    let mut dcsum = 0i32;
+    let mut blk = [0f64; 64];
+    let mut coef = [0f64; 64];
+    for by in 0..n as usize {
+        for bx in 0..n as usize {
+            for x in 0..8 {
+                for y in 0..8 {
+                    let px = img[(by * 8 + x) * img_w + bx * 8 + y] as i32;
+                    blk[x * 8 + y] = (px - 128) as f64;
+                }
+            }
+            for u in 0..8usize {
+                for v in 0..8usize {
+                    let mut sum = 0f64;
+                    for x in 0..8usize {
+                        for y in 0..8usize {
+                            let cx = cos_approx(
+                                ((2 * x + 1) * u) as f64 * 0.19634954084936207,
+                            );
+                            let cy = cos_approx(
+                                ((2 * y + 1) * v) as f64 * 0.19634954084936207,
+                            );
+                            sum += blk[x * 8 + y] * cx * cy;
+                        }
+                    }
+                    let cu = if u == 0 { 0.7071067811865476 } else { 1.0 };
+                    let cv = if v == 0 { 0.7071067811865476 } else { 1.0 };
+                    coef[u * 8 + v] = 0.25 * cu * cv * sum;
+                }
+            }
+            let mut runlen = 0i32;
+            for k in 0..64 {
+                let pos = zig[k] as usize;
+                let quant = wasm_nearest(coef[pos] / qtab[pos] as f64) as i32;
+                if k == 0 {
+                    dcsum = dcsum.wrapping_add(quant);
+                }
+                if quant == 0 {
+                    runlen += 1;
+                } else {
+                    out.push((runlen & 255) as u8);
+                    out.push((quant & 255) as u8);
+                    out.push(((quant >> 8) & 255) as u8);
+                    runlen = 0;
+                }
+            }
+            out.push(255);
+        }
+    }
+    let mut h = mix(0, dcsum);
+    h = mix(h, out.len() as i32);
+    let mut i = 0usize;
+    while i < out.len() {
+        h = mix(h, out[i] as i32);
+        i += 7;
+    }
+    h
+}

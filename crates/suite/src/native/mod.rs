@@ -1,0 +1,21 @@
+//! Native Rust implementations mirroring every WaCC benchmark
+//! operation-for-operation (same arithmetic in the same order, so the
+//! checksums are bit-identical).
+
+// These mirrors must reproduce the WaCC source literally — the same
+// float literals (not `consts::PI`), the same index arithmetic, the same
+// control shape — or the differential checksums diverge. Style lints that
+// would rewrite the arithmetic are therefore off for this subtree.
+#![allow(clippy::approx_constant)]
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_range_contains)]
+#![allow(clippy::assign_op_pattern)]
+#![allow(clippy::identity_op)]
+#![allow(clippy::int_plus_one)]
+#![allow(clippy::manual_is_multiple_of)]
+#![allow(clippy::manual_clamp)]
+
+pub mod apps;
+pub mod jetstream2;
+pub mod mibench;
+pub mod polybench;

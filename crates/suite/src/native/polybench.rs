@@ -1,0 +1,1246 @@
+//! Native mirrors of the 30 PolyBench kernels, matching the WaCC
+//! programs' arithmetic operation-for-operation.
+
+use crate::common::{fmix, mix, Rng};
+
+#[inline]
+fn remu(a: i32, b: i32) -> i32 {
+    (a as u32 % b as u32) as i32
+}
+
+/// gemm
+pub fn gemm(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    let mut c = vec![0f64; nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            let (iw, jw) = (i as i32, j as i32);
+            a[i * nn + j] = remu(iw.wrapping_mul(jw) + 1, n) as f64 / nf;
+            b[i * nn + j] = remu(iw.wrapping_mul(jw) + 2, n) as f64 / nf;
+            c[i * nn + j] = remu(iw.wrapping_mul(jw) + 3, n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        for j in 0..nn {
+            c[i * nn + j] *= beta;
+        }
+        for k in 0..nn {
+            let aik = alpha * a[i * nn + k];
+            for j in 0..nn {
+                c[i * nn + j] += aik * b[k * nn + j];
+            }
+        }
+    }
+    let mut h = 0i32;
+    for i in 0..nn {
+        h = fmix(h, c[i * nn + remu(i as i32 * 7, n) as usize]);
+    }
+    let mut s = 0f64;
+    for v in &c {
+        s += v;
+    }
+    fmix(h, s)
+}
+
+/// 2mm
+pub fn two_mm(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    let mut c = vec![0f64; nn * nn];
+    let mut d = vec![0f64; nn * nn];
+    let mut tmp = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(i.wrapping_mul(j) + 1, n) as f64 / nf;
+            b[p] = remu(i.wrapping_mul(j + 1), n) as f64 / nf;
+            c[p] = remu(i.wrapping_mul(j + 3) + 1, n) as f64 / nf;
+            d[p] = remu(i.wrapping_mul(j + 2), n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        for j in 0..nn {
+            let mut s = 0f64;
+            for k in 0..nn {
+                s += alpha * a[i * nn + k] * b[k * nn + j];
+            }
+            tmp[i * nn + j] = s;
+        }
+    }
+    for i in 0..nn {
+        for j in 0..nn {
+            let mut s = d[i * nn + j] * beta;
+            for k in 0..nn {
+                s += tmp[i * nn + k] * c[k * nn + j];
+            }
+            d[i * nn + j] = s;
+        }
+    }
+    let mut s = 0f64;
+    for v in &d {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// 3mm
+pub fn three_mm(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    let mut c = vec![0f64; nn * nn];
+    let mut d = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(i.wrapping_mul(j) + 1, n) as f64 / nf / 5.0;
+            b[p] = remu(i.wrapping_mul(j + 1) + 2, n) as f64 / nf / 5.0;
+            c[p] = remu(i.wrapping_mul(j + 3), n) as f64 / nf / 5.0;
+            d[p] = remu(i.wrapping_mul(j + 2) + 2, n) as f64 / nf / 5.0;
+        }
+    }
+    let mm = |x: &[f64], y: &[f64]| -> Vec<f64> {
+        let mut out = vec![0f64; nn * nn];
+        for i in 0..nn {
+            for j in 0..nn {
+                let mut s = 0f64;
+                for k in 0..nn {
+                    s += x[i * nn + k] * y[k * nn + j];
+                }
+                out[i * nn + j] = s;
+            }
+        }
+        out
+    };
+    let e = mm(&a, &b);
+    let f = mm(&c, &d);
+    let g = mm(&e, &f);
+    let mut s = 0f64;
+    for v in &g {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// atax
+pub fn atax(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut x = vec![0f64; nn];
+    let mut y = vec![0f64; nn];
+    for i in 0..nn {
+        x[i] = 1.0 + i as f64 / nf;
+        for j in 0..nn {
+            a[i * nn + j] = remu((i + j) as i32, n) as f64 / (5.0 * nf);
+        }
+    }
+    for i in 0..nn {
+        let mut s = 0f64;
+        for j in 0..nn {
+            s += a[i * nn + j] * x[j];
+        }
+        for j in 0..nn {
+            y[j] += a[i * nn + j] * s;
+        }
+    }
+    let mut h = 0i32;
+    for v in &y {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// bicg
+pub fn bicg(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut s = vec![0f64; nn];
+    let mut q = vec![0f64; nn];
+    let mut p = vec![0f64; nn];
+    let mut r = vec![0f64; nn];
+    for i in 0..nn as i32 {
+        p[i as usize] = remu(i, n) as f64 / nf;
+        r[i as usize] = remu(i * 3 + 1, n) as f64 / nf;
+        for j in 0..nn as i32 {
+            a[(i as usize) * nn + j as usize] = remu(i.wrapping_mul(j + 1) + 1, n) as f64 / nf;
+        }
+    }
+    for i in 0..nn {
+        let ri = r[i];
+        let mut acc = 0f64;
+        for j in 0..nn {
+            s[j] += ri * a[i * nn + j];
+            acc += a[i * nn + j] * p[j];
+        }
+        q[i] = acc;
+    }
+    let mut h = 0i32;
+    for i in 0..nn {
+        h = fmix(h, s[i]);
+        h = fmix(h, q[i]);
+    }
+    h
+}
+
+/// mvt
+pub fn mvt(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut x1 = vec![0f64; nn];
+    let mut x2 = vec![0f64; nn];
+    let mut y1 = vec![0f64; nn];
+    let mut y2 = vec![0f64; nn];
+    for i in 0..nn as i32 {
+        x1[i as usize] = remu(i, n) as f64 / nf;
+        x2[i as usize] = remu(i + 1, n) as f64 / nf;
+        y1[i as usize] = remu(i + 3, n) as f64 / nf;
+        y2[i as usize] = remu(i + 4, n) as f64 / nf;
+        for j in 0..nn as i32 {
+            a[(i as usize) * nn + j as usize] = remu(i.wrapping_mul(j), n) as f64 / nf;
+        }
+    }
+    for i in 0..nn {
+        let mut s = x1[i];
+        for j in 0..nn {
+            s += a[i * nn + j] * y1[j];
+        }
+        x1[i] = s;
+    }
+    for i in 0..nn {
+        let mut s = x2[i];
+        for j in 0..nn {
+            s += a[j * nn + i] * y2[j];
+        }
+        x2[i] = s;
+    }
+    let mut h = 0i32;
+    for i in 0..nn {
+        h = fmix(h, x1[i]);
+        h = fmix(h, x2[i]);
+    }
+    h
+}
+
+/// gesummv
+pub fn gesummv(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    let mut x = vec![0f64; nn];
+    let mut y = vec![0f64; nn];
+    for i in 0..nn as i32 {
+        x[i as usize] = remu(i, n) as f64 / nf;
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(i.wrapping_mul(j) + 1, n) as f64 / nf;
+            b[p] = remu(i.wrapping_mul(j) + 2, n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        let (mut t1, mut t2) = (0f64, 0f64);
+        for j in 0..nn {
+            t1 += a[i * nn + j] * x[j];
+            t2 += b[i * nn + j] * x[j];
+        }
+        y[i] = alpha * t1 + beta * t2;
+    }
+    let mut h = 0i32;
+    for v in &y {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// gemver
+pub fn gemver(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut u1 = vec![0f64; nn];
+    let mut v1 = vec![0f64; nn];
+    let mut u2 = vec![0f64; nn];
+    let mut v2 = vec![0f64; nn];
+    let mut w = vec![0f64; nn];
+    let mut x = vec![0f64; nn];
+    let mut y = vec![0f64; nn];
+    let mut z = vec![0f64; nn];
+    for i in 0..nn as i32 {
+        let fi = i as f64;
+        u1[i as usize] = fi / nf;
+        u2[i as usize] = (fi + 1.0) / nf / 2.0;
+        v1[i as usize] = (fi + 2.0) / nf / 4.0;
+        v2[i as usize] = (fi + 3.0) / nf / 6.0;
+        y[i as usize] = (fi + 4.0) / nf / 8.0;
+        z[i as usize] = (fi + 5.0) / nf / 9.0;
+        for j in 0..nn as i32 {
+            a[(i as usize) * nn + j as usize] = remu(i.wrapping_mul(j), n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        for j in 0..nn {
+            a[i * nn + j] = a[i * nn + j] + u1[i] * v1[j] + u2[i] * v2[j];
+        }
+    }
+    for i in 0..nn {
+        let mut s = x[i];
+        for j in 0..nn {
+            s += beta * a[j * nn + i] * y[j];
+        }
+        x[i] = s;
+    }
+    for i in 0..nn {
+        x[i] += z[i];
+    }
+    for i in 0..nn {
+        let mut s = w[i];
+        for j in 0..nn {
+            s += alpha * a[i * nn + j] * x[j];
+        }
+        w[i] = s;
+    }
+    let mut h = 0i32;
+    for v in &w {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// symm
+pub fn symm(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    let mut c = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let (mut lo, mut hi) = (i, j);
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(lo.wrapping_mul(hi) + 1, n) as f64 / nf;
+            b[p] = remu(i + j, n) as f64 / nf;
+            c[p] = remu(i * 2 + j, n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        for j in 0..nn {
+            let mut temp2 = 0f64;
+            for k in 0..i {
+                c[k * nn + j] += alpha * b[i * nn + j] * a[i * nn + k];
+                temp2 += b[k * nn + j] * a[i * nn + k];
+            }
+            c[i * nn + j] =
+                beta * c[i * nn + j] + alpha * b[i * nn + j] * a[i * nn + i] + alpha * temp2;
+        }
+    }
+    let mut s = 0f64;
+    for v in &c {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// syrk
+pub fn syrk(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut c = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(i.wrapping_mul(j) + 1, n) as f64 / nf;
+            c[p] = remu(i + j + 2, n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        for j in 0..=i {
+            c[i * nn + j] *= beta;
+        }
+        for k in 0..nn {
+            for j in 0..=i {
+                c[i * nn + j] += alpha * a[i * nn + k] * a[j * nn + k];
+            }
+        }
+    }
+    let mut s = 0f64;
+    for v in &c {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// syr2k
+pub fn syr2k(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    let mut c = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(i.wrapping_mul(j) + 1, n) as f64 / nf;
+            b[p] = remu(i.wrapping_mul(j) + 2, n) as f64 / nf;
+            c[p] = remu(i + j + 3, n) as f64 / nf;
+        }
+    }
+    let (alpha, beta) = (1.5, 1.2);
+    for i in 0..nn {
+        for j in 0..=i {
+            c[i * nn + j] *= beta;
+        }
+        for k in 0..nn {
+            for j in 0..=i {
+                c[i * nn + j] = c[i * nn + j]
+                    + a[j * nn + k] * alpha * b[i * nn + k]
+                    + b[j * nn + k] * alpha * a[i * nn + k];
+            }
+        }
+    }
+    let mut s = 0f64;
+    for v in &c {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// trmm
+pub fn trmm(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            a[p] = remu(i + j, n) as f64 / nf;
+            b[p] = remu(n + i - j, n) as f64 / nf;
+        }
+    }
+    let alpha = 1.5;
+    for i in 0..nn {
+        for j in 0..nn {
+            let mut s = b[i * nn + j];
+            for k in i + 1..nn {
+                s += a[k * nn + i] * b[k * nn + j];
+            }
+            b[i * nn + j] = alpha * s;
+        }
+    }
+    let mut s = 0f64;
+    for v in &b {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// correlation
+pub fn correlation(n: i32) -> i32 {
+    let nn = n as usize;
+    let float_n = n as f64;
+    let mut data = vec![0f64; nn * nn];
+    let mut corr = vec![0f64; nn * nn];
+    let mut mean = vec![0f64; nn];
+    let mut stddev = vec![0f64; nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            data[i * nn + j] = ((i as i32).wrapping_mul(j as i32)) as f64 / float_n + i as f64;
+        }
+    }
+    let eps = 0.1;
+    for j in 0..nn {
+        let mut m = 0f64;
+        for i in 0..nn {
+            m += data[i * nn + j];
+        }
+        m /= float_n;
+        mean[j] = m;
+        let mut sd = 0f64;
+        for i in 0..nn {
+            let d = data[i * nn + j] - m;
+            sd += d * d;
+        }
+        sd = (sd / float_n).sqrt();
+        if sd <= eps {
+            sd = 1.0;
+        }
+        stddev[j] = sd;
+    }
+    for i in 0..nn {
+        for j in 0..nn {
+            let v = data[i * nn + j] - mean[j];
+            data[i * nn + j] = v / (float_n.sqrt() * stddev[j]);
+        }
+    }
+    for i in 0..nn - 1 {
+        corr[i * nn + i] = 1.0;
+        for j in i + 1..nn {
+            let mut s = 0f64;
+            for k in 0..nn {
+                s += data[k * nn + i] * data[k * nn + j];
+            }
+            corr[i * nn + j] = s;
+            corr[j * nn + i] = s;
+        }
+    }
+    corr[(nn - 1) * nn + (nn - 1)] = 1.0;
+    let mut s = 0f64;
+    for v in &corr {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// covariance
+pub fn covariance(n: i32) -> i32 {
+    let nn = n as usize;
+    let float_n = n as f64;
+    let mut data = vec![0f64; nn * nn];
+    let mut cov = vec![0f64; nn * nn];
+    let mut mean = vec![0f64; nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            data[i * nn + j] = ((i as i32).wrapping_mul(j as i32)) as f64 / float_n;
+        }
+    }
+    for j in 0..nn {
+        let mut m = 0f64;
+        for i in 0..nn {
+            m += data[i * nn + j];
+        }
+        mean[j] = m / float_n;
+    }
+    for i in 0..nn {
+        for j in 0..nn {
+            data[i * nn + j] -= mean[j];
+        }
+    }
+    for i in 0..nn {
+        for j in i..nn {
+            let mut s = 0f64;
+            for k in 0..nn {
+                s += data[k * nn + i] * data[k * nn + j];
+            }
+            s /= float_n - 1.0;
+            cov[i * nn + j] = s;
+            cov[j * nn + i] = s;
+        }
+    }
+    let mut s = 0f64;
+    for v in &cov {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// doitgen
+pub fn doitgen(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn * nn];
+    let mut c4 = vec![0f64; nn * nn];
+    let mut sum = vec![0f64; nn];
+    for r in 0..nn as i32 {
+        for q in 0..nn as i32 {
+            for s in 0..nn as i32 {
+                a[((r as usize) * nn + q as usize) * nn + s as usize] =
+                    remu(r.wrapping_mul(q) + s, n) as f64 / nf;
+            }
+        }
+    }
+    for s in 0..nn as i32 {
+        for p in 0..nn as i32 {
+            c4[(s as usize) * nn + p as usize] = remu(s.wrapping_mul(p), n) as f64 / nf;
+        }
+    }
+    for r in 0..nn {
+        for q in 0..nn {
+            for p in 0..nn {
+                let mut acc = 0f64;
+                for s in 0..nn {
+                    acc += a[(r * nn + q) * nn + s] * c4[s * nn + p];
+                }
+                sum[p] = acc;
+            }
+            for p in 0..nn {
+                a[(r * nn + q) * nn + p] = sum[p];
+            }
+        }
+    }
+    let mut s = 0f64;
+    for v in &a {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// trisolv
+pub fn trisolv(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut l = vec![0f64; nn * nn];
+    let mut x = vec![-999.0f64; nn];
+    let mut b = vec![0f64; nn];
+    for i in 0..nn {
+        b[i] = i as f64;
+        for j in 0..=i {
+            l[i * nn + j] = (i + nn - j + 1) as f64 * 2.0 / nf;
+        }
+    }
+    for i in 0..nn {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[i * nn + j] * x[j];
+        }
+        x[i] = s / l[i * nn + i];
+    }
+    let mut h = 0i32;
+    for v in &x {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// cholesky
+pub fn cholesky(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            b[(i as usize) * nn + j as usize] = remu(i.wrapping_mul(j) + 1, n) as f64 / nf;
+        }
+    }
+    for i in 0..nn {
+        for j in 0..nn {
+            let mut s = 0f64;
+            for k in 0..nn {
+                s += b[i * nn + k] * b[j * nn + k];
+            }
+            if i == j {
+                s += nf;
+            }
+            a[i * nn + j] = s;
+        }
+    }
+    for i in 0..nn {
+        for j in 0..i {
+            let mut s = a[i * nn + j];
+            for k in 0..j {
+                s -= a[i * nn + k] * a[j * nn + k];
+            }
+            a[i * nn + j] = s / a[j * nn + j];
+        }
+        let mut s = a[i * nn + i];
+        for k in 0..i {
+            let v = a[i * nn + k];
+            s -= v * v;
+        }
+        a[i * nn + i] = s.sqrt();
+    }
+    let mut h = 0i32;
+    for i in 0..nn {
+        for j in 0..=i {
+            if (i + j) as u32 % 7 == 0 {
+                h = fmix(h, a[i * nn + j]);
+            }
+        }
+    }
+    h
+}
+
+/// durbin
+pub fn durbin(n: i32) -> i32 {
+    let nn = n as usize;
+    let mut r = vec![0f64; nn];
+    let mut y = vec![0f64; nn];
+    let mut z = vec![0f64; nn];
+    for i in 0..nn {
+        r[i] = (nn + 1 - i) as f64 / (nn * 2) as f64;
+    }
+    y[0] = -r[0];
+    let mut beta = 1.0f64;
+    let mut alpha = -r[0];
+    for k in 1..nn {
+        beta = (1.0 - alpha * alpha) * beta;
+        let mut s = 0f64;
+        for i in 0..k {
+            s += r[k - i - 1] * y[i];
+        }
+        alpha = -(r[k] + s) / beta;
+        for i in 0..k {
+            z[i] = y[i] + alpha * y[k - i - 1];
+        }
+        y[..k].copy_from_slice(&z[..k]);
+        y[k] = alpha;
+    }
+    let mut h = 0i32;
+    for v in &y {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// gramschmidt
+pub fn gramschmidt(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut r = vec![0f64; nn * nn];
+    let mut q = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            a[(i as usize) * nn + j as usize] =
+                (remu(i.wrapping_mul(j), n) as f64 / nf + 1.0) * 10.0;
+        }
+    }
+    for k in 0..nn {
+        let mut nrm = 0f64;
+        for i in 0..nn {
+            let v = a[i * nn + k];
+            nrm += v * v;
+        }
+        r[k * nn + k] = nrm.sqrt();
+        for i in 0..nn {
+            q[i * nn + k] = a[i * nn + k] / r[k * nn + k];
+        }
+        for j in k + 1..nn {
+            let mut s = 0f64;
+            for i in 0..nn {
+                s += q[i * nn + k] * a[i * nn + j];
+            }
+            r[k * nn + j] = s;
+            for i in 0..nn {
+                a[i * nn + j] -= q[i * nn + k] * s;
+            }
+        }
+    }
+    let mut s = 0f64;
+    for i in 0..nn * nn {
+        s = s + r[i] + q[i];
+    }
+    fmix(0, s)
+}
+
+fn lu_style_input(n: i32) -> Vec<f64> {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let mut v = if j <= i {
+                0i32.wrapping_sub(remu(i + j, n)) as f64 / nf + 1.0
+            } else {
+                0.0
+            };
+            if i == j {
+                v = 1.0;
+            }
+            a[(i as usize) * nn + j as usize] = v;
+        }
+    }
+    let mut b = vec![0f64; nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            let mut s = 0f64;
+            for k in 0..nn {
+                s += a[i * nn + k] * a[j * nn + k];
+            }
+            b[i * nn + j] = s;
+        }
+    }
+    b
+}
+
+fn lu_decompose(a: &mut [f64], nn: usize) {
+    for i in 0..nn {
+        for j in 0..i {
+            let mut s = a[i * nn + j];
+            for k in 0..j {
+                s -= a[i * nn + k] * a[k * nn + j];
+            }
+            a[i * nn + j] = s / a[j * nn + j];
+        }
+        for j in i..nn {
+            let mut s = a[i * nn + j];
+            for k in 0..i {
+                s -= a[i * nn + k] * a[k * nn + j];
+            }
+            a[i * nn + j] = s;
+        }
+    }
+}
+
+/// lu
+pub fn lu(n: i32) -> i32 {
+    let nn = n as usize;
+    let mut a = lu_style_input(n);
+    lu_decompose(&mut a, nn);
+    let mut s = 0f64;
+    for v in &a {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// ludcmp
+pub fn ludcmp(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut b = vec![0f64; nn];
+    for (i, bi) in b.iter_mut().enumerate() {
+        *bi = (i + 1) as f64 / nf / 2.0 + 4.0;
+    }
+    let mut a = lu_style_input(n);
+    lu_decompose(&mut a, nn);
+    let mut y = vec![0f64; nn];
+    let mut x = vec![0f64; nn];
+    for i in 0..nn {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= a[i * nn + j] * y[j];
+        }
+        y[i] = s;
+    }
+    for i in (0..nn).rev() {
+        let mut s = y[i];
+        for j in i + 1..nn {
+            s -= a[i * nn + j] * x[j];
+        }
+        x[i] = s / a[i * nn + i];
+    }
+    let mut h = 0i32;
+    for v in &x {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// floyd-warshall
+pub fn floyd_warshall(n: i32) -> i32 {
+    let nn = n as usize;
+    let mut path = vec![0i32; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let mut w = remu(i.wrapping_mul(j), 7) + 1;
+            if remu(i + j, 13) == 0 || remu(i, 7) == 0 || remu(j, 11) == 0 {
+                w = 999;
+            }
+            if i == j {
+                w = 0;
+            }
+            path[(i as usize) * nn + j as usize] = w;
+        }
+    }
+    for k in 0..nn {
+        for i in 0..nn {
+            let ik = path[i * nn + k];
+            for j in 0..nn {
+                let via = ik.wrapping_add(path[k * nn + j]);
+                if via < path[i * nn + j] {
+                    path[i * nn + j] = via;
+                }
+            }
+        }
+    }
+    let mut h = 0i32;
+    for v in &path {
+        h = mix(h, *v);
+    }
+    h
+}
+
+/// nussinov
+pub fn nussinov(n: i32) -> i32 {
+    let nn = n as usize;
+    let mut rng = Rng::new(73);
+    let seq: Vec<u8> = (0..nn).map(|_| rng.below(4) as u8).collect();
+    let mut table = vec![0i32; nn * nn];
+    for i in (0..nn as i32).rev() {
+        for j in i + 1..nn as i32 {
+            let (iu, ju) = (i as usize, j as usize);
+            let mut best = table[iu * nn + ju - 1];
+            if i + 1 < nn as i32 {
+                best = best.max(table[(iu + 1) * nn + ju]);
+            }
+            if i + 1 < nn as i32 && j - 1 >= 0 {
+                let pair = (seq[iu] as i32 + seq[ju] as i32 == 3) as i32;
+                if i < j - 1 {
+                    best = best.max(table[(iu + 1) * nn + ju - 1] + pair);
+                } else {
+                    best = best.max(pair);
+                }
+            }
+            for k in i + 1..j {
+                best = best.max(table[iu * nn + k as usize] + table[(k as usize + 1) * nn + ju]);
+            }
+            table[iu * nn + ju] = best;
+        }
+    }
+    let mut h = mix(0, table[nn - 1]);
+    for i in 0..nn {
+        h = mix(h, table[i * nn + nn - 1]);
+    }
+    h
+}
+
+/// jacobi-1d
+pub fn jacobi_1d(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a: Vec<f64> = (0..nn).map(|i| (i + 2) as f64 / nf).collect();
+    let mut b: Vec<f64> = (0..nn).map(|i| (i + 3) as f64 / nf).collect();
+    let tsteps = n / 2;
+    for _ in 0..tsteps {
+        for i in 1..nn - 1 {
+            b[i] = 0.33333 * (a[i - 1] + a[i] + a[i + 1]);
+        }
+        for i in 1..nn - 1 {
+            a[i] = 0.33333 * (b[i - 1] + b[i] + b[i + 1]);
+        }
+    }
+    let mut h = 0i32;
+    for v in &a {
+        h = fmix(h, *v);
+    }
+    h
+}
+
+/// jacobi-2d
+pub fn jacobi_2d(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    let mut b = vec![0f64; nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            a[i * nn + j] = (i as f64 * (j + 2) as f64 + 2.0) / nf;
+            b[i * nn + j] = (i as f64 * (j + 3) as f64 + 3.0) / nf;
+        }
+    }
+    let tsteps = n / 4 + 1;
+    for _ in 0..tsteps {
+        for i in 1..nn - 1 {
+            for j in 1..nn - 1 {
+                b[i * nn + j] = 0.2
+                    * (a[i * nn + j]
+                        + a[i * nn + j - 1]
+                        + a[i * nn + j + 1]
+                        + a[(i + 1) * nn + j]
+                        + a[(i - 1) * nn + j]);
+            }
+        }
+        for i in 1..nn - 1 {
+            for j in 1..nn - 1 {
+                a[i * nn + j] = 0.2
+                    * (b[i * nn + j]
+                        + b[i * nn + j - 1]
+                        + b[i * nn + j + 1]
+                        + b[(i + 1) * nn + j]
+                        + b[(i - 1) * nn + j]);
+            }
+        }
+    }
+    let mut s = 0f64;
+    for v in &a {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// seidel-2d
+pub fn seidel_2d(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            a[i * nn + j] = (i as f64 * (j + 2) as f64 + 2.0) / nf;
+        }
+    }
+    let tsteps = n / 4 + 1;
+    for _ in 0..tsteps {
+        for i in 1..nn - 1 {
+            for j in 1..nn - 1 {
+                a[i * nn + j] = (a[(i - 1) * nn + j - 1]
+                    + a[(i - 1) * nn + j]
+                    + a[(i - 1) * nn + j + 1]
+                    + a[i * nn + j - 1]
+                    + a[i * nn + j]
+                    + a[i * nn + j + 1]
+                    + a[(i + 1) * nn + j - 1]
+                    + a[(i + 1) * nn + j]
+                    + a[(i + 1) * nn + j + 1])
+                    / 9.0;
+            }
+        }
+    }
+    let mut s = 0f64;
+    for v in &a {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// heat-3d
+pub fn heat_3d(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut a = vec![0f64; nn * nn * nn];
+    let mut b = vec![0f64; nn * nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            for k in 0..nn {
+                let v = ((i + j) as f64 + (nn - k) as f64) * 10.0 / nf;
+                a[(i * nn + j) * nn + k] = v;
+                b[(i * nn + j) * nn + k] = v;
+            }
+        }
+    }
+    let idx = |i: usize, j: usize, k: usize| (i * nn + j) * nn + k;
+    for _ in 0..4 {
+        for i in 1..nn - 1 {
+            for j in 1..nn - 1 {
+                for k in 1..nn - 1 {
+                    b[idx(i, j, k)] = 0.125
+                        * (a[idx(i + 1, j, k)] - 2.0 * a[idx(i, j, k)] + a[idx(i - 1, j, k)])
+                        + 0.125
+                            * (a[idx(i, j + 1, k)] - 2.0 * a[idx(i, j, k)] + a[idx(i, j - 1, k)])
+                        + 0.125
+                            * (a[idx(i, j, k + 1)] - 2.0 * a[idx(i, j, k)] + a[idx(i, j, k - 1)])
+                        + a[idx(i, j, k)];
+                }
+            }
+        }
+        for i in 1..nn - 1 {
+            for j in 1..nn - 1 {
+                for k in 1..nn - 1 {
+                    a[idx(i, j, k)] = 0.125
+                        * (b[idx(i + 1, j, k)] - 2.0 * b[idx(i, j, k)] + b[idx(i - 1, j, k)])
+                        + 0.125
+                            * (b[idx(i, j + 1, k)] - 2.0 * b[idx(i, j, k)] + b[idx(i, j - 1, k)])
+                        + 0.125
+                            * (b[idx(i, j, k + 1)] - 2.0 * b[idx(i, j, k)] + b[idx(i, j, k - 1)])
+                        + b[idx(i, j, k)];
+                }
+            }
+        }
+    }
+    let mut s = 0f64;
+    for v in &a {
+        s += v;
+    }
+    fmix(0, s)
+}
+
+/// fdtd-2d
+pub fn fdtd_2d(n: i32) -> i32 {
+    let nn = n as usize;
+    let nf = n as f64;
+    let mut ex = vec![0f64; nn * nn];
+    let mut ey = vec![0f64; nn * nn];
+    let mut hz = vec![0f64; nn * nn];
+    for i in 0..nn as i32 {
+        for j in 0..nn as i32 {
+            let p = (i as usize) * nn + j as usize;
+            ex[p] = i.wrapping_mul(j + 1) as f64 / nf;
+            ey[p] = i.wrapping_mul(j + 2) as f64 / nf;
+            hz[p] = i.wrapping_mul(j + 3) as f64 / nf;
+        }
+    }
+    let tmax = n / 8 + 2;
+    for t in 0..tmax {
+        for j in 0..nn {
+            ey[j] = t as f64;
+        }
+        for i in 1..nn {
+            for j in 0..nn {
+                ey[i * nn + j] -= 0.5 * (hz[i * nn + j] - hz[(i - 1) * nn + j]);
+            }
+        }
+        for i in 0..nn {
+            for j in 1..nn {
+                ex[i * nn + j] -= 0.5 * (hz[i * nn + j] - hz[i * nn + j - 1]);
+            }
+        }
+        for i in 0..nn - 1 {
+            for j in 0..nn - 1 {
+                hz[i * nn + j] -= 0.7
+                    * (ex[i * nn + j + 1] - ex[i * nn + j] + ey[(i + 1) * nn + j]
+                        - ey[i * nn + j]);
+            }
+        }
+    }
+    let mut s = 0f64;
+    for i in 0..nn * nn {
+        s = s + ex[i] + ey[i] + hz[i];
+    }
+    fmix(0, s)
+}
+
+/// adi
+pub fn adi(n: i32) -> i32 {
+    let nn = n as usize;
+    let mut u = vec![0f64; nn * nn];
+    let mut v = vec![0f64; nn * nn];
+    let mut p = vec![0f64; nn * nn];
+    let mut q = vec![0f64; nn * nn];
+    for i in 0..nn {
+        for j in 0..nn {
+            u[i * nn + j] = (i + nn - j) as f64 / nn as f64;
+        }
+    }
+    let tsteps = n / 8 + 1;
+    let dx = 1.0 / nn as f64;
+    let dy = 1.0 / nn as f64;
+    let dt = 1.0 / (tsteps + 1) as f64;
+    let b1 = 2.0;
+    let b2 = 1.0;
+    let mul1 = b1 * dt / (dx * dx);
+    let mul2 = b2 * dt / (dy * dy);
+    let aa = -mul1 / 2.0;
+    let bb = 1.0 + mul1;
+    let cc = aa;
+    let dd = -mul2 / 2.0;
+    let ee = 1.0 + mul2;
+    let ff = dd;
+    for _ in 1..=tsteps {
+        for i in 1..nn - 1 {
+            v[i] = 1.0;
+            p[i * nn] = 0.0;
+            q[i * nn] = v[i];
+            for j in 1..nn - 1 {
+                p[i * nn + j] = -cc / (aa * p[i * nn + j - 1] + bb);
+                q[i * nn + j] = (-dd * u[j * nn + i - 1] + (1.0 + 2.0 * dd) * u[j * nn + i]
+                    - ff * u[j * nn + i + 1]
+                    - aa * q[i * nn + j - 1])
+                    / (aa * p[i * nn + j - 1] + bb);
+            }
+            v[(nn - 1) * nn + i] = 1.0;
+            for j in (1..=nn - 2).rev() {
+                v[j * nn + i] = p[i * nn + j] * v[(j + 1) * nn + i] + q[i * nn + j];
+            }
+        }
+        for i in 1..nn - 1 {
+            u[i * nn] = 1.0;
+            p[i * nn] = 0.0;
+            q[i * nn] = u[i * nn];
+            for j in 1..nn - 1 {
+                p[i * nn + j] = -ff / (dd * p[i * nn + j - 1] + ee);
+                q[i * nn + j] = (-aa * v[(i - 1) * nn + j] + (1.0 + 2.0 * aa) * v[i * nn + j]
+                    - cc * v[(i + 1) * nn + j]
+                    - dd * q[i * nn + j - 1])
+                    / (dd * p[i * nn + j - 1] + ee);
+            }
+            u[i * nn + nn - 1] = 1.0;
+            for j in (1..=nn - 2).rev() {
+                u[i * nn + j] = p[i * nn + j] * u[i * nn + j + 1] + q[i * nn + j];
+            }
+        }
+    }
+    let mut s = 0f64;
+    for val in &u {
+        s += val;
+    }
+    fmix(0, s)
+}
+
+/// deriche
+pub fn deriche(n: i32) -> i32 {
+    let w = n as usize;
+    let hgt = n as usize;
+    let mut img = vec![0f64; w * hgt];
+    let mut y1 = vec![0f64; w * hgt];
+    let mut y2 = vec![0f64; w * hgt];
+    let mut out = vec![0f64; w * hgt];
+    for i in 0..w as i32 {
+        for j in 0..hgt as i32 {
+            img[(i as usize) * hgt + j as usize] =
+                remu(313i32.wrapping_mul(i).wrapping_add(991i32.wrapping_mul(j)), 65536) as f64
+                    / 65535.0;
+        }
+    }
+    let alpha = 0.25f64;
+    let ea = 1.0 - alpha + alpha * alpha / 2.0 - alpha * alpha * alpha / 6.0
+        + alpha * alpha * alpha * alpha / 24.0;
+    let k = (1.0 - ea) * (1.0 - ea) / (1.0 + 2.0 * alpha * ea - ea * ea);
+    let a1 = k;
+    let a2 = k * ea * (alpha - 1.0);
+    let a3 = k * ea * (alpha + 1.0);
+    let a4 = -k * ea * ea;
+    let b1 = 2.0 * ea;
+    let b2 = -ea * ea;
+    for i in 0..w {
+        let (mut ym1, mut ym2, mut xm1) = (0f64, 0f64, 0f64);
+        for j in 0..hgt {
+            let x = img[i * hgt + j];
+            let y = a1 * x + a2 * xm1 + b1 * ym1 + b2 * ym2;
+            y1[i * hgt + j] = y;
+            xm1 = x;
+            ym2 = ym1;
+            ym1 = y;
+        }
+        let (mut yp1, mut yp2, mut xp1, mut xp2) = (0f64, 0f64, 0f64, 0f64);
+        for j in (0..hgt).rev() {
+            let x = img[i * hgt + j];
+            let y = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+            y2[i * hgt + j] = y;
+            xp2 = xp1;
+            xp1 = x;
+            yp2 = yp1;
+            yp1 = y;
+        }
+        for j in 0..hgt {
+            out[i * hgt + j] = y1[i * hgt + j] + y2[i * hgt + j];
+        }
+    }
+    for j in 0..hgt {
+        let (mut tm1, mut ym1, mut ym2) = (0f64, 0f64, 0f64);
+        for i in 0..w {
+            let x = out[i * hgt + j];
+            let y = a1 * x + a2 * tm1 + b1 * ym1 + b2 * ym2;
+            y1[i * hgt + j] = y;
+            tm1 = x;
+            ym2 = ym1;
+            ym1 = y;
+        }
+        let (mut tp1, mut tp2, mut yp1, mut yp2) = (0f64, 0f64, 0f64, 0f64);
+        for i in (0..w).rev() {
+            let x = out[i * hgt + j];
+            let y = a3 * tp1 + a4 * tp2 + b1 * yp1 + b2 * yp2;
+            y2[i * hgt + j] = y;
+            tp2 = tp1;
+            tp1 = x;
+            yp2 = yp1;
+            yp1 = y;
+        }
+        for i in 0..w {
+            img[i * hgt + j] = y1[i * hgt + j] + y2[i * hgt + j];
+        }
+    }
+    let mut s = 0f64;
+    for v in &img {
+        s += v;
+    }
+    fmix(0, s)
+}

@@ -1,0 +1,403 @@
+//! The benchmark registry: all 50 WABench programs (Table 2).
+
+// Footprint formulas keep their dimensional form (`n*n * arrays * 8`)
+// even when a factor is 1, so each benchmark's memory layout reads off
+// the registry directly.
+#![allow(clippy::identity_op)]
+// The registry is a single literal list built with one `push` per
+// benchmark so entries can be reordered/commented individually.
+#![allow(clippy::vec_init_then_push)]
+
+use crate::native;
+use crate::{Benchmark, Group, Sizes};
+
+macro_rules! bench {
+    ($name:literal, $group:ident, $domain:literal, $desc:literal,
+     $file:literal, $native:path, test=$t:literal, profile=$p:literal,
+     timing=$w:literal, footprint=$fp:expr) => {
+        Benchmark {
+            name: $name,
+            group: Group::$group,
+            domain: $domain,
+            description: $desc,
+            source: include_str!($file),
+            native: $native,
+            sizes: Sizes {
+                test: $t,
+                profile: $p,
+                timing: $w,
+            },
+            native_footprint: $fp,
+        }
+    };
+}
+
+/// All 50 benchmarks in Table 2 order.
+pub fn all() -> &'static [Benchmark] {
+    static ALL: std::sync::OnceLock<Vec<Benchmark>> = std::sync::OnceLock::new();
+    ALL.get_or_init(build)
+}
+
+/// Finds a benchmark by name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    all().iter().find(|b| b.name == name)
+}
+
+fn build() -> Vec<Benchmark> {
+    let mut v = Vec::with_capacity(50);
+    // ---- JetStream2 (4) ----
+    v.push(bench!(
+        "gcc-loops", JetStream2, "Compilation",
+        "Loops used to tune the GCC vectorizer",
+        "../programs/jetstream2/gcc_loops.wc", native::jetstream2::gcc_loops,
+        test = 256, profile = 20000, timing = 400000,
+        footprint = |n| n as usize * 24
+    ));
+    v.push(bench!(
+        "hashset", JetStream2, "Hash table",
+        "Hash table operations of web page loading",
+        "../programs/jetstream2/hashset.wc", native::jetstream2::hashset,
+        test = 200, profile = 20000, timing = 300000,
+        footprint = |n| (n as usize * 4).next_power_of_two() * 4
+    ));
+    v.push(bench!(
+        "quicksort", JetStream2, "Data Sorting",
+        "Quick sort algorithm implementation",
+        "../programs/jetstream2/quicksort.wc", native::jetstream2::quicksort,
+        test = 500, profile = 50000, timing = 1000000,
+        footprint = |n| n as usize * 4
+    ));
+    v.push(bench!(
+        "tsf", JetStream2, "Data processing",
+        "Implementation of a typed stream format",
+        "../programs/jetstream2/tsf.wc", native::jetstream2::tsf,
+        test = 200, profile = 20000, timing = 300000,
+        footprint = |n| n as usize * 14
+    ));
+    // ---- MiBench (9) ----
+    v.push(bench!(
+        "basicmath", MiBench, "Automotive",
+        "Basic mathematical computations",
+        "../programs/mibench/basicmath.wc", native::mibench::basicmath,
+        test = 50, profile = 2000, timing = 30000,
+        footprint = |_| 4096
+    ));
+    v.push(bench!(
+        "bitcount", MiBench, "Automotive",
+        "Bit manipulations",
+        "../programs/mibench/bitcount.wc", native::mibench::bitcount,
+        test = 500, profile = 50000, timing = 1500000,
+        footprint = |_| 4096
+    ));
+    v.push(bench!(
+        "jpeg", MiBench, "Consumer multimedia",
+        "JPEG image compression/decompression",
+        "../programs/mibench/jpeg.wc", native::mibench::jpeg,
+        test = 3, profile = 6, timing = 24,
+        footprint = |n| (n as usize * 8).pow(2) * 2
+    ));
+    v.push(bench!(
+        "stringsearch", MiBench, "Office automation",
+        "Searching given words in phrases",
+        "../programs/mibench/stringsearch.wc", native::mibench::stringsearch,
+        test = 2000, profile = 40000, timing = 500000,
+        footprint = |n| n as usize
+    ));
+    v.push(bench!(
+        "blowfish", MiBench, "Security",
+        "Symmetric block cipher",
+        "../programs/mibench/blowfish.wc", native::mibench::blowfish,
+        test = 200, profile = 20000, timing = 400000,
+        footprint = |n| n as usize * 8 + 4168
+    ));
+    v.push(bench!(
+        "rijndael", MiBench, "Security",
+        "Block cipher with variable length keys",
+        "../programs/mibench/rijndael.wc", native::mibench::rijndael,
+        test = 50, profile = 3000, timing = 60000,
+        footprint = |n| n as usize * 16 + 512
+    ));
+    v.push(bench!(
+        "sha", MiBench, "Security",
+        "Secure hash algorithm",
+        "../programs/mibench/sha.wc", native::mibench::sha,
+        test = 1000, profile = 100000, timing = 2000000,
+        footprint = |n| n as usize + 512
+    ));
+    v.push(bench!(
+        "adpcm", MiBench, "Telecommunications",
+        "Adaptive differential pulse code modulation",
+        "../programs/mibench/adpcm.wc", native::mibench::adpcm,
+        test = 2000, profile = 100000, timing = 2000000,
+        footprint = |n| n as usize * 3
+    ));
+    v.push(bench!(
+        "crc32", MiBench, "Telecommunications",
+        "32-bit Cyclic Redundancy Check",
+        "../programs/mibench/crc32.wc", native::mibench::crc32,
+        test = 4000, profile = 200000, timing = 4000000,
+        footprint = |n| n as usize + 1024
+    ));
+    // ---- PolyBench (30) ----
+    v.push(bench!(
+        "correlation", PolyBench, "Data mining",
+        "Correlation computation",
+        "../programs/polybench/correlation.wc", native::polybench::correlation,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "covariance", PolyBench, "Data mining",
+        "Covariance computation",
+        "../programs/polybench/covariance.wc", native::polybench::covariance,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "gemm", PolyBench, "Linear algebra",
+        "Matrix multiplication",
+        "../programs/polybench/gemm.wc", native::polybench::gemm,
+        test = 16, profile = 48, timing = 160,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "gemver", PolyBench, "Linear algebra",
+        "Vector multiplication and matrix addition",
+        "../programs/polybench/gemver.wc", native::polybench::gemver,
+        test = 32, profile = 300, timing = 1200,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 8
+    ));
+    v.push(bench!(
+        "gesummv", PolyBench, "Linear algebra",
+        "Scalar, vector and matrix multiplication",
+        "../programs/polybench/gesummv.wc", native::polybench::gesummv,
+        test = 32, profile = 300, timing = 1200,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "symm", PolyBench, "Linear algebra",
+        "Symmetric matrix multiplication",
+        "../programs/polybench/symm.wc", native::polybench::symm,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "syr2k", PolyBench, "Linear algebra",
+        "Symmetric rank-2k operations",
+        "../programs/polybench/syr2k.wc", native::polybench::syr2k,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "syrk", PolyBench, "Linear algebra",
+        "Symmetric rank-k operations",
+        "../programs/polybench/syrk.wc", native::polybench::syrk,
+        test = 16, profile = 48, timing = 160,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "trmm", PolyBench, "Linear algebra",
+        "Triangular matrix multiplication",
+        "../programs/polybench/trmm.wc", native::polybench::trmm,
+        test = 16, profile = 48, timing = 160,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "2mm", PolyBench, "Linear algebra",
+        "Two matrix multiplications",
+        "../programs/polybench/two_mm.wc", native::polybench::two_mm,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 5 * 8
+    ));
+    v.push(bench!(
+        "3mm", PolyBench, "Linear algebra",
+        "Three matrix multiplications",
+        "../programs/polybench/three_mm.wc", native::polybench::three_mm,
+        test = 16, profile = 40, timing = 120,
+        footprint = |n| (n as usize) * (n as usize) * 7 * 8
+    ));
+    v.push(bench!(
+        "atax", PolyBench, "Linear algebra",
+        "Matrix transpose and vector multiplication",
+        "../programs/polybench/atax.wc", native::polybench::atax,
+        test = 32, profile = 300, timing = 1200,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 8
+    ));
+    v.push(bench!(
+        "bicg", PolyBench, "Linear algebra",
+        "BiCG sub kernel of BiCGStab linear solver",
+        "../programs/polybench/bicg.wc", native::polybench::bicg,
+        test = 32, profile = 300, timing = 1200,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 8
+    ));
+    v.push(bench!(
+        "doitgen", PolyBench, "Linear algebra",
+        "Multiresolution analysis kernel",
+        "../programs/polybench/doitgen.wc", native::polybench::doitgen,
+        test = 8, profile = 20, timing = 44,
+        footprint = |n| (n as usize).pow(3) * 8
+    ));
+    v.push(bench!(
+        "mvt", PolyBench, "Linear algebra",
+        "Matrix vector product and transpose",
+        "../programs/polybench/mvt.wc", native::polybench::mvt,
+        test = 32, profile = 300, timing = 1200,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 8
+    ));
+    v.push(bench!(
+        "cholesky", PolyBench, "Linear algebra solver",
+        "Cholesky decomposition",
+        "../programs/polybench/cholesky.wc", native::polybench::cholesky,
+        test = 16, profile = 40, timing = 120,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "durbin", PolyBench, "Linear algebra solver",
+        "Toeplitz system solver",
+        "../programs/polybench/durbin.wc", native::polybench::durbin,
+        test = 32, profile = 400, timing = 2000,
+        footprint = |n| (n as usize).pow(3) * 8
+    ));
+    v.push(bench!(
+        "gramschmidt", PolyBench, "Linear algebra solver",
+        "Gram-Schmidt decomposition",
+        "../programs/polybench/gramschmidt.wc", native::polybench::gramschmidt,
+        test = 16, profile = 40, timing = 120,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "lu", PolyBench, "Linear algebra solver",
+        "LU decomposition",
+        "../programs/polybench/lu.wc", native::polybench::lu,
+        test = 16, profile = 40, timing = 120,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "ludcmp", PolyBench, "Linear algebra solver",
+        "LU decomposition with substitution",
+        "../programs/polybench/ludcmp.wc", native::polybench::ludcmp,
+        test = 16, profile = 40, timing = 120,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "trisolv", PolyBench, "Linear algebra solver",
+        "Triangular solver",
+        "../programs/polybench/trisolv.wc", native::polybench::trisolv,
+        test = 32, profile = 400, timing = 2000,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 8
+    ));
+    v.push(bench!(
+        "deriche", PolyBench, "Image processing",
+        "Edge detection filter",
+        "../programs/polybench/deriche.wc", native::polybench::deriche,
+        test = 16, profile = 100, timing = 400,
+        footprint = |n| (n as usize) * (n as usize) * 4 * 8
+    ));
+    v.push(bench!(
+        "floyd-warshall", PolyBench, "Graph algorithms",
+        "Computing shortest paths in a graph",
+        "../programs/polybench/floyd_warshall.wc", native::polybench::floyd_warshall,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 4
+    ));
+    v.push(bench!(
+        "nussinov", PolyBench, "Sequence alignment",
+        "RNA sequence alignment",
+        "../programs/polybench/nussinov.wc", native::polybench::nussinov,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 4
+    ));
+    v.push(bench!(
+        "adi", PolyBench, "Stencil",
+        "Alternating direction implicit solver",
+        "../programs/polybench/adi.wc", native::polybench::adi,
+        test = 16, profile = 48, timing = 120,
+        footprint = |n| (n as usize) * (n as usize) * 4 * 8
+    ));
+    v.push(bench!(
+        "fdtd-2d", PolyBench, "Stencil",
+        "2-D finite-difference time-domain kernel",
+        "../programs/polybench/fdtd_2d.wc", native::polybench::fdtd_2d,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 3 * 8
+    ));
+    v.push(bench!(
+        "heat-3d", PolyBench, "Stencil",
+        "Heat equation over 3D data domain",
+        "../programs/polybench/heat_3d.wc", native::polybench::heat_3d,
+        test = 8, profile = 20, timing = 44,
+        footprint = |n| (n as usize).pow(3) * 8
+    ));
+    v.push(bench!(
+        "jacobi-1d", PolyBench, "Stencil",
+        "1-D Jacobi stencil computation",
+        "../programs/polybench/jacobi_1d.wc", native::polybench::jacobi_1d,
+        test = 64, profile = 1000, timing = 8000,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "jacobi-2d", PolyBench, "Stencil",
+        "2-D Jacobi stencil computation",
+        "../programs/polybench/jacobi_2d.wc", native::polybench::jacobi_2d,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 2 * 8
+    ));
+    v.push(bench!(
+        "seidel-2d", PolyBench, "Stencil",
+        "2-D Seidel stencil computation",
+        "../programs/polybench/seidel_2d.wc", native::polybench::seidel_2d,
+        test = 16, profile = 48, timing = 140,
+        footprint = |n| (n as usize) * (n as usize) * 1 * 8
+    ));
+    // ---- Whole Applications (7) ----
+    v.push(bench!(
+        "bzip2", Apps, "File management",
+        "File compression/decompression",
+        "../programs/apps/bzip2.wc", native::apps::bzip2,
+        test = 600, profile = 4000, timing = 20000,
+        footprint = |n| n as usize * 2 + 2048
+    ));
+    v.push(bench!(
+        "espeak", Apps, "NLP",
+        "Text-to-Speech synthesizer",
+        "../programs/apps/espeak.wc", native::apps::espeak,
+        test = 400, profile = 8000, timing = 60000,
+        footprint = |n| n as usize * 230
+    ));
+    v.push(bench!(
+        "facedetection", Apps, "Computer vision",
+        "Detecting human faces in images",
+        "../programs/apps/facedetection.wc", native::apps::facedetection,
+        test = 64, profile = 256, timing = 768,
+        footprint = |n| (n as usize) * (n as usize) * 8 * 2
+    ));
+    v.push(bench!(
+        "gnuchess", Apps, "Gaming",
+        "Chess-playing game",
+        "../programs/apps/gnuchess.wc", native::apps::gnuchess,
+        test = 2, profile = 3, timing = 5,
+        footprint = |_| 16384
+    ));
+    v.push(bench!(
+        "mnist", Apps, "Machine learning",
+        "A neural network for digit recognition",
+        "../programs/apps/mnist.wc", native::apps::mnist,
+        test = 30, profile = 300, timing = 1000,
+        footprint = |_| (64 * 32 + 32 * 10 + 200) * 8
+    ));
+    v.push(bench!(
+        "snappy", Apps, "Big data processing",
+        "Data compression/decompression library",
+        "../programs/apps/snappy.wc", native::apps::snappy,
+        test = 5000, profile = 200000, timing = 4000000,
+        footprint = |n| n as usize * 3 + 65536
+    ));
+    v.push(bench!(
+        "whitedb", Apps, "Database",
+        "Lightweight NoSQL database",
+        "../programs/apps/whitedb.wc", native::apps::whitedb,
+        test = 800, profile = 8000, timing = 40000,
+        footprint = |n| n as usize * 20 + 262144
+    ));
+    v
+}

@@ -1,0 +1,450 @@
+//! The abstract syntax tree of the WaCC language.
+//!
+//! WaCC ("WABench C Compiler") is the mini-C language the benchmark suite
+//! is written in. It compiles to WebAssembly + WASI, standing in for the
+//! WASI SDK's clang in the paper's methodology: scalars of the four Wasm
+//! value types, explicit linear-memory intrinsics instead of pointers,
+//! functions, globals, and structured control flow.
+
+use std::fmt;
+
+/// A scalar type (exactly the Wasm value types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float.
+    F64,
+}
+
+impl Ty {
+    /// The Wasm value type this compiles to.
+    pub fn val_type(self) -> wasm_core::ValType {
+        match self {
+            Ty::I32 => wasm_core::ValType::I32,
+            Ty::I64 => wasm_core::ValType::I64,
+            Ty::F32 => wasm_core::ValType::F32,
+            Ty::F64 => wasm_core::ValType::F64,
+        }
+    }
+
+    /// Whether this is an integer type.
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I32 | Ty::I64)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F32 => "f32",
+            Ty::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A literal constant value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Lit {
+    /// i32 literal.
+    I32(i32),
+    /// i64 literal.
+    I64(i64),
+    /// f32 literal.
+    F32(f32),
+    /// f64 literal.
+    F64(f64),
+}
+
+impl Lit {
+    /// The literal's type.
+    pub fn ty(self) -> Ty {
+        match self {
+            Lit::I32(_) => Ty::I32,
+            Lit::I64(_) => Ty::I64,
+            Lit::F32(_) => Ty::F32,
+            Lit::F64(_) => Ty::F64,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed for ints)
+    Div,
+    /// `%` (signed for ints)
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic)
+    Shr,
+    /// `>>>` (logical)
+    ShrU,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    AndAnd,
+    /// `||` (short-circuit)
+    OrOr,
+}
+
+impl BinOp {
+    /// Whether the operator produces an `i32` boolean regardless of
+    /// operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Whether the operator short-circuits.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::AndAnd | BinOp::OrOr)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`), yields i32.
+    Not,
+    /// Bitwise not (`~`), integers only.
+    BitNot,
+}
+
+/// Compiler builtins: numeric intrinsics, memory access, and raw WASI
+/// calls (the friendly I/O helpers are written in WaCC itself, in the
+/// prelude).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // names mirror the surface syntax 1:1
+pub enum Builtin {
+    // Memory access.
+    LoadI32,
+    LoadI64,
+    LoadF32,
+    LoadF64,
+    LoadU8,
+    LoadI8,
+    LoadU16,
+    LoadI16,
+    StoreI32,
+    StoreI64,
+    StoreF32,
+    StoreF64,
+    StoreU8,
+    StoreU16,
+    MemorySize,
+    MemoryGrow,
+    // Unsigned / bit operations on i32 or i64.
+    DivU,
+    RemU,
+    LtU,
+    GtU,
+    LeU,
+    GeU,
+    Clz,
+    Ctz,
+    Popcnt,
+    Rotl,
+    Rotr,
+    // Float math.
+    Sqrt,
+    Abs,
+    Floor,
+    Ceil,
+    TruncF,
+    Nearest,
+    FMin,
+    FMax,
+    Copysign,
+    // Raw WASI imports.
+    WasiFdWrite,
+    WasiFdRead,
+    WasiProcExit,
+    WasiClockTimeGet,
+    WasiRandomGet,
+}
+
+impl Builtin {
+    /// Looks a builtin up by its surface name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match name {
+            "load_i32" => LoadI32,
+            "load_i64" => LoadI64,
+            "load_f32" => LoadF32,
+            "load_f64" => LoadF64,
+            "load_u8" => LoadU8,
+            "load_i8" => LoadI8,
+            "load_u16" => LoadU16,
+            "load_i16" => LoadI16,
+            "store_i32" => StoreI32,
+            "store_i64" => StoreI64,
+            "store_f32" => StoreF32,
+            "store_f64" => StoreF64,
+            "store_u8" => StoreU8,
+            "store_u16" => StoreU16,
+            "memory_size" => MemorySize,
+            "memory_grow" => MemoryGrow,
+            "divu" => DivU,
+            "remu" => RemU,
+            "ltu" => LtU,
+            "gtu" => GtU,
+            "leu" => LeU,
+            "geu" => GeU,
+            "clz" => Clz,
+            "ctz" => Ctz,
+            "popcnt" => Popcnt,
+            "rotl" => Rotl,
+            "rotr" => Rotr,
+            "sqrt" => Sqrt,
+            "abs" => Abs,
+            "floor" => Floor,
+            "ceil" => Ceil,
+            "truncf" => TruncF,
+            "nearest" => Nearest,
+            "fmin" => FMin,
+            "fmax" => FMax,
+            "copysign" => Copysign,
+            "wasi_fd_write" => WasiFdWrite,
+            "wasi_fd_read" => WasiFdRead,
+            "wasi_proc_exit" => WasiProcExit,
+            "wasi_clock_time_get" => WasiClockTimeGet,
+            "wasi_random_get" => WasiRandomGet,
+            _ => return None,
+        })
+    }
+}
+
+/// An expression, annotated with its type after checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression node.
+    pub kind: ExprKind,
+    /// Type, filled in by the checker (`Ty::I32` placeholder before).
+    pub ty: Ty,
+    /// Source line (1-based) for diagnostics.
+    pub line: u32,
+}
+
+impl Expr {
+    /// Creates an unchecked expression node.
+    pub fn new(kind: ExprKind, line: u32) -> Expr {
+        Expr {
+            kind,
+            ty: Ty::I32,
+            line,
+        }
+    }
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Literal constant.
+    Lit(Lit),
+    /// Local variable or parameter reference (resolved slot).
+    Local(u32),
+    /// Global variable reference (resolved index).
+    Global(u32),
+    /// Named reference before resolution.
+    Name(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Type cast (`expr as ty`).
+    Cast(Box<Expr>, Ty),
+    /// Function call by name (resolved to index at check time).
+    Call(String, Vec<Expr>),
+    /// Builtin invocation.
+    Builtin(Builtin, Vec<Expr>),
+    /// String literal, already placed in the data section; evaluates to
+    /// its address.
+    Str(u32),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name: ty = expr;` (slot resolved at check time).
+    Let {
+        /// Variable name.
+        name: String,
+        /// Declared type (inferred from initializer if omitted).
+        ty: Option<Ty>,
+        /// Initializer.
+        init: Expr,
+        /// Resolved local slot.
+        slot: u32,
+    },
+    /// Assignment to a local or global.
+    Assign {
+        /// Target name.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Resolved target.
+        target: AssignTarget,
+    },
+    /// Expression statement (value dropped).
+    Expr(Expr),
+    /// `if (cond) { .. } else { .. }`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-arm.
+        then: Vec<Stmt>,
+        /// Else-arm.
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { .. }`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { .. }` (kept structured for unrolling).
+    For {
+        /// Initializer statement.
+        init: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Step statement.
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `break;` (carries its source line for diagnostics).
+    Break(u32),
+    /// `continue;` (carries its source line for diagnostics).
+    Continue(u32),
+    /// `return expr?;` (the second field is the statement's source line).
+    Return(Option<Expr>, u32),
+    /// A nested block scope.
+    Block(Vec<Stmt>),
+}
+
+/// Where an assignment resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignTarget {
+    /// Unresolved (pre-check).
+    Unresolved,
+    /// Local slot.
+    Local(u32),
+    /// Global index.
+    Global(u32),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Ty)>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Whether the function is exported.
+    pub exported: bool,
+    /// Total local slots (params first), filled by the checker.
+    pub nlocals: u32,
+    /// Types of all local slots, filled by the checker.
+    pub local_types: Vec<Ty>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: Ty,
+    /// Constant initializer.
+    pub init: Lit,
+}
+
+/// A compile-time constant (`const N = 32;`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstDef {
+    /// Name.
+    pub name: String,
+    /// Value.
+    pub value: Lit,
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Linear memory size in 64 KiB pages.
+    pub memory_pages: u32,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+    /// String data collected during parsing: (address, bytes).
+    pub data: Vec<(u32, Vec<u8>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Builtin::from_name("load_i32"), Some(Builtin::LoadI32));
+        assert_eq!(Builtin::from_name("sqrt"), Some(Builtin::Sqrt));
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn ty_mapping() {
+        assert_eq!(Ty::F64.val_type(), wasm_core::ValType::F64);
+        assert!(Ty::I64.is_int());
+        assert!(!Ty::F32.is_int());
+        assert_eq!(Lit::I64(3).ty(), Ty::I64);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::AndAnd.is_logical());
+        assert!(!BinOp::Add.is_comparison());
+    }
+}

@@ -1,0 +1,63 @@
+//! The `wacc` command-line compiler: WaCC source to a `.wasm` binary.
+//!
+//! ```text
+//! wacc input.wc [-o out.wasm] [-O0|-O1|-O2|-O3]
+//! ```
+
+use wacc::OptLevel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut level = OptLevel::O2;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                output = args.get(i).cloned();
+            }
+            "-O0" => level = OptLevel::O0,
+            "-O1" => level = OptLevel::O1,
+            "-O2" => level = OptLevel::O2,
+            "-O3" => level = OptLevel::O3,
+            other if !other.starts_with('-') => input = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        eprintln!("usage: wacc input.wc [-o out.wasm] [-O0|-O1|-O2|-O3]");
+        std::process::exit(2);
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match wacc::compile_to_bytes(&source, level) {
+        Ok(bytes) => {
+            let out = output.unwrap_or_else(|| {
+                std::path::Path::new(&input)
+                    .with_extension("wasm")
+                    .to_string_lossy()
+                    .into_owned()
+            });
+            if let Err(e) = std::fs::write(&out, &bytes) {
+                eprintln!("{out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("{input} -> {out} ({} bytes, {level})", bytes.len());
+        }
+        Err(e) => {
+            eprintln!("{input}:{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! Name resolution and type checking.
+//!
+//! Resolves identifiers to local slots / global indices, assigns a type to
+//! every expression, inserts no implicit conversions (only *literals*
+//! adapt to an expected type), and records each function's complete local
+//! slot table for code generation.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::CompileError;
+
+/// Signature of a checked function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncSig {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Option<Ty>,
+}
+
+/// Checks a parsed program in place.
+///
+/// # Errors
+///
+/// Returns the first type or resolution error.
+pub fn check(program: &mut Program) -> Result<HashMap<String, FuncSig>, CompileError> {
+    let mut sigs: HashMap<String, FuncSig> = HashMap::new();
+    for f in &program.funcs {
+        if sigs
+            .insert(
+                f.name.clone(),
+                FuncSig {
+                    params: f.params.iter().map(|(_, t)| *t).collect(),
+                    ret: f.ret,
+                },
+            )
+            .is_some()
+        {
+            return Err(CompileError::new(0, format!("duplicate function `{}`", f.name)));
+        }
+    }
+    let globals: HashMap<String, (u32, Ty)> = program
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.name.clone(), (i as u32, g.ty)))
+        .collect();
+    if globals.len() != program.globals.len() {
+        return Err(CompileError::new(0, "duplicate global"));
+    }
+
+    for f in &mut program.funcs {
+        let mut cx = FuncCx {
+            sigs: &sigs,
+            globals: &globals,
+            scopes: vec![HashMap::new()],
+            local_types: f.params.iter().map(|(_, t)| *t).collect(),
+            ret: f.ret,
+            loop_depth: 0,
+        };
+        for (i, (name, _)) in f.params.iter().enumerate() {
+            cx.scopes[0].insert(name.clone(), i as u32);
+        }
+        check_block(&mut cx, &mut f.body)?;
+        f.nlocals = cx.local_types.len() as u32;
+        f.local_types = cx.local_types;
+    }
+    Ok(sigs)
+}
+
+struct FuncCx<'a> {
+    sigs: &'a HashMap<String, FuncSig>,
+    globals: &'a HashMap<String, (u32, Ty)>,
+    scopes: Vec<HashMap<String, u32>>,
+    local_types: Vec<Ty>,
+    ret: Option<Ty>,
+    /// Enclosing loop count: `break`/`continue` are only legal when > 0.
+    loop_depth: u32,
+}
+
+impl FuncCx<'_> {
+    fn lookup_local(&self, name: &str) -> Option<u32> {
+        self.scopes.iter().rev().find_map(|s| s.get(name)).copied()
+    }
+}
+
+fn check_block(cx: &mut FuncCx<'_>, stmts: &mut [Stmt]) -> Result<(), CompileError> {
+    cx.scopes.push(HashMap::new());
+    for s in stmts.iter_mut() {
+        check_stmt(cx, s)?;
+    }
+    cx.scopes.pop();
+    Ok(())
+}
+
+fn check_stmt(cx: &mut FuncCx<'_>, stmt: &mut Stmt) -> Result<(), CompileError> {
+    match stmt {
+        Stmt::Let {
+            name,
+            ty,
+            init,
+            slot,
+        } => {
+            check_expr(cx, init)?;
+            let want = match ty {
+                Some(t) => {
+                    coerce(init, *t)?;
+                    *t
+                }
+                None => init.ty,
+            };
+            let idx = cx.local_types.len() as u32;
+            cx.local_types.push(want);
+            cx.scopes
+                .last_mut()
+                .expect("scope stack")
+                .insert(name.clone(), idx);
+            *slot = idx;
+        }
+        Stmt::Assign {
+            name,
+            value,
+            target,
+        } => {
+            check_expr(cx, value)?;
+            if let Some(slot) = cx.lookup_local(name) {
+                coerce(value, cx.local_types[slot as usize])?;
+                *target = AssignTarget::Local(slot);
+            } else if let Some((idx, ty)) = cx.globals.get(name) {
+                coerce(value, *ty)?;
+                *target = AssignTarget::Global(*idx);
+            } else {
+                return Err(CompileError::new(
+                    value.line,
+                    format!("assignment to unknown variable `{name}`"),
+                ));
+            }
+        }
+        Stmt::Expr(e) => {
+            check_expr(cx, e)?;
+        }
+        Stmt::If { cond, then, els } => {
+            check_expr(cx, cond)?;
+            expect_ty(cond, Ty::I32)?;
+            check_block(cx, then)?;
+            check_block(cx, els)?;
+        }
+        Stmt::While { cond, body } => {
+            check_expr(cx, cond)?;
+            expect_ty(cond, Ty::I32)?;
+            cx.loop_depth += 1;
+            check_block(cx, body)?;
+            cx.loop_depth -= 1;
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            // The init's scope covers cond/step/body.
+            cx.scopes.push(HashMap::new());
+            check_stmt(cx, init)?;
+            check_expr(cx, cond)?;
+            expect_ty(cond, Ty::I32)?;
+            check_stmt(cx, step)?;
+            cx.loop_depth += 1;
+            for s in body.iter_mut() {
+                check_stmt(cx, s)?;
+            }
+            cx.loop_depth -= 1;
+            cx.scopes.pop();
+        }
+        Stmt::Break(line) => {
+            if cx.loop_depth == 0 {
+                return Err(CompileError::new(*line, "break outside loop"));
+            }
+        }
+        Stmt::Continue(line) => {
+            if cx.loop_depth == 0 {
+                return Err(CompileError::new(*line, "continue outside loop"));
+            }
+        }
+        Stmt::Return(e, line) => match (e, cx.ret) {
+            (Some(e), Some(want)) => {
+                check_expr(cx, e)?;
+                coerce(e, want)?;
+            }
+            (None, None) => {}
+            (Some(e), None) => {
+                check_expr(cx, e)?;
+                return Err(CompileError::new(e.line, "return with value in void function"));
+            }
+            (None, Some(_)) => {
+                return Err(CompileError::new(*line, "return without value"));
+            }
+        },
+        Stmt::Block(stmts) => check_block(cx, stmts)?,
+    }
+    Ok(())
+}
+
+fn expect_ty(e: &Expr, want: Ty) -> Result<(), CompileError> {
+    if e.ty != want {
+        return Err(CompileError::new(
+            e.line,
+            format!("expected {want}, found {}", e.ty),
+        ));
+    }
+    Ok(())
+}
+
+/// Adapts a *literal* expression to `want` (re-typing the constant), or
+/// checks that the types already match.
+fn coerce(e: &mut Expr, want: Ty) -> Result<(), CompileError> {
+    if e.ty == want {
+        return Ok(());
+    }
+    if let ExprKind::Lit(lit) = &e.kind {
+        let new = match (*lit, want) {
+            (Lit::I32(v), Ty::I64) => Some(Lit::I64(v as i64)),
+            (Lit::I32(v), Ty::F64) => Some(Lit::F64(v as f64)),
+            (Lit::I32(v), Ty::F32) => Some(Lit::F32(v as f32)),
+            (Lit::I64(v), Ty::I32) if i32::try_from(v).is_ok() => Some(Lit::I32(v as i32)),
+            (Lit::F64(v), Ty::F32) => Some(Lit::F32(v as f32)),
+            _ => None,
+        };
+        if let Some(lit) = new {
+            e.kind = ExprKind::Lit(lit);
+            e.ty = want;
+            return Ok(());
+        }
+    }
+    Err(CompileError::new(
+        e.line,
+        format!("type mismatch: expected {want}, found {} (use `as`)", e.ty),
+    ))
+}
+
+fn check_expr(cx: &mut FuncCx<'_>, e: &mut Expr) -> Result<(), CompileError> {
+    match &mut e.kind {
+        ExprKind::Lit(l) => e.ty = l.ty(),
+        ExprKind::Str(_) => e.ty = Ty::I32,
+        ExprKind::Local(_) | ExprKind::Global(_) => {
+            unreachable!("resolution happens here; nodes arrive as Name")
+        }
+        ExprKind::Name(name) => {
+            if let Some(slot) = cx.lookup_local(name) {
+                e.ty = cx.local_types[slot as usize];
+                e.kind = ExprKind::Local(slot);
+            } else if let Some((idx, ty)) = cx.globals.get(name.as_str()) {
+                e.ty = *ty;
+                e.kind = ExprKind::Global(*idx);
+            } else {
+                return Err(CompileError::new(
+                    e.line,
+                    format!("unknown variable `{name}`"),
+                ));
+            }
+        }
+        ExprKind::Bin(op, a, b) => {
+            check_expr(cx, a)?;
+            check_expr(cx, b)?;
+            let op = *op;
+            // Unify literal operands with the other side.
+            if a.ty != b.ty {
+                if matches!(a.kind, ExprKind::Lit(_)) {
+                    coerce(a, b.ty)?;
+                } else {
+                    coerce(b, a.ty)?;
+                }
+            }
+            if op.is_logical() {
+                expect_ty(a, Ty::I32)?;
+                expect_ty(b, Ty::I32)?;
+                e.ty = Ty::I32;
+            } else if op.is_comparison() {
+                e.ty = Ty::I32;
+            } else {
+                match op {
+                    BinOp::And
+                    | BinOp::Or
+                    | BinOp::Xor
+                    | BinOp::Shl
+                    | BinOp::Shr
+                    | BinOp::ShrU
+                    | BinOp::Rem
+                        if !a.ty.is_int() =>
+                    {
+                        return Err(CompileError::new(
+                            e.line,
+                            format!("operator requires integers, found {}", a.ty),
+                        ))
+                    }
+                    _ => {}
+                }
+                e.ty = a.ty;
+            }
+        }
+        ExprKind::Un(op, a) => {
+            check_expr(cx, a)?;
+            match op {
+                UnOp::Neg => e.ty = a.ty,
+                UnOp::Not => {
+                    if !a.ty.is_int() {
+                        return Err(CompileError::new(e.line, "`!` requires an integer"));
+                    }
+                    e.ty = Ty::I32;
+                }
+                UnOp::BitNot => {
+                    if !a.ty.is_int() {
+                        return Err(CompileError::new(e.line, "`~` requires an integer"));
+                    }
+                    e.ty = a.ty;
+                }
+            }
+        }
+        ExprKind::Cast(a, ty) => {
+            check_expr(cx, a)?;
+            e.ty = *ty;
+        }
+        ExprKind::Call(name, args) => {
+            // Builtins shadow nothing: a user function wins if defined.
+            if !cx.sigs.contains_key(name.as_str()) {
+                if let Some(b) = Builtin::from_name(name) {
+                    let args = std::mem::take(args);
+                    e.kind = ExprKind::Builtin(b, args);
+                    return check_expr(cx, e);
+                }
+                return Err(CompileError::new(
+                    e.line,
+                    format!("unknown function `{name}`"),
+                ));
+            }
+            let sig = cx.sigs[name.as_str()].clone();
+            if sig.params.len() != args.len() {
+                return Err(CompileError::new(
+                    e.line,
+                    format!(
+                        "`{name}` expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            for (arg, want) in args.iter_mut().zip(&sig.params) {
+                check_expr(cx, arg)?;
+                coerce(arg, *want)?;
+            }
+            e.ty = sig.ret.unwrap_or(Ty::I32);
+            if sig.ret.is_none() {
+                // A void call used as an expression statement is fine; the
+                // codegen knows not to expect a value. Mark it i32 and rely
+                // on Stmt::Expr dropping nothing.
+            }
+        }
+        ExprKind::Builtin(b, args) => {
+            for a in args.iter_mut() {
+                check_expr(cx, a)?;
+            }
+            e.ty = check_builtin(*b, args, e.line)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_builtin(b: Builtin, args: &mut [Expr], line: u32) -> Result<Ty, CompileError> {
+    use Builtin::*;
+    let argc = |n: usize| -> Result<(), CompileError> {
+        if args.len() != n {
+            return Err(CompileError::new(
+                line,
+                format!("builtin expects {n} arguments, got {}", args.len()),
+            ));
+        }
+        Ok(())
+    };
+    let ty = match b {
+        LoadI32 | LoadU8 | LoadI8 | LoadU16 | LoadI16 => {
+            argc(1)?;
+            coerce(&mut args[0], Ty::I32)?;
+            Ty::I32
+        }
+        LoadI64 => {
+            argc(1)?;
+            coerce(&mut args[0], Ty::I32)?;
+            Ty::I64
+        }
+        LoadF32 => {
+            argc(1)?;
+            coerce(&mut args[0], Ty::I32)?;
+            Ty::F32
+        }
+        LoadF64 => {
+            argc(1)?;
+            coerce(&mut args[0], Ty::I32)?;
+            Ty::F64
+        }
+        StoreI32 | StoreU8 | StoreU16 => {
+            argc(2)?;
+            coerce(&mut args[0], Ty::I32)?;
+            coerce(&mut args[1], Ty::I32)?;
+            Ty::I32 // value-less; codegen treats as statement
+        }
+        StoreI64 => {
+            argc(2)?;
+            coerce(&mut args[0], Ty::I32)?;
+            coerce(&mut args[1], Ty::I64)?;
+            Ty::I32
+        }
+        StoreF32 => {
+            argc(2)?;
+            coerce(&mut args[0], Ty::I32)?;
+            coerce(&mut args[1], Ty::F32)?;
+            Ty::I32
+        }
+        StoreF64 => {
+            argc(2)?;
+            coerce(&mut args[0], Ty::I32)?;
+            coerce(&mut args[1], Ty::F64)?;
+            Ty::I32
+        }
+        MemorySize => {
+            argc(0)?;
+            Ty::I32
+        }
+        MemoryGrow => {
+            argc(1)?;
+            coerce(&mut args[0], Ty::I32)?;
+            Ty::I32
+        }
+        DivU | RemU | Rotl | Rotr => {
+            argc(2)?;
+            if args[0].ty != args[1].ty {
+                if matches!(args[1].kind, ExprKind::Lit(_)) {
+                    let want = args[0].ty;
+                    coerce(&mut args[1], want)?;
+                } else {
+                    let want = args[1].ty;
+                    coerce(&mut args[0], want)?;
+                }
+            }
+            if !args[0].ty.is_int() {
+                return Err(CompileError::new(line, "builtin requires integers"));
+            }
+            args[0].ty
+        }
+        LtU | GtU | LeU | GeU => {
+            argc(2)?;
+            if args[0].ty != args[1].ty {
+                if matches!(args[1].kind, ExprKind::Lit(_)) {
+                    let want = args[0].ty;
+                    coerce(&mut args[1], want)?;
+                } else {
+                    let want = args[1].ty;
+                    coerce(&mut args[0], want)?;
+                }
+            }
+            if !args[0].ty.is_int() {
+                return Err(CompileError::new(line, "builtin requires integers"));
+            }
+            Ty::I32
+        }
+        Clz | Ctz | Popcnt => {
+            argc(1)?;
+            if !args[0].ty.is_int() {
+                return Err(CompileError::new(line, "builtin requires an integer"));
+            }
+            args[0].ty
+        }
+        Sqrt | Abs | Floor | Ceil | TruncF | Nearest => {
+            argc(1)?;
+            if args[0].ty.is_int() {
+                if b == Abs {
+                    return Ok(args[0].ty); // integer abs is lowered in codegen
+                }
+                coerce(&mut args[0], Ty::F64)?;
+            }
+            args[0].ty
+        }
+        FMin | FMax | Copysign => {
+            argc(2)?;
+            if args[0].ty != args[1].ty {
+                if matches!(args[1].kind, ExprKind::Lit(_)) {
+                    let want = args[0].ty;
+                    coerce(&mut args[1], want)?;
+                } else {
+                    let want = args[1].ty;
+                    coerce(&mut args[0], want)?;
+                }
+            }
+            if args[0].ty.is_int() {
+                return Err(CompileError::new(line, "builtin requires floats"));
+            }
+            args[0].ty
+        }
+        WasiFdWrite | WasiFdRead => {
+            argc(4)?;
+            for a in args.iter_mut() {
+                coerce(a, Ty::I32)?;
+            }
+            Ty::I32
+        }
+        WasiProcExit => {
+            argc(1)?;
+            coerce(&mut args[0], Ty::I32)?;
+            Ty::I32
+        }
+        WasiClockTimeGet => {
+            argc(0)?;
+            Ty::I64
+        }
+        WasiRandomGet => {
+            argc(2)?;
+            coerce(&mut args[0], Ty::I32)?;
+            coerce(&mut args[1], Ty::I32)?;
+            Ty::I32
+        }
+    };
+    Ok(ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn checked(src: &str) -> Result<Program, CompileError> {
+        let mut p = parse(src)?;
+        check(&mut p)?;
+        Ok(p)
+    }
+
+    #[test]
+    fn resolves_locals_and_params() {
+        let p = checked("fn f(a: i32) -> i32 { let b: i32 = a + 1; return b; }").unwrap();
+        let f = &p.funcs[0];
+        assert_eq!(f.nlocals, 2);
+        assert_eq!(f.local_types, vec![Ty::I32, Ty::I32]);
+    }
+
+    #[test]
+    fn literal_coercion() {
+        checked("fn f() -> i64 { let x: i64 = 0; return x + 1; }").unwrap();
+        checked("fn f() -> f64 { let x: f64 = 3; return x * 2; }").unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        assert!(checked("fn f(a: i32, b: f64) -> i32 { return a + b; }").is_err());
+        assert!(checked("fn f() -> i32 { let x: f32 = 1.5f; return x; }").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(checked("fn f() -> i32 { return nope; }").is_err());
+        assert!(checked("fn f() -> i32 { return nope(1); }").is_err());
+        assert!(checked("fn f() { zork = 3; }").is_err());
+    }
+
+    #[test]
+    fn builtins_resolve_and_type() {
+        let p = checked(
+            "fn f() -> f64 { store_f64(8, 1.5); return sqrt(load_f64(8)); }",
+        )
+        .unwrap();
+        // The call nodes were rewritten to builtins.
+        let has_builtin = format!("{:?}", p.funcs[0].body).contains("Builtin");
+        assert!(has_builtin);
+    }
+
+    #[test]
+    fn scoping_and_shadowing() {
+        let p = checked(
+            "fn f() -> i32 { let x: i32 = 1; { let x: i64 = 2; } return x; }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs[0].nlocals, 2);
+        assert!(checked("fn f() -> i32 { { let y: i32 = 1; } return y; }").is_err());
+    }
+
+    #[test]
+    fn globals_resolve() {
+        checked("global g: i32 = 7; fn f() -> i32 { g = g + 1; return g; }").unwrap();
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        assert!(checked("fn g(a: i32) {} fn f() { g(); }").is_err());
+        assert!(checked("fn g(a: i32) {} fn f() { g(1, 2); }").is_err());
+        checked("fn g(a: i32) {} fn f() { g(1); }").unwrap();
+    }
+
+    #[test]
+    fn unsigned_builtins() {
+        checked("fn f(a: i32, b: i32) -> i32 { return divu(a, b) + ltu(a, b); }").unwrap();
+        assert!(checked("fn f(a: f64) -> f64 { return divu(a, a); }").is_err());
+    }
+}

@@ -1,0 +1,742 @@
+//! WebAssembly code generation from the checked AST.
+//!
+//! The emitted modules import the WASI functions they use from
+//! `wasi_snapshot_preview1`, export their linear memory as `"memory"`,
+//! every `export fn`, and a `_start` wrapper when `main` is present —
+//! the same shape the WASI SDK produces.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::check::FuncSig;
+use crate::error::CompileError;
+use wasm_core::builder::ModuleBuilder;
+use wasm_core::instr::{BlockType, Instr, MemArg};
+use wasm_core::module::ConstExpr;
+use wasm_core::types::{FuncType, ValType};
+use wasm_core::Module;
+
+/// The WASI imports every generated module declares, in index order.
+const WASI_IMPORTS: [(&str, &[ValType], &[ValType]); 5] = [
+    (
+        "fd_write",
+        &[ValType::I32, ValType::I32, ValType::I32, ValType::I32],
+        &[ValType::I32],
+    ),
+    (
+        "fd_read",
+        &[ValType::I32, ValType::I32, ValType::I32, ValType::I32],
+        &[ValType::I32],
+    ),
+    ("proc_exit", &[ValType::I32], &[]),
+    (
+        "clock_time_get",
+        &[ValType::I32, ValType::I64, ValType::I32],
+        &[ValType::I32],
+    ),
+    ("random_get", &[ValType::I32, ValType::I32], &[ValType::I32]),
+];
+
+/// Scratch address used by the inline `clock_time_get` glue.
+const CLOCK_SCRATCH: u32 = 48;
+
+/// Generates a Wasm module from a checked program.
+///
+/// # Errors
+///
+/// Returns an error only for constructs the checker should have rejected.
+pub fn generate(program: &Program, sigs: &HashMap<String, FuncSig>) -> Result<Module, CompileError> {
+    generate_with(program, sigs, false)
+}
+
+/// Like [`generate`], with `naive` code generation: every intermediate
+/// result is spilled to a temporary local and reloaded, the code shape an
+/// unoptimizing C compiler (clang/gcc at `-O0`, which keep temporaries in
+/// stack slots) produces. Used for the `-O0` optimization level.
+///
+/// # Errors
+///
+/// Returns an error only for constructs the checker should have rejected.
+pub fn generate_with(
+    program: &Program,
+    sigs: &HashMap<String, FuncSig>,
+    naive: bool,
+) -> Result<Module, CompileError> {
+    let mut b = ModuleBuilder::new();
+    for (name, params, results) in WASI_IMPORTS {
+        b.import_func(
+            "wasi_snapshot_preview1",
+            name,
+            FuncType::new(params, results),
+        );
+    }
+    b.memory(program.memory_pages, None);
+    b.export_memory("memory");
+
+    for g in &program.globals {
+        let init = match g.init {
+            Lit::I32(v) => ConstExpr::I32(v),
+            Lit::I64(v) => ConstExpr::I64(v),
+            Lit::F32(v) => ConstExpr::F32(v.to_bits()),
+            Lit::F64(v) => ConstExpr::F64(v.to_bits()),
+        };
+        b.global(g.ty.val_type(), true, init);
+    }
+
+    // Function indices: the five imports come first.
+    let func_index: HashMap<&str, u32> = program
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), (WASI_IMPORTS.len() + i) as u32))
+        .collect();
+
+    for f in &program.funcs {
+        let params: Vec<ValType> = f.params.iter().map(|(_, t)| t.val_type()).collect();
+        let results: Vec<ValType> = f.ret.iter().map(|t| t.val_type()).collect();
+        let idx = b.begin_func(FuncType::new(&params, &results));
+        debug_assert_eq!(idx, func_index[f.name.as_str()]);
+        let mut cx = GenCx {
+            b: &mut b,
+            func_index: &func_index,
+            sigs,
+            param_count: f.params.len() as u32,
+            local_types: f.local_types.clone(),
+            depth: 0,
+            loops: Vec::new(),
+            scratch: HashMap::new(),
+            naive,
+        };
+        // Declare non-param locals.
+        for t in &f.local_types[f.params.len()..] {
+            cx.b.new_local(t.val_type());
+        }
+        for s in &f.body {
+            cx.stmt(s)?;
+        }
+        if let Some(ret) = f.ret {
+            cx.emit_zero(ret);
+        }
+        b.finish_func();
+        if f.exported {
+            b.export_func(&f.name, idx);
+        }
+    }
+
+    if let Some(&main_idx) = func_index.get("main") {
+        let main_ret = sigs.get("main").and_then(|s| s.ret);
+        let start = b.begin_func(FuncType::new(&[], &[]));
+        b.emit(Instr::Call(main_idx));
+        if main_ret.is_some() {
+            b.emit(Instr::Drop);
+        }
+        b.finish_func();
+        if program.funcs.iter().all(|f| f.name != "_start") {
+            b.export_func("_start", start);
+        }
+    }
+
+    for (addr, bytes) in &program.data {
+        if !bytes.is_empty() {
+            b.data(*addr as i32, bytes.clone());
+        }
+    }
+
+    Ok(b.build())
+}
+
+struct GenCx<'a> {
+    b: &'a mut ModuleBuilder,
+    func_index: &'a HashMap<&'a str, u32>,
+    sigs: &'a HashMap<String, FuncSig>,
+    param_count: u32,
+    local_types: Vec<Ty>,
+    /// Current structured-control nesting depth.
+    depth: u32,
+    /// Stack of `(break_target_depth, continue_target_depth)`.
+    loops: Vec<(u32, u32)>,
+    /// Lazily created scratch locals, one per type.
+    scratch: HashMap<Ty, u32>,
+    /// `-O0` code shape: spill every intermediate to a temporary local.
+    naive: bool,
+}
+
+impl GenCx<'_> {
+    fn scratch_local(&mut self, ty: Ty) -> u32 {
+        if let Some(&s) = self.scratch.get(&ty) {
+            return s;
+        }
+        let s = self.b.new_local(ty.val_type());
+        self.local_types.push(ty);
+        self.scratch.insert(ty, s);
+        let _ = self.param_count;
+        s
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.b.emit(i);
+    }
+
+    fn emit_zero(&mut self, ty: Ty) {
+        self.emit(match ty {
+            Ty::I32 => Instr::I32Const(0),
+            Ty::I64 => Instr::I64Const(0),
+            Ty::F32 => Instr::F32Const(0),
+            Ty::F64 => Instr::F64Const(0),
+        });
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Let { init, slot, .. } => {
+                self.expr(init)?;
+                self.emit(Instr::LocalSet(*slot));
+            }
+            Stmt::Assign { value, target, .. } => {
+                self.expr(value)?;
+                match target {
+                    AssignTarget::Local(slot) => self.emit(Instr::LocalSet(*slot)),
+                    AssignTarget::Global(idx) => self.emit(Instr::GlobalSet(*idx)),
+                    AssignTarget::Unresolved => unreachable!("checker resolves targets"),
+                }
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                if produces_value(e, self.sigs) {
+                    self.emit(Instr::Drop);
+                }
+            }
+            Stmt::If { cond, then, els } => {
+                self.expr(cond)?;
+                self.emit(Instr::If(BlockType::Empty));
+                self.depth += 1;
+                for s in then {
+                    self.stmt(s)?;
+                }
+                if !els.is_empty() {
+                    self.emit(Instr::Else);
+                    for s in els {
+                        self.stmt(s)?;
+                    }
+                }
+                self.emit(Instr::End);
+                self.depth -= 1;
+            }
+            Stmt::While { cond, body } => {
+                // block { loop { !cond br_if 1; body; br 0 } }
+                self.emit(Instr::Block(BlockType::Empty));
+                let break_depth = self.depth;
+                self.depth += 1;
+                self.emit(Instr::Loop(BlockType::Empty));
+                let continue_depth = self.depth;
+                self.depth += 1;
+                self.expr(cond)?;
+                self.emit(eqz_for(cond.ty));
+                self.emit(Instr::BrIf(self.depth - 1 - break_depth));
+                self.loops.push((break_depth, continue_depth));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.loops.pop();
+                self.emit(Instr::Br(self.depth - 1 - continue_depth));
+                self.emit(Instr::End);
+                self.emit(Instr::End);
+                self.depth -= 2;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                // init; block { loop { !cond br_if exit; block { body }; step; br loop } }
+                self.stmt(init)?;
+                self.emit(Instr::Block(BlockType::Empty));
+                let break_depth = self.depth;
+                self.depth += 1;
+                self.emit(Instr::Loop(BlockType::Empty));
+                let loop_depth = self.depth;
+                self.depth += 1;
+                self.expr(cond)?;
+                self.emit(eqz_for(cond.ty));
+                self.emit(Instr::BrIf(self.depth - 1 - break_depth));
+                self.emit(Instr::Block(BlockType::Empty));
+                let continue_depth = self.depth;
+                self.depth += 1;
+                self.loops.push((break_depth, continue_depth));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.loops.pop();
+                self.emit(Instr::End); // continue lands here
+                self.depth -= 1;
+                self.stmt(step)?;
+                self.emit(Instr::Br(self.depth - 1 - loop_depth));
+                self.emit(Instr::End);
+                self.emit(Instr::End);
+                self.depth -= 2;
+            }
+            Stmt::Break(line) => {
+                let (break_depth, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "break outside loop"))?;
+                self.emit(Instr::Br(self.depth - 1 - break_depth));
+            }
+            Stmt::Continue(line) => {
+                let (_, continue_depth) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError::new(*line, "continue outside loop"))?;
+                self.emit(Instr::Br(self.depth - 1 - continue_depth));
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e)?;
+                }
+                self.emit(Instr::Return);
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.stmt(s)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
+        match &e.kind {
+            ExprKind::Lit(l) => self.emit(match *l {
+                Lit::I32(v) => Instr::I32Const(v),
+                Lit::I64(v) => Instr::I64Const(v),
+                Lit::F32(v) => Instr::F32Const(v.to_bits()),
+                Lit::F64(v) => Instr::F64Const(v.to_bits()),
+            }),
+            ExprKind::Str(addr) => self.emit(Instr::I32Const(*addr as i32)),
+            ExprKind::Local(slot) => self.emit(Instr::LocalGet(*slot)),
+            ExprKind::Global(idx) => self.emit(Instr::GlobalGet(*idx)),
+            ExprKind::Name(n) => unreachable!("unresolved name `{n}` after checking"),
+            ExprKind::Bin(op, a, bx) => self.bin(*op, a, bx)?,
+            ExprKind::Un(op, a) => self.un(*op, a)?,
+            ExprKind::Cast(a, to) => {
+                self.expr(a)?;
+                self.cast(a.ty, *to);
+            }
+            ExprKind::Call(name, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.emit(Instr::Call(self.func_index[name.as_str()]));
+            }
+            ExprKind::Builtin(bi, args) => self.builtin(*bi, args)?,
+        }
+        Ok(())
+    }
+
+    fn bin(&mut self, op: BinOp, a: &Expr, b: &Expr) -> Result<(), CompileError> {
+        if op.is_logical() {
+            // Short-circuit forms produce a normalized i32 bool.
+            self.expr(a)?;
+            match op {
+                BinOp::AndAnd => {
+                    self.emit(Instr::If(BlockType::Value(ValType::I32)));
+                    self.expr(b)?;
+                    self.emit(Instr::I32Eqz);
+                    self.emit(Instr::I32Eqz);
+                    self.emit(Instr::Else);
+                    self.emit(Instr::I32Const(0));
+                    self.emit(Instr::End);
+                }
+                BinOp::OrOr => {
+                    self.emit(Instr::If(BlockType::Value(ValType::I32)));
+                    self.emit(Instr::I32Const(1));
+                    self.emit(Instr::Else);
+                    self.expr(b)?;
+                    self.emit(Instr::I32Eqz);
+                    self.emit(Instr::I32Eqz);
+                    self.emit(Instr::End);
+                }
+                _ => unreachable!(),
+            }
+            return Ok(());
+        }
+        self.expr(a)?;
+        self.expr(b)?;
+        self.emit(bin_instr(op, a.ty));
+        if self.naive {
+            // clang -O0 materializes every temporary in a stack slot.
+            let ty = if op.is_comparison() { Ty::I32 } else { a.ty };
+            let t = self.scratch_local(ty);
+            self.emit(Instr::LocalSet(t));
+            self.emit(Instr::LocalGet(t));
+        }
+        Ok(())
+    }
+
+    fn un(&mut self, op: UnOp, a: &Expr) -> Result<(), CompileError> {
+        match (op, a.ty) {
+            (UnOp::Neg, Ty::F32) => {
+                self.expr(a)?;
+                self.emit(Instr::F32Neg);
+            }
+            (UnOp::Neg, Ty::F64) => {
+                self.expr(a)?;
+                self.emit(Instr::F64Neg);
+            }
+            (UnOp::Neg, Ty::I32) => {
+                self.emit(Instr::I32Const(0));
+                self.expr(a)?;
+                self.emit(Instr::I32Sub);
+            }
+            (UnOp::Neg, Ty::I64) => {
+                self.emit(Instr::I64Const(0));
+                self.expr(a)?;
+                self.emit(Instr::I64Sub);
+            }
+            (UnOp::Not, _) => {
+                self.expr(a)?;
+                self.emit(eqz_for(a.ty));
+            }
+            (UnOp::BitNot, Ty::I32) => {
+                self.expr(a)?;
+                self.emit(Instr::I32Const(-1));
+                self.emit(Instr::I32Xor);
+            }
+            (UnOp::BitNot, Ty::I64) => {
+                self.expr(a)?;
+                self.emit(Instr::I64Const(-1));
+                self.emit(Instr::I64Xor);
+            }
+            (UnOp::BitNot, _) => unreachable!("checker rejects float ~"),
+        }
+        Ok(())
+    }
+
+    fn cast(&mut self, from: Ty, to: Ty) {
+        use Instr::*;
+        if from == to {
+            return;
+        }
+        let i = match (from, to) {
+            (Ty::I32, Ty::I64) => I64ExtendI32S,
+            (Ty::I32, Ty::F32) => F32ConvertI32S,
+            (Ty::I32, Ty::F64) => F64ConvertI32S,
+            (Ty::I64, Ty::I32) => I32WrapI64,
+            (Ty::I64, Ty::F32) => F32ConvertI64S,
+            (Ty::I64, Ty::F64) => F64ConvertI64S,
+            (Ty::F32, Ty::I32) => I32TruncF32S,
+            (Ty::F32, Ty::I64) => I64TruncF32S,
+            (Ty::F32, Ty::F64) => F64PromoteF32,
+            (Ty::F64, Ty::I32) => I32TruncF64S,
+            (Ty::F64, Ty::I64) => I64TruncF64S,
+            (Ty::F64, Ty::F32) => F32DemoteF64,
+            _ => unreachable!(),
+        };
+        self.emit(i);
+    }
+
+    fn builtin(&mut self, b: Builtin, args: &[Expr]) -> Result<(), CompileError> {
+        use Builtin::*;
+        use Instr::*;
+        let m = MemArg::default();
+        // Most builtins: evaluate args left-to-right, then one instruction.
+        let simple: Option<Instr> = match b {
+            LoadI32 => Some(I32Load(m)),
+            LoadI64 => Some(I64Load(m)),
+            LoadF32 => Some(F32Load(m)),
+            LoadF64 => Some(F64Load(m)),
+            LoadU8 => Some(I32Load8U(m)),
+            LoadI8 => Some(I32Load8S(m)),
+            LoadU16 => Some(I32Load16U(m)),
+            LoadI16 => Some(I32Load16S(m)),
+            StoreI32 => Some(I32Store(m)),
+            StoreI64 => Some(I64Store(m)),
+            StoreF32 => Some(F32Store(m)),
+            StoreF64 => Some(F64Store(m)),
+            StoreU8 => Some(I32Store8(m)),
+            StoreU16 => Some(I32Store16(m)),
+            Builtin::MemorySize => Some(Instr::MemorySize),
+            Builtin::MemoryGrow => Some(Instr::MemoryGrow),
+            DivU => Some(pick_int(args[0].ty, I32DivU, I64DivU)),
+            RemU => Some(pick_int(args[0].ty, I32RemU, I64RemU)),
+            LtU => Some(pick_int(args[0].ty, I32LtU, I64LtU)),
+            GtU => Some(pick_int(args[0].ty, I32GtU, I64GtU)),
+            LeU => Some(pick_int(args[0].ty, I32LeU, I64LeU)),
+            GeU => Some(pick_int(args[0].ty, I32GeU, I64GeU)),
+            Clz => Some(pick_int(args[0].ty, I32Clz, I64Clz)),
+            Ctz => Some(pick_int(args[0].ty, I32Ctz, I64Ctz)),
+            Popcnt => Some(pick_int(args[0].ty, I32Popcnt, I64Popcnt)),
+            Rotl => Some(pick_int(args[0].ty, I32Rotl, I64Rotl)),
+            Rotr => Some(pick_int(args[0].ty, I32Rotr, I64Rotr)),
+            Sqrt => Some(pick_float(args[0].ty, F32Sqrt, F64Sqrt)),
+            Floor => Some(pick_float(args[0].ty, F32Floor, F64Floor)),
+            Ceil => Some(pick_float(args[0].ty, F32Ceil, F64Ceil)),
+            TruncF => Some(pick_float(args[0].ty, F32Trunc, F64Trunc)),
+            Nearest => Some(pick_float(args[0].ty, F32Nearest, F64Nearest)),
+            FMin => Some(pick_float(args[0].ty, F32Min, F64Min)),
+            FMax => Some(pick_float(args[0].ty, F32Max, F64Max)),
+            Copysign => Some(pick_float(args[0].ty, F32Copysign, F64Copysign)),
+            Abs if !args[0].ty.is_int() => Some(pick_float(args[0].ty, F32Abs, F64Abs)),
+            _ => None,
+        };
+        if let Some(i) = simple {
+            for a in args {
+                self.expr(a)?;
+            }
+            self.emit(i);
+            return Ok(());
+        }
+        match b {
+            Abs => {
+                // Integer abs: select(-x, x, x < 0) with a scratch local
+                // (select returns its first operand when the condition is
+                // non-zero).
+                let ty = args[0].ty;
+                let s = self.scratch_local(ty);
+                self.expr(&args[0])?;
+                self.emit(LocalSet(s));
+                self.emit_zero(ty);
+                self.emit(LocalGet(s));
+                self.emit(pick_int(ty, I32Sub, I64Sub)); // -x
+                self.emit(LocalGet(s)); // x
+                self.emit(LocalGet(s));
+                self.emit_zero(ty);
+                self.emit(pick_int(ty, I32LtS, I64LtS)); // x < 0
+                self.emit(Select);
+            }
+            WasiFdWrite | WasiFdRead => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.emit(Call(if b == WasiFdWrite { 0 } else { 1 }));
+            }
+            WasiProcExit => {
+                self.expr(&args[0])?;
+                self.emit(Call(2));
+            }
+            WasiClockTimeGet => {
+                self.emit(I32Const(0)); // CLOCK_REALTIME
+                self.emit(I64Const(1)); // precision
+                self.emit(I32Const(CLOCK_SCRATCH as i32));
+                self.emit(Call(3));
+                self.emit(Drop);
+                self.emit(I32Const(CLOCK_SCRATCH as i32));
+                self.emit(I64Load(m));
+            }
+            WasiRandomGet => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                self.emit(Call(4));
+            }
+            other => unreachable!("builtin {other:?} should be simple"),
+        }
+        Ok(())
+    }
+}
+
+fn pick_int(ty: Ty, a32: Instr, a64: Instr) -> Instr {
+    if ty == Ty::I64 {
+        a64
+    } else {
+        a32
+    }
+}
+
+fn pick_float(ty: Ty, f32i: Instr, f64i: Instr) -> Instr {
+    if ty == Ty::F32 {
+        f32i
+    } else {
+        f64i
+    }
+}
+
+fn eqz_for(ty: Ty) -> Instr {
+    match ty {
+        Ty::I32 => Instr::I32Eqz,
+        Ty::I64 => Instr::I64Eqz,
+        _ => unreachable!("conditions are integers"),
+    }
+}
+
+fn bin_instr(op: BinOp, ty: Ty) -> Instr {
+    use BinOp::*;
+    use Instr::*;
+    match ty {
+        Ty::I32 => match op {
+            Add => I32Add,
+            Sub => I32Sub,
+            Mul => I32Mul,
+            Div => I32DivS,
+            Rem => I32RemS,
+            And => I32And,
+            Or => I32Or,
+            Xor => I32Xor,
+            Shl => I32Shl,
+            Shr => I32ShrS,
+            ShrU => I32ShrU,
+            Lt => I32LtS,
+            Le => I32LeS,
+            Gt => I32GtS,
+            Ge => I32GeS,
+            Eq => I32Eq,
+            Ne => I32Ne,
+            AndAnd | OrOr => unreachable!("logical ops handled separately"),
+        },
+        Ty::I64 => match op {
+            Add => I64Add,
+            Sub => I64Sub,
+            Mul => I64Mul,
+            Div => I64DivS,
+            Rem => I64RemS,
+            And => I64And,
+            Or => I64Or,
+            Xor => I64Xor,
+            Shl => I64Shl,
+            Shr => I64ShrS,
+            ShrU => I64ShrU,
+            Lt => I64LtS,
+            Le => I64LeS,
+            Gt => I64GtS,
+            Ge => I64GeS,
+            Eq => I64Eq,
+            Ne => I64Ne,
+            AndAnd | OrOr => unreachable!(),
+        },
+        Ty::F32 => match op {
+            Add => F32Add,
+            Sub => F32Sub,
+            Mul => F32Mul,
+            Div => F32Div,
+            Lt => F32Lt,
+            Le => F32Le,
+            Gt => F32Gt,
+            Ge => F32Ge,
+            Eq => F32Eq,
+            Ne => F32Ne,
+            other => unreachable!("checker rejects {other:?} on f32"),
+        },
+        Ty::F64 => match op {
+            Add => F64Add,
+            Sub => F64Sub,
+            Mul => F64Mul,
+            Div => F64Div,
+            Lt => F64Lt,
+            Le => F64Le,
+            Gt => F64Gt,
+            Ge => F64Ge,
+            Eq => F64Eq,
+            Ne => F64Ne,
+            other => unreachable!("checker rejects {other:?} on f64"),
+        },
+    }
+}
+
+/// Whether an expression leaves a value on the stack (store builtins and
+/// void calls do not).
+fn produces_value(e: &Expr, sigs: &HashMap<String, FuncSig>) -> bool {
+    match &e.kind {
+        ExprKind::Call(name, _) => sigs.get(name.as_str()).map(|s| s.ret.is_some()).unwrap_or(true),
+        ExprKind::Builtin(b, _) => !matches!(
+            b,
+            Builtin::StoreI32
+                | Builtin::StoreI64
+                | Builtin::StoreF32
+                | Builtin::StoreF64
+                | Builtin::StoreU8
+                | Builtin::StoreU16
+                | Builtin::WasiProcExit
+        ),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn compile(src: &str) -> Module {
+        let mut p = parse(src).unwrap();
+        let sigs = check(&mut p).unwrap();
+        let m = generate(&p, &sigs).unwrap();
+        wasm_core::validate::validate(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn generates_valid_module() {
+        let m = compile(
+            r#"
+            memory 2;
+            global total: i64 = 0;
+            export fn main() -> i32 {
+                let s: i32 = 0;
+                for (let i: i32 = 0; i < 10; i += 1) {
+                    if (i % 2 == 0) { s += i; } else { continue; }
+                }
+                while (s > 100) { s = s - 1; break; }
+                total = s as i64;
+                return s;
+            }
+        "#,
+        );
+        assert!(m.exported_func("main").is_some());
+        assert!(m.exported_func("_start").is_some());
+        assert!(m.export("memory").is_some());
+        assert_eq!(m.num_imported_funcs(), 5);
+    }
+
+    #[test]
+    fn builtins_generate() {
+        compile(
+            r#"
+            fn f(x: f64) -> f64 {
+                store_f64(128, sqrt(abs(x)));
+                return load_f64(128) + fmin(x, 2.0);
+            }
+            fn g(a: i32) -> i32 {
+                return clz(a) + popcnt(a) + rotl(a, 3) + divu(a, 7) + abs(a);
+            }
+            fn h() -> i64 { return wasi_clock_time_get(); }
+            fn io(p: i32) -> i32 { return wasi_fd_write(1, p, 1, 0); }
+        "#,
+        );
+    }
+
+    #[test]
+    fn short_circuit_generates_ifs() {
+        let m = compile("fn f(a: i32, b: i32) -> i32 { return a && b || !a; }");
+        let body = &m.funcs[0].body;
+        assert!(body.iter().any(|i| matches!(i, Instr::If(_))));
+    }
+
+    #[test]
+    fn string_data_emitted() {
+        let m = compile(r#"fn f() -> i32 { return "abc"; }"#);
+        assert_eq!(m.data.len(), 1);
+        assert_eq!(m.data[0].bytes, b"abc");
+    }
+    #[test]
+    fn integer_abs_emits_negated_value_first() {
+        // Regression: `select(v1, v2, c)` returns v1 when c != 0, so the
+        // negated value must be computed before the plain reload.
+        let m = compile("fn f(x: i32) -> i32 { return abs(x); }");
+        let body = &m.funcs[0].body;
+        let sub = body
+            .iter()
+            .position(|i| matches!(i, Instr::I32Sub))
+            .expect("negation present");
+        let select = body
+            .iter()
+            .position(|i| matches!(i, Instr::Select))
+            .expect("select present");
+        let lts = body
+            .iter()
+            .position(|i| matches!(i, Instr::I32LtS))
+            .expect("comparison present");
+        assert!(sub < lts && lts < select, "{body:?}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Compiler diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A compile-time error with a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Creates an error at `line`.
+    pub fn new(line: u32, msg: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_line() {
+        assert_eq!(
+            CompileError::new(7, "type mismatch").to_string(),
+            "line 7: type mismatch"
+        );
+    }
+}

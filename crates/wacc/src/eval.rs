@@ -1,0 +1,857 @@
+//! A reference evaluator for checked WaCC programs.
+//!
+//! Used for differential testing (the evaluator, all five engines, and
+//! the native Rust benchmark implementations must agree) and as the
+//! "native compiled at -Ox" proxy in the optimization-level experiment.
+//! Semantics mirror WebAssembly exactly: wrapping integer arithmetic,
+//! traps on division by zero and invalid conversions, little-endian
+//! linear memory.
+
+// Trap range checks mirror the wasm spec's explicit comparison form.
+#![allow(clippy::manual_range_contains)]
+
+use crate::ast::*;
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum V {
+    /// i32
+    I32(i32),
+    /// i64
+    I64(i64),
+    /// f32
+    F32(f32),
+    /// f64
+    F64(f64),
+}
+
+impl V {
+    fn zero(ty: Ty) -> V {
+        match ty {
+            Ty::I32 => V::I32(0),
+            Ty::I64 => V::I64(0),
+            Ty::F32 => V::F32(0.0),
+            Ty::F64 => V::F64(0.0),
+        }
+    }
+
+    /// Extracts an i32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type confusion (checker bugs).
+    pub fn as_i32(self) -> i32 {
+        match self {
+            V::I32(v) => v,
+            other => panic!("expected i32, got {other:?}"),
+        }
+    }
+
+    /// Extracts an i64.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type confusion.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            V::I64(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// Extracts an f64.
+    ///
+    /// # Panics
+    ///
+    /// Panics on type confusion.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            V::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+}
+
+/// An evaluation trap (mirrors engine traps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalTrap {
+    /// Out-of-bounds memory access.
+    OutOfBounds,
+    /// Integer division by zero.
+    DivByZero,
+    /// Signed overflow in division.
+    Overflow,
+    /// Invalid float→int conversion.
+    BadConversion,
+    /// `exit(code)` was called.
+    Exit(i32),
+    /// Unknown function (checker bugs only).
+    NoSuchFunc(String),
+}
+
+impl fmt::Display for EvalTrap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalTrap::OutOfBounds => write!(f, "out of bounds memory access"),
+            EvalTrap::DivByZero => write!(f, "division by zero"),
+            EvalTrap::Overflow => write!(f, "integer overflow"),
+            EvalTrap::BadConversion => write!(f, "invalid conversion"),
+            EvalTrap::Exit(c) => write!(f, "exit({c})"),
+            EvalTrap::NoSuchFunc(n) => write!(f, "no function {n}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalTrap {}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<V>),
+}
+
+/// The evaluator, holding program state between invocations.
+pub struct Evaluator<'p> {
+    program: &'p Program,
+    /// Linear memory.
+    pub memory: Vec<u8>,
+    globals: Vec<V>,
+    /// Captured stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Remaining stdin bytes.
+    pub stdin: Vec<u8>,
+    stdin_pos: usize,
+    /// Deterministic clock: advances by a fixed step per read.
+    clock: i64,
+    /// Deterministic xorshift state for `wasi_random_get`.
+    rng: u64,
+}
+
+impl fmt::Debug for Evaluator<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Evaluator")
+            .field("memory_bytes", &self.memory.len())
+            .field("stdout_bytes", &self.stdout.len())
+            .finish()
+    }
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator for a checked program.
+    pub fn new(program: &'p Program) -> Self {
+        let mut memory = vec![0u8; program.memory_pages as usize * 65536];
+        for (addr, bytes) in &program.data {
+            let a = *addr as usize;
+            memory[a..a + bytes.len()].copy_from_slice(bytes);
+        }
+        Evaluator {
+            globals: program
+                .globals
+                .iter()
+                .map(|g| match g.init {
+                    Lit::I32(v) => V::I32(v),
+                    Lit::I64(v) => V::I64(v),
+                    Lit::F32(v) => V::F32(v),
+                    Lit::F64(v) => V::F64(v),
+                })
+                .collect(),
+            program,
+            memory,
+            stdout: Vec::new(),
+            stdin: Vec::new(),
+            stdin_pos: 0,
+            clock: 1_000_000_000,
+            rng: 0x2545F4914F6CDD1D,
+        }
+    }
+
+    /// Provides stdin content for `wasi_fd_read`.
+    pub fn set_stdin(&mut self, bytes: Vec<u8>) {
+        self.stdin = bytes;
+        self.stdin_pos = 0;
+    }
+
+    /// Calls a function by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`EvalTrap`] raised.
+    pub fn call(&mut self, name: &str, args: &[V]) -> Result<Option<V>, EvalTrap> {
+        let f = self
+            .program
+            .funcs
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| EvalTrap::NoSuchFunc(name.to_string()))?;
+        let mut locals: Vec<V> = f
+            .local_types
+            .iter()
+            .map(|t| V::zero(*t))
+            .collect();
+        locals[..args.len()].copy_from_slice(args);
+        match self.block(&f.body, &mut locals)? {
+            Flow::Return(v) => Ok(v.or_else(|| f.ret.map(V::zero))),
+            _ => Ok(f.ret.map(V::zero)),
+        }
+    }
+
+    fn block(&mut self, stmts: &[Stmt], locals: &mut Vec<V>) -> Result<Flow, EvalTrap> {
+        for s in stmts {
+            match self.stmt(s, locals)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn stmt(&mut self, s: &Stmt, locals: &mut Vec<V>) -> Result<Flow, EvalTrap> {
+        match s {
+            Stmt::Let { init, slot, .. } => {
+                let v = self.expr(init, locals)?;
+                if *slot as usize >= locals.len() {
+                    locals.resize(*slot as usize + 1, V::I32(0));
+                }
+                locals[*slot as usize] = v;
+            }
+            Stmt::Assign { value, target, .. } => {
+                let v = self.expr(value, locals)?;
+                match target {
+                    AssignTarget::Local(slot) => locals[*slot as usize] = v,
+                    AssignTarget::Global(idx) => self.globals[*idx as usize] = v,
+                    AssignTarget::Unresolved => unreachable!("checked"),
+                }
+            }
+            Stmt::Expr(e) => {
+                self.expr(e, locals)?;
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.expr(cond, locals)?.as_i32();
+                let arm = if c != 0 { then } else { els };
+                return self.block(arm, locals);
+            }
+            Stmt::While { cond, body } => loop {
+                if self.expr(cond, locals)?.as_i32() == 0 {
+                    break;
+                }
+                match self.block(body, locals)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => break,
+                    r @ Flow::Return(_) => return Ok(r),
+                }
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                match self.stmt(init, locals)? {
+                    Flow::Normal => {}
+                    other => return Ok(other),
+                }
+                loop {
+                    if self.expr(cond, locals)?.as_i32() == 0 {
+                        break;
+                    }
+                    match self.block(body, locals)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        r @ Flow::Return(_) => return Ok(r),
+                    }
+                    match self.stmt(step, locals)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+            }
+            Stmt::Break(_) => return Ok(Flow::Break),
+            Stmt::Continue(_) => return Ok(Flow::Continue),
+            Stmt::Return(e, _) => {
+                let v = match e {
+                    Some(e) => Some(self.expr(e, locals)?),
+                    None => None,
+                };
+                return Ok(Flow::Return(v));
+            }
+            Stmt::Block(b) => return self.block(b, locals),
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn expr(&mut self, e: &Expr, locals: &mut Vec<V>) -> Result<V, EvalTrap> {
+        Ok(match &e.kind {
+            ExprKind::Lit(l) => match *l {
+                Lit::I32(v) => V::I32(v),
+                Lit::I64(v) => V::I64(v),
+                Lit::F32(v) => V::F32(v),
+                Lit::F64(v) => V::F64(v),
+            },
+            ExprKind::Str(addr) => V::I32(*addr as i32),
+            ExprKind::Local(slot) => locals[*slot as usize],
+            ExprKind::Global(idx) => self.globals[*idx as usize],
+            ExprKind::Name(n) => unreachable!("unresolved name {n}"),
+            ExprKind::Bin(op, a, b) => {
+                if op.is_logical() {
+                    let av = self.expr(a, locals)?.as_i32();
+                    return Ok(match op {
+                        BinOp::AndAnd => {
+                            if av == 0 {
+                                V::I32(0)
+                            } else {
+                                V::I32((self.expr(b, locals)?.as_i32() != 0) as i32)
+                            }
+                        }
+                        BinOp::OrOr => {
+                            if av != 0 {
+                                V::I32(1)
+                            } else {
+                                V::I32((self.expr(b, locals)?.as_i32() != 0) as i32)
+                            }
+                        }
+                        _ => unreachable!(),
+                    });
+                }
+                let av = self.expr(a, locals)?;
+                let bv = self.expr(b, locals)?;
+                eval_bin(*op, av, bv)?
+            }
+            ExprKind::Un(op, a) => {
+                let v = self.expr(a, locals)?;
+                match (op, v) {
+                    (UnOp::Neg, V::I32(x)) => V::I32(x.wrapping_neg()),
+                    (UnOp::Neg, V::I64(x)) => V::I64(x.wrapping_neg()),
+                    (UnOp::Neg, V::F32(x)) => V::F32(-x),
+                    (UnOp::Neg, V::F64(x)) => V::F64(-x),
+                    (UnOp::Not, V::I32(x)) => V::I32((x == 0) as i32),
+                    (UnOp::Not, V::I64(x)) => V::I32((x == 0) as i32),
+                    (UnOp::BitNot, V::I32(x)) => V::I32(!x),
+                    (UnOp::BitNot, V::I64(x)) => V::I64(!x),
+                    other => unreachable!("{other:?}"),
+                }
+            }
+            ExprKind::Cast(a, to) => {
+                let v = self.expr(a, locals)?;
+                cast(v, *to)?
+            }
+            ExprKind::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals)?);
+                }
+                let r = self.call(name, &vals)?;
+                r.unwrap_or(V::I32(0))
+            }
+            ExprKind::Builtin(b, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.expr(a, locals)?);
+                }
+                self.builtin(*b, &vals)?
+            }
+        })
+    }
+
+    fn mem_range(&self, addr: i32, len: usize) -> Result<usize, EvalTrap> {
+        let a = addr as u32 as usize;
+        if a + len > self.memory.len() {
+            return Err(EvalTrap::OutOfBounds);
+        }
+        Ok(a)
+    }
+
+    fn builtin(&mut self, b: Builtin, args: &[V]) -> Result<V, EvalTrap> {
+        use Builtin::*;
+        Ok(match b {
+            LoadI32 => {
+                let a = self.mem_range(args[0].as_i32(), 4)?;
+                V::I32(i32::from_le_bytes(self.memory[a..a + 4].try_into().expect("len")))
+            }
+            LoadI64 => {
+                let a = self.mem_range(args[0].as_i32(), 8)?;
+                V::I64(i64::from_le_bytes(self.memory[a..a + 8].try_into().expect("len")))
+            }
+            LoadF32 => {
+                let a = self.mem_range(args[0].as_i32(), 4)?;
+                V::F32(f32::from_le_bytes(self.memory[a..a + 4].try_into().expect("len")))
+            }
+            LoadF64 => {
+                let a = self.mem_range(args[0].as_i32(), 8)?;
+                V::F64(f64::from_le_bytes(self.memory[a..a + 8].try_into().expect("len")))
+            }
+            LoadU8 => {
+                let a = self.mem_range(args[0].as_i32(), 1)?;
+                V::I32(self.memory[a] as i32)
+            }
+            LoadI8 => {
+                let a = self.mem_range(args[0].as_i32(), 1)?;
+                V::I32(self.memory[a] as i8 as i32)
+            }
+            LoadU16 => {
+                let a = self.mem_range(args[0].as_i32(), 2)?;
+                V::I32(u16::from_le_bytes(self.memory[a..a + 2].try_into().expect("len")) as i32)
+            }
+            LoadI16 => {
+                let a = self.mem_range(args[0].as_i32(), 2)?;
+                V::I32(i16::from_le_bytes(self.memory[a..a + 2].try_into().expect("len")) as i32)
+            }
+            StoreI32 => {
+                let a = self.mem_range(args[0].as_i32(), 4)?;
+                self.memory[a..a + 4].copy_from_slice(&args[1].as_i32().to_le_bytes());
+                V::I32(0)
+            }
+            StoreI64 => {
+                let a = self.mem_range(args[0].as_i32(), 8)?;
+                self.memory[a..a + 8].copy_from_slice(&args[1].as_i64().to_le_bytes());
+                V::I32(0)
+            }
+            StoreF32 => {
+                let a = self.mem_range(args[0].as_i32(), 4)?;
+                let v = match args[1] {
+                    V::F32(v) => v,
+                    other => panic!("expected f32, got {other:?}"),
+                };
+                self.memory[a..a + 4].copy_from_slice(&v.to_le_bytes());
+                V::I32(0)
+            }
+            StoreF64 => {
+                let a = self.mem_range(args[0].as_i32(), 8)?;
+                self.memory[a..a + 8].copy_from_slice(&args[1].as_f64().to_le_bytes());
+                V::I32(0)
+            }
+            StoreU8 => {
+                let a = self.mem_range(args[0].as_i32(), 1)?;
+                self.memory[a] = args[1].as_i32() as u8;
+                V::I32(0)
+            }
+            StoreU16 => {
+                let a = self.mem_range(args[0].as_i32(), 2)?;
+                self.memory[a..a + 2].copy_from_slice(&(args[1].as_i32() as u16).to_le_bytes());
+                V::I32(0)
+            }
+            MemorySize => V::I32((self.memory.len() / 65536) as i32),
+            MemoryGrow => {
+                let delta = args[0].as_i32() as usize;
+                let old = self.memory.len() / 65536;
+                self.memory.resize((old + delta) * 65536, 0);
+                V::I32(old as i32)
+            }
+            DivU => match (args[0], args[1]) {
+                (V::I32(a), V::I32(b)) => {
+                    if b == 0 {
+                        return Err(EvalTrap::DivByZero);
+                    }
+                    V::I32(((a as u32) / (b as u32)) as i32)
+                }
+                (V::I64(a), V::I64(b)) => {
+                    if b == 0 {
+                        return Err(EvalTrap::DivByZero);
+                    }
+                    V::I64(((a as u64) / (b as u64)) as i64)
+                }
+                other => unreachable!("{other:?}"),
+            },
+            RemU => match (args[0], args[1]) {
+                (V::I32(a), V::I32(b)) => {
+                    if b == 0 {
+                        return Err(EvalTrap::DivByZero);
+                    }
+                    V::I32(((a as u32) % (b as u32)) as i32)
+                }
+                (V::I64(a), V::I64(b)) => {
+                    if b == 0 {
+                        return Err(EvalTrap::DivByZero);
+                    }
+                    V::I64(((a as u64) % (b as u64)) as i64)
+                }
+                other => unreachable!("{other:?}"),
+            },
+            LtU => cmp_u(args, |a, b| a < b),
+            GtU => cmp_u(args, |a, b| a > b),
+            LeU => cmp_u(args, |a, b| a <= b),
+            GeU => cmp_u(args, |a, b| a >= b),
+            Clz => match args[0] {
+                V::I32(v) => V::I32(v.leading_zeros() as i32),
+                V::I64(v) => V::I64(v.leading_zeros() as i64),
+                other => unreachable!("{other:?}"),
+            },
+            Ctz => match args[0] {
+                V::I32(v) => V::I32(v.trailing_zeros() as i32),
+                V::I64(v) => V::I64(v.trailing_zeros() as i64),
+                other => unreachable!("{other:?}"),
+            },
+            Popcnt => match args[0] {
+                V::I32(v) => V::I32(v.count_ones() as i32),
+                V::I64(v) => V::I64(v.count_ones() as i64),
+                other => unreachable!("{other:?}"),
+            },
+            Rotl => match (args[0], args[1]) {
+                (V::I32(a), V::I32(b)) => V::I32(a.rotate_left(b as u32 & 31)),
+                (V::I64(a), V::I64(b)) => V::I64(a.rotate_left(b as u32 & 63)),
+                other => unreachable!("{other:?}"),
+            },
+            Rotr => match (args[0], args[1]) {
+                (V::I32(a), V::I32(b)) => V::I32(a.rotate_right(b as u32 & 31)),
+                (V::I64(a), V::I64(b)) => V::I64(a.rotate_right(b as u32 & 63)),
+                other => unreachable!("{other:?}"),
+            },
+            Sqrt => float1(args[0], f32::sqrt, f64::sqrt),
+            Abs => match args[0] {
+                V::I32(v) => V::I32(v.wrapping_abs()),
+                V::I64(v) => V::I64(v.wrapping_abs()),
+                V::F32(v) => V::F32(v.abs()),
+                V::F64(v) => V::F64(v.abs()),
+            },
+            Floor => float1(args[0], f32::floor, f64::floor),
+            Ceil => float1(args[0], f32::ceil, f64::ceil),
+            TruncF => float1(args[0], f32::trunc, f64::trunc),
+            Nearest => float1(
+                args[0],
+                |x| {
+                    let r = x.round();
+                    if (x - x.trunc()).abs() == 0.5 {
+                        2.0 * (x / 2.0).round()
+                    } else {
+                        r
+                    }
+                },
+                |x| {
+                    let r = x.round();
+                    if (x - x.trunc()).abs() == 0.5 {
+                        2.0 * (x / 2.0).round()
+                    } else {
+                        r
+                    }
+                },
+            ),
+            FMin => float2(args, |a, b| if a.is_nan() || b.is_nan() { f32::NAN } else { a.min(b) }, |a, b| if a.is_nan() || b.is_nan() { f64::NAN } else { a.min(b) }),
+            FMax => float2(args, |a, b| if a.is_nan() || b.is_nan() { f32::NAN } else { a.max(b) }, |a, b| if a.is_nan() || b.is_nan() { f64::NAN } else { a.max(b) }),
+            Copysign => float2(args, f32::copysign, f64::copysign),
+            WasiFdWrite => {
+                let (fd, iovs, iovs_len, nwritten_ptr) = (
+                    args[0].as_i32(),
+                    args[1].as_i32(),
+                    args[2].as_i32(),
+                    args[3].as_i32(),
+                );
+                let mut written = 0usize;
+                for k in 0..iovs_len {
+                    let base = self.mem_range(iovs + k * 8, 8)?;
+                    let ptr = i32::from_le_bytes(self.memory[base..base + 4].try_into().expect("len"));
+                    let len = i32::from_le_bytes(self.memory[base + 4..base + 8].try_into().expect("len"));
+                    let d = self.mem_range(ptr, len as usize)?;
+                    if fd == 1 || fd == 2 {
+                        let chunk = self.memory[d..d + len as usize].to_vec();
+                        self.stdout.extend_from_slice(&chunk);
+                    }
+                    written += len as usize;
+                }
+                let np = self.mem_range(nwritten_ptr, 4)?;
+                self.memory[np..np + 4].copy_from_slice(&(written as i32).to_le_bytes());
+                V::I32(0)
+            }
+            WasiFdRead => {
+                let (_fd, iovs, iovs_len, nread_ptr) = (
+                    args[0].as_i32(),
+                    args[1].as_i32(),
+                    args[2].as_i32(),
+                    args[3].as_i32(),
+                );
+                let mut read = 0usize;
+                for k in 0..iovs_len {
+                    let base = self.mem_range(iovs + k * 8, 8)?;
+                    let ptr = i32::from_le_bytes(self.memory[base..base + 4].try_into().expect("len"));
+                    let len = i32::from_le_bytes(self.memory[base + 4..base + 8].try_into().expect("len"))
+                        as usize;
+                    let avail = self.stdin.len() - self.stdin_pos;
+                    let n = len.min(avail);
+                    let d = self.mem_range(ptr, n)?;
+                    let src = self.stdin[self.stdin_pos..self.stdin_pos + n].to_vec();
+                    self.memory[d..d + n].copy_from_slice(&src);
+                    self.stdin_pos += n;
+                    read += n;
+                    if n < len {
+                        break;
+                    }
+                }
+                let np = self.mem_range(nread_ptr, 4)?;
+                self.memory[np..np + 4].copy_from_slice(&(read as i32).to_le_bytes());
+                V::I32(0)
+            }
+            WasiProcExit => return Err(EvalTrap::Exit(args[0].as_i32())),
+            WasiClockTimeGet => {
+                self.clock += 1000;
+                V::I64(self.clock)
+            }
+            WasiRandomGet => {
+                let (ptr, len) = (args[0].as_i32(), args[1].as_i32() as usize);
+                let base = self.mem_range(ptr, len)?;
+                for k in 0..len {
+                    self.rng ^= self.rng << 13;
+                    self.rng ^= self.rng >> 7;
+                    self.rng ^= self.rng << 17;
+                    self.memory[base + k] = self.rng as u8;
+                }
+                V::I32(0)
+            }
+        })
+    }
+}
+
+fn cmp_u(args: &[V], f: impl Fn(u64, u64) -> bool) -> V {
+    match (args[0], args[1]) {
+        (V::I32(a), V::I32(b)) => V::I32(f(a as u32 as u64, b as u32 as u64) as i32),
+        (V::I64(a), V::I64(b)) => V::I32(f(a as u64, b as u64) as i32),
+        other => unreachable!("{other:?}"),
+    }
+}
+
+fn float1(v: V, f32f: impl Fn(f32) -> f32, f64f: impl Fn(f64) -> f64) -> V {
+    match v {
+        V::F32(v) => V::F32(f32f(v)),
+        V::F64(v) => V::F64(f64f(v)),
+        other => unreachable!("{other:?}"),
+    }
+}
+
+fn float2(args: &[V], f32f: impl Fn(f32, f32) -> f32, f64f: impl Fn(f64, f64) -> f64) -> V {
+    match (args[0], args[1]) {
+        (V::F32(a), V::F32(b)) => V::F32(f32f(a, b)),
+        (V::F64(a), V::F64(b)) => V::F64(f64f(a, b)),
+        other => unreachable!("{other:?}"),
+    }
+}
+
+fn cast(v: V, to: Ty) -> Result<V, EvalTrap> {
+    Ok(match (v, to) {
+        (V::I32(x), Ty::I32) => V::I32(x),
+        (V::I32(x), Ty::I64) => V::I64(x as i64),
+        (V::I32(x), Ty::F32) => V::F32(x as f32),
+        (V::I32(x), Ty::F64) => V::F64(x as f64),
+        (V::I64(x), Ty::I32) => V::I32(x as i32),
+        (V::I64(x), Ty::I64) => V::I64(x),
+        (V::I64(x), Ty::F32) => V::F32(x as f32),
+        (V::I64(x), Ty::F64) => V::F64(x as f64),
+        (V::F32(x), Ty::F32) => V::F32(x),
+        (V::F32(x), Ty::F64) => V::F64(x as f64),
+        (V::F32(x), Ty::I32) => {
+            if x.is_nan() || x >= 2147483648.0 || x < -2147483648.0 {
+                return Err(EvalTrap::BadConversion);
+            }
+            V::I32(x.trunc() as i32)
+        }
+        (V::F32(x), Ty::I64) => {
+            if x.is_nan() || x >= 9223372036854775808.0 || x < -9223372036854775808.0 {
+                return Err(EvalTrap::BadConversion);
+            }
+            V::I64(x.trunc() as i64)
+        }
+        (V::F64(x), Ty::F64) => V::F64(x),
+        (V::F64(x), Ty::F32) => V::F32(x as f32),
+        (V::F64(x), Ty::I32) => {
+            if x.is_nan() || x >= 2147483648.0 || x < -2147483649.0 {
+                return Err(EvalTrap::BadConversion);
+            }
+            V::I32(x.trunc() as i32)
+        }
+        (V::F64(x), Ty::I64) => {
+            if x.is_nan() || x >= 9223372036854775808.0 || x < -9223372036854775808.0 {
+                return Err(EvalTrap::BadConversion);
+            }
+            V::I64(x.trunc() as i64)
+        }
+    })
+}
+
+fn eval_bin(op: BinOp, a: V, b: V) -> Result<V, EvalTrap> {
+    use BinOp::*;
+    Ok(match (a, b) {
+        (V::I32(x), V::I32(y)) => match op {
+            Add => V::I32(x.wrapping_add(y)),
+            Sub => V::I32(x.wrapping_sub(y)),
+            Mul => V::I32(x.wrapping_mul(y)),
+            Div => {
+                if y == 0 {
+                    return Err(EvalTrap::DivByZero);
+                }
+                if x == i32::MIN && y == -1 {
+                    return Err(EvalTrap::Overflow);
+                }
+                V::I32(x.wrapping_div(y))
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(EvalTrap::DivByZero);
+                }
+                V::I32(x.wrapping_rem(y))
+            }
+            And => V::I32(x & y),
+            Or => V::I32(x | y),
+            Xor => V::I32(x ^ y),
+            Shl => V::I32(x.wrapping_shl(y as u32)),
+            Shr => V::I32(x.wrapping_shr(y as u32)),
+            ShrU => V::I32(((x as u32).wrapping_shr(y as u32)) as i32),
+            Lt => V::I32((x < y) as i32),
+            Le => V::I32((x <= y) as i32),
+            Gt => V::I32((x > y) as i32),
+            Ge => V::I32((x >= y) as i32),
+            Eq => V::I32((x == y) as i32),
+            Ne => V::I32((x != y) as i32),
+            AndAnd | OrOr => unreachable!("short-circuit handled by caller"),
+        },
+        (V::I64(x), V::I64(y)) => match op {
+            Add => V::I64(x.wrapping_add(y)),
+            Sub => V::I64(x.wrapping_sub(y)),
+            Mul => V::I64(x.wrapping_mul(y)),
+            Div => {
+                if y == 0 {
+                    return Err(EvalTrap::DivByZero);
+                }
+                if x == i64::MIN && y == -1 {
+                    return Err(EvalTrap::Overflow);
+                }
+                V::I64(x.wrapping_div(y))
+            }
+            Rem => {
+                if y == 0 {
+                    return Err(EvalTrap::DivByZero);
+                }
+                V::I64(x.wrapping_rem(y))
+            }
+            And => V::I64(x & y),
+            Or => V::I64(x | y),
+            Xor => V::I64(x ^ y),
+            Shl => V::I64(x.wrapping_shl(y as u32)),
+            Shr => V::I64(x.wrapping_shr(y as u32)),
+            ShrU => V::I64(((x as u64).wrapping_shr(y as u32)) as i64),
+            Lt => V::I32((x < y) as i32),
+            Le => V::I32((x <= y) as i32),
+            Gt => V::I32((x > y) as i32),
+            Ge => V::I32((x >= y) as i32),
+            Eq => V::I32((x == y) as i32),
+            Ne => V::I32((x != y) as i32),
+            AndAnd | OrOr => unreachable!(),
+        },
+        (V::F32(x), V::F32(y)) => match op {
+            Add => V::F32(x + y),
+            Sub => V::F32(x - y),
+            Mul => V::F32(x * y),
+            Div => V::F32(x / y),
+            Lt => V::I32((x < y) as i32),
+            Le => V::I32((x <= y) as i32),
+            Gt => V::I32((x > y) as i32),
+            Ge => V::I32((x >= y) as i32),
+            Eq => V::I32((x == y) as i32),
+            Ne => V::I32((x != y) as i32),
+            other => unreachable!("{other:?} on f32"),
+        },
+        (V::F64(x), V::F64(y)) => match op {
+            Add => V::F64(x + y),
+            Sub => V::F64(x - y),
+            Mul => V::F64(x * y),
+            Div => V::F64(x / y),
+            Lt => V::I32((x < y) as i32),
+            Le => V::I32((x <= y) as i32),
+            Gt => V::I32((x > y) as i32),
+            Ge => V::I32((x >= y) as i32),
+            Eq => V::I32((x == y) as i32),
+            Ne => V::I32((x != y) as i32),
+            other => unreachable!("{other:?} on f64"),
+        },
+        other => unreachable!("mixed-type binop {other:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    fn run(src: &str, func: &str, args: &[V]) -> Result<Option<V>, EvalTrap> {
+        let mut p = parse(src).unwrap();
+        check(&mut p).unwrap();
+        let program = Box::leak(Box::new(p));
+        let mut ev = Evaluator::new(program);
+        ev.call(func, args)
+    }
+
+    #[test]
+    fn arithmetic_and_control() {
+        let src = "fn fib(n: i32) -> i32 {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }";
+        assert_eq!(run(src, "fib", &[V::I32(10)]).unwrap(), Some(V::I32(55)));
+    }
+
+    #[test]
+    fn memory_and_loops() {
+        let src = "fn f(n: i32) -> i32 {
+            for (let i: i32 = 0; i < n; i += 1) { store_i32(1024 + i * 4, i * i); }
+            let s: i32 = 0;
+            for (let i: i32 = 0; i < n; i += 1) { s += load_i32(1024 + i * 4); }
+            return s;
+        }";
+        assert_eq!(run(src, "f", &[V::I32(5)]).unwrap(), Some(V::I32(30)));
+    }
+
+    #[test]
+    fn traps() {
+        assert_eq!(
+            run("fn f() -> i32 { return 1 / 0; }", "f", &[]),
+            Err(EvalTrap::DivByZero)
+        );
+        assert_eq!(
+            run("fn f() -> i32 { return load_i32(-4); }", "f", &[]),
+            Err(EvalTrap::OutOfBounds)
+        );
+        assert_eq!(
+            run("fn f() -> i32 { return (1e30) as i32; }", "f", &[]),
+            Err(EvalTrap::BadConversion)
+        );
+    }
+
+    #[test]
+    fn wasi_write_captures_stdout() {
+        let src = r#"fn f() -> i32 {
+            store_u8(100, 72); store_u8(101, 105);
+            store_i32(0, 100); store_i32(4, 2);
+            return wasi_fd_write(1, 0, 1, 60);
+        }"#;
+        let mut p = parse(src).unwrap();
+        check(&mut p).unwrap();
+        let mut ev = Evaluator::new(&p);
+        ev.call("f", &[]).unwrap();
+        assert_eq!(ev.stdout, b"Hi");
+        assert_eq!(&ev.memory[60..64], &2i32.to_le_bytes());
+    }
+
+    #[test]
+    fn wasi_read_consumes_stdin() {
+        let src = r#"fn f() -> i32 {
+            store_i32(8, 200); store_i32(12, 3);
+            wasi_fd_read(0, 8, 1, 56);
+            return load_u8(200) + load_u8(201) + load_u8(202);
+        }"#;
+        let mut p = parse(src).unwrap();
+        check(&mut p).unwrap();
+        let mut ev = Evaluator::new(&p);
+        ev.set_stdin(vec![1, 2, 3, 4]);
+        assert_eq!(ev.call("f", &[]).unwrap(), Some(V::I32(6)));
+    }
+
+    #[test]
+    fn wrapping_matches_wasm() {
+        assert_eq!(
+            run("fn f() -> i32 { return 2147483647 + 1; }", "f", &[]).unwrap(),
+            Some(V::I32(i32::MIN))
+        );
+        assert_eq!(
+            run("fn f(a: i32) -> i32 { return a >>> 1; }", "f", &[V::I32(-2)]).unwrap(),
+            Some(V::I32(0x7FFFFFFF))
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! The WaCC lexer.
+
+use crate::error::CompileError;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (value, is_i64).
+    Int(i64, bool),
+    /// Float literal (value, is_f32).
+    Float(f64, bool),
+    /// String literal (unescaped bytes).
+    Str(String),
+    /// Punctuation or operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v, _) => write!(f, "{v}"),
+            Tok::Float(v, _) => write!(f, "{v}"),
+            Tok::Str(_) => write!(f, "string literal"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Tokenizes WaCC source.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unterminated strings/comments, malformed
+/// numbers, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, CompileError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let err = |line: u32, msg: String| CompileError { line, msg };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err(start_line, "unterminated block comment".into()));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(err(start_line, "unterminated string".into()));
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            let esc = *b
+                                .get(i + 1)
+                                .ok_or_else(|| err(line, "unterminated escape".into()))?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'0' => '\0',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(err(
+                                        line,
+                                        format!("unknown escape \\{}", other as char),
+                                    ))
+                                }
+                            });
+                            i += 2;
+                        }
+                        b'\n' => return Err(err(start_line, "newline in string".into())),
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Character literal → i32.
+                let (ch, consumed) = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(b'\\'), Some(&esc)) => (
+                        match esc {
+                            b'n' => b'\n',
+                            b't' => b'\t',
+                            b'r' => b'\r',
+                            b'0' => 0,
+                            b'\\' => b'\\',
+                            b'\'' => b'\'',
+                            other => return Err(err(line, format!("unknown escape \\{}", other as char))),
+                        },
+                        3,
+                    ),
+                    (Some(&ch), _) => (ch, 2),
+                    _ => return Err(err(line, "unterminated char literal".into())),
+                };
+                if b.get(i + consumed) != Some(&b'\'') {
+                    return Err(err(line, "unterminated char literal".into()));
+                }
+                i += consumed + 1;
+                out.push(Spanned {
+                    tok: Tok::Int(ch as i64, false),
+                    line,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                if c == b'0' && b.get(i + 1) == Some(&b'x') {
+                    i += 2;
+                    while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    let text: String = src[start + 2..i].chars().filter(|c| *c != '_').collect();
+                    let v = u64::from_str_radix(&text, 16)
+                        .map_err(|_| err(line, format!("bad hex literal {text}")))?;
+                    let is_long = if b.get(i) == Some(&b'L') {
+                        i += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    out.push(Spanned {
+                        tok: Tok::Int(v as i64, is_long),
+                        line,
+                    });
+                    continue;
+                }
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text: String = src[start..i].chars().filter(|c| *c != '_').collect();
+                if is_float {
+                    let is_f32 = if b.get(i) == Some(&b'f') {
+                        i += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad float literal {text}")))?;
+                    out.push(Spanned {
+                        tok: Tok::Float(v, is_f32),
+                        line,
+                    });
+                } else {
+                    let is_long = if b.get(i) == Some(&b'L') {
+                        i += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    // Some benchmarks write f64 constants as `1.0`; plain
+                    // integers stay integers.
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| err(line, format!("bad integer literal {text}")))?;
+                    out.push(Spanned {
+                        tok: Tok::Int(v, is_long),
+                        line,
+                    });
+                }
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            _ => {
+                const THREE: [&str; 2] = [">>>", "..."];
+                const TWO: [&str; 12] = [
+                    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "+=", "-=", "*=",
+                ];
+                const ONE: [&str; 19] = [
+                    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")",
+                    "{", "}", ",", ";",
+                ];
+                let rest = &src[i..];
+                let mut matched = None;
+                for p in THREE {
+                    if rest.starts_with(p) {
+                        matched = Some(p);
+                        break;
+                    }
+                }
+                if matched.is_none() {
+                    for p in TWO {
+                        if rest.starts_with(p) {
+                            matched = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if matched.is_none() {
+                    for p in ONE {
+                        if rest.starts_with(p) {
+                            matched = Some(p);
+                            break;
+                        }
+                    }
+                }
+                if matched.is_none() && (c == b':') {
+                    matched = Some(":");
+                }
+                match matched {
+                    Some(p) => {
+                        out.push(Spanned {
+                            tok: Tok::Punct(p),
+                            line,
+                        });
+                        i += p.len();
+                    }
+                    None => {
+                        return Err(err(line, format!("unexpected character {:?}", c as char)))
+                    }
+                }
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_tokens() {
+        assert_eq!(
+            toks("let x: i32 = 42;"),
+            vec![
+                Tok::Ident("let".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct(":"),
+                Tok::Ident("i32".into()),
+                Tok::Punct("="),
+                Tok::Int(42, false),
+                Tok::Punct(";"),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("0x1F")[0], Tok::Int(31, false));
+        assert_eq!(toks("7L")[0], Tok::Int(7, true));
+        assert_eq!(toks("1.5")[0], Tok::Float(1.5, false));
+        assert_eq!(toks("2.5f")[0], Tok::Float(2.5, true));
+        assert_eq!(toks("1e3")[0], Tok::Float(1000.0, false));
+        assert_eq!(toks("1_000_000")[0], Tok::Int(1_000_000, false));
+        assert_eq!(toks("0xFFFFFFFF")[0], Tok::Int(0xFFFF_FFFF, false));
+    }
+
+    #[test]
+    fn lexes_multi_char_operators() {
+        assert_eq!(
+            toks("a >>> b >> c >= d"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct(">>>"),
+                Tok::Ident("b".into()),
+                Tok::Punct(">>"),
+                Tok::Ident("c".into()),
+                Tok::Punct(">="),
+                Tok::Ident("d".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block\n comment */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(toks(r#""hi\n""#)[0], Tok::Str("hi\n".into()));
+        assert_eq!(toks("'A'")[0], Tok::Int(65, false));
+        assert_eq!(toks(r"'\n'")[0], Tok::Int(10, false));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 4);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("@").is_err());
+    }
+}

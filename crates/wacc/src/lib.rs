@@ -1,0 +1,79 @@
+//! # wacc — the WABench C Compiler
+//!
+//! A mini-C ("WaCC") to WebAssembly + WASI compiler with `-O0..-O3`
+//! optimization levels, standing in for the WASI SDK in the paper's
+//! methodology. The 50 WABench programs are written in WaCC.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`check`] → [`opt`] (AST-level
+//! optimization) → [`codegen`] (Wasm emission). A reference evaluator
+//! ([`eval`]) executes the checked AST directly for differential testing.
+//!
+//! ```
+//! use wacc::OptLevel;
+//!
+//! let src = r#"
+//!     export fn main() -> i32 {
+//!         let s: i32 = 0;
+//!         for (let i: i32 = 1; i <= 10; i += 1) { s += i * i; }
+//!         return s;
+//!     }
+//! "#;
+//! let module = wacc::compile(src, OptLevel::O2)?;
+//! wasm_core::validate::validate(&module)?;
+//! let bytes = wacc::compile_to_bytes(src, OptLevel::O2)?;
+//! assert_eq!(&bytes[..4], b"\0asm");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod check;
+pub mod codegen;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod opt;
+pub mod parser;
+pub mod prelude;
+
+pub use error::CompileError;
+pub use opt::OptLevel;
+
+use ast::Program;
+
+/// Parses, checks, and optimizes a program (prelude included), returning
+/// the typed AST ready for code generation or evaluation.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntax, or type error.
+pub fn frontend(src: &str, level: OptLevel) -> Result<Program, CompileError> {
+    let full = format!("{src}\n{}", prelude::PRELUDE);
+    let mut program = parser::parse(&full)?;
+    let sigs = check::check(&mut program)?;
+    opt::optimize(&mut program, &sigs, level);
+    Ok(program)
+}
+
+/// Compiles WaCC source to a Wasm [`wasm_core::Module`].
+///
+/// # Errors
+///
+/// Returns the first compile error.
+pub fn compile(src: &str, level: OptLevel) -> Result<wasm_core::Module, CompileError> {
+    let full = format!("{src}\n{}", prelude::PRELUDE);
+    let mut program = parser::parse(&full)?;
+    let sigs = check::check(&mut program)?;
+    opt::optimize(&mut program, &sigs, level);
+    codegen::generate_with(&program, &sigs, level == OptLevel::O0)
+}
+
+/// Compiles WaCC source to Wasm binary bytes.
+///
+/// # Errors
+///
+/// Returns the first compile error.
+pub fn compile_to_bytes(src: &str, level: OptLevel) -> Result<Vec<u8>, CompileError> {
+    Ok(wasm_core::encode::encode(&compile(src, level)?))
+}

@@ -1,0 +1,656 @@
+//! The WaCC recursive-descent parser.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::CompileError;
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Base address where string literals are laid out. The scratch region
+/// `0..64` is reserved for the prelude's I/O buffers; benchmark data
+/// should live at addresses well above the string pool.
+pub const STRING_BASE: u32 = 128;
+
+/// Parses WaCC source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    let toks = lex(src)?;
+    Parser {
+        toks,
+        pos: 0,
+        consts: HashMap::new(),
+        program: Program {
+            memory_pages: 16,
+            ..Program::default()
+        },
+        string_cursor: STRING_BASE,
+    }
+    .run()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    consts: HashMap<String, Lit>,
+    program: Program,
+    string_cursor: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.next();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{p}`, found {other}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_ty(&mut self) -> Result<Ty, CompileError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "i32" => Ok(Ty::I32),
+            "i64" => Ok(Ty::I64),
+            "f32" => Ok(Ty::F32),
+            "f64" => Ok(Ty::F64),
+            other => Err(self.err(format!("unknown type `{other}`"))),
+        }
+    }
+
+    fn run(mut self) -> Result<Program, CompileError> {
+        loop {
+            match self.peek().clone() {
+                Tok::Eof => break,
+                Tok::Ident(kw) => match kw.as_str() {
+                    "memory" => {
+                        self.next();
+                        let pages = self.const_int_expr()?;
+                        self.expect_punct(";")?;
+                        self.program.memory_pages = pages as u32;
+                    }
+                    "global" => {
+                        self.next();
+                        let name = self.expect_ident()?;
+                        self.expect_punct(":")?;
+                        let ty = self.parse_ty()?;
+                        self.expect_punct("=")?;
+                        let init = self.parse_lit_of(ty)?;
+                        self.expect_punct(";")?;
+                        self.program.globals.push(GlobalDef { name, ty, init });
+                    }
+                    "const" => {
+                        self.next();
+                        let name = self.expect_ident()?;
+                        self.expect_punct("=")?;
+                        let v = self.const_int_expr()?;
+                        self.expect_punct(";")?;
+                        let lit = if v > i32::MAX as i64 || v < i32::MIN as i64 {
+                            Lit::I64(v)
+                        } else {
+                            Lit::I32(v as i32)
+                        };
+                        self.consts.insert(name, lit);
+                    }
+                    "export" | "fn" => {
+                        let exported = kw == "export";
+                        if exported {
+                            self.next();
+                        }
+                        if !self.eat_keyword("fn") {
+                            return Err(self.err("expected `fn`"));
+                        }
+                        let func = self.parse_func(exported)?;
+                        self.program.funcs.push(func);
+                    }
+                    other => return Err(self.err(format!("unexpected item `{other}`"))),
+                },
+                other => return Err(self.err(format!("unexpected token {other}"))),
+            }
+        }
+        Ok(self.program)
+    }
+
+    /// Evaluates a compile-time integer expression (for `const`, `memory`).
+    fn const_int_expr(&mut self) -> Result<i64, CompileError> {
+        self.const_add()
+    }
+
+    fn const_add(&mut self) -> Result<i64, CompileError> {
+        let mut v = self.const_mul()?;
+        loop {
+            if self.eat_punct("+") {
+                v += self.const_mul()?;
+            } else if self.eat_punct("-") {
+                v -= self.const_mul()?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn const_mul(&mut self) -> Result<i64, CompileError> {
+        let mut v = self.const_atom()?;
+        loop {
+            if self.eat_punct("*") {
+                v *= self.const_atom()?;
+            } else if self.eat_punct("/") {
+                let d = self.const_atom()?;
+                if d == 0 {
+                    return Err(self.err("division by zero in constant"));
+                }
+                v /= d;
+            } else if self.eat_punct("<<") {
+                v <<= self.const_atom()?;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn const_atom(&mut self) -> Result<i64, CompileError> {
+        if self.eat_punct("(") {
+            let v = self.const_int_expr()?;
+            self.expect_punct(")")?;
+            return Ok(v);
+        }
+        if self.eat_punct("-") {
+            return Ok(-self.const_atom()?);
+        }
+        match self.next() {
+            Tok::Int(v, _) => Ok(v),
+            Tok::Ident(name) => match self.consts.get(&name) {
+                Some(Lit::I32(v)) => Ok(*v as i64),
+                Some(Lit::I64(v)) => Ok(*v),
+                _ => Err(self.err(format!("unknown constant `{name}`"))),
+            },
+            other => Err(self.err(format!("expected constant, found {other}"))),
+        }
+    }
+
+    fn parse_lit_of(&mut self, ty: Ty) -> Result<Lit, CompileError> {
+        let neg = self.eat_punct("-");
+        let lit = match self.next() {
+            Tok::Int(v, _) => {
+                let v = if neg { -v } else { v };
+                match ty {
+                    Ty::I32 => Lit::I32(v as i32),
+                    Ty::I64 => Lit::I64(v),
+                    Ty::F32 => Lit::F32(v as f32),
+                    Ty::F64 => Lit::F64(v as f64),
+                }
+            }
+            Tok::Float(v, _) => {
+                let v = if neg { -v } else { v };
+                match ty {
+                    Ty::F32 => Lit::F32(v as f32),
+                    Ty::F64 => Lit::F64(v),
+                    _ => return Err(self.err("float initializer for integer global")),
+                }
+            }
+            other => return Err(self.err(format!("expected literal, found {other}"))),
+        };
+        Ok(lit)
+    }
+
+    fn parse_func(&mut self, exported: bool) -> Result<FuncDef, CompileError> {
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                let pname = self.expect_ident()?;
+                self.expect_punct(":")?;
+                let ty = self.parse_ty()?;
+                params.push((pname, ty));
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        let ret = if self.eat_punct("->") {
+            Some(self.parse_ty()?)
+        } else {
+            None
+        };
+        let body = self.parse_block()?;
+        Ok(FuncDef {
+            name,
+            params,
+            ret,
+            body,
+            exported,
+            nlocals: 0,
+            local_types: Vec::new(),
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek().clone() {
+            Tok::Punct("{") => Ok(Stmt::Block(self.parse_block()?)),
+            Tok::Ident(kw) => match kw.as_str() {
+                "let" => {
+                    let s = self.parse_simple_stmt()?;
+                    self.expect_punct(";")?;
+                    Ok(s)
+                }
+                "if" => {
+                    self.next();
+                    self.expect_punct("(")?;
+                    let cond = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    let then = self.parse_block()?;
+                    let els = if self.eat_keyword("else") {
+                        if matches!(self.peek(), Tok::Ident(k) if k == "if") {
+                            vec![self.parse_stmt()?]
+                        } else {
+                            self.parse_block()?
+                        }
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::If { cond, then, els })
+                }
+                "while" => {
+                    self.next();
+                    self.expect_punct("(")?;
+                    let cond = self.parse_expr()?;
+                    self.expect_punct(")")?;
+                    let body = self.parse_block()?;
+                    Ok(Stmt::While { cond, body })
+                }
+                "for" => {
+                    self.next();
+                    self.expect_punct("(")?;
+                    let init = Box::new(self.parse_simple_stmt()?);
+                    self.expect_punct(";")?;
+                    let cond = self.parse_expr()?;
+                    self.expect_punct(";")?;
+                    let step = Box::new(self.parse_simple_stmt()?);
+                    self.expect_punct(")")?;
+                    let body = self.parse_block()?;
+                    Ok(Stmt::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                    })
+                }
+                "break" => {
+                    let line = self.line();
+                    self.next();
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Break(line))
+                }
+                "continue" => {
+                    let line = self.line();
+                    self.next();
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Continue(line))
+                }
+                "return" => {
+                    let line = self.line();
+                    self.next();
+                    if self.eat_punct(";") {
+                        Ok(Stmt::Return(None, line))
+                    } else {
+                        let e = self.parse_expr()?;
+                        self.expect_punct(";")?;
+                        Ok(Stmt::Return(Some(e), line))
+                    }
+                }
+                _ => {
+                    let s = self.parse_simple_stmt()?;
+                    self.expect_punct(";")?;
+                    Ok(s)
+                }
+            },
+            _ => {
+                let s = self.parse_simple_stmt()?;
+                self.expect_punct(";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A let, assignment, compound assignment, or expression (no
+    /// trailing semicolon — used for `for` headers and plain statements).
+    fn parse_simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        if matches!(self.peek(), Tok::Ident(k) if k == "let") {
+            self.next();
+            let name = self.expect_ident()?;
+            let ty = if self.eat_punct(":") {
+                Some(self.parse_ty()?)
+            } else {
+                None
+            };
+            self.expect_punct("=")?;
+            let init = self.parse_expr()?;
+            return Ok(Stmt::Let {
+                name,
+                ty,
+                init,
+                slot: 0,
+            });
+        }
+        // Lookahead: IDENT (=, +=, -=, *=) ...
+        if let Tok::Ident(name) = self.peek().clone() {
+            if Builtin::from_name(&name).is_none() && !self.consts.contains_key(&name) {
+                let after = &self.toks[self.pos + 1].tok;
+                let line = self.line();
+                let compound = |op: BinOp, this: &mut Self| -> Result<Stmt, CompileError> {
+                    this.next();
+                    this.next();
+                    let rhs = this.parse_expr()?;
+                    let lhs = Expr::new(ExprKind::Name(name.clone()), line);
+                    Ok(Stmt::Assign {
+                        name: name.clone(),
+                        value: Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line),
+                        target: AssignTarget::Unresolved,
+                    })
+                };
+                match after {
+                    Tok::Punct("=") => {
+                        self.next();
+                        self.next();
+                        let value = self.parse_expr()?;
+                        return Ok(Stmt::Assign {
+                            name,
+                            value,
+                            target: AssignTarget::Unresolved,
+                        });
+                    }
+                    Tok::Punct("+=") => return compound(BinOp::Add, self),
+                    Tok::Punct("-=") => return compound(BinOp::Sub, self),
+                    Tok::Punct("*=") => return compound(BinOp::Mul, self),
+                    _ => {}
+                }
+            }
+        }
+        Ok(Stmt::Expr(self.parse_expr()?))
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, CompileError> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr, CompileError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct("||") => (BinOp::OrOr, 1),
+                Tok::Punct("&&") => (BinOp::AndAnd, 2),
+                Tok::Punct("|") => (BinOp::Or, 3),
+                Tok::Punct("^") => (BinOp::Xor, 4),
+                Tok::Punct("&") => (BinOp::And, 5),
+                Tok::Punct("==") => (BinOp::Eq, 6),
+                Tok::Punct("!=") => (BinOp::Ne, 6),
+                Tok::Punct("<") => (BinOp::Lt, 7),
+                Tok::Punct("<=") => (BinOp::Le, 7),
+                Tok::Punct(">") => (BinOp::Gt, 7),
+                Tok::Punct(">=") => (BinOp::Ge, 7),
+                Tok::Punct("<<") => (BinOp::Shl, 8),
+                Tok::Punct(">>") => (BinOp::Shr, 8),
+                Tok::Punct(">>>") => (BinOp::ShrU, 8),
+                Tok::Punct("+") => (BinOp::Add, 9),
+                Tok::Punct("-") => (BinOp::Sub, 9),
+                Tok::Punct("*") => (BinOp::Mul, 10),
+                Tok::Punct("/") => (BinOp::Div, 10),
+                Tok::Punct("%") => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            let line = self.line();
+            self.next();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::new(ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        if self.eat_punct("-") {
+            let e = self.parse_unary()?;
+            // Fold negation of literals immediately so `-2147483648` works.
+            if let ExprKind::Lit(lit) = e.kind {
+                let folded = match lit {
+                    Lit::I32(v) => Lit::I32(v.wrapping_neg()),
+                    Lit::I64(v) => Lit::I64(v.wrapping_neg()),
+                    Lit::F32(v) => Lit::F32(-v),
+                    Lit::F64(v) => Lit::F64(-v),
+                };
+                return Ok(Expr::new(ExprKind::Lit(folded), line));
+            }
+            return Ok(Expr::new(ExprKind::Un(UnOp::Neg, Box::new(e)), line));
+        }
+        if self.eat_punct("!") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::new(ExprKind::Un(UnOp::Not, Box::new(e)), line));
+        }
+        if self.eat_punct("~") {
+            let e = self.parse_unary()?;
+            return Ok(Expr::new(ExprKind::Un(UnOp::BitNot, Box::new(e)), line));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.parse_primary()?;
+        while self.eat_keyword("as") {
+            let line = self.line();
+            let ty = self.parse_ty()?;
+            e = Expr::new(ExprKind::Cast(Box::new(e), ty), line);
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, CompileError> {
+        let line = self.line();
+        match self.next() {
+            Tok::Int(v, true) => Ok(Expr::new(ExprKind::Lit(Lit::I64(v)), line)),
+            Tok::Int(v, false) => {
+                if v > u32::MAX as i64 || v < i32::MIN as i64 {
+                    Ok(Expr::new(ExprKind::Lit(Lit::I64(v)), line))
+                } else {
+                    Ok(Expr::new(ExprKind::Lit(Lit::I32(v as u32 as i32)), line))
+                }
+            }
+            Tok::Float(v, true) => Ok(Expr::new(ExprKind::Lit(Lit::F32(v as f32)), line)),
+            Tok::Float(v, false) => Ok(Expr::new(ExprKind::Lit(Lit::F64(v)), line)),
+            Tok::Str(s) => {
+                let addr = self.string_cursor;
+                let bytes = s.into_bytes();
+                self.string_cursor += bytes.len() as u32 + 1; // NUL-terminated
+                self.program.data.push((addr, bytes));
+                Ok(Expr::new(ExprKind::Str(addr), line))
+            }
+            Tok::Punct("(") => {
+                let e = self.parse_expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if let Some(lit) = self.consts.get(&name) {
+                    return Ok(Expr::new(ExprKind::Lit(*lit), line));
+                }
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::new(ExprKind::Call(name, args), line))
+                } else {
+                    Ok(Expr::new(ExprKind::Name(name), line))
+                }
+            }
+            other => Err(CompileError::new(
+                line,
+                format!("expected expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse("fn add(a: i32, b: i32) -> i32 { return a + b; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "add");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Some(Ty::I32));
+        assert!(!f.exported);
+    }
+
+    #[test]
+    fn parses_module_items() {
+        let p = parse(
+            "memory 4;\nglobal g: i64 = -5;\nconst N = 3 * 4;\nexport fn main() -> i32 { return N; }",
+        )
+        .unwrap();
+        assert_eq!(p.memory_pages, 4);
+        assert_eq!(p.globals[0].init, Lit::I64(-5));
+        assert!(p.funcs[0].exported);
+        // const substituted as literal
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => assert_eq!(e.kind, ExprKind::Lit(Lit::I32(12))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("fn f() -> i32 { return 1 + 2 * 3; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => match &e.kind {
+                ExprKind::Bin(BinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            fn f(n: i32) -> i32 {
+                let s: i32 = 0;
+                for (let i: i32 = 0; i < n; i += 1) {
+                    if (i % 2 == 0) { s += i; } else { continue; }
+                    while (s > 100) { break; }
+                }
+                return s;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(p.funcs[0].body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn string_literals_become_data() {
+        let p = parse(r#"fn f() -> i32 { return "hi"; }"#).unwrap();
+        assert_eq!(p.data.len(), 1);
+        assert_eq!(p.data[0].0, STRING_BASE);
+        assert_eq!(p.data[0].1, b"hi");
+    }
+
+    #[test]
+    fn negative_int_min_literal() {
+        let p = parse("fn f() -> i32 { return -2147483648; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => assert_eq!(e.kind, ExprKind::Lit(Lit::I32(i32::MIN))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_syntax() {
+        let p = parse("fn f(x: i32) -> f64 { return x as f64 * 2.0; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(e), _) => {
+                assert!(matches!(e.kind, ExprKind::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(parse("fn f( { }").is_err());
+        assert!(parse("fn f() -> waffles { }").is_err());
+        assert!(parse("global g: i32 = ;").is_err());
+    }
+}

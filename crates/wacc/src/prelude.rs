@@ -1,0 +1,151 @@
+//! The WaCC prelude: friendly I/O helpers written in WaCC itself, lowered
+//! onto raw WASI imports — the same layering WASI Libc provides over WASI
+//! for C programs.
+//!
+//! The prelude owns the scratch region `0..64` of linear memory:
+//!
+//! | range | use |
+//! |---|---|
+//! | 0..8   | output iovec (ptr, len) |
+//! | 8..16  | input iovec (ptr, len) |
+//! | 16..20 | single-char output buffer |
+//! | 20..32 | decimal conversion buffer |
+//! | 33..34 | single-char input buffer |
+//! | 48..56 | clock scratch |
+//! | 56..60 | nread |
+//! | 60..64 | nwritten |
+
+/// WaCC source automatically appended to every program.
+pub const PRELUDE: &str = r#"
+// ---- WaCC prelude (auto-included) ----
+
+fn print_char(c: i32) {
+    store_u8(16, c);
+    store_i32(0, 16);
+    store_i32(4, 1);
+    wasi_fd_write(1, 0, 1, 60);
+}
+
+fn print_i64(v: i64) {
+    if (v == 0L) { print_char(48); return; }
+    let n: i64 = v;
+    if (n < 0L) {
+        print_char(45);
+        n = -n;
+    }
+    let end: i32 = 32;
+    let p: i32 = end;
+    while (n > 0L) {
+        p = p - 1;
+        store_u8(p, 48 + (remu(n, 10L)) as i32);
+        n = divu(n, 10L);
+    }
+    store_i32(0, p);
+    store_i32(4, end - p);
+    wasi_fd_write(1, 0, 1, 60);
+}
+
+fn print_i32(v: i32) {
+    print_i64(v as i64);
+}
+
+fn print_f64(x: f64) {
+    let v: f64 = x;
+    if (v < 0.0) {
+        print_char(45);
+        v = -v;
+    }
+    let ip: i64 = v as i64;
+    let frac: f64 = v - ip as f64;
+    let scaled: i64 = (frac * 1000000.0 + 0.5) as i64;
+    if (scaled >= 1000000L) {
+        ip = ip + 1L;
+        scaled = scaled - 1000000L;
+    }
+    print_i64(ip);
+    print_char(46);
+    // six fractional digits, zero-padded
+    let div: i64 = 100000L;
+    while (div > 0L) {
+        print_char(48 + (divu(scaled, div) % 10L) as i32);
+        div = divu(div, 10L);
+    }
+}
+
+fn print_str(addr: i32, len: i32) {
+    store_i32(0, addr);
+    store_i32(4, len);
+    wasi_fd_write(1, 0, 1, 60);
+}
+
+fn strlen_at(addr: i32) -> i32 {
+    let p: i32 = addr;
+    while (load_u8(p) != 0) { p = p + 1; }
+    return p - addr;
+}
+
+fn print_cstr(addr: i32) {
+    print_str(addr, strlen_at(addr));
+}
+
+fn println() {
+    print_char(10);
+}
+
+fn read_byte() -> i32 {
+    store_i32(8, 33);
+    store_i32(12, 1);
+    let r: i32 = wasi_fd_read(0, 8, 1, 56);
+    if (r != 0) { return -1; }
+    if (load_i32(56) == 0) { return -1; }
+    return load_u8(33);
+}
+
+fn exit(code: i32) {
+    wasi_proc_exit(code);
+}
+
+fn clock_ns() -> i64 {
+    return wasi_clock_time_get();
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::parser::parse;
+
+    #[test]
+    fn prelude_parses_and_checks() {
+        let mut p = parse(PRELUDE).unwrap();
+        check(&mut p).unwrap();
+        assert!(p.funcs.iter().any(|f| f.name == "print_i32"));
+    }
+
+    #[test]
+    fn prelude_print_formats_numbers() {
+        use crate::eval::{Evaluator, V};
+        let src = format!(
+            "fn t() {{ print_i32(-1234); print_char(32); print_i64(98765L); print_char(32); print_f64(3.25); }}{PRELUDE}"
+        );
+        let mut p = parse(&src).unwrap();
+        check(&mut p).unwrap();
+        let mut ev = Evaluator::new(&p);
+        ev.call("t", &[]).unwrap();
+        assert_eq!(String::from_utf8(ev.stdout.clone()).unwrap(), "-1234 98765 3.250000");
+        let _ = V::I32(0);
+    }
+
+    #[test]
+    fn prelude_zero_and_rounding() {
+        use crate::eval::Evaluator;
+        let src =
+            format!("fn t() {{ print_i32(0); print_char(32); print_f64(0.9999995); }}{PRELUDE}");
+        let mut p = parse(&src).unwrap();
+        check(&mut p).unwrap();
+        let mut ev = Evaluator::new(&p);
+        ev.call("t", &[]).unwrap();
+        assert_eq!(String::from_utf8(ev.stdout.clone()).unwrap(), "0 1.000000");
+    }
+}

@@ -1,0 +1,86 @@
+//! Diagnostics quality: common source mistakes produce errors that point
+//! at the right line and say what went wrong, at every optimization level
+//! (errors must not depend on which passes run).
+
+use wacc::{compile, CompileError, OptLevel};
+
+fn err(src: &str) -> CompileError {
+    let e0 = compile(src, OptLevel::O0).expect_err("should not compile");
+    // The same diagnostic regardless of optimization level.
+    let e3 = compile(src, OptLevel::O3).expect_err("should not compile at O3");
+    assert_eq!(e0.line, e3.line, "diagnostic line differs across levels");
+    assert_eq!(e0.msg, e3.msg, "diagnostic text differs across levels");
+    e0
+}
+
+#[test]
+fn syntax_error_points_at_line() {
+    let e = err("export fn main() -> i32 {\n    return 1 +;\n}\n");
+    assert_eq!(e.line, 2, "{e:?}");
+}
+
+#[test]
+fn undefined_variable() {
+    let e = err("export fn main() -> i32 {\n    return nope;\n}\n");
+    assert_eq!(e.line, 2, "{e:?}");
+    assert!(e.msg.contains("nope"), "{e:?}");
+}
+
+#[test]
+fn undefined_function() {
+    let e = err("export fn main() -> i32 {\n    return missing(1);\n}\n");
+    assert!(e.msg.contains("missing"), "{e:?}");
+}
+
+#[test]
+fn wrong_argument_count() {
+    let e = err(
+        "fn f(x: i32) -> i32 { return x; }\nexport fn main() -> i32 {\n    return f(1, 2);\n}\n",
+    );
+    assert_eq!(e.line, 3, "{e:?}");
+}
+
+#[test]
+fn type_mismatch_in_assignment() {
+    let e = err(
+        "export fn main() -> i32 {\n    let x: i32 = 0;\n    x = 1.5;\n    return x;\n}\n",
+    );
+    assert!(e.line == 3, "{e:?}");
+}
+
+#[test]
+fn returning_wrong_type() {
+    let e = err("export fn main() -> i32 {\n    return 1.25;\n}\n");
+    assert_eq!(e.line, 2, "{e:?}");
+}
+
+#[test]
+fn missing_return_value() {
+    let e = err("export fn main() -> i32 {\n    return;\n}\n");
+    assert_eq!(e.line, 2, "{e:?}");
+}
+
+#[test]
+fn duplicate_function_names() {
+    let e = err("fn f() -> i32 { return 1; }\nfn f() -> i32 { return 2; }\nexport fn main() -> i32 { return f(); }\n");
+    assert!(e.msg.contains('f'), "{e:?}");
+}
+
+#[test]
+fn unterminated_block() {
+    let e = err("export fn main() -> i32 {\n    return 1;\n");
+    assert!(e.line >= 2, "{e:?}");
+}
+
+#[test]
+fn break_outside_loop() {
+    let e = err("export fn main() -> i32 {\n    break;\n    return 0;\n}\n");
+    assert_eq!(e.line, 2, "{e:?}");
+}
+
+#[test]
+fn error_display_includes_line() {
+    let e = err("export fn main() -> i32 {\n    return nope;\n}\n");
+    let shown = format!("{e}");
+    assert!(shown.contains('2'), "display should carry the line: {shown}");
+}

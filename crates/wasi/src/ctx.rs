@@ -1,0 +1,174 @@
+//! The WASI host context: stdio, filesystem, deterministic clock and
+//! randomness.
+
+use crate::vfs::Vfs;
+
+/// Initial value of the deterministic nanosecond clock.
+pub const CLOCK_START: i64 = 1_000_000_000;
+/// Clock advance per `clock_time_get` call.
+pub const CLOCK_STEP_NS: i64 = 1000;
+/// Seed of the deterministic xorshift64 random source.
+pub const RNG_SEED: u64 = 0x2545F4914F6CDD1D;
+
+/// Per-instance WASI state, installed as the engine's host data.
+#[derive(Debug)]
+pub struct WasiCtx {
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    stdin: Vec<u8>,
+    stdin_pos: usize,
+    /// The virtual filesystem.
+    pub fs: Vfs,
+    clock: i64,
+    rng: u64,
+    /// Exit code recorded by `proc_exit`.
+    pub exit_code: Option<i32>,
+    /// Program arguments surfaced through `args_get`.
+    pub args: Vec<String>,
+    /// Environment variables surfaced through `environ_get`.
+    pub env: Vec<(String, String)>,
+}
+
+impl Default for WasiCtx {
+    fn default() -> Self {
+        WasiCtx::new()
+    }
+}
+
+impl WasiCtx {
+    /// Creates a context with empty stdio and filesystem.
+    pub fn new() -> Self {
+        WasiCtx {
+            stdout: Vec::new(),
+            stderr: Vec::new(),
+            stdin: Vec::new(),
+            stdin_pos: 0,
+            fs: Vfs::new(),
+            clock: CLOCK_START,
+            rng: RNG_SEED,
+            exit_code: None,
+            args: Vec::new(),
+            env: Vec::new(),
+        }
+    }
+
+    /// Creates a context with the given stdin content.
+    pub fn with_stdin(stdin: Vec<u8>) -> Self {
+        let mut c = WasiCtx::new();
+        c.stdin = stdin;
+        c
+    }
+
+    /// Captured stdout bytes.
+    pub fn stdout(&self) -> &[u8] {
+        &self.stdout
+    }
+
+    /// Captured stderr bytes.
+    pub fn stderr(&self) -> &[u8] {
+        &self.stderr
+    }
+
+    /// Appends to the pending stdin stream.
+    pub fn push_stdin(&mut self, bytes: &[u8]) {
+        self.stdin.extend_from_slice(bytes);
+    }
+
+    /// Writes to a descriptor (1 = stdout, 2 = stderr, ≥4 = VFS file).
+    /// Returns bytes written, or `None` for a bad descriptor.
+    pub fn write(&mut self, fd: i32, data: &[u8]) -> Option<usize> {
+        match fd {
+            1 => {
+                self.stdout.extend_from_slice(data);
+                Some(data.len())
+            }
+            2 => {
+                self.stderr.extend_from_slice(data);
+                Some(data.len())
+            }
+            _ => self.fs.file_mut(fd).map(|f| f.write(data)),
+        }
+    }
+
+    /// Reads up to `len` bytes from a descriptor (0 = stdin, ≥4 = file).
+    /// Returns `None` for a bad descriptor.
+    pub fn read(&mut self, fd: i32, len: usize) -> Option<Vec<u8>> {
+        match fd {
+            0 => {
+                let n = len.min(self.stdin.len() - self.stdin_pos);
+                let out = self.stdin[self.stdin_pos..self.stdin_pos + n].to_vec();
+                self.stdin_pos += n;
+                Some(out)
+            }
+            _ => self.fs.file_mut(fd).map(|f| f.read(len).to_vec()),
+        }
+    }
+
+    /// The deterministic clock: advances a fixed step per call.
+    pub fn clock_time(&mut self) -> i64 {
+        self.clock += CLOCK_STEP_NS;
+        self.clock
+    }
+
+    /// Fills `buf` from the deterministic xorshift64 source.
+    pub fn random_fill(&mut self, buf: &mut [u8]) {
+        for b in buf {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            *b = self.rng as u8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdio_round_trip() {
+        let mut c = WasiCtx::with_stdin(b"abcdef".to_vec());
+        assert_eq!(c.read(0, 4).unwrap(), b"abcd");
+        assert_eq!(c.read(0, 4).unwrap(), b"ef");
+        assert_eq!(c.read(0, 4).unwrap(), b"");
+        c.write(1, b"out").unwrap();
+        c.write(2, b"err").unwrap();
+        assert_eq!(c.stdout(), b"out");
+        assert_eq!(c.stderr(), b"err");
+    }
+
+    #[test]
+    fn bad_fd() {
+        let mut c = WasiCtx::new();
+        assert_eq!(c.write(9, b"x"), None);
+        assert_eq!(c.read(9, 1), None);
+    }
+
+    #[test]
+    fn clock_is_deterministic() {
+        let mut a = WasiCtx::new();
+        let mut b = WasiCtx::new();
+        assert_eq!(a.clock_time(), b.clock_time());
+        assert_eq!(a.clock_time(), CLOCK_START + 2 * CLOCK_STEP_NS);
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let mut a = WasiCtx::new();
+        let mut b = WasiCtx::new();
+        let mut ba = [0u8; 16];
+        let mut bb = [0u8; 16];
+        a.random_fill(&mut ba);
+        b.random_fill(&mut bb);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, [0u8; 16]);
+    }
+
+    #[test]
+    fn vfs_reachable_through_ctx() {
+        let mut c = WasiCtx::new();
+        c.fs.put("f", b"123".to_vec());
+        let fd = c.fs.open("f", false).unwrap();
+        assert_eq!(c.read(fd, 2).unwrap(), b"12");
+    }
+}

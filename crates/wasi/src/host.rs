@@ -1,0 +1,481 @@
+//! Host-function bindings: WASI preview1 entry points over a guest's
+//! linear memory.
+
+use crate::ctx::WasiCtx;
+use crate::{ERRNO_BADF, ERRNO_INVAL, ERRNO_SUCCESS};
+use engines::{HostCtx, Imports, Trap};
+use wasm_core::types::{FuncType, ValType, Value};
+
+const I32: ValType = ValType::I32;
+const I64: ValType = ValType::I64;
+
+fn ctx_parts<'a>(
+    host: &'a mut HostCtx<'_>,
+) -> Result<(&'a mut engines::LinearMemory, &'a mut WasiCtx), Trap> {
+    let HostCtx { memory, data } = host;
+    let mem = memory
+        .as_deref_mut()
+        .ok_or_else(|| Trap::Host("WASI requires a linear memory".into()))?;
+    let wasi = data
+        .downcast_mut::<WasiCtx>()
+        .ok_or_else(|| Trap::Host("host data is not a WasiCtx".into()))?;
+    Ok((mem, wasi))
+}
+
+/// Builds the `wasi_snapshot_preview1` import set. Install a
+/// [`WasiCtx`] as the instance's host data.
+pub fn imports() -> Imports {
+    let mut im = Imports::new();
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "fd_write",
+        FuncType::new(&[I32, I32, I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let fd = args[0].unwrap_i32();
+            let iovs = args[1].unwrap_i32() as u32;
+            let iovs_len = args[2].unwrap_i32() as u32;
+            let nwritten_ptr = args[3].unwrap_i32() as u32;
+            let mut written = 0usize;
+            for k in 0..iovs_len {
+                let ptr = mem.load_i32(iovs + k * 8, 0)? as u32;
+                let len = mem.load_i32(iovs + k * 8, 4)? as u32;
+                let data = mem.slice(ptr, len)?.to_vec();
+                match wasi.write(fd, &data) {
+                    Some(n) => written += n,
+                    None => return Ok(Some(Value::I32(ERRNO_BADF))),
+                }
+            }
+            mem.store_i32(nwritten_ptr, 0, written as i32)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "fd_read",
+        FuncType::new(&[I32, I32, I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let fd = args[0].unwrap_i32();
+            let iovs = args[1].unwrap_i32() as u32;
+            let iovs_len = args[2].unwrap_i32() as u32;
+            let nread_ptr = args[3].unwrap_i32() as u32;
+            let mut total = 0usize;
+            for k in 0..iovs_len {
+                let ptr = mem.load_i32(iovs + k * 8, 0)? as u32;
+                let len = mem.load_i32(iovs + k * 8, 4)? as u32;
+                let data = match wasi.read(fd, len as usize) {
+                    Some(d) => d,
+                    None => return Ok(Some(Value::I32(ERRNO_BADF))),
+                };
+                mem.write_slice(ptr, &data)?;
+                total += data.len();
+                if data.len() < len as usize {
+                    break;
+                }
+            }
+            mem.store_i32(nread_ptr, 0, total as i32)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "proc_exit",
+        FuncType::new(&[I32], &[]),
+        |host, args| {
+            let code = args[0].unwrap_i32();
+            if let Ok((_, wasi)) = ctx_parts(host) {
+                wasi.exit_code = Some(code);
+            }
+            Err(Trap::Exit(code))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "clock_time_get",
+        FuncType::new(&[I32, I64, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let result_ptr = args[2].unwrap_i32() as u32;
+            let t = wasi.clock_time();
+            mem.store_i64(result_ptr, 0, t)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "random_get",
+        FuncType::new(&[I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let ptr = args[0].unwrap_i32() as u32;
+            let len = args[1].unwrap_i32() as u32;
+            if len > 1 << 20 {
+                return Ok(Some(Value::I32(ERRNO_INVAL)));
+            }
+            let mut buf = vec![0u8; len as usize];
+            wasi.random_fill(&mut buf);
+            mem.write_slice(ptr, &buf)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "args_sizes_get",
+        FuncType::new(&[I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let argc_ptr = args[0].unwrap_i32() as u32;
+            let size_ptr = args[1].unwrap_i32() as u32;
+            let bytes: usize = wasi.args.iter().map(|a| a.len() + 1).sum();
+            mem.store_i32(argc_ptr, 0, wasi.args.len() as i32)?;
+            mem.store_i32(size_ptr, 0, bytes as i32)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "args_get",
+        FuncType::new(&[I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let argv = args[0].unwrap_i32() as u32;
+            let mut buf = args[1].unwrap_i32() as u32;
+            for (i, arg) in wasi.args.clone().iter().enumerate() {
+                mem.store_i32(argv + i as u32 * 4, 0, buf as i32)?;
+                mem.write_slice(buf, arg.as_bytes())?;
+                mem.write_slice(buf + arg.len() as u32, &[0])?;
+                buf += arg.len() as u32 + 1;
+            }
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "environ_sizes_get",
+        FuncType::new(&[I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let count_ptr = args[0].unwrap_i32() as u32;
+            let size_ptr = args[1].unwrap_i32() as u32;
+            let bytes: usize = wasi.env.iter().map(|(k, v)| k.len() + v.len() + 2).sum();
+            mem.store_i32(count_ptr, 0, wasi.env.len() as i32)?;
+            mem.store_i32(size_ptr, 0, bytes as i32)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "environ_get",
+        FuncType::new(&[I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let envp = args[0].unwrap_i32() as u32;
+            let mut buf = args[1].unwrap_i32() as u32;
+            for (i, (k, v)) in wasi.env.clone().iter().enumerate() {
+                let entry = format!("{k}={v}");
+                mem.store_i32(envp + i as u32 * 4, 0, buf as i32)?;
+                mem.write_slice(buf, entry.as_bytes())?;
+                mem.write_slice(buf + entry.len() as u32, &[0])?;
+                buf += entry.len() as u32 + 1;
+            }
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "fd_close",
+        FuncType::new(&[I32], &[I32]),
+        |host, args| {
+            let (_, wasi) = ctx_parts(host)?;
+            let fd = args[0].unwrap_i32();
+            let errno = if wasi.fs.close(fd) { ERRNO_SUCCESS } else { ERRNO_BADF };
+            Ok(Some(Value::I32(errno)))
+        },
+    );
+
+    im.func(
+        "wasi_snapshot_preview1",
+        "fd_seek",
+        FuncType::new(&[I32, I64, I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let fd = args[0].unwrap_i32();
+            let offset = args[1].unwrap_i64();
+            let whence = args[2].unwrap_i32();
+            let result_ptr = args[3].unwrap_i32() as u32;
+            let Some(file) = wasi.fs.file_mut(fd) else {
+                return Ok(Some(Value::I32(ERRNO_BADF)));
+            };
+            let new_pos = match whence {
+                0 => offset,                          // SET
+                1 => file.pos as i64 + offset,        // CUR
+                2 => file.bytes.len() as i64 + offset, // END
+                _ => return Ok(Some(Value::I32(ERRNO_INVAL))),
+            };
+            if new_pos < 0 {
+                return Ok(Some(Value::I32(ERRNO_INVAL)));
+            }
+            file.seek(new_pos as usize);
+            mem.store_i64(result_ptr, 0, new_pos)?;
+            Ok(Some(Value::I32(ERRNO_SUCCESS)))
+        },
+    );
+
+    // Simplified preview1 path_open: dirfd/rights/flags beyond CREAT are
+    // accepted and ignored; the VFS has a single flat namespace.
+    im.func(
+        "wasi_snapshot_preview1",
+        "path_open",
+        FuncType::new(&[I32, I32, I32, I32, I32, I64, I64, I32, I32], &[I32]),
+        |host, args| {
+            let (mem, wasi) = ctx_parts(host)?;
+            let path_ptr = args[2].unwrap_i32() as u32;
+            let path_len = args[3].unwrap_i32() as u32;
+            let oflags = args[4].unwrap_i32();
+            let fd_ptr = args[8].unwrap_i32() as u32;
+            let path_bytes = mem.slice(path_ptr, path_len)?.to_vec();
+            let Ok(path) = String::from_utf8(path_bytes) else {
+                return Ok(Some(Value::I32(ERRNO_INVAL)));
+            };
+            let create = oflags & 0x1 != 0; // OFLAGS_CREAT
+            match wasi.fs.open(&path, create) {
+                Some(fd) => {
+                    mem.store_i32(fd_ptr, 0, fd)?;
+                    Ok(Some(Value::I32(ERRNO_SUCCESS)))
+                }
+                None => Ok(Some(Value::I32(crate::ERRNO_NOENT))),
+            }
+        },
+    );
+
+    im
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engines::{Engine, EngineKind};
+    use wasm_core::types::ValType;
+
+    fn run_main(src: &str, ctx: WasiCtx) -> WasiCtx {
+        let bytes = wacc::compile_to_bytes(src, wacc::OptLevel::O1).unwrap();
+        let compiled = Engine::new(EngineKind::Wasmtime).compile(&bytes).unwrap();
+        let mut inst = compiled.instantiate(&imports(), Box::new(ctx)).unwrap();
+        inst.invoke("main", &[]).unwrap();
+        // Extract the context back out.
+        inst.host_data_mut()
+            .downcast_mut::<WasiCtx>()
+            .map(std::mem::take)
+            .unwrap()
+    }
+
+    #[test]
+    fn print_reaches_stdout() {
+        let ctx = run_main(
+            r#"export fn main() -> i32 { print_i32(1234); println(); return 0; }"#,
+            WasiCtx::new(),
+        );
+        assert_eq!(ctx.stdout(), b"1234\n");
+    }
+
+    #[test]
+    fn stdin_reaches_guest() {
+        let ctx = run_main(
+            r#"export fn main() -> i32 {
+                let c: i32 = read_byte();
+                while (c >= 0) { print_char(c + 1); c = read_byte(); }
+                return 0;
+            }"#,
+            WasiCtx::with_stdin(b"abc".to_vec()),
+        );
+        assert_eq!(ctx.stdout(), b"bcd");
+    }
+
+    #[test]
+    fn clock_and_random_are_deterministic_across_engines() {
+        let src = r#"export fn main() -> i32 {
+            let t: i64 = clock_ns();
+            wasi_random_get(2048, 8);
+            print_i64(t);
+            print_char(32);
+            print_i64(load_i64(2048));
+            return 0;
+        }"#;
+        let bytes = wacc::compile_to_bytes(src, wacc::OptLevel::O2).unwrap();
+        let mut outputs = Vec::new();
+        for kind in EngineKind::all() {
+            let compiled = Engine::new(kind).compile(&bytes).unwrap();
+            let mut inst = compiled
+                .instantiate(&imports(), Box::new(WasiCtx::new()))
+                .unwrap();
+            inst.invoke("main", &[]).unwrap();
+            let ctx = inst.host_data().downcast_ref::<WasiCtx>().unwrap();
+            outputs.push(ctx.stdout().to_vec());
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+    }
+
+    #[test]
+    fn proc_exit_traps_with_code() {
+        let bytes = wacc::compile_to_bytes(
+            r#"export fn main() -> i32 { exit(7); return 0; }"#,
+            wacc::OptLevel::O0,
+        )
+        .unwrap();
+        let compiled = Engine::new(EngineKind::Wamr).compile(&bytes).unwrap();
+        let mut inst = compiled
+            .instantiate(&imports(), Box::new(WasiCtx::new()))
+            .unwrap();
+        assert_eq!(inst.invoke("main", &[]), Err(Trap::Exit(7)));
+        let ctx = inst.host_data().downcast_ref::<WasiCtx>().unwrap();
+        assert_eq!(ctx.exit_code, Some(7));
+    }
+    #[test]
+    fn file_io_via_path_open_seek_close() {
+        use wasm_core::builder::ModuleBuilder;
+        use wasm_core::instr::Instr;
+        // A module that opens "data.bin", seeks to 2, reads 3 bytes into
+        // memory, closes, and returns the bytes summed.
+        let mut b = ModuleBuilder::new();
+        let path_open = b.import_func(
+            "wasi_snapshot_preview1",
+            "path_open",
+            FuncType::new(&[I32, I32, I32, I32, I32, I64, I64, I32, I32], &[I32]),
+        );
+        let fd_seek = b.import_func(
+            "wasi_snapshot_preview1",
+            "fd_seek",
+            FuncType::new(&[I32, I64, I32, I32], &[I32]),
+        );
+        let fd_read = b.import_func(
+            "wasi_snapshot_preview1",
+            "fd_read",
+            FuncType::new(&[I32, I32, I32, I32], &[I32]),
+        );
+        let fd_close = b.import_func(
+            "wasi_snapshot_preview1",
+            "fd_close",
+            FuncType::new(&[I32], &[I32]),
+        );
+        b.memory(1, None);
+        b.data(256, b"data.bin".to_vec());
+        let f = b.begin_func(FuncType::new(&[], &[ValType::I32]));
+        let fd = b.new_local(ValType::I32);
+        // path_open(dirfd=3, lookup=0, path=256, len=8, oflags=0, 0, 0, fdflags=0, fd_out=512)
+        for v in [3, 0, 256, 8, 0] {
+            b.emit(Instr::I32Const(v));
+        }
+        b.emit(Instr::I64Const(0));
+        b.emit(Instr::I64Const(0));
+        b.emit(Instr::I32Const(0));
+        b.emit(Instr::I32Const(512));
+        b.emit(Instr::Call(path_open));
+        b.emit(Instr::Drop);
+        b.emit(Instr::I32Const(512));
+        b.emit(Instr::I32Load(Default::default()));
+        b.emit(Instr::LocalSet(fd));
+        // fd_seek(fd, 2, SET=0, result=520)
+        b.emit(Instr::LocalGet(fd));
+        b.emit(Instr::I64Const(2));
+        b.emit(Instr::I32Const(0));
+        b.emit(Instr::I32Const(520));
+        b.emit(Instr::Call(fd_seek));
+        b.emit(Instr::Drop);
+        // iovec at 528: ptr 600, len 3; fd_read(fd, 528, 1, 536)
+        b.emit(Instr::I32Const(528));
+        b.emit(Instr::I32Const(600));
+        b.emit(Instr::I32Store(Default::default()));
+        b.emit(Instr::I32Const(532));
+        b.emit(Instr::I32Const(3));
+        b.emit(Instr::I32Store(Default::default()));
+        b.emit(Instr::LocalGet(fd));
+        b.emit(Instr::I32Const(528));
+        b.emit(Instr::I32Const(1));
+        b.emit(Instr::I32Const(536));
+        b.emit(Instr::Call(fd_read));
+        b.emit(Instr::Drop);
+        b.emit(Instr::LocalGet(fd));
+        b.emit(Instr::Call(fd_close));
+        b.emit(Instr::Drop);
+        // Sum the 3 bytes.
+        b.emit(Instr::I32Const(600));
+        b.emit(Instr::I32Load8U(Default::default()));
+        b.emit(Instr::I32Const(601));
+        b.emit(Instr::I32Load8U(Default::default()));
+        b.emit(Instr::I32Add);
+        b.emit(Instr::I32Const(602));
+        b.emit(Instr::I32Load8U(Default::default()));
+        b.emit(Instr::I32Add);
+        b.finish_func();
+        b.export_func("go", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).unwrap();
+        let bytes = wasm_core::encode::encode(&m);
+
+        let mut ctx = WasiCtx::new();
+        ctx.fs.put("data.bin", vec![10, 20, 1, 2, 3, 99]);
+        let compiled = Engine::new(EngineKind::Wasm3).compile(&bytes).unwrap();
+        let mut inst = compiled.instantiate(&imports(), Box::new(ctx)).unwrap();
+        assert_eq!(
+            inst.invoke("go", &[]).unwrap(),
+            Some(Value::I32(6)) // bytes 1+2+3 after seeking past 10, 20
+        );
+    }
+
+    #[test]
+    fn args_and_environ_surface() {
+        use wasm_core::builder::ModuleBuilder;
+        use wasm_core::instr::Instr;
+        let mut b = ModuleBuilder::new();
+        let sizes = b.import_func(
+            "wasi_snapshot_preview1",
+            "args_sizes_get",
+            FuncType::new(&[I32, I32], &[I32]),
+        );
+        let get = b.import_func(
+            "wasi_snapshot_preview1",
+            "args_get",
+            FuncType::new(&[I32, I32], &[I32]),
+        );
+        b.memory(1, None);
+        let f = b.begin_func(FuncType::new(&[], &[ValType::I32]));
+        b.emit(Instr::I32Const(0));
+        b.emit(Instr::I32Const(4));
+        b.emit(Instr::Call(sizes));
+        b.emit(Instr::Drop);
+        b.emit(Instr::I32Const(16));
+        b.emit(Instr::I32Const(64));
+        b.emit(Instr::Call(get));
+        b.emit(Instr::Drop);
+        // return argc * 1000 + first byte of argv[0]
+        b.emit(Instr::I32Const(0));
+        b.emit(Instr::I32Load(Default::default()));
+        b.emit(Instr::I32Const(1000));
+        b.emit(Instr::I32Mul);
+        b.emit(Instr::I32Const(16));
+        b.emit(Instr::I32Load(Default::default()));
+        b.emit(Instr::I32Load8U(Default::default()));
+        b.emit(Instr::I32Add);
+        b.finish_func();
+        b.export_func("go", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).unwrap();
+        let bytes = wasm_core::encode::encode(&m);
+        let mut ctx = WasiCtx::new();
+        ctx.args = vec!["prog".into(), "x".into()];
+        let compiled = Engine::new(EngineKind::Wamr).compile(&bytes).unwrap();
+        let mut inst = compiled.instantiate(&imports(), Box::new(ctx)).unwrap();
+        assert_eq!(inst.invoke("go", &[]).unwrap(), Some(Value::I32(2000 + 112)));
+    }
+}

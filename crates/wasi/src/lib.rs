@@ -1,0 +1,43 @@
+//! # wasi — a WASI preview1 subset over an in-memory virtual filesystem
+//!
+//! Implements the host side of the system interface the benchmark modules
+//! import: `fd_write`, `fd_read`, `proc_exit`, `clock_time_get`, and
+//! `random_get`, plus an in-memory VFS with stdio streams and preloadable
+//! files.
+//!
+//! The clock and the random source are **deterministic** (a fixed-step
+//! clock and a seeded xorshift generator) so benchmark runs are exactly
+//! reproducible across engines and match the `wacc` reference evaluator.
+//!
+//! ```
+//! use engines::{Engine, EngineKind};
+//! use wasi_rt::WasiCtx;
+//!
+//! let src = r#"export fn main() -> i32 { print_cstr("hi"); return 0; }"#;
+//! let bytes = wacc::compile_to_bytes(src, wacc::OptLevel::O2)?;
+//! let compiled = Engine::new(EngineKind::Wasmtime).compile(&bytes)?;
+//! let mut inst = compiled.instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))?;
+//! inst.invoke("main", &[])?;
+//! let ctx = inst.host_data().downcast_ref::<WasiCtx>().unwrap();
+//! assert_eq!(ctx.stdout(), b"hi");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ctx;
+mod host;
+mod vfs;
+
+pub use ctx::{WasiCtx, CLOCK_START, CLOCK_STEP_NS, RNG_SEED};
+pub use host::imports;
+pub use vfs::{Vfs, WasiFile};
+
+/// WASI errno: success.
+pub const ERRNO_SUCCESS: i32 = 0;
+/// WASI errno: bad file descriptor.
+pub const ERRNO_BADF: i32 = 8;
+/// WASI errno: invalid argument.
+pub const ERRNO_INVAL: i32 = 28;
+/// WASI errno: no such file or directory.
+pub const ERRNO_NOENT: i32 = 44;

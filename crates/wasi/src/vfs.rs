@@ -1,0 +1,180 @@
+//! An in-memory virtual filesystem with POSIX-ish file descriptors.
+
+use std::collections::HashMap;
+
+/// An open file's state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WasiFile {
+    /// File contents.
+    pub bytes: Vec<u8>,
+    /// Current seek position.
+    pub pos: usize,
+    /// Whether writes are permitted.
+    pub writable: bool,
+}
+
+/// The in-memory filesystem: named files plus an fd table.
+///
+/// Descriptors 0/1/2 are stdio (handled by [`crate::WasiCtx`]); file
+/// descriptors start at 4 (3 is the conventional preopened directory).
+#[derive(Debug, Default)]
+pub struct Vfs {
+    files: HashMap<String, Vec<u8>>,
+    open: HashMap<i32, (String, WasiFile)>,
+    next_fd: i32,
+}
+
+impl Vfs {
+    /// Creates an empty filesystem.
+    pub fn new() -> Self {
+        Vfs {
+            files: HashMap::new(),
+            open: HashMap::new(),
+            next_fd: 4,
+        }
+    }
+
+    /// Creates or replaces a file.
+    pub fn put(&mut self, path: &str, bytes: Vec<u8>) {
+        self.files.insert(path.to_string(), bytes);
+    }
+
+    /// Reads back a file's current contents (flushing any open handle's
+    /// written bytes requires [`close`](Self::close) first).
+    pub fn get(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Opens a file, returning a new descriptor. With `create`, missing
+    /// files are created empty and opened writable.
+    pub fn open(&mut self, path: &str, create: bool) -> Option<i32> {
+        let bytes = match self.files.get(path) {
+            Some(b) => b.clone(),
+            None if create => {
+                self.files.insert(path.to_string(), Vec::new());
+                Vec::new()
+            }
+            None => return None,
+        };
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.open.insert(
+            fd,
+            (
+                path.to_string(),
+                WasiFile {
+                    bytes,
+                    pos: 0,
+                    writable: create,
+                },
+            ),
+        );
+        Some(fd)
+    }
+
+    /// The open file behind `fd`, if any.
+    pub fn file_mut(&mut self, fd: i32) -> Option<&mut WasiFile> {
+        self.open.get_mut(&fd).map(|(_, f)| f)
+    }
+
+    /// Closes `fd`, writing back its contents.
+    pub fn close(&mut self, fd: i32) -> bool {
+        match self.open.remove(&fd) {
+            Some((path, file)) => {
+                if file.writable {
+                    self.files.insert(path, file.bytes);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of currently open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+impl WasiFile {
+    /// Reads up to `len` bytes from the current position.
+    pub fn read(&mut self, len: usize) -> &[u8] {
+        let n = len.min(self.bytes.len().saturating_sub(self.pos));
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Writes at the current position, extending the file as needed.
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        if !self.writable {
+            return 0;
+        }
+        let end = self.pos + data.len();
+        if end > self.bytes.len() {
+            self.bytes.resize(end, 0);
+        }
+        self.bytes[self.pos..end].copy_from_slice(data);
+        self.pos = end;
+        data.len()
+    }
+
+    /// Seeks to an absolute position (clamped to file size for reads).
+    pub fn seek(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_read_close() {
+        let mut fs = Vfs::new();
+        fs.put("data.txt", b"hello".to_vec());
+        let fd = fs.open("data.txt", false).unwrap();
+        assert_eq!(fs.file_mut(fd).unwrap().read(3), b"hel");
+        assert_eq!(fs.file_mut(fd).unwrap().read(10), b"lo");
+        assert_eq!(fs.file_mut(fd).unwrap().read(10), b"");
+        assert!(fs.close(fd));
+        assert!(!fs.close(fd));
+    }
+
+    #[test]
+    fn missing_file() {
+        let mut fs = Vfs::new();
+        assert_eq!(fs.open("nope", false), None);
+        assert!(fs.open("nope", true).is_some());
+        assert_eq!(fs.get("nope").unwrap(), b"");
+    }
+
+    #[test]
+    fn write_back_on_close() {
+        let mut fs = Vfs::new();
+        let fd = fs.open("out.bin", true).unwrap();
+        assert_eq!(fs.file_mut(fd).unwrap().write(b"abc"), 3);
+        fs.file_mut(fd).unwrap().seek(1);
+        fs.file_mut(fd).unwrap().write(b"XY");
+        fs.close(fd);
+        assert_eq!(fs.get("out.bin").unwrap(), b"aXY");
+    }
+
+    #[test]
+    fn read_only_rejects_writes() {
+        let mut fs = Vfs::new();
+        fs.put("ro", b"x".to_vec());
+        let fd = fs.open("ro", false).unwrap();
+        assert_eq!(fs.file_mut(fd).unwrap().write(b"y"), 0);
+    }
+
+    #[test]
+    fn distinct_fds() {
+        let mut fs = Vfs::new();
+        fs.put("a", vec![1]);
+        let f1 = fs.open("a", false).unwrap();
+        let f2 = fs.open("a", false).unwrap();
+        assert_ne!(f1, f2);
+        assert_eq!(fs.open_count(), 2);
+    }
+}

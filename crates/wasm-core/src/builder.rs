@@ -1,0 +1,301 @@
+//! Ergonomic construction of [`Module`]s, used by the `wacc` code generator,
+//! tests, and anyone producing Wasm programmatically.
+
+use crate::instr::{BrTable, Instr};
+use crate::module::{
+    ConstExpr, DataSegment, ElemSegment, Export, ExportKind, Func, Global, Import, ImportKind,
+    Module,
+};
+use crate::types::{
+    FuncType, GlobalType, Limits, MemoryType, Mutability, TableType, ValType,
+};
+
+/// Incrementally builds a [`Module`].
+///
+/// Imported functions must be declared before module-defined functions so
+/// the index space is laid out correctly.
+///
+/// # Examples
+///
+/// ```
+/// use wasm_core::builder::ModuleBuilder;
+/// use wasm_core::types::{FuncType, ValType};
+/// use wasm_core::instr::Instr;
+///
+/// let mut b = ModuleBuilder::new();
+/// let ty = FuncType::new(&[], &[ValType::I32]);
+/// let f = b.begin_func(ty);
+/// b.emit(Instr::I32Const(42));
+/// b.finish_func();
+/// b.export_func("answer", f);
+/// let module = b.build();
+/// wasm_core::validate::validate(&module)?;
+/// # Ok::<(), wasm_core::error::ValidateError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+    current: Option<FuncInProgress>,
+    defined_funcs_started: bool,
+}
+
+#[derive(Debug)]
+struct FuncInProgress {
+    type_idx: u32,
+    param_count: usize,
+    locals: Vec<ValType>,
+    body: Vec<Instr>,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ModuleBuilder::default()
+    }
+
+    /// Declares an imported function, returning its function index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any module-defined function has already been started
+    /// (imports must come first in the index space).
+    pub fn import_func(&mut self, module: &str, name: &str, ty: FuncType) -> u32 {
+        assert!(
+            !self.defined_funcs_started,
+            "function imports must be declared before defined functions"
+        );
+        let type_idx = self.module.intern_type(ty);
+        self.module.imports.push(Import {
+            module: module.to_string(),
+            name: name.to_string(),
+            kind: ImportKind::Func(type_idx),
+        });
+        (self.module.num_imported_funcs() - 1) as u32
+    }
+
+    /// Starts a new function with the given type; instructions are appended
+    /// with [`emit`](Self::emit). Returns the function's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another function is still in progress.
+    pub fn begin_func(&mut self, ty: FuncType) -> u32 {
+        assert!(self.current.is_none(), "finish the previous function first");
+        self.defined_funcs_started = true;
+        let param_count = ty.params.len();
+        let type_idx = self.module.intern_type(ty);
+        let idx = (self.module.num_imported_funcs() + self.module.funcs.len()) as u32;
+        self.current = Some(FuncInProgress {
+            type_idx,
+            param_count,
+            locals: Vec::new(),
+            body: Vec::new(),
+        });
+        idx
+    }
+
+    /// Declares a new local in the current function, returning its index
+    /// (params occupy the first indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is in progress.
+    pub fn new_local(&mut self, ty: ValType) -> u32 {
+        let f = self.current.as_mut().expect("no function in progress");
+        f.locals.push(ty);
+        (f.param_count + f.locals.len() - 1) as u32
+    }
+
+    /// Appends an instruction to the current function body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is in progress.
+    pub fn emit(&mut self, instr: Instr) {
+        self.current
+            .as_mut()
+            .expect("no function in progress")
+            .body
+            .push(instr);
+    }
+
+    /// Appends a `br_table`, interning its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is in progress.
+    pub fn emit_br_table(&mut self, targets: Vec<u32>, default: u32) {
+        let pool = self.module.intern_br_table(BrTable { targets, default });
+        self.emit(Instr::BrTable(pool));
+    }
+
+    /// Ends the current function, appending the terminating `End`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no function is in progress.
+    pub fn finish_func(&mut self) {
+        let mut f = self.current.take().expect("no function in progress");
+        f.body.push(Instr::End);
+        self.module.funcs.push(Func {
+            type_idx: f.type_idx,
+            locals: f.locals,
+            body: f.body,
+        });
+    }
+
+    /// Declares the module's linear memory.
+    pub fn memory(&mut self, min_pages: u32, max_pages: Option<u32>) -> &mut Self {
+        self.module.memories.push(MemoryType {
+            limits: Limits {
+                min: min_pages,
+                max: max_pages,
+            },
+        });
+        self
+    }
+
+    /// Declares a table with `min` elements.
+    pub fn table(&mut self, min: u32, max: Option<u32>) -> &mut Self {
+        self.module.tables.push(TableType {
+            limits: Limits { min, max },
+        });
+        self
+    }
+
+    /// Adds an element segment installing `funcs` at `offset` in table 0.
+    pub fn elems(&mut self, offset: i32, funcs: Vec<u32>) -> &mut Self {
+        self.module.elems.push(ElemSegment {
+            table: 0,
+            offset: ConstExpr::I32(offset),
+            funcs,
+        });
+        self
+    }
+
+    /// Declares a module global, returning its index.
+    pub fn global(&mut self, ty: ValType, mutable: bool, init: ConstExpr) -> u32 {
+        self.module.globals.push(Global {
+            ty: GlobalType {
+                val_type: ty,
+                mutability: if mutable {
+                    Mutability::Var
+                } else {
+                    Mutability::Const
+                },
+            },
+            init,
+        });
+        (self.module.num_imported_globals() + self.module.globals.len() - 1) as u32
+    }
+
+    /// Adds an active data segment at `offset` in memory 0.
+    pub fn data(&mut self, offset: i32, bytes: Vec<u8>) -> &mut Self {
+        self.module.data.push(DataSegment {
+            memory: 0,
+            offset: ConstExpr::I32(offset),
+            bytes,
+        });
+        self
+    }
+
+    /// Exports a function under `name`.
+    pub fn export_func(&mut self, name: &str, idx: u32) -> &mut Self {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Func(idx),
+        });
+        self
+    }
+
+    /// Exports memory 0 under `name`.
+    pub fn export_memory(&mut self, name: &str) -> &mut Self {
+        self.module.exports.push(Export {
+            name: name.to_string(),
+            kind: ExportKind::Memory(0),
+        });
+        self
+    }
+
+    /// Sets the start function.
+    pub fn start(&mut self, idx: u32) -> &mut Self {
+        self.module.start = Some(idx);
+        self
+    }
+
+    /// Read access to the module being built.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finishes building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function is still in progress.
+    pub fn build(self) -> Module {
+        assert!(self.current.is_none(), "unfinished function");
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn builds_valid_module() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, Some(4));
+        let log =
+            b.import_func("env", "log", FuncType::new(&[ValType::I32], &[]));
+        let g = b.global(ValType::I32, true, ConstExpr::I32(7));
+        let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+        let tmp = b.new_local(ValType::I32);
+        b.emit(Instr::LocalGet(0));
+        b.emit(Instr::GlobalGet(g));
+        b.emit(Instr::I32Add);
+        b.emit(Instr::LocalTee(tmp));
+        b.emit(Instr::Call(log));
+        b.emit(Instr::LocalGet(tmp));
+        b.finish_func();
+        b.export_func("run", f);
+        b.data(0, vec![1, 2, 3]);
+        let m = b.build();
+        validate(&m).unwrap();
+        assert_eq!(m.exported_func("run"), Some(1));
+    }
+
+    #[test]
+    fn local_indices_start_after_params() {
+        let mut b = ModuleBuilder::new();
+        b.begin_func(FuncType::new(&[ValType::I32, ValType::I32], &[]));
+        assert_eq!(b.new_local(ValType::F64), 2);
+        assert_eq!(b.new_local(ValType::I32), 3);
+        b.finish_func();
+    }
+
+    #[test]
+    #[should_panic(expected = "before defined functions")]
+    fn import_after_func_panics() {
+        let mut b = ModuleBuilder::new();
+        b.begin_func(FuncType::new(&[], &[]));
+        b.finish_func();
+        b.import_func("env", "x", FuncType::new(&[], &[]));
+    }
+
+    #[test]
+    fn br_table_interned() {
+        let mut b = ModuleBuilder::new();
+        b.begin_func(FuncType::new(&[ValType::I32], &[]));
+        b.emit(Instr::Block(crate::instr::BlockType::Empty));
+        b.emit(Instr::LocalGet(0));
+        b.emit_br_table(vec![0], 0);
+        b.emit(Instr::End);
+        b.finish_func();
+        let m = b.build();
+        assert_eq!(m.br_tables.len(), 1);
+        validate(&m).unwrap();
+    }
+}

@@ -1,0 +1,182 @@
+//! Structural analysis of flat function bodies: matching `End`/`Else`
+//! indices for every block-opening instruction.
+//!
+//! Both the validator and the engines need to know, for each `Block`,
+//! `Loop`, or `If` at instruction index `pc`, where its matching `End`
+//! (and `Else`, if any) lives. This is computed once per function.
+
+use crate::error::ValidateError;
+use crate::instr::Instr;
+
+/// Sentinel meaning "no matching index".
+pub const NO_MATCH: u32 = u32::MAX;
+
+/// Matching-index side table for a single (flat) function body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ControlMap {
+    /// For `Block`/`Loop`/`If`/`Else` at `pc`: index of the matching `End`.
+    /// `NO_MATCH` elsewhere.
+    pub end_of: Vec<u32>,
+    /// For `If` at `pc`: index of its `Else`, or `NO_MATCH` if none.
+    pub else_of: Vec<u32>,
+}
+
+impl ControlMap {
+    /// Builds the control map for `body`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if control structure is malformed: unbalanced
+    /// `End`, `Else` outside an `If`, or a missing final `End`.
+    pub fn build(body: &[Instr]) -> Result<ControlMap, ValidateError> {
+        let n = body.len();
+        let mut end_of = vec![NO_MATCH; n];
+        let mut else_of = vec![NO_MATCH; n];
+        // Stack of (opening pc or NO_MATCH for the function frame, else pc).
+        let mut stack: Vec<(u32, u32)> = vec![(NO_MATCH, NO_MATCH)];
+        for (pc, instr) in body.iter().enumerate() {
+            match instr {
+                Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => {
+                    stack.push((pc as u32, NO_MATCH));
+                }
+                Instr::Else => {
+                    let top = stack
+                        .last_mut()
+                        .ok_or_else(|| ValidateError::module("else with empty control stack"))?;
+                    let opener = top.0;
+                    if opener == NO_MATCH || !matches!(body[opener as usize], Instr::If(_)) {
+                        return Err(ValidateError::module(format!(
+                            "else at {pc} does not match an if"
+                        )));
+                    }
+                    if top.1 != NO_MATCH {
+                        return Err(ValidateError::module(format!("duplicate else at {pc}")));
+                    }
+                    top.1 = pc as u32;
+                    else_of[opener as usize] = pc as u32;
+                }
+                Instr::End => {
+                    let (opener, else_pc) = stack
+                        .pop()
+                        .ok_or_else(|| ValidateError::module("unbalanced end"))?;
+                    if opener != NO_MATCH {
+                        end_of[opener as usize] = pc as u32;
+                    }
+                    if else_pc != NO_MATCH {
+                        end_of[else_pc as usize] = pc as u32;
+                    }
+                    if stack.is_empty() && pc + 1 != n {
+                        return Err(ValidateError::module(format!(
+                            "instructions after final end at {pc}"
+                        )));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !stack.is_empty() {
+            return Err(ValidateError::module("missing final end"));
+        }
+        Ok(ControlMap { end_of, else_of })
+    }
+
+    /// The matching `End` index for the opener (or `Else`) at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not a block-opening or `Else` instruction.
+    pub fn end(&self, pc: usize) -> usize {
+        let e = self.end_of[pc];
+        assert_ne!(e, NO_MATCH, "no matching end recorded for pc {pc}");
+        e as usize
+    }
+
+    /// The `Else` index for the `If` at `pc`, if present.
+    pub fn else_branch(&self, pc: usize) -> Option<usize> {
+        match self.else_of[pc] {
+            NO_MATCH => None,
+            e => Some(e as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::BlockType;
+
+    fn block() -> Instr {
+        Instr::Block(BlockType::Empty)
+    }
+
+    #[test]
+    fn simple_block_matches_end() {
+        // block; nop; end; end(func)
+        let body = [block(), Instr::Nop, Instr::End, Instr::End];
+        let map = ControlMap::build(&body).unwrap();
+        assert_eq!(map.end(0), 2);
+    }
+
+    #[test]
+    fn if_else_structure() {
+        // if; nop; else; nop; end; end(func)
+        let body = [
+            Instr::If(BlockType::Empty),
+            Instr::Nop,
+            Instr::Else,
+            Instr::Nop,
+            Instr::End,
+            Instr::End,
+        ];
+        let map = ControlMap::build(&body).unwrap();
+        assert_eq!(map.end(0), 4);
+        assert_eq!(map.else_branch(0), Some(2));
+        assert_eq!(map.end(2), 4); // else's end
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let body = [
+            block(),
+            Instr::Loop(BlockType::Empty),
+            block(),
+            Instr::End,
+            Instr::End,
+            Instr::End,
+            Instr::End,
+        ];
+        let map = ControlMap::build(&body).unwrap();
+        assert_eq!(map.end(0), 5);
+        assert_eq!(map.end(1), 4);
+        assert_eq!(map.end(2), 3);
+    }
+
+    #[test]
+    fn rejects_missing_end() {
+        assert!(ControlMap::build(&[block(), Instr::Nop]).is_err());
+    }
+
+    #[test]
+    fn rejects_else_outside_if() {
+        let body = [block(), Instr::Else, Instr::End, Instr::End];
+        assert!(ControlMap::build(&body).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_instructions() {
+        let body = [Instr::End, Instr::Nop];
+        assert!(ControlMap::build(&body).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_else() {
+        let body = [
+            Instr::If(BlockType::Empty),
+            Instr::Else,
+            Instr::Else,
+            Instr::End,
+            Instr::End,
+        ];
+        assert!(ControlMap::build(&body).is_err());
+    }
+}

@@ -1,0 +1,498 @@
+//! Decoding of WebAssembly binary format bytes into a [`Module`].
+
+use crate::encode::{MAGIC, VERSION};
+use crate::error::{DecodeError, DecodeErrorKind};
+use crate::instr::{BlockType, Instr, MemArg};
+use crate::leb::Reader;
+use crate::module::{
+    ConstExpr, CustomSection, DataSegment, ElemSegment, Export, ExportKind, Func, Global, Import,
+    ImportKind, Module,
+};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, Mutability, TableType, ValType};
+
+/// Decodes a binary module.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] (with byte offset) on any malformed input:
+/// bad magic/version, out-of-order sections, truncated sections, unknown
+/// opcodes, or invalid encodings. Decoding does *not* validate types; run
+/// [`crate::validate::validate`] afterwards.
+pub fn decode(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let err = |r: &Reader<'_>, kind| DecodeError {
+        offset: r.pos(),
+        kind,
+    };
+
+    if r.bytes(4)? != MAGIC {
+        return Err(DecodeError {
+            offset: 0,
+            kind: DecodeErrorKind::BadMagic,
+        });
+    }
+    let version = r.bytes(4)?;
+    if version != VERSION {
+        let v = u32::from_le_bytes([version[0], version[1], version[2], version[3]]);
+        return Err(DecodeError {
+            offset: 4,
+            kind: DecodeErrorKind::BadVersion(v),
+        });
+    }
+
+    let mut module = Module::new();
+    let mut last_section = 0u8;
+    let mut declared_types: Vec<u32> = Vec::new();
+
+    while !r.is_empty() {
+        let id = r.byte()?;
+        let size = r.u32()? as usize;
+        let start = r.pos();
+        if r.remaining() < size {
+            return Err(err(&r, DecodeErrorKind::UnexpectedEof));
+        }
+        if id != 0 {
+            if id > 11 {
+                return Err(DecodeError {
+                    offset: start,
+                    kind: DecodeErrorKind::UnknownSection(id),
+                });
+            }
+            if id <= last_section {
+                return Err(DecodeError {
+                    offset: start,
+                    kind: DecodeErrorKind::SectionOrder(id),
+                });
+            }
+            last_section = id;
+        }
+        let body = r.bytes(size)?;
+        let mut s = SectionReader {
+            r: Reader::new(body),
+            base: start,
+        };
+        match id {
+            0 => {
+                let name = s.r.name().map_err(|e| s.lift(e))?;
+                let payload = s.r.bytes(s.r.remaining()).map_err(|e| s.lift(e))?.to_vec();
+                module.customs.push(CustomSection { name, payload });
+            }
+            1 => decode_types(&mut s, &mut module)?,
+            2 => decode_imports(&mut s, &mut module)?,
+            3 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    declared_types.push(s.u32()?);
+                }
+            }
+            4 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    let elem_ty = s.byte()?;
+                    if elem_ty != 0x70 {
+                        return Err(s.err_here(DecodeErrorKind::InvalidElemType(elem_ty)));
+                    }
+                    let limits = decode_limits(&mut s)?;
+                    module.tables.push(TableType { limits });
+                }
+            }
+            5 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    let limits = decode_limits(&mut s)?;
+                    module.memories.push(MemoryType { limits });
+                }
+            }
+            6 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    let ty = decode_global_type(&mut s)?;
+                    let init = decode_const_expr(&mut s)?;
+                    module.globals.push(Global { ty, init });
+                }
+            }
+            7 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    let name = s.r.name().map_err(|e| s.lift(e))?;
+                    let kind_byte = s.byte()?;
+                    let idx = s.u32()?;
+                    let kind = match kind_byte {
+                        0 => ExportKind::Func(idx),
+                        1 => ExportKind::Table(idx),
+                        2 => ExportKind::Memory(idx),
+                        3 => ExportKind::Global(idx),
+                        b => return Err(s.err_here(DecodeErrorKind::InvalidExternKind(b))),
+                    };
+                    module.exports.push(Export { name, kind });
+                }
+            }
+            8 => {
+                module.start = Some(s.u32()?);
+            }
+            9 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    let table = s.u32()?;
+                    let offset = decode_const_expr(&mut s)?;
+                    let n = s.u32()?;
+                    let mut funcs = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        funcs.push(s.u32()?);
+                    }
+                    module.elems.push(ElemSegment {
+                        table,
+                        offset,
+                        funcs,
+                    });
+                }
+            }
+            10 => {
+                let count = s.u32()? as usize;
+                if count != declared_types.len() {
+                    return Err(s.err_here(DecodeErrorKind::FuncCountMismatch));
+                }
+                for &type_idx in &declared_types {
+                    let body_size = s.u32()? as usize;
+                    let body_start = s.r.pos();
+                    let func = decode_func_body(&mut s, type_idx, &mut module)?;
+                    if s.r.pos() - body_start != body_size {
+                        return Err(s.err_here(DecodeErrorKind::SectionSizeMismatch));
+                    }
+                    module.funcs.push(func);
+                }
+            }
+            11 => {
+                let count = s.u32()?;
+                for _ in 0..count {
+                    let memory = s.u32()?;
+                    let offset = decode_const_expr(&mut s)?;
+                    let n = s.u32()? as usize;
+                    let bytes = s.r.bytes(n).map_err(|e| s.lift(e))?.to_vec();
+                    module.data.push(DataSegment {
+                        memory,
+                        offset,
+                        bytes,
+                    });
+                }
+            }
+            _ => unreachable!(),
+        }
+        if !s.r.is_empty() {
+            return Err(DecodeError {
+                offset: start + s.r.pos(),
+                kind: DecodeErrorKind::SectionSizeMismatch,
+            });
+        }
+    }
+
+    if declared_types.len() != module.funcs.len() {
+        return Err(DecodeError {
+            offset: bytes.len(),
+            kind: DecodeErrorKind::FuncCountMismatch,
+        });
+    }
+
+    Ok(module)
+}
+
+/// A reader over a section body that lifts error offsets to file offsets.
+struct SectionReader<'a> {
+    r: Reader<'a>,
+    base: usize,
+}
+
+impl<'a> SectionReader<'a> {
+    fn lift(&self, e: DecodeError) -> DecodeError {
+        DecodeError {
+            offset: self.base + e.offset,
+            kind: e.kind,
+        }
+    }
+
+    fn err_here(&self, kind: DecodeErrorKind) -> DecodeError {
+        DecodeError {
+            offset: self.base + self.r.pos(),
+            kind,
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8, DecodeError> {
+        self.r.byte().map_err(|e| self.lift(e))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        self.r.u32().map_err(|e| self.lift(e))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        self.r.i32().map_err(|e| self.lift(e))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        self.r.i64().map_err(|e| self.lift(e))
+    }
+
+    fn val_type(&mut self) -> Result<ValType, DecodeError> {
+        let b = self.byte()?;
+        ValType::from_byte(b).ok_or_else(|| self.err_here(DecodeErrorKind::InvalidValType(b)))
+    }
+}
+
+fn decode_types(s: &mut SectionReader<'_>, module: &mut Module) -> Result<(), DecodeError> {
+    let count = s.u32()?;
+    for _ in 0..count {
+        let tag = s.byte()?;
+        if tag != 0x60 {
+            return Err(s.err_here(DecodeErrorKind::InvalidValType(tag)));
+        }
+        let np = s.u32()?;
+        let mut params = Vec::with_capacity(np as usize);
+        for _ in 0..np {
+            params.push(s.val_type()?);
+        }
+        let nr = s.u32()?;
+        let mut results = Vec::with_capacity(nr as usize);
+        for _ in 0..nr {
+            results.push(s.val_type()?);
+        }
+        module.types.push(FuncType { params, results });
+    }
+    Ok(())
+}
+
+fn decode_imports(s: &mut SectionReader<'_>, module: &mut Module) -> Result<(), DecodeError> {
+    let count = s.u32()?;
+    for _ in 0..count {
+        let mod_name = s.r.name().map_err(|e| s.lift(e))?;
+        let name = s.r.name().map_err(|e| s.lift(e))?;
+        let kind = match s.byte()? {
+            0x00 => ImportKind::Func(s.u32()?),
+            0x01 => {
+                let elem_ty = s.byte()?;
+                if elem_ty != 0x70 {
+                    return Err(s.err_here(DecodeErrorKind::InvalidElemType(elem_ty)));
+                }
+                ImportKind::Table(TableType {
+                    limits: decode_limits(s)?,
+                })
+            }
+            0x02 => ImportKind::Memory(MemoryType {
+                limits: decode_limits(s)?,
+            }),
+            0x03 => ImportKind::Global(decode_global_type(s)?),
+            b => return Err(s.err_here(DecodeErrorKind::InvalidExternKind(b))),
+        };
+        module.imports.push(Import {
+            module: mod_name,
+            name,
+            kind,
+        });
+    }
+    Ok(())
+}
+
+fn decode_limits(s: &mut SectionReader<'_>) -> Result<Limits, DecodeError> {
+    match s.byte()? {
+        0x00 => Ok(Limits {
+            min: s.u32()?,
+            max: None,
+        }),
+        0x01 => Ok(Limits {
+            min: s.u32()?,
+            max: Some(s.u32()?),
+        }),
+        b => Err(s.err_here(DecodeErrorKind::InvalidLimits(b))),
+    }
+}
+
+fn decode_global_type(s: &mut SectionReader<'_>) -> Result<GlobalType, DecodeError> {
+    let val_type = s.val_type()?;
+    let mutability = match s.byte()? {
+        0 => Mutability::Const,
+        1 => Mutability::Var,
+        b => return Err(s.err_here(DecodeErrorKind::InvalidMutability(b))),
+    };
+    Ok(GlobalType {
+        val_type,
+        mutability,
+    })
+}
+
+fn decode_const_expr(s: &mut SectionReader<'_>) -> Result<ConstExpr, DecodeError> {
+    let expr = match s.byte()? {
+        0x41 => ConstExpr::I32(s.i32()?),
+        0x42 => ConstExpr::I64(s.i64()?),
+        0x43 => ConstExpr::F32(s.r.f32_bits().map_err(|e| s.lift(e))?),
+        0x44 => ConstExpr::F64(s.r.f64_bits().map_err(|e| s.lift(e))?),
+        0x23 => ConstExpr::GlobalGet(s.u32()?),
+        _ => return Err(s.err_here(DecodeErrorKind::InvalidConstExpr)),
+    };
+    if s.byte()? != 0x0B {
+        return Err(s.err_here(DecodeErrorKind::InvalidConstExpr));
+    }
+    Ok(expr)
+}
+
+fn decode_block_type(s: &mut SectionReader<'_>) -> Result<BlockType, DecodeError> {
+    let b = s.byte()?;
+    if b == 0x40 {
+        return Ok(BlockType::Empty);
+    }
+    ValType::from_byte(b)
+        .map(BlockType::Value)
+        .ok_or_else(|| s.err_here(DecodeErrorKind::InvalidBlockType))
+}
+
+fn decode_memarg(s: &mut SectionReader<'_>) -> Result<MemArg, DecodeError> {
+    Ok(MemArg {
+        align: s.u32()?,
+        offset: s.u32()?,
+    })
+}
+
+fn decode_func_body(
+    s: &mut SectionReader<'_>,
+    type_idx: u32,
+    module: &mut Module,
+) -> Result<Func, DecodeError> {
+    let run_count = s.u32()?;
+    let mut locals = Vec::new();
+    for _ in 0..run_count {
+        let n = s.u32()?;
+        let ty = s.val_type()?;
+        if locals.len() + n as usize > 1_000_000 {
+            return Err(s.err_here(DecodeErrorKind::IntTooLarge));
+        }
+        locals.resize(locals.len() + n as usize, ty);
+    }
+
+    let mut body = Vec::new();
+    let mut depth = 1u32; // the implicit function block
+    loop {
+        let instr = decode_instr(s, module)?;
+        match instr {
+            Instr::Block(_) | Instr::Loop(_) | Instr::If(_) => depth += 1,
+            Instr::End => depth -= 1,
+            _ => {}
+        }
+        body.push(instr);
+        if depth == 0 {
+            break;
+        }
+    }
+    Ok(Func {
+        type_idx,
+        locals,
+        body,
+    })
+}
+
+fn decode_instr(s: &mut SectionReader<'_>, module: &mut Module) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let op = s.byte()?;
+    if let Some(i) = crate::opcode::simple_from_byte(op) {
+        return Ok(i);
+    }
+    if (0x28..=0x3E).contains(&op) {
+        let m = decode_memarg(s)?;
+        return Ok(crate::opcode::mem_from_byte(op, m).expect("range checked"));
+    }
+    Ok(match op {
+        0x02 => Block(decode_block_type(s)?),
+        0x03 => Loop(decode_block_type(s)?),
+        0x04 => If(decode_block_type(s)?),
+        0x0C => Br(s.u32()?),
+        0x0D => BrIf(s.u32()?),
+        0x0E => {
+            let n = s.u32()?;
+            let mut targets = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                targets.push(s.u32()?);
+            }
+            let default = s.u32()?;
+            let pool = module.intern_br_table(crate::instr::BrTable { targets, default });
+            BrTable(pool)
+        }
+        0x10 => Call(s.u32()?),
+        0x11 => {
+            let ty = s.u32()?;
+            let table = s.byte()?;
+            if table != 0 {
+                return Err(s.err_here(DecodeErrorKind::InvalidExternKind(table)));
+            }
+            CallIndirect(ty)
+        }
+        0x20 => LocalGet(s.u32()?),
+        0x21 => LocalSet(s.u32()?),
+        0x22 => LocalTee(s.u32()?),
+        0x23 => GlobalGet(s.u32()?),
+        0x24 => GlobalSet(s.u32()?),
+        0x3F => {
+            s.byte()?;
+            MemorySize
+        }
+        0x40 => {
+            s.byte()?;
+            MemoryGrow
+        }
+        0x41 => I32Const(s.i32()?),
+        0x42 => I64Const(s.i64()?),
+        0x43 => F32Const(s.r.f32_bits().map_err(|e| s.lift(e))?),
+        0x44 => F64Const(s.r.f64_bits().map_err(|e| s.lift(e))?),
+        other => return Err(s.err_here(DecodeErrorKind::UnknownOpcode(other))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::types::Value;
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = decode(b"\0nope\x01\0\0\0").unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::BadMagic);
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&[2, 0, 0, 0]);
+        let e = decode(&bytes).unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::BadVersion(2));
+    }
+
+    #[test]
+    fn empty_module_round_trips() {
+        let m = Module::new();
+        assert_eq!(decode(&encode(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_out_of_order_sections() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&VERSION);
+        // memory section (5) then type section (1): out of order
+        bytes.extend_from_slice(&[5, 3, 1, 0, 1]);
+        bytes.extend_from_slice(&[1, 1, 0]);
+        let e = decode(&bytes).unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::SectionOrder(1));
+    }
+
+    #[test]
+    fn rejects_truncated_section() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&VERSION);
+        bytes.extend_from_slice(&[1, 100]); // declares 100 bytes, has none
+        let e = decode(&bytes).unwrap_err();
+        assert_eq!(e.kind, DecodeErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn value_helper_used_in_tests_compiles() {
+        // Touch the Value type here to keep the test-only import honest.
+        assert_eq!(Value::I32(1).ty().to_byte(), 0x7F);
+    }
+}

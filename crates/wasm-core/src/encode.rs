@@ -1,0 +1,405 @@
+//! Encoding of a [`Module`] into the WebAssembly binary format.
+
+use crate::instr::{BlockType, Instr, MemArg};
+use crate::leb;
+use crate::module::{ConstExpr, ExportKind, ImportKind, Module};
+use crate::types::{Limits, Mutability, ValType};
+
+/// The `\0asm` magic number.
+pub const MAGIC: [u8; 4] = [0x00, 0x61, 0x73, 0x6D];
+/// Binary format version 1.
+pub const VERSION: [u8; 4] = [0x01, 0x00, 0x00, 0x00];
+
+/// Encodes `module` into WebAssembly binary format bytes.
+pub fn encode(module: &Module) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION);
+
+    if !module.types.is_empty() {
+        section(&mut out, 1, |s| {
+            leb::write_u32(s, module.types.len() as u32);
+            for ty in &module.types {
+                s.push(0x60);
+                leb::write_u32(s, ty.params.len() as u32);
+                for p in &ty.params {
+                    s.push(p.to_byte());
+                }
+                leb::write_u32(s, ty.results.len() as u32);
+                for r in &ty.results {
+                    s.push(r.to_byte());
+                }
+            }
+        });
+    }
+
+    if !module.imports.is_empty() {
+        section(&mut out, 2, |s| {
+            leb::write_u32(s, module.imports.len() as u32);
+            for imp in &module.imports {
+                write_name(s, &imp.module);
+                write_name(s, &imp.name);
+                match &imp.kind {
+                    ImportKind::Func(ty) => {
+                        s.push(0x00);
+                        leb::write_u32(s, *ty);
+                    }
+                    ImportKind::Table(t) => {
+                        s.push(0x01);
+                        s.push(0x70);
+                        write_limits(s, &t.limits);
+                    }
+                    ImportKind::Memory(m) => {
+                        s.push(0x02);
+                        write_limits(s, &m.limits);
+                    }
+                    ImportKind::Global(g) => {
+                        s.push(0x03);
+                        s.push(g.val_type.to_byte());
+                        s.push(match g.mutability {
+                            Mutability::Const => 0,
+                            Mutability::Var => 1,
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    if !module.funcs.is_empty() {
+        section(&mut out, 3, |s| {
+            leb::write_u32(s, module.funcs.len() as u32);
+            for f in &module.funcs {
+                leb::write_u32(s, f.type_idx);
+            }
+        });
+    }
+
+    if !module.tables.is_empty() {
+        section(&mut out, 4, |s| {
+            leb::write_u32(s, module.tables.len() as u32);
+            for t in &module.tables {
+                s.push(0x70);
+                write_limits(s, &t.limits);
+            }
+        });
+    }
+
+    if !module.memories.is_empty() {
+        section(&mut out, 5, |s| {
+            leb::write_u32(s, module.memories.len() as u32);
+            for m in &module.memories {
+                write_limits(s, &m.limits);
+            }
+        });
+    }
+
+    if !module.globals.is_empty() {
+        section(&mut out, 6, |s| {
+            leb::write_u32(s, module.globals.len() as u32);
+            for g in &module.globals {
+                s.push(g.ty.val_type.to_byte());
+                s.push(match g.ty.mutability {
+                    Mutability::Const => 0,
+                    Mutability::Var => 1,
+                });
+                write_const_expr(s, &g.init);
+            }
+        });
+    }
+
+    if !module.exports.is_empty() {
+        section(&mut out, 7, |s| {
+            leb::write_u32(s, module.exports.len() as u32);
+            for e in &module.exports {
+                write_name(s, &e.name);
+                let (kind, idx) = match e.kind {
+                    ExportKind::Func(i) => (0u8, i),
+                    ExportKind::Table(i) => (1, i),
+                    ExportKind::Memory(i) => (2, i),
+                    ExportKind::Global(i) => (3, i),
+                };
+                s.push(kind);
+                leb::write_u32(s, idx);
+            }
+        });
+    }
+
+    if let Some(start) = module.start {
+        section(&mut out, 8, |s| {
+            leb::write_u32(s, start);
+        });
+    }
+
+    if !module.elems.is_empty() {
+        section(&mut out, 9, |s| {
+            leb::write_u32(s, module.elems.len() as u32);
+            for e in &module.elems {
+                leb::write_u32(s, e.table);
+                write_const_expr(s, &e.offset);
+                leb::write_u32(s, e.funcs.len() as u32);
+                for f in &e.funcs {
+                    leb::write_u32(s, *f);
+                }
+            }
+        });
+    }
+
+    if !module.funcs.is_empty() {
+        section(&mut out, 10, |s| {
+            leb::write_u32(s, module.funcs.len() as u32);
+            for f in &module.funcs {
+                let mut body = Vec::with_capacity(f.body.len() * 2 + 8);
+                // Locals: run-length encode consecutive identical types.
+                let mut runs: Vec<(u32, ValType)> = Vec::new();
+                for &l in &f.locals {
+                    match runs.last_mut() {
+                        Some((n, ty)) if *ty == l => *n += 1,
+                        _ => runs.push((1, l)),
+                    }
+                }
+                leb::write_u32(&mut body, runs.len() as u32);
+                for (n, ty) in runs {
+                    leb::write_u32(&mut body, n);
+                    body.push(ty.to_byte());
+                }
+                for instr in &f.body {
+                    write_instr(&mut body, instr, module);
+                }
+                leb::write_u32(s, body.len() as u32);
+                s.extend_from_slice(&body);
+            }
+        });
+    }
+
+    if !module.data.is_empty() {
+        section(&mut out, 11, |s| {
+            leb::write_u32(s, module.data.len() as u32);
+            for d in &module.data {
+                leb::write_u32(s, d.memory);
+                write_const_expr(s, &d.offset);
+                leb::write_u32(s, d.bytes.len() as u32);
+                s.extend_from_slice(&d.bytes);
+            }
+        });
+    }
+
+    for custom in &module.customs {
+        section(&mut out, 0, |s| {
+            write_name(s, &custom.name);
+            s.extend_from_slice(&custom.payload);
+        });
+    }
+
+    out
+}
+
+fn section(out: &mut Vec<u8>, id: u8, f: impl FnOnce(&mut Vec<u8>)) {
+    let mut body = Vec::new();
+    f(&mut body);
+    out.push(id);
+    leb::write_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+fn write_name(out: &mut Vec<u8>, name: &str) {
+    leb::write_u32(out, name.len() as u32);
+    out.extend_from_slice(name.as_bytes());
+}
+
+fn write_limits(out: &mut Vec<u8>, limits: &Limits) {
+    match limits.max {
+        None => {
+            out.push(0x00);
+            leb::write_u32(out, limits.min);
+        }
+        Some(max) => {
+            out.push(0x01);
+            leb::write_u32(out, limits.min);
+            leb::write_u32(out, max);
+        }
+    }
+}
+
+fn write_const_expr(out: &mut Vec<u8>, expr: &ConstExpr) {
+    match *expr {
+        ConstExpr::I32(v) => {
+            out.push(0x41);
+            leb::write_i32(out, v);
+        }
+        ConstExpr::I64(v) => {
+            out.push(0x42);
+            leb::write_i64(out, v);
+        }
+        ConstExpr::F32(bits) => {
+            out.push(0x43);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        ConstExpr::F64(bits) => {
+            out.push(0x44);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        ConstExpr::GlobalGet(i) => {
+            out.push(0x23);
+            leb::write_u32(out, i);
+        }
+    }
+    out.push(0x0B);
+}
+
+fn write_block_type(out: &mut Vec<u8>, bt: BlockType) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(ty) => out.push(ty.to_byte()),
+    }
+}
+
+fn write_memarg(out: &mut Vec<u8>, m: MemArg) {
+    leb::write_u32(out, m.align);
+    leb::write_u32(out, m.offset);
+}
+
+/// Encodes a single instruction.
+///
+/// `module` is needed to resolve `br_table` pool indices.
+pub fn write_instr(out: &mut Vec<u8>, instr: &Instr, module: &Module) {
+    use Instr::*;
+    if let Some(byte) = crate::opcode::simple_to_byte(instr) {
+        out.push(byte);
+        return;
+    }
+    if let Some((byte, m)) = crate::opcode::mem_opcode(instr) {
+        out.push(byte);
+        write_memarg(out, m);
+        return;
+    }
+    match *instr {
+        Block(bt) => {
+            out.push(0x02);
+            write_block_type(out, bt);
+        }
+        Loop(bt) => {
+            out.push(0x03);
+            write_block_type(out, bt);
+        }
+        If(bt) => {
+            out.push(0x04);
+            write_block_type(out, bt);
+        }
+        Br(l) => {
+            out.push(0x0C);
+            leb::write_u32(out, l);
+        }
+        BrIf(l) => {
+            out.push(0x0D);
+            leb::write_u32(out, l);
+        }
+        BrTable(pool) => {
+            out.push(0x0E);
+            let table = &module.br_tables[pool as usize];
+            leb::write_u32(out, table.targets.len() as u32);
+            for t in &table.targets {
+                leb::write_u32(out, *t);
+            }
+            leb::write_u32(out, table.default);
+        }
+        Call(i) => {
+            out.push(0x10);
+            leb::write_u32(out, i);
+        }
+        CallIndirect(ty) => {
+            out.push(0x11);
+            leb::write_u32(out, ty);
+            out.push(0x00); // table index
+        }
+        LocalGet(i) => {
+            out.push(0x20);
+            leb::write_u32(out, i);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            leb::write_u32(out, i);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            leb::write_u32(out, i);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            leb::write_u32(out, i);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            leb::write_u32(out, i);
+        }
+        MemorySize => {
+            out.push(0x3F);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        I32Const(v) => {
+            out.push(0x41);
+            leb::write_i32(out, v);
+        }
+        I64Const(v) => {
+            out.push(0x42);
+            leb::write_i64(out, v);
+        }
+        F32Const(bits) => {
+            out.push(0x43);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        F64Const(bits) => {
+            out.push(0x44);
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        ref other => unreachable!("instruction {other:?} should be covered by opcode tables"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Func;
+    use crate::types::FuncType;
+
+    #[test]
+    fn empty_module_is_header_only() {
+        let bytes = encode(&Module::new());
+        assert_eq!(bytes, [MAGIC.as_slice(), VERSION.as_slice()].concat());
+    }
+
+    #[test]
+    fn minimal_function_encodes() {
+        let mut m = Module::new();
+        let ty = m.intern_type(FuncType::new(&[], &[ValType::I32]));
+        m.funcs.push(Func {
+            type_idx: ty,
+            locals: vec![ValType::I32, ValType::I32, ValType::F64],
+            body: vec![Instr::I32Const(7), Instr::End],
+        });
+        let bytes = encode(&m);
+        // magic + version + type section + func section + code section
+        assert_eq!(&bytes[..4], &MAGIC);
+        assert!(bytes.len() > 8);
+        // Section ids present, in order.
+        assert!(bytes[8] == 1);
+    }
+
+    #[test]
+    fn locals_are_run_length_encoded() {
+        let mut m = Module::new();
+        let ty = m.intern_type(FuncType::new(&[], &[]));
+        m.funcs.push(Func {
+            type_idx: ty,
+            locals: vec![ValType::I32; 100],
+            body: vec![Instr::End],
+        });
+        let with_runs = encode(&m).len();
+        // If locals were not run-length encoded this would be ~200 bytes.
+        assert!(with_runs < 40, "encoded size {with_runs}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types for decoding and validating WebAssembly modules.
+
+use std::error::Error;
+use std::fmt;
+
+/// The specific reason a binary failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeErrorKind {
+    /// Input ended before a complete item was read.
+    UnexpectedEof,
+    /// The 4-byte magic number was not `\0asm`.
+    BadMagic,
+    /// Unsupported binary format version.
+    BadVersion(u32),
+    /// A LEB128 integer exceeded its bit width.
+    IntTooLarge,
+    /// A name was not valid UTF-8.
+    InvalidUtf8,
+    /// Unknown section id.
+    UnknownSection(u8),
+    /// Sections appeared out of order or duplicated.
+    SectionOrder(u8),
+    /// A section's declared size did not match its content.
+    SectionSizeMismatch,
+    /// Unknown or unsupported opcode byte.
+    UnknownOpcode(u8),
+    /// Unknown secondary opcode (0xFC prefix).
+    UnknownExtOpcode(u32),
+    /// Invalid value-type byte.
+    InvalidValType(u8),
+    /// Invalid block-type encoding.
+    InvalidBlockType,
+    /// Invalid mutability flag.
+    InvalidMutability(u8),
+    /// Invalid limits flag.
+    InvalidLimits(u8),
+    /// Invalid import/export kind byte.
+    InvalidExternKind(u8),
+    /// Function count in code section disagrees with function section.
+    FuncCountMismatch,
+    /// A constant expression was malformed.
+    InvalidConstExpr,
+    /// An element type other than funcref was used.
+    InvalidElemType(u8),
+    /// Trailing garbage after the last section.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use DecodeErrorKind::*;
+        match self {
+            UnexpectedEof => write!(f, "unexpected end of input"),
+            BadMagic => write!(f, "bad magic number"),
+            BadVersion(v) => write!(f, "unsupported binary version {v}"),
+            IntTooLarge => write!(f, "LEB128 integer too large"),
+            InvalidUtf8 => write!(f, "invalid UTF-8 in name"),
+            UnknownSection(id) => write!(f, "unknown section id {id}"),
+            SectionOrder(id) => write!(f, "section {id} out of order"),
+            SectionSizeMismatch => write!(f, "section size mismatch"),
+            UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            UnknownExtOpcode(op) => write!(f, "unknown extended opcode {op}"),
+            InvalidValType(b) => write!(f, "invalid value type 0x{b:02x}"),
+            InvalidBlockType => write!(f, "invalid block type"),
+            InvalidMutability(b) => write!(f, "invalid mutability flag {b}"),
+            InvalidLimits(b) => write!(f, "invalid limits flag {b}"),
+            InvalidExternKind(b) => write!(f, "invalid extern kind {b}"),
+            FuncCountMismatch => write!(f, "function and code section counts differ"),
+            InvalidConstExpr => write!(f, "malformed constant expression"),
+            InvalidElemType(b) => write!(f, "invalid element type 0x{b:02x}"),
+            TrailingBytes => write!(f, "trailing bytes after final section"),
+        }
+    }
+}
+
+/// An error produced while decoding a binary module, with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// What went wrong.
+    pub kind: DecodeErrorKind,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at offset {}: {}", self.offset, self.kind)
+    }
+}
+
+impl Error for DecodeError {}
+
+/// An error produced by module validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Function index space position, when the error is inside a body.
+    pub func: Option<u32>,
+    /// Instruction offset within the body, when applicable.
+    pub instr: Option<usize>,
+}
+
+impl ValidateError {
+    /// Creates a module-level validation error.
+    pub fn module(message: impl Into<String>) -> Self {
+        ValidateError {
+            message: message.into(),
+            func: None,
+            instr: None,
+        }
+    }
+
+    /// Creates a validation error inside a function body.
+    pub fn in_func(func: u32, instr: usize, message: impl Into<String>) -> Self {
+        ValidateError {
+            message: message.into(),
+            func: Some(func),
+            instr: Some(instr),
+        }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.func, self.instr) {
+            (Some(func), Some(i)) => {
+                write!(f, "validation error in func {func} at instr {i}: {}", self.message)
+            }
+            (Some(func), None) => write!(f, "validation error in func {func}: {}", self.message),
+            _ => write!(f, "validation error: {}", self.message),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = DecodeError {
+            offset: 12,
+            kind: DecodeErrorKind::BadMagic,
+        };
+        assert_eq!(e.to_string(), "decode error at offset 12: bad magic number");
+    }
+
+    #[test]
+    fn validate_error_display() {
+        assert_eq!(
+            ValidateError::in_func(3, 9, "type mismatch").to_string(),
+            "validation error in func 3 at instr 9: type mismatch"
+        );
+        assert_eq!(
+            ValidateError::module("no memory").to_string(),
+            "validation error: no memory"
+        );
+    }
+}

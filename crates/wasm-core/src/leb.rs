@@ -1,0 +1,323 @@
+//! LEB128 variable-length integer encoding, as used throughout the
+//! WebAssembly binary format.
+
+use crate::error::{DecodeError, DecodeErrorKind};
+
+/// Appends an unsigned LEB128 encoding of `value` to `out`.
+pub fn write_u32(out: &mut Vec<u8>, mut value: u32) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends an unsigned LEB128 encoding of a 64-bit `value` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a signed LEB128 encoding of `value` to `out`.
+pub fn write_i32(out: &mut Vec<u8>, value: i32) {
+    write_i64(out, value as i64);
+}
+
+/// Appends a signed LEB128 encoding of a 64-bit `value` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, mut value: i64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        let sign_clear = byte & 0x40 == 0;
+        if (value == 0 && sign_clear) || (value == -1 && !sign_clear) {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// A positioned reader over a byte buffer with LEB128 helpers.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn err(&self, kind: DecodeErrorKind) -> DecodeError {
+        DecodeError {
+            offset: self.pos,
+            kind,
+        }
+    }
+
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of input.
+    pub fn byte(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| self.err(DecodeErrorKind::UnexpectedEof))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.err(DecodeErrorKind::UnexpectedEof));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads an unsigned LEB128 u32.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF or if the encoding overflows 32 bits.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut result: u32 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            let low = (byte & 0x7F) as u32;
+            if shift >= 32 || (shift == 28 && low > 0x0F) {
+                return Err(self.err(DecodeErrorKind::IntTooLarge));
+            }
+            result |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads an unsigned LEB128 u64.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF or if the encoding overflows 64 bits.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut result: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            let low = (byte & 0x7F) as u64;
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return Err(self.err(DecodeErrorKind::IntTooLarge));
+            }
+            result |= low << shift;
+            if byte & 0x80 == 0 {
+                return Ok(result);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads a signed LEB128 i32.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF or if the encoding overflows 32 bits.
+    pub fn i32(&mut self) -> Result<i32, DecodeError> {
+        let v = self.i64_with_width(33)?;
+        Ok(v as i32)
+    }
+
+    /// Reads a signed LEB128 i64.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF or if the encoding overflows 64 bits.
+    pub fn i64(&mut self) -> Result<i64, DecodeError> {
+        self.i64_with_width(64)
+    }
+
+    fn i64_with_width(&mut self, width: u32) -> Result<i64, DecodeError> {
+        let mut result: i64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift + 7 > width && {
+                // Excess bits must be a valid sign extension.
+                let sign = byte & 0x40 != 0;
+                let used = width.saturating_sub(shift);
+                let mask = if used >= 7 {
+                    0
+                } else {
+                    (!0u8 << used) & 0x7F
+                };
+                let excess = byte & mask;
+                !(excess == 0 && !sign || excess == mask && sign)
+            } {
+                return Err(self.err(DecodeErrorKind::IntTooLarge));
+            }
+            result |= ((byte & 0x7F) as i64) << shift;
+            shift += 7;
+            if byte & 0x80 == 0 {
+                if shift < 64 && byte & 0x40 != 0 {
+                    result |= !0i64 << shift;
+                }
+                return Ok(result);
+            }
+            if shift >= 64 {
+                return Err(self.err(DecodeErrorKind::IntTooLarge));
+            }
+        }
+    }
+
+    /// Reads a little-endian f32.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF.
+    pub fn f32_bits(&mut self) -> Result<u32, DecodeError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian f64.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF.
+    pub fn f64_bits(&mut self) -> Result<u64, DecodeError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed UTF-8 name.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on EOF or invalid UTF-8.
+    pub fn name(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError {
+            offset: start,
+            kind: DecodeErrorKind::InvalidUtf8,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_u32(v: u32) -> u32 {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, v);
+        Reader::new(&buf).u32().unwrap()
+    }
+
+    fn round_trip_i64(v: i64) -> i64 {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, v);
+        Reader::new(&buf).i64().unwrap()
+    }
+
+    #[test]
+    fn u32_round_trips() {
+        for v in [0, 1, 127, 128, 300, 16383, 16384, u32::MAX] {
+            assert_eq!(round_trip_u32(v), v);
+        }
+    }
+
+    #[test]
+    fn i64_round_trips() {
+        for v in [0, 1, -1, 63, 64, -64, -65, i64::MAX, i64::MIN, 0x7fff_ffff] {
+            assert_eq!(round_trip_i64(v), v);
+        }
+    }
+
+    #[test]
+    fn i32_round_trips() {
+        for v in [0, -1, i32::MIN, i32::MAX, 42, -300] {
+            let mut buf = Vec::new();
+            write_i32(&mut buf, v);
+            assert_eq!(Reader::new(&buf).i32().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_overlong_u32() {
+        // Six continuation bytes overflow a u32.
+        let buf = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert!(Reader::new(&buf).u32().is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        let buf = [0x80u8];
+        assert!(Reader::new(&buf).u32().is_err());
+        assert!(Reader::new(&[]).byte().is_err());
+    }
+
+    #[test]
+    fn name_utf8_validation() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(Reader::new(&buf).name().is_err());
+
+        let mut ok = Vec::new();
+        write_u32(&mut ok, 5);
+        ok.extend_from_slice(b"hello");
+        assert_eq!(Reader::new(&ok).name().unwrap(), "hello");
+    }
+
+    #[test]
+    fn float_bits() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&1.5f32.to_bits().to_le_bytes());
+        buf.extend_from_slice(&(-2.25f64).to_bits().to_le_bytes());
+        let mut r = Reader::new(&buf);
+        assert_eq!(f32::from_bits(r.f32_bits().unwrap()), 1.5);
+        assert_eq!(f64::from_bits(r.f64_bits().unwrap()), -2.25);
+    }
+}

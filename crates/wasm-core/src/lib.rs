@@ -1,0 +1,52 @@
+//! # wasm-core
+//!
+//! The WebAssembly MVP substrate of the WABench reproduction: an in-memory
+//! module model, binary encoder/decoder, validator, structural analysis,
+//! and a builder API.
+//!
+//! Everything in this workspace — the `wacc` compiler, the five runtime
+//! engines, WASI, and the benchmark suite — is built on these types.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use wasm_core::builder::ModuleBuilder;
+//! use wasm_core::types::{FuncType, ValType};
+//! use wasm_core::instr::Instr;
+//!
+//! // Build a module that adds two i32s.
+//! let mut b = ModuleBuilder::new();
+//! let f = b.begin_func(FuncType::new(&[ValType::I32, ValType::I32], &[ValType::I32]));
+//! b.emit(Instr::LocalGet(0));
+//! b.emit(Instr::LocalGet(1));
+//! b.emit(Instr::I32Add);
+//! b.finish_func();
+//! b.export_func("add", f);
+//! let module = b.build();
+//!
+//! // Validate, encode to binary, and decode back.
+//! wasm_core::validate::validate(&module)?;
+//! let bytes = wasm_core::encode::encode(&module);
+//! let decoded = wasm_core::decode::decode(&bytes)?;
+//! assert_eq!(decoded, module);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod control;
+pub mod decode;
+pub mod encode;
+pub mod error;
+pub mod instr;
+pub mod leb;
+pub mod module;
+pub mod opcode;
+pub mod types;
+pub mod validate;
+
+pub use error::{DecodeError, DecodeErrorKind, ValidateError};
+pub use instr::Instr;
+pub use module::Module;
+pub use types::{FuncType, ValType, Value};

@@ -1,0 +1,399 @@
+//! The in-memory representation of a WebAssembly module, mirroring the
+//! section structure of the binary format.
+
+use crate::instr::{BrTable, Instr};
+use crate::types::{FuncType, GlobalType, Limits, MemoryType, TableType, ValType};
+
+/// What kind of external item an import/export refers to.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ImportKind {
+    /// A function import with the given type index.
+    Func(u32),
+    /// A table import.
+    Table(TableType),
+    /// A memory import.
+    Memory(MemoryType),
+    /// A global import.
+    Global(GlobalType),
+}
+
+/// A single import: `module.name` with its expected kind.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Import {
+    /// Module namespace, e.g. `wasi_snapshot_preview1`.
+    pub module: String,
+    /// Item name within the module namespace.
+    pub name: String,
+    /// The kind and type of the imported item.
+    pub kind: ImportKind,
+}
+
+/// The kind and index of an exported item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExportKind {
+    /// Function export.
+    Func(u32),
+    /// Table export.
+    Table(u32),
+    /// Memory export.
+    Memory(u32),
+    /// Global export.
+    Global(u32),
+}
+
+/// A single export entry.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Export {
+    /// Exported name.
+    pub name: String,
+    /// What is exported.
+    pub kind: ExportKind,
+}
+
+/// A constant initializer expression (MVP: single const or `global.get`).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ConstExpr {
+    /// `i32.const`
+    I32(i32),
+    /// `i64.const`
+    I64(i64),
+    /// `f32.const` (raw bits)
+    F32(u32),
+    /// `f64.const` (raw bits)
+    F64(u64),
+    /// `global.get` of an imported immutable global.
+    GlobalGet(u32),
+}
+
+impl ConstExpr {
+    /// The value type this expression produces, given the types of globals.
+    pub fn ty(&self, global_types: &[GlobalType]) -> Option<ValType> {
+        match self {
+            ConstExpr::I32(_) => Some(ValType::I32),
+            ConstExpr::I64(_) => Some(ValType::I64),
+            ConstExpr::F32(_) => Some(ValType::F32),
+            ConstExpr::F64(_) => Some(ValType::F64),
+            ConstExpr::GlobalGet(i) => global_types.get(*i as usize).map(|g| g.val_type),
+        }
+    }
+}
+
+/// A module-defined global variable.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Global {
+    /// The global's type.
+    pub ty: GlobalType,
+    /// Its initializer.
+    pub init: ConstExpr,
+}
+
+/// A function defined in this module (not imported).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Func {
+    /// Index into [`Module::types`].
+    pub type_idx: u32,
+    /// Declared local variables (beyond parameters), already expanded.
+    pub locals: Vec<ValType>,
+    /// Flat instruction sequence, terminated by `End`.
+    pub body: Vec<Instr>,
+}
+
+/// An active data segment copied into memory at instantiation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DataSegment {
+    /// Target memory index (MVP: 0).
+    pub memory: u32,
+    /// Offset expression.
+    pub offset: ConstExpr,
+    /// Bytes to copy.
+    pub bytes: Vec<u8>,
+}
+
+/// An active element segment populating a table at instantiation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ElemSegment {
+    /// Target table index (MVP: 0).
+    pub table: u32,
+    /// Offset expression.
+    pub offset: ConstExpr,
+    /// Function indices to install.
+    pub funcs: Vec<u32>,
+}
+
+/// A custom (name, bytes) section, carried through encode/decode.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CustomSection {
+    /// Section name.
+    pub name: String,
+    /// Raw payload.
+    pub payload: Vec<u8>,
+}
+
+/// A complete WebAssembly module.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Module {
+    /// Function type pool.
+    pub types: Vec<FuncType>,
+    /// Imports, in declaration order.
+    pub imports: Vec<Import>,
+    /// Module-defined functions.
+    pub funcs: Vec<Func>,
+    /// Module-defined tables.
+    pub tables: Vec<TableType>,
+    /// Module-defined memories.
+    pub memories: Vec<MemoryType>,
+    /// Module-defined globals.
+    pub globals: Vec<Global>,
+    /// Exports.
+    pub exports: Vec<Export>,
+    /// Optional start function index.
+    pub start: Option<u32>,
+    /// Element segments.
+    pub elems: Vec<ElemSegment>,
+    /// Data segments.
+    pub data: Vec<DataSegment>,
+    /// Side pool for `br_table` payloads (indexed by [`Instr::BrTable`]).
+    pub br_tables: Vec<BrTable>,
+    /// Custom sections (passed through verbatim).
+    pub customs: Vec<CustomSection>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Number of imported functions (these precede module-defined functions
+    /// in the function index space).
+    pub fn num_imported_funcs(&self) -> usize {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Func(_)))
+            .count()
+    }
+
+    /// Number of imported globals.
+    pub fn num_imported_globals(&self) -> usize {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Global(_)))
+            .count()
+    }
+
+    /// Number of imported memories.
+    pub fn num_imported_memories(&self) -> usize {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Memory(_)))
+            .count()
+    }
+
+    /// Number of imported tables.
+    pub fn num_imported_tables(&self) -> usize {
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Table(_)))
+            .count()
+    }
+
+    /// The type of the function at `func_idx` in the combined index space
+    /// (imports first, then module-defined functions).
+    pub fn func_type(&self, func_idx: u32) -> Option<&FuncType> {
+        let mut remaining = func_idx as usize;
+        for imp in &self.imports {
+            if let ImportKind::Func(ty) = imp.kind {
+                if remaining == 0 {
+                    return self.types.get(ty as usize);
+                }
+                remaining -= 1;
+            }
+        }
+        self.funcs
+            .get(remaining)
+            .and_then(|f| self.types.get(f.type_idx as usize))
+    }
+
+    /// The type of the global at `global_idx` in the combined index space.
+    pub fn global_type(&self, global_idx: u32) -> Option<GlobalType> {
+        let mut remaining = global_idx as usize;
+        for imp in &self.imports {
+            if let ImportKind::Global(g) = imp.kind {
+                if remaining == 0 {
+                    return Some(g);
+                }
+                remaining -= 1;
+            }
+        }
+        self.globals.get(remaining).map(|g| g.ty)
+    }
+
+    /// The memory type at `mem_idx` in the combined index space.
+    pub fn memory_type(&self, mem_idx: u32) -> Option<MemoryType> {
+        let mut remaining = mem_idx as usize;
+        for imp in &self.imports {
+            if let ImportKind::Memory(m) = imp.kind {
+                if remaining == 0 {
+                    return Some(m);
+                }
+                remaining -= 1;
+            }
+        }
+        self.memories.get(remaining).copied()
+    }
+
+    /// The table type at `table_idx` in the combined index space.
+    pub fn table_type(&self, table_idx: u32) -> Option<TableType> {
+        let mut remaining = table_idx as usize;
+        for imp in &self.imports {
+            if let ImportKind::Table(t) = imp.kind {
+                if remaining == 0 {
+                    return Some(t);
+                }
+                remaining -= 1;
+            }
+        }
+        self.tables.get(remaining).copied()
+    }
+
+    /// Total function index space size.
+    pub fn total_funcs(&self) -> usize {
+        self.num_imported_funcs() + self.funcs.len()
+    }
+
+    /// Total global index space size.
+    pub fn total_globals(&self) -> usize {
+        self.num_imported_globals() + self.globals.len()
+    }
+
+    /// Finds an export by name.
+    pub fn export(&self, name: &str) -> Option<&Export> {
+        self.exports.iter().find(|e| e.name == name)
+    }
+
+    /// Finds an exported function index by name.
+    pub fn exported_func(&self, name: &str) -> Option<u32> {
+        match self.export(name)?.kind {
+            ExportKind::Func(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Interns a function type, reusing an existing entry if present.
+    pub fn intern_type(&mut self, ty: FuncType) -> u32 {
+        if let Some(pos) = self.types.iter().position(|t| *t == ty) {
+            pos as u32
+        } else {
+            self.types.push(ty);
+            (self.types.len() - 1) as u32
+        }
+    }
+
+    /// Interns a `br_table` payload, returning its pool index.
+    pub fn intern_br_table(&mut self, table: BrTable) -> u32 {
+        self.br_tables.push(table);
+        (self.br_tables.len() - 1) as u32
+    }
+
+    /// Static Wasm code size: total number of instructions across all bodies.
+    pub fn code_size(&self) -> usize {
+        self.funcs.iter().map(|f| f.body.len()).sum()
+    }
+
+    /// Declared minimum memory pages (0 if no memory).
+    pub fn min_memory_pages(&self) -> u32 {
+        self.memory_type(0).map(|m| m.limits.min).unwrap_or(0)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type MemLimits = Limits;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Mutability, ValType};
+
+    fn module_with_import() -> Module {
+        let mut m = Module::new();
+        let ty = m.intern_type(FuncType::new(&[ValType::I32], &[]));
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "log".into(),
+            kind: ImportKind::Func(ty),
+        });
+        let ty2 = m.intern_type(FuncType::new(&[], &[ValType::I32]));
+        m.funcs.push(Func {
+            type_idx: ty2,
+            locals: vec![],
+            body: vec![Instr::I32Const(42), Instr::End],
+        });
+        m.exports.push(Export {
+            name: "answer".into(),
+            kind: ExportKind::Func(1),
+        });
+        m
+    }
+
+    #[test]
+    fn index_spaces_account_for_imports() {
+        let m = module_with_import();
+        assert_eq!(m.num_imported_funcs(), 1);
+        assert_eq!(m.total_funcs(), 2);
+        assert_eq!(m.func_type(0).unwrap().params, vec![ValType::I32]);
+        assert_eq!(m.func_type(1).unwrap().results, vec![ValType::I32]);
+        assert_eq!(m.func_type(2), None);
+    }
+
+    #[test]
+    fn intern_type_dedups() {
+        let mut m = Module::new();
+        let a = m.intern_type(FuncType::new(&[], &[]));
+        let b = m.intern_type(FuncType::new(&[], &[]));
+        let c = m.intern_type(FuncType::new(&[ValType::I32], &[]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(m.types.len(), 2);
+    }
+
+    #[test]
+    fn export_lookup() {
+        let m = module_with_import();
+        assert_eq!(m.exported_func("answer"), Some(1));
+        assert_eq!(m.exported_func("missing"), None);
+    }
+
+    #[test]
+    fn global_index_space() {
+        let mut m = Module::new();
+        m.imports.push(Import {
+            module: "env".into(),
+            name: "g".into(),
+            kind: ImportKind::Global(GlobalType {
+                val_type: ValType::I64,
+                mutability: Mutability::Const,
+            }),
+        });
+        m.globals.push(Global {
+            ty: GlobalType {
+                val_type: ValType::F32,
+                mutability: Mutability::Var,
+            },
+            init: ConstExpr::F32(0),
+        });
+        assert_eq!(m.global_type(0).unwrap().val_type, ValType::I64);
+        assert_eq!(m.global_type(1).unwrap().val_type, ValType::F32);
+        assert_eq!(m.global_type(2), None);
+    }
+
+    #[test]
+    fn const_expr_types() {
+        let globals = [GlobalType {
+            val_type: ValType::F64,
+            mutability: Mutability::Const,
+        }];
+        assert_eq!(ConstExpr::I32(1).ty(&globals), Some(ValType::I32));
+        assert_eq!(ConstExpr::GlobalGet(0).ty(&globals), Some(ValType::F64));
+        assert_eq!(ConstExpr::GlobalGet(1).ty(&globals), None);
+    }
+}

@@ -1,0 +1,266 @@
+//! Opcode byte assignments for instructions without complex immediates.
+//!
+//! A single macro defines the mapping once; the encoder and decoder both
+//! derive from it so they can never drift apart.
+
+use crate::instr::Instr;
+
+macro_rules! simple_opcodes {
+    ($(($byte:expr, $variant:ident)),* $(,)?) => {
+        /// Returns the opcode byte for a simple (immediate-free) instruction.
+        pub fn simple_to_byte(instr: &Instr) -> Option<u8> {
+            match instr {
+                $(Instr::$variant => Some($byte),)*
+                _ => None,
+            }
+        }
+
+        /// Returns the instruction for a simple opcode byte.
+        pub fn simple_from_byte(byte: u8) -> Option<Instr> {
+            match byte {
+                $($byte => Some(Instr::$variant),)*
+                _ => None,
+            }
+        }
+
+        /// All simple (immediate-free) instructions, for exhaustive tests.
+        pub fn all_simple() -> Vec<(u8, Instr)> {
+            vec![$(($byte, Instr::$variant)),*]
+        }
+    };
+}
+
+simple_opcodes! {
+    (0x00, Unreachable),
+    (0x01, Nop),
+    (0x05, Else),
+    (0x0B, End),
+    (0x0F, Return),
+    (0x1A, Drop),
+    (0x1B, Select),
+    (0x45, I32Eqz),
+    (0x46, I32Eq),
+    (0x47, I32Ne),
+    (0x48, I32LtS),
+    (0x49, I32LtU),
+    (0x4A, I32GtS),
+    (0x4B, I32GtU),
+    (0x4C, I32LeS),
+    (0x4D, I32LeU),
+    (0x4E, I32GeS),
+    (0x4F, I32GeU),
+    (0x50, I64Eqz),
+    (0x51, I64Eq),
+    (0x52, I64Ne),
+    (0x53, I64LtS),
+    (0x54, I64LtU),
+    (0x55, I64GtS),
+    (0x56, I64GtU),
+    (0x57, I64LeS),
+    (0x58, I64LeU),
+    (0x59, I64GeS),
+    (0x5A, I64GeU),
+    (0x5B, F32Eq),
+    (0x5C, F32Ne),
+    (0x5D, F32Lt),
+    (0x5E, F32Gt),
+    (0x5F, F32Le),
+    (0x60, F32Ge),
+    (0x61, F64Eq),
+    (0x62, F64Ne),
+    (0x63, F64Lt),
+    (0x64, F64Gt),
+    (0x65, F64Le),
+    (0x66, F64Ge),
+    (0x67, I32Clz),
+    (0x68, I32Ctz),
+    (0x69, I32Popcnt),
+    (0x6A, I32Add),
+    (0x6B, I32Sub),
+    (0x6C, I32Mul),
+    (0x6D, I32DivS),
+    (0x6E, I32DivU),
+    (0x6F, I32RemS),
+    (0x70, I32RemU),
+    (0x71, I32And),
+    (0x72, I32Or),
+    (0x73, I32Xor),
+    (0x74, I32Shl),
+    (0x75, I32ShrS),
+    (0x76, I32ShrU),
+    (0x77, I32Rotl),
+    (0x78, I32Rotr),
+    (0x79, I64Clz),
+    (0x7A, I64Ctz),
+    (0x7B, I64Popcnt),
+    (0x7C, I64Add),
+    (0x7D, I64Sub),
+    (0x7E, I64Mul),
+    (0x7F, I64DivS),
+    (0x80, I64DivU),
+    (0x81, I64RemS),
+    (0x82, I64RemU),
+    (0x83, I64And),
+    (0x84, I64Or),
+    (0x85, I64Xor),
+    (0x86, I64Shl),
+    (0x87, I64ShrS),
+    (0x88, I64ShrU),
+    (0x89, I64Rotl),
+    (0x8A, I64Rotr),
+    (0x8B, F32Abs),
+    (0x8C, F32Neg),
+    (0x8D, F32Ceil),
+    (0x8E, F32Floor),
+    (0x8F, F32Trunc),
+    (0x90, F32Nearest),
+    (0x91, F32Sqrt),
+    (0x92, F32Add),
+    (0x93, F32Sub),
+    (0x94, F32Mul),
+    (0x95, F32Div),
+    (0x96, F32Min),
+    (0x97, F32Max),
+    (0x98, F32Copysign),
+    (0x99, F64Abs),
+    (0x9A, F64Neg),
+    (0x9B, F64Ceil),
+    (0x9C, F64Floor),
+    (0x9D, F64Trunc),
+    (0x9E, F64Nearest),
+    (0x9F, F64Sqrt),
+    (0xA0, F64Add),
+    (0xA1, F64Sub),
+    (0xA2, F64Mul),
+    (0xA3, F64Div),
+    (0xA4, F64Min),
+    (0xA5, F64Max),
+    (0xA6, F64Copysign),
+    (0xA7, I32WrapI64),
+    (0xA8, I32TruncF32S),
+    (0xA9, I32TruncF32U),
+    (0xAA, I32TruncF64S),
+    (0xAB, I32TruncF64U),
+    (0xAC, I64ExtendI32S),
+    (0xAD, I64ExtendI32U),
+    (0xAE, I64TruncF32S),
+    (0xAF, I64TruncF32U),
+    (0xB0, I64TruncF64S),
+    (0xB1, I64TruncF64U),
+    (0xB2, F32ConvertI32S),
+    (0xB3, F32ConvertI32U),
+    (0xB4, F32ConvertI64S),
+    (0xB5, F32ConvertI64U),
+    (0xB6, F32DemoteF64),
+    (0xB7, F64ConvertI32S),
+    (0xB8, F64ConvertI32U),
+    (0xB9, F64ConvertI64S),
+    (0xBA, F64ConvertI64U),
+    (0xBB, F64PromoteF32),
+    (0xBC, I32ReinterpretF32),
+    (0xBD, I64ReinterpretF64),
+    (0xBE, F32ReinterpretI32),
+    (0xBF, F64ReinterpretI64),
+    (0xC0, I32Extend8S),
+    (0xC1, I32Extend16S),
+    (0xC2, I64Extend8S),
+    (0xC3, I64Extend16S),
+    (0xC4, I64Extend32S),
+}
+
+/// Returns the opcode byte and memarg for a memory-access instruction.
+pub fn mem_opcode(instr: &Instr) -> Option<(u8, crate::instr::MemArg)> {
+    use Instr::*;
+    Some(match *instr {
+        I32Load(m) => (0x28, m),
+        I64Load(m) => (0x29, m),
+        F32Load(m) => (0x2A, m),
+        F64Load(m) => (0x2B, m),
+        I32Load8S(m) => (0x2C, m),
+        I32Load8U(m) => (0x2D, m),
+        I32Load16S(m) => (0x2E, m),
+        I32Load16U(m) => (0x2F, m),
+        I64Load8S(m) => (0x30, m),
+        I64Load8U(m) => (0x31, m),
+        I64Load16S(m) => (0x32, m),
+        I64Load16U(m) => (0x33, m),
+        I64Load32S(m) => (0x34, m),
+        I64Load32U(m) => (0x35, m),
+        I32Store(m) => (0x36, m),
+        I64Store(m) => (0x37, m),
+        F32Store(m) => (0x38, m),
+        F64Store(m) => (0x39, m),
+        I32Store8(m) => (0x3A, m),
+        I32Store16(m) => (0x3B, m),
+        I64Store8(m) => (0x3C, m),
+        I64Store16(m) => (0x3D, m),
+        I64Store32(m) => (0x3E, m),
+        _ => return None,
+    })
+}
+
+/// Builds a memory-access instruction from its opcode byte and memarg.
+pub fn mem_from_byte(byte: u8, m: crate::instr::MemArg) -> Option<Instr> {
+    use Instr::*;
+    Some(match byte {
+        0x28 => I32Load(m),
+        0x29 => I64Load(m),
+        0x2A => F32Load(m),
+        0x2B => F64Load(m),
+        0x2C => I32Load8S(m),
+        0x2D => I32Load8U(m),
+        0x2E => I32Load16S(m),
+        0x2F => I32Load16U(m),
+        0x30 => I64Load8S(m),
+        0x31 => I64Load8U(m),
+        0x32 => I64Load16S(m),
+        0x33 => I64Load16U(m),
+        0x34 => I64Load32S(m),
+        0x35 => I64Load32U(m),
+        0x36 => I32Store(m),
+        0x37 => I64Store(m),
+        0x38 => F32Store(m),
+        0x39 => F64Store(m),
+        0x3A => I32Store8(m),
+        0x3B => I32Store16(m),
+        0x3C => I64Store8(m),
+        0x3D => I64Store16(m),
+        0x3E => I64Store32(m),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::MemArg;
+
+    #[test]
+    fn simple_opcode_bijection() {
+        for (byte, instr) in all_simple() {
+            assert_eq!(simple_to_byte(&instr), Some(byte), "{instr:?}");
+            assert_eq!(simple_from_byte(byte), Some(instr), "0x{byte:02x}");
+        }
+    }
+
+    #[test]
+    fn no_simple_collisions() {
+        let all = all_simple();
+        let mut bytes: Vec<u8> = all.iter().map(|(b, _)| *b).collect();
+        bytes.sort_unstable();
+        bytes.dedup();
+        assert_eq!(bytes.len(), all.len());
+    }
+
+    #[test]
+    fn mem_opcode_round_trip() {
+        let m = MemArg {
+            align: 2,
+            offset: 16,
+        };
+        for op in 0x28u8..=0x3E {
+            let instr = mem_from_byte(op, m).unwrap();
+            assert_eq!(mem_opcode(&instr), Some((op, m)));
+        }
+    }
+}

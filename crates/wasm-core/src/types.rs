@@ -1,0 +1,361 @@
+//! Core WebAssembly type definitions: value types, function types, limits,
+//! and runtime values.
+
+use std::fmt;
+
+/// A WebAssembly value type from the MVP specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ValType {
+    /// 32-bit integer (sign-agnostic).
+    I32,
+    /// 64-bit integer (sign-agnostic).
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+}
+
+impl ValType {
+    /// The binary-format type byte for this value type.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ValType::I32 => 0x7F,
+            ValType::I64 => 0x7E,
+            ValType::F32 => 0x7D,
+            ValType::F64 => 0x7C,
+        }
+    }
+
+    /// Decodes a binary-format type byte.
+    pub fn from_byte(b: u8) -> Option<ValType> {
+        match b {
+            0x7F => Some(ValType::I32),
+            0x7E => Some(ValType::I64),
+            0x7D => Some(ValType::F32),
+            0x7C => Some(ValType::F64),
+            _ => None,
+        }
+    }
+
+    /// Size of this value type in bytes when stored in linear memory.
+    pub fn byte_size(self) -> u32 {
+        match self {
+            ValType::I32 | ValType::F32 => 4,
+            ValType::I64 | ValType::F64 => 8,
+        }
+    }
+
+    /// Returns `true` for `I32`/`I64`.
+    pub fn is_int(self) -> bool {
+        matches!(self, ValType::I32 | ValType::I64)
+    }
+
+    /// Returns `true` for `F32`/`F64`.
+    pub fn is_float(self) -> bool {
+        !self.is_int()
+    }
+}
+
+impl fmt::Display for ValType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValType::I32 => "i32",
+            ValType::I64 => "i64",
+            ValType::F32 => "f32",
+            ValType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A function signature: parameter types and result types.
+///
+/// The MVP allows at most one result; the validator enforces this, but the
+/// type itself is future-proofed for multi-value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct FuncType {
+    /// Parameter value types, in order.
+    pub params: Vec<ValType>,
+    /// Result value types (0 or 1 in the MVP).
+    pub results: Vec<ValType>,
+}
+
+impl FuncType {
+    /// Creates a function type from parameter and result slices.
+    pub fn new(params: &[ValType], results: &[ValType]) -> Self {
+        FuncType {
+            params: params.to_vec(),
+            results: results.to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for FuncType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Size limits for memories and tables, in units of pages or elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Limits {
+    /// Initial size.
+    pub min: u32,
+    /// Optional maximum size.
+    pub max: Option<u32>,
+}
+
+impl Limits {
+    /// Creates limits with only a minimum.
+    pub fn at_least(min: u32) -> Self {
+        Limits { min, max: None }
+    }
+
+    /// Creates limits with a minimum and maximum.
+    pub fn bounded(min: u32, max: u32) -> Self {
+        Limits {
+            min,
+            max: Some(max),
+        }
+    }
+
+    /// Whether `other` fits within (is importable into) these limits.
+    pub fn accepts(&self, other: &Limits) -> bool {
+        other.min >= self.min
+            && match (self.max, other.max) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(a), Some(b)) => b <= a,
+            }
+    }
+}
+
+/// The type of a linear memory: limits in 64 KiB pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MemoryType {
+    /// Page limits.
+    pub limits: Limits,
+}
+
+/// The type of a table (MVP: always `funcref`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TableType {
+    /// Element-count limits.
+    pub limits: Limits,
+}
+
+/// Mutability of a global.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Mutability {
+    /// Immutable global.
+    Const,
+    /// Mutable global.
+    Var,
+}
+
+/// The type of a global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct GlobalType {
+    /// Type of the stored value.
+    pub val_type: ValType,
+    /// Whether the global may be mutated.
+    pub mutability: Mutability,
+}
+
+/// The size of one WebAssembly linear-memory page: 64 KiB.
+pub const PAGE_SIZE: u32 = 65536;
+
+/// A runtime WebAssembly value.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// 32-bit integer.
+    I32(i32),
+    /// 64-bit integer.
+    I64(i64),
+    /// 32-bit float.
+    F32(f32),
+    /// 64-bit float.
+    F64(f64),
+}
+
+impl Value {
+    /// The value type of this value.
+    pub fn ty(&self) -> ValType {
+        match self {
+            Value::I32(_) => ValType::I32,
+            Value::I64(_) => ValType::I64,
+            Value::F32(_) => ValType::F32,
+            Value::F64(_) => ValType::F64,
+        }
+    }
+
+    /// The zero value of a given type.
+    pub fn zero(ty: ValType) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(0),
+            ValType::I64 => Value::I64(0),
+            ValType::F32 => Value::F32(0.0),
+            ValType::F64 => Value::F64(0.0),
+        }
+    }
+
+    /// Extracts an `i32`, panicking on type mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `I32`.
+    pub fn unwrap_i32(self) -> i32 {
+        match self {
+            Value::I32(v) => v,
+            other => panic!("expected i32, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `i64`, panicking on type mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `I64`.
+    pub fn unwrap_i64(self) -> i64 {
+        match self {
+            Value::I64(v) => v,
+            other => panic!("expected i64, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `f32`, panicking on type mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `F32`.
+    pub fn unwrap_f32(self) -> f32 {
+        match self {
+            Value::F32(v) => v,
+            other => panic!("expected f32, got {other:?}"),
+        }
+    }
+
+    /// Extracts an `f64`, panicking on type mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `F64`.
+    pub fn unwrap_f64(self) -> f64 {
+        match self {
+            Value::F64(v) => v,
+            other => panic!("expected f64, got {other:?}"),
+        }
+    }
+
+    /// Reinterprets the value as raw 64-bit storage (how engines hold it).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I32(v) => v as u32 as u64,
+            Value::I64(v) => v as u64,
+            Value::F32(v) => v.to_bits() as u64,
+            Value::F64(v) => v.to_bits(),
+        }
+    }
+
+    /// Rebuilds a value of type `ty` from raw 64-bit storage.
+    pub fn from_bits(ty: ValType, bits: u64) -> Value {
+        match ty {
+            ValType::I32 => Value::I32(bits as u32 as i32),
+            ValType::I64 => Value::I64(bits as i64),
+            ValType::F32 => Value::F32(f32::from_bits(bits as u32)),
+            ValType::F64 => Value::F64(f64::from_bits(bits)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I32(v) => write!(f, "{v}: i32"),
+            Value::I64(v) => write!(f, "{v}: i64"),
+            Value::F32(v) => write!(f, "{v}: f32"),
+            Value::F64(v) => write!(f, "{v}: f64"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F32(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valtype_byte_round_trip() {
+        for ty in [ValType::I32, ValType::I64, ValType::F32, ValType::F64] {
+            assert_eq!(ValType::from_byte(ty.to_byte()), Some(ty));
+        }
+        assert_eq!(ValType::from_byte(0x00), None);
+    }
+
+    #[test]
+    fn value_bits_round_trip() {
+        let vals = [
+            Value::I32(-7),
+            Value::I64(i64::MIN),
+            Value::F32(3.5),
+            Value::F64(-0.0),
+        ];
+        for v in vals {
+            assert_eq!(Value::from_bits(v.ty(), v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    fn limits_accepts() {
+        let l = Limits::bounded(1, 10);
+        assert!(l.accepts(&Limits::bounded(1, 10)));
+        assert!(l.accepts(&Limits::bounded(2, 5)));
+        assert!(!l.accepts(&Limits::at_least(1)));
+        assert!(!l.accepts(&Limits::bounded(0, 5)));
+        assert!(Limits::at_least(1).accepts(&Limits::at_least(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            FuncType::new(&[ValType::I32, ValType::F64], &[ValType::I64]).to_string(),
+            "(i32, f64) -> (i64)"
+        );
+        assert_eq!(Value::I32(5).to_string(), "5: i32");
+    }
+}

@@ -1,0 +1,888 @@
+//! Module validation: type-checks every function body against the
+//! WebAssembly MVP typing rules, and checks module-level well-formedness.
+
+use crate::control::ControlMap;
+use crate::error::ValidateError;
+use crate::instr::{BlockType, Instr};
+use crate::module::{ConstExpr, ExportKind, ImportKind, Module};
+use crate::types::{FuncType, Mutability, ValType};
+
+/// Validates a module.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found: an out-of-bounds index, a
+/// type mismatch in a function body, malformed control structure, an
+/// invalid constant expression, or a module-level constraint violation
+/// (duplicate export names, more than one memory/table, etc.).
+pub fn validate(module: &Module) -> Result<(), ValidateError> {
+    validate_module_level(module)?;
+    let num_imported = module.num_imported_funcs() as u32;
+    for (i, func) in module.funcs.iter().enumerate() {
+        let func_idx = num_imported + i as u32;
+        let ty = module
+            .types
+            .get(func.type_idx as usize)
+            .ok_or_else(|| {
+                ValidateError::module(format!("func {func_idx}: type index out of bounds"))
+            })?
+            .clone();
+        FuncValidator::new(module, func_idx, &ty, &func.locals).run(&func.body)?;
+    }
+    Ok(())
+}
+
+fn validate_module_level(module: &Module) -> Result<(), ValidateError> {
+    for ty in &module.types {
+        if ty.results.len() > 1 {
+            return Err(ValidateError::module(
+                "multi-value results are not supported in the MVP",
+            ));
+        }
+    }
+
+    for imp in &module.imports {
+        if let ImportKind::Func(ty) = imp.kind {
+            if ty as usize >= module.types.len() {
+                return Err(ValidateError::module(format!(
+                    "import {}.{}: type index out of bounds",
+                    imp.module, imp.name
+                )));
+            }
+        }
+    }
+
+    if module.num_imported_memories() + module.memories.len() > 1 {
+        return Err(ValidateError::module("at most one memory is allowed"));
+    }
+    if module.num_imported_tables() + module.tables.len() > 1 {
+        return Err(ValidateError::module("at most one table is allowed"));
+    }
+
+    for m in &module.memories {
+        if let Some(max) = m.limits.max {
+            if max < m.limits.min {
+                return Err(ValidateError::module("memory max below min"));
+            }
+        }
+        if m.limits.min > 65536 {
+            return Err(ValidateError::module("memory min exceeds 4 GiB"));
+        }
+    }
+    for t in &module.tables {
+        if let Some(max) = t.limits.max {
+            if max < t.limits.min {
+                return Err(ValidateError::module("table max below min"));
+            }
+        }
+    }
+
+    // Globals: initializers may only reference *imported* globals (MVP).
+    let imported_global_types: Vec<_> = module
+        .imports
+        .iter()
+        .filter_map(|i| match i.kind {
+            ImportKind::Global(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    for (i, g) in module.globals.iter().enumerate() {
+        let init_ty = match g.init {
+            ConstExpr::GlobalGet(idx) => {
+                let gt = imported_global_types.get(idx as usize).ok_or_else(|| {
+                    ValidateError::module(format!(
+                        "global {i}: initializer references non-imported global {idx}"
+                    ))
+                })?;
+                if gt.mutability != Mutability::Const {
+                    return Err(ValidateError::module(format!(
+                        "global {i}: initializer references mutable global"
+                    )));
+                }
+                gt.val_type
+            }
+            other => other
+                .ty(&[])
+                .expect("non-global const exprs always have a type"),
+        };
+        if init_ty != g.ty.val_type {
+            return Err(ValidateError::module(format!(
+                "global {i}: initializer type {init_ty} != declared {}",
+                g.ty.val_type
+            )));
+        }
+    }
+
+    let mut names = std::collections::HashSet::new();
+    for e in &module.exports {
+        if !names.insert(e.name.as_str()) {
+            return Err(ValidateError::module(format!(
+                "duplicate export name {:?}",
+                e.name
+            )));
+        }
+        let ok = match e.kind {
+            ExportKind::Func(i) => (i as usize) < module.total_funcs(),
+            ExportKind::Global(i) => (i as usize) < module.total_globals(),
+            ExportKind::Memory(i) => module.memory_type(i).is_some(),
+            ExportKind::Table(i) => module.table_type(i).is_some(),
+        };
+        if !ok {
+            return Err(ValidateError::module(format!(
+                "export {:?}: index out of bounds",
+                e.name
+            )));
+        }
+    }
+
+    if let Some(start) = module.start {
+        let ty = module
+            .func_type(start)
+            .ok_or_else(|| ValidateError::module("start function index out of bounds"))?;
+        if !ty.params.is_empty() || !ty.results.is_empty() {
+            return Err(ValidateError::module("start function must be [] -> []"));
+        }
+    }
+
+    for (i, e) in module.elems.iter().enumerate() {
+        if module.table_type(e.table).is_none() {
+            return Err(ValidateError::module(format!(
+                "elem segment {i}: no table {}",
+                e.table
+            )));
+        }
+        if offset_type(module, &e.offset)? != ValType::I32 {
+            return Err(ValidateError::module(format!(
+                "elem segment {i}: offset must be i32"
+            )));
+        }
+        for f in &e.funcs {
+            if *f as usize >= module.total_funcs() {
+                return Err(ValidateError::module(format!(
+                    "elem segment {i}: func index {f} out of bounds"
+                )));
+            }
+        }
+    }
+
+    for (i, d) in module.data.iter().enumerate() {
+        if module.memory_type(d.memory).is_none() {
+            return Err(ValidateError::module(format!(
+                "data segment {i}: no memory {}",
+                d.memory
+            )));
+        }
+        if offset_type(module, &d.offset)? != ValType::I32 {
+            return Err(ValidateError::module(format!(
+                "data segment {i}: offset must be i32"
+            )));
+        }
+    }
+
+    for func in &module.funcs {
+        for instr in &func.body {
+            if let Instr::BrTable(pool) = instr {
+                if *pool as usize >= module.br_tables.len() {
+                    return Err(ValidateError::module("br_table pool index out of bounds"));
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+fn offset_type(module: &Module, expr: &ConstExpr) -> Result<ValType, ValidateError> {
+    let imported: Vec<_> = module
+        .imports
+        .iter()
+        .filter_map(|i| match i.kind {
+            ImportKind::Global(g) => Some(g),
+            _ => None,
+        })
+        .collect();
+    match expr {
+        ConstExpr::GlobalGet(idx) => imported
+            .get(*idx as usize)
+            .map(|g| g.val_type)
+            .ok_or_else(|| ValidateError::module("offset references non-imported global")),
+        other => Ok(other.ty(&[]).expect("const")),
+    }
+}
+
+/// An operand-stack entry: a known type or the polymorphic `Unknown`
+/// produced after unconditional control transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpType {
+    Known(ValType),
+    Unknown,
+}
+
+#[derive(Debug)]
+struct Frame {
+    /// Types a branch to this frame expects (loop: params = none in MVP;
+    /// block/if: the result type).
+    label_types: Vec<ValType>,
+    /// Result types of the frame when it exits normally.
+    end_types: Vec<ValType>,
+    /// Operand stack height at frame entry.
+    height: usize,
+    /// Set once an unconditional transfer makes the rest unreachable.
+    unreachable: bool,
+    /// For `If` without `Else`: remembered to check arity.
+    is_if: bool,
+}
+
+struct FuncValidator<'m> {
+    module: &'m Module,
+    func_idx: u32,
+    locals: Vec<ValType>,
+    results: Vec<ValType>,
+    ops: Vec<OpType>,
+    frames: Vec<Frame>,
+    pc: usize,
+}
+
+impl<'m> FuncValidator<'m> {
+    fn new(module: &'m Module, func_idx: u32, ty: &FuncType, extra_locals: &[ValType]) -> Self {
+        let mut locals = ty.params.clone();
+        locals.extend_from_slice(extra_locals);
+        FuncValidator {
+            module,
+            func_idx,
+            locals,
+            results: ty.results.clone(),
+            ops: Vec::new(),
+            frames: Vec::new(),
+            pc: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ValidateError {
+        ValidateError::in_func(self.func_idx, self.pc, msg)
+    }
+
+    fn push(&mut self, ty: ValType) {
+        self.ops.push(OpType::Known(ty));
+    }
+
+    fn push_many(&mut self, tys: &[ValType]) {
+        for t in tys {
+            self.push(*t);
+        }
+    }
+
+    fn pop(&mut self) -> Result<OpType, ValidateError> {
+        let frame = self.frames.last().expect("frame stack never empty");
+        if self.ops.len() == frame.height {
+            if frame.unreachable {
+                return Ok(OpType::Unknown);
+            }
+            return Err(self.err("operand stack underflow"));
+        }
+        Ok(self.ops.pop().expect("checked height"))
+    }
+
+    fn pop_expect(&mut self, want: ValType) -> Result<(), ValidateError> {
+        match self.pop()? {
+            OpType::Known(got) if got != want => {
+                Err(self.err(format!("type mismatch: expected {want}, got {got}")))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn pop_many(&mut self, tys: &[ValType]) -> Result<(), ValidateError> {
+        for t in tys.iter().rev() {
+            self.pop_expect(*t)?;
+        }
+        Ok(())
+    }
+
+    fn set_unreachable(&mut self) {
+        let frame = self.frames.last_mut().expect("frame stack never empty");
+        frame.unreachable = true;
+        let h = frame.height;
+        self.ops.truncate(h);
+    }
+
+    fn local_type(&self, idx: u32) -> Result<ValType, ValidateError> {
+        self.locals
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| self.err(format!("local index {idx} out of bounds")))
+    }
+
+    fn label_types(&self, depth: u32) -> Result<Vec<ValType>, ValidateError> {
+        let idx = self
+            .frames
+            .len()
+            .checked_sub(1 + depth as usize)
+            .ok_or_else(|| self.err(format!("branch depth {depth} exceeds nesting")))?;
+        Ok(self.frames[idx].label_types.clone())
+    }
+
+    fn check_memory(&self) -> Result<(), ValidateError> {
+        if self.module.memory_type(0).is_none() {
+            return Err(self.err("memory instruction without a declared memory"));
+        }
+        Ok(())
+    }
+
+    fn block_types(&self, bt: BlockType) -> Vec<ValType> {
+        match bt {
+            BlockType::Empty => vec![],
+            BlockType::Value(t) => vec![t],
+        }
+    }
+
+    fn run(mut self, body: &[Instr]) -> Result<(), ValidateError> {
+        // Build the control map first; this also verifies block structure.
+        ControlMap::build(body).map_err(|e| ValidateError {
+            func: Some(self.func_idx),
+            ..e
+        })?;
+
+        self.frames.push(Frame {
+            label_types: self.results.clone(),
+            end_types: self.results.clone(),
+            height: 0,
+            unreachable: false,
+            is_if: false,
+        });
+
+        for (pc, instr) in body.iter().enumerate() {
+            self.pc = pc;
+            self.step(instr)?;
+        }
+        if !self.frames.is_empty() {
+            return Err(self.err("control frames remain after body"));
+        }
+        Ok(())
+    }
+
+    fn step(&mut self, instr: &Instr) -> Result<(), ValidateError> {
+        use Instr::*;
+        use ValType::*;
+        match *instr {
+            Nop => {}
+            Unreachable => self.set_unreachable(),
+            Block(bt) | Loop(bt) | If(bt) => {
+                if matches!(instr, If(_)) {
+                    self.pop_expect(I32)?;
+                }
+                let types = self.block_types(bt);
+                let is_loop = matches!(instr, Loop(_));
+                self.frames.push(Frame {
+                    label_types: if is_loop { vec![] } else { types.clone() },
+                    end_types: types,
+                    height: self.ops.len(),
+                    unreachable: false,
+                    is_if: matches!(instr, If(_)),
+                });
+            }
+            Else => {
+                let frame = self.frames.last().ok_or_else(|| self.err("else outside if"))?;
+                if !frame.is_if {
+                    return Err(self.err("else without matching if"));
+                }
+                let end_types = frame.end_types.clone();
+                let height = frame.height;
+                self.pop_many(&end_types.clone())?;
+                if self.ops.len() != height && !self.frames.last().expect("frame").unreachable {
+                    return Err(self.err("operand stack not empty at else"));
+                }
+                let frame = self.frames.last_mut().expect("frame");
+                frame.unreachable = false;
+                frame.is_if = false; // an else arm satisfies the result rule
+                let h = frame.height;
+                self.ops.truncate(h);
+            }
+            End => {
+                let frame = self.frames.pop().ok_or_else(|| self.err("unbalanced end"))?;
+                let unreachable = frame.unreachable;
+                // Pop the result values (tolerant when unreachable).
+                for t in frame.end_types.iter().rev() {
+                    match self.ops.pop() {
+                        Some(OpType::Known(got)) if got != *t => {
+                            return Err(
+                                self.err(format!("block result mismatch: expected {t}, got {got}"))
+                            )
+                        }
+                        Some(_) => {}
+                        None if unreachable => {}
+                        None => return Err(self.err("missing block result")),
+                    }
+                }
+                if self.ops.len() > frame.height {
+                    return Err(self.err("operand stack not empty at end of block"));
+                }
+                self.ops.truncate(frame.height);
+                if frame.is_if && !frame.end_types.is_empty() {
+                    return Err(self.err("if without else cannot produce a result"));
+                }
+                self.push_many(&frame.end_types);
+            }
+            Br(depth) => {
+                let types = self.label_types(depth)?;
+                self.pop_many(&types)?;
+                self.set_unreachable();
+            }
+            BrIf(depth) => {
+                self.pop_expect(I32)?;
+                let types = self.label_types(depth)?;
+                self.pop_many(&types)?;
+                self.push_many(&types);
+            }
+            BrTable(pool) => {
+                self.pop_expect(I32)?;
+                let table = &self.module.br_tables[pool as usize];
+                let default_types = self.label_types(table.default)?;
+                for t in &table.targets {
+                    let types = self.label_types(*t)?;
+                    if types != default_types {
+                        return Err(self.err("br_table targets have mismatched types"));
+                    }
+                }
+                self.pop_many(&default_types)?;
+                self.set_unreachable();
+            }
+            Return => {
+                let results = self.results.clone();
+                self.pop_many(&results)?;
+                self.set_unreachable();
+            }
+            Call(f) => {
+                let ty = self
+                    .module
+                    .func_type(f)
+                    .ok_or_else(|| self.err(format!("call: func index {f} out of bounds")))?
+                    .clone();
+                self.pop_many(&ty.params)?;
+                self.push_many(&ty.results);
+            }
+            CallIndirect(type_idx) => {
+                if self.module.table_type(0).is_none() {
+                    return Err(self.err("call_indirect without a table"));
+                }
+                let ty = self
+                    .module
+                    .types
+                    .get(type_idx as usize)
+                    .ok_or_else(|| self.err("call_indirect: type index out of bounds"))?
+                    .clone();
+                self.pop_expect(I32)?;
+                self.pop_many(&ty.params)?;
+                self.push_many(&ty.results);
+            }
+            Drop => {
+                self.pop()?;
+            }
+            Select => {
+                self.pop_expect(I32)?;
+                let a = self.pop()?;
+                let b = self.pop()?;
+                match (a, b) {
+                    (OpType::Known(x), OpType::Known(y)) if x != y => {
+                        return Err(self.err("select operands differ in type"))
+                    }
+                    (OpType::Known(x), _) | (_, OpType::Known(x)) => self.push(x),
+                    _ => self.ops.push(OpType::Unknown),
+                }
+            }
+            LocalGet(i) => {
+                let t = self.local_type(i)?;
+                self.push(t);
+            }
+            LocalSet(i) => {
+                let t = self.local_type(i)?;
+                self.pop_expect(t)?;
+            }
+            LocalTee(i) => {
+                let t = self.local_type(i)?;
+                self.pop_expect(t)?;
+                self.push(t);
+            }
+            GlobalGet(i) => {
+                let g = self
+                    .module
+                    .global_type(i)
+                    .ok_or_else(|| self.err(format!("global index {i} out of bounds")))?;
+                self.push(g.val_type);
+            }
+            GlobalSet(i) => {
+                let g = self
+                    .module
+                    .global_type(i)
+                    .ok_or_else(|| self.err(format!("global index {i} out of bounds")))?;
+                if g.mutability != Mutability::Var {
+                    return Err(self.err(format!("global {i} is immutable")));
+                }
+                self.pop_expect(g.val_type)?;
+            }
+            MemorySize => {
+                self.check_memory()?;
+                self.push(I32);
+            }
+            MemoryGrow => {
+                self.check_memory()?;
+                self.pop_expect(I32)?;
+                self.push(I32);
+            }
+            I32Const(_) => self.push(I32),
+            I64Const(_) => self.push(I64),
+            F32Const(_) => self.push(F32),
+            F64Const(_) => self.push(F64),
+            ref other => {
+                // Loads, stores, and all pure numeric operators.
+                if let Some((pops, push, needs_mem, align_limit)) = numeric_signature(other) {
+                    if needs_mem {
+                        self.check_memory()?;
+                        if let Some(limit) = align_limit {
+                            let align = memarg_align(other).expect("memory instr has memarg");
+                            if align > limit {
+                                return Err(self.err(format!(
+                                    "alignment 2^{align} exceeds natural alignment 2^{limit}"
+                                )));
+                            }
+                        }
+                    }
+                    self.pop_many(pops)?;
+                    if let Some(p) = push {
+                        self.push(p);
+                    }
+                } else {
+                    return Err(self.err(format!("unhandled instruction {other:?}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn memarg_align(instr: &Instr) -> Option<u32> {
+    crate::opcode::mem_opcode(instr).map(|(_, m)| m.align)
+}
+
+/// Returns `(pops, push, needs_memory, natural_align_log2)` for loads,
+/// stores, and pure numeric instructions.
+#[allow(clippy::type_complexity)]
+fn numeric_signature(
+    instr: &Instr,
+) -> Option<(&'static [ValType], Option<ValType>, bool, Option<u32>)> {
+    use Instr::*;
+    use ValType::*;
+    const I: ValType = I32;
+    const L: ValType = I64;
+    const F: ValType = F32;
+    const D: ValType = F64;
+    let sig: (&'static [ValType], Option<ValType>, bool, Option<u32>) = match instr {
+        // Loads: pop address, push value.
+        I32Load(_) => (&[I], Some(I), true, Some(2)),
+        I64Load(_) => (&[I], Some(L), true, Some(3)),
+        F32Load(_) => (&[I], Some(F), true, Some(2)),
+        F64Load(_) => (&[I], Some(D), true, Some(3)),
+        I32Load8S(_) | I32Load8U(_) => (&[I], Some(I), true, Some(0)),
+        I32Load16S(_) | I32Load16U(_) => (&[I], Some(I), true, Some(1)),
+        I64Load8S(_) | I64Load8U(_) => (&[I], Some(L), true, Some(0)),
+        I64Load16S(_) | I64Load16U(_) => (&[I], Some(L), true, Some(1)),
+        I64Load32S(_) | I64Load32U(_) => (&[I], Some(L), true, Some(2)),
+        // Stores: pop address and value.
+        I32Store(_) => (&[I, I], None, true, Some(2)),
+        I64Store(_) => (&[I, L], None, true, Some(3)),
+        F32Store(_) => (&[I, F], None, true, Some(2)),
+        F64Store(_) => (&[I, D], None, true, Some(3)),
+        I32Store8(_) => (&[I, I], None, true, Some(0)),
+        I32Store16(_) => (&[I, I], None, true, Some(1)),
+        I64Store8(_) => (&[I, L], None, true, Some(0)),
+        I64Store16(_) => (&[I, L], None, true, Some(1)),
+        I64Store32(_) => (&[I, L], None, true, Some(2)),
+        // i32 unary / binary / comparisons.
+        I32Eqz => (&[I], Some(I), false, None),
+        I32Clz | I32Ctz | I32Popcnt | I32Extend8S | I32Extend16S => (&[I], Some(I), false, None),
+        I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS | I32GeU => {
+            (&[I, I], Some(I), false, None)
+        }
+        I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And | I32Or
+        | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => (&[I, I], Some(I), false, None),
+        // i64.
+        I64Eqz => (&[L], Some(I), false, None),
+        I64Clz | I64Ctz | I64Popcnt | I64Extend8S | I64Extend16S | I64Extend32S => {
+            (&[L], Some(L), false, None)
+        }
+        I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS | I64GeU => {
+            (&[L, L], Some(I), false, None)
+        }
+        I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And | I64Or
+        | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => (&[L, L], Some(L), false, None),
+        // f32.
+        F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge => (&[F, F], Some(I), false, None),
+        F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => {
+            (&[F], Some(F), false, None)
+        }
+        F32Add | F32Sub | F32Mul | F32Div | F32Min | F32Max | F32Copysign => {
+            (&[F, F], Some(F), false, None)
+        }
+        // f64.
+        F64Eq | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => (&[D, D], Some(I), false, None),
+        F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt => {
+            (&[D], Some(D), false, None)
+        }
+        F64Add | F64Sub | F64Mul | F64Div | F64Min | F64Max | F64Copysign => {
+            (&[D, D], Some(D), false, None)
+        }
+        // Conversions.
+        I32WrapI64 => (&[L], Some(I), false, None),
+        I32TruncF32S | I32TruncF32U => (&[F], Some(I), false, None),
+        I32TruncF64S | I32TruncF64U => (&[D], Some(I), false, None),
+        I64ExtendI32S | I64ExtendI32U => (&[I], Some(L), false, None),
+        I64TruncF32S | I64TruncF32U => (&[F], Some(L), false, None),
+        I64TruncF64S | I64TruncF64U => (&[D], Some(L), false, None),
+        F32ConvertI32S | F32ConvertI32U => (&[I], Some(F), false, None),
+        F32ConvertI64S | F32ConvertI64U => (&[L], Some(F), false, None),
+        F32DemoteF64 => (&[D], Some(F), false, None),
+        F64ConvertI32S | F64ConvertI32U => (&[I], Some(D), false, None),
+        F64ConvertI64S | F64ConvertI64U => (&[L], Some(D), false, None),
+        F64PromoteF32 => (&[F], Some(D), false, None),
+        I32ReinterpretF32 => (&[F], Some(I), false, None),
+        I64ReinterpretF64 => (&[D], Some(L), false, None),
+        F32ReinterpretI32 => (&[I], Some(F), false, None),
+        F64ReinterpretI64 => (&[L], Some(D), false, None),
+        _ => return None,
+    };
+    Some(sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Export, ExportKind, Func};
+    use crate::types::{FuncType, Limits, MemoryType};
+
+    fn one_func_module(params: &[ValType], results: &[ValType], body: Vec<Instr>) -> Module {
+        let mut m = Module::new();
+        let ty = m.intern_type(FuncType::new(params, results));
+        m.funcs.push(Func {
+            type_idx: ty,
+            locals: vec![],
+            body,
+        });
+        m
+    }
+
+    #[test]
+    fn accepts_trivial_function() {
+        let m = one_func_module(&[], &[ValType::I32], vec![Instr::I32Const(1), Instr::End]);
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_result_type_mismatch() {
+        let m = one_func_module(&[], &[ValType::I32], vec![Instr::F32Const(0), Instr::End]);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        let m = one_func_module(&[], &[], vec![Instr::I32Add, Instr::End]);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_binop_operand_mismatch() {
+        let m = one_func_module(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::I32Const(1),
+                Instr::I64Const(2),
+                Instr::I32Add,
+                Instr::End,
+            ],
+        );
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn accepts_params_and_locals() {
+        let mut m = Module::new();
+        let ty = m.intern_type(FuncType::new(&[ValType::I32], &[ValType::I32]));
+        m.funcs.push(Func {
+            type_idx: ty,
+            locals: vec![ValType::I32],
+            body: vec![
+                Instr::LocalGet(0),
+                Instr::LocalTee(1),
+                Instr::LocalGet(1),
+                Instr::I32Add,
+                Instr::End,
+            ],
+        });
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_local_out_of_bounds() {
+        let m = one_func_module(&[], &[], vec![Instr::LocalGet(0), Instr::Drop, Instr::End]);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn unreachable_makes_stack_polymorphic() {
+        let m = one_func_module(
+            &[],
+            &[ValType::I32],
+            vec![Instr::Unreachable, Instr::I32Add, Instr::End],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn branch_depth_checked() {
+        let m = one_func_module(&[], &[], vec![Instr::Br(3), Instr::End]);
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn valid_loop_with_branch() {
+        let m = one_func_module(
+            &[],
+            &[],
+            vec![
+                Instr::Block(BlockType::Empty),
+                Instr::Loop(BlockType::Empty),
+                Instr::I32Const(0),
+                Instr::BrIf(0),
+                Instr::I32Const(1),
+                Instr::BrIf(1),
+                Instr::End,
+                Instr::End,
+                Instr::End,
+            ],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn memory_ops_require_memory() {
+        let m = one_func_module(
+            &[],
+            &[ValType::I32],
+            vec![Instr::I32Const(0), Instr::I32Load(Default::default()), Instr::End],
+        );
+        assert!(validate(&m).is_err());
+
+        let mut with_mem = one_func_module(
+            &[],
+            &[ValType::I32],
+            vec![Instr::I32Const(0), Instr::I32Load(Default::default()), Instr::End],
+        );
+        with_mem.memories.push(MemoryType {
+            limits: Limits::at_least(1),
+        });
+        validate(&with_mem).unwrap();
+    }
+
+    #[test]
+    fn rejects_excessive_alignment() {
+        let mut m = one_func_module(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::I32Const(0),
+                Instr::I32Load(crate::instr::MemArg {
+                    align: 4,
+                    offset: 0,
+                }),
+                Instr::End,
+            ],
+        );
+        m.memories.push(MemoryType {
+            limits: Limits::at_least(1),
+        });
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_exports() {
+        let mut m = one_func_module(&[], &[], vec![Instr::End]);
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(0),
+        });
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(0),
+        });
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_immutable_global_set() {
+        let mut m = one_func_module(
+            &[],
+            &[],
+            vec![Instr::I32Const(1), Instr::GlobalSet(0), Instr::End],
+        );
+        m.globals.push(crate::module::Global {
+            ty: crate::types::GlobalType {
+                val_type: ValType::I32,
+                mutability: Mutability::Const,
+            },
+            init: ConstExpr::I32(0),
+        });
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_two_memories() {
+        let mut m = Module::new();
+        for _ in 0..2 {
+            m.memories.push(MemoryType {
+                limits: Limits::at_least(1),
+            });
+        }
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn if_else_types_check() {
+        let m = one_func_module(
+            &[ValType::I32],
+            &[ValType::I32],
+            vec![
+                Instr::LocalGet(0),
+                Instr::If(BlockType::Value(ValType::I32)),
+                Instr::I32Const(1),
+                Instr::Else,
+                Instr::I32Const(2),
+                Instr::End,
+                Instr::End,
+            ],
+        );
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn select_requires_matching_types() {
+        let m = one_func_module(
+            &[],
+            &[ValType::I32],
+            vec![
+                Instr::I32Const(1),
+                Instr::F64Const(0),
+                Instr::I32Const(0),
+                Instr::Select,
+                Instr::End,
+            ],
+        );
+        assert!(validate(&m).is_err());
+    }
+
+    #[test]
+    fn start_function_signature_checked() {
+        let mut m = one_func_module(&[ValType::I32], &[], vec![Instr::End]);
+        m.start = Some(0);
+        assert!(validate(&m).is_err());
+    }
+}

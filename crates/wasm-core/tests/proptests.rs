@@ -1,0 +1,163 @@
+//! Property-based tests for the Wasm substrate: encode/decode round
+//! trips on generated valid modules, and decoder robustness on arbitrary
+//! bytes.
+
+use proptest::prelude::*;
+use wasm_core::builder::ModuleBuilder;
+use wasm_core::instr::{BlockType, Instr};
+use wasm_core::module::Module;
+use wasm_core::types::{FuncType, ValType};
+
+/// A tiny stack-typed program generator: emits instructions that keep the
+/// operand stack well-typed, so every generated module validates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum T {
+    I32,
+    I64,
+    F64,
+}
+
+fn gen_body(seed: u64, len: usize) -> (Vec<Instr>, Vec<T>) {
+    let mut rng = seed | 1;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut stack: Vec<T> = Vec::new();
+    let mut body = Vec::new();
+    for _ in 0..len {
+        let r = next() % 10;
+        match r {
+            0 => {
+                body.push(Instr::I32Const(next() as i32));
+                stack.push(T::I32);
+            }
+            1 => {
+                body.push(Instr::I64Const(next() as i64));
+                stack.push(T::I64);
+            }
+            2 => {
+                body.push(Instr::F64Const((next() % 1000) as f64 as u64));
+                stack.push(T::F64);
+            }
+            3..=5 => {
+                // Binary op on two same-typed tops, if available.
+                if stack.len() >= 2 && stack[stack.len() - 1] == stack[stack.len() - 2] {
+                    let t = stack.pop().expect("len checked");
+                    match t {
+                        T::I32 => body.push(Instr::I32Add),
+                        T::I64 => body.push(Instr::I64Xor),
+                        T::F64 => body.push(Instr::F64Mul),
+                    }
+                } else {
+                    body.push(Instr::I32Const(1));
+                    stack.push(T::I32);
+                }
+            }
+            6 => {
+                if stack.last() == Some(&T::I32) {
+                    body.push(Instr::I64ExtendI32U);
+                    stack.pop();
+                    stack.push(T::I64);
+                } else {
+                    body.push(Instr::Nop);
+                }
+            }
+            7 => {
+                if stack.last() == Some(&T::I64) {
+                    body.push(Instr::I32WrapI64);
+                    stack.pop();
+                    stack.push(T::I32);
+                } else {
+                    body.push(Instr::Nop);
+                }
+            }
+            8 => {
+                if !stack.is_empty() {
+                    body.push(Instr::Drop);
+                    stack.pop();
+                } else {
+                    body.push(Instr::Nop);
+                }
+            }
+            _ => {
+                // A balanced block.
+                body.push(Instr::Block(BlockType::Empty));
+                body.push(Instr::Nop);
+                body.push(Instr::End);
+            }
+        }
+    }
+    (body, stack)
+}
+
+fn gen_module(seed: u64, len: usize) -> Module {
+    let (mut body, stack) = gen_body(seed, len);
+    // Clean the stack down to a single i32 result.
+    for _ in 0..stack.len() {
+        body.push(Instr::Drop);
+    }
+    body.push(Instr::I32Const(42));
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(4));
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.new_local(ValType::I64);
+    for i in body {
+        b.emit(i);
+    }
+    b.finish_func();
+    b.export_func("f", f);
+    b.data(0, vec![1, 2, 3, 4]);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated valid modules validate, and encode→decode is identity.
+    #[test]
+    fn encode_decode_round_trip(seed in any::<u64>(), len in 0usize..200) {
+        let module = gen_module(seed, len);
+        wasm_core::validate::validate(&module).expect("generated modules are valid");
+        let bytes = wasm_core::encode::encode(&module);
+        let decoded = wasm_core::decode::decode(&bytes).expect("decodes");
+        prop_assert_eq!(decoded, module);
+    }
+
+    /// The decoder never panics on arbitrary input, it returns errors.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = wasm_core::decode::decode(&bytes);
+    }
+
+    /// Corrupting any single byte of a valid module never panics the
+    /// decoder or the validator.
+    #[test]
+    fn decoder_total_on_bitflips(seed in any::<u64>(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let module = gen_module(seed, 50);
+        let mut bytes = wasm_core::encode::encode(&module);
+        let i = pos.index(bytes.len());
+        bytes[i] ^= flip;
+        if let Ok(m) = wasm_core::decode::decode(&bytes) {
+            let _ = wasm_core::validate::validate(&m);
+        }
+    }
+
+    /// LEB128 round-trips for all integer widths.
+    #[test]
+    fn leb_round_trips(u in any::<u32>(), v in any::<u64>(), s in any::<i32>(), t in any::<i64>()) {
+        let mut buf = Vec::new();
+        wasm_core::leb::write_u32(&mut buf, u);
+        wasm_core::leb::write_u64(&mut buf, v);
+        wasm_core::leb::write_i32(&mut buf, s);
+        wasm_core::leb::write_i64(&mut buf, t);
+        let mut r = wasm_core::leb::Reader::new(&buf);
+        prop_assert_eq!(r.u32().expect("u32"), u);
+        prop_assert_eq!(r.u64().expect("u64"), v);
+        prop_assert_eq!(r.i32().expect("i32"), s);
+        prop_assert_eq!(r.i64().expect("i64"), t);
+        prop_assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! AOT compilation caching: precompile a module once, persist the
+//! artifact, and load it back for fast startup — the workflow behind
+//! Figure 3 and Table 4 of the paper.
+//!
+//! ```sh
+//! cargo run --release --example aot_cache
+//! ```
+
+use engines::{Engine, EngineKind};
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A compile-heavy module: many functions give the optimizing tiers
+    // real work, so AOT loading has something to save.
+    let mut source = String::new();
+    for i in 0..60 {
+        source.push_str(&format!(
+            "fn work{i}(x: i32) -> i32 {{
+                 let acc: i32 = x;
+                 for (let j: i32 = 0; j < 8; j += 1) {{
+                     acc = acc * 31 + j + {i};
+                 }}
+                 return acc;
+             }}\n"
+        ));
+    }
+    source.push_str("export fn run(n: i32) -> i32 {\n    let acc: i32 = n;\n");
+    for i in 0..60 {
+        source.push_str(&format!("    acc = acc ^ work{i}(acc);\n"));
+    }
+    source.push_str("    return acc;\n}\n");
+
+    let wasm = wacc::compile_to_bytes(&source, wacc::OptLevel::O2)?;
+    println!("module: {} bytes of Wasm, 60 functions\n", wasm.len());
+
+    let dir = std::env::temp_dir().join("wabench-aot-cache");
+    std::fs::create_dir_all(&dir)?;
+
+    // Only the compiling engines have an AOT mode; interpreters reject it.
+    for kind in EngineKind::all().iter().copied().filter(|k| k.tier().is_some()) {
+        let engine = Engine::new(kind);
+
+        // Cold start: full compilation.
+        let t0 = std::time::Instant::now();
+        let artifact = engine.precompile(&wasm)?;
+        let compile = t0.elapsed();
+
+        let path = dir.join(format!("{}.aot", kind.name()));
+        std::fs::write(&path, &artifact)?;
+
+        // Warm start: deserialize the artifact instead of compiling.
+        let bytes = std::fs::read(&path)?;
+        let t1 = std::time::Instant::now();
+        let module = engine.load_artifact(&bytes)?;
+        let load = t1.elapsed();
+
+        let mut instance = module.instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))?;
+        let out = instance.invoke("run", &[Value::I32(7)])?;
+
+        println!(
+            "{:<12} compile {:>9.3?}  load {:>9.3?}  ({:>5.1}x faster startup)  artifact {} bytes  run(7) = {:?}",
+            kind.name(),
+            compile,
+            load,
+            compile.as_secs_f64() / load.as_secs_f64().max(1e-9),
+            artifact.len(),
+            out
+        );
+
+        // Artifacts are validated on load: corruption is a clean error,
+        // never undefined behaviour.
+        let truncated = &artifact[..artifact.len() - 7];
+        match engine.load_artifact(truncated) {
+            Err(e) => println!("{:<12} truncated artifact rejected: {e}", ""),
+            Ok(_) => unreachable!("truncated artifact must not load"),
+        }
+    }
+
+    // An interpreter has nothing to precompile.
+    let err = Engine::new(EngineKind::Wasm3).precompile(&wasm).unwrap_err();
+    println!("\nwasm3: {err}");
+    Ok(())
+}

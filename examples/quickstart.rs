@@ -1,0 +1,60 @@
+//! Quickstart: compile a WaCC program to WebAssembly and run it on each
+//! of the five standalone runtime engines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use engines::{Engine, EngineKind};
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small program in WaCC, the workspace's mini-C language. It is
+    // compiled to a real WebAssembly module importing WASI.
+    let source = r#"
+        export fn fib(n: i32) -> i32 {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+
+        export fn main() -> i32 {
+            print_cstr("fib(30) = ");
+            print_i32(fib(30));
+            println();
+            return 0;
+        }
+    "#;
+
+    let wasm = wacc::compile_to_bytes(source, wacc::OptLevel::O2)?;
+    println!("compiled {} bytes of Wasm\n", wasm.len());
+
+    for kind in EngineKind::all() {
+        let engine = Engine::new(kind);
+        let t0 = std::time::Instant::now();
+        let module = engine.compile(&wasm)?;
+        let compile = t0.elapsed();
+
+        let mut instance = module.instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))?;
+        let t1 = std::time::Instant::now();
+        instance.invoke("main", &[])?;
+        let exec = t1.elapsed();
+
+        // Direct function calls work too:
+        let fib10 = instance.invoke("fib", &[Value::I32(10)])?;
+        assert_eq!(fib10, Some(Value::I32(55)));
+
+        let ctx = instance
+            .host_data()
+            .downcast_ref::<WasiCtx>()
+            .expect("wasi host data");
+        print!(
+            "{:<9} compile {:>9.3?}  exec {:>9.3?}  stdout: {}",
+            kind.name(),
+            compile,
+            exec,
+            String::from_utf8_lossy(ctx.stdout())
+        );
+    }
+    Ok(())
+}

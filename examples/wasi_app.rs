@@ -1,0 +1,48 @@
+//! A WASI application end to end: the guest reads from stdin, transforms
+//! the text, and writes to stdout — all through real `wasi_snapshot_preview1`
+//! imports served by the in-memory WASI host.
+//!
+//! ```sh
+//! cargo run --release --example wasi_app
+//! ```
+
+use engines::{Engine, EngineKind};
+use wasi_rt::WasiCtx;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ROT13 over stdin, with a line count, exiting with the line count.
+    let source = r#"
+        export fn main() -> i32 {
+            let lines: i32 = 0;
+            let c: i32 = read_byte();
+            while (c >= 0) {
+                if (c >= 'a' && c <= 'z') {
+                    c = 97 + remu(c - 97 + 13, 26);
+                } else { if (c >= 'A' && c <= 'Z') {
+                    c = 65 + remu(c - 65 + 13, 26);
+                } else { if (c == '\n') {
+                    lines += 1;
+                } } }
+                print_char(c);
+                c = read_byte();
+            }
+            exit(lines);
+            return 0;
+        }
+    "#;
+    let wasm = wacc::compile_to_bytes(source, wacc::OptLevel::O2)?;
+
+    let engine = Engine::new(EngineKind::Wasm3);
+    let module = engine.compile(&wasm)?;
+    let ctx = WasiCtx::with_stdin(b"Hello WebAssembly!\nGoodbye browsers.\n".to_vec());
+    let mut instance = module.instantiate(&wasi_rt::imports(), Box::new(ctx))?;
+
+    // proc_exit surfaces as a Trap::Exit, like a real process exit.
+    match instance.invoke("main", &[]) {
+        Err(engines::Trap::Exit(code)) => println!("guest exited with code {code}"),
+        other => println!("guest finished: {other:?}"),
+    }
+    let ctx = instance.host_data().downcast_ref::<WasiCtx>().expect("wasi");
+    println!("guest stdout:\n{}", String::from_utf8_lossy(ctx.stdout()));
+    Ok(())
+}

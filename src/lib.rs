@@ -1,0 +1,33 @@
+//! # wabench — facade crate
+//!
+//! Re-exports the whole reproduction workspace: the Wasm substrate, the
+//! WaCC compiler, the five runtime engines, the WASI host, the
+//! architectural simulator, the WABench suite, and the experiment
+//! harness. Depend on this crate to get everything; see the individual
+//! crates for focused APIs.
+//!
+//! ```
+//! // Compile, run, and profile a program in a few lines.
+//! use wabench::engines::{Engine, EngineKind};
+//! use wabench::wasi_rt::WasiCtx;
+//!
+//! let wasm = wabench::wacc::compile_to_bytes(
+//!     "export fn main() -> i32 { return 7 * 6; }",
+//!     wabench::wacc::OptLevel::O2,
+//! )?;
+//! let module = Engine::new(EngineKind::Wasmtime).compile(&wasm)?;
+//! let mut instance = module.instantiate(&wabench::wasi_rt::imports(), Box::new(WasiCtx::new()))?;
+//! let answer = instance.invoke("main", &[])?;
+//! assert_eq!(answer, Some(wabench::wasm_core::types::Value::I32(42)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use archsim;
+pub use engines;
+pub use harness;
+pub use suite;
+pub use wacc;
+pub use wasi_rt;
+pub use wasm_core;

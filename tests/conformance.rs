@@ -1,0 +1,382 @@
+//! Engine conformance: every numeric instruction, executed on all five
+//! engines over a grid of interesting operand values, must agree across
+//! engines (and with the shared semantics in `engines::numeric`).
+
+use engines::{Engine, EngineKind, Imports, Trap};
+use wasm_core::builder::ModuleBuilder;
+use wasm_core::instr::{Instr, MemArg};
+use wasm_core::opcode::all_simple;
+use wasm_core::types::{FuncType, ValType, Value};
+
+fn binary_sig(op: Instr) -> Option<(ValType, ValType, ValType)> {
+    use Instr::*;
+    use ValType::*;
+    Some(match op {
+        I32Eq | I32Ne | I32LtS | I32LtU | I32GtS | I32GtU | I32LeS | I32LeU | I32GeS | I32GeU => {
+            (I32, I32, I32)
+        }
+        I32Add | I32Sub | I32Mul | I32DivS | I32DivU | I32RemS | I32RemU | I32And | I32Or
+        | I32Xor | I32Shl | I32ShrS | I32ShrU | I32Rotl | I32Rotr => (I32, I32, I32),
+        I64Eq | I64Ne | I64LtS | I64LtU | I64GtS | I64GtU | I64LeS | I64LeU | I64GeS | I64GeU => {
+            (I64, I64, I32)
+        }
+        I64Add | I64Sub | I64Mul | I64DivS | I64DivU | I64RemS | I64RemU | I64And | I64Or
+        | I64Xor | I64Shl | I64ShrS | I64ShrU | I64Rotl | I64Rotr => (I64, I64, I64),
+        F32Eq | F32Ne | F32Lt | F32Gt | F32Le | F32Ge => (F32, F32, I32),
+        F32Add | F32Sub | F32Mul | F32Div | F32Min | F32Max | F32Copysign => (F32, F32, F32),
+        F64Eq | F64Ne | F64Lt | F64Gt | F64Le | F64Ge => (F64, F64, I32),
+        F64Add | F64Sub | F64Mul | F64Div | F64Min | F64Max | F64Copysign => (F64, F64, F64),
+        _ => return None,
+    })
+}
+
+fn unary_sig(op: Instr) -> Option<(ValType, ValType)> {
+    use Instr::*;
+    use ValType::*;
+    Some(match op {
+        I32Eqz => (I32, I32),
+        I64Eqz => (I64, I32),
+        I32Clz | I32Ctz | I32Popcnt | I32Extend8S | I32Extend16S => (I32, I32),
+        I64Clz | I64Ctz | I64Popcnt | I64Extend8S | I64Extend16S | I64Extend32S => (I64, I64),
+        F32Abs | F32Neg | F32Ceil | F32Floor | F32Trunc | F32Nearest | F32Sqrt => (F32, F32),
+        F64Abs | F64Neg | F64Ceil | F64Floor | F64Trunc | F64Nearest | F64Sqrt => (F64, F64),
+        I32WrapI64 => (I64, I32),
+        I64ExtendI32S | I64ExtendI32U => (I32, I64),
+        I32TruncF32S | I32TruncF32U => (F32, I32),
+        I32TruncF64S | I32TruncF64U => (F64, I32),
+        I64TruncF32S | I64TruncF32U => (F32, I64),
+        I64TruncF64S | I64TruncF64U => (F64, I64),
+        F32ConvertI32S | F32ConvertI32U => (I32, F32),
+        F32ConvertI64S | F32ConvertI64U => (I64, F32),
+        F32DemoteF64 => (F64, F32),
+        F64ConvertI32S | F64ConvertI32U => (I32, F64),
+        F64ConvertI64S | F64ConvertI64U => (I64, F64),
+        F64PromoteF32 => (F32, F64),
+        I32ReinterpretF32 => (F32, I32),
+        I64ReinterpretF64 => (F64, I64),
+        F32ReinterpretI32 => (I32, F32),
+        F64ReinterpretI64 => (I64, F64),
+        _ => return None,
+    })
+}
+
+fn values_of(ty: ValType) -> Vec<Value> {
+    match ty {
+        ValType::I32 => [0i32, 1, -1, 2, 7, 31, 32, 63, i32::MIN, i32::MAX, -1640531527]
+            .iter()
+            .map(|v| Value::I32(*v))
+            .collect(),
+        ValType::I64 => [0i64, 1, -1, 63, 64, i64::MIN, i64::MAX, 0x0123_4567_89AB_CDEF]
+            .iter()
+            .map(|v| Value::I64(*v))
+            .collect(),
+        ValType::F32 => [0.0f32, -0.0, 1.5, -2.25, f32::INFINITY, f32::NEG_INFINITY, f32::NAN]
+            .iter()
+            .map(|v| Value::F32(*v))
+            .collect(),
+        ValType::F64 => [0.0f64, -0.0, 2.5, -3.5, 1e300, f64::INFINITY, f64::NAN]
+            .iter()
+            .map(|v| Value::F64(*v))
+            .collect(),
+    }
+}
+
+fn unop_module(op: Instr, a: ValType, r: ValType) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let f = b.begin_func(FuncType::new(&[a], &[r]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(op);
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("conformance module valid");
+    wasm_core::encode::encode(&m)
+}
+
+fn binop_module(op: Instr, a: ValType, bt: ValType, r: ValType) -> Vec<u8> {
+    let mut b = ModuleBuilder::new();
+    let f = b.begin_func(FuncType::new(&[a, bt], &[r]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(Instr::LocalGet(1));
+    b.emit(op);
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("conformance module valid");
+    wasm_core::encode::encode(&m)
+}
+
+/// Normalizes NaN payloads so cross-engine comparison treats any NaN as
+/// equal (Wasm permits nondeterministic NaN payloads; our engines share
+/// semantics, but the checksum should not depend on it).
+fn canon(v: Option<Value>) -> String {
+    match v {
+        Some(Value::F32(f)) if f.is_nan() => "f32:NaN".into(),
+        Some(Value::F64(f)) if f.is_nan() => "f64:NaN".into(),
+        Some(Value::F32(f)) => format!("f32:{:08x}", f.to_bits()),
+        Some(Value::F64(f)) => format!("f64:{:016x}", f.to_bits()),
+        other => format!("{other:?}"),
+    }
+}
+
+fn run_all_engines(bytes: &[u8], args: &[Value]) -> Vec<Result<String, Trap>> {
+    EngineKind::all()
+        .iter()
+        .map(|kind| {
+            let compiled = Engine::new(*kind).compile(bytes).expect("compile");
+            let mut inst = compiled
+                .instantiate(&Imports::new(), Box::new(()))
+                .expect("instantiate");
+            inst.invoke("f", args).map(canon)
+        })
+        .collect()
+}
+
+#[test]
+fn every_simple_instruction_agrees_across_engines() {
+    let mut covered = 0;
+    for (_, op) in all_simple() {
+        if let Some((a, b, r)) = binary_sig(op) {
+            let bytes = binop_module(op, a, b, r);
+            for va in values_of(a) {
+                for vb in values_of(b) {
+                    let results = run_all_engines(&bytes, &[va, vb]);
+                    for w in results.windows(2) {
+                        assert_eq!(w[0], w[1], "{op:?} with {va:?}, {vb:?}");
+                    }
+                }
+            }
+            covered += 1;
+        } else if let Some((a, r)) = unary_sig(op) {
+            let bytes = unop_module(op, a, r);
+            for va in values_of(a) {
+                let results = run_all_engines(&bytes, &[va]);
+                for w in results.windows(2) {
+                    assert_eq!(w[0], w[1], "{op:?} with {va:?}");
+                }
+            }
+            covered += 1;
+        }
+    }
+    // All numeric operators were exercised (the rest are control/memory).
+    assert!(covered > 120, "covered {covered} operators");
+}
+
+#[test]
+fn division_traps_agree_across_engines() {
+    for op in [Instr::I32DivS, Instr::I32DivU, Instr::I32RemS, Instr::I32RemU] {
+        let bytes = binop_module(op, ValType::I32, ValType::I32, ValType::I32);
+        let results = run_all_engines(&bytes, &[Value::I32(5), Value::I32(0)]);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap_err(), &Trap::DivisionByZero, "{op:?}");
+        }
+    }
+    let bytes = binop_module(Instr::I32DivS, ValType::I32, ValType::I32, ValType::I32);
+    let results = run_all_engines(&bytes, &[Value::I32(i32::MIN), Value::I32(-1)]);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap_err(), &Trap::IntegerOverflow);
+    }
+}
+
+#[test]
+fn trunc_traps_agree_across_engines() {
+    let bytes = unop_module(Instr::I32TruncF64S, ValType::F64, ValType::I32);
+    for bad in [f64::NAN, 1e300, -1e300] {
+        let results = run_all_engines(&bytes, &[Value::F64(bad)]);
+        for r in &results {
+            assert!(r.is_err(), "truncating {bad} must trap");
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+    }
+}
+
+/// Every engine traps identically on out-of-bounds linear-memory accesses,
+/// including offset arithmetic that overflows past the end of memory.
+#[test]
+fn memory_bounds_traps_agree_across_engines() {
+    // f(addr) = i32.load(addr) over a single 64 KiB page.
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1));
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(Instr::I32Load(MemArg::offset(0, 2)));
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+
+    // Last fully in-bounds word succeeds everywhere.
+    let ok = run_all_engines(&bytes, &[Value::I32(65532)]);
+    for r in &ok {
+        assert_eq!(r.as_ref().unwrap(), "Some(I32(0))");
+    }
+    // One past, far past, and negative (wraps to a huge u32) all trap.
+    for bad in [65533, 65536, 1 << 30, -1, i32::MIN] {
+        let results = run_all_engines(&bytes, &[Value::I32(bad)]);
+        for (kind, r) in EngineKind::all().iter().zip(&results) {
+            assert_eq!(
+                r.as_ref().unwrap_err(),
+                &Trap::MemoryOutOfBounds,
+                "{kind:?} loading {bad}"
+            );
+        }
+    }
+}
+
+/// A static offset that pushes an otherwise in-bounds address past the end
+/// of memory traps on every engine.
+#[test]
+fn memory_offset_overflow_traps_agree() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1));
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(Instr::I32Load(MemArg::offset(65535, 2)));
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+    let results = run_all_engines(&bytes, &[Value::I32(8)]);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap_err(), &Trap::MemoryOutOfBounds);
+    }
+}
+
+/// Out-of-bounds stores trap identically and leave no partial write.
+#[test]
+fn store_bounds_traps_agree_across_engines() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(1));
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(Instr::I32Const(0x55AA55AA));
+    b.emit(Instr::I32Store(MemArg::offset(0, 2)));
+    b.emit(Instr::I32Const(7));
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+    for bad in [65533, -4] {
+        let results = run_all_engines(&bytes, &[Value::I32(bad)]);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap_err(), &Trap::MemoryOutOfBounds);
+        }
+    }
+}
+
+/// `unreachable` raises the same trap on every engine.
+#[test]
+fn unreachable_traps_agree_across_engines() {
+    let mut b = ModuleBuilder::new();
+    let f = b.begin_func(FuncType::new(&[], &[ValType::I32]));
+    b.emit(Instr::Unreachable);
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+    let results = run_all_engines(&bytes, &[]);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap_err(), &Trap::Unreachable);
+    }
+}
+
+/// `call_indirect` failure modes — null element, out-of-bounds element,
+/// and signature mismatch — are distinguished identically everywhere.
+#[test]
+fn call_indirect_traps_agree_across_engines() {
+    let mut b = ModuleBuilder::new();
+    // A callee of the *wrong* type for the indirect call site.
+    let wrong = b.begin_func(FuncType::new(&[], &[ValType::I64]));
+    b.emit(Instr::I64Const(1));
+    b.finish_func();
+    // A callee of the right type.
+    let right = b.begin_func(FuncType::new(&[], &[ValType::I32]));
+    b.emit(Instr::I32Const(42));
+    b.finish_func();
+    // Table: [wrong, right, null].
+    b.table(3, Some(3));
+    b.elems(0, vec![wrong, right]);
+    // f(sel) = call_indirect (type () -> i32) table[sel]
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.emit(Instr::LocalGet(0));
+    let want_ty = {
+        let target = FuncType::new(&[], &[ValType::I32]);
+        b.module()
+            .types
+            .iter()
+            .position(|t| *t == target)
+            .expect("type interned") as u32
+    };
+    b.emit(Instr::CallIndirect(want_ty));
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+
+    let ok = run_all_engines(&bytes, &[Value::I32(1)]);
+    for r in &ok {
+        assert_eq!(r.as_ref().unwrap(), "Some(I32(42))");
+    }
+    let mismatch = run_all_engines(&bytes, &[Value::I32(0)]);
+    for r in &mismatch {
+        assert_eq!(r.as_ref().unwrap_err(), &Trap::IndirectCallTypeMismatch);
+    }
+    for sel in [2, 3, 100, -1] {
+        let results = run_all_engines(&bytes, &[Value::I32(sel)]);
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap_err(), &Trap::UndefinedElement, "sel {sel}");
+        }
+    }
+}
+
+/// Unbounded recursion hits the engine's depth limit as a `StackOverflow`
+/// trap (not a host stack fault) on every engine.
+#[test]
+fn stack_overflow_traps_agree_across_engines() {
+    let mut b = ModuleBuilder::new();
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(Instr::Call(0));
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+    let results = run_all_engines(&bytes, &[Value::I32(0)]);
+    for (kind, r) in EngineKind::all().iter().zip(&results) {
+        assert_eq!(r.as_ref().unwrap_err(), &Trap::StackOverflow, "{kind:?}");
+    }
+}
+
+/// `memory.grow` past the declared maximum is a `-1` result, not a trap,
+/// and the size stays unchanged — on every engine.
+#[test]
+fn grow_past_max_agrees_across_engines() {
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(2));
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    b.emit(Instr::LocalGet(0));
+    b.emit(Instr::MemoryGrow);
+    b.emit(Instr::Drop);
+    b.emit(Instr::MemorySize);
+    b.finish_func();
+    b.export_func("f", f);
+    let m = b.build();
+    wasm_core::validate::validate(&m).expect("valid");
+    let bytes = wasm_core::encode::encode(&m);
+    // Growing by 5 exceeds max=2: size stays 1.
+    for r in &run_all_engines(&bytes, &[Value::I32(5)]) {
+        assert_eq!(r.as_ref().unwrap(), "Some(I32(1))");
+    }
+    // Growing by 1 fits: size becomes 2.
+    for r in &run_all_engines(&bytes, &[Value::I32(1)]) {
+        assert_eq!(r.as_ref().unwrap(), "Some(I32(2))");
+    }
+}

@@ -1,0 +1,42 @@
+//! Guard against linear-memory layout collisions at the largest workload
+//! scale: every benchmark must still match its native checksum at the
+//! `timing` size. Expensive; run with `cargo test --release -- --ignored`.
+
+use engines::{Engine, EngineKind};
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+#[test]
+#[ignore = "several minutes; run explicitly before timing experiments"]
+fn all_benchmarks_at_timing_scale() {
+    for b in suite::all() {
+        let n = b.sizes.timing;
+        let expected = (b.native)(n);
+        let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+        let compiled = Engine::new(EngineKind::Wasmtime)
+            .compile(&bytes)
+            .expect("engine compile");
+        let mut inst = compiled
+            .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+            .expect("instantiate");
+        let got = inst.invoke("run", &[Value::I32(n)]).expect("run");
+        assert_eq!(got, Some(Value::I32(expected)), "{} at timing scale", b.name);
+    }
+}
+
+#[test]
+fn all_benchmarks_at_profile_scale() {
+    for b in suite::all() {
+        let n = b.sizes.profile;
+        let expected = (b.native)(n);
+        let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+        let compiled = Engine::new(EngineKind::Wasmtime)
+            .compile(&bytes)
+            .expect("engine compile");
+        let mut inst = compiled
+            .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+            .expect("instantiate");
+        let got = inst.invoke("run", &[Value::I32(n)]).expect("run");
+        assert_eq!(got, Some(Value::I32(expected)), "{} at profile scale", b.name);
+    }
+}

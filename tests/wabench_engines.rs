@@ -1,0 +1,72 @@
+//! WABench × engines: every benchmark must produce its native checksum on
+//! every engine (test scale, -O2), and across optimization levels on the
+//! default engine of each family.
+
+use engines::{Engine, EngineKind};
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+fn run_on(kind: EngineKind, bytes: &[u8], n: i32) -> i32 {
+    let compiled = Engine::new(kind).compile(bytes).expect("compile");
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .expect("instantiate");
+    match inst.invoke("run", &[Value::I32(n)]) {
+        Ok(Some(Value::I32(v))) => v,
+        other => panic!("{kind}: run({n}) -> {other:?}"),
+    }
+}
+
+#[test]
+fn all_benchmarks_on_all_engines() {
+    for b in suite::all() {
+        let expected = (b.native)(b.sizes.test);
+        let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+        for kind in EngineKind::all() {
+            let got = run_on(kind, &bytes, b.sizes.test);
+            assert_eq!(got, expected, "{} on {kind}", b.name);
+        }
+    }
+}
+
+#[test]
+fn optimization_levels_preserve_semantics() {
+    // A representative subset across groups, all levels, two engines.
+    for name in ["crc32", "gemm", "quicksort", "gnuchess", "mnist"] {
+        let b = suite::by_name(name).expect("registered");
+        let expected = (b.native)(b.sizes.test);
+        for level in wacc::OptLevel::all() {
+            let bytes = b.compile(level).expect("compile");
+            for kind in [EngineKind::Wavm, EngineKind::Wasm3] {
+                let got = run_on(kind, &bytes, b.sizes.test);
+                assert_eq!(got, expected, "{name} at {level} on {kind}");
+            }
+        }
+    }
+}
+
+#[test]
+fn aot_artifacts_preserve_semantics() {
+    for name in ["sha", "atax", "whitedb"] {
+        let b = suite::by_name(name).expect("registered");
+        let expected = (b.native)(b.sizes.test);
+        let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+        for kind in [
+            EngineKind::Wasmtime,
+            EngineKind::Wavm,
+            EngineKind::Wasmer(engines::Backend::Cranelift),
+        ] {
+            let engine = Engine::new(kind);
+            let artifact = engine.precompile(&bytes).expect("precompile");
+            let compiled = engine.load_artifact(&artifact).expect("load");
+            let mut inst = compiled
+                .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+                .expect("instantiate");
+            let got = match inst.invoke("run", &[Value::I32(b.sizes.test)]) {
+                Ok(Some(Value::I32(v))) => v,
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(got, expected, "{name} AOT on {kind}");
+        }
+    }
+}

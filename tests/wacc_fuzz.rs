@@ -1,0 +1,108 @@
+//! Differential fuzzing of the compiler pipeline: random WaCC programs,
+//! evaluated by the reference evaluator and executed by all five engines
+//! at every optimization level — everything must agree.
+
+use engines::{Engine, EngineKind};
+use wasi_rt::WasiCtx;
+use proptest::prelude::*;
+use wasm_core::types::Value;
+
+/// Generates a random arithmetic expression over `a`, `b`, `t` (i32).
+fn next(rng: &mut u64, m: u64) -> u64 {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    *rng % m
+}
+
+fn gen_expr_with(rng: &mut u64, depth: u32, allow_t: bool) -> String {
+    if depth == 0 || next(rng, 4) == 0 {
+        return match next(rng, 5) {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            2 if allow_t => "t".to_string(),
+            2 => "b".to_string(),
+            3 => format!("{}", next(rng, 100) as i64 - 50),
+            _ => format!("{}", next(rng, 1 << 20) as i64),
+        };
+    }
+    let l = gen_expr_with(rng, depth - 1, allow_t);
+    let r = gen_expr_with(rng, depth - 1, allow_t);
+    match next(rng, 11) {
+        0 => format!("({l} + {r})"),
+        1 => format!("({l} - {r})"),
+        2 => format!("({l} * {r})"),
+        // Shield division from traps: |r| + 1 cannot be zero.
+        3 => format!("({l} / (abs({r}) + 1))"),
+        4 => format!("remu({l}, abs({r}) + 1)"),
+        5 => format!("({l} & {r})"),
+        6 => format!("({l} | {r})"),
+        7 => format!("({l} ^ {r})"),
+        8 => format!("({l} << ({r} & 31))"),
+        9 => format!("({l} >>> ({r} & 31))"),
+        _ => format!("(({l} < {r}) + rotl({l}, {r} & 31))"),
+    }
+}
+
+fn gen_program(seed: u64) -> String {
+    let mut rng = seed | 1;
+    let e1 = gen_expr_with(&mut rng, 4, true);
+    let e2 = gen_expr_with(&mut rng, 4, true);
+    // `t`'s initializer cannot reference `t` itself.
+    let e3 = gen_expr_with(&mut rng, 3, false);
+    format!(
+        "export fn test(a: i32, b: i32) -> i32 {{
+             let t: i32 = {e3};
+             let x: i32 = {e1};
+             for (let i: i32 = 0; i < 4; i += 1) {{
+                 t = t + {e2};
+                 if (t > 1000000) {{ t = t - x; }}
+             }}
+             return mix_result(x, t);
+         }}
+         fn mix_result(x: i32, t: i32) -> i32 {{
+             return (x ^ t) * 16777619;
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_agree_everywhere(seed in any::<u64>(), a in any::<i32>(), b in any::<i32>()) {
+        let src = gen_program(seed);
+        // Reference: the evaluator on the unoptimized AST.
+        let program = wacc::frontend(&src, wacc::OptLevel::O0).expect("frontend");
+        let mut ev = wacc::eval::Evaluator::new(&program);
+        let expected = match ev
+            .call("test", &[wacc::eval::V::I32(a), wacc::eval::V::I32(b)])
+            .expect("eval")
+        {
+            Some(wacc::eval::V::I32(v)) => v,
+            other => panic!("{other:?}"),
+        };
+        for level in wacc::OptLevel::all() {
+            // Optimized AST still agrees.
+            let opt_program = wacc::frontend(&src, level).expect("frontend");
+            let mut ev = wacc::eval::Evaluator::new(&opt_program);
+            let got = ev
+                .call("test", &[wacc::eval::V::I32(a), wacc::eval::V::I32(b)])
+                .expect("eval");
+            prop_assert_eq!(got, Some(wacc::eval::V::I32(expected)), "evaluator at {}", level);
+
+            // And all engines agree.
+            let bytes = wacc::compile_to_bytes(&src, level).expect("compile");
+            for kind in EngineKind::all() {
+                let compiled = Engine::new(kind).compile(&bytes).expect("engine compile");
+                let mut inst = compiled
+                    .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+                    .expect("instantiate");
+                let got = inst
+                    .invoke("test", &[Value::I32(a), Value::I32(b)])
+                    .expect("run");
+                prop_assert_eq!(got, Some(Value::I32(expected)), "{} at {}", kind, level);
+            }
+        }
+    }
+}
