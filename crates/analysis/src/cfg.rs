@@ -1,0 +1,264 @@
+//! Basic-block construction and dominators over a flat op array.
+//!
+//! The substrate is deliberately minimal: per op, which ops it may branch
+//! to and whether control can fall through to the next op. Both the JIT
+//! register IR (via the engines adapter) and any other linear IR can be
+//! described this way without this crate knowing the instruction set.
+
+/// Control-flow facts for one op in a linear instruction array.
+#[derive(Debug, Clone, Default)]
+pub struct OpFlow {
+    /// Explicit branch targets (op indices). Empty for straight-line ops.
+    pub targets: Vec<u32>,
+    /// Whether control can continue to `op + 1` (false for unconditional
+    /// jumps, returns, traps, and table dispatches).
+    pub falls_through: bool,
+}
+
+impl OpFlow {
+    /// A plain op: no branches, control continues to the next op.
+    pub fn linear() -> OpFlow {
+        OpFlow { targets: Vec::new(), falls_through: true }
+    }
+}
+
+/// A maximal straight-line run of ops `[start, end)`.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first op in the block.
+    pub start: usize,
+    /// One past the last op in the block.
+    pub end: usize,
+    /// Successor block indices (deduplicated, in discovery order).
+    pub succs: Vec<usize>,
+    /// Predecessor block indices (deduplicated).
+    pub preds: Vec<usize>,
+}
+
+/// A control-flow graph over a linear op array.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Blocks in op order; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Map from op index to owning block index.
+    pub block_of: Vec<usize>,
+    /// Reachable block indices in reverse postorder (entry first).
+    pub rpo: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG. `flows[i]` describes op `i`; every target must be
+    /// `< flows.len()` (the verifier checks that *before* building).
+    pub fn build(flows: &[OpFlow]) -> Cfg {
+        let n = flows.len();
+        assert!(n > 0, "cannot build a CFG over an empty op array");
+
+        // Leaders: op 0, every branch target, and every op following a
+        // control transfer (branch or non-falling-through op).
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (i, f) in flows.iter().enumerate() {
+            for &t in &f.targets {
+                leader[t as usize] = true;
+            }
+            if (!f.targets.is_empty() || !f.falls_through) && i + 1 < n {
+                leader[i + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for i in 0..n {
+            if leader[i] {
+                blocks.push(Block { start: i, end: i + 1, succs: Vec::new(), preds: Vec::new() });
+            }
+            let b = blocks.len() - 1;
+            block_of[i] = b;
+            blocks[b].end = i + 1;
+        }
+
+        // Edges from each block's last op.
+        for b in 0..blocks.len() {
+            let last = blocks[b].end - 1;
+            let f = &flows[last];
+            let add = |blocks: &mut Vec<Block>, to: usize| {
+                if !blocks[b].succs.contains(&to) {
+                    blocks[b].succs.push(to);
+                    blocks[to].preds.push(b);
+                }
+            };
+            if f.falls_through && last + 1 < n {
+                add(&mut blocks, block_of[last + 1]);
+            }
+            for &t in &f.targets {
+                add(&mut blocks, block_of[t as usize]);
+            }
+        }
+
+        // Reverse postorder via iterative DFS from the entry.
+        let nb = blocks.len();
+        let mut state = vec![0u8; nb]; // 0 unvisited, 1 on stack, 2 done
+        let mut post = Vec::with_capacity(nb);
+        let mut stack = vec![(0usize, 0usize)];
+        state[0] = 1;
+        while let Some(&(b, next)) = stack.last() {
+            if next < blocks[b].succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let s = blocks[b].succs[next];
+                if state[s] == 0 {
+                    state[s] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+
+        Cfg { blocks, block_of, rpo: post }
+    }
+
+    /// True if `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: usize) -> bool {
+        self.rpo.contains(&block)
+    }
+
+    /// Immediate dominators for reachable blocks (Cooper–Harvey–Kennedy).
+    /// Returns `idom[b]`, with the entry mapped to itself and unreachable
+    /// blocks mapped to `usize::MAX`.
+    pub fn dominators(&self) -> Vec<usize> {
+        let nb = self.blocks.len();
+        let mut rpo_pos = vec![usize::MAX; nb];
+        for (i, &b) in self.rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+
+        let mut idom = vec![usize::MAX; nb];
+        let entry = self.rpo[0];
+        idom[entry] = entry;
+
+        let intersect = |idom: &[usize], rpo_pos: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_pos[a] > rpo_pos[b] {
+                    a = idom[a];
+                }
+                while rpo_pos[b] > rpo_pos[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in self.rpo.iter().skip(1) {
+                let mut new_idom = usize::MAX;
+                for &p in &self.blocks[b].preds {
+                    if idom[p] == usize::MAX {
+                        continue; // unprocessed or unreachable predecessor
+                    }
+                    new_idom = if new_idom == usize::MAX {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_pos, new_idom, p)
+                    };
+                }
+                if new_idom != usize::MAX && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// True if reachable block `a` dominates reachable block `b`.
+    pub fn dominates(&self, idom: &[usize], a: usize, b: usize) -> bool {
+        let entry = self.rpo[0];
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == entry || idom[cur] == usize::MAX {
+                return false;
+            }
+            cur = idom[cur];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jump(to: u32) -> OpFlow {
+        OpFlow { targets: vec![to], falls_through: false }
+    }
+
+    fn branch(to: u32) -> OpFlow {
+        OpFlow { targets: vec![to], falls_through: true }
+    }
+
+    fn halt() -> OpFlow {
+        OpFlow { targets: Vec::new(), falls_through: false }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let flows = vec![OpFlow::linear(), OpFlow::linear(), halt()];
+        let cfg = Cfg::build(&flows);
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].start, 0);
+        assert_eq!(cfg.blocks[0].end, 3);
+        assert_eq!(cfg.rpo, vec![0]);
+    }
+
+    #[test]
+    fn diamond_shape() {
+        // 0: brif -> 3 ; 1: op ; 2: jump -> 4 ; 3: op ; 4: ret
+        let flows = vec![branch(3), OpFlow::linear(), jump(4), OpFlow::linear(), halt()];
+        let cfg = Cfg::build(&flows);
+        assert_eq!(cfg.blocks.len(), 4);
+        let b0 = cfg.block_of[0];
+        let then = cfg.block_of[1];
+        let els = cfg.block_of[3];
+        let join = cfg.block_of[4];
+        assert_eq!(cfg.blocks[b0].succs.len(), 2);
+        assert_eq!(cfg.blocks[then].succs, vec![join]);
+        assert_eq!(cfg.blocks[els].succs, vec![join]);
+        assert_eq!(cfg.blocks[join].preds.len(), 2);
+
+        let idom = cfg.dominators();
+        assert_eq!(idom[then], b0);
+        assert_eq!(idom[els], b0);
+        assert_eq!(idom[join], b0);
+        assert!(cfg.dominates(&idom, b0, join));
+        assert!(!cfg.dominates(&idom, then, join));
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        // 0: op ; 1: op ; 2: brif -> 1 ; 3: ret
+        let flows = vec![OpFlow::linear(), OpFlow::linear(), branch(1), halt()];
+        let cfg = Cfg::build(&flows);
+        let head = cfg.block_of[1];
+        let exit = cfg.block_of[3];
+        assert!(cfg.blocks[head].succs.contains(&head) || cfg.blocks[cfg.block_of[2]].succs.contains(&head));
+        let idom = cfg.dominators();
+        assert!(cfg.dominates(&idom, cfg.block_of[0], exit));
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        // 0: jump -> 2 ; 1: op (dead) ; 2: ret
+        let flows = vec![jump(2), OpFlow::linear(), halt()];
+        let cfg = Cfg::build(&flows);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert!(!cfg.is_reachable(cfg.block_of[1]));
+        assert!(cfg.is_reachable(cfg.block_of[2]));
+    }
+}

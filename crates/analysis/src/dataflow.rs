@@ -1,0 +1,387 @@
+//! Worklist dataflow over bit-vector domains.
+//!
+//! The solver is parameterized by direction and meet operator; the
+//! concrete analyses the verifier and lint need — liveness, reaching
+//! definitions, definite assignment — are provided as thin wrappers over
+//! it, each taking a [`DefUse`] summary of the op array plus the [`Cfg`].
+
+use crate::cfg::Cfg;
+
+/// A fixed-width bit set over `nbits` elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `nbits` elements.
+    pub fn empty(nbits: usize) -> BitSet {
+        BitSet { words: vec![0; nbits.div_ceil(64)], nbits }
+    }
+
+    /// The full set over a universe of `nbits` elements.
+    pub fn full(nbits: usize) -> BitSet {
+        let mut s = BitSet { words: vec![!0u64; nbits.div_ceil(64)], nbits };
+        s.clear_excess();
+        s
+    }
+
+    fn clear_excess(&mut self) {
+        let rem = self.nbits % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn capacity(&self) -> usize {
+        self.nbits
+    }
+
+    /// Adds `bit`; returns true if it was newly inserted.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        debug_assert!(bit < self.nbits);
+        let (w, m) = (bit / 64, 1u64 << (bit % 64));
+        let newly = self.words[w] & m == 0;
+        self.words[w] |= m;
+        newly
+    }
+
+    /// Removes `bit`.
+    pub fn remove(&mut self, bit: usize) {
+        debug_assert!(bit < self.nbits);
+        self.words[bit / 64] &= !(1u64 << (bit % 64));
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        debug_assert!(bit < self.nbits);
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// `self &= other`; returns true if `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a &= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// `self -= other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over set bits in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nbits).filter(move |&b| self.contains(b))
+    }
+}
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Information flows from predecessors to successors.
+    Forward,
+    /// Information flows from successors to predecessors.
+    Backward,
+}
+
+/// How states from multiple control-flow edges combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Meet {
+    /// May-analysis: a fact holds if it holds on *some* path.
+    Union,
+    /// Must-analysis: a fact holds only if it holds on *every* path.
+    Intersection,
+}
+
+/// Per-block fixpoint states. For forward analyses `inputs[b]` is the
+/// state at block entry and `outputs[b]` at block exit; for backward
+/// analyses `inputs[b]` is the state at block *exit* (the meet over
+/// successors) and `outputs[b]` at block entry.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Meet-side state per block.
+    pub inputs: Vec<BitSet>,
+    /// Transfer-side state per block.
+    pub outputs: Vec<BitSet>,
+}
+
+/// Solves a gen/kill dataflow problem to fixpoint with a worklist.
+///
+/// `gen`/`kill` are per *block* (compose per-op facts before calling, or
+/// use the wrappers below). `boundary` is the input state at the entry
+/// block (forward) or at exit blocks (backward). With
+/// `Meet::Intersection`, interior blocks start from the full set
+/// (optimistic); with `Meet::Union`, from the empty set.
+pub fn solve(
+    cfg: &Cfg,
+    dir: Direction,
+    meet: Meet,
+    gen: &[BitSet],
+    kill: &[BitSet],
+    nbits: usize,
+    boundary: &BitSet,
+) -> Solution {
+    let nb = cfg.blocks.len();
+    let init = match meet {
+        Meet::Union => BitSet::empty(nbits),
+        Meet::Intersection => BitSet::full(nbits),
+    };
+    let mut inputs = vec![init.clone(); nb];
+    let mut outputs = vec![init; nb];
+
+    // Iteration order: RPO for forward problems, post-order for backward.
+    let order: Vec<usize> = match dir {
+        Direction::Forward => cfg.rpo.clone(),
+        Direction::Backward => cfg.rpo.iter().rev().copied().collect(),
+    };
+
+    let edges_in = |b: usize| -> &[usize] {
+        match dir {
+            Direction::Forward => &cfg.blocks[b].preds,
+            Direction::Backward => &cfg.blocks[b].succs,
+        }
+    };
+    let is_boundary = |b: usize| -> bool {
+        match dir {
+            Direction::Forward => b == cfg.rpo[0],
+            Direction::Backward => cfg.blocks[b].succs.is_empty(),
+        }
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let mut input = if is_boundary(b) {
+                boundary.clone()
+            } else {
+                match meet {
+                    Meet::Union => BitSet::empty(nbits),
+                    Meet::Intersection => BitSet::full(nbits),
+                }
+            };
+            for &e in edges_in(b) {
+                // Unreachable edges contribute nothing meaningful; skip
+                // them so they cannot poison a must-analysis.
+                if !cfg.is_reachable(e) {
+                    continue;
+                }
+                match meet {
+                    Meet::Union => {
+                        input.union_with(&outputs[e]);
+                    }
+                    Meet::Intersection => {
+                        input.intersect_with(&outputs[e]);
+                    }
+                }
+            }
+            let mut output = input.clone();
+            output.subtract(&kill[b]);
+            output.union_with(&gen[b]);
+            if output != outputs[b] || input != inputs[b] {
+                inputs[b] = input;
+                outputs[b] = output;
+                changed = true;
+            }
+        }
+    }
+    Solution { inputs, outputs }
+}
+
+/// Per-op definition and use summary of a linear op array, the common
+/// input to the register-domain analyses.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// Size of the register universe.
+    pub nregs: usize,
+    /// Register defined by each op, if any.
+    pub defs: Vec<Option<u32>>,
+    /// Registers read by each op.
+    pub uses: Vec<Vec<u32>>,
+}
+
+/// Forward must-analysis: which registers are definitely assigned on
+/// entry to each block, given `entry_defined` at function entry.
+/// `inputs[b]` is the definitely-assigned set at block entry.
+pub fn definite_assignment(cfg: &Cfg, du: &DefUse, entry_defined: &BitSet) -> Solution {
+    let nb = cfg.blocks.len();
+    let mut gen = vec![BitSet::empty(du.nregs); nb];
+    let kill = vec![BitSet::empty(du.nregs); nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for op in blk.start..blk.end {
+            if let Some(d) = du.defs[op] {
+                gen[b].insert(d as usize);
+            }
+        }
+    }
+    solve(cfg, Direction::Forward, Meet::Intersection, &gen, &kill, du.nregs, entry_defined)
+}
+
+/// Backward may-analysis: which registers are live (read before being
+/// overwritten) at block entry. `outputs[b]` is live-in of block `b`.
+pub fn liveness(cfg: &Cfg, du: &DefUse) -> Solution {
+    let nb = cfg.blocks.len();
+    let mut gen = vec![BitSet::empty(du.nregs); nb];
+    let mut kill = vec![BitSet::empty(du.nregs); nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        // Walk backward so "use before def within the block" wins.
+        for op in (blk.start..blk.end).rev() {
+            if let Some(d) = du.defs[op] {
+                gen[b].remove(d as usize);
+                kill[b].insert(d as usize);
+            }
+            for &u in &du.uses[op] {
+                gen[b].insert(u as usize);
+                kill[b].remove(u as usize);
+            }
+        }
+    }
+    let boundary = BitSet::empty(du.nregs);
+    solve(cfg, Direction::Backward, Meet::Union, &gen, &kill, du.nregs, &boundary)
+}
+
+/// Forward may-analysis over *op indices*: which defining ops reach each
+/// block entry. Two defs of the same register kill each other.
+/// `inputs[b]` is the reaching-def set (bits are op indices) at entry.
+pub fn reaching_definitions(cfg: &Cfg, du: &DefUse) -> Solution {
+    let nops = du.defs.len();
+    let nb = cfg.blocks.len();
+
+    // All defining ops per register, to build kill sets.
+    let mut defs_of_reg: Vec<Vec<usize>> = vec![Vec::new(); du.nregs];
+    for (op, d) in du.defs.iter().enumerate() {
+        if let Some(d) = d {
+            defs_of_reg[*d as usize].push(op);
+        }
+    }
+
+    let mut gen = vec![BitSet::empty(nops); nb];
+    let mut kill = vec![BitSet::empty(nops); nb];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for op in blk.start..blk.end {
+            if let Some(d) = du.defs[op] {
+                for &other in &defs_of_reg[d as usize] {
+                    gen[b].remove(other);
+                    kill[b].insert(other);
+                }
+                gen[b].insert(op);
+                kill[b].remove(op);
+            }
+        }
+    }
+    let boundary = BitSet::empty(nops);
+    solve(cfg, Direction::Forward, Meet::Union, &gen, &kill, nops, &boundary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, OpFlow};
+
+    fn branch(to: u32) -> OpFlow {
+        OpFlow { targets: vec![to], falls_through: true }
+    }
+
+    fn halt() -> OpFlow {
+        OpFlow { targets: Vec::new(), falls_through: false }
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::empty(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(129));
+        assert_eq!(s.count(), 2);
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+        assert_eq!(BitSet::full(130).count(), 130);
+    }
+
+    /// Diamond where only one arm assigns r1: the join must NOT consider
+    /// r1 definitely assigned, though the assigning arm itself does.
+    #[test]
+    fn definite_assignment_is_must() {
+        // 0: brif->2 ; 1: def r1 ; 2: ret  (arm at op 1 falls into 2)
+        let flows = vec![branch(2), OpFlow::linear(), halt()];
+        let cfg = Cfg::build(&flows);
+        let du = DefUse {
+            nregs: 2,
+            defs: vec![None, Some(1), None],
+            uses: vec![vec![0], vec![], vec![]],
+        };
+        let mut entry = BitSet::empty(2);
+        entry.insert(0); // r0 is a param
+        let sol = definite_assignment(&cfg, &du, &entry);
+        let join = cfg.block_of[2];
+        assert!(sol.inputs[join].contains(0));
+        assert!(!sol.inputs[join].contains(1), "r1 assigned on only one path");
+    }
+
+    #[test]
+    fn liveness_loop_keeps_counter_live() {
+        // 0: def r0 ; 1: use r0, def r0 ; 2: brif->1 (uses r1) ; 3: ret
+        let flows = vec![OpFlow::linear(), OpFlow::linear(), branch(1), halt()];
+        let cfg = Cfg::build(&flows);
+        let du = DefUse {
+            nregs: 2,
+            defs: vec![Some(0), Some(0), None, None],
+            uses: vec![vec![], vec![0], vec![1], vec![]],
+        };
+        let sol = liveness(&cfg, &du);
+        let head = cfg.block_of[1];
+        // r0 is redefined from itself each iteration: live into the loop.
+        assert!(sol.outputs[head].contains(0));
+        assert!(sol.outputs[head].contains(1));
+        // Nothing is live into the entry block before r0's def... except
+        // r1, which op 2 reads and nothing ever defines.
+        let entry = cfg.block_of[0];
+        assert!(!sol.outputs[entry].contains(0) || du.defs[0] != Some(0));
+        assert!(sol.outputs[entry].contains(1));
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_join() {
+        // 0: def r0 ; 1: brif->3 ; 2: def r0 ; 3: use r0 (ret)
+        let flows = vec![OpFlow::linear(), branch(3), OpFlow::linear(), halt()];
+        let cfg = Cfg::build(&flows);
+        let du = DefUse {
+            nregs: 1,
+            defs: vec![Some(0), None, Some(0), None],
+            uses: vec![vec![], vec![], vec![], vec![0]],
+        };
+        let sol = reaching_definitions(&cfg, &du);
+        let join = cfg.block_of[3];
+        let reaching: Vec<usize> = sol.inputs[join].iter().collect();
+        assert_eq!(reaching, vec![0, 2], "both defs reach the join");
+    }
+}

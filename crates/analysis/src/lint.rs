@@ -1,0 +1,540 @@
+//! Source-level lints over the checked WaCC AST.
+//!
+//! Five lints, all running on the unoptimized (`-O0`) typed AST so that
+//! nothing the optimizer would delete escapes inspection:
+//!
+//! * `unused-function` — a non-exported function unreachable from any
+//!   exported function through the call graph;
+//! * `unused-variable` — a `let` whose slot is never read;
+//! * `unreachable-code` — a statement after a diverging statement
+//!   (`return`/`break`/`continue`, an `if` whose arms both diverge, or a
+//!   constant-condition infinite loop);
+//! * `const-div-zero` — integer `/`, `%`, `divu`, `remu` with a literal
+//!   zero divisor (guaranteed trap if reached);
+//! * `const-oob` — a memory intrinsic whose literal address lies outside
+//!   the program's declared linear memory (suppressed for positive
+//!   addresses when the program grows memory at runtime).
+//!
+//! Findings are [`Diagnostic`]s with 1-based lines into the *linted*
+//! source. Front-ends that lint a composed source (common helpers +
+//! program + prelude) use [`window`] to keep only findings from the
+//! program's own lines and rebase them.
+
+use wacc::ast::{Builtin, Expr, ExprKind, FuncDef, Lit, Program, Stmt};
+use wacc::error::{CompileError, Diagnostic};
+use wacc::OptLevel;
+
+/// Parses and checks `src` (the WaCC prelude is appended, as in normal
+/// compilation) and runs all lints on the unoptimized AST.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntax, or type error; lints only run on
+/// programs that compile.
+pub fn lint_source(src: &str) -> Result<Vec<Diagnostic>, CompileError> {
+    let program = wacc::frontend(src, OptLevel::O0)?;
+    Ok(lint_program(&program))
+}
+
+/// Runs all lints on an already-checked program.
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    unused_functions(program, &mut diags);
+    let grows_memory = program_grows_memory(program);
+    for f in &program.funcs {
+        unused_variables(f, &mut diags);
+        unreachable_statements(&f.body, &mut diags);
+        for_each_expr(&f.body, &mut |e| {
+            const_div_zero(e, &mut diags);
+            const_oob(e, program.memory_pages, grows_memory, &mut diags);
+        });
+    }
+    diags.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    diags
+}
+
+/// Keeps only findings with lines in `(offset, offset + len]` — the
+/// window a program's own lines occupy inside a composed source — and
+/// rebases them to be 1-based within the program.
+pub fn window(diags: Vec<Diagnostic>, offset: u32, len: u32) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| d.line > offset && d.line <= offset + len)
+        .map(|mut d| {
+            d.line -= offset;
+            d
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// unused-function
+
+fn unused_functions(program: &Program, diags: &mut Vec<Diagnostic>) {
+    use std::collections::{HashMap, HashSet, VecDeque};
+
+    let index: HashMap<&str, usize> =
+        program.funcs.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
+
+    // Direct callees per function, by name (WaCC has no indirect calls).
+    let mut callees: Vec<Vec<usize>> = vec![Vec::new(); program.funcs.len()];
+    for (i, f) in program.funcs.iter().enumerate() {
+        for_each_expr(&f.body, &mut |e| {
+            if let ExprKind::Call(name, _) = &e.kind {
+                if let Some(&j) = index.get(name.as_str()) {
+                    callees[i].push(j);
+                }
+            }
+        });
+    }
+
+    let mut reached: HashSet<usize> = HashSet::new();
+    let mut queue: VecDeque<usize> = program
+        .funcs
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.exported)
+        .map(|(i, _)| i)
+        .collect();
+    reached.extend(queue.iter().copied());
+    while let Some(i) = queue.pop_front() {
+        for &j in &callees[i] {
+            if reached.insert(j) {
+                queue.push_back(j);
+            }
+        }
+    }
+
+    for (i, f) in program.funcs.iter().enumerate() {
+        if !f.exported && !reached.contains(&i) {
+            diags.push(Diagnostic::warning(
+                f.line,
+                "unused-function",
+                format!("function `{}` is never called from any exported function", f.name),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// unused-variable
+
+fn unused_variables(f: &FuncDef, diags: &mut Vec<Diagnostic>) {
+    use std::collections::HashMap;
+
+    // All `let` declarations, by resolved slot (slots are unique within
+    // a function: the checker allocates them monotonically).
+    let mut lets: HashMap<u32, (&str, u32)> = HashMap::new();
+    for_each_stmt(&f.body, &mut |s| {
+        if let Stmt::Let { name, init, slot, .. } = s {
+            lets.insert(*slot, (name.as_str(), init.line));
+        }
+    });
+
+    // A slot is "read" if it appears as a `Local` expression anywhere —
+    // including inside the value of a compound assignment to itself.
+    let mut read = vec![false; f.nlocals as usize];
+    for_each_expr(&f.body, &mut |e| {
+        if let ExprKind::Local(slot) = e.kind {
+            if let Some(r) = read.get_mut(slot as usize) {
+                *r = true;
+            }
+        }
+    });
+
+    let mut unused: Vec<_> = lets
+        .into_iter()
+        .filter(|(slot, _)| !read.get(*slot as usize).copied().unwrap_or(true))
+        .collect();
+    unused.sort_by_key(|(slot, _)| *slot);
+    for (_, (name, line)) in unused {
+        diags.push(Diagnostic::warning(
+            line,
+            "unused-variable",
+            format!("variable `{name}` in `{}` is never read", f.name),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// unreachable-code
+
+/// Whether a statement never lets control continue to the next statement
+/// in its list.
+fn diverges(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Return(..) | Stmt::Break(_) | Stmt::Continue(_) => true,
+        Stmt::If { then, els, .. } => block_diverges(then) && block_diverges(els),
+        Stmt::Block(body) => block_diverges(body),
+        Stmt::While { cond, body } => const_true(cond) && !breaks_out(body),
+        _ => false,
+    }
+}
+
+fn block_diverges(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(diverges)
+}
+
+fn const_true(cond: &Expr) -> bool {
+    matches!(cond.kind, ExprKind::Lit(Lit::I32(n)) if n != 0)
+        || matches!(cond.kind, ExprKind::Lit(Lit::I64(n)) if n != 0)
+}
+
+/// Whether `break` can escape this loop body (not counting breaks bound
+/// to nested loops).
+fn breaks_out(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Break(_) => true,
+        Stmt::If { then, els, .. } => breaks_out(then) || breaks_out(els),
+        Stmt::Block(body) => breaks_out(body),
+        // A nested loop captures its own breaks.
+        Stmt::While { .. } | Stmt::For { .. } => false,
+        _ => false,
+    })
+}
+
+fn unreachable_statements(stmts: &[Stmt], diags: &mut Vec<Diagnostic>) {
+    for (i, s) in stmts.iter().enumerate() {
+        // Recurse first so nested findings inside the diverging statement
+        // itself (e.g. dead code inside an if-arm) are still reported.
+        match s {
+            Stmt::If { then, els, .. } => {
+                unreachable_statements(then, diags);
+                unreachable_statements(els, diags);
+            }
+            Stmt::While { body, .. } => unreachable_statements(body, diags),
+            Stmt::For { body, .. } => unreachable_statements(body, diags),
+            Stmt::Block(body) => unreachable_statements(body, diags),
+            _ => {}
+        }
+        if diverges(s) {
+            if let Some(next) = stmts.get(i + 1) {
+                diags.push(Diagnostic::warning(
+                    stmt_line(next),
+                    "unreachable-code",
+                    "statement is unreachable".to_string(),
+                ));
+            }
+            // Statements past the first unreachable one are implied.
+            break;
+        }
+    }
+}
+
+fn stmt_line(stmt: &Stmt) -> u32 {
+    match stmt {
+        Stmt::Let { init, .. } => init.line,
+        Stmt::Assign { value, .. } => value.line,
+        Stmt::Expr(e) => e.line,
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => cond.line,
+        Stmt::For { init, .. } => stmt_line(init),
+        Stmt::Break(line) | Stmt::Continue(line) | Stmt::Return(_, line) => *line,
+        Stmt::Block(body) => body.first().map_or(0, stmt_line),
+    }
+}
+
+// ---------------------------------------------------------------------
+// const-div-zero
+
+fn int_zero(e: &Expr) -> bool {
+    matches!(e.kind, ExprKind::Lit(Lit::I32(0)) | ExprKind::Lit(Lit::I64(0)))
+}
+
+fn const_div_zero(e: &Expr, diags: &mut Vec<Diagnostic>) {
+    use wacc::ast::BinOp;
+    let divisor = match &e.kind {
+        ExprKind::Bin(BinOp::Div | BinOp::Rem, _, rhs) if rhs.ty.is_int() => Some(rhs.as_ref()),
+        ExprKind::Builtin(Builtin::DivU | Builtin::RemU, args) => args.get(1),
+        _ => None,
+    };
+    if let Some(d) = divisor {
+        if int_zero(d) {
+            diags.push(Diagnostic::error(
+                d.line,
+                "const-div-zero",
+                "division by constant zero always traps".to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// const-oob
+
+/// Bytes accessed by a memory intrinsic, if `b` is one.
+fn access_size(b: Builtin) -> Option<u32> {
+    use Builtin::*;
+    Some(match b {
+        LoadU8 | LoadI8 | StoreU8 => 1,
+        LoadU16 | LoadI16 | StoreU16 => 2,
+        LoadI32 | LoadF32 | StoreI32 | StoreF32 => 4,
+        LoadI64 | LoadF64 | StoreI64 | StoreF64 => 8,
+        _ => return None,
+    })
+}
+
+fn program_grows_memory(program: &Program) -> bool {
+    let mut grows = false;
+    for f in &program.funcs {
+        for_each_expr(&f.body, &mut |e| {
+            if matches!(e.kind, ExprKind::Builtin(Builtin::MemoryGrow, _)) {
+                grows = true;
+            }
+        });
+    }
+    grows
+}
+
+fn const_oob(e: &Expr, memory_pages: u32, grows_memory: bool, diags: &mut Vec<Diagnostic>) {
+    let ExprKind::Builtin(b, args) = &e.kind else { return };
+    let Some(size) = access_size(*b) else { return };
+    let Some(addr_expr) = args.first() else { return };
+    let ExprKind::Lit(Lit::I32(addr)) = addr_expr.kind else { return };
+
+    let limit = memory_pages as u64 * 65536;
+    if addr < 0 {
+        // Addresses are unsigned at runtime: a negative literal wraps to
+        // the top of the 4 GiB space, far beyond any reachable memory.
+        diags.push(Diagnostic::error(
+            addr_expr.line,
+            "const-oob",
+            format!("negative address {addr} wraps out of bounds and always traps"),
+        ));
+    } else if !grows_memory && addr as u64 + size as u64 > limit {
+        diags.push(Diagnostic::error(
+            addr_expr.line,
+            "const-oob",
+            format!(
+                "{size}-byte access at constant address {addr} exceeds the {memory_pages}-page \
+                 ({limit}-byte) linear memory"
+            ),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------
+// AST walkers
+
+/// Calls `f` on every statement, including nested ones, pre-order.
+fn for_each_stmt<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then, els, .. } => {
+                for_each_stmt(then, f);
+                for_each_stmt(els, f);
+            }
+            Stmt::While { body, .. } => for_each_stmt(body, f),
+            Stmt::For { init, step, body, .. } => {
+                for_each_stmt(std::slice::from_ref(init), f);
+                for_each_stmt(std::slice::from_ref(step), f);
+                for_each_stmt(body, f);
+            }
+            Stmt::Block(body) => for_each_stmt(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Calls `f` on every expression in every statement, pre-order.
+fn for_each_expr<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Expr)) {
+    fn walk<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+        f(e);
+        match &e.kind {
+            ExprKind::Bin(_, a, b) => {
+                walk(a, f);
+                walk(b, f);
+            }
+            ExprKind::Un(_, a) | ExprKind::Cast(a, _) => walk(a, f),
+            ExprKind::Call(_, args) | ExprKind::Builtin(_, args) => {
+                for a in args {
+                    walk(a, f);
+                }
+            }
+            ExprKind::Lit(_)
+            | ExprKind::Local(_)
+            | ExprKind::Global(_)
+            | ExprKind::Name(_)
+            | ExprKind::Str(_) => {}
+        }
+    }
+    for_each_stmt(stmts, &mut |s| match s {
+        Stmt::Let { init: e, .. } | Stmt::Assign { value: e, .. } | Stmt::Expr(e) => walk(e, f),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } | Stmt::For { cond, .. } => walk(cond, f),
+        Stmt::Return(Some(e), _) => walk(e, f),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes_at(diags: &[Diagnostic]) -> Vec<(&'static str, u32)> {
+        diags.iter().map(|d| (d.code, d.line)).collect()
+    }
+
+    /// Lints `src` and drops prelude findings (lines past the source).
+    fn lint_user(src: &str) -> Vec<Diagnostic> {
+        let lines = src.lines().count() as u32;
+        window(lint_source(src).expect("compiles"), 0, lines)
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let src = "export fn main() -> i32 {\n    let x: i32 = 6;\n    return x * 7;\n}\n";
+        assert!(lint_user(src).is_empty());
+    }
+
+    #[test]
+    fn unused_variable_and_function_found() {
+        let src = "\
+fn helper(a: i32) -> i32 {
+    return a + 1;
+}
+export fn main() -> i32 {
+    let dead: i32 = 3;
+    return 42;
+}
+";
+        let diags = lint_user(src);
+        assert_eq!(codes_at(&diags), vec![("unused-function", 1), ("unused-variable", 5)]);
+        assert!(diags[0].msg.contains("helper"));
+        assert!(diags[1].msg.contains("dead"));
+    }
+
+    #[test]
+    fn transitively_called_function_is_used() {
+        let src = "\
+fn inner() -> i32 { return 1; }
+fn outer() -> i32 { return inner(); }
+export fn main() -> i32 { return outer(); }
+";
+        assert!(lint_user(src).is_empty());
+    }
+
+    #[test]
+    fn unreachable_after_return_and_in_if_arms() {
+        let src = "\
+export fn main() -> i32 {
+    if (1) {
+        return 2;
+        let x: i32 = 1;
+    }
+    return 3;
+}
+";
+        let diags = lint_user(src);
+        // Line 4 is dead after the return; `x` is also never read.
+        assert!(diags.iter().any(|d| d.code == "unreachable-code" && d.line == 4));
+    }
+
+    #[test]
+    fn diverging_if_makes_tail_unreachable() {
+        let src = "\
+export fn main(n: i32) -> i32 {
+    if (n) {
+        return 1;
+    } else {
+        return 0;
+    }
+    return 9;
+}
+";
+        let diags = lint_user(src);
+        assert!(diags.iter().any(|d| d.code == "unreachable-code" && d.line == 7));
+    }
+
+    #[test]
+    fn const_div_zero_int_only() {
+        let src = "\
+export fn main() -> i32 {
+    let a: i32 = 10 / 0;
+    let b: f64 = 1.0 / 0.0;
+    return a + (b as i32) + divu(7, 0);
+}
+";
+        let diags = lint_user(src);
+        let dz: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.code == "const-div-zero")
+            .map(|d| d.line)
+            .collect();
+        assert_eq!(dz, vec![2, 4], "integer and divu hits only; float div is defined");
+    }
+
+    #[test]
+    fn const_oob_respects_memory_directive() {
+        let src = "\
+memory 1;
+export fn main() -> i32 {
+    store_i32(65532, 1);
+    store_i32(65533, 1);
+    return load_i32(-4);
+}
+";
+        let diags = lint_user(src);
+        let oob: Vec<u32> =
+            diags.iter().filter(|d| d.code == "const-oob").map(|d| d.line).collect();
+        // 65532+4 = 65536 fits exactly; 65533+4 spills; -4 wraps.
+        assert_eq!(oob, vec![4, 5]);
+    }
+
+    #[test]
+    fn memory_grow_suppresses_positive_oob() {
+        let src = "\
+memory 1;
+export fn main() -> i32 {
+    let grown: i32 = memory_grow(4);
+    store_i32(100000, grown);
+    return load_i32(-8);
+}
+";
+        let diags = lint_user(src);
+        let oob: Vec<u32> =
+            diags.iter().filter(|d| d.code == "const-oob").map(|d| d.line).collect();
+        assert_eq!(oob, vec![5], "only the negative address remains a finding");
+    }
+
+    #[test]
+    fn window_rebases_and_filters() {
+        let diags = vec![
+            Diagnostic::warning(3, "unused-variable", "in common"),
+            Diagnostic::warning(12, "unused-variable", "in program"),
+            Diagnostic::warning(40, "unused-function", "in prelude"),
+        ];
+        let kept = window(diags, 10, 20);
+        assert_eq!(codes_at(&kept), vec![("unused-variable", 2)]);
+    }
+
+    #[test]
+    fn infinite_loop_diverges_unless_it_breaks() {
+        let src = "\
+export fn main() -> i32 {
+    while (1) {
+        let x: i32 = 0;
+        if (x) { break; }
+    }
+    return 1;
+}
+";
+        assert!(
+            lint_user(src).iter().all(|d| d.code != "unreachable-code"),
+            "loop with a break falls through"
+        );
+
+        let src2 = "\
+export fn main() -> i32 {
+    while (1) {
+        wasi_proc_exit(0);
+    }
+    return 1;
+}
+";
+        let diags = lint_user(src2);
+        assert!(
+            diags.iter().any(|d| d.code == "unreachable-code" && d.line == 5),
+            "breakless while(1) never falls through; got {diags:?}"
+        );
+    }
+}

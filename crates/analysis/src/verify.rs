@@ -1,0 +1,347 @@
+//! IR verifier over a substrate-neutral view of a register function.
+//!
+//! The engines crate lowers its `RFunc` into an [`IrView`] (one
+//! [`OpInfo`] per op) and calls [`verify`] after every optimization
+//! pass. The checks mirror the executor's `check_code` invariants and
+//! extend them with dataflow:
+//!
+//! 1. non-empty body, and no reachable fall-off-the-end;
+//! 2. every branch/table target resolved (no `u32::MAX` sentinel
+//!    survivors) and in bounds;
+//! 3. every register operand within the declared frame;
+//! 4. no reachable use of a register that is not definitely assigned;
+//! 5. optionally, via [`effects_preserved`], that a pass did not add,
+//!    drop, or reorder observable side effects.
+
+use crate::cfg::{Cfg, OpFlow};
+use crate::dataflow::{definite_assignment, BitSet, DefUse};
+
+/// One op of the function under verification, as facts.
+#[derive(Debug, Clone)]
+pub struct OpInfo {
+    /// Mnemonic used in violation messages (e.g. `"BrIf"`).
+    pub name: &'static str,
+    /// Registers this op reads.
+    pub uses: Vec<u32>,
+    /// Register this op writes, if any.
+    pub def: Option<u32>,
+    /// Raw branch targets, including any unresolved sentinel values.
+    pub targets: Vec<u32>,
+    /// Whether control may continue to the next op.
+    pub falls_through: bool,
+    /// Rendered observable side effect, if the op has one. Registers
+    /// must NOT appear in the rendering (copy propagation renames them);
+    /// shape and immediates (memory offset, callee, global index) must.
+    pub effect: Option<String>,
+}
+
+/// A substrate-neutral register function: what the verifier sees.
+#[derive(Debug, Clone)]
+pub struct IrView {
+    /// Ops in execution order.
+    pub ops: Vec<OpInfo>,
+    /// Size of the register frame; all operands must be below this.
+    pub nregs: u32,
+    /// Registers `[0, entry_defined)` hold values on entry (parameters
+    /// and zero-initialized locals).
+    pub entry_defined: u32,
+}
+
+/// A single verifier finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Offending op index, when the finding is op-specific.
+    pub op: Option<usize>,
+    /// What went wrong, with full context.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.op {
+            Some(op) => write!(f, "op {op}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+fn violation(op: usize, message: String) -> Violation {
+    Violation { op: Some(op), message }
+}
+
+/// Verifies structural and dataflow invariants of `view`, returning all
+/// violations found (empty means the function is well-formed).
+pub fn verify(view: &IrView) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let nops = view.ops.len();
+    if nops == 0 {
+        return vec![Violation { op: None, message: "empty function body".into() }];
+    }
+
+    // Structural checks first; the CFG build assumes in-bounds targets
+    // and the dataflow stage assumes in-frame registers.
+    let mut structurally_sound = true;
+    let mut regs_sound = true;
+    for (i, op) in view.ops.iter().enumerate() {
+        for &t in &op.targets {
+            if t as usize >= nops {
+                structurally_sound = false;
+                out.push(violation(
+                    i,
+                    format!(
+                        "{}: branch target {t} out of bounds (function has {nops} ops){}",
+                        op.name,
+                        if t == u32::MAX { " — unresolved fixup sentinel" } else { "" }
+                    ),
+                ));
+            }
+        }
+        if let Some(d) = op.def {
+            if d >= view.nregs {
+                regs_sound = false;
+                out.push(violation(
+                    i,
+                    format!("{}: defines r{d} outside frame of {} regs", op.name, view.nregs),
+                ));
+            }
+        }
+        for &u in &op.uses {
+            if u >= view.nregs {
+                regs_sound = false;
+                out.push(violation(
+                    i,
+                    format!("{}: reads r{u} outside frame of {} regs", op.name, view.nregs),
+                ));
+            }
+        }
+    }
+    if !structurally_sound || !regs_sound {
+        return out; // cannot build a CFG / register sets over bad indices
+    }
+
+    let flows: Vec<OpFlow> = view
+        .ops
+        .iter()
+        .map(|op| OpFlow { targets: op.targets.clone(), falls_through: op.falls_through })
+        .collect();
+    let cfg = Cfg::build(&flows);
+
+    // Terminator well-formedness: a reachable final op must not fall
+    // through past the end of the function.
+    let last = nops - 1;
+    if view.ops[last].falls_through && cfg.is_reachable(cfg.block_of[last]) {
+        out.push(violation(
+            last,
+            format!("{}: reachable control falls off the end of the function", view.ops[last].name),
+        ));
+    }
+
+    // Use-before-def over reachable blocks via definite assignment.
+    let du = DefUse {
+        nregs: view.nregs as usize,
+        defs: view.ops.iter().map(|op| op.def).collect(),
+        uses: view.ops.iter().map(|op| op.uses.clone()).collect(),
+    };
+    let mut entry = BitSet::empty(view.nregs as usize);
+    for r in 0..view.entry_defined.min(view.nregs) {
+        entry.insert(r as usize);
+    }
+    let sol = definite_assignment(&cfg, &du, &entry);
+    for &b in &cfg.rpo {
+        let mut assigned = sol.inputs[b].clone();
+        let blk = &cfg.blocks[b];
+        for i in blk.start..blk.end {
+            let op = &view.ops[i];
+            for &u in &op.uses {
+                if !assigned.contains(u as usize) {
+                    out.push(violation(
+                        i,
+                        format!("{}: reads r{u} which is not definitely assigned on every path", op.name),
+                    ));
+                }
+            }
+            if let Some(d) = op.def {
+                assigned.insert(d as usize);
+            }
+        }
+    }
+
+    out
+}
+
+/// The observable side-effect trace of `view` over *every* op in linear
+/// order, reachable or not. The right trace for pass pipelines that only
+/// rewrite ops in place or replace them with no-ops: effectful ops are
+/// never deleted, so the trace must survive every pass exactly.
+pub fn effect_trace_all(view: &IrView) -> Vec<String> {
+    view.ops.iter().filter_map(|op| op.effect.clone()).collect()
+}
+
+/// The observable side-effect trace of `view`: effect renderings of
+/// reachable ops, in op order. Unreachable ops are excluded so that
+/// dead-code elimination does not perturb the trace.
+pub fn effect_trace(view: &IrView) -> Vec<String> {
+    if view.ops.is_empty() {
+        return Vec::new();
+    }
+    let flows: Vec<OpFlow> = view
+        .ops
+        .iter()
+        .map(|op| {
+            // Tolerate unresolved targets: treat them as non-edges so a
+            // trace can still be taken from a structurally broken
+            // function (verify() reports the real problem separately).
+            let targets =
+                op.targets.iter().copied().filter(|&t| (t as usize) < view.ops.len()).collect();
+            OpFlow { targets, falls_through: op.falls_through }
+        })
+        .collect();
+    let cfg = Cfg::build(&flows);
+    view.ops
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cfg.is_reachable(cfg.block_of[*i]))
+        .filter_map(|(_, op)| op.effect.clone())
+        .collect()
+}
+
+/// Checks that a pass preserved the side-effect trace: `after` must be
+/// exactly `before`. Returns a violation describing the first divergence
+/// otherwise.
+pub fn effects_preserved(pass: &str, before: &[String], after: &[String]) -> Option<Violation> {
+    if before == after {
+        return None;
+    }
+    let first = before
+        .iter()
+        .zip(after.iter())
+        .position(|(b, a)| b != a)
+        .unwrap_or_else(|| before.len().min(after.len()));
+    let describe = |trace: &[String]| -> String {
+        trace.get(first).map_or_else(|| "<end of trace>".into(), |s| s.clone())
+    };
+    Some(Violation {
+        op: None,
+        message: format!(
+            "pass '{pass}' changed the side-effect trace at position {first}: \
+             before `{}` ({} effects), after `{}` ({} effects)",
+            describe(before),
+            before.len(),
+            describe(after),
+            after.len(),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &'static str) -> OpInfo {
+        OpInfo { name, uses: vec![], def: None, targets: vec![], falls_through: true, effect: None }
+    }
+
+    fn ret() -> OpInfo {
+        OpInfo { falls_through: false, ..op("Ret") }
+    }
+
+    fn view(ops: Vec<OpInfo>, nregs: u32, entry_defined: u32) -> IrView {
+        IrView { ops, nregs, entry_defined }
+    }
+
+    #[test]
+    fn clean_function_verifies() {
+        // r0 is a param; r1 = f(r0); ret r1
+        let ops = vec![
+            OpInfo { uses: vec![0], def: Some(1), ..op("Mov") },
+            OpInfo { uses: vec![1], ..ret() },
+        ];
+        assert!(verify(&view(ops, 2, 1)).is_empty());
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        let v = verify(&view(vec![], 0, 0));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("empty"));
+    }
+
+    #[test]
+    fn dangling_target_rejected() {
+        let ops = vec![OpInfo { targets: vec![u32::MAX], ..op("Jump") }, ret()];
+        let v = verify(&view(ops, 1, 1));
+        assert!(v.iter().any(|x| x.message.contains("out of bounds")));
+        assert!(v.iter().any(|x| x.message.contains("sentinel")));
+    }
+
+    #[test]
+    fn register_out_of_frame_rejected() {
+        let ops = vec![OpInfo { def: Some(7), ..op("Const") }, ret()];
+        let v = verify(&view(ops, 3, 0));
+        assert!(v.iter().any(|x| x.message.contains("outside frame")));
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let ops = vec![op("Add")];
+        let v = verify(&view(ops, 1, 1));
+        assert!(v.iter().any(|x| x.message.contains("falls off the end")));
+    }
+
+    #[test]
+    fn use_before_def_rejected_only_on_unassigned_path() {
+        // 0: BrIf -> 2 (uses r0) ; 1: def r1 ; 2: use r1 ; 3: ret
+        // r1 is assigned only on the fallthrough path.
+        let ops = vec![
+            OpInfo { uses: vec![0], targets: vec![2], ..op("BrIf") },
+            OpInfo { def: Some(1), ..op("Const") },
+            OpInfo { uses: vec![1], def: Some(0), ..op("Mov") },
+            ret(),
+        ];
+        let v = verify(&view(ops, 2, 1));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].op, Some(2));
+        assert!(v[0].message.contains("not definitely assigned"));
+    }
+
+    #[test]
+    fn unreachable_garbage_is_ignored() {
+        // 0: Jump -> 2 ; 1: use of never-assigned r9... but r9 < nregs and
+        // the op is unreachable, so only reachable facts are checked.
+        let ops = vec![
+            OpInfo { targets: vec![2], falls_through: false, ..op("Jump") },
+            OpInfo { uses: vec![3], ..op("Mov") },
+            ret(),
+        ];
+        assert!(verify(&view(ops, 4, 1)).is_empty());
+    }
+
+    #[test]
+    fn effect_trace_skips_unreachable_and_detects_reorder() {
+        let store = |o: u32| OpInfo { effect: Some(format!("store+{o}")), ..op("Store") };
+        let a = view(vec![store(0), store(8), ret()], 1, 1);
+        let b = view(vec![store(8), store(0), ret()], 1, 1);
+        let ta = effect_trace(&a);
+        let tb = effect_trace(&b);
+        assert_eq!(ta.len(), 2);
+        assert!(effects_preserved("test", &ta, &ta).is_none());
+        let viol = effects_preserved("swap", &ta, &tb).expect("reorder detected");
+        assert!(viol.message.contains("swap"));
+
+        // Dead store behind an unconditional jump is not part of the trace.
+        let c = view(
+            vec![
+                OpInfo { targets: vec![2], falls_through: false, ..op("Jump") },
+                store(4),
+                ret(),
+            ],
+            1,
+            1,
+        );
+        assert!(effect_trace(&c).is_empty());
+
+        // Dropping an effect is also a divergence.
+        let dropped = effects_preserved("dce", &ta, &effect_trace(&c));
+        assert!(dropped.expect("drop detected").message.contains("0 effects"));
+    }
+}

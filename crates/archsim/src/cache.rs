@@ -86,7 +86,9 @@ impl Cache {
     /// The set of line numbers an access of `len` bytes at `addr` touches.
     pub fn lines_touched(addr: u64, len: u32) -> impl Iterator<Item = u64> {
         let first = addr >> LINE_SHIFT;
-        let last = (addr + len.max(1) as u64 - 1) >> LINE_SHIFT;
+        // Saturate: an access at the very top of the address space ends
+        // on the last line rather than wrapping (and overflowing) to 0.
+        let last = addr.saturating_add(len.max(1) as u64 - 1) >> LINE_SHIFT;
         (first..=last).map(|l| l << LINE_SHIFT)
     }
 }

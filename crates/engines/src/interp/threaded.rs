@@ -244,9 +244,11 @@ impl ThreadedCode {
     ) -> Result<ThreadedCode, wasm_core::ValidateError> {
         let mut funcs = Vec::with_capacity(module.funcs.len());
         let mut base = BYTECODE_BASE;
-        for f in &module.funcs {
+        let num_imported = module.num_imported_funcs() as u32;
+        for (i, f) in module.funcs.iter().enumerate() {
             let ty = &module.types[f.type_idx as usize];
-            let tf = translate(&module, f, ty.params.len(), !ty.results.is_empty(), base, fuse)?;
+            let tf = translate(&module, f, ty.params.len(), !ty.results.is_empty(), base, fuse)
+                .map_err(|e| e.with_func(num_imported + i as u32))?;
             base += tf.ops.len() as u64 * TOP_BYTES;
             funcs.push(tf);
         }

@@ -44,12 +44,15 @@ impl TreeCode {
         let mut maps = Vec::with_capacity(module.funcs.len());
         let mut func_base = Vec::with_capacity(module.funcs.len());
         let mut cursor = BYTECODE_BASE;
-        for f in &module.funcs {
-            maps.push(ControlMap::build(&f.body)?);
+        let num_imported = module.num_imported_funcs() as u32;
+        for (i, f) in module.funcs.iter().enumerate() {
+            maps.push(
+                ControlMap::build(&f.body)
+                    .map_err(|e| e.with_func(num_imported + i as u32))?,
+            );
             func_base.push(cursor);
             cursor += f.body.len() as u64 * INSTR_BYTES;
         }
-        let num_imported = module.num_imported_funcs() as u32;
         Ok(TreeCode {
             module,
             maps,

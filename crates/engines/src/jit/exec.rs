@@ -512,30 +512,24 @@ fn check_code(f: &RFunc, func_idx: usize, module: &Module) -> Result<(), String>
             ROp::Bin { op, .. }
             | ROp::BinImm { op, .. }
             | ROp::BrCmp { op, .. }
-            | ROp::BrCmpZ { op, .. } => {
-                if !numeric::is_binary(*op) {
-                    return Err(format!("{op:?} is not a binary operator"));
-                }
+            | ROp::BrCmpZ { op, .. }
+                if !numeric::is_binary(*op) =>
+            {
+                return Err(format!("{op:?} is not a binary operator"));
             }
-            ROp::Bin2 { op1, op2, .. } => {
-                if !numeric::is_binary(*op1) || !numeric::is_binary(*op2) {
-                    return Err(format!("{op1:?}/{op2:?} is not a binary operator"));
-                }
+            ROp::Bin2 { op1, op2, .. }
+                if !numeric::is_binary(*op1) || !numeric::is_binary(*op2) =>
+            {
+                return Err(format!("{op1:?}/{op2:?} is not a binary operator"));
             }
-            ROp::Un { op, .. } => {
-                if !numeric::is_unary(*op) {
-                    return Err(format!("{op:?} is not a unary operator"));
-                }
+            ROp::Un { op, .. } if !numeric::is_unary(*op) => {
+                return Err(format!("{op:?} is not a unary operator"));
             }
-            ROp::Load { op, .. } => {
-                if !crate::interp::tree::is_load_op(op) {
-                    return Err(format!("{op:?} is not a load"));
-                }
+            ROp::Load { op, .. } if !crate::interp::tree::is_load_op(op) => {
+                return Err(format!("{op:?} is not a load"));
             }
-            ROp::Store { op, .. } => {
-                if !crate::interp::tree::is_store_op(op) {
-                    return Err(format!("{op:?} is not a store"));
-                }
+            ROp::Store { op, .. } if !crate::interp::tree::is_store_op(op) => {
+                return Err(format!("{op:?} is not a store"));
             }
             _ => {}
         }

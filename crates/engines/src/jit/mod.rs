@@ -14,6 +14,7 @@ pub mod exec;
 pub mod ir;
 pub mod lower;
 pub mod opt;
+pub mod verify;
 
 use std::rc::Rc;
 
@@ -94,8 +95,10 @@ pub fn compile_module(
     let config = tier.pass_config();
     let mut stats = CompileStats::default();
     let mut funcs = Vec::with_capacity(module.funcs.len());
-    for f in &module.funcs {
-        let mut rf = lower::lower(&module, f)?;
+    let num_imported = module.num_imported_funcs() as u32;
+    for (i, f) in module.funcs.iter().enumerate() {
+        let mut rf =
+            lower::lower(&module, f).map_err(|e| e.with_func(num_imported + i as u32))?;
         stats.lowered_ops += rf.ops.len();
         stats.passes.merge(opt::optimize(&mut rf, &config));
         stats.final_ops += rf.ops.len();

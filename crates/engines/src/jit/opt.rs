@@ -5,12 +5,8 @@
 //! to a fixpoint, paying more compile time for better code — the same
 //! trade the paper measures between Wasmer's Cranelift and LLVM backends.
 
-// The passes walk `f.ops` by index against parallel side tables
-// (`targets`, `remap`) that must stay position-aligned; iterator rewrites
-// obscure that coupling.
-#![allow(clippy::needless_range_loop)]
-
 use crate::jit::ir::{RFunc, ROp, Reg};
+use crate::jit::verify;
 use crate::numeric;
 use wasm_core::instr::Instr;
 
@@ -28,20 +24,21 @@ pub struct PassStats {
     pub fused: u64,
     /// Value-numbering replacements.
     pub cse_hits: u64,
+    /// Wall time spent in the IR verifier between passes. Kept apart from
+    /// `op_visits` so verification never inflates modeled compile work
+    /// (`CompileStats::total_work`).
+    pub verify_ns: u64,
 }
 
 impl PassStats {
     /// Accumulates another pass run into this total.
     pub fn merge(&mut self, other: PassStats) {
-        self.add(other);
-    }
-
-    fn add(&mut self, other: PassStats) {
         self.op_visits += other.op_visits;
         self.removed += other.removed;
         self.folded += other.folded;
         self.fused += other.fused;
         self.cse_hits += other.cse_hits;
+        self.verify_ns += other.verify_ns;
     }
 }
 
@@ -116,37 +113,53 @@ impl PassConfig {
 }
 
 /// Runs the configured passes over a function.
+///
+/// In debug builds (and release builds with the `verify-ir` feature) the
+/// `wabench-analysis` IR verifier runs on the lowered input and again
+/// after every pass, panicking on any structural or dataflow violation
+/// and on any change to the function's observable side-effect trace.
+/// Time spent verifying is accounted separately in
+/// [`PassStats::verify_ns`].
 pub fn optimize(f: &mut RFunc, config: &PassConfig) -> PassStats {
     let mut stats = PassStats::default();
+    if verify::enabled() {
+        let t0 = std::time::Instant::now();
+        verify::check("lower", f);
+        stats.verify_ns += t0.elapsed().as_nanos() as u64;
+    }
+    // Compare-and-branch fusion runs before immediate fusion, so
+    // comparisons feeding branches keep their register form; the
+    // immediate pass then takes the rest.
+    type Pass = fn(&mut RFunc) -> PassStats;
+    let pipeline: [(&str, bool, Pass); 10] = [
+        ("const_fold", config.const_fold, const_fold),
+        ("copy_prop", config.copy_prop, copy_prop),
+        ("strength_reduce", config.strength, strength_reduce),
+        ("value_number", config.lvn, value_number),
+        ("cmp_fuse", config.cmp_fuse, cmp_fuse),
+        ("imm_fuse", config.imm_fuse, imm_fuse),
+        ("chain_fuse", config.chain_fuse, chain_fuse),
+        ("dce", config.dce, dce),
+        ("dead_store", config.dce, dead_store),
+        ("compact", true, compact),
+    ];
     for _ in 0..config.rounds {
-        if config.const_fold {
-            stats.add(const_fold(f));
+        for &(name, enabled, pass) in &pipeline {
+            if !enabled {
+                continue;
+            }
+            if !verify::enabled() {
+                stats.merge(pass(f));
+                continue;
+            }
+            let t0 = std::time::Instant::now();
+            let before = verify::effect_trace(f);
+            let snapshot_ns = t0.elapsed().as_nanos() as u64;
+            stats.merge(pass(f));
+            let t1 = std::time::Instant::now();
+            verify::check_pass(name, f, &before);
+            stats.verify_ns += snapshot_ns + t1.elapsed().as_nanos() as u64;
         }
-        if config.copy_prop {
-            stats.add(copy_prop(f));
-        }
-        if config.strength {
-            stats.add(strength_reduce(f));
-        }
-        if config.lvn {
-            stats.add(value_number(f));
-        }
-        // Compare-and-branch fusion first, so comparisons feeding branches
-        // keep their register form; the immediate pass then takes the rest.
-        if config.cmp_fuse {
-            stats.add(cmp_fuse(f));
-        }
-        if config.imm_fuse {
-            stats.add(imm_fuse(f));
-        }
-        if config.chain_fuse {
-            stats.add(chain_fuse(f));
-        }
-        if config.dce {
-            stats.add(dce(f));
-            stats.add(dead_store(f));
-        }
-        stats.add(compact(f));
     }
     stats
 }
@@ -171,6 +184,7 @@ fn branch_targets(f: &RFunc) -> Vec<bool> {
     t
 }
 
+#[allow(clippy::needless_range_loop)] // index walks `targets`/`remap` and `f.ops` in lockstep
 fn const_fold(f: &mut RFunc) -> PassStats {
     let mut stats = PassStats::default();
     let targets = branch_targets(f);
@@ -257,6 +271,7 @@ fn const_fold(f: &mut RFunc) -> PassStats {
     stats
 }
 
+#[allow(clippy::needless_range_loop)] // index walks `targets`/`remap` and `f.ops` in lockstep
 fn copy_prop(f: &mut RFunc) -> PassStats {
     let mut stats = PassStats::default();
     let targets = branch_targets(f);
@@ -331,6 +346,7 @@ fn copy_prop(f: &mut RFunc) -> PassStats {
     stats
 }
 
+#[allow(clippy::needless_range_loop)] // index walks `targets`/`remap` and `f.ops` in lockstep
 fn strength_reduce(f: &mut RFunc) -> PassStats {
     let mut stats = PassStats::default();
     let targets = branch_targets(f);
@@ -630,6 +646,7 @@ fn dead_store(f: &mut RFunc) -> PassStats {
 
 /// Local value numbering within straight-line regions: pure recomputations
 /// become moves.
+#[allow(clippy::needless_range_loop)] // index walks `targets`/`remap` and `f.ops` in lockstep
 fn value_number(f: &mut RFunc) -> PassStats {
     use std::collections::HashMap;
     let mut stats = PassStats::default();
@@ -693,6 +710,7 @@ fn instr_key(i: Instr) -> u64 {
 }
 
 /// Removes `Nop`s and remaps every branch target and jump table.
+#[allow(clippy::needless_range_loop)] // index walks `targets`/`remap` and `f.ops` in lockstep
 fn compact(f: &mut RFunc) -> PassStats {
     let mut stats = PassStats::default();
     let n = f.ops.len();

@@ -1,0 +1,258 @@
+//! Adapter between the register IR and the `wabench-analysis` verifier.
+//!
+//! [`view_of`] lowers an [`RFunc`] into the substrate-neutral
+//! [`IrView`] the `analysis` crate checks: per op, the registers read
+//! and written, the branch targets, whether control falls through, and a
+//! rendering of the op's observable side effect. The pass driver in
+//! `opt` calls [`check`] / [`check_pass`] after lowering and after every
+//! pass when verification is [`enabled`] (debug builds, or the
+//! `verify-ir` feature in release builds).
+//!
+//! Effect renderings deliberately contain no register numbers — copy
+//! propagation renames registers freely — but do pin down everything a
+//! pass must not change: the memory op and its constant offset, the
+//! global index, the callee and arity. Trapping arithmetic is *not* part
+//! of the trace: constant folding only rewrites a div/rem/trunc after
+//! proving it cannot trap, which legitimately removes the trap site.
+
+use crate::jit::ir::{RFunc, ROp, Reg};
+use analysis::verify::{effect_trace_all, effects_preserved, verify, IrView, OpInfo, Violation};
+
+/// Whether IR verification is active in this build.
+pub fn enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "verify-ir"))
+}
+
+fn op_name(op: &ROp) -> &'static str {
+    match op {
+        ROp::Const { .. } => "Const",
+        ROp::Move { .. } => "Move",
+        ROp::Bin { .. } => "Bin",
+        ROp::Bin2 { .. } => "Bin2",
+        ROp::BinImm { .. } => "BinImm",
+        ROp::Un { .. } => "Un",
+        ROp::Load { .. } => "Load",
+        ROp::Store { .. } => "Store",
+        ROp::Select { .. } => "Select",
+        ROp::GlobalGet { .. } => "GlobalGet",
+        ROp::GlobalSet { .. } => "GlobalSet",
+        ROp::MemSize { .. } => "MemSize",
+        ROp::MemGrow { .. } => "MemGrow",
+        ROp::Jump { .. } => "Jump",
+        ROp::BrIf { .. } => "BrIf",
+        ROp::BrIfZ { .. } => "BrIfZ",
+        ROp::BrCmp { .. } => "BrCmp",
+        ROp::BrCmpZ { .. } => "BrCmpZ",
+        ROp::BrTable { .. } => "BrTable",
+        ROp::Call { .. } => "Call",
+        ROp::CallIndirect { .. } => "CallIndirect",
+        ROp::Ret { .. } => "Ret",
+        ROp::Trap => "Trap",
+        ROp::Nop => "Nop",
+    }
+}
+
+fn op_effect(op: &ROp) -> Option<String> {
+    match *op {
+        ROp::Store { op, offset, .. } => Some(format!("store {op:?}+{offset}")),
+        ROp::GlobalSet { idx, .. } => Some(format!("global.set {idx}")),
+        ROp::MemGrow { .. } => Some("memory.grow".to_string()),
+        ROp::Call { f, nargs, ret, .. } => Some(format!("call {f} nargs={nargs} ret={ret}")),
+        ROp::CallIndirect { type_idx, nargs, ret, .. } => {
+            Some(format!("call_indirect type={type_idx} nargs={nargs} ret={ret}"))
+        }
+        _ => None,
+    }
+}
+
+/// Builds the verifier's view of `f`.
+pub fn view_of(f: &RFunc) -> IrView {
+    let ops = f
+        .ops
+        .iter()
+        .map(|op| {
+            // `ROp::uses()` reports `[None; 3]` for calls ("handled
+            // specially" everywhere): expand the contiguous argument
+            // block, and the element-index register for indirect calls.
+            let mut uses: Vec<u32> =
+                op.uses().into_iter().flatten().map(u32::from).collect();
+            match *op {
+                ROp::Call { args, nargs, .. } => {
+                    uses.extend((args..args + nargs as Reg).map(u32::from));
+                }
+                ROp::CallIndirect { elem, args, nargs, .. } => {
+                    uses.push(u32::from(elem));
+                    uses.extend((args..args + nargs as Reg).map(u32::from));
+                }
+                _ => {}
+            }
+            let targets = match *op {
+                ROp::BrTable { table, .. } => f.tables[table as usize].clone(),
+                _ => op.target().into_iter().collect(),
+            };
+            OpInfo {
+                name: op_name(op),
+                uses,
+                def: op.def().map(u32::from),
+                targets,
+                falls_through: !op.is_terminator(),
+                effect: op_effect(op),
+            }
+        })
+        .collect();
+    IrView {
+        ops,
+        nregs: u32::from(f.nregs),
+        // Parameters and zero-initialized locals hold values on entry.
+        entry_defined: u32::from(f.nlocals),
+    }
+}
+
+/// Runs the verifier over `f`, returning all violations.
+pub fn verify_rfunc(f: &RFunc) -> Vec<Violation> {
+    verify(&view_of(f))
+}
+
+/// The function's observable side-effect trace in linear op order. The
+/// pipeline never deletes an effectful op (it can only rewrite in place
+/// or no-op pure defs), so every pass must preserve this exactly.
+pub fn effect_trace(f: &RFunc) -> Vec<String> {
+    effect_trace_all(&view_of(f))
+}
+
+fn fail(stage: &str, f: &RFunc, violations: &[Violation]) -> ! {
+    let mut msg = format!(
+        "IR verification failed after `{stage}` \
+         (nregs={}, nlocals={}, {} ops): {} violation(s)",
+        f.nregs,
+        f.nlocals,
+        f.ops.len(),
+        violations.len()
+    );
+    for v in violations {
+        msg.push_str("\n  - ");
+        msg.push_str(&v.to_string());
+    }
+    if f.ops.len() <= 200 {
+        msg.push_str("\nops:");
+        for (i, op) in f.ops.iter().enumerate() {
+            msg.push_str(&format!("\n  {i:4}: {op:?}"));
+        }
+    }
+    panic!("{msg}");
+}
+
+/// Verifies `f` after `stage` (e.g. `"lower"`), panicking with full
+/// context on any violation.
+pub fn check(stage: &str, f: &RFunc) {
+    let violations = verify_rfunc(f);
+    if !violations.is_empty() {
+        fail(stage, f, &violations);
+    }
+}
+
+/// Verifies `f` after the pass named `pass` and checks the side-effect
+/// trace against `before` (taken just before the pass ran).
+pub fn check_pass(pass: &str, f: &RFunc, before: &[String]) {
+    let mut violations = verify_rfunc(f);
+    if let Some(v) = effects_preserved(pass, before, &effect_trace(f)) {
+        violations.push(v);
+    }
+    if !violations.is_empty() {
+        fail(pass, f, &violations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_arguments_are_expanded_as_uses() {
+        let call = ROp::Call { f: 2, args: 3, nargs: 2, ret: true };
+        let f = RFunc {
+            ops: vec![call, ROp::Ret { rs: 3, has: true }],
+            nparams: 0,
+            nlocals: 0,
+            nregs: 5,
+            result: true,
+            tables: Vec::new(),
+        };
+        let view = view_of(&f);
+        assert_eq!(view.ops[0].uses, vec![3, 4]);
+        assert_eq!(view.ops[0].def, Some(3));
+
+        let ind = ROp::CallIndirect { type_idx: 0, elem: 2, args: 3, nargs: 1, ret: false };
+        let f2 = RFunc { ops: vec![ind, ROp::Ret { rs: 0, has: false }], nregs: 5, ..f };
+        let view2 = view_of(&f2);
+        assert_eq!(view2.ops[0].uses, vec![2, 3]);
+        assert_eq!(view2.ops[0].def, None);
+    }
+
+    #[test]
+    fn br_table_targets_come_from_the_pool() {
+        let f = RFunc {
+            ops: vec![
+                ROp::Const { rd: 0, bits: 1 },
+                ROp::BrTable { idx: 0, table: 0 },
+                ROp::Ret { rs: 0, has: false },
+                ROp::Ret { rs: 0, has: false },
+            ],
+            nparams: 0,
+            nlocals: 0,
+            nregs: 1,
+            result: false,
+            tables: vec![vec![2, 3, 2]],
+        };
+        let view = view_of(&f);
+        assert_eq!(view.ops[1].targets, vec![2, 3, 2]);
+        assert!(!view.ops[1].falls_through);
+        assert!(verify_rfunc(&f).is_empty());
+    }
+
+    #[test]
+    fn effect_trace_has_no_registers() {
+        use wasm_core::instr::{Instr, MemArg};
+        let store = Instr::I32Store(MemArg { align: 2, offset: 16 });
+        let f = RFunc {
+            ops: vec![
+                ROp::Const { rd: 0, bits: 0 },
+                ROp::Store { op: store, addr: 0, val: 0, offset: 16 },
+                ROp::Ret { rs: 0, has: false },
+            ],
+            nparams: 0,
+            nlocals: 0,
+            nregs: 1,
+            result: false,
+            tables: Vec::new(),
+        };
+        let trace = effect_trace(&f);
+        assert_eq!(trace.len(), 1);
+        assert!(trace[0].contains("+16"), "{trace:?}");
+
+        // Renaming the registers must not perturb the trace.
+        let mut g = f.clone();
+        g.nregs = 2;
+        g.ops[0] = ROp::Const { rd: 1, bits: 0 };
+        g.ops[1] = ROp::Store { op: store, addr: 1, val: 1, offset: 16 };
+        assert_eq!(effect_trace(&g), trace);
+    }
+
+    #[test]
+    fn use_before_def_is_caught_through_the_adapter() {
+        let f = RFunc {
+            ops: vec![
+                ROp::Move { rd: 0, rs: 1 }, // r1 is a stack slot, never assigned
+                ROp::Ret { rs: 0, has: true },
+            ],
+            nparams: 1,
+            nlocals: 1,
+            nregs: 2,
+            result: true,
+            tables: Vec::new(),
+        };
+        let v = verify_rfunc(&f);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("not definitely assigned"), "{v:?}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the IR verifier: arbitrary functions — random WaCC
+//! programs through the real compiler, and randomly-shaped hand-built
+//! modules with `br_table` dispatch — must pass the `wabench-analysis`
+//! verifier after lowering and after every optimizing pipeline, with the
+//! observable side-effect trace preserved end to end.
+//!
+//! In debug builds `optimize` additionally self-verifies after each
+//! individual pass (a violation panics naming the pass); the assertions
+//! here pin the end-state contract so it also holds under `--release`.
+
+use std::rc::Rc;
+
+use engines::jit::ir::RFunc;
+use engines::jit::opt::{optimize, PassConfig};
+use engines::jit::{lower, verify, Tier};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use wasm_core::builder::ModuleBuilder;
+use wasm_core::instr::{BlockType, Instr, MemArg};
+use wasm_core::module::Module;
+use wasm_core::types::{FuncType, ValType};
+
+fn next(rng: &mut u64, m: u64) -> u64 {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    *rng % m
+}
+
+/// A random WaCC program exercising branches, loops, calls, and memory.
+fn gen_source(seed: u64) -> String {
+    let mut rng = seed | 1;
+    let k1 = next(&mut rng, 64);
+    let k2 = next(&mut rng, 1 << 16);
+    let shift = next(&mut rng, 31) + 1;
+    let addr_mask = 65528; // keep stores inside page 0, 8-byte aligned
+    let arms = 2 + next(&mut rng, 4);
+    let mut body = String::new();
+    for arm in 0..arms {
+        body.push_str(&format!(
+            "        if (remu(t, {arms}) == {arm}) {{ t = t + helper(t ^ {}); }}\n",
+            next(&mut rng, 1 << 12)
+        ));
+    }
+    format!(
+        "memory 1;
+export fn test(a: i32, b: i32) -> i32 {{
+    let t: i32 = a * {k1} + {k2};
+    let i: i32 = 0;
+    while (i < 8) {{
+        store_i32((t & {addr_mask}), t);
+{body}        if (t > 100000) {{ t = t - b; }} else {{ t = t + (b >>> {shift}); }}
+        t = t ^ load_i32((i * 8) & {addr_mask});
+        i = i + 1;
+    }}
+    return t;
+}}
+fn helper(x: i32) -> i32 {{
+    if (x < 0) {{ return 0 - x; }}
+    return x * 3 + 1;
+}}"
+    )
+}
+
+/// A random hand-built module centered on `br_table` dispatch (which the
+/// WaCC compiler never emits) plus globals and memory traffic.
+fn gen_br_table_module(seed: u64) -> Module {
+    let mut rng = seed | 1;
+    let narms = 2 + next(&mut rng, 5) as u32;
+    let mut b = ModuleBuilder::new();
+    b.memory(1, Some(2));
+    let g = b.global(
+        ValType::I32,
+        true,
+        wasm_core::module::ConstExpr::I32(next(&mut rng, 100) as i32),
+    );
+    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+    let acc = b.new_local(ValType::I32);
+    // narms nested blocks, innermost holding the br_table; each arm sets
+    // a distinct accumulator value and a distinct store offset.
+    for _ in 0..=narms {
+        b.emit(Instr::Block(BlockType::Empty));
+    }
+    b.emit(Instr::LocalGet(0));
+    b.emit_br_table((0..narms).collect(), narms);
+    b.emit(Instr::End);
+    for arm in 0..narms {
+        let bits = next(&mut rng, 1 << 20) as i32;
+        b.emit(Instr::I32Const(bits));
+        b.emit(Instr::LocalSet(acc));
+        b.emit(Instr::I32Const(arm as i32 * 8));
+        b.emit(Instr::LocalGet(acc));
+        b.emit(Instr::I32Store(MemArg::offset(16, 2)));
+        b.emit(Instr::Br(narms - arm - 1));
+        b.emit(Instr::End);
+    }
+    b.emit(Instr::LocalGet(acc));
+    b.emit(Instr::GlobalGet(g));
+    b.emit(Instr::I32Add);
+    b.emit(Instr::GlobalSet(g));
+    b.emit(Instr::GlobalGet(g));
+    b.finish_func();
+    b.export_func("dispatch", f);
+    b.build()
+}
+
+/// Lowers every function of `module` and runs it through both optimizing
+/// pipelines, asserting verifier cleanliness and trace preservation.
+fn check_module(module: &Module) -> Result<(), TestCaseError> {
+    wasm_core::validate::validate(module).expect("validate");
+    let rc = Rc::new(module.clone());
+    for config in [PassConfig::standard(), PassConfig::aggressive()] {
+        for f in &rc.funcs {
+            let mut rf: RFunc = lower::lower(&rc, f).expect("lower");
+            let lowered = verify::verify_rfunc(&rf);
+            prop_assert!(lowered.is_empty(), "lowered code: {lowered:?}");
+            let trace_before = verify::effect_trace(&rf);
+            optimize(&mut rf, &config);
+            let after = verify::verify_rfunc(&rf);
+            prop_assert!(after.is_empty(), "optimized code: {after:?}");
+            let diverged =
+                analysis::verify::effects_preserved("pipeline", &trace_before, &verify::effect_trace(&rf));
+            prop_assert!(diverged.is_none(), "{}", diverged.unwrap());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_wacc_programs_verify_through_every_pipeline(seed in any::<u64>()) {
+        let src = gen_source(seed);
+        let bytes = wacc::compile_to_bytes(&src, wacc::OptLevel::O2).expect("compile");
+        let module = wasm_core::decode::decode(&bytes).expect("decode");
+        check_module(&module)?;
+    }
+
+    #[test]
+    fn random_br_table_modules_verify_through_every_pipeline(seed in any::<u64>()) {
+        let module = gen_br_table_module(seed);
+        check_module(&module)?;
+    }
+
+    #[test]
+    fn compile_module_self_verifies_all_tiers(seed in any::<u64>()) {
+        // End-to-end: in debug builds the per-pass verifier inside
+        // `optimize` fires during `compile_module` itself.
+        let module = Rc::new(gen_br_table_module(seed));
+        for tier in [Tier::Singlepass, Tier::Cranelift, Tier::Llvm] {
+            let (_, stats) = engines::jit::compile_module(module.clone(), tier).expect("compile");
+            if verify::enabled() {
+                prop_assert!(stats.passes.verify_ns > 0, "verify time unrecorded at {tier}");
+            }
+        }
+    }
+}

@@ -43,6 +43,35 @@ pub fn is_simulated(id: &str) -> bool {
     matches!(id, "fig6" | "fig7" | "fig8" | "fig9")
 }
 
+/// The "Static analysis & IR verification" section appended to
+/// `EXPERIMENTS.md` by `wabench-harness all`, describing the guarantees
+/// under which every number above was measured.
+pub fn static_analysis_section() -> String {
+    let verifying = if engines::jit::verify::enabled() {
+        "was ON for this run"
+    } else {
+        "was OFF for this run (release build without `--features verify-ir`)"
+    };
+    format!(
+        "### Static analysis & IR verification\n\n\
+         Every compiled-tier measurement above was produced by a JIT\n\
+         pipeline that is checkable after every pass: `wabench-analysis`\n\
+         rebuilds the CFG of each lowered function and runs a reaching-defs\n\
+         dataflow to reject use-before-def, dangling or mid-instruction\n\
+         branch targets, malformed terminators, and any pass that drops or\n\
+         reorders an observable side effect (stores, global writes,\n\
+         `memory.grow`, calls). Verification {verifying}; it is always on in\n\
+         debug builds, and its cost is accounted separately\n\
+         (`PassStats::verify_ns`) so modeled compile work is never inflated.\n\n\
+         Suite hygiene is enforced the same way at the source level:\n\
+         `cargo run -p wabench-harness --bin wabench-lint` sweeps all 50\n\
+         WaCC programs for unused variables/functions, unreachable\n\
+         statements, constant division by zero, and constant out-of-bounds\n\
+         accesses, and exits nonzero on findings (`scripts/verify.sh` runs\n\
+         it as part of the tier-1 gate).\n"
+    )
+}
+
 /// Aliases accepted by the CLI for individual tables/figures.
 pub fn resolve_alias(name: &str) -> Option<&'static str> {
     Some(match name {

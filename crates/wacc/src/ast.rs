@@ -375,6 +375,8 @@ pub enum AssignTarget {
 pub struct FuncDef {
     /// Function name.
     pub name: String,
+    /// Source line of the definition (1-based), for diagnostics.
+    pub line: u32,
     /// Parameters (name, type).
     pub params: Vec<(String, Ty)>,
     /// Return type, if any.
@@ -387,6 +389,9 @@ pub struct FuncDef {
     pub nlocals: u32,
     /// Types of all local slots, filled by the checker.
     pub local_types: Vec<Ty>,
+    /// Names of all local slots (params first), filled by the checker;
+    /// lets diagnostics refer to slots by their surface name.
+    pub local_names: Vec<String>,
 }
 
 /// A global variable definition.

@@ -56,6 +56,7 @@ pub fn check(program: &mut Program) -> Result<HashMap<String, FuncSig>, CompileE
             globals: &globals,
             scopes: vec![HashMap::new()],
             local_types: f.params.iter().map(|(_, t)| *t).collect(),
+            local_names: f.params.iter().map(|(n, _)| n.clone()).collect(),
             ret: f.ret,
             loop_depth: 0,
         };
@@ -65,6 +66,7 @@ pub fn check(program: &mut Program) -> Result<HashMap<String, FuncSig>, CompileE
         check_block(&mut cx, &mut f.body)?;
         f.nlocals = cx.local_types.len() as u32;
         f.local_types = cx.local_types;
+        f.local_names = cx.local_names;
     }
     Ok(sigs)
 }
@@ -74,6 +76,7 @@ struct FuncCx<'a> {
     globals: &'a HashMap<String, (u32, Ty)>,
     scopes: Vec<HashMap<String, u32>>,
     local_types: Vec<Ty>,
+    local_names: Vec<String>,
     ret: Option<Ty>,
     /// Enclosing loop count: `break`/`continue` are only legal when > 0.
     loop_depth: u32,
@@ -112,6 +115,7 @@ fn check_stmt(cx: &mut FuncCx<'_>, stmt: &mut Stmt) -> Result<(), CompileError> 
             };
             let idx = cx.local_types.len() as u32;
             cx.local_types.push(want);
+            cx.local_names.push(name.clone());
             cx.scopes
                 .last_mut()
                 .expect("scope stack")

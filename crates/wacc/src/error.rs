@@ -30,6 +30,59 @@ impl fmt::Display for CompileError {
 
 impl Error for CompileError {}
 
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not necessarily wrong (e.g. unused variable).
+    Warning,
+    /// Guaranteed misbehavior if the code is reached (e.g. constant
+    /// division by zero).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A non-fatal finding about a program that still compiles: what the
+/// static analyzer reports, as opposed to [`CompileError`] which aborts
+/// compilation. Carries a stable machine-readable `code` so tooling can
+/// filter by lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// 1-based source line the finding points at.
+    pub line: u32,
+    /// Stable lint identifier, e.g. `"unused-variable"`.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl Diagnostic {
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(line: u32, code: &'static str, msg: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, line, code, msg: msg.into() }
+    }
+
+    /// Creates an error-severity diagnostic.
+    pub fn error(line: u32, code: &'static str, msg: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, line, code, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] line {}: {}", self.severity, self.code, self.line, self.msg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -40,5 +93,14 @@ mod tests {
             CompileError::new(7, "type mismatch").to_string(),
             "line 7: type mismatch"
         );
+    }
+
+    #[test]
+    fn diagnostic_display_carries_code_and_severity() {
+        let d = Diagnostic::warning(12, "unused-variable", "`x` is never read");
+        assert_eq!(d.to_string(), "warning[unused-variable] line 12: `x` is never read");
+        let e = Diagnostic::error(3, "const-div-zero", "division by constant zero");
+        assert!(e.to_string().starts_with("error[const-div-zero] line 3"));
+        assert!(Severity::Warning < Severity::Error);
     }
 }

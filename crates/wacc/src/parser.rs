@@ -242,6 +242,7 @@ impl Parser {
     }
 
     fn parse_func(&mut self, exported: bool) -> Result<FuncDef, CompileError> {
+        let line = self.line();
         let name = self.expect_ident()?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
@@ -265,12 +266,14 @@ impl Parser {
         let body = self.parse_block()?;
         Ok(FuncDef {
             name,
+            line,
             params,
             ret,
             body,
             exported,
             nlocals: 0,
             local_types: Vec::new(),
+            local_names: Vec::new(),
         })
     }
 

@@ -27,7 +27,10 @@ impl ControlMap {
     /// # Errors
     ///
     /// Returns an error if control structure is malformed: unbalanced
-    /// `End`, `Else` outside an `If`, or a missing final `End`.
+    /// `End`, `Else` outside an `If`, or a missing final `End`. Every
+    /// error carries the offending instruction offset; callers that know
+    /// which function the body belongs to attach the index with
+    /// [`ValidateError::with_func`].
     pub fn build(body: &[Instr]) -> Result<ControlMap, ValidateError> {
         let n = body.len();
         let mut end_of = vec![NO_MATCH; n];
@@ -40,17 +43,15 @@ impl ControlMap {
                     stack.push((pc as u32, NO_MATCH));
                 }
                 Instr::Else => {
-                    let top = stack
-                        .last_mut()
-                        .ok_or_else(|| ValidateError::module("else with empty control stack"))?;
+                    let top = stack.last_mut().ok_or_else(|| {
+                        ValidateError::at_instr(pc, "else with empty control stack")
+                    })?;
                     let opener = top.0;
                     if opener == NO_MATCH || !matches!(body[opener as usize], Instr::If(_)) {
-                        return Err(ValidateError::module(format!(
-                            "else at {pc} does not match an if"
-                        )));
+                        return Err(ValidateError::at_instr(pc, "else does not match an if"));
                     }
                     if top.1 != NO_MATCH {
-                        return Err(ValidateError::module(format!("duplicate else at {pc}")));
+                        return Err(ValidateError::at_instr(pc, "duplicate else"));
                     }
                     top.1 = pc as u32;
                     else_of[opener as usize] = pc as u32;
@@ -58,7 +59,7 @@ impl ControlMap {
                 Instr::End => {
                     let (opener, else_pc) = stack
                         .pop()
-                        .ok_or_else(|| ValidateError::module("unbalanced end"))?;
+                        .ok_or_else(|| ValidateError::at_instr(pc, "unbalanced end"))?;
                     if opener != NO_MATCH {
                         end_of[opener as usize] = pc as u32;
                     }
@@ -66,16 +67,17 @@ impl ControlMap {
                         end_of[else_pc as usize] = pc as u32;
                     }
                     if stack.is_empty() && pc + 1 != n {
-                        return Err(ValidateError::module(format!(
-                            "instructions after final end at {pc}"
-                        )));
+                        return Err(ValidateError::at_instr(
+                            pc + 1,
+                            "instructions after final end",
+                        ));
                     }
                 }
                 _ => {}
             }
         }
         if !stack.is_empty() {
-            return Err(ValidateError::module("missing final end"));
+            return Err(ValidateError::at_instr(n, "missing final end"));
         }
         Ok(ControlMap { end_of, else_of })
     }
@@ -153,13 +155,16 @@ mod tests {
 
     #[test]
     fn rejects_missing_end() {
-        assert!(ControlMap::build(&[block(), Instr::Nop]).is_err());
+        let e = ControlMap::build(&[block(), Instr::Nop]).unwrap_err();
+        assert_eq!(e.instr, Some(2), "{e}");
     }
 
     #[test]
     fn rejects_else_outside_if() {
         let body = [block(), Instr::Else, Instr::End, Instr::End];
-        assert!(ControlMap::build(&body).is_err());
+        let e = ControlMap::build(&body).unwrap_err();
+        assert_eq!(e.instr, Some(1), "{e}");
+        assert_eq!(e.to_string(), "validation error at instr 1: else does not match an if");
     }
 
     #[test]

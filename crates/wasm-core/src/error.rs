@@ -120,6 +120,27 @@ impl ValidateError {
             instr: Some(instr),
         }
     }
+
+    /// Creates a validation error at a known instruction offset in a
+    /// not-yet-identified function (used by body-local analyses like
+    /// `ControlMap`, whose callers attach the index via [`with_func`]).
+    ///
+    /// [`with_func`]: ValidateError::with_func
+    pub fn at_instr(instr: usize, message: impl Into<String>) -> Self {
+        ValidateError {
+            message: message.into(),
+            func: None,
+            instr: Some(instr),
+        }
+    }
+
+    /// Attaches the function index space position, unless one is already
+    /// recorded (an inner analysis may know the index more precisely).
+    #[must_use]
+    pub fn with_func(mut self, func: u32) -> Self {
+        self.func.get_or_insert(func);
+        self
+    }
 }
 
 impl fmt::Display for ValidateError {
@@ -129,6 +150,7 @@ impl fmt::Display for ValidateError {
                 write!(f, "validation error in func {func} at instr {i}: {}", self.message)
             }
             (Some(func), None) => write!(f, "validation error in func {func}: {}", self.message),
+            (None, Some(i)) => write!(f, "validation error at instr {i}: {}", self.message),
             _ => write!(f, "validation error: {}", self.message),
         }
     }
@@ -159,5 +181,17 @@ mod tests {
             ValidateError::module("no memory").to_string(),
             "validation error: no memory"
         );
+    }
+
+    #[test]
+    fn at_instr_carries_offset_and_accepts_a_func_index() {
+        let e = ValidateError::at_instr(7, "unbalanced end");
+        assert_eq!(e.to_string(), "validation error at instr 7: unbalanced end");
+        let e = e.with_func(4);
+        assert_eq!(e.func, Some(4));
+        assert_eq!(e.instr, Some(7));
+        assert_eq!(e.to_string(), "validation error in func 4 at instr 7: unbalanced end");
+        // An already-attributed error keeps its original function index.
+        assert_eq!(ValidateError::in_func(1, 2, "x").with_func(9).func, Some(1));
     }
 }

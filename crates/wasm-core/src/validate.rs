@@ -24,7 +24,7 @@ pub fn validate(module: &Module) -> Result<(), ValidateError> {
             .types
             .get(func.type_idx as usize)
             .ok_or_else(|| {
-                ValidateError::module(format!("func {func_idx}: type index out of bounds"))
+                ValidateError::module("type index out of bounds").with_func(func_idx)
             })?
             .clone();
         FuncValidator::new(module, func_idx, &ty, &func.locals).run(&func.body)?;
@@ -338,10 +338,7 @@ impl<'m> FuncValidator<'m> {
 
     fn run(mut self, body: &[Instr]) -> Result<(), ValidateError> {
         // Build the control map first; this also verifies block structure.
-        ControlMap::build(body).map_err(|e| ValidateError {
-            func: Some(self.func_idx),
-            ..e
-        })?;
+        ControlMap::build(body).map_err(|e| e.with_func(self.func_idx))?;
 
         self.frames.push(Frame {
             label_types: self.results.clone(),

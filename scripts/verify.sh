@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verify flow for wabench.
+#
+# Runs, in order:
+#   1. cargo build --release          (the seed tier-1 build)
+#   2. cargo test -q                  (the seed tier-1 test suite)
+#   3. cargo clippy --workspace --all-targets -- -D warnings
+#   4. wabench-lint over crates/suite/programs (exits nonzero on findings)
+#
+# Offline / vendored-cargo caveat: this workspace builds fully offline.
+# Every external dependency (proptest, criterion, rand, ...) is a path
+# dependency on an API-compatible stub under vendor/ — see
+# vendor/README.md. If a cargo invocation here fails trying to reach
+# crates.io (e.g. "failed to get `...` as a dependency"), the cause is a
+# new non-path dependency in some Cargo.toml, NOT a network outage to be
+# retried: point the dependency at a vendor/ stub instead.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*" >&2; }
+
+step "tier-1 build (release)"
+cargo build --release
+
+step "tier-1 tests"
+cargo test -q
+
+step "clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "wabench-lint (source diagnostics over all suite programs)"
+cargo run -q -p wabench-harness --bin wabench-lint
+
+step "verify OK"

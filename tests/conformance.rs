@@ -340,19 +340,30 @@ fn call_indirect_traps_agree_across_engines() {
 /// trap (not a host stack fault) on every engine.
 #[test]
 fn stack_overflow_traps_agree_across_engines() {
-    let mut b = ModuleBuilder::new();
-    let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
-    b.emit(Instr::LocalGet(0));
-    b.emit(Instr::Call(0));
-    b.finish_func();
-    b.export_func("f", f);
-    let m = b.build();
-    wasm_core::validate::validate(&m).expect("valid");
-    let bytes = wasm_core::encode::encode(&m);
-    let results = run_all_engines(&bytes, &[Value::I32(0)]);
-    for (kind, r) in EngineKind::all().iter().zip(&results) {
-        assert_eq!(r.as_ref().unwrap_err(), &Trap::StackOverflow, "{kind:?}");
-    }
+    // Engines that recurse natively need headroom to reach their own
+    // depth limit before the host stack runs out (debug frames are fat),
+    // so the body runs on a thread with a generous stack.
+    let body = || {
+        let mut b = ModuleBuilder::new();
+        let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+        b.emit(Instr::LocalGet(0));
+        b.emit(Instr::Call(0));
+        b.finish_func();
+        b.export_func("f", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).expect("valid");
+        let bytes = wasm_core::encode::encode(&m);
+        let results = run_all_engines(&bytes, &[Value::I32(0)]);
+        for (kind, r) in EngineKind::all().iter().zip(&results) {
+            assert_eq!(r.as_ref().unwrap_err(), &Trap::StackOverflow, "{kind:?}");
+        }
+    };
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(body)
+        .expect("spawn")
+        .join()
+        .expect("stack overflow test thread");
 }
 
 /// `memory.grow` past the declared maximum is a `-1` result, not a trap,

@@ -1,0 +1,61 @@
+//! IR-verifier sweep: every function of every WABench program, lowered
+//! and run through both optimizing JIT pipelines, must verify cleanly —
+//! no dangling targets, no use-before-def, no effect-trace changes.
+//!
+//! Debug builds additionally run the verifier after *every individual
+//! pass* inside `optimize` (so a violation would panic mid-pipeline with
+//! the offending pass named); this test asserts the end state explicitly
+//! so the guarantee also holds under `--release` without `verify-ir`.
+
+use std::rc::Rc;
+
+use engines::jit::{self, Tier};
+
+#[test]
+fn every_suite_program_verifies_through_both_jit_tiers() {
+    let mut checked_funcs = 0usize;
+    for b in suite::all() {
+        let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+        let module = wasm_core::decode::decode(&bytes).expect("decode");
+        wasm_core::validate::validate(&module).expect("validate");
+        let module = Rc::new(module);
+        for tier in [Tier::Cranelift, Tier::Llvm] {
+            let config = tier.pass_config();
+            for f in &module.funcs {
+                let mut rf = jit::lower::lower(&module, f).expect("lower");
+                let violations = jit::verify::verify_rfunc(&rf);
+                assert!(
+                    violations.is_empty(),
+                    "{}: lowered code has violations: {violations:?}",
+                    b.name
+                );
+                jit::opt::optimize(&mut rf, &config);
+                let violations = jit::verify::verify_rfunc(&rf);
+                assert!(
+                    violations.is_empty(),
+                    "{} ({tier}): optimized code has violations: {violations:?}",
+                    b.name
+                );
+                checked_funcs += 1;
+            }
+        }
+    }
+    assert!(checked_funcs > 100, "sweep looks too small: {checked_funcs} functions");
+}
+
+#[test]
+fn verifier_time_is_accounted_outside_compile_work() {
+    let b = suite::by_name("crc32").expect("registered");
+    let bytes = b.compile(wacc::OptLevel::O2).expect("compile");
+    let module = wasm_core::decode::decode(&bytes).expect("decode");
+    wasm_core::validate::validate(&module).expect("validate");
+    let (_, stats) = jit::compile_module(Rc::new(module), Tier::Llvm).expect("compile");
+    if jit::verify::enabled() {
+        assert!(stats.passes.verify_ns > 0, "verification ran but recorded no time");
+    }
+    // Modeled compile work must not move with verification overhead.
+    assert_eq!(
+        stats.total_work(),
+        stats.lowered_ops as u64 + stats.passes.op_visits
+    );
+}

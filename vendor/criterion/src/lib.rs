@@ -1,0 +1,187 @@
+//! Offline stub of `criterion` (see `vendor/README.md`).
+//!
+//! The build sandbox cannot reach crates.io, so this crate provides the
+//! subset of the criterion 0.5 surface the bench targets use:
+//! `Criterion` builder methods, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical sampling it runs each routine
+//! `sample_size` times and reports the mean wall-clock time per
+//! iteration on stdout — enough to compare runs by hand, not a
+//! replacement for real criterion statistics.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver; mirrors criterion's builder API.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores it.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores it.
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f`'s `Bencher::iter` routine and prints the mean.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bench = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench);
+        bench.report(&self.name, &id);
+    }
+
+    /// `bench_function` with an explicit input value passed through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bench = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bench, input);
+        bench.report(&self.name, &id);
+    }
+
+    /// Ends the group (no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param` like real criterion.
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iterations` times, accumulating wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    fn report(&self, group: &str, id: &dyn std::fmt::Display) {
+        let per_iter = self.elapsed.as_nanos() / self.iterations.max(1) as u128;
+        println!("bench {group}/{id}: {per_iter} ns/iter ({} iters)", self.iterations);
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions under a name with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_routines() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("stub");
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        assert_eq!(runs, 3);
+    }
+}

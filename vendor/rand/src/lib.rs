@@ -1,0 +1,67 @@
+//! Offline stub of `rand` 0.8 (see `vendor/README.md`).
+//!
+//! Nothing in the workspace currently imports `rand` items (it is a
+//! declared-but-unused dev-dependency), so this stub only has to satisfy
+//! dependency resolution. A small deterministic xorshift subset of the
+//! 0.8 surface is provided anyway so ad-hoc test code can use
+//! `rand::thread_rng()` / `Rng::gen_range` without surprises.
+
+/// Subset of `rand::Rng` backed by a deterministic xorshift64* stream.
+pub trait Rng {
+    /// Advances the generator and returns the next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform-ish value in `[low, high)` (stub: modulo reduction).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end.saturating_sub(range.start).max(1);
+        range.start + self.next_u64() % span
+    }
+
+    /// A pseudo-random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// The stub generator: xorshift64* with a fixed default seed.
+#[derive(Debug, Clone)]
+pub struct StdRng(u64);
+
+impl StdRng {
+    /// Creates a generator from a seed (zero is remapped).
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        StdRng(seed | 1)
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Deterministic stand-in for `rand::thread_rng()`.
+pub fn thread_rng() -> StdRng {
+    StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let v = a.gen_range(10..20);
+            assert_eq!(v, b.gen_range(10..20));
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build sandbox has no access to crates.io (see `vendor/README.md`),
+//! and this workspace uses serde only as `#[derive(Serialize,
+//! Deserialize)]` decoration on plain data types — nothing serializes at
+//! runtime. This stub provides the two marker traits and re-exports the
+//! no-op derive macros so those derives keep compiling unchanged. If the
+//! repo ever gains a real serialization consumer, replace this stub with
+//! a vendored copy of the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The stub derive emits an empty impl of this trait.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// The stub derive emits an empty impl of this trait.
+pub trait Deserialize<'de> {}
+
+/// Namespace mirror so `serde::de::...` paths resolve if ever referenced.
+pub mod de {
+    pub use crate::Deserialize;
+}
+
+/// Namespace mirror so `serde::ser::...` paths resolve if ever referenced.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace uses the serde derives purely as decoration on data
+//! types; no code in the tree calls serialization at runtime. These
+//! derives therefore expand to nothing, which keeps every
+//! `#[derive(serde::Serialize, serde::Deserialize)]` compiling without
+//! pulling `syn`/`quote` (unavailable offline). Swap in the real crate
+//! if a serialization consumer ever lands.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
