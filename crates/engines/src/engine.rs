@@ -133,6 +133,52 @@ impl EngineKind {
         }
     }
 
+    /// A stable one-byte code for wire formats and artifact-store keys.
+    ///
+    /// Codes are append-only: existing assignments never change, so
+    /// on-disk artifacts and socket peers from older builds keep
+    /// decoding.
+    pub fn code(self) -> u8 {
+        match self {
+            EngineKind::Wasmtime => 0,
+            EngineKind::Wavm => 1,
+            EngineKind::Wasmer(Backend::Singlepass) => 2,
+            EngineKind::Wasmer(Backend::Cranelift) => 3,
+            EngineKind::Wasmer(Backend::Llvm) => 4,
+            EngineKind::Wasm3 => 5,
+            EngineKind::Wamr => 6,
+        }
+    }
+
+    /// Decodes a [`code`](Self::code) byte.
+    pub fn from_code(code: u8) -> Option<EngineKind> {
+        Some(match code {
+            0 => EngineKind::Wasmtime,
+            1 => EngineKind::Wavm,
+            2 => EngineKind::Wasmer(Backend::Singlepass),
+            3 => EngineKind::Wasmer(Backend::Cranelift),
+            4 => EngineKind::Wasmer(Backend::Llvm),
+            5 => EngineKind::Wasm3,
+            6 => EngineKind::Wamr,
+            _ => return None,
+        })
+    }
+
+    /// Parses a CLI spelling (`wasmtime`, `wavm`, `wasmer`,
+    /// `wasmer-singlepass`, `wasmer-llvm`, `wasm3`, `wamr`).
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        Some(match s.to_ascii_lowercase().as_str() {
+            "wasmtime" => EngineKind::Wasmtime,
+            "wavm" => EngineKind::Wavm,
+            "wasmer" | "wasmer-cranelift" => EngineKind::Wasmer(Backend::Cranelift),
+            "wasmer-singlepass" => EngineKind::Wasmer(Backend::Singlepass),
+            "wasmer-llvm" => EngineKind::Wasmer(Backend::Llvm),
+            "wasm3" => EngineKind::Wasm3,
+            "wamr" => EngineKind::Wamr,
+            _ => return None,
+        })
+    }
+
     /// Fixed process footprint of the modeled runtime, in bytes.
     ///
     /// Interpreters are tiny embeddable libraries; the compiling runtimes
@@ -580,6 +626,22 @@ mod tests {
             totals.push(inst.memory_report().runtime_overhead());
         }
         assert!(totals[0] > totals[1], "WAVM should out-consume Wasm3");
+    }
+
+    #[test]
+    fn engine_codes_round_trip() {
+        let mut kinds: Vec<EngineKind> = EngineKind::all().to_vec();
+        kinds.extend(Backend::all().map(EngineKind::Wasmer));
+        for kind in kinds {
+            assert_eq!(EngineKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_code(200), None);
+        assert_eq!(EngineKind::parse("WAVM"), Some(EngineKind::Wavm));
+        assert_eq!(
+            EngineKind::parse("wasmer"),
+            Some(EngineKind::Wasmer(Backend::Cranelift))
+        );
+        assert_eq!(EngineKind::parse("v8"), None);
     }
 
     #[test]

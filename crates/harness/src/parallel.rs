@@ -1,0 +1,232 @@
+//! The `--jobs N` warm pass: runs each experiment's measurement matrix
+//! through the `wabench-svc` scheduler, then primes the serial runner
+//! caches with the results.
+//!
+//! The table-assembly code in [`crate::experiments`] is untouched: it
+//! still iterates benchmarks and engines in the same deterministic
+//! order, but every `run_engine`/`run_engine_aot`/`run_profiled` call
+//! finds its measurement already primed and returns immediately. Tables
+//! therefore come out structurally identical to a serial run — same
+//! rows, same columns, same ordering — regardless of how the jobs
+//! interleaved across workers. Simulated experiments (fig6–fig9) are
+//! bit-identical too, because the architectural simulator is
+//! deterministic.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use engines::{Backend, EngineKind};
+use svc::job::{JobMode, JobSpec};
+use svc::scheduler::{Config, Scheduler};
+use wacc::OptLevel;
+
+use crate::runner::{self, ExecTime, Scale};
+
+fn svc_scale(scale: Scale) -> svc::job::Scale {
+    match scale {
+        Scale::Test => svc::job::Scale::Test,
+        Scale::Profile => svc::job::Scale::Profile,
+        Scale::Timing => svc::job::Scale::Timing,
+    }
+}
+
+/// The job matrix an experiment will measure, deduplicated across
+/// experiments (fig1 and fig3 share their O2 JIT runs, the four
+/// simulated figures share all their profiled runs).
+fn specs_for(id: &str, scale: Scale, seen: &mut HashSet<(String, u8, u8, u8)>) -> Vec<JobSpec> {
+    let scale = svc_scale(scale);
+    let mut out = Vec::new();
+    let mut push = |benchmark: &str, engine: EngineKind, level: OptLevel, mode: JobMode| {
+        let key = (
+            benchmark.to_string(),
+            engine.code(),
+            svc::wire::level_byte(level),
+            mode.byte(),
+        );
+        if seen.insert(key) {
+            out.push(JobSpec {
+                benchmark: benchmark.to_string(),
+                engine,
+                level,
+                scale,
+                mode,
+                warm: false,
+            });
+        }
+    };
+    match id {
+        "fig1" => {
+            for b in suite::all() {
+                for kind in EngineKind::all() {
+                    push(b.name, kind, OptLevel::O2, JobMode::Exec);
+                }
+            }
+        }
+        "fig2" => {
+            for b in suite::all() {
+                for bk in [Backend::Singlepass, Backend::Cranelift, Backend::Llvm] {
+                    push(b.name, EngineKind::Wasmer(bk), OptLevel::O2, JobMode::Exec);
+                }
+            }
+        }
+        "fig3" => {
+            let jits = [
+                EngineKind::Wasmtime,
+                EngineKind::Wavm,
+                EngineKind::Wasmer(Backend::Cranelift),
+            ];
+            for b in suite::all() {
+                for kind in jits {
+                    push(b.name, kind, OptLevel::O2, JobMode::Exec);
+                    push(b.name, kind, OptLevel::O2, JobMode::ExecAot);
+                }
+            }
+        }
+        "fig4" => {
+            for b in suite::all() {
+                for kind in EngineKind::all() {
+                    for level in OptLevel::all() {
+                        push(b.name, kind, level, JobMode::Exec);
+                    }
+                }
+            }
+        }
+        // fig5 (memory) is deliberately uncached in the serial runner;
+        // warming it would change what the experiment measures.
+        "fig5" => {}
+        "fig6" | "fig7" | "fig8" | "fig9" => {
+            for b in suite::all() {
+                push(b.name, EngineKind::Wavm, OptLevel::O2, JobMode::ProfiledNative);
+                for kind in EngineKind::all() {
+                    push(b.name, kind, OptLevel::O2, JobMode::Profiled);
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// Runs the measurement matrices for `ids` through a `jobs`-worker
+/// scheduler and primes the serial runner caches with every result.
+/// Returns the number of jobs executed.
+///
+/// # Panics
+///
+/// Panics if any job fails — a failed measurement (bad compile, wrong
+/// checksum) would also abort a serial run, just later.
+pub fn warm_matrix(ids: &[(&str, Scale)], jobs: usize) -> usize {
+    let mut seen = HashSet::new();
+    let mut specs = Vec::new();
+    for (id, scale) in ids {
+        specs.extend(specs_for(id, *scale, &mut seen));
+    }
+    if specs.is_empty() {
+        return 0;
+    }
+    let sched = Scheduler::start(Config {
+        workers: jobs,
+        timeout: Duration::from_secs(600),
+        store_dir: None,
+        store_cap_bytes: 0,
+    })
+    .expect("start scheduler");
+    for spec in &specs {
+        sched.submit(spec.clone());
+    }
+    let results = sched.drain_sorted();
+
+    // Share the parallel pass's compiled modules with the serial path.
+    for (name, level, bytes) in sched.bytes_snapshot() {
+        if let Some(b) = suite::by_name(&name) {
+            runner::prime_wasm_bytes(b.name, level, bytes);
+        }
+    }
+    let total = results.len();
+    for res in results {
+        assert!(
+            res.ok(),
+            "parallel job failed: {} — {:?}",
+            res.spec,
+            res.status
+        );
+        let b = suite::by_name(&res.spec.benchmark).expect("job benchmark registered");
+        let n = res.spec.scale.arg(b);
+        match res.spec.mode {
+            JobMode::Exec => runner::prime_exec(
+                res.spec.engine,
+                res.bytes_hash,
+                n,
+                ExecTime {
+                    compile_s: res.compile_s,
+                    exec_s: res.exec_s,
+                },
+            ),
+            JobMode::ExecAot => runner::prime_exec_aot(
+                res.spec.engine,
+                res.bytes_hash,
+                n,
+                res.aot_compile_s.expect("aot job reports compile time"),
+                ExecTime {
+                    compile_s: res.compile_s,
+                    exec_s: res.exec_s,
+                },
+            ),
+            JobMode::Profiled => runner::prime_profiled(
+                res.spec.engine.name(),
+                res.bytes_hash,
+                n,
+                res.counters.expect("profiled job reports counters"),
+            ),
+            JobMode::ProfiledNative => runner::prime_profiled(
+                "native",
+                res.bytes_hash,
+                n,
+                res.counters.expect("profiled job reports counters"),
+            ),
+            JobMode::SelfTestPanic | JobMode::SelfTestHang => {}
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrices_deduplicate_shared_runs() {
+        let mut seen = HashSet::new();
+        let fig1 = specs_for("fig1", Scale::Test, &mut seen);
+        assert_eq!(fig1.len(), suite::all().len() * 5);
+        // fig3's O2 JIT Exec runs are already covered by fig1; only the
+        // AOT half remains.
+        let fig3 = specs_for("fig3", Scale::Test, &mut seen);
+        assert_eq!(fig3.len(), suite::all().len() * 3);
+        assert!(fig3.iter().all(|s| s.mode == JobMode::ExecAot));
+        // The four simulated figures share one profiled matrix.
+        let fig6 = specs_for("fig6", Scale::Test, &mut seen);
+        assert_eq!(fig6.len(), suite::all().len() * 6);
+        assert!(specs_for("fig7", Scale::Test, &mut seen).is_empty());
+        assert!(specs_for("fig8", Scale::Test, &mut seen).is_empty());
+        assert!(specs_for("fig9", Scale::Test, &mut seen).is_empty());
+    }
+
+    #[test]
+    fn warm_pass_primes_the_serial_runner() {
+        // Warm fig1's matrix at test scale, then check a serial
+        // measurement comes straight from the primed cache: identical
+        // down to the bit on repeated calls.
+        let n_jobs = warm_matrix(&[("fig1", Scale::Test)], 4);
+        assert_eq!(n_jobs, suite::all().len() * 5);
+        let b = suite::by_name("crc32").unwrap();
+        let n = b.sizes.test;
+        let expected = (b.native)(n);
+        let bytes = runner::wasm_bytes(b, OptLevel::O2);
+        let t1 = runner::run_engine(engines::EngineKind::Wasmtime, &bytes, n, expected);
+        let t2 = runner::run_engine(engines::EngineKind::Wasmtime, &bytes, n, expected);
+        assert_eq!(t1.compile_s.to_bits(), t2.compile_s.to_bits());
+        assert_eq!(t1.exec_s.to_bits(), t2.exec_s.to_bits());
+        assert!(t1.total() > 0.0);
+    }
+}

@@ -1,12 +1,19 @@
 //! Measurement machinery shared by all experiments.
+//!
+//! All caches here are *serial* state feeding the table-assembly code.
+//! The parallel path (`crate::parallel`) primes them from scheduler
+//! results before assembly starts, so `--jobs N` runs produce tables
+//! with the same structure, in the same deterministic row order, as
+//! serial runs — only the measurements were taken concurrently.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use archsim::{ArchSim, Counters};
 use engines::account::MemoryReport;
 use engines::{Engine, EngineKind};
 use suite::Benchmark;
+use svc::hash::fnv64;
 use wacc::OptLevel;
 use wasi_rt::WasiCtx;
 use wasm_core::types::Value;
@@ -34,17 +41,28 @@ impl Scale {
 }
 
 /// Compiled-bytes cache: compiling 50 benchmarks once per (name, level).
-type BytesCache = HashMap<(&'static str, OptLevel), Vec<u8>>;
+/// `Arc<[u8]>` so a cache hit is a refcount bump, not a byte copy —
+/// modules reach hundreds of KiB and every experiment re-requests them.
+type BytesCache = HashMap<(&'static str, OptLevel), Arc<[u8]>>;
 static CACHE: Mutex<Option<BytesCache>> = Mutex::new(None);
 
 /// Compiles a benchmark (cached).
-pub fn wasm_bytes(b: &Benchmark, level: OptLevel) -> Vec<u8> {
+pub fn wasm_bytes(b: &Benchmark, level: OptLevel) -> Arc<[u8]> {
     let mut guard = CACHE.lock().expect("cache lock");
     let cache = guard.get_or_insert_with(HashMap::new);
     cache
         .entry((b.name, level))
-        .or_insert_with(|| b.compile(level).expect("registered benchmarks compile"))
+        .or_insert_with(|| b.compile(level).expect("registered benchmarks compile").into())
         .clone()
+}
+
+/// Pre-seeds the compiled-bytes cache (parallel warm pass).
+pub fn prime_wasm_bytes(name: &'static str, level: OptLevel, bytes: Arc<[u8]>) {
+    CACHE
+        .lock()
+        .expect("cache lock")
+        .get_or_insert_with(HashMap::new)
+        .insert((name, level), bytes);
 }
 
 /// A timed engine execution.
@@ -63,14 +81,51 @@ impl ExecTime {
     }
 }
 
+/// Measurement key: (engine, FNV-1a of the wasm bytes, scale argument).
+type MeasureKey = (EngineKind, u64, i32);
+
+/// Measurements primed by the parallel warm pass. The serial path only
+/// *reads* these — a serial run with `--jobs 1` never populates them,
+/// so its behavior is exactly the pre-service harness.
+static EXEC_PRIMED: Mutex<Option<HashMap<MeasureKey, ExecTime>>> = Mutex::new(None);
+static AOT_PRIMED: Mutex<Option<HashMap<MeasureKey, (f64, ExecTime)>>> = Mutex::new(None);
+
+/// Pre-seeds an engine execution measurement. The caller vouches that
+/// the measured run verified its checksum (scheduler jobs do).
+pub fn prime_exec(kind: EngineKind, bytes_hash: u64, n: i32, t: ExecTime) {
+    EXEC_PRIMED
+        .lock()
+        .expect("exec cache lock")
+        .get_or_insert_with(HashMap::new)
+        .insert((kind, bytes_hash, n), t);
+}
+
+/// Pre-seeds an AOT measurement (precompile seconds + load/exec split).
+pub fn prime_exec_aot(kind: EngineKind, bytes_hash: u64, n: i32, aot_s: f64, t: ExecTime) {
+    AOT_PRIMED
+        .lock()
+        .expect("aot cache lock")
+        .get_or_insert_with(HashMap::new)
+        .insert((kind, bytes_hash, n), (aot_s, t));
+}
+
 /// Runs a benchmark on an engine, returning wall-clock components and
-/// verifying the checksum.
+/// verifying the checksum. Consumes a primed measurement when the
+/// parallel warm pass already ran this exact (engine, module, n).
 ///
 /// # Panics
 ///
 /// Panics if the engine produces a wrong checksum (measurement results
 /// would be meaningless).
 pub fn run_engine(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> ExecTime {
+    if let Some(t) = EXEC_PRIMED
+        .lock()
+        .expect("exec cache lock")
+        .as_ref()
+        .and_then(|m| m.get(&(kind, fnv64(bytes), n)).copied())
+    {
+        return t;
+    }
     let engine = Engine::new(kind);
     let t0 = std::time::Instant::now();
     let compiled = engine.compile(bytes).expect("compile");
@@ -86,8 +141,17 @@ pub fn run_engine(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> Exec
 }
 
 /// Runs a benchmark on an engine with AOT: precompile once (timed
-/// separately), then load + execute.
+/// separately), then load + execute. Consumes a primed measurement when
+/// the parallel warm pass already ran this exact (engine, module, n).
 pub fn run_engine_aot(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> (f64, ExecTime) {
+    if let Some(t) = AOT_PRIMED
+        .lock()
+        .expect("aot cache lock")
+        .as_ref()
+        .and_then(|m| m.get(&(kind, fnv64(bytes), n)).copied())
+    {
+        return t;
+    }
     let engine = Engine::new(kind);
     let t0 = std::time::Instant::now();
     let artifact = engine.precompile(bytes).expect("precompile");
@@ -121,12 +185,12 @@ pub fn run_native(b: &Benchmark, n: i32) -> f64 {
 }
 
 /// Cache of profiled counters: the four architectural experiments reuse
-/// the same runs.
+/// the same runs. Keyed by the module's content hash rather than its
+/// full bytes — same lookups, 8 bytes per key instead of the module.
 #[allow(clippy::type_complexity)]
-static PROFILE_CACHE: Mutex<Option<HashMap<(String, Vec<u8>, i32), Counters>>> =
-    Mutex::new(None);
+static PROFILE_CACHE: Mutex<Option<HashMap<(String, u64, i32), Counters>>> = Mutex::new(None);
 
-fn profile_cache_get(key: &(String, Vec<u8>, i32)) -> Option<Counters> {
+fn profile_cache_get(key: &(String, u64, i32)) -> Option<Counters> {
     PROFILE_CACHE
         .lock()
         .expect("profile cache lock")
@@ -134,7 +198,7 @@ fn profile_cache_get(key: &(String, Vec<u8>, i32)) -> Option<Counters> {
         .and_then(|m| m.get(key).copied())
 }
 
-fn profile_cache_put(key: (String, Vec<u8>, i32), c: Counters) {
+fn profile_cache_put(key: (String, u64, i32), c: Counters) {
     PROFILE_CACHE
         .lock()
         .expect("profile cache lock")
@@ -142,11 +206,17 @@ fn profile_cache_put(key: (String, Vec<u8>, i32), c: Counters) {
         .insert(key, c);
 }
 
+/// Pre-seeds a profiled-counter measurement. `who` is an engine name or
+/// `"native"` for the native baseline run.
+pub fn prime_profiled(who: &str, bytes_hash: u64, n: i32, c: Counters) {
+    profile_cache_put((who.to_string(), bytes_hash, n), c);
+}
+
 /// Profiled run: compile (with cost replay for compiling engines) and
 /// execute under the architectural simulator. Results are cached; the
 /// four architectural experiments share the same runs.
 pub fn run_profiled(kind: EngineKind, bytes: &[u8], n: i32) -> Counters {
-    let key = (kind.name().to_string(), bytes.to_vec(), n);
+    let key = (kind.name().to_string(), fnv64(bytes), n);
     if let Some(c) = profile_cache_get(&key) {
         return c;
     }
@@ -167,7 +237,7 @@ pub fn run_profiled(kind: EngineKind, bytes: &[u8], n: i32) -> Counters {
 /// tier) execution with *no* compilation events — the steady-state
 /// instruction stream a native binary would retire.
 pub fn run_native_profiled(bytes: &[u8], n: i32) -> Counters {
-    let key = ("native".to_string(), bytes.to_vec(), n);
+    let key = ("native".to_string(), fnv64(bytes), n);
     if let Some(c) = profile_cache_get(&key) {
         return c;
     }

@@ -1,0 +1,423 @@
+//! `wabench-served` — the benchmark-execution service daemon.
+//!
+//! ```text
+//! wabench-served serve  --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S]
+//! wabench-served submit --socket PATH --bench NAME [--engine E] [--level O0..O3]
+//!                       [--scale test|profile|timing] [--mode exec|aot|profiled] [--warm]
+//! wabench-served stats  --socket PATH
+//! wabench-served shutdown --socket PATH
+//! wabench-served smoke  [--dir DIR] [--jobs N]
+//! ```
+//!
+//! `smoke` is self-contained: it starts a scheduler + server on a
+//! scratch socket, drives it through a real client twice — a cold pass
+//! that compiles and populates the artifact store, then a warm pass
+//! that loads artifacts — asserts every job succeeded, and prints the
+//! cold-vs-warm compile times from `stats`. Exit code 0 only if all
+//! jobs succeeded and the warm pass hit the store.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use engines::EngineKind;
+use svc::job::{JobMode, JobSpec, Scale};
+use svc::scheduler::{Config, Scheduler, SvcStats};
+use svc::server::{serve, Client};
+use wacc::OptLevel;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wabench-served <serve|submit|stats|shutdown|smoke> [options]\n\
+         \n\
+         serve    --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S]\n\
+         submit   --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
+         stats    --socket PATH\n\
+         shutdown --socket PATH\n\
+         smoke    [--dir DIR] [--jobs N]"
+    );
+    exit(2);
+}
+
+/// Consumes the value of `--flag VALUE`; exits with usage on a trailing
+/// flag with no value.
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Opts {
+    socket: Option<PathBuf>,
+    workers: usize,
+    store: Option<PathBuf>,
+    store_cap_mb: u64,
+    timeout_s: u64,
+    bench: Option<String>,
+    engine: EngineKind,
+    level: OptLevel,
+    scale: Scale,
+    mode: JobMode,
+    warm: bool,
+    dir: Option<PathBuf>,
+    jobs: usize,
+}
+
+impl Opts {
+    fn base() -> Opts {
+        Opts {
+            socket: None,
+            workers: 4,
+            store: None,
+            store_cap_mb: 256,
+            timeout_s: 120,
+            bench: None,
+            engine: EngineKind::Wasmtime,
+            level: OptLevel::O2,
+            scale: Scale::Test,
+            mode: JobMode::Exec,
+            warm: false,
+            dir: None,
+            jobs: 4,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::base();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => o.socket = Some(PathBuf::from(take_value(args, &mut i, "--socket"))),
+            "--workers" => {
+                o.workers = take_value(args, &mut i, "--workers")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers needs a positive integer");
+                        usage();
+                    })
+            }
+            "--store" => o.store = Some(PathBuf::from(take_value(args, &mut i, "--store"))),
+            "--store-cap-mb" => {
+                o.store_cap_mb = take_value(args, &mut i, "--store-cap-mb")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--store-cap-mb needs an integer");
+                        usage();
+                    })
+            }
+            "--timeout-s" => {
+                o.timeout_s = take_value(args, &mut i, "--timeout-s")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--timeout-s needs an integer");
+                        usage();
+                    })
+            }
+            "--bench" => o.bench = Some(take_value(args, &mut i, "--bench")),
+            "--engine" => {
+                let v = take_value(args, &mut i, "--engine");
+                o.engine = EngineKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown engine {v:?}");
+                    usage();
+                })
+            }
+            "--level" => {
+                let v = take_value(args, &mut i, "--level");
+                o.level = match v.trim_start_matches('-') {
+                    "O0" => OptLevel::O0,
+                    "O1" => OptLevel::O1,
+                    "O2" => OptLevel::O2,
+                    "O3" => OptLevel::O3,
+                    _ => {
+                        eprintln!("unknown level {v:?} (use O0..O3)");
+                        usage();
+                    }
+                }
+            }
+            "--scale" => {
+                let v = take_value(args, &mut i, "--scale");
+                o.scale = Scale::parse(&v).unwrap_or_else(|| {
+                    eprintln!("unknown scale {v:?} (use test|profile|timing)");
+                    usage();
+                })
+            }
+            "--mode" => {
+                let v = take_value(args, &mut i, "--mode");
+                o.mode = match v.as_str() {
+                    "exec" => JobMode::Exec,
+                    "aot" => JobMode::ExecAot,
+                    "profiled" => JobMode::Profiled,
+                    _ => {
+                        eprintln!("unknown mode {v:?} (use exec|aot|profiled)");
+                        usage();
+                    }
+                }
+            }
+            "--warm" => o.warm = true,
+            "--dir" => o.dir = Some(PathBuf::from(take_value(args, &mut i, "--dir"))),
+            "--jobs" => {
+                o.jobs = take_value(args, &mut i, "--jobs")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        usage();
+                    })
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    o
+}
+
+fn need_socket(o: &Opts) -> PathBuf {
+    o.socket.clone().unwrap_or_else(|| {
+        eprintln!("--socket is required");
+        usage();
+    })
+}
+
+fn print_stats(s: &SvcStats) {
+    println!(
+        "jobs: submitted {} completed {} (ok {}, failed {}, panicked {}, timed-out {})",
+        s.submitted, s.completed, s.ok, s.failed, s.panicked, s.timed_out
+    );
+    println!(
+        "compile: cold {} avg {:.3}ms | warm artifact loads {} avg {:.3}ms",
+        s.cold_compiles,
+        s.cold_compile_avg_s() * 1e3,
+        s.warm_loads,
+        s.warm_load_avg_s() * 1e3
+    );
+    match &s.store {
+        Some(st) => println!(
+            "store: {} hits, {} misses, {} puts, {} evictions, {} corrupt rejected",
+            st.hits, st.misses, st.puts, st.evictions, st.corrupt_rejected
+        ),
+        None => println!("store: none attached"),
+    }
+}
+
+fn print_result(res: &svc::JobResult) {
+    println!(
+        "job {} [{}]: {:?} checksum={:?} compile {:.3}ms{} exec {:.3}ms wall {:.3}ms",
+        res.id,
+        res.spec,
+        res.status,
+        res.checksum,
+        res.compile_s * 1e3,
+        if res.warm_artifact { " (warm)" } else { "" },
+        res.exec_s * 1e3,
+        res.wall_s * 1e3,
+    );
+}
+
+fn cmd_serve(o: &Opts) {
+    let socket = need_socket(o);
+    let sched = Scheduler::start(Config {
+        workers: o.workers,
+        timeout: Duration::from_secs(o.timeout_s),
+        store_dir: o.store.clone(),
+        store_cap_bytes: o.store_cap_mb << 20,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("failed to start scheduler: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "wabench-served: listening on {} ({} workers{})",
+        socket.display(),
+        o.workers,
+        match &o.store {
+            Some(d) => format!(", store {}", d.display()),
+            None => String::new(),
+        }
+    );
+    if let Err(e) = serve(&socket, Arc::new(sched)) {
+        eprintln!("server error: {e}");
+        exit(1);
+    }
+}
+
+fn cmd_submit(o: &Opts) {
+    let socket = need_socket(o);
+    let bench = o.bench.clone().unwrap_or_else(|| {
+        eprintln!("--bench is required");
+        usage();
+    });
+    let spec = JobSpec {
+        benchmark: bench,
+        engine: o.engine,
+        level: o.level,
+        scale: o.scale,
+        mode: o.mode,
+        warm: o.warm,
+    };
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    let id = client.submit(spec).expect("submit");
+    let res = client.wait(id).expect("wait");
+    print_result(&res);
+    exit(if res.ok() { 0 } else { 1 });
+}
+
+fn cmd_stats(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    print_stats(&client.stats().expect("stats"));
+}
+
+fn cmd_shutdown(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    client.shutdown().expect("shutdown");
+    println!("server stopped");
+}
+
+/// Self-contained socket smoke test; exits nonzero on any failure.
+fn cmd_smoke(o: &Opts) {
+    let dir = o.dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("wabench-smoke-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).expect("create smoke dir");
+    let socket = dir.join("wabench.sock");
+    let store = dir.join("store");
+
+    // The smoke jobs: the three compiling engines on one benchmark, in
+    // service (warm) mode, so the second pass exercises artifact loads.
+    let jits = [
+        EngineKind::Wasmtime,
+        EngineKind::Wavm,
+        EngineKind::Wasmer(engines::Backend::Cranelift),
+    ];
+    let spec = |kind: EngineKind| JobSpec {
+        benchmark: "crc32".to_string(),
+        engine: kind,
+        level: OptLevel::O2,
+        scale: Scale::Test,
+        mode: JobMode::Exec,
+        warm: true,
+    };
+
+    let run_pass = |label: &str, jobs: usize| -> (u64, SvcStats) {
+        let sched = Scheduler::start(Config {
+            workers: jobs,
+            timeout: Duration::from_secs(120),
+            store_dir: Some(store.clone()),
+            store_cap_bytes: 256 << 20,
+        })
+        .expect("start scheduler");
+        let sched = Arc::new(sched);
+        let server_sched = Arc::clone(&sched);
+        let server_socket = socket.clone();
+        let server = std::thread::spawn(move || serve(&server_socket, server_sched));
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut client = Client::connect(&socket).expect("connect");
+        client.ping().expect("ping");
+        let ids: Vec<u64> = jits.iter().map(|k| client.submit(spec(*k)).expect("submit")).collect();
+        let mut ok = 0u64;
+        for id in &ids {
+            let res = client.wait(*id).expect("wait");
+            print_result(&res);
+            if res.ok() {
+                ok += 1;
+            }
+        }
+        let stats = client.stats().expect("stats");
+        client.shutdown().expect("shutdown");
+        server.join().expect("server join").expect("serve");
+        println!("[{label}] {ok}/{} jobs ok", ids.len());
+        (ok, stats)
+    };
+
+    println!("== smoke: cold pass (socket {}) ==", socket.display());
+    let (cold_ok, cold_stats) = run_pass("cold", o.jobs);
+    println!("== smoke: warm pass ==");
+    let (warm_ok, warm_stats) = run_pass("warm", o.jobs);
+
+    print_stats(&warm_stats);
+    let mut failures = Vec::new();
+    if cold_ok != 3 || warm_ok != 3 {
+        failures.push(format!("expected 3 ok jobs per pass, got {cold_ok}/{warm_ok}"));
+    }
+    if cold_stats.cold_compiles != 3 {
+        failures.push(format!(
+            "cold pass should compile 3 modules, compiled {}",
+            cold_stats.cold_compiles
+        ));
+    }
+    if warm_stats.warm_loads != 3 {
+        failures.push(format!(
+            "warm pass should load 3 artifacts, loaded {}",
+            warm_stats.warm_loads
+        ));
+    }
+    let cold_avg = cold_stats.cold_compile_avg_s();
+    let warm_avg = warm_stats.warm_load_avg_s();
+    println!(
+        "cold compile avg {:.3}ms vs warm artifact load avg {:.3}ms",
+        cold_avg * 1e3,
+        warm_avg * 1e3
+    );
+    if warm_stats.warm_loads == 3 && warm_avg >= cold_avg {
+        failures.push(format!(
+            "warm load ({:.3}ms) not faster than cold compile ({:.3}ms)",
+            warm_avg * 1e3,
+            cold_avg * 1e3
+        ));
+    }
+    if o.dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if failures.is_empty() {
+        println!("smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("smoke FAILED: {f}");
+        }
+        exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_opts(&args[1..]);
+    match cmd.as_str() {
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
+        "stats" => cmd_stats(&opts),
+        "shutdown" => cmd_shutdown(&opts),
+        "smoke" => cmd_smoke(&opts),
+        _ => usage(),
+    }
+}

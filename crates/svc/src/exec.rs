@@ -1,0 +1,325 @@
+//! Job execution: one [`JobSpec`] in, one [`JobResult`] out.
+//!
+//! Engine state (`CompiledModule`, instances) is `Rc`-based and not
+//! `Send`; everything here is built and dropped on the calling thread.
+//! Only `Send` data enters and leaves: the spec, shared wasm bytes
+//! (`Arc<[u8]>`), the artifact store behind a `Mutex`, and the result.
+//!
+//! Measurement fidelity: a non-`warm` `Exec` job times a *fresh*
+//! compile, exactly like the serial harness runner, so results primed
+//! into the harness caches mean the same thing serial measurements do.
+//! A `warm` job is the serving path: it consults the artifact store and
+//! times the artifact *load* instead when a valid artifact exists.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use engines::Engine;
+use suite::Benchmark;
+use wacc::OptLevel;
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+use crate::hash::fnv64;
+use crate::job::{JobMode, JobResult, JobSpec, JobStatus};
+use crate::store::{ArtifactKey, ArtifactStore};
+
+/// Compiled-wasm cache shared by all workers, keyed (benchmark, level).
+type BytesCache = Mutex<HashMap<(String, OptLevel), Arc<[u8]>>>;
+
+/// Shared, thread-safe execution environment.
+#[derive(Debug)]
+pub struct ExecEnv {
+    /// Optional on-disk artifact store.
+    pub store: Option<Mutex<ArtifactStore>>,
+    /// In-memory compiled-wasm cache shared by all workers. `Arc<[u8]>`
+    /// so a hit hands out a refcount bump, never a byte copy.
+    pub bytes_cache: BytesCache,
+}
+
+impl ExecEnv {
+    /// A store-less environment.
+    pub fn new(store: Option<ArtifactStore>) -> ExecEnv {
+        ExecEnv {
+            store: store.map(Mutex::new),
+            bytes_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Snapshot of the compiled-wasm cache (name, level, bytes).
+    pub fn bytes_snapshot(&self) -> Vec<(String, OptLevel, Arc<[u8]>)> {
+        self.bytes_cache
+            .lock()
+            .expect("bytes cache lock")
+            .iter()
+            .map(|((name, level), bytes)| (name.clone(), *level, bytes.clone()))
+            .collect()
+    }
+
+    /// Compiled wasm bytes for a benchmark, via cache → store → WaCC.
+    pub fn wasm_bytes(&self, b: &Benchmark, level: OptLevel) -> Result<Arc<[u8]>, String> {
+        let key = (b.name.to_string(), level);
+        if let Some(hit) = self.bytes_cache.lock().expect("bytes cache lock").get(&key) {
+            return Ok(hit.clone());
+        }
+        let bytes: Arc<[u8]> = match &self.store {
+            Some(store) => {
+                let skey = ArtifactKey::wasm(&b.full_source(), level);
+                let mut store = store.lock().expect("store lock");
+                match store.get(&skey) {
+                    Some(payload) => payload.into(),
+                    None => {
+                        let fresh = b.compile(level).map_err(|e| e.to_string())?;
+                        // Best effort: a full disk must not fail the job.
+                        let _ = store.put(skey, &fresh);
+                        fresh.into()
+                    }
+                }
+            }
+            None => b.compile(level).map_err(|e| e.to_string())?.into(),
+        };
+        self.bytes_cache
+            .lock()
+            .expect("bytes cache lock")
+            .insert(key, bytes.clone());
+        Ok(bytes)
+    }
+}
+
+/// Executes a job on the current thread. Never panics for *failures*
+/// (they become [`JobStatus::Failed`]); a checksum mismatch panics by
+/// design and is caught at the scheduler's job boundary.
+pub fn execute(spec: &JobSpec, env: &ExecEnv) -> JobResult {
+    let t0 = Instant::now();
+    let mut res = JobResult {
+        id: 0,
+        spec: spec.clone(),
+        status: JobStatus::Ok,
+        checksum: None,
+        bytes_hash: 0,
+        compile_s: 0.0,
+        exec_s: 0.0,
+        aot_compile_s: None,
+        counters: None,
+        warm_artifact: false,
+        wall_s: 0.0,
+    };
+    if let Err(msg) = run(spec, env, &mut res) {
+        res.status = JobStatus::Failed(msg);
+    }
+    res.wall_s = t0.elapsed().as_secs_f64();
+    res
+}
+
+fn run(spec: &JobSpec, env: &ExecEnv, res: &mut JobResult) -> Result<(), String> {
+    match spec.mode {
+        JobMode::SelfTestPanic => panic!("injected failure (svc self-test)"),
+        JobMode::SelfTestHang => {
+            std::thread::sleep(std::time::Duration::from_secs(2));
+            return Ok(());
+        }
+        _ => {}
+    }
+    let b = suite::by_name(&spec.benchmark)
+        .ok_or_else(|| format!("unknown benchmark {:?}", spec.benchmark))?;
+    let n = spec.scale.arg(b);
+    let bytes = env.wasm_bytes(b, spec.level)?;
+    res.bytes_hash = fnv64(&bytes);
+    match spec.mode {
+        JobMode::Exec => exec_job(spec, b, n, &bytes, env, res),
+        JobMode::ExecAot => exec_aot_job(spec, b, n, &bytes, res),
+        JobMode::Profiled => profiled_job(spec, b, n, &bytes, res),
+        JobMode::ProfiledNative => profiled_native_job(b, n, &bytes, res),
+        JobMode::SelfTestPanic | JobMode::SelfTestHang => unreachable!("handled above"),
+    }
+}
+
+fn invoke_checked(
+    compiled: &engines::CompiledModule,
+    b: &Benchmark,
+    n: i32,
+) -> Result<(i32, f64), String> {
+    let t = Instant::now();
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .map_err(|e| format!("instantiate: {e}"))?;
+    let out = inst
+        .invoke("run", &[Value::I32(n)])
+        .map_err(|e| format!("run: {e}"))?;
+    let exec_s = t.elapsed().as_secs_f64();
+    let got = match out {
+        Some(Value::I32(v)) => v,
+        other => return Err(format!("run() returned {other:?}")),
+    };
+    let expected = (b.native)(n);
+    // A wrong checksum means the measurement is meaningless — panic, as
+    // the serial runner does. The scheduler catches it at the job
+    // boundary: this job fails, the fleet keeps running.
+    assert_eq!(
+        got, expected,
+        "{} checksum mismatch on {}",
+        b.name,
+        compiled.kind().name()
+    );
+    Ok((got, exec_s))
+}
+
+fn exec_job(
+    spec: &JobSpec,
+    b: &Benchmark,
+    n: i32,
+    bytes: &Arc<[u8]>,
+    env: &ExecEnv,
+    res: &mut JobResult,
+) -> Result<(), String> {
+    let engine = Engine::new(spec.engine);
+    let akey = ArtifactKey::aot(bytes, spec.level, spec.engine);
+    let mut compiled = None;
+    if spec.warm && spec.engine.tier().is_some() {
+        if let Some(store) = &env.store {
+            let artifact = store.lock().expect("store lock").get(&akey);
+            if let Some(artifact) = artifact {
+                let t = Instant::now();
+                // A checksum-valid but semantically corrupt artifact is
+                // rejected here by the untrusted RegCode::try_new path;
+                // fall back to a cold compile.
+                if let Ok(c) = engine.load_artifact(&artifact) {
+                    res.compile_s = t.elapsed().as_secs_f64();
+                    res.warm_artifact = true;
+                    compiled = Some(c);
+                }
+            }
+        }
+    }
+    let compiled = match compiled {
+        Some(c) => c,
+        None => {
+            let t = Instant::now();
+            let c = engine.compile(bytes).map_err(|e| format!("compile: {e}"))?;
+            res.compile_s = t.elapsed().as_secs_f64();
+            if spec.warm && spec.engine.tier().is_some() {
+                if let Some(store) = &env.store {
+                    if let Ok(artifact) = engine.precompile(bytes) {
+                        let _ = store.lock().expect("store lock").put(akey, &artifact);
+                    }
+                }
+            }
+            c
+        }
+    };
+    let (sum, exec_s) = invoke_checked(&compiled, b, n)?;
+    res.checksum = Some(sum);
+    res.exec_s = exec_s;
+    Ok(())
+}
+
+fn exec_aot_job(
+    spec: &JobSpec,
+    b: &Benchmark,
+    n: i32,
+    bytes: &Arc<[u8]>,
+    res: &mut JobResult,
+) -> Result<(), String> {
+    let engine = Engine::new(spec.engine);
+    let t = Instant::now();
+    let artifact = engine
+        .precompile(bytes)
+        .map_err(|e| format!("precompile: {e}"))?;
+    res.aot_compile_s = Some(t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let compiled = engine
+        .load_artifact(&artifact)
+        .map_err(|e| format!("load artifact: {e}"))?;
+    res.compile_s = t.elapsed().as_secs_f64();
+    let (sum, exec_s) = invoke_checked(&compiled, b, n)?;
+    res.checksum = Some(sum);
+    res.exec_s = exec_s;
+    Ok(())
+}
+
+fn profiled_job(
+    spec: &JobSpec,
+    b: &Benchmark,
+    n: i32,
+    bytes: &Arc<[u8]>,
+    res: &mut JobResult,
+) -> Result<(), String> {
+    let mut sim = archsim::ArchSim::new();
+    let engine = Engine::new(spec.engine);
+    let compiled = engine
+        .compile_profiled(bytes, &mut sim)
+        .map_err(|e| format!("compile: {e}"))?;
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .map_err(|e| format!("instantiate: {e}"))?;
+    let out = inst
+        .invoke_profiled("run", &[Value::I32(n)], &mut sim)
+        .map_err(|e| format!("run: {e}"))?;
+    if let Some(Value::I32(got)) = out {
+        assert_eq!(
+            got,
+            (b.native)(n),
+            "{} checksum mismatch on {} (profiled)",
+            b.name,
+            spec.engine.name()
+        );
+        res.checksum = Some(got);
+    }
+    res.counters = Some(sim.counters());
+    Ok(())
+}
+
+fn profiled_native_job(
+    _b: &Benchmark,
+    n: i32,
+    bytes: &Arc<[u8]>,
+    res: &mut JobResult,
+) -> Result<(), String> {
+    let mut sim = archsim::ArchSim::new();
+    let engine = Engine::new(engines::EngineKind::Wavm);
+    let compiled = engine.compile(bytes).map_err(|e| format!("compile: {e}"))?;
+    let mut inst = compiled
+        .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+        .map_err(|e| format!("instantiate: {e}"))?;
+    inst.invoke_profiled("run", &[Value::I32(n)], &mut sim)
+        .map_err(|e| format!("run: {e}"))?;
+    res.counters = Some(sim.counters());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Scale;
+    use engines::EngineKind;
+
+    #[test]
+    fn exec_job_produces_native_checksum() {
+        let env = ExecEnv::new(None);
+        let spec = JobSpec::exec("crc32", EngineKind::Wasmtime, OptLevel::O2, Scale::Test);
+        let res = execute(&spec, &env);
+        assert!(res.ok(), "{:?}", res.status);
+        let b = suite::by_name("crc32").unwrap();
+        assert_eq!(res.checksum, Some((b.native)(b.sizes.test)));
+        assert!(res.compile_s > 0.0 && res.exec_s > 0.0);
+        assert_ne!(res.bytes_hash, 0);
+    }
+
+    #[test]
+    fn unknown_benchmark_fails_cleanly() {
+        let env = ExecEnv::new(None);
+        let spec = JobSpec::exec("no-such", EngineKind::Wasm3, OptLevel::O0, Scale::Test);
+        let res = execute(&spec, &env);
+        assert!(matches!(res.status, JobStatus::Failed(_)));
+    }
+
+    #[test]
+    fn bytes_cache_shares_one_compile() {
+        let env = ExecEnv::new(None);
+        let b = suite::by_name("crc32").unwrap();
+        let first = env.wasm_bytes(b, OptLevel::O2).unwrap();
+        let second = env.wasm_bytes(b, OptLevel::O2).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must not copy");
+    }
+}

@@ -1,0 +1,43 @@
+//! Content hashing for artifact-store keys.
+//!
+//! FNV-1a over the full byte content: cheap, dependency-free, and stable
+//! across builds (the store's on-disk names must not change between
+//! compiler versions, which rules out `DefaultHasher`). This is an
+//! integrity/cache hash, not a cryptographic one — the store also
+//! checksums payloads and re-validates AOT artifacts through the
+//! untrusted decode path, so a colliding or tampered entry degrades to a
+//! cache miss, never to wrong code.
+
+/// 64-bit FNV-1a of `bytes`.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fixed-width lowercase hex of a 64-bit hash (file-name friendly).
+pub fn hex16(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex16(0), "0000000000000000");
+        assert_eq!(hex16(0xdead_beef), "00000000deadbeef");
+        assert_eq!(hex16(u64::MAX).len(), 16);
+    }
+}

@@ -1,0 +1,236 @@
+//! Job and result types: the unit of work the service schedules.
+
+use engines::EngineKind;
+use serde::{Deserialize, Serialize};
+use suite::Benchmark;
+use wacc::OptLevel;
+
+/// Workload scale, mirroring the harness's measurement contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny (CI / smoke).
+    Test,
+    /// Medium (the harness default).
+    Profile,
+    /// Large (timing runs).
+    Timing,
+}
+
+impl Scale {
+    /// The benchmark's scale argument at this scale.
+    pub fn arg(self, b: &Benchmark) -> i32 {
+        match self {
+            Scale::Test => b.sizes.test,
+            Scale::Profile => b.sizes.profile,
+            Scale::Timing => b.sizes.timing,
+        }
+    }
+
+    /// Stable wire byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            Scale::Test => 0,
+            Scale::Profile => 1,
+            Scale::Timing => 2,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_byte(b: u8) -> Option<Scale> {
+        Some(match b {
+            0 => Scale::Test,
+            1 => Scale::Profile,
+            2 => Scale::Timing,
+            _ => return None,
+        })
+    }
+
+    /// Parses a CLI spelling.
+    pub fn parse(s: &str) -> Option<Scale> {
+        Some(match s {
+            "test" => Scale::Test,
+            "profile" => Scale::Profile,
+            "timing" => Scale::Timing,
+            _ => return None,
+        })
+    }
+}
+
+/// What measurement a job takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobMode {
+    /// Compile + instantiate + run, wall-clock split (fig1/fig2/fig4
+    /// semantics — always a fresh compile, mirroring the serial runner).
+    Exec,
+    /// AOT: precompile (timed), load artifact (timed), run (fig3).
+    ExecAot,
+    /// Compile + run under the architectural simulator (fig6–fig9);
+    /// fully deterministic counters.
+    Profiled,
+    /// The native-baseline simulated run (best-code tier, no compile
+    /// events), as `runner::run_native_profiled`.
+    ProfiledNative,
+    /// Test-only: panics inside the job ("injected checksum mismatch").
+    SelfTestPanic,
+    /// Test-only: sleeps ~2s to exercise the per-job timeout.
+    SelfTestHang,
+}
+
+impl JobMode {
+    /// Stable wire byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            JobMode::Exec => 0,
+            JobMode::ExecAot => 1,
+            JobMode::Profiled => 2,
+            JobMode::ProfiledNative => 3,
+            JobMode::SelfTestPanic => 4,
+            JobMode::SelfTestHang => 5,
+        }
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_byte(b: u8) -> Option<JobMode> {
+        Some(match b {
+            0 => JobMode::Exec,
+            1 => JobMode::ExecAot,
+            2 => JobMode::Profiled,
+            3 => JobMode::ProfiledNative,
+            4 => JobMode::SelfTestPanic,
+            5 => JobMode::SelfTestHang,
+            _ => return None,
+        })
+    }
+}
+
+/// One schedulable unit: which benchmark, on which engine, compiled how,
+/// at what scale, measured how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Registered benchmark name (`suite::by_name`).
+    pub benchmark: String,
+    /// Engine to run on (ignored by `ProfiledNative`).
+    pub engine: EngineKind,
+    /// WaCC optimization level.
+    pub level: OptLevel,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Measurement mode.
+    pub mode: JobMode,
+    /// Service mode: consult the artifact store for AOT artifacts in
+    /// `Exec` jobs (warm hits load instead of compiling). Off for
+    /// measurement-fidelity runs, where compiles must be fresh.
+    pub warm: bool,
+}
+
+impl JobSpec {
+    /// A fresh-compile `Exec` job (the measurement-fidelity default).
+    pub fn exec(benchmark: &str, engine: EngineKind, level: OptLevel, scale: Scale) -> JobSpec {
+        JobSpec {
+            benchmark: benchmark.to_string(),
+            engine,
+            level,
+            scale,
+            mode: JobMode::Exec,
+            warm: false,
+        }
+    }
+}
+
+impl std::fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} on {} at {} ({:?}, {:?}{})",
+            self.benchmark,
+            self.engine.name(),
+            self.level,
+            self.scale,
+            self.mode,
+            if self.warm { ", warm" } else { "" }
+        )
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Completed with a verified checksum.
+    Ok,
+    /// Failed cleanly (unknown benchmark, compile error, trap, ...).
+    Failed(String),
+    /// The job panicked (e.g. checksum mismatch); the panic was caught
+    /// at the job boundary and the fleet kept running.
+    Panicked(String),
+    /// The job exceeded the scheduler's per-job timeout.
+    TimedOut,
+}
+
+/// The structured record a completed job produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Scheduler-assigned id (submission order; results sorted by id
+    /// reproduce serial order).
+    pub id: u64,
+    /// The spec that ran.
+    pub spec: JobSpec,
+    /// Outcome.
+    pub status: JobStatus,
+    /// The i32 checksum the run produced (matches the native mirror).
+    pub checksum: Option<i32>,
+    /// FNV-1a of the compiled wasm bytes the job ran (0 if it never got
+    /// that far). Lets callers key caches without re-hashing.
+    pub bytes_hash: u64,
+    /// Seconds in decode+validate+compile/translate (or artifact load
+    /// when `warm_artifact`).
+    pub compile_s: f64,
+    /// Seconds executing (instantiate + run).
+    pub exec_s: f64,
+    /// AOT precompilation seconds (`ExecAot` only).
+    pub aot_compile_s: Option<f64>,
+    /// Simulated counters (`Profiled` / `ProfiledNative` only).
+    pub counters: Option<archsim::Counters>,
+    /// Whether `compile_s` measured a warm artifact-store load rather
+    /// than a cold compile.
+    pub warm_artifact: bool,
+    /// End-to-end wall seconds inside the job.
+    pub wall_s: f64,
+}
+
+impl JobResult {
+    /// Whether the job completed successfully.
+    pub fn ok(&self) -> bool {
+        self.status == JobStatus::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_and_mode_bytes_round_trip() {
+        for s in [Scale::Test, Scale::Profile, Scale::Timing] {
+            assert_eq!(Scale::from_byte(s.byte()), Some(s));
+        }
+        assert_eq!(Scale::from_byte(7), None);
+        for m in [
+            JobMode::Exec,
+            JobMode::ExecAot,
+            JobMode::Profiled,
+            JobMode::ProfiledNative,
+            JobMode::SelfTestPanic,
+            JobMode::SelfTestHang,
+        ] {
+            assert_eq!(JobMode::from_byte(m.byte()), Some(m));
+        }
+        assert_eq!(JobMode::from_byte(99), None);
+    }
+
+    #[test]
+    fn spec_displays_readably() {
+        let spec = JobSpec::exec("crc32", EngineKind::Wasmtime, OptLevel::O2, Scale::Test);
+        let s = format!("{spec}");
+        assert!(s.contains("crc32") && s.contains("Wasmtime") && s.contains("-O2"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # svc — the wabench execution service
+//!
+//! The paper treats standalone Wasm runtimes as *server-side*
+//! infrastructure; this crate is the workspace's serving layer. It turns
+//! the (benchmark × engine × opt-level) measurement matrix, which the
+//! harness otherwise walks strictly serially, into schedulable **jobs**
+//! executed by a worker pool, backed by a **content-addressed on-disk
+//! artifact store** so repeated service traffic skips compilation.
+//!
+//! Three pieces:
+//!
+//! - [`store::ArtifactStore`] — an on-disk cache keyed by
+//!   `(content hash, opt level, engine)` holding both compiled `.wasm`
+//!   bytes from WaCC and engine AOT artifacts. Entries carry versioned
+//!   headers and payload checksums; anything corrupt is rejected and
+//!   dropped (AOT payloads additionally pass through the engines crate's
+//!   untrusted `RegCode::try_new` path). The store is size-capped with
+//!   LRU eviction.
+//! - [`scheduler::Scheduler`] — a work queue plus worker pool. Engine
+//!   state is `Rc`-based and deliberately **not** `Send`, so every job
+//!   builds its engine instances on the thread that executes it; only
+//!   `Send` data (wasm bytes, artifacts, results) crosses threads. Jobs
+//!   get a hard per-job timeout and panic isolation: a checksum-mismatch
+//!   panic fails that job's [`job::JobResult`], never the fleet.
+//! - [`server`] — `wabench-served`, a Unix-domain-socket daemon speaking
+//!   the length-prefixed binary protocol of [`proto`]
+//!   (submit / poll / wait / stats), plus a blocking client.
+//!
+//! The harness's `--jobs N` flag drives the fig1/fig4/fig7 measurement
+//! matrices through the scheduler; assembly of the output tables stays
+//! serial and ordered, so tables are independent of job completion
+//! order.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod hash;
+pub mod job;
+pub mod proto;
+pub mod scheduler;
+#[cfg(unix)]
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
+pub use scheduler::{Config, Scheduler, SvcStats};
+pub use store::{ArtifactKey, ArtifactStore, StoreStats};

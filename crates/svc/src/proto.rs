@@ -1,0 +1,446 @@
+//! The `wabench-served` request/response protocol.
+//!
+//! Messages travel as length-prefixed frames ([`crate::wire`]); the
+//! payload is a tag byte plus the message body. Decoding treats every
+//! payload as untrusted and must consume it exactly.
+
+use engines::EngineKind;
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
+use crate::scheduler::SvcStats;
+use crate::store::StoreStats;
+use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter};
+
+/// Client → server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Enqueue a job; answered with `Submitted(id)`.
+    Submit(JobSpec),
+    /// Non-blocking result query; `Pending` or `Result`.
+    Poll(u64),
+    /// Blocking result query; answered with `Result`.
+    Wait(u64),
+    /// Service statistics.
+    Stats,
+    /// Stop the server (drains queued jobs first).
+    Shutdown,
+}
+
+/// Server → client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// `Ping` reply.
+    Pong,
+    /// Job accepted under this id.
+    Submitted(u64),
+    /// Job not finished yet.
+    Pending,
+    /// A completed job's record.
+    Result(JobResult),
+    /// Statistics snapshot.
+    Stats(SvcStats),
+    /// The request could not be served.
+    Err(String),
+    /// Acknowledges `Shutdown`.
+    Bye,
+}
+
+fn bad(msg: &str) -> WireError {
+    WireError(msg.to_string())
+}
+
+fn encode_spec(w: &mut WireWriter, spec: &JobSpec) {
+    w.str(&spec.benchmark);
+    w.u8(spec.engine.code());
+    w.u8(level_byte(spec.level));
+    w.u8(spec.scale.byte());
+    w.u8(spec.mode.byte());
+    w.bool(spec.warm);
+}
+
+fn decode_spec(r: &mut WireReader<'_>) -> Result<JobSpec, WireError> {
+    let benchmark = r.str()?;
+    let engine = EngineKind::from_code(r.u8()?).ok_or_else(|| bad("bad engine"))?;
+    let level = level_from_byte(r.u8()?).ok_or_else(|| bad("bad level"))?;
+    let scale = Scale::from_byte(r.u8()?).ok_or_else(|| bad("bad scale"))?;
+    let mode = JobMode::from_byte(r.u8()?).ok_or_else(|| bad("bad mode"))?;
+    let warm = r.bool()?;
+    Ok(JobSpec {
+        benchmark,
+        engine,
+        level,
+        scale,
+        mode,
+        warm,
+    })
+}
+
+fn encode_status(w: &mut WireWriter, status: &JobStatus) {
+    match status {
+        JobStatus::Ok => w.u8(0),
+        JobStatus::Failed(msg) => {
+            w.u8(1);
+            w.str(msg);
+        }
+        JobStatus::Panicked(msg) => {
+            w.u8(2);
+            w.str(msg);
+        }
+        JobStatus::TimedOut => w.u8(3),
+    }
+}
+
+fn decode_status(r: &mut WireReader<'_>) -> Result<JobStatus, WireError> {
+    Ok(match r.u8()? {
+        0 => JobStatus::Ok,
+        1 => JobStatus::Failed(r.str()?),
+        2 => JobStatus::Panicked(r.str()?),
+        3 => JobStatus::TimedOut,
+        _ => return Err(bad("bad status tag")),
+    })
+}
+
+fn encode_counters(w: &mut WireWriter, c: &archsim::Counters) {
+    for v in [
+        c.instructions,
+        c.cycles,
+        c.branches,
+        c.branch_misses,
+        c.cache_references,
+        c.cache_misses,
+        c.l1d_accesses,
+        c.l1d_misses,
+        c.l1i_accesses,
+        c.l1i_misses,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn decode_counters(r: &mut WireReader<'_>) -> Result<archsim::Counters, WireError> {
+    Ok(archsim::Counters {
+        instructions: r.u64()?,
+        cycles: r.u64()?,
+        branches: r.u64()?,
+        branch_misses: r.u64()?,
+        cache_references: r.u64()?,
+        cache_misses: r.u64()?,
+        l1d_accesses: r.u64()?,
+        l1d_misses: r.u64()?,
+        l1i_accesses: r.u64()?,
+        l1i_misses: r.u64()?,
+    })
+}
+
+fn encode_result(w: &mut WireWriter, res: &JobResult) {
+    w.u64(res.id);
+    encode_spec(w, &res.spec);
+    encode_status(w, &res.status);
+    match res.checksum {
+        Some(v) => {
+            w.bool(true);
+            w.i32(v);
+        }
+        None => w.bool(false),
+    }
+    w.u64(res.bytes_hash);
+    w.f64(res.compile_s);
+    w.f64(res.exec_s);
+    match res.aot_compile_s {
+        Some(v) => {
+            w.bool(true);
+            w.f64(v);
+        }
+        None => w.bool(false),
+    }
+    match &res.counters {
+        Some(c) => {
+            w.bool(true);
+            encode_counters(w, c);
+        }
+        None => w.bool(false),
+    }
+    w.bool(res.warm_artifact);
+    w.f64(res.wall_s);
+}
+
+fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
+    let id = r.u64()?;
+    let spec = decode_spec(r)?;
+    let status = decode_status(r)?;
+    let checksum = if r.bool()? { Some(r.i32()?) } else { None };
+    let bytes_hash = r.u64()?;
+    let compile_s = r.f64()?;
+    let exec_s = r.f64()?;
+    let aot_compile_s = if r.bool()? { Some(r.f64()?) } else { None };
+    let counters = if r.bool()? {
+        Some(decode_counters(r)?)
+    } else {
+        None
+    };
+    let warm_artifact = r.bool()?;
+    let wall_s = r.f64()?;
+    Ok(JobResult {
+        id,
+        spec,
+        status,
+        checksum,
+        bytes_hash,
+        compile_s,
+        exec_s,
+        aot_compile_s,
+        counters,
+        warm_artifact,
+        wall_s,
+    })
+}
+
+fn encode_stats(w: &mut WireWriter, s: &SvcStats) {
+    for v in [
+        s.submitted,
+        s.completed,
+        s.ok,
+        s.failed,
+        s.panicked,
+        s.timed_out,
+        s.cold_compiles,
+        s.warm_loads,
+    ] {
+        w.u64(v);
+    }
+    w.f64(s.cold_compile_s);
+    w.f64(s.warm_load_s);
+    match &s.store {
+        Some(st) => {
+            w.bool(true);
+            for v in [st.hits, st.misses, st.puts, st.evictions, st.corrupt_rejected] {
+                w.u64(v);
+            }
+        }
+        None => w.bool(false),
+    }
+}
+
+fn decode_stats(r: &mut WireReader<'_>) -> Result<SvcStats, WireError> {
+    let submitted = r.u64()?;
+    let completed = r.u64()?;
+    let ok = r.u64()?;
+    let failed = r.u64()?;
+    let panicked = r.u64()?;
+    let timed_out = r.u64()?;
+    let cold_compiles = r.u64()?;
+    let warm_loads = r.u64()?;
+    let cold_compile_s = r.f64()?;
+    let warm_load_s = r.f64()?;
+    let store = if r.bool()? {
+        Some(StoreStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            puts: r.u64()?,
+            evictions: r.u64()?,
+            corrupt_rejected: r.u64()?,
+        })
+    } else {
+        None
+    };
+    Ok(SvcStats {
+        submitted,
+        completed,
+        ok,
+        failed,
+        panicked,
+        timed_out,
+        cold_compiles,
+        cold_compile_s,
+        warm_loads,
+        warm_load_s,
+        store,
+    })
+}
+
+impl Request {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Ping => w.u8(0),
+            Request::Submit(spec) => {
+                w.u8(1);
+                encode_spec(&mut w, spec);
+            }
+            Request::Poll(id) => {
+                w.u8(2);
+                w.u64(*id);
+            }
+            Request::Wait(id) => {
+                w.u8(3);
+                w.u64(*id);
+            }
+            Request::Stats => w.u8(4),
+            Request::Shutdown => w.u8(5),
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input (unknown tag, truncation,
+    /// trailing bytes).
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(payload);
+        let req = match r.u8()? {
+            0 => Request::Ping,
+            1 => Request::Submit(decode_spec(&mut r)?),
+            2 => Request::Poll(r.u64()?),
+            3 => Request::Wait(r.u64()?),
+            4 => Request::Stats,
+            5 => Request::Shutdown,
+            _ => return Err(bad("bad request tag")),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Response::Pong => w.u8(0),
+            Response::Submitted(id) => {
+                w.u8(1);
+                w.u64(*id);
+            }
+            Response::Pending => w.u8(2),
+            Response::Result(res) => {
+                w.u8(3);
+                encode_result(&mut w, res);
+            }
+            Response::Stats(s) => {
+                w.u8(4);
+                encode_stats(&mut w, s);
+            }
+            Response::Err(msg) => {
+                w.u8(5);
+                w.str(msg);
+            }
+            Response::Bye => w.u8(6),
+        }
+        w.finish()
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(payload);
+        let resp = match r.u8()? {
+            0 => Response::Pong,
+            1 => Response::Submitted(r.u64()?),
+            2 => Response::Pending,
+            3 => Response::Result(decode_result(&mut r)?),
+            4 => Response::Stats(decode_stats(&mut r)?),
+            5 => Response::Err(r.str()?),
+            6 => Response::Bye,
+            _ => return Err(bad("bad response tag")),
+        };
+        r.expect_end()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wacc::OptLevel;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            benchmark: "crc32".into(),
+            engine: EngineKind::Wasmer(engines::Backend::Llvm),
+            level: OptLevel::O3,
+            scale: Scale::Profile,
+            mode: JobMode::ExecAot,
+            warm: true,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Submit(sample_spec()),
+            Request::Poll(42),
+            Request::Wait(7),
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let result = JobResult {
+            id: 9,
+            spec: sample_spec(),
+            status: JobStatus::Panicked("checksum mismatch".into()),
+            checksum: Some(-7),
+            bytes_hash: 0xdead_beef,
+            compile_s: 0.25,
+            exec_s: 1.5,
+            aot_compile_s: Some(0.125),
+            counters: Some(archsim::Counters {
+                instructions: 10,
+                cycles: 20,
+                ..Default::default()
+            }),
+            warm_artifact: true,
+            wall_s: 2.0,
+        };
+        let stats = SvcStats {
+            submitted: 3,
+            completed: 3,
+            ok: 2,
+            panicked: 1,
+            store: Some(StoreStats {
+                hits: 5,
+                misses: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        for resp in [
+            Response::Pong,
+            Response::Submitted(1),
+            Response::Pending,
+            Response::Result(result),
+            Response::Stats(stats),
+            Response::Err("nope".into()),
+            Response::Bye,
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_error() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Request::decode(&[99]).is_err());
+        // Trailing garbage is rejected.
+        let mut buf = Request::Ping.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+        // Truncated submit.
+        let buf = Request::Submit(sample_spec()).encode();
+        assert!(Request::decode(&buf[..buf.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! The concurrent job scheduler: a work queue plus a worker pool.
+//!
+//! Submission assigns monotonically increasing ids; `drain_sorted`
+//! returns results ordered by id, so downstream consumers see results
+//! in submission order no matter how jobs interleaved across workers —
+//! the property that keeps `--jobs N` harness tables identical in
+//! structure to serial runs.
+//!
+//! Isolation: each job runs on its own execution thread under
+//! `catch_unwind`. A panicking job (the deliberate checksum-mismatch
+//! panic included) produces a `Panicked` result; a job that outlives
+//! the per-job timeout produces `TimedOut` and its thread is abandoned
+//! (it finishes in the background and its late result is discarded —
+//! safe Rust cannot preempt a running computation). Workers themselves
+//! never die.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::exec::{self, ExecEnv};
+use crate::job::{JobResult, JobSpec, JobStatus};
+use crate::store::{ArtifactStore, StoreStats};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Worker threads.
+    pub workers: usize,
+    /// Hard per-job timeout.
+    pub timeout: Duration,
+    /// Artifact-store directory (`None` = no on-disk store).
+    pub store_dir: Option<PathBuf>,
+    /// Artifact-store size cap in bytes.
+    pub store_cap_bytes: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            workers: 4,
+            timeout: Duration::from_secs(120),
+            store_dir: None,
+            store_cap_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Aggregate service statistics (scheduler + artifact store).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SvcStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Jobs completed (any status).
+    pub completed: u64,
+    /// ... of which succeeded.
+    pub ok: u64,
+    /// ... failed cleanly.
+    pub failed: u64,
+    /// ... panicked (isolated).
+    pub panicked: u64,
+    /// ... hit the per-job timeout.
+    pub timed_out: u64,
+    /// Cold compiles measured by `Exec` jobs.
+    pub cold_compiles: u64,
+    /// Total seconds across cold compiles.
+    pub cold_compile_s: f64,
+    /// Warm artifact loads measured by `Exec` jobs.
+    pub warm_loads: u64,
+    /// Total seconds across warm artifact loads.
+    pub warm_load_s: f64,
+    /// Artifact-store counters, when a store is attached.
+    pub store: Option<StoreStats>,
+}
+
+impl SvcStats {
+    /// Mean cold compile seconds (0 if none).
+    pub fn cold_compile_avg_s(&self) -> f64 {
+        if self.cold_compiles == 0 {
+            0.0
+        } else {
+            self.cold_compile_s / self.cold_compiles as f64
+        }
+    }
+
+    /// Mean warm artifact-load seconds (0 if none).
+    pub fn warm_load_avg_s(&self) -> f64 {
+        if self.warm_loads == 0 {
+            0.0
+        } else {
+            self.warm_load_s / self.warm_loads as f64
+        }
+    }
+}
+
+struct Inner {
+    timeout: Duration,
+    queue: Mutex<VecDeque<(u64, JobSpec)>>,
+    queue_cv: Condvar,
+    results: Mutex<HashMap<u64, JobResult>>,
+    done_cv: Condvar,
+    outstanding: AtomicU64,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    env: ExecEnv,
+    stats: Mutex<SvcStats>,
+}
+
+/// The running scheduler: submit jobs, poll/wait for results.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Starts `cfg.workers` workers (opening the artifact store first,
+    /// if configured).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening the artifact store.
+    pub fn start(cfg: Config) -> std::io::Result<Scheduler> {
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(ArtifactStore::open(dir, cfg.store_cap_bytes)?),
+            None => None,
+        };
+        let inner = Arc::new(Inner {
+            timeout: cfg.timeout,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            results: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            outstanding: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            env: ExecEnv::new(store),
+            stats: Mutex::new(SvcStats::default()),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("wabench-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Scheduler { inner, workers })
+    }
+
+    /// Enqueues a job; returns its id.
+    pub fn submit(&self, spec: JobSpec) -> u64 {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.inner
+            .queue
+            .lock()
+            .expect("queue lock")
+            .push_back((id, spec));
+        self.inner.queue_cv.notify_one();
+        {
+            let mut stats = self.inner.stats.lock().expect("stats lock");
+            stats.submitted += 1;
+        }
+        id
+    }
+
+    /// Non-blocking result lookup (result stays claimable by `wait`).
+    pub fn poll(&self, id: u64) -> Option<JobResult> {
+        self.inner
+            .results
+            .lock()
+            .expect("results lock")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks until job `id` completes; removes and returns its result.
+    pub fn wait(&self, id: u64) -> JobResult {
+        let mut results = self.inner.results.lock().expect("results lock");
+        loop {
+            if let Some(res) = results.remove(&id) {
+                return res;
+            }
+            results = self.inner.done_cv.wait(results).expect("results lock");
+        }
+    }
+
+    /// Blocks until every submitted job has completed.
+    pub fn wait_idle(&self) {
+        let mut results = self.inner.results.lock().expect("results lock");
+        while self.inner.outstanding.load(Ordering::SeqCst) != 0 {
+            results = self.inner.done_cv.wait(results).expect("results lock");
+        }
+    }
+
+    /// Waits for idle, then removes and returns all results sorted by
+    /// id (= submission order).
+    pub fn drain_sorted(&self) -> Vec<JobResult> {
+        self.wait_idle();
+        let mut out: Vec<JobResult> = self
+            .inner
+            .results
+            .lock()
+            .expect("results lock")
+            .drain()
+            .map(|(_, r)| r)
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Statistics snapshot (store counters folded in).
+    pub fn stats(&self) -> SvcStats {
+        let mut stats = *self.inner.stats.lock().expect("stats lock");
+        if let Some(store) = &self.inner.env.store {
+            stats.store = Some(store.lock().expect("store lock").stats());
+        }
+        stats
+    }
+
+    /// Snapshot of the shared compiled-wasm cache.
+    pub fn bytes_snapshot(&self) -> Vec<(String, wacc::OptLevel, Arc<[u8]>)> {
+        self.inner.env.bytes_snapshot()
+    }
+
+    /// Stops accepting work, drains queued jobs, joins the workers.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = inner.queue_cv.wait(queue).expect("queue lock");
+            }
+        };
+        let Some((id, spec)) = job else { return };
+        let mut result = run_isolated(inner, &spec);
+        result.id = id;
+        {
+            let mut stats = inner.stats.lock().expect("stats lock");
+            stats.completed += 1;
+            match &result.status {
+                JobStatus::Ok => stats.ok += 1,
+                JobStatus::Failed(_) => stats.failed += 1,
+                JobStatus::Panicked(_) => stats.panicked += 1,
+                JobStatus::TimedOut => stats.timed_out += 1,
+            }
+            if result.ok() && matches!(result.spec.mode, crate::job::JobMode::Exec) {
+                if result.warm_artifact {
+                    stats.warm_loads += 1;
+                    stats.warm_load_s += result.compile_s;
+                } else {
+                    stats.cold_compiles += 1;
+                    stats.cold_compile_s += result.compile_s;
+                }
+            }
+        }
+        {
+            // Insert and decrement under the results lock: waiters check
+            // `outstanding` while holding it, so publishing both under
+            // the lock rules out a lost wakeup.
+            let mut results = inner.results.lock().expect("results lock");
+            results.insert(id, result);
+            inner.outstanding.fetch_sub(1, Ordering::SeqCst);
+        }
+        inner.done_cv.notify_all();
+    }
+}
+
+/// Runs one job on a dedicated thread with panic isolation and the hard
+/// timeout. The engine instances the job builds are `Rc`-based and live
+/// entirely on that thread.
+fn run_isolated(inner: &Arc<Inner>, spec: &JobSpec) -> JobResult {
+    let (tx, rx) = mpsc::channel();
+    let job_inner = Arc::clone(inner);
+    let job_spec = spec.clone();
+    let handle = std::thread::Builder::new()
+        .name("wabench-job".to_string())
+        .spawn(move || {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                exec::execute(&job_spec, &job_inner.env)
+            }));
+            let _ = tx.send(outcome);
+        })
+        .expect("spawn job thread");
+    let failed = |status: JobStatus| JobResult {
+        id: 0,
+        spec: spec.clone(),
+        status,
+        checksum: None,
+        bytes_hash: 0,
+        compile_s: 0.0,
+        exec_s: 0.0,
+        aot_compile_s: None,
+        counters: None,
+        warm_artifact: false,
+        wall_s: 0.0,
+    };
+    match rx.recv_timeout(inner.timeout) {
+        Ok(Ok(result)) => {
+            let _ = handle.join();
+            result
+        }
+        Ok(Err(payload)) => {
+            let _ = handle.join();
+            // `&*payload`, not `&payload`: the latter would unsize the
+            // Box itself into `dyn Any` and every downcast would miss.
+            failed(JobStatus::Panicked(panic_message(&*payload)))
+        }
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // Abandon the thread; its late send goes nowhere.
+            failed(JobStatus::TimedOut)
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            let _ = handle.join();
+            failed(JobStatus::Panicked("job thread died".to_string()))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobMode, Scale};
+    use engines::EngineKind;
+    use wacc::OptLevel;
+
+    #[test]
+    fn results_drain_in_submission_order() {
+        let sched = Scheduler::start(Config {
+            workers: 3,
+            ..Config::default()
+        })
+        .unwrap();
+        for kind in EngineKind::all() {
+            sched.submit(JobSpec::exec("crc32", kind, OptLevel::O1, Scale::Test));
+        }
+        let results = sched.drain_sorted();
+        assert_eq!(results.len(), 5);
+        let ids: Vec<u64> = results.iter().map(|r| r.id).collect();
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(results.iter().all(JobResult::ok));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn timeout_is_enforced() {
+        let sched = Scheduler::start(Config {
+            workers: 1,
+            timeout: Duration::from_millis(100),
+            ..Config::default()
+        })
+        .unwrap();
+        let hang = JobSpec {
+            mode: JobMode::SelfTestHang,
+            ..JobSpec::exec("crc32", EngineKind::Wasm3, OptLevel::O0, Scale::Test)
+        };
+        let id = sched.submit(hang);
+        let res = sched.wait(id);
+        assert_eq!(res.status, JobStatus::TimedOut);
+        sched.shutdown();
+    }
+}

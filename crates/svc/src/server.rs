@@ -1,0 +1,195 @@
+//! Unix-domain-socket front end for the scheduler, plus a blocking
+//! client. One thread per connection; a `Shutdown` request drains the
+//! scheduler and stops the accept loop.
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::job::JobSpec;
+use crate::proto::{Request, Response};
+use crate::scheduler::{Scheduler, SvcStats};
+use crate::wire::{read_frame, write_frame};
+use crate::JobResult;
+
+/// Serves `sched` on a Unix socket at `path` until a client sends
+/// `Shutdown`. An existing socket file at `path` is replaced. The
+/// socket file is removed on exit.
+///
+/// # Errors
+///
+/// I/O errors binding or accepting on the socket.
+pub fn serve(path: &Path, sched: Arc<Scheduler>) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns = Vec::new();
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = stream?;
+        let sched = Arc::clone(&sched);
+        let conn_stop = Arc::clone(&stop);
+        let sock = PathBuf::from(path);
+        conns.push(std::thread::spawn(move || {
+            let _ = handle_conn(stream, &sched, &conn_stop, &sock);
+        }));
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+fn handle_conn(
+    mut stream: UnixStream,
+    sched: &Scheduler,
+    stop: &AtomicBool,
+    sock: &Path,
+) -> io::Result<()> {
+    while let Some(payload) = read_frame(&mut stream)? {
+        let response = match Request::decode(&payload) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Submit(spec)) => Response::Submitted(sched.submit(spec)),
+            Ok(Request::Poll(id)) => match sched.poll(id) {
+                Some(res) => Response::Result(res),
+                None => Response::Pending,
+            },
+            Ok(Request::Wait(id)) => Response::Result(sched.wait(id)),
+            Ok(Request::Stats) => Response::Stats(sched.stats()),
+            Ok(Request::Shutdown) => {
+                sched.wait_idle();
+                stop.store(true, Ordering::SeqCst);
+                write_frame(&mut stream, &Response::Bye.encode())?;
+                // Unblock the accept loop with a throwaway connection.
+                let _ = UnixStream::connect(sock);
+                return Ok(());
+            }
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+    Ok(())
+}
+
+/// A blocking protocol client.
+#[derive(Debug)]
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors connecting to the socket.
+    pub fn connect(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Sends one request, reads one response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, a malformed response, or server-side `Err`.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server hung up"))?;
+        let resp = Response::decode(&payload)?;
+        if let Response::Err(msg) = &resp {
+            return Err(io::Error::other(format!("server error: {msg}")));
+        }
+        Ok(resp)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn submit(&mut self, spec: JobSpec) -> io::Result<u64> {
+        match self.request(&Request::Submit(spec))? {
+            Response::Submitted(id) => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Blocks until job `id` finishes; returns its result.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn wait(&mut self, id: u64) -> io::Result<JobResult> {
+        match self.request(&Request::Wait(id))? {
+            Response::Result(res) => Ok(res),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Non-blocking result query.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn poll(&mut self, id: u64) -> io::Result<Option<JobResult>> {
+        match self.request(&Request::Poll(id))? {
+            Response::Result(res) => Ok(Some(res)),
+            Response::Pending => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches service statistics.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn stats(&mut self) -> io::Result<SvcStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response {resp:?}"),
+    )
+}

@@ -1,0 +1,110 @@
+//! Corrupt and truncated AOT artifacts must be rejected through
+//! `Engine::load_artifact` (the untrusted `RegCode::try_new` path), and
+//! a warm service job holding a checksum-valid but semantically corrupt
+//! artifact must fall back to a cold compile instead of executing it.
+
+use std::time::Duration;
+
+use engines::jit::aot::{from_bytes, to_bytes};
+use engines::{Engine, EngineKind};
+use svc::job::{JobMode, JobSpec, Scale};
+use svc::scheduler::{Config, Scheduler};
+use svc::store::{ArtifactKey, ArtifactStore};
+use wacc::OptLevel;
+
+fn wasm_bytes() -> Vec<u8> {
+    suite::by_name("crc32")
+        .expect("crc32 registered")
+        .compile(OptLevel::O2)
+        .expect("compile")
+}
+
+/// A well-framed artifact whose register code fails validation: every
+/// function claims a zero-register frame while its ops still name
+/// registers.
+fn semantically_corrupt_artifact(engine: &Engine, bytes: &[u8]) -> Vec<u8> {
+    let good = engine.precompile(bytes).expect("precompile");
+    let (mut code, tier) = from_bytes(&good).expect("decode own artifact");
+    for f in &mut code.funcs {
+        f.nregs = 0;
+    }
+    to_bytes(&code, tier)
+}
+
+#[test]
+fn semantically_corrupt_artifact_is_rejected() {
+    let bytes = wasm_bytes();
+    let engine = Engine::new(EngineKind::Wasmtime);
+    let evil = semantically_corrupt_artifact(&engine, &bytes);
+    let err = engine.load_artifact(&evil);
+    assert!(err.is_err(), "zero-frame artifact must not validate");
+}
+
+#[test]
+fn truncated_and_mangled_artifacts_are_rejected() {
+    let bytes = wasm_bytes();
+    let engine = Engine::new(EngineKind::Wavm);
+    let artifact = engine.precompile(&bytes).expect("precompile");
+    // Round-trips when intact.
+    assert!(engine.load_artifact(&artifact).is_ok());
+    // Truncated at any of a few cut points: rejected, never panics.
+    for cut in [0, 3, artifact.len() / 2, artifact.len() - 1] {
+        assert!(
+            engine.load_artifact(&artifact[..cut]).is_err(),
+            "truncation at {cut} accepted"
+        );
+    }
+    // Bad magic: rejected.
+    let mut mangled = artifact.clone();
+    mangled[0] ^= 0xff;
+    assert!(engine.load_artifact(&mangled).is_err());
+}
+
+#[test]
+fn warm_job_falls_back_to_cold_compile_on_corrupt_artifact() {
+    let dir = std::env::temp_dir().join(format!(
+        "wabench-svc-corrupt-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Seed the store with a store-checksum-valid but semantically
+    // corrupt artifact under exactly the key a warm job will look up.
+    let bytes = wasm_bytes();
+    let kind = EngineKind::Wasmtime;
+    let engine = Engine::new(kind);
+    let evil = semantically_corrupt_artifact(&engine, &bytes);
+    {
+        let mut store = ArtifactStore::open(&dir, 256 << 20).expect("open store");
+        store
+            .put(ArtifactKey::aot(&bytes, OptLevel::O2, kind), &evil)
+            .expect("seed store");
+    }
+
+    let sched = Scheduler::start(Config {
+        workers: 1,
+        timeout: Duration::from_secs(120),
+        store_dir: Some(dir.clone()),
+        store_cap_bytes: 256 << 20,
+    })
+    .expect("start");
+    let id = sched.submit(JobSpec {
+        benchmark: "crc32".to_string(),
+        engine: kind,
+        level: OptLevel::O2,
+        scale: Scale::Test,
+        mode: JobMode::Exec,
+        warm: true,
+    });
+    let res = sched.wait(id);
+    assert!(res.ok(), "{:?}", res.status);
+    assert!(
+        !res.warm_artifact,
+        "corrupt artifact must not count as a warm load"
+    );
+    let b = suite::by_name("crc32").unwrap();
+    assert_eq!(res.checksum, Some((b.native)(b.sizes.test)));
+    drop(sched);
+    let _ = std::fs::remove_dir_all(&dir);
+}

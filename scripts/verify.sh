@@ -6,6 +6,8 @@
 #   2. cargo test -q                  (the seed tier-1 test suite)
 #   3. cargo clippy --workspace --all-targets -- -D warnings
 #   4. wabench-lint over crates/suite/programs (exits nonzero on findings)
+#   5. wabench-served smoke: socket round-trip, 3 jobs cold + 3 warm,
+#      asserting warm artifact loads beat cold compiles
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -31,5 +33,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 step "wabench-lint (source diagnostics over all suite programs)"
 cargo run -q -p wabench-harness --bin wabench-lint
+
+step "wabench-served smoke (socket protocol + artifact store, cold vs warm)"
+cargo build -q --release -p wabench-svc
+./target/release/wabench-served smoke --jobs 3
 
 step "verify OK"

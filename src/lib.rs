@@ -28,6 +28,7 @@ pub use archsim;
 pub use engines;
 pub use harness;
 pub use suite;
+pub use svc;
 pub use wacc;
 pub use wasi_rt;
 pub use wasm_core;
