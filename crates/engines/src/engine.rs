@@ -250,20 +250,33 @@ impl Engine {
     ///
     /// Returns decode or validation errors for malformed modules.
     pub fn compile(&self, bytes: &[u8]) -> Result<CompiledModule, EngineError> {
-        let module = wasm_core::decode::decode(bytes)?;
-        wasm_core::validate::validate(&module)?;
+        let _span = obs::span!("engine.compile", engine = self.kind.name());
+        let t0 = std::time::Instant::now();
+        let module = {
+            let _s = obs::span!("engine.decode");
+            wasm_core::decode::decode(bytes)?
+        };
+        {
+            let _s = obs::span!("engine.validate");
+            wasm_core::validate::validate(&module)?;
+        }
         let module = Rc::new(module);
         let code = match self.kind.tier() {
-            None => match self.kind {
-                EngineKind::Wamr => Code::Tree(TreeCode::load(module.clone())?),
-                EngineKind::Wasm3 => Code::Threaded(ThreadedCode::load(module.clone())?),
-                _ => unreachable!(),
-            },
+            None => {
+                let _s = obs::span!("engine.translate");
+                match self.kind {
+                    EngineKind::Wamr => Code::Tree(TreeCode::load(module.clone())?),
+                    EngineKind::Wasm3 => Code::Threaded(ThreadedCode::load(module.clone())?),
+                    _ => unreachable!(),
+                }
+            }
             Some(tier) => {
                 let (code, stats) = compile_module(module.clone(), tier)?;
                 Code::Reg(Box::new(code), stats, tier)
             }
         };
+        obs::metrics::histogram(&format!("engine.compile.{}", self.kind.name()))
+            .observe_ns(t0.elapsed().as_nanos() as u64);
         Ok(CompiledModule {
             kind: self.kind,
             code,
@@ -317,6 +330,7 @@ impl Engine {
     /// [`EngineError::BadArtifact`] if this engine is an interpreter
     /// (interpretation-based runtimes have no AOT mode, as in the paper).
     pub fn precompile(&self, bytes: &[u8]) -> Result<Vec<u8>, EngineError> {
+        let _span = obs::span!("engine.aot.precompile", engine = self.kind.name());
         let compiled = self.compile(bytes)?;
         match &compiled.code {
             Code::Reg(code, _, tier) => Ok(crate::jit::aot::to_bytes(code, *tier)),
@@ -334,6 +348,7 @@ impl Engine {
     /// Returns [`EngineError::BadArtifact`] if the artifact is malformed
     /// or was produced by a different tier than this engine uses.
     pub fn load_artifact(&self, artifact: &[u8]) -> Result<CompiledModule, EngineError> {
+        let _span = obs::span!("engine.aot.load", engine = self.kind.name());
         let want = self.kind.tier().ok_or_else(|| {
             EngineError::BadArtifact(format!("{} has no AOT mode", self.kind))
         })?;
@@ -453,7 +468,15 @@ impl<'m> Instance<'m> {
             )));
         }
         let raw: Vec<u64> = args.iter().map(|v| v.to_bits()).collect();
+        let _span = obs::span!(
+            "engine.execute",
+            engine = self.compiled.kind.name(),
+            func = name
+        );
+        let t0 = std::time::Instant::now();
         let out = self.invoke_idx(func_idx, &raw, p)?;
+        obs::metrics::histogram(&format!("engine.execute.{}", self.compiled.kind.name()))
+            .observe_ns(t0.elapsed().as_nanos() as u64);
         Ok(match (out, ty.results.first()) {
             (Some(bits), Some(t)) => Some(Value::from_bits(*t, bits)),
             _ => None,

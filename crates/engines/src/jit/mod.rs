@@ -92,13 +92,16 @@ pub fn compile_module(
     module: Rc<Module>,
     tier: Tier,
 ) -> Result<(RegCode, CompileStats), wasm_core::ValidateError> {
+    let _span = obs::span!("jit.compile", tier = tier, funcs = module.funcs.len());
     let config = tier.pass_config();
     let mut stats = CompileStats::default();
     let mut funcs = Vec::with_capacity(module.funcs.len());
     let num_imported = module.num_imported_funcs() as u32;
     for (i, f) in module.funcs.iter().enumerate() {
-        let mut rf =
-            lower::lower(&module, f).map_err(|e| e.with_func(num_imported + i as u32))?;
+        let mut rf = {
+            let _s = obs::span!("jit.lower");
+            lower::lower(&module, f).map_err(|e| e.with_func(num_imported + i as u32))?
+        };
         stats.lowered_ops += rf.ops.len();
         stats.passes.merge(opt::optimize(&mut rf, &config));
         stats.final_ops += rf.ops.len();

@@ -148,6 +148,7 @@ pub fn optimize(f: &mut RFunc, config: &PassConfig) -> PassStats {
             if !enabled {
                 continue;
             }
+            let _span = obs::span!("jit.pass", name = name);
             if !verify::enabled() {
                 stats.merge(pass(f));
                 continue;
@@ -160,6 +161,9 @@ pub fn optimize(f: &mut RFunc, config: &PassConfig) -> PassStats {
             verify::check_pass(name, f, &before);
             stats.verify_ns += snapshot_ns + t1.elapsed().as_nanos() as u64;
         }
+    }
+    if stats.verify_ns > 0 {
+        obs::metrics::histogram("jit.verify").observe_ns(stats.verify_ns);
     }
     stats
 }

@@ -73,6 +73,33 @@ pub fn static_analysis_section() -> String {
     )
 }
 
+/// The "Observability" section appended to `EXPERIMENTS.md` by
+/// `wabench-harness all`, describing how any number above can be broken
+/// down into its compiler/engine/service phases.
+pub fn observability_section() -> String {
+    "### Observability\n\n\
+     Every binary in this workspace is instrumented with `wabench-obs`\n\
+     spans: WaCC passes (`wacc.parse`/`wacc.opt`/`wacc.pass`), engine\n\
+     phases (`engine.decode`/`engine.validate`, per-tier `jit.compile`\n\
+     and `jit.pass`, `engine.execute`), harness matrix cells\n\
+     (`harness.cell`, `harness.figure`), and scheduler phases\n\
+     (`svc.queue.wait`, `svc.job.run`). Tracing is off by default and\n\
+     the disabled path is one relaxed atomic load, so the numbers above\n\
+     are bit-identical with or without the instrumentation compiled in.\n\n\
+     To see where a run's time went, add `--trace-out trace.json` (a\n\
+     Chrome trace-event file loadable in Perfetto or `chrome://tracing`)\n\
+     or `--report` (a plain-text hierarchical self-time table, printed\n\
+     to stderr) to `wabench-harness` or `wabench-run`. A sample\n\
+     self-time report for `wabench-run crc32 --report` attributes the\n\
+     run's wall clock to `engine.execute`, `jit.pass`, `wacc.parse` and\n\
+     friends, with per-span counts, totals, and self-time percentages.\n\
+     `wabench-served --trace-out` does the same for the service; its\n\
+     protocol-v2 `stats-ext` reply additionally carries queue-depth,\n\
+     worker-utilization, and per-engine latency histograms\n\
+     (p50/p95/p99).\n"
+        .to_string()
+}
+
 /// Aliases accepted by the CLI for individual tables/figures.
 pub fn resolve_alias(name: &str) -> Option<&'static str> {
     Some(match name {

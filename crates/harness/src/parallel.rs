@@ -116,6 +116,7 @@ fn specs_for(id: &str, scale: Scale, seen: &mut HashSet<(String, u8, u8, u8)>) -
 /// Panics if any job fails — a failed measurement (bad compile, wrong
 /// checksum) would also abort a serial run, just later.
 pub fn warm_matrix(ids: &[(&str, Scale)], jobs: usize) -> usize {
+    let _span = obs::span!("harness.warm_matrix", jobs = jobs, figures = ids.len());
     let mut seen = HashSet::new();
     let mut specs = Vec::new();
     for (id, scale) in ids {

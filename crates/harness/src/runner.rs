@@ -52,7 +52,10 @@ pub fn wasm_bytes(b: &Benchmark, level: OptLevel) -> Arc<[u8]> {
     let cache = guard.get_or_insert_with(HashMap::new);
     cache
         .entry((b.name, level))
-        .or_insert_with(|| b.compile(level).expect("registered benchmarks compile").into())
+        .or_insert_with(|| {
+            let _span = obs::span!("harness.compile", bench = b.name, level = level);
+            b.compile(level).expect("registered benchmarks compile").into()
+        })
         .clone()
 }
 
@@ -126,6 +129,7 @@ pub fn run_engine(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> Exec
     {
         return t;
     }
+    let _span = obs::span!("harness.cell", engine = kind.name(), n = n);
     let engine = Engine::new(kind);
     let t0 = std::time::Instant::now();
     let compiled = engine.compile(bytes).expect("compile");
@@ -152,6 +156,7 @@ pub fn run_engine_aot(kind: EngineKind, bytes: &[u8], n: i32, expected: i32) -> 
     {
         return t;
     }
+    let _span = obs::span!("harness.cell.aot", engine = kind.name(), n = n);
     let engine = Engine::new(kind);
     let t0 = std::time::Instant::now();
     let artifact = engine.precompile(bytes).expect("precompile");
@@ -220,6 +225,7 @@ pub fn run_profiled(kind: EngineKind, bytes: &[u8], n: i32) -> Counters {
     if let Some(c) = profile_cache_get(&key) {
         return c;
     }
+    let _span = obs::span!("harness.cell.profiled", engine = kind.name(), n = n);
     let mut sim = ArchSim::new();
     let engine = Engine::new(kind);
     let compiled = engine.compile_profiled(bytes, &mut sim).expect("compile");
@@ -256,6 +262,7 @@ pub fn run_native_profiled(bytes: &[u8], n: i32) -> Counters {
 
 /// Runs and reports the instance's memory breakdown.
 pub fn run_memory(kind: EngineKind, bytes: &[u8], n: i32) -> MemoryReport {
+    let _span = obs::span!("harness.cell.memory", engine = kind.name(), n = n);
     let engine = Engine::new(kind);
     let compiled = engine.compile(bytes).expect("compile");
     let mut inst = compiled

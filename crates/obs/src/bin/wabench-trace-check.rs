@@ -1,0 +1,49 @@
+//! Validates a Chrome trace-event JSON file produced by the wabench
+//! tools (or anything else claiming the format).
+//!
+//! ```text
+//! wabench-trace-check trace.json
+//! ```
+//!
+//! Exits 0 and prints a one-line summary when the document is valid;
+//! exits 1 with the first structural violation otherwise. Used by
+//! `scripts/verify.sh` as the trace smoke test.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: wabench-trace-check <trace.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("wabench-trace-check: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match obs::chrome::validate(&doc) {
+        Ok(s) => {
+            println!(
+                "{path}: ok — {} events, {} spans, {} threads, max depth {}, {} span names",
+                s.events,
+                s.spans,
+                s.tids,
+                s.max_depth,
+                s.names.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("wabench-trace-check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

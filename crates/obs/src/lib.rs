@@ -1,0 +1,119 @@
+//! # obs — tracing, metrics, and trace export for the wabench stack
+//!
+//! The paper's whole contribution is *measurement*; this crate makes the
+//! reproduction's own internals measurable. Three pieces:
+//!
+//! - **Spans** ([`trace`], the [`span!`] macro): named, attributed,
+//!   nested timing regions recorded into per-thread fixed-capacity ring
+//!   buffers ([`ring`]) with a lock-free producer path. The default sink
+//!   is [`trace::Sink::Null`]: a disabled [`span!`] costs one relaxed
+//!   atomic load and touches nothing else, so plain timing runs stay
+//!   bit-identical to uninstrumented ones.
+//! - **Metrics** ([`metrics`]): a global registry of named counters and
+//!   fixed-bucket latency histograms with p50/p95/p99 summaries, used
+//!   for per-engine compile/execute/verify latencies and artifact-store
+//!   hit/miss/eviction counts.
+//! - **Exporters**: Chrome trace-event JSON ([`chrome`], loadable in
+//!   Perfetto / `chrome://tracing`) and a plain-text hierarchical
+//!   self-time report ([`report`]); [`json`] carries the tiny parser the
+//!   round-trip validator is built on.
+//!
+//! There is also a leveled [`log!`] macro family (respecting
+//! `WABENCH_LOG=error|warn|info|debug`, [`logger`]) that replaces the
+//! scattered `eprintln!` progress lines in the binaries.
+//!
+//! ```
+//! obs::trace::install(obs::trace::Sink::Ring);
+//! {
+//!     let _outer = obs::span!("compile", module = "crc32");
+//!     let _inner = obs::span!("pass", name = "const_fold");
+//! }
+//! let trace = obs::trace::drain();
+//! let json = obs::chrome::export_string(&trace);
+//! let summary = obs::chrome::validate(&json).unwrap();
+//! assert!(summary.spans >= 2);
+//! obs::trace::install(obs::trace::Sink::Null);
+//! ```
+//!
+//! This crate deliberately depends on nothing in the workspace, so every
+//! other crate (wacc, engines, svc, harness) can depend on it.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod logger;
+pub mod metrics;
+pub mod report;
+pub mod ring;
+pub mod trace;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use trace::{SpanEvent, SpanGuard, ThreadTrace, Trace};
+
+/// Opens a timing span that ends when the returned guard drops.
+///
+/// `span!("name")` records just the name; `span!("name", key = expr,
+/// ...)` formats the attributes with [`std::fmt::Display`] into a
+/// `key=value` detail string — but only when tracing is enabled, so the
+/// disabled path never allocates or formats.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name, || None)
+    };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::trace::SpanGuard::enter($name, || {
+            let mut s = String::new();
+            $(
+                if !s.is_empty() {
+                    s.push(' ');
+                }
+                s.push_str(concat!(stringify!($k), "="));
+                {
+                    use std::fmt::Write as _;
+                    let _ = write!(s, "{}", $v);
+                }
+            )+
+            Some(s.into_boxed_str())
+        })
+    };
+}
+
+/// Logs a line at the given [`logger::Level`] if `WABENCH_LOG` permits.
+///
+/// The default level is `info`, chosen so existing progress output is
+/// preserved verbatim; `WABENCH_LOG=error` silences progress,
+/// `WABENCH_LOG=debug` adds diagnostics.
+#[macro_export]
+macro_rules! log {
+    ($lvl:expr, $($arg:tt)*) => {
+        if $crate::logger::enabled($lvl) {
+            eprintln!("{}", format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`logger::Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log!($crate::logger::Level::Error, $($arg)*) };
+}
+
+/// Logs at [`logger::Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log!($crate::logger::Level::Warn, $($arg)*) };
+}
+
+/// Logs at [`logger::Level::Info`] (the default visibility threshold).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log!($crate::logger::Level::Info, $($arg)*) };
+}
+
+/// Logs at [`logger::Level::Debug`] (hidden unless `WABENCH_LOG=debug`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log!($crate::logger::Level::Debug, $($arg)*) };
+}

@@ -1,0 +1,112 @@
+//! Leveled stderr logging controlled by `WABENCH_LOG`.
+//!
+//! The binaries historically printed progress with bare `eprintln!`;
+//! routing those lines through [`crate::info!`] (and diagnostics through
+//! [`crate::debug!`]) keeps the default output byte-identical while
+//! letting `WABENCH_LOG=error` silence a run and `WABENCH_LOG=debug`
+//! open it up. The level is resolved once from the environment on first
+//! use; [`set_level`] exists for binaries that take a `--log` flag and
+//! for tests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least important.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the user must see.
+    Error = 0,
+    /// Suspicious-but-recoverable conditions.
+    Warn = 1,
+    /// Normal progress output (the default threshold).
+    Info = 2,
+    /// Verbose diagnostics.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive). `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "err" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        })
+    }
+}
+
+// 255 = "not yet resolved"; any other value is a Level discriminant.
+static LEVEL: AtomicU8 = AtomicU8::new(255);
+
+fn env_level() -> Level {
+    static FROM_ENV: OnceLock<Level> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        std::env::var("WABENCH_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+            .unwrap_or(Level::Info)
+    })
+}
+
+/// The current visibility threshold.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        3 => Level::Debug,
+        _ => env_level(),
+    }
+}
+
+/// Overrides the threshold (wins over `WABENCH_LOG`).
+pub fn set_level(lvl: Level) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `lvl` should be printed.
+#[inline]
+pub fn enabled(lvl: Level) -> bool {
+    lvl <= level()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("loud"), None);
+        assert_eq!(Level::Info.to_string(), "info");
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // Tests share the global; pick a level, check, then restore Info
+        // (the default the other output-shape tests rely on).
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+    }
+}

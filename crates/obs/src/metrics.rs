@@ -1,0 +1,333 @@
+//! Metrics: named counters and fixed-bucket latency histograms.
+//!
+//! A process-global registry maps names to atomically-updated metrics,
+//! so instrumentation sites just say
+//! `obs::metrics::counter("svc.store.hits").inc()` — no handles to
+//! thread through constructors. Histograms use power-of-two nanosecond
+//! buckets, which makes observation lock-free and snapshots mergeable,
+//! at the cost of quantiles being bucket upper bounds (≤2× the true
+//! value) — the right trade for p50/p95/p99 *summaries* of latencies
+//! spanning microseconds to minutes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Histogram bucket count: bucket `i` holds observations in
+/// `(2^(i+7), 2^(i+8)]` ns, so the range covers 256 ns .. ~2.3 min,
+/// with the last bucket catching everything above.
+pub const BUCKETS: usize = 32;
+
+/// Upper bound (ns, inclusive) of bucket `i`.
+pub fn bucket_bound_ns(i: usize) -> u64 {
+    1u64 << (i + 8).min(63)
+}
+
+fn bucket_for(v_ns: u64) -> usize {
+    // First bucket whose bound holds v; bound(i) = 2^(i+8), so
+    // i = ⌈log2 v⌉ - 8 (clamped). ⌈log2 v⌉ = bit-length of v-1.
+    let bits = 64 - (v_ns.max(1) - 1).leading_zeros() as usize;
+    bits.saturating_sub(8).min(BUCKETS - 1)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram (nanosecond observations).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation of `v_ns` nanoseconds.
+    pub fn observe_ns(&self, v_ns: u64) {
+        self.buckets[bucket_for(v_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v_ns, Ordering::Relaxed);
+    }
+
+    /// Records one observation given in seconds.
+    pub fn observe_s(&self, v_s: f64) {
+        self.observe_ns((v_s.max(0.0) * 1e9) as u64);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram snapshot — wire-encodable and mergeable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`bucket_bound_ns`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (0.0..=1.0) as a bucket upper bound in ns;
+    /// 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_bound_ns(i);
+            }
+        }
+        bucket_bound_ns(BUCKETS - 1)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty — never NaN).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// `count=… mean=… p50=… p95=… p99=…` with human-scaled units.
+    pub fn summary(&self) -> String {
+        format!(
+            "count={} mean={} p50={} p95={} p99={}",
+            self.count,
+            fmt_ns(self.mean_ns() as u64),
+            fmt_ns(self.quantile_ns(0.50)),
+            fmt_ns(self.quantile_ns(0.95)),
+            fmt_ns(self.quantile_ns(0.99)),
+        )
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(Mutex::default)
+}
+
+/// The counter registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a histogram.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = registry().lock().expect("metrics registry");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Counter(Arc::default()))
+    {
+        Metric::Counter(c) => Arc::clone(c),
+        Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+    }
+}
+
+/// The histogram registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a counter.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = registry().lock().expect("metrics registry");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Histogram(Arc::default()))
+    {
+        Metric::Histogram(h) => Arc::clone(h),
+        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+    }
+}
+
+/// A named metric value in a [`snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Histogram state (boxed: a snapshot is ~35× a counter).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// Snapshots every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(String, MetricValue)> {
+    let reg = registry().lock().expect("metrics registry");
+    let mut out: Vec<(String, MetricValue)> = reg
+        .iter()
+        .map(|(name, m)| {
+            let v = match m {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Renders the full registry as an aligned plain-text block.
+pub fn render() -> String {
+    let snap = snapshot();
+    if snap.is_empty() {
+        return "metrics: none recorded\n".to_string();
+    }
+    let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in snap {
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("{name:width$}  {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("{name:width$}  {}\n", h.summary()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range() {
+        assert_eq!(bucket_for(0), 0);
+        assert_eq!(bucket_for(256), 0);
+        assert_eq!(bucket_for(257), 1);
+        assert_eq!(bucket_for(u64::MAX), BUCKETS - 1);
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_for(bucket_bound_ns(i)), i, "bound {i} maps to itself");
+            assert_eq!(bucket_for(bucket_bound_ns(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = Histogram::default();
+        for v in [1_000u64, 2_000, 4_000, 1_000_000] {
+            h.observe_ns(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert!(s.quantile_ns(0.5) >= 2_000, "p50 covers the median");
+        assert!(s.quantile_ns(1.0) >= 1_000_000);
+        assert!(s.quantile_ns(0.99) <= 2 * 1_048_576, "≤2× true max");
+        assert_eq!(s.mean_ns() as u64, (1_000 + 2_000 + 4_000 + 1_000_000) / 4);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero_not_nan() {
+        let s = HistogramSnapshot::default();
+        assert_eq!(s.quantile_ns(0.99), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert!(!s.mean_ns().is_nan());
+    }
+
+    #[test]
+    fn registry_hands_out_shared_instances() {
+        counter("test.reg.counter").add(3);
+        counter("test.reg.counter").add(4);
+        assert_eq!(counter("test.reg.counter").get(), 7);
+        histogram("test.reg.hist").observe_ns(5_000);
+        assert_eq!(histogram("test.reg.hist").snapshot().count, 1);
+        let snap = snapshot();
+        assert!(snap.iter().any(|(n, _)| n == "test.reg.counter"));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.observe_ns(1_000);
+        b.observe_ns(1_000_000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum_ns, 1_001_000);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

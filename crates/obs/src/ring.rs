@@ -1,0 +1,202 @@
+//! Per-thread fixed-capacity event ring with a lock-free producer.
+//!
+//! Single-producer (the owning thread pushes), single-consumer (drains
+//! are serialized by the trace registry's lock). The producer path is
+//! two atomic loads, a slot write, and a release store — no locks, no
+//! allocation, no syscalls — so recording a span never perturbs the
+//! thread being measured beyond the clock reads themselves.
+//!
+//! When the ring is full, new events are *dropped and counted* rather
+//! than overwriting old ones: overwriting could orphan half of a parent/
+//! child pair and unbalance the exported begin/end stream, while a
+//! counted drop keeps what was captured well-formed.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::trace::SpanEvent;
+
+/// Events each thread can buffer between drains. Sized so a full
+/// single-benchmark trace (per-pass spans included) fits with room to
+/// spare: 32Ki events ≈ 2 MiB per traced thread.
+pub const RING_CAPACITY: usize = 1 << 15;
+
+/// A fixed-capacity single-producer/single-consumer event ring.
+pub struct Ring {
+    slots: Box<[UnsafeCell<MaybeUninit<SpanEvent>>]>,
+    /// Next write index (free-running; producer-owned).
+    head: AtomicUsize,
+    /// Next read index (free-running; consumer-owned).
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// The slots are written only by the producer at indices the consumer
+// has not yet claimed, and read only by the consumer at indices the
+// producer has published with a release store; the head/tail protocol
+// below keeps the two ends on disjoint slots.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    /// Creates an empty ring with [`RING_CAPACITY`] slots.
+    pub fn new() -> Ring {
+        Ring::with_capacity(RING_CAPACITY)
+    }
+
+    /// Creates an empty ring with `capacity` slots (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Ring {
+        let capacity = capacity.max(2).next_power_of_two();
+        let slots = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Ring {
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Pushes an event; drops it (counted) if the ring is full. Must
+    /// only be called from the ring's owning (producer) thread.
+    pub fn push(&self, ev: SpanEvent) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let slot = &self.slots[head & (self.slots.len() - 1)];
+        unsafe { (*slot.get()).write(ev) };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Removes and returns all buffered events, oldest first. Callers
+    /// must serialize drains (the trace registry holds its lock).
+    pub fn drain(&self) -> Vec<SpanEvent> {
+        let head = self.head.load(Ordering::Acquire);
+        let mut tail = self.tail.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity(head.wrapping_sub(tail));
+        while tail != head {
+            let slot = &self.slots[tail & (self.slots.len() - 1)];
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+            tail = tail.wrapping_add(1);
+        }
+        self.tail.store(tail, Ordering::Release);
+        out
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Ring {
+    fn default() -> Ring {
+        Ring::new()
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Drop any undrained events (they own heap attributes).
+        self.drain();
+    }
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.slots.len())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> SpanEvent {
+        SpanEvent {
+            name: "test",
+            attr: Some(format!("n={n}").into_boxed_str()),
+            start_ns: n,
+            dur_ns: 1,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn push_drain_preserves_order() {
+        let r = Ring::with_capacity(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let out = r.drain();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().enumerate().all(|(i, e)| e.start_ns == i as u64));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts() {
+        let r = Ring::with_capacity(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // The *oldest* events survive; drops never orphan prior pairs.
+        let out = r.drain();
+        assert_eq!(out[0].start_ns, 0);
+        assert_eq!(out[3].start_ns, 3);
+    }
+
+    #[test]
+    fn drain_resumes_after_wraparound() {
+        let r = Ring::with_capacity(4);
+        for round in 0..5u64 {
+            for i in 0..3 {
+                r.push(ev(round * 3 + i));
+            }
+            let out = r.drain();
+            assert_eq!(out.len(), 3, "round {round}");
+            assert_eq!(out[0].start_ns, round * 3);
+        }
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn cross_thread_drain_sees_producer_writes() {
+        let r = std::sync::Arc::new(Ring::with_capacity(1024));
+        let producer = std::sync::Arc::clone(&r);
+        let handle = std::thread::spawn(move || {
+            for i in 0..500 {
+                producer.push(ev(i));
+            }
+        });
+        handle.join().unwrap();
+        let out = r.drain();
+        assert_eq!(out.len(), 500);
+        assert!(out.windows(2).all(|w| w[0].start_ns < w[1].start_ns));
+    }
+}

@@ -5,9 +5,14 @@
 //! wabench-served submit --socket PATH --bench NAME [--engine E] [--level O0..O3]
 //!                       [--scale test|profile|timing] [--mode exec|aot|profiled] [--warm]
 //! wabench-served stats  --socket PATH
+//! wabench-served stats-ext --socket PATH
 //! wabench-served shutdown --socket PATH
 //! wabench-served smoke  [--dir DIR] [--jobs N]
 //! ```
+//!
+//! `stats-ext` speaks protocol v2: besides the classic counters it
+//! reports queue depth, worker utilization, and queue-wait/per-engine
+//! latency histograms (p50/p95/p99). Older servers answer `Err`.
 //!
 //! `smoke` is self-contained: it starts a scheduler + server on a
 //! scratch socket, drives it through a real client twice — a cold pass
@@ -23,19 +28,20 @@ use std::time::Duration;
 
 use engines::EngineKind;
 use svc::job::{JobMode, JobSpec, Scale};
-use svc::scheduler::{Config, Scheduler, SvcStats};
+use svc::scheduler::{Config, Scheduler, SvcStats, SvcStatsExt};
 use svc::server::{serve, Client};
 use wacc::OptLevel;
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: wabench-served <serve|submit|stats|shutdown|smoke> [options]\n\
+    obs::error!(
+        "usage: wabench-served <serve|submit|stats|stats-ext|shutdown|smoke> [options]\n\
          \n\
-         serve    --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S]\n\
-         submit   --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
-         stats    --socket PATH\n\
-         shutdown --socket PATH\n\
-         smoke    [--dir DIR] [--jobs N]"
+         serve     --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S] [--trace-out FILE]\n\
+         submit    --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
+         stats     --socket PATH\n\
+         stats-ext --socket PATH\n\
+         shutdown  --socket PATH\n\
+         smoke     [--dir DIR] [--jobs N]"
     );
     exit(2);
 }
@@ -47,7 +53,7 @@ fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
     match args.get(*i) {
         Some(v) => v.clone(),
         None => {
-            eprintln!("missing value for {flag}");
+            obs::error!("missing value for {flag}");
             usage();
         }
     }
@@ -68,6 +74,7 @@ struct Opts {
     warm: bool,
     dir: Option<PathBuf>,
     jobs: usize,
+    trace_out: Option<PathBuf>,
 }
 
 impl Opts {
@@ -86,6 +93,7 @@ impl Opts {
             warm: false,
             dir: None,
             jobs: 4,
+            trace_out: None,
         }
     }
 }
@@ -102,7 +110,7 @@ fn parse_opts(args: &[String]) -> Opts {
                     .ok()
                     .filter(|n| *n > 0)
                     .unwrap_or_else(|| {
-                        eprintln!("--workers needs a positive integer");
+                        obs::error!("--workers needs a positive integer");
                         usage();
                     })
             }
@@ -111,7 +119,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.store_cap_mb = take_value(args, &mut i, "--store-cap-mb")
                     .parse()
                     .unwrap_or_else(|_| {
-                        eprintln!("--store-cap-mb needs an integer");
+                        obs::error!("--store-cap-mb needs an integer");
                         usage();
                     })
             }
@@ -119,7 +127,7 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.timeout_s = take_value(args, &mut i, "--timeout-s")
                     .parse()
                     .unwrap_or_else(|_| {
-                        eprintln!("--timeout-s needs an integer");
+                        obs::error!("--timeout-s needs an integer");
                         usage();
                     })
             }
@@ -127,7 +135,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--engine" => {
                 let v = take_value(args, &mut i, "--engine");
                 o.engine = EngineKind::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown engine {v:?}");
+                    obs::error!("unknown engine {v:?}");
                     usage();
                 })
             }
@@ -139,7 +147,7 @@ fn parse_opts(args: &[String]) -> Opts {
                     "O2" => OptLevel::O2,
                     "O3" => OptLevel::O3,
                     _ => {
-                        eprintln!("unknown level {v:?} (use O0..O3)");
+                        obs::error!("unknown level {v:?} (use O0..O3)");
                         usage();
                     }
                 }
@@ -147,7 +155,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--scale" => {
                 let v = take_value(args, &mut i, "--scale");
                 o.scale = Scale::parse(&v).unwrap_or_else(|| {
-                    eprintln!("unknown scale {v:?} (use test|profile|timing)");
+                    obs::error!("unknown scale {v:?} (use test|profile|timing)");
                     usage();
                 })
             }
@@ -158,12 +166,15 @@ fn parse_opts(args: &[String]) -> Opts {
                     "aot" => JobMode::ExecAot,
                     "profiled" => JobMode::Profiled,
                     _ => {
-                        eprintln!("unknown mode {v:?} (use exec|aot|profiled)");
+                        obs::error!("unknown mode {v:?} (use exec|aot|profiled)");
                         usage();
                     }
                 }
             }
             "--warm" => o.warm = true,
+            "--trace-out" => {
+                o.trace_out = Some(PathBuf::from(take_value(args, &mut i, "--trace-out")))
+            }
             "--dir" => o.dir = Some(PathBuf::from(take_value(args, &mut i, "--dir"))),
             "--jobs" => {
                 o.jobs = take_value(args, &mut i, "--jobs")
@@ -171,12 +182,12 @@ fn parse_opts(args: &[String]) -> Opts {
                     .ok()
                     .filter(|n| *n > 0)
                     .unwrap_or_else(|| {
-                        eprintln!("--jobs needs a positive integer");
+                        obs::error!("--jobs needs a positive integer");
                         usage();
                     })
             }
             other => {
-                eprintln!("unknown option {other:?}");
+                obs::error!("unknown option {other:?}");
                 usage();
             }
         }
@@ -187,7 +198,7 @@ fn parse_opts(args: &[String]) -> Opts {
 
 fn need_socket(o: &Opts) -> PathBuf {
     o.socket.clone().unwrap_or_else(|| {
-        eprintln!("--socket is required");
+        obs::error!("--socket is required");
         usage();
     })
 }
@@ -213,6 +224,22 @@ fn print_stats(s: &SvcStats) {
     }
 }
 
+fn print_stats_ext(s: &SvcStatsExt) {
+    print_stats(&s.base);
+    println!(
+        "service: queue depth {}, {} workers, uptime {:.1}s, utilization {:.1}%",
+        s.queue_depth,
+        s.workers,
+        s.uptime_s,
+        s.utilization() * 100.0
+    );
+    println!("queue wait: {}", s.queue_wait.summary());
+    for (code, hist) in &s.engine_wall {
+        let name = EngineKind::from_code(*code).map_or("unknown", |k| k.name());
+        println!("engine {name}: wall {}", hist.summary());
+    }
+}
+
 fn print_result(res: &svc::JobResult) {
     println!(
         "job {} [{}]: {:?} checksum={:?} compile {:.3}ms{} exec {:.3}ms wall {:.3}ms",
@@ -229,6 +256,9 @@ fn print_result(res: &svc::JobResult) {
 
 fn cmd_serve(o: &Opts) {
     let socket = need_socket(o);
+    if o.trace_out.is_some() {
+        obs::trace::install(obs::trace::Sink::Ring);
+    }
     let sched = Scheduler::start(Config {
         workers: o.workers,
         timeout: Duration::from_secs(o.timeout_s),
@@ -236,10 +266,10 @@ fn cmd_serve(o: &Opts) {
         store_cap_bytes: o.store_cap_mb << 20,
     })
     .unwrap_or_else(|e| {
-        eprintln!("failed to start scheduler: {e}");
+        obs::error!("failed to start scheduler: {e}");
         exit(1);
     });
-    eprintln!(
+    obs::info!(
         "wabench-served: listening on {} ({} workers{})",
         socket.display(),
         o.workers,
@@ -249,15 +279,26 @@ fn cmd_serve(o: &Opts) {
         }
     );
     if let Err(e) = serve(&socket, Arc::new(sched)) {
-        eprintln!("server error: {e}");
+        obs::error!("server error: {e}");
         exit(1);
+    }
+    if let Some(path) = &o.trace_out {
+        let trace = obs::trace::drain();
+        obs::trace::install(obs::trace::Sink::Null);
+        match obs::chrome::export_file(&trace, path) {
+            Ok(()) => obs::info!("wrote {} ({} spans)", path.display(), trace.span_count()),
+            Err(e) => {
+                obs::error!("{}: {e}", path.display());
+                exit(1);
+            }
+        }
     }
 }
 
 fn cmd_submit(o: &Opts) {
     let socket = need_socket(o);
     let bench = o.bench.clone().unwrap_or_else(|| {
-        eprintln!("--bench is required");
+        obs::error!("--bench is required");
         usage();
     });
     let spec = JobSpec {
@@ -269,7 +310,7 @@ fn cmd_submit(o: &Opts) {
         warm: o.warm,
     };
     let mut client = Client::connect(&socket).unwrap_or_else(|e| {
-        eprintln!("connect {}: {e}", socket.display());
+        obs::error!("connect {}: {e}", socket.display());
         exit(1);
     });
     let id = client.submit(spec).expect("submit");
@@ -281,16 +322,25 @@ fn cmd_submit(o: &Opts) {
 fn cmd_stats(o: &Opts) {
     let socket = need_socket(o);
     let mut client = Client::connect(&socket).unwrap_or_else(|e| {
-        eprintln!("connect {}: {e}", socket.display());
+        obs::error!("connect {}: {e}", socket.display());
         exit(1);
     });
     print_stats(&client.stats().expect("stats"));
 }
 
+fn cmd_stats_ext(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    print_stats_ext(&client.stats_ext().expect("stats-ext"));
+}
+
 fn cmd_shutdown(o: &Opts) {
     let socket = need_socket(o);
     let mut client = Client::connect(&socket).unwrap_or_else(|e| {
-        eprintln!("connect {}: {e}", socket.display());
+        obs::error!("connect {}: {e}", socket.display());
         exit(1);
     });
     client.shutdown().expect("shutdown");
@@ -353,6 +403,14 @@ fn cmd_smoke(o: &Opts) {
             }
         }
         let stats = client.stats().expect("stats");
+        // Exercise the protocol-v2 path over the real socket too.
+        let ext = client.stats_ext().expect("stats-ext");
+        assert_eq!(ext.base.completed, stats.completed, "stats-ext disagrees");
+        println!(
+            "[{label}] utilization {:.1}%, queue wait {}",
+            ext.utilization() * 100.0,
+            ext.queue_wait.summary()
+        );
         client.shutdown().expect("shutdown");
         server.join().expect("server join").expect("serve");
         println!("[{label}] {ok}/{} jobs ok", ids.len());
@@ -402,7 +460,7 @@ fn cmd_smoke(o: &Opts) {
         println!("smoke OK");
     } else {
         for f in &failures {
-            eprintln!("smoke FAILED: {f}");
+            obs::error!("smoke FAILED: {f}");
         }
         exit(1);
     }
@@ -416,6 +474,7 @@ fn main() {
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
         "stats" => cmd_stats(&opts),
+        "stats-ext" => cmd_stats_ext(&opts),
         "shutdown" => cmd_shutdown(&opts),
         "smoke" => cmd_smoke(&opts),
         _ => usage(),

@@ -91,6 +91,13 @@ impl ExecEnv {
 /// (they become [`JobStatus::Failed`]); a checksum mismatch panics by
 /// design and is caught at the scheduler's job boundary.
 pub fn execute(spec: &JobSpec, env: &ExecEnv) -> JobResult {
+    let _span = obs::span!(
+        "svc.job.exec",
+        bench = spec.benchmark,
+        engine = spec.engine.name(),
+        level = spec.level,
+        mode = format_args!("{:?}", spec.mode)
+    );
     let t0 = Instant::now();
     let mut res = JobResult {
         id: 0,

@@ -44,5 +44,5 @@ pub mod store;
 pub mod wire;
 
 pub use job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
-pub use scheduler::{Config, Scheduler, SvcStats};
+pub use scheduler::{Config, Scheduler, SvcStats, SvcStatsExt};
 pub use store::{ArtifactKey, ArtifactStore, StoreStats};

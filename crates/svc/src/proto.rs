@@ -5,12 +5,22 @@
 //! payload as untrusted and must consume it exactly.
 
 use engines::EngineKind;
+use obs::metrics::{HistogramSnapshot, BUCKETS};
 use serde::{Deserialize, Serialize};
 
 use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
-use crate::scheduler::SvcStats;
+use crate::scheduler::{SvcStats, SvcStatsExt};
 use crate::store::StoreStats;
 use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter};
+
+/// Protocol version, carried at the head of the `StatsExt` reply.
+/// Version history:
+///
+/// - v1: Ping/Submit/Poll/Wait/Stats/Shutdown (implicit — v1 frames
+///   carry no version field, and none of those messages changed).
+/// - v2: adds `StatsExt` (request tag 6, response tag 7) with queue
+///   depth, worker utilization, and latency histogram snapshots.
+pub const PROTO_VERSION: u16 = 2;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +37,8 @@ pub enum Request {
     Stats,
     /// Stop the server (drains queued jobs first).
     Shutdown,
+    /// Extended statistics (protocol v2; older servers answer `Err`).
+    StatsExt,
 }
 
 /// Server → client.
@@ -46,6 +58,9 @@ pub enum Response {
     Err(String),
     /// Acknowledges `Shutdown`.
     Bye,
+    /// Extended statistics snapshot (protocol v2). Boxed: the inline
+    /// histogram bucket arrays dwarf every other variant.
+    StatsExt(Box<SvcStatsExt>),
 }
 
 fn bad(msg: &str) -> WireError {
@@ -261,6 +276,90 @@ fn decode_stats(r: &mut WireReader<'_>) -> Result<SvcStats, WireError> {
     })
 }
 
+/// Histograms go over the wire sparsely: most of the 32 buckets are
+/// empty for any one engine, so we send (index, count) pairs.
+fn encode_histogram(w: &mut WireWriter, h: &HistogramSnapshot) {
+    w.u64(h.count);
+    w.u64(h.sum_ns);
+    let nonzero: Vec<(usize, u64)> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c != 0)
+        .map(|(i, c)| (i, *c))
+        .collect();
+    w.u32(nonzero.len() as u32);
+    for (i, c) in nonzero {
+        w.u8(i as u8);
+        w.u64(c);
+    }
+}
+
+fn decode_histogram(r: &mut WireReader<'_>) -> Result<HistogramSnapshot, WireError> {
+    let count = r.u64()?;
+    let sum_ns = r.u64()?;
+    let mut snapshot = HistogramSnapshot {
+        count,
+        sum_ns,
+        ..HistogramSnapshot::default()
+    };
+    let n = r.u32()?;
+    for _ in 0..n {
+        let i = r.u8()? as usize;
+        if i >= BUCKETS {
+            return Err(bad("bad histogram bucket index"));
+        }
+        snapshot.buckets[i] = r.u64()?;
+    }
+    Ok(snapshot)
+}
+
+fn encode_stats_ext(w: &mut WireWriter, s: &SvcStatsExt) {
+    // Version first, so future layout changes are detectable without
+    // guessing from payload length.
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    encode_stats(w, &s.base);
+    w.u64(s.queue_depth);
+    w.u64(s.workers);
+    w.f64(s.uptime_s);
+    w.f64(s.busy_s);
+    encode_histogram(w, &s.queue_wait);
+    w.u32(s.engine_wall.len() as u32);
+    for (code, h) in &s.engine_wall {
+        w.u8(*code);
+        encode_histogram(w, h);
+    }
+}
+
+fn decode_stats_ext(r: &mut WireReader<'_>) -> Result<SvcStatsExt, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if version != PROTO_VERSION {
+        return Err(bad("unsupported stats-ext version"));
+    }
+    let base = decode_stats(r)?;
+    let queue_depth = r.u64()?;
+    let workers = r.u64()?;
+    let uptime_s = r.f64()?;
+    let busy_s = r.f64()?;
+    let queue_wait = decode_histogram(r)?;
+    let n = r.u32()?;
+    let mut engine_wall = Vec::with_capacity(n.min(64) as usize);
+    for _ in 0..n {
+        let code = r.u8()?;
+        engine_wall.push((code, decode_histogram(r)?));
+    }
+    Ok(SvcStatsExt {
+        base,
+        queue_depth,
+        workers,
+        uptime_s,
+        busy_s,
+        queue_wait,
+        engine_wall,
+    })
+}
+
 impl Request {
     /// Encodes into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -281,6 +380,7 @@ impl Request {
             }
             Request::Stats => w.u8(4),
             Request::Shutdown => w.u8(5),
+            Request::StatsExt => w.u8(6),
         }
         w.finish()
     }
@@ -300,6 +400,7 @@ impl Request {
             3 => Request::Wait(r.u64()?),
             4 => Request::Stats,
             5 => Request::Shutdown,
+            6 => Request::StatsExt,
             _ => return Err(bad("bad request tag")),
         };
         r.expect_end()?;
@@ -331,6 +432,10 @@ impl Response {
                 w.str(msg);
             }
             Response::Bye => w.u8(6),
+            Response::StatsExt(s) => {
+                w.u8(7);
+                encode_stats_ext(&mut w, s);
+            }
         }
         w.finish()
     }
@@ -350,6 +455,7 @@ impl Response {
             4 => Response::Stats(decode_stats(&mut r)?),
             5 => Response::Err(r.str()?),
             6 => Response::Bye,
+            7 => Response::StatsExt(Box::new(decode_stats_ext(&mut r)?)),
             _ => return Err(bad("bad response tag")),
         };
         r.expect_end()?;
@@ -382,6 +488,7 @@ mod tests {
             Request::Wait(7),
             Request::Stats,
             Request::Shutdown,
+            Request::StatsExt,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -429,6 +536,116 @@ mod tests {
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    fn sample_stats_ext() -> SvcStatsExt {
+        let mut queue_wait = HistogramSnapshot::default();
+        queue_wait.buckets[3] = 4;
+        queue_wait.buckets[17] = 1;
+        queue_wait.count = 5;
+        queue_wait.sum_ns = 123_456;
+        let mut wall = HistogramSnapshot::default();
+        wall.buckets[BUCKETS - 1] = 2;
+        wall.count = 2;
+        wall.sum_ns = u64::MAX / 2;
+        SvcStatsExt {
+            base: SvcStats {
+                submitted: 7,
+                completed: 6,
+                ok: 6,
+                ..Default::default()
+            },
+            queue_depth: 1,
+            workers: 4,
+            uptime_s: 12.5,
+            busy_s: 9.25,
+            queue_wait,
+            engine_wall: vec![(0, wall.clone()), (3, wall)],
+        }
+    }
+
+    #[test]
+    fn stats_ext_round_trips() {
+        let resp = Response::StatsExt(Box::new(sample_stats_ext()));
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // Empty histograms (fresh scheduler) survive the sparse encoding.
+        let empty = Response::StatsExt(Box::new(SvcStatsExt {
+            base: SvcStats::default(),
+            queue_depth: 0,
+            workers: 1,
+            uptime_s: 0.0,
+            busy_s: 0.0,
+            queue_wait: HistogramSnapshot::default(),
+            engine_wall: Vec::new(),
+        }));
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn stats_ext_reply_carries_protocol_version() {
+        let payload = Response::StatsExt(Box::new(sample_stats_ext())).encode();
+        // Tag byte, then the little-endian version.
+        assert_eq!(payload[0], 7);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+    }
+
+    #[test]
+    fn stats_ext_rejects_bad_bucket_index() {
+        // Build a frame whose sparse histogram names a bucket index one
+        // past the end; the decoder must refuse it rather than write
+        // out of bounds or silently drop it.
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u8((PROTO_VERSION & 0xff) as u8);
+        w.u8((PROTO_VERSION >> 8) as u8);
+        encode_stats(&mut w, &SvcStats::default());
+        w.u64(0); // queue_depth
+        w.u64(1); // workers
+        w.f64(0.0);
+        w.f64(0.0);
+        // queue_wait histogram with an out-of-range bucket index.
+        w.u64(1);
+        w.u64(1);
+        w.u32(1);
+        w.u8(BUCKETS as u8); // one past the last valid index
+        w.u64(1);
+        w.u32(0); // no engine histograms
+        assert!(Response::decode(&w.finish()).is_err());
+    }
+
+    /// The v1 `Stats` message must stay byte-identical so old clients
+    /// keep decoding new servers' replies (and vice versa).
+    #[test]
+    fn v1_stats_encoding_is_byte_stable() {
+        let stats = SvcStats {
+            submitted: 2,
+            completed: 1,
+            ok: 1,
+            cold_compiles: 1,
+            cold_compile_s: 0.5,
+            ..Default::default()
+        };
+        let payload = Response::Stats(stats).encode();
+        let expected: Vec<u8> = {
+            let mut w = WireWriter::new();
+            w.u8(4);
+            w.u64(2); // submitted
+            w.u64(1); // completed
+            w.u64(1); // ok
+            w.u64(0); // failed
+            w.u64(0); // panicked
+            w.u64(0); // timed_out
+            w.u64(1); // cold_compiles
+            w.u64(0); // warm_loads
+            w.f64(0.5); // cold_compile_s
+            w.f64(0.0); // warm_load_s
+            w.bool(false); // no store stats
+            w.finish()
+        };
+        assert_eq!(payload, expected);
     }
 
     #[test]

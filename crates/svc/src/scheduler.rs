@@ -20,7 +20,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use obs::metrics::{Histogram, HistogramSnapshot};
 
 use crate::exec::{self, ExecEnv};
 use crate::job::{JobResult, JobSpec, JobStatus};
@@ -97,9 +99,43 @@ impl SvcStats {
     }
 }
 
+/// Extended statistics: everything in [`SvcStats`] plus queue and
+/// latency observability. Served over the wire by the `StatsExt`
+/// protocol message (protocol v2); the base `Stats` reply is unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvcStatsExt {
+    /// The classic counters (wire-compatible with protocol v1).
+    pub base: SvcStats,
+    /// Jobs queued but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Seconds since the scheduler started.
+    pub uptime_s: f64,
+    /// Summed seconds workers spent running jobs (≤ uptime × workers).
+    pub busy_s: f64,
+    /// Submit-to-dequeue latency distribution.
+    pub queue_wait: HistogramSnapshot,
+    /// Per-engine job wall-time distributions, keyed by
+    /// [`engines::EngineKind::code`], sorted by code.
+    pub engine_wall: Vec<(u8, HistogramSnapshot)>,
+}
+
+impl SvcStatsExt {
+    /// Worker-pool utilization in `[0, 1]` (0 when no time has passed).
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.uptime_s * self.workers as f64;
+        if capacity <= 0.0 {
+            0.0
+        } else {
+            (self.busy_s / capacity).clamp(0.0, 1.0)
+        }
+    }
+}
+
 struct Inner {
     timeout: Duration,
-    queue: Mutex<VecDeque<(u64, JobSpec)>>,
+    queue: Mutex<VecDeque<(u64, JobSpec, Instant)>>,
     queue_cv: Condvar,
     results: Mutex<HashMap<u64, JobResult>>,
     done_cv: Condvar,
@@ -108,6 +144,11 @@ struct Inner {
     next_id: AtomicU64,
     env: ExecEnv,
     stats: Mutex<SvcStats>,
+    workers_n: usize,
+    started: Instant,
+    busy_ns: AtomicU64,
+    queue_wait: Histogram,
+    engine_wall: Mutex<HashMap<u8, Arc<Histogram>>>,
 }
 
 /// The running scheduler: submit jobs, poll/wait for results.
@@ -147,6 +188,11 @@ impl Scheduler {
             next_id: AtomicU64::new(1),
             env: ExecEnv::new(store),
             stats: Mutex::new(SvcStats::default()),
+            workers_n: cfg.workers.max(1),
+            started: Instant::now(),
+            busy_ns: AtomicU64::new(0),
+            queue_wait: Histogram::default(),
+            engine_wall: Mutex::new(HashMap::new()),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -168,7 +214,7 @@ impl Scheduler {
             .queue
             .lock()
             .expect("queue lock")
-            .push_back((id, spec));
+            .push_back((id, spec, Instant::now()));
         self.inner.queue_cv.notify_one();
         {
             let mut stats = self.inner.stats.lock().expect("stats lock");
@@ -231,6 +277,31 @@ impl Scheduler {
         stats
     }
 
+    /// Extended statistics snapshot: the base counters plus queue depth,
+    /// worker utilization, and latency histograms.
+    pub fn stats_ext(&self) -> SvcStatsExt {
+        let base = self.stats();
+        let queue_depth = self.inner.queue.lock().expect("queue lock").len() as u64;
+        let mut engine_wall: Vec<(u8, HistogramSnapshot)> = self
+            .inner
+            .engine_wall
+            .lock()
+            .expect("engine wall lock")
+            .iter()
+            .map(|(code, h)| (*code, h.snapshot()))
+            .collect();
+        engine_wall.sort_by_key(|(code, _)| *code);
+        SvcStatsExt {
+            base,
+            queue_depth,
+            workers: self.inner.workers_n as u64,
+            uptime_s: self.inner.started.elapsed().as_secs_f64(),
+            busy_s: self.inner.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            queue_wait: self.inner.queue_wait.snapshot(),
+            engine_wall,
+        }
+    }
+
     /// Snapshot of the shared compiled-wasm cache.
     pub fn bytes_snapshot(&self) -> Vec<(String, wacc::OptLevel, Arc<[u8]>)> {
         self.inner.env.bytes_snapshot()
@@ -259,6 +330,11 @@ impl Drop for Scheduler {
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
         let job = {
+            // The span covers this worker's own blocking wait — a real,
+            // non-overlapping region on its timeline. The *per-job* wait
+            // (submit to dequeue, which may span a previous job on this
+            // worker) goes into the queue_wait histogram instead.
+            let _wait = obs::span!("svc.queue.wait");
             let mut queue = inner.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
@@ -270,9 +346,30 @@ fn worker_loop(inner: &Arc<Inner>) {
                 queue = inner.queue_cv.wait(queue).expect("queue lock");
             }
         };
-        let Some((id, spec)) = job else { return };
+        let Some((id, spec, enqueued)) = job else { return };
+        inner
+            .queue_wait
+            .observe_ns(enqueued.elapsed().as_nanos() as u64);
+        let _run = obs::span!(
+            "svc.job.run",
+            id = id,
+            bench = spec.benchmark,
+            engine = spec.engine.name(),
+            level = spec.level
+        );
+        let t_run = Instant::now();
         let mut result = run_isolated(inner, &spec);
         result.id = id;
+        inner
+            .busy_ns
+            .fetch_add(t_run.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        inner
+            .engine_wall
+            .lock()
+            .expect("engine wall lock")
+            .entry(spec.engine.code())
+            .or_default()
+            .observe_ns((result.wall_s * 1e9) as u64);
         {
             let mut stats = inner.stats.lock().expect("stats lock");
             stats.completed += 1;
@@ -371,6 +468,63 @@ mod tests {
     use crate::job::{JobMode, Scale};
     use engines::EngineKind;
     use wacc::OptLevel;
+
+    /// Regression test: every derived statistic on a freshly started
+    /// (zero-job) scheduler must be a finite number, never NaN from a
+    /// zero division.
+    #[test]
+    fn zero_job_stats_have_no_nan() {
+        let sched = Scheduler::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let stats = sched.stats();
+        assert_eq!(stats.cold_compile_avg_s(), 0.0);
+        assert_eq!(stats.warm_load_avg_s(), 0.0);
+        let ext = sched.stats_ext();
+        assert_eq!(ext.queue_depth, 0);
+        assert_eq!(ext.workers, 2);
+        assert!(ext.utilization().is_finite());
+        assert!((0.0..=1.0).contains(&ext.utilization()));
+        assert_eq!(ext.queue_wait.count, 0);
+        assert_eq!(ext.queue_wait.quantile_ns(0.99), 0);
+        assert_eq!(ext.queue_wait.mean_ns(), 0.0);
+        assert!(ext.engine_wall.is_empty());
+        sched.shutdown();
+    }
+
+    /// `stats_ext` on a scheduler that has run real jobs reports queue
+    /// and per-engine latency distributions.
+    #[test]
+    fn stats_ext_tracks_real_jobs() {
+        let sched = Scheduler::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        for _ in 0..3 {
+            sched.submit(JobSpec::exec(
+                "crc32",
+                EngineKind::Wasm3,
+                OptLevel::O1,
+                Scale::Test,
+            ));
+        }
+        let results = sched.drain_sorted();
+        assert!(results.iter().all(JobResult::ok));
+        let ext = sched.stats_ext();
+        assert_eq!(ext.base.completed, 3);
+        assert_eq!(ext.queue_depth, 0);
+        assert_eq!(ext.queue_wait.count, 3);
+        assert!(ext.busy_s > 0.0);
+        assert!(ext.uptime_s >= ext.busy_s / ext.workers as f64);
+        let (code, wall) = &ext.engine_wall[0];
+        assert_eq!(*code, EngineKind::Wasm3.code());
+        assert_eq!(wall.count, 3);
+        assert!(wall.mean_ns() > 0.0);
+        sched.shutdown();
+    }
 
     #[test]
     fn results_drain_in_submission_order() {

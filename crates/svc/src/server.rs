@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use crate::job::JobSpec;
 use crate::proto::{Request, Response};
-use crate::scheduler::{Scheduler, SvcStats};
+use crate::scheduler::{Scheduler, SvcStats, SvcStatsExt};
 use crate::wire::{read_frame, write_frame};
 use crate::JobResult;
 
@@ -65,6 +65,7 @@ fn handle_conn(
             },
             Ok(Request::Wait(id)) => Response::Result(sched.wait(id)),
             Ok(Request::Stats) => Response::Stats(sched.stats()),
+            Ok(Request::StatsExt) => Response::StatsExt(Box::new(sched.stats_ext())),
             Ok(Request::Shutdown) => {
                 sched.wait_idle();
                 stop.store(true, Ordering::SeqCst);
@@ -170,6 +171,19 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<SvcStats> {
         match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches extended statistics (protocol v2: queue depth, worker
+    /// utilization, latency histograms).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v2 servers answer `Err`.
+    pub fn stats_ext(&mut self) -> io::Result<SvcStatsExt> {
+        match self.request(&Request::StatsExt)? {
+            Response::StatsExt(s) => Ok(*s),
             other => Err(unexpected(&other)),
         }
     }

@@ -200,8 +200,10 @@ impl ArtifactStore {
     /// Looks up a payload. A hit refreshes LRU recency; a corrupt or
     /// mismatched file is removed and reported as a miss.
     pub fn get(&mut self, key: &ArtifactKey) -> Option<Vec<u8>> {
+        let _span = obs::span!("svc.store.get");
         let Some(entry) = self.entries.get_mut(key) else {
             self.stats.misses += 1;
+            obs::metrics::counter("svc.store.miss").inc();
             return None;
         };
         match read_verified(&entry.path, key) {
@@ -209,6 +211,7 @@ impl ArtifactStore {
                 self.seq += 1;
                 entry.seq = self.seq;
                 self.stats.hits += 1;
+                obs::metrics::counter("svc.store.hit").inc();
                 Some(payload)
             }
             Err(_) => {
@@ -217,6 +220,8 @@ impl ArtifactStore {
                 let _ = fs::remove_file(&entry.path);
                 self.stats.corrupt_rejected += 1;
                 self.stats.misses += 1;
+                obs::metrics::counter("svc.store.corrupt").inc();
+                obs::metrics::counter("svc.store.miss").inc();
                 None
             }
         }
@@ -229,6 +234,7 @@ impl ArtifactStore {
     ///
     /// I/O errors writing the entry file.
     pub fn put(&mut self, key: ArtifactKey, payload: &[u8]) -> io::Result<()> {
+        let _span = obs::span!("svc.store.put", bytes = payload.len());
         let path = self.root.join(format!("{}.art", key.file_stem()));
         let mut file = encode_header(&key, payload);
         file.extend_from_slice(payload);
@@ -255,6 +261,7 @@ impl ArtifactStore {
             },
         );
         self.stats.puts += 1;
+        obs::metrics::counter("svc.store.put").inc();
         self.evict_to_cap(Some(&key));
         Ok(())
     }
@@ -275,6 +282,7 @@ impl ArtifactStore {
             self.total_bytes -= entry.file_len;
             let _ = fs::remove_file(&entry.path);
             self.stats.evictions += 1;
+            obs::metrics::counter("svc.store.evict").inc();
         }
     }
 }

@@ -49,9 +49,16 @@ use ast::Program;
 ///
 /// Returns the first lexical, syntax, or type error.
 pub fn frontend(src: &str, level: OptLevel) -> Result<Program, CompileError> {
+    let _span = obs::span!("wacc.frontend", level = level);
     let full = format!("{src}\n{}", prelude::PRELUDE);
-    let mut program = parser::parse(&full)?;
-    let sigs = check::check(&mut program)?;
+    let mut program = {
+        let _s = obs::span!("wacc.parse");
+        parser::parse(&full)?
+    };
+    let sigs = {
+        let _s = obs::span!("wacc.check");
+        check::check(&mut program)?
+    };
     opt::optimize(&mut program, &sigs, level);
     Ok(program)
 }
@@ -62,10 +69,18 @@ pub fn frontend(src: &str, level: OptLevel) -> Result<Program, CompileError> {
 ///
 /// Returns the first compile error.
 pub fn compile(src: &str, level: OptLevel) -> Result<wasm_core::Module, CompileError> {
+    let _span = obs::span!("wacc.compile", level = level);
     let full = format!("{src}\n{}", prelude::PRELUDE);
-    let mut program = parser::parse(&full)?;
-    let sigs = check::check(&mut program)?;
+    let mut program = {
+        let _s = obs::span!("wacc.parse");
+        parser::parse(&full)?
+    };
+    let sigs = {
+        let _s = obs::span!("wacc.check");
+        check::check(&mut program)?
+    };
     opt::optimize(&mut program, &sigs, level);
+    let _s = obs::span!("wacc.codegen");
     codegen::generate_with(&program, &sigs, level == OptLevel::O0)
 }
 
@@ -75,5 +90,7 @@ pub fn compile(src: &str, level: OptLevel) -> Result<wasm_core::Module, CompileE
 ///
 /// Returns the first compile error.
 pub fn compile_to_bytes(src: &str, level: OptLevel) -> Result<Vec<u8>, CompileError> {
-    Ok(wasm_core::encode::encode(&compile(src, level)?))
+    let module = compile(src, level)?;
+    let _s = obs::span!("wacc.encode");
+    Ok(wasm_core::encode::encode(&module))
 }

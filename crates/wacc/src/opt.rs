@@ -52,29 +52,41 @@ pub fn optimize(program: &mut Program, sigs: &HashMap<String, FuncSig>, level: O
     if level == OptLevel::O0 {
         return;
     }
+    let _span = obs::span!("wacc.opt", level = level);
     // O1: folding + simplification + dead branches (iterated).
-    for _ in 0..2 {
-        for f in &mut program.funcs {
-            fold_block(&mut f.body);
+    {
+        let _s = obs::span!("wacc.pass", name = "fold");
+        for _ in 0..2 {
+            for f in &mut program.funcs {
+                fold_block(&mut f.body);
+            }
         }
     }
     if level >= OptLevel::O2 {
-        inline_small_functions(program, sigs);
-        let mut func_locals: Vec<(u32, Vec<Ty>)> = Vec::new();
-        for f in &mut program.funcs {
-            let mut locals = f.local_types.clone();
-            hoist_block(&mut f.body, &mut locals);
-            func_locals.push((locals.len() as u32, locals));
+        {
+            let _s = obs::span!("wacc.pass", name = "inline");
+            inline_small_functions(program, sigs);
         }
-        for (f, (n, l)) in program.funcs.iter_mut().zip(func_locals) {
-            f.nlocals = n;
-            f.local_types = l;
+        {
+            let _s = obs::span!("wacc.pass", name = "hoist");
+            let mut func_locals: Vec<(u32, Vec<Ty>)> = Vec::new();
+            for f in &mut program.funcs {
+                let mut locals = f.local_types.clone();
+                hoist_block(&mut f.body, &mut locals);
+                func_locals.push((locals.len() as u32, locals));
+            }
+            for (f, (n, l)) in program.funcs.iter_mut().zip(func_locals) {
+                f.nlocals = n;
+                f.local_types = l;
+            }
         }
+        let _s = obs::span!("wacc.pass", name = "fold");
         for f in &mut program.funcs {
             fold_block(&mut f.body);
         }
     }
     if level >= OptLevel::O3 {
+        let _s = obs::span!("wacc.pass", name = "unroll");
         for f in &mut program.funcs {
             unroll_block(&mut f.body);
             fold_block(&mut f.body);

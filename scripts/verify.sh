@@ -38,4 +38,12 @@ step "wabench-served smoke (socket protocol + artifact store, cold vs warm)"
 cargo build -q --release -p wabench-svc
 ./target/release/wabench-served smoke --jobs 3
 
+step "trace smoke (span capture -> Chrome trace export -> validator)"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+cargo run -q --release -p wabench-harness --bin wabench-run -- \
+    crc32 --jobs 2 --trace-out "$trace_tmp/trace.json" > /dev/null
+cargo run -q --release -p wabench-obs --bin wabench-trace-check -- \
+    "$trace_tmp/trace.json"
+
 step "verify OK"
