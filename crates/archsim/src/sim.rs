@@ -63,6 +63,104 @@ impl Counters {
             self.cache_misses as f64 / self.cache_references as f64
         }
     }
+
+    /// Events per thousand instructions (0 when nothing retired).
+    fn per_kilo_instr(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1e3 / self.instructions as f64
+        }
+    }
+
+    /// Branch MPKI (Figure 12's metric).
+    pub fn branch_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.branch_misses)
+    }
+
+    /// L1-D miss MPKI (Figure 13's metric).
+    pub fn l1d_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.l1d_misses)
+    }
+
+    /// L1-I miss MPKI.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.l1i_misses)
+    }
+
+    /// LLC miss MPKI (Figure 14's metric).
+    pub fn llc_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.cache_misses)
+    }
+
+    /// Field-wise difference against an earlier snapshot of the same
+    /// simulator — counters are monotone, so saturation only absorbs a
+    /// mismatched pair.
+    pub fn delta_since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            branches: self.branches.saturating_sub(earlier.branches),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+            cache_references: self
+                .cache_references
+                .saturating_sub(earlier.cache_references),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            l1d_accesses: self.l1d_accesses.saturating_sub(earlier.l1d_accesses),
+            l1d_misses: self.l1d_misses.saturating_sub(earlier.l1d_misses),
+            l1i_accesses: self.l1i_accesses.saturating_sub(earlier.l1i_accesses),
+            l1i_misses: self.l1i_misses.saturating_sub(earlier.l1i_misses),
+        }
+    }
+
+    /// Adds another snapshot field-wise (aggregating repetitions or
+    /// engines).
+    pub fn accumulate(&mut self, other: &Counters) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.branches += other.branches;
+        self.branch_misses += other.branch_misses;
+        self.cache_references += other.cache_references;
+        self.cache_misses += other.cache_misses;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l1d_misses += other.l1d_misses;
+        self.l1i_accesses += other.l1i_accesses;
+        self.l1i_misses += other.l1i_misses;
+    }
+}
+
+impl From<Counters> for obs::trace::SpanCounters {
+    fn from(c: Counters) -> obs::trace::SpanCounters {
+        obs::trace::SpanCounters {
+            instructions: c.instructions,
+            cycles: c.cycles,
+            branches: c.branches,
+            branch_misses: c.branch_misses,
+            cache_references: c.cache_references,
+            cache_misses: c.cache_misses,
+            l1d_accesses: c.l1d_accesses,
+            l1d_misses: c.l1d_misses,
+            l1i_accesses: c.l1i_accesses,
+            l1i_misses: c.l1i_misses,
+        }
+    }
+}
+
+impl From<obs::trace::SpanCounters> for Counters {
+    fn from(c: obs::trace::SpanCounters) -> Counters {
+        Counters {
+            instructions: c.instructions,
+            cycles: c.cycles,
+            branches: c.branches,
+            branch_misses: c.branch_misses,
+            cache_references: c.cache_references,
+            cache_misses: c.cache_misses,
+            l1d_accesses: c.l1d_accesses,
+            l1d_misses: c.l1d_misses,
+            l1i_accesses: c.l1i_accesses,
+            l1i_misses: c.l1i_misses,
+        }
+    }
 }
 
 /// The full-system profiler.
@@ -161,6 +259,10 @@ impl Profiler for ArchSim {
         self.branches.observe(site, kind, taken, target);
         self.uops += 1; // the branch instruction itself
     }
+
+    fn perf_counters(&self) -> Option<obs::trace::SpanCounters> {
+        Some(self.counters().into())
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +283,51 @@ mod tests {
         assert!((c.ipc() - 2.0).abs() < 1e-9);
         assert!((c.branch_miss_ratio() - 0.1).abs() < 1e-9);
         assert!((c.cache_miss_ratio() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_and_accumulate_invert() {
+        let mut sim = ArchSim::new();
+        sim.uops(100);
+        sim.read(0x8000_0000, 8);
+        let before = sim.counters();
+        sim.uops(50);
+        sim.branch(0x40, BranchKind::Cond, true, 0x80);
+        let after = sim.counters();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.instructions, 51); // 50 uops + the branch
+        assert_eq!(delta.branches, 1);
+        let mut rebuilt = before;
+        rebuilt.accumulate(&delta);
+        assert_eq!(rebuilt, after);
+    }
+
+    #[test]
+    fn mpki_derivations_match_by_hand() {
+        let c = Counters {
+            instructions: 2_000,
+            branch_misses: 4,
+            l1d_misses: 10,
+            l1i_misses: 2,
+            cache_misses: 6,
+            ..Counters::default()
+        };
+        assert!((c.branch_mpki() - 2.0).abs() < 1e-9);
+        assert!((c.l1d_mpki() - 5.0).abs() < 1e-9);
+        assert!((c.l1i_mpki() - 1.0).abs() < 1e-9);
+        assert!((c.llc_mpki() - 3.0).abs() < 1e-9);
+        assert_eq!(Counters::default().branch_mpki(), 0.0);
+    }
+
+    #[test]
+    fn span_counters_round_trip() {
+        let mut sim = ArchSim::new();
+        sim.uops(7);
+        sim.read(0x8000_0000, 4);
+        let c = sim.counters();
+        let span: obs::trace::SpanCounters = c.into();
+        assert_eq!(Counters::from(span), c);
+        assert_eq!(sim.perf_counters(), Some(span));
     }
 
     #[test]

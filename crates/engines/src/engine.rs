@@ -296,6 +296,10 @@ impl Engine {
         bytes: &[u8],
         p: &mut P,
     ) -> Result<CompiledModule, EngineError> {
+        let mut span = obs::span!("engine.compile.profiled", engine = self.kind.name());
+        // Sample only when the span will be recorded: the null-sink path
+        // must not even read the profiler.
+        let before = if span.active() { p.perf_counters() } else { None };
         let compiled = self.compile(bytes)?;
         match &compiled.code {
             Code::Reg(_, stats, _) => replay_compile_cost(stats, p),
@@ -318,6 +322,9 @@ impl Engine {
                 };
                 replay_compile_cost(&stats, p);
             }
+        }
+        if let (Some(before), Some(after)) = (before, p.perf_counters()) {
+            span.set_counters(after.delta_since(before));
         }
         Ok(compiled)
     }
@@ -468,15 +475,19 @@ impl<'m> Instance<'m> {
             )));
         }
         let raw: Vec<u64> = args.iter().map(|v| v.to_bits()).collect();
-        let _span = obs::span!(
+        let mut span = obs::span!(
             "engine.execute",
             engine = self.compiled.kind.name(),
             func = name
         );
+        let before = if span.active() { p.perf_counters() } else { None };
         let t0 = std::time::Instant::now();
         let out = self.invoke_idx(func_idx, &raw, p)?;
         obs::metrics::histogram(&format!("engine.execute.{}", self.compiled.kind.name()))
             .observe_ns(t0.elapsed().as_nanos() as u64);
+        if let (Some(before), Some(after)) = (before, p.perf_counters()) {
+            span.set_counters(after.delta_since(before));
+        }
         Ok(match (out, ty.results.first()) {
             (Some(bits), Some(t)) => Some(Value::from_bits(*t, bits)),
             _ => None,

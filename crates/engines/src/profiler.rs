@@ -86,6 +86,15 @@ pub trait Profiler {
     fn branch(&mut self, site: u64, kind: BranchKind, taken: bool, target: u64) {
         let _ = (site, kind, taken, target);
     }
+
+    /// A `perf stat`-shaped snapshot of accumulated counters, for
+    /// attaching deltas to trace spans. `None` (the default) means this
+    /// profiler has nothing to report — the instrumentation sites then
+    /// skip sampling entirely.
+    #[inline]
+    fn perf_counters(&self) -> Option<obs::trace::SpanCounters> {
+        None
+    }
 }
 
 /// A profiler that ignores everything; used for plain timing runs.

@@ -94,9 +94,44 @@ pub fn observability_section() -> String {
      run's wall clock to `engine.execute`, `jit.pass`, `wacc.parse` and\n\
      friends, with per-span counts, totals, and self-time percentages.\n\
      `wabench-served --trace-out` does the same for the service; its\n\
-     protocol-v2 `stats-ext` reply additionally carries queue-depth,\n\
-     worker-utilization, and per-engine latency histograms\n\
-     (p50/p95/p99).\n"
+     protocol-v3 `stats-ext` reply additionally carries queue-depth,\n\
+     worker-utilization, per-engine latency histograms\n\
+     (min/p50/p95/p99/max), and per-engine simulated IPC/MPKI\n\
+     aggregates once profiled jobs have run.\n"
+        .to_string()
+}
+
+/// The "Profiling & regression gates" section appended to
+/// `EXPERIMENTS.md` by `wabench-harness all`, mapping the attributed
+/// profile columns back to the paper's figures and documenting the
+/// baseline workflow.
+pub fn profiling_section() -> String {
+    "### Profiling & regression gates\n\n\
+     `wabench-prof` layers three tools on the span rings described\n\
+     above. `wabench-prof report` prints a `perf report`-style table\n\
+     per phase: each attributed span row carries retired instructions,\n\
+     IPC, and branch/L1D/L1I/LLC MPKI sampled from the architectural\n\
+     simulator at span entry/exit. The columns map onto the paper's\n\
+     architectural figures: instructions and IPC are the quantities\n\
+     behind Figures 10–11, branch MPKI behind Figure 12, L1 data/\n\
+     instruction MPKI behind Figure 13, and LLC MPKI behind Figure 14 —\n\
+     but broken down per phase (compile vs. execute) instead of per\n\
+     whole run. `wabench-prof fold --out stacks.folded` runs a job\n\
+     matrix through the scheduler and writes Brendan-Gregg folded\n\
+     stacks (`thread;span;span N`, weight selectable between wall\n\
+     nanoseconds and any simulated counter) ready for `flamegraph.pl`;\n\
+     `collapse` produces the same from a saved Chrome trace.\n\n\
+     Baselines close the loop: `wabench-prof record --out base.jsonl`\n\
+     stores per-cell wall statistics (mean/min/max/stddev over N\n\
+     repetitions) plus the deterministic simulator counters as\n\
+     versioned JSON lines, and `wabench-prof diff --base base.jsonl`\n\
+     re-measures and exits non-zero on a regression. Wall time only\n\
+     fires when the mean moves past a relative threshold *and* the\n\
+     ~95% confidence intervals separate; counters fire on a bare\n\
+     relative threshold because simulation is deterministic.\n\
+     `scripts/verify.sh` records and diffs a small fixed matrix on\n\
+     every run, and proves the gate is live by re-diffing under a\n\
+     synthetic `WABENCH_PROF_SLOWDOWN=2`, which must fail.\n"
         .to_string()
 }
 

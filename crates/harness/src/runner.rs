@@ -225,7 +225,7 @@ pub fn run_profiled(kind: EngineKind, bytes: &[u8], n: i32) -> Counters {
     if let Some(c) = profile_cache_get(&key) {
         return c;
     }
-    let _span = obs::span!("harness.cell.profiled", engine = kind.name(), n = n);
+    let mut span = obs::span!("harness.cell.profiled", engine = kind.name(), n = n);
     let mut sim = ArchSim::new();
     let engine = Engine::new(kind);
     let compiled = engine.compile_profiled(bytes, &mut sim).expect("compile");
@@ -235,6 +235,10 @@ pub fn run_profiled(kind: EngineKind, bytes: &[u8], n: i32) -> Counters {
     inst.invoke_profiled("run", &[Value::I32(n)], &mut sim)
         .expect("run");
     let c = sim.counters();
+    // The simulator started cold inside this span, so its totals are
+    // exactly this cell's delta — and the attributed child spans
+    // (compile.profiled + execute) partition it.
+    span.set_counters(c.into());
     profile_cache_put(key, c);
     c
 }
@@ -247,6 +251,7 @@ pub fn run_native_profiled(bytes: &[u8], n: i32) -> Counters {
     if let Some(c) = profile_cache_get(&key) {
         return c;
     }
+    let mut span = obs::span!("harness.cell.native", n = n);
     let mut sim = ArchSim::new();
     let engine = Engine::new(EngineKind::Wavm);
     let compiled = engine.compile(bytes).expect("compile");
@@ -256,6 +261,7 @@ pub fn run_native_profiled(bytes: &[u8], n: i32) -> Counters {
     inst.invoke_profiled("run", &[Value::I32(n)], &mut sim)
         .expect("run");
     let c = sim.counters();
+    span.set_counters(c.into());
     profile_cache_put(key, c);
     c
 }

@@ -30,6 +30,28 @@ pub fn max(values: &[f64]) -> f64 {
     values.iter().copied().fold(0.0, f64::max)
 }
 
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two
+/// values.
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of an approximate 95% confidence interval on the mean
+/// (`2·s/√n`); 0 for fewer than two values. Two runs whose
+/// `mean ± half-width` intervals overlap are statistically
+/// indistinguishable at this confidence.
+pub fn ci95_half_width(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    2.0 * stddev(values) / (values.len() as f64).sqrt()
+}
+
 /// Measures `f`'s wall-clock seconds, repeating until the total exceeds
 /// `min_total` seconds (or `max_iters`), and returning the minimum
 /// single-iteration time.
@@ -66,6 +88,16 @@ mod tests {
         assert!((mean(&v) - 4.0).abs() < 1e-12);
         assert_eq!(min(&v), 1.0);
         assert_eq!(max(&v), 9.0);
+    }
+
+    #[test]
+    fn stddev_and_ci() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((stddev(&v) - 2.138089935).abs() < 1e-6);
+        assert!((ci95_half_width(&v) - 2.0 * 2.138089935 / 8f64.sqrt()).abs() < 1e-6);
+        assert_eq!(stddev(&[3.0]), 0.0);
+        assert_eq!(ci95_half_width(&[]), 0.0);
+        assert_eq!(stddev(&[5.0, 5.0, 5.0]), 0.0);
     }
 
     #[test]

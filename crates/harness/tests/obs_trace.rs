@@ -58,6 +58,18 @@ fn tracing_does_not_perturb_simulated_counters() {
         .collect();
     assert!(names.contains(&"engine.compile"));
     assert!(names.contains(&"engine.execute"));
+    // Under the ring sink, profiled engine spans carry a counter-delta
+    // payload — and those deltas are read from the same simulator that
+    // just proved bit-identical, so attribution is free of perturbation.
+    let exec_counters = trace
+        .threads
+        .iter()
+        .flat_map(|t| &t.events)
+        .find(|e| e.name == "engine.execute")
+        .and_then(|e| e.counters.as_deref())
+        .expect("engine.execute span missing counter payload");
+    assert!(exec_counters.instructions > 0);
+    assert!(exec_counters.instructions <= traced.instructions);
 }
 
 /// Generous overhead budget: a span enter/exit pair on the hot (ring)

@@ -5,11 +5,18 @@
 //! wabench-trace-check trace.json
 //! ```
 //!
-//! Exits 0 and prints a one-line summary when the document is valid;
-//! exits 1 with the first structural violation otherwise. Used by
-//! `scripts/verify.sh` as the trace smoke test.
+//! Exits 0 and prints a one-line summary when the document is valid.
+//! Failures use distinct codes so `scripts/verify.sh` output is
+//! diagnosable at a glance:
+//!
+//! * 1 — usage error or unreadable file
+//! * 2 — malformed JSON (message carries line/column)
+//! * 3 — valid JSON that violates a trace invariant (unbalanced or
+//!   mismatched `B`/`E`, missing fields, non-monotone timestamps)
 
 use std::process::ExitCode;
+
+use obs::chrome::ValidateError;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -42,8 +49,12 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("wabench-trace-check: {path}: {e}");
-            ExitCode::FAILURE
+            let (kind, code) = match &e {
+                ValidateError::Parse(_) => ("parse error", 2),
+                ValidateError::Semantic(_) => ("semantic error", 3),
+            };
+            eprintln!("wabench-trace-check: {path}: {kind}: {e}");
+            ExitCode::from(code)
         }
     }
 }

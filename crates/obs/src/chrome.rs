@@ -90,8 +90,34 @@ pub fn export_string(trace: &Trace) -> String {
             sep(&mut out, &mut first);
             push_event_prefix(&mut out, 'B', thread.tid, span.name);
             let _ = write!(out, ",\"ts\":{}", fmt_us(span.start_ns));
-            if let Some(attr) = &span.attr {
-                let _ = write!(out, ",\"args\":{{\"detail\":\"{}\"}}", json::escape(attr));
+            if span.attr.is_some() || span.counters.is_some() {
+                out.push_str(",\"args\":{");
+                let mut first_arg = true;
+                if let Some(attr) = &span.attr {
+                    let _ = write!(out, "\"detail\":\"{}\"", json::escape(attr));
+                    first_arg = false;
+                }
+                if let Some(c) = &span.counters {
+                    // Numeric args show up in the viewer's span details;
+                    // derived ratios are finite by construction (the
+                    // helpers return 0 on empty denominators), so this
+                    // always stays valid JSON.
+                    for (key, val) in [
+                        ("instructions", c.instructions as f64),
+                        ("cycles", c.cycles as f64),
+                        ("ipc", c.ipc()),
+                        ("branch_mpki", c.branch_mpki()),
+                        ("l1d_mpki", c.l1d_mpki()),
+                        ("llc_mpki", c.llc_mpki()),
+                    ] {
+                        if !first_arg {
+                            out.push(',');
+                        }
+                        first_arg = false;
+                        let _ = write!(out, "\"{key}\":{val:.3}");
+                    }
+                }
+                out.push('}');
             }
             out.push('}');
             open.push((end_ns, span.name));
@@ -129,21 +155,49 @@ pub struct Summary {
     pub names: Vec<String>,
 }
 
+/// Why [`validate`] rejected a document — split so tools can exit with
+/// distinct codes for "not JSON" vs "JSON, but not a coherent trace".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The document is not well-formed JSON (message carries
+    /// line/column from the parser).
+    Parse(String),
+    /// The JSON parses but violates a trace invariant: missing
+    /// `traceEvents`, events without required fields, unbalanced or
+    /// name-mismatched `B`/`E` pairs, or non-monotone timestamps.
+    Semantic(String),
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::Parse(m) | ValidateError::Semantic(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+fn semantic(msg: String) -> ValidateError {
+    ValidateError::Semantic(msg)
+}
+
 /// Parses a Chrome trace-event document and checks its structural
 /// invariants.
 ///
 /// # Errors
 ///
-/// A description of the first violation: malformed JSON, a missing or
-/// non-array `traceEvents`, events without required fields, unbalanced
-/// or name-mismatched `B`/`E` pairs, or non-monotone timestamps within
+/// [`ValidateError::Parse`] on malformed JSON;
+/// [`ValidateError::Semantic`] for a missing or non-array
+/// `traceEvents`, events without required fields, unbalanced or
+/// name-mismatched `B`/`E` pairs, or non-monotone timestamps within
 /// a thread.
-pub fn validate(doc: &str) -> Result<Summary, String> {
-    let root = json::parse(doc)?;
+pub fn validate(doc: &str) -> Result<Summary, ValidateError> {
+    let root = json::parse(doc).map_err(ValidateError::Parse)?;
     let events = root
         .get("traceEvents")
         .and_then(Value::as_arr)
-        .ok_or("trace: missing traceEvents array")?;
+        .ok_or_else(|| semantic("trace: missing traceEvents array".into()))?;
 
     let mut summary = Summary {
         events: events.len(),
@@ -158,15 +212,15 @@ pub fn validate(doc: &str) -> Result<Summary, String> {
         let ph = ev
             .get("ph")
             .and_then(Value::as_str)
-            .ok_or_else(|| format!("trace: event {i} has no ph"))?;
+            .ok_or_else(|| semantic(format!("trace: event {i} has no ph")))?;
         let pid = ev
             .get("pid")
             .and_then(Value::as_num)
-            .ok_or_else(|| format!("trace: event {i} has no pid"))? as u64;
+            .ok_or_else(|| semantic(format!("trace: event {i} has no pid")))? as u64;
         let tid = ev
             .get("tid")
             .and_then(Value::as_num)
-            .ok_or_else(|| format!("trace: event {i} has no tid"))? as u64;
+            .ok_or_else(|| semantic(format!("trace: event {i} has no tid")))? as u64;
         let lane = lanes.entry((pid, tid)).or_insert((Vec::new(), f64::MIN));
 
         match ph {
@@ -175,16 +229,16 @@ pub fn validate(doc: &str) -> Result<Summary, String> {
                 let name = ev
                     .get("name")
                     .and_then(Value::as_str)
-                    .ok_or_else(|| format!("trace: event {i} ({ph}) has no name"))?;
+                    .ok_or_else(|| semantic(format!("trace: event {i} ({ph}) has no name")))?;
                 let ts = ev
                     .get("ts")
                     .and_then(Value::as_num)
-                    .ok_or_else(|| format!("trace: event {i} ({ph}) has no ts"))?;
+                    .ok_or_else(|| semantic(format!("trace: event {i} ({ph}) has no ts")))?;
                 if ts < lane.1 {
-                    return Err(format!(
+                    return Err(semantic(format!(
                         "trace: event {i} ts {ts} precedes {} on tid {tid}",
                         lane.1
-                    ));
+                    )));
                 }
                 lane.1 = ts;
                 if ph == "B" {
@@ -193,23 +247,25 @@ pub fn validate(doc: &str) -> Result<Summary, String> {
                     names.insert(name.to_string());
                 } else {
                     let open = lane.0.pop().ok_or_else(|| {
-                        format!("trace: event {i} closes {name:?} with nothing open on tid {tid}")
+                        semantic(format!(
+                            "trace: event {i} closes {name:?} with nothing open on tid {tid}"
+                        ))
                     })?;
                     if open != name {
-                        return Err(format!(
+                        return Err(semantic(format!(
                             "trace: event {i} closes {name:?} but {open:?} is open on tid {tid}"
-                        ));
+                        )));
                     }
                     summary.spans += 1;
                 }
             }
-            other => return Err(format!("trace: event {i} has unknown phase {other:?}")),
+            other => return Err(semantic(format!("trace: event {i} has unknown phase {other:?}"))),
         }
     }
 
     for ((_, tid), (stack, _)) in &lanes {
         if let Some(name) = stack.last() {
-            return Err(format!("trace: span {name:?} never closed on tid {tid}"));
+            return Err(semantic(format!("trace: span {name:?} never closed on tid {tid}")));
         }
     }
     summary.tids = lanes.len();
@@ -229,6 +285,7 @@ mod tests {
             start_ns,
             dur_ns,
             depth,
+            counters: None,
         }
     }
 
@@ -281,22 +338,52 @@ mod tests {
 
     #[test]
     fn validate_rejects_broken_documents() {
-        assert!(validate("not json").is_err());
-        assert!(validate(r#"{"events":[]}"#).is_err());
+        assert!(matches!(
+            validate("not json"),
+            Err(ValidateError::Parse(_))
+        ));
+        assert!(matches!(
+            validate(r#"{"events":[]}"#),
+            Err(ValidateError::Semantic(_))
+        ));
         let unbalanced = r#"{"traceEvents":[
             {"ph":"B","pid":1,"tid":1,"name":"a","ts":1.0}
         ]}"#;
-        assert!(validate(unbalanced).unwrap_err().contains("never closed"));
+        let err = validate(unbalanced).unwrap_err();
+        assert!(matches!(err, ValidateError::Semantic(_)));
+        assert!(err.to_string().contains("never closed"));
         let mismatched = r#"{"traceEvents":[
             {"ph":"B","pid":1,"tid":1,"name":"a","ts":1.0},
             {"ph":"E","pid":1,"tid":1,"name":"b","ts":2.0}
         ]}"#;
-        assert!(validate(mismatched).unwrap_err().contains("is open"));
+        assert!(validate(mismatched).unwrap_err().to_string().contains("is open"));
         let backwards = r#"{"traceEvents":[
             {"ph":"B","pid":1,"tid":1,"name":"a","ts":5.0},
             {"ph":"E","pid":1,"tid":1,"name":"a","ts":1.0}
         ]}"#;
-        assert!(validate(backwards).unwrap_err().contains("precedes"));
+        assert!(validate(backwards).unwrap_err().to_string().contains("precedes"));
+    }
+
+    #[test]
+    fn counter_payloads_export_as_numeric_args() {
+        let mut trace = one_thread(vec![span("engine.execute", 0, 1_000, 0)]);
+        trace.threads[0].events[0].attr = Some("engine=Wamr".into());
+        trace.threads[0].events[0].counters = Some(Box::new(crate::trace::SpanCounters {
+            instructions: 2_000,
+            cycles: 1_000,
+            branch_misses: 4,
+            l1d_misses: 6,
+            cache_misses: 2,
+            ..Default::default()
+        }));
+        let doc = export_string(&trace);
+        validate(&doc).expect("counter args stay valid JSON");
+        assert!(doc.contains("\"detail\":\"engine=Wamr\""));
+        assert!(doc.contains("\"instructions\":2000.000"));
+        assert!(doc.contains("\"ipc\":2.000"));
+        assert!(doc.contains("\"branch_mpki\":2.000"));
+        assert!(doc.contains("\"l1d_mpki\":3.000"));
+        assert!(doc.contains("\"llc_mpki\":1.000"));
     }
 
     #[test]

@@ -63,7 +63,8 @@ impl Value {
 ///
 /// # Errors
 ///
-/// A human-readable message with a byte offset on malformed input.
+/// A human-readable message with line, column, and byte offset on
+/// malformed input.
 pub fn parse(input: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -85,7 +86,16 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> String {
-        format!("json: {msg} at byte {}", self.pos)
+        // 1-based line/column derived from the error offset; the byte
+        // offset stays for tools that index the raw file.
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + consumed.iter().filter(|&&b| b == b'\n').count();
+        let line_start = consumed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        let col = 1 + self.pos.saturating_sub(line_start);
+        format!("json: {msg} at line {line} column {col} (byte {})", self.pos)
     }
 
     fn peek(&self) -> Option<u8> {
@@ -307,6 +317,16 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"unterminated", "1 2", "{'a':1}"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("{\"a\": 1,\n \"b\": }\n").unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("column 7"),
+            "wrong position in {err:?}"
+        );
+        assert!(err.contains("byte 15"), "byte offset kept in {err:?}");
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!   for per-engine compile/execute/verify latencies and artifact-store
 //!   hit/miss/eviction counts.
 //! - **Exporters**: Chrome trace-event JSON ([`chrome`], loadable in
-//!   Perfetto / `chrome://tracing`) and a plain-text hierarchical
-//!   self-time report ([`report`]); [`json`] carries the tiny parser the
-//!   round-trip validator is built on.
+//!   Perfetto / `chrome://tracing`), a plain-text hierarchical
+//!   self-time report ([`report`]), a `perf report`-style attributed
+//!   counter profile ([`prof`]) over the optional
+//!   [`trace::SpanCounters`] span payloads, and flamegraph folded
+//!   stacks ([`folded`], wall- or counter-weighted); [`json`] carries
+//!   the tiny parser the round-trip validators are built on.
 //!
 //! There is also a leveled [`log!`] macro family (respecting
 //! `WABENCH_LOG=error|warn|info|debug`, [`logger`]) that replaces the
@@ -41,15 +44,17 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod folded;
 pub mod json;
 pub mod logger;
 pub mod metrics;
+pub mod prof;
 pub mod report;
 pub mod ring;
 pub mod trace;
 
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
-pub use trace::{SpanEvent, SpanGuard, ThreadTrace, Trace};
+pub use trace::{SpanCounters, SpanEvent, SpanGuard, ThreadTrace, Trace};
 
 /// Opens a timing span that ends when the returned guard drops.
 ///

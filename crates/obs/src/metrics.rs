@@ -57,6 +57,10 @@ pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
+    // Exact extremes alongside the bucketed shape; min starts at
+    // u64::MAX so the first observation always wins fetch_min.
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -65,6 +69,8 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
         }
     }
 }
@@ -75,6 +81,8 @@ impl Histogram {
         self.buckets[bucket_for(v_ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(v_ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(v_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(v_ns, Ordering::Relaxed);
     }
 
     /// Records one observation given in seconds.
@@ -84,10 +92,19 @@ impl Histogram {
 
     /// A point-in-time copy of the histogram state.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
+            count,
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            // Normalize the empty-histogram sentinel out of snapshots so
+            // they compare, encode, and merge without a special value.
+            min_ns: if count == 0 {
+                0
+            } else {
+                self.min_ns.load(Ordering::Relaxed)
+            },
+            max_ns: self.max_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -101,6 +118,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observations, nanoseconds.
     pub sum_ns: u64,
+    /// Smallest observation in nanoseconds (0 when empty).
+    pub min_ns: u64,
+    /// Largest observation in nanoseconds (0 when empty).
+    pub max_ns: u64,
 }
 
 impl Default for HistogramSnapshot {
@@ -109,6 +130,8 @@ impl Default for HistogramSnapshot {
             buckets: [0; BUCKETS],
             count: 0,
             sum_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
         }
     }
 }
@@ -145,19 +168,31 @@ impl HistogramSnapshot {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
+        // Empty sides carry min=0 as "no data", not "observed zero" —
+        // only take a min from a side that actually has observations.
+        self.min_ns = match (self.count, other.count) {
+            (_, 0) => self.min_ns,
+            (0, _) => other.min_ns,
+            _ => self.min_ns.min(other.min_ns),
+        };
+        self.max_ns = self.max_ns.max(other.max_ns);
         self.count += other.count;
         self.sum_ns += other.sum_ns;
     }
 
-    /// `count=… mean=… p50=… p95=… p99=…` with human-scaled units.
+    /// `count=… mean=… min=… p50=… p95=… p99=… max=…` with
+    /// human-scaled units; the mean, min, and max are exact while the
+    /// quantiles are bucket upper bounds.
     pub fn summary(&self) -> String {
         format!(
-            "count={} mean={} p50={} p95={} p99={}",
+            "count={} mean={} min={} p50={} p95={} p99={} max={}",
             self.count,
             fmt_ns(self.mean_ns() as u64),
+            fmt_ns(self.min_ns),
             fmt_ns(self.quantile_ns(0.50)),
             fmt_ns(self.quantile_ns(0.95)),
             fmt_ns(self.quantile_ns(0.99)),
+            fmt_ns(self.max_ns),
         )
     }
 }
@@ -298,6 +333,41 @@ mod tests {
         assert_eq!(s.quantile_ns(0.99), 0);
         assert_eq!(s.mean_ns(), 0.0);
         assert!(!s.mean_ns().is_nan());
+        assert_eq!((s.min_ns, s.max_ns), (0, 0));
+    }
+
+    #[test]
+    fn min_max_are_exact() {
+        let h = Histogram::default();
+        assert_eq!(h.snapshot().min_ns, 0, "empty min normalizes to 0");
+        for v in [9_000u64, 3_000, 77_000] {
+            h.observe_ns(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.min_ns, 3_000);
+        assert_eq!(s.max_ns, 77_000);
+        assert!(s.summary().contains("min=3.0µs"));
+        assert!(s.summary().contains("max=77.0µs"));
+    }
+
+    #[test]
+    fn merge_tracks_extremes_and_skips_empty_sides() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        a.observe_ns(5_000);
+        b.observe_ns(2_000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!((s.min_ns, s.max_ns), (2_000, 5_000));
+
+        // Merging an empty side must not drag min down to 0.
+        s.merge(&HistogramSnapshot::default());
+        assert_eq!(s.min_ns, 2_000);
+
+        // And merging *into* an empty one adopts the other's extremes.
+        let mut e = HistogramSnapshot::default();
+        e.merge(&s);
+        assert_eq!((e.min_ns, e.max_ns), (2_000, 5_000));
     }
 
     #[test]

@@ -140,6 +140,7 @@ mod tests {
             start_ns,
             dur_ns,
             depth,
+            counters: None,
         }
     }
 
@@ -181,6 +182,40 @@ mod tests {
         assert_eq!(pass.count, 2);
         assert_eq!(pass.total_ns, 30);
         assert_eq!(agg[&vec!["compile"]].self_ns, 70);
+    }
+
+    #[test]
+    fn recursive_spans_do_not_double_count_self_time() {
+        // f calls itself: outer 0..100, inner 20..60. The path keys
+        // distinguish the recursion levels, each level's self time is
+        // its duration minus its direct child, and total self time
+        // equals the outer wall time — nothing counted twice.
+        let agg = aggregate(&[span("f", 20, 40, 1), span("f", 0, 100, 0)]);
+        let outer = &agg[&vec!["f"]];
+        let inner = &agg[&vec!["f", "f"]];
+        assert_eq!(outer.total_ns, 100);
+        assert_eq!(outer.self_ns, 60);
+        assert_eq!(inner.total_ns, 40);
+        assert_eq!(inner.self_ns, 40);
+        let self_sum: u64 = agg.values().map(|n| n.self_ns).sum();
+        assert_eq!(self_sum, 100, "self times must partition the wall time");
+    }
+
+    #[test]
+    fn zero_total_duration_renders_without_nan() {
+        // Every span has zero duration: thread_total is 0 and the
+        // percentage column must degrade to 0.0%, never NaN.
+        let trace = Trace {
+            threads: vec![ThreadTrace {
+                tid: 1,
+                name: "main".into(),
+                dropped: 0,
+                events: vec![span("instant", 10, 0, 0), span("blip", 20, 0, 0)],
+            }],
+        };
+        let text = render(&trace);
+        assert!(!text.contains("NaN"), "NaN leaked into report:\n{text}");
+        assert!(text.contains("0.0%"));
     }
 
     #[test]

@@ -141,6 +141,7 @@ mod tests {
             start_ns: n,
             dur_ns: 1,
             depth: 0,
+            counters: None,
         }
     }
 

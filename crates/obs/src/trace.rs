@@ -23,6 +23,128 @@ use std::time::Instant;
 
 use crate::ring::Ring;
 
+/// A `perf stat`-shaped counter delta attached to a span: what the
+/// architectural simulator retired between span entry and exit.
+///
+/// Lives here (not in `archsim`) because `obs` is the bottom of the
+/// dependency stack: every crate can attach or read payloads without a
+/// cycle. Field names follow `perf` vocabulary; producers map their own
+/// counter types into this one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanCounters {
+    /// Retired instructions (µops).
+    pub instructions: u64,
+    /// Modeled cycles.
+    pub cycles: u64,
+    /// Retired branches.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub branch_misses: u64,
+    /// Last-level cache references.
+    pub cache_references: u64,
+    /// Last-level cache misses.
+    pub cache_misses: u64,
+    /// L1-D accesses.
+    pub l1d_accesses: u64,
+    /// L1-D misses.
+    pub l1d_misses: u64,
+    /// L1-I accesses.
+    pub l1i_accesses: u64,
+    /// L1-I misses.
+    pub l1i_misses: u64,
+}
+
+impl SpanCounters {
+    /// Applies `f` pairwise over the ten counter fields.
+    fn zip_with(self, other: SpanCounters, f: impl Fn(u64, u64) -> u64) -> SpanCounters {
+        SpanCounters {
+            instructions: f(self.instructions, other.instructions),
+            cycles: f(self.cycles, other.cycles),
+            branches: f(self.branches, other.branches),
+            branch_misses: f(self.branch_misses, other.branch_misses),
+            cache_references: f(self.cache_references, other.cache_references),
+            cache_misses: f(self.cache_misses, other.cache_misses),
+            l1d_accesses: f(self.l1d_accesses, other.l1d_accesses),
+            l1d_misses: f(self.l1d_misses, other.l1d_misses),
+            l1i_accesses: f(self.l1i_accesses, other.l1i_accesses),
+            l1i_misses: f(self.l1i_misses, other.l1i_misses),
+        }
+    }
+
+    /// Field-wise saturating difference (`self - earlier`); counters are
+    /// monotone, so saturation only papers over caller mistakes.
+    pub fn delta_since(self, earlier: SpanCounters) -> SpanCounters {
+        self.zip_with(earlier, u64::saturating_sub)
+    }
+
+    /// Field-wise sum.
+    pub fn saturating_add(self, other: SpanCounters) -> SpanCounters {
+        self.zip_with(other, u64::saturating_add)
+    }
+
+    /// Whether every field is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == SpanCounters::default()
+    }
+
+    /// Instructions per cycle (0 when no cycles).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Events per thousand instructions — the paper's MPKI metric
+    /// (0 when no instructions retired; never NaN).
+    pub fn per_kilo_instr(&self, events: u64) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            events as f64 * 1e3 / self.instructions as f64
+        }
+    }
+
+    /// Branch MPKI.
+    pub fn branch_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.branch_misses)
+    }
+
+    /// L1-D miss MPKI.
+    pub fn l1d_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.l1d_misses)
+    }
+
+    /// L1-I miss MPKI.
+    pub fn l1i_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.l1i_misses)
+    }
+
+    /// Last-level-cache miss MPKI.
+    pub fn llc_mpki(&self) -> f64 {
+        self.per_kilo_instr(self.cache_misses)
+    }
+
+    /// The counter selected by `name` (the spellings
+    /// [`crate::folded::Weight`] accepts), if `name` is known.
+    pub fn field(&self, name: &str) -> Option<u64> {
+        Some(match name {
+            "instructions" => self.instructions,
+            "cycles" => self.cycles,
+            "branches" => self.branches,
+            "branch-misses" => self.branch_misses,
+            "cache-references" => self.cache_references,
+            "cache-misses" => self.cache_misses,
+            "l1d-accesses" => self.l1d_accesses,
+            "l1d-misses" => self.l1d_misses,
+            "l1i-accesses" => self.l1i_accesses,
+            "l1i-misses" => self.l1i_misses,
+            _ => return None,
+        })
+    }
+}
+
 /// One recorded span: a named, optionally attributed interval.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanEvent {
@@ -36,6 +158,9 @@ pub struct SpanEvent {
     pub dur_ns: u64,
     /// Nesting depth at entry (0 = top level on its thread).
     pub depth: u16,
+    /// Architectural counter delta over the span, when the producer ran
+    /// under a profiler and attached one (boxed: most spans carry none).
+    pub counters: Option<Box<SpanCounters>>,
 }
 
 impl SpanEvent {
@@ -219,6 +344,7 @@ struct Active {
     attr: Option<Box<str>>,
     start_ns: u64,
     depth: u16,
+    counters: Option<Box<SpanCounters>>,
 }
 
 /// RAII span guard: records one [`SpanEvent`] when dropped (if tracing
@@ -246,7 +372,24 @@ impl SpanGuard {
             attr: attr(),
             start_ns: now_ns(),
             depth,
+            counters: None,
         }))
+    }
+
+    /// Whether this guard will record an event on drop (tracing was
+    /// enabled at entry). Lets producers skip counter sampling entirely
+    /// on the null-sink path.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches an architectural counter delta to the span. A no-op on
+    /// an inert guard; the last call before drop wins.
+    pub fn set_counters(&mut self, counters: SpanCounters) {
+        if let Some(active) = self.0.as_mut() {
+            active.counters = Some(Box::new(counters));
+        }
     }
 }
 
@@ -262,6 +405,7 @@ impl Drop for SpanGuard {
                 start_ns: active.start_ns,
                 dur_ns,
                 depth: active.depth,
+                counters: active.counters,
             });
         });
     }

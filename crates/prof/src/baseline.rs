@@ -1,0 +1,336 @@
+//! The on-disk baseline store: one JSON object per line, one line per
+//! benchmark × engine × opt-level × scale cell.
+//!
+//! The workspace builds offline with no serialization framework, so
+//! records are written by hand and read back through [`obs::json`].
+//! Every line carries a `"v"` field; readers reject versions they do
+//! not understand instead of guessing at the layout.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use archsim::Counters;
+use obs::json::{self, Value};
+
+/// Baseline record layout version this build writes and reads.
+pub const BASELINE_VERSION: u64 = 1;
+
+/// The ten simulated counters, in canonical serialization order.
+const COUNTER_FIELDS: [&str; 10] = [
+    "instructions",
+    "cycles",
+    "branches",
+    "branch_misses",
+    "cache_references",
+    "cache_misses",
+    "l1d_accesses",
+    "l1d_misses",
+    "l1i_accesses",
+    "l1i_misses",
+];
+
+fn counter_get(c: &Counters, field: &str) -> u64 {
+    match field {
+        "instructions" => c.instructions,
+        "cycles" => c.cycles,
+        "branches" => c.branches,
+        "branch_misses" => c.branch_misses,
+        "cache_references" => c.cache_references,
+        "cache_misses" => c.cache_misses,
+        "l1d_accesses" => c.l1d_accesses,
+        "l1d_misses" => c.l1d_misses,
+        "l1i_accesses" => c.l1i_accesses,
+        "l1i_misses" => c.l1i_misses,
+        _ => unreachable!("unknown counter field {field}"),
+    }
+}
+
+fn counter_set(c: &mut Counters, field: &str, v: u64) {
+    match field {
+        "instructions" => c.instructions = v,
+        "cycles" => c.cycles = v,
+        "branches" => c.branches = v,
+        "branch_misses" => c.branch_misses = v,
+        "cache_references" => c.cache_references = v,
+        "cache_misses" => c.cache_misses = v,
+        "l1d_accesses" => c.l1d_accesses = v,
+        "l1d_misses" => c.l1d_misses = v,
+        "l1i_accesses" => c.l1i_accesses = v,
+        "l1i_misses" => c.l1i_misses = v,
+        _ => unreachable!("unknown counter field {field}"),
+    }
+}
+
+/// Wall-clock statistics over a cell's repetitions, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WallStats {
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Fastest repetition.
+    pub min_s: f64,
+    /// Slowest repetition.
+    pub max_s: f64,
+    /// Sample standard deviation (n−1).
+    pub stddev_s: f64,
+}
+
+impl WallStats {
+    /// Summarizes raw repetition times.
+    pub fn from_samples(samples: &[f64]) -> WallStats {
+        WallStats {
+            mean_s: harness::stats::mean(samples),
+            min_s: harness::stats::min(samples),
+            max_s: harness::stats::max(samples),
+            stddev_s: harness::stats::stddev(samples),
+        }
+    }
+
+    /// Half-width of the ~95% confidence interval on the mean
+    /// (`2·s/√n`), given how many repetitions produced these stats.
+    pub fn ci95_half_width(&self, reps: u32) -> f64 {
+        if reps < 2 {
+            return 0.0;
+        }
+        2.0 * self.stddev_s / f64::from(reps).sqrt()
+    }
+}
+
+/// One recorded cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRecord {
+    /// Benchmark name.
+    pub bench: String,
+    /// Engine name (as [`engines::EngineKind::name`] spells it).
+    pub engine: String,
+    /// Opt level, `"O0"`..`"O3"`.
+    pub level: String,
+    /// Workload scale, `"test"`/`"profile"`/`"timing"`.
+    pub scale: String,
+    /// How many repetitions produced the wall statistics.
+    pub reps: u32,
+    /// Wall-clock statistics.
+    pub wall: WallStats,
+    /// Simulated counters (deterministic per cell).
+    pub counters: Counters,
+}
+
+impl BaselineRecord {
+    /// The cell's display name, as diff messages spell it.
+    pub fn cell(&self) -> String {
+        format!(
+            "{} × {} ({}, {})",
+            self.bench, self.engine, self.level, self.scale
+        )
+    }
+
+    /// The lookup key a diff joins on.
+    pub fn key(&self) -> (&str, &str, &str, &str) {
+        (&self.bench, &self.engine, &self.level, &self.scale)
+    }
+
+    /// Serializes as one JSON line (no trailing newline). `{}` on f64
+    /// prints the shortest representation that round-trips, so reading
+    /// the line back reproduces the stats exactly.
+    pub fn to_json_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{{\"v\":{BASELINE_VERSION},\"bench\":\"{}\",\"engine\":\"{}\",\"level\":\"{}\",\"scale\":\"{}\",\"reps\":{},",
+            json::escape(&self.bench),
+            json::escape(&self.engine),
+            json::escape(&self.level),
+            json::escape(&self.scale),
+            self.reps,
+        );
+        let _ = write!(
+            s,
+            "\"wall\":{{\"mean_s\":{},\"min_s\":{},\"max_s\":{},\"stddev_s\":{}}},",
+            self.wall.mean_s, self.wall.min_s, self.wall.max_s, self.wall.stddev_s
+        );
+        s.push_str("\"counters\":{");
+        for (i, field) in COUNTER_FIELDS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{field}\":{}", counter_get(&self.counters, field));
+        }
+        s.push_str("}}");
+        s
+    }
+
+    fn from_json(v: &Value) -> Result<BaselineRecord, String> {
+        let version = num(v, "v")?;
+        if version as u64 != BASELINE_VERSION {
+            return Err(format!(
+                "unsupported baseline version {version} (this build reads v{BASELINE_VERSION})"
+            ));
+        }
+        let wall = v.get("wall").ok_or("missing wall object")?;
+        let counters_obj = v.get("counters").ok_or("missing counters object")?;
+        let mut counters = Counters::default();
+        for field in COUNTER_FIELDS {
+            counter_set(&mut counters, field, num(counters_obj, field)? as u64);
+        }
+        Ok(BaselineRecord {
+            bench: str_field(v, "bench")?,
+            engine: str_field(v, "engine")?,
+            level: str_field(v, "level")?,
+            scale: str_field(v, "scale")?,
+            reps: num(v, "reps")? as u32,
+            wall: WallStats {
+                mean_s: num(wall, "mean_s")?,
+                min_s: num(wall, "min_s")?,
+                max_s: num(wall, "max_s")?,
+                stddev_s: num(wall, "stddev_s")?,
+            },
+            counters,
+        })
+    }
+}
+
+fn num(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    Ok(v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))?
+        .to_string())
+}
+
+/// Serializes records as a JSON-lines document, sorted by key so the
+/// file diffs cleanly under version control.
+pub fn to_string(records: &[BaselineRecord]) -> String {
+    let mut sorted: BTreeMap<(String, String, String, String), &BaselineRecord> = BTreeMap::new();
+    for r in records {
+        sorted.insert(
+            (
+                r.bench.clone(),
+                r.engine.clone(),
+                r.level.clone(),
+                r.scale.clone(),
+            ),
+            r,
+        );
+    }
+    let mut out = String::new();
+    for r in sorted.values() {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-lines baseline document.
+///
+/// # Errors
+///
+/// A message with the 1-based line number on malformed JSON, an
+/// unsupported version, or a missing field.
+pub fn parse(doc: &str) -> Result<Vec<BaselineRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        records.push(BaselineRecord::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(records)
+}
+
+/// Writes records to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_file(path: &Path, records: &[BaselineRecord]) -> std::io::Result<()> {
+    std::fs::write(path, to_string(records))
+}
+
+/// Reads a baseline file.
+///
+/// # Errors
+///
+/// I/O failures and parse errors, both prefixed with the path.
+pub fn read_file(path: &Path) -> Result<Vec<BaselineRecord>, String> {
+    let doc =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BaselineRecord {
+        BaselineRecord {
+            bench: "crc32".into(),
+            engine: "wasmtime".into(),
+            level: "O2".into(),
+            scale: "test".into(),
+            reps: 5,
+            wall: WallStats {
+                mean_s: 0.001_25,
+                min_s: 0.001,
+                max_s: 0.002,
+                stddev_s: 0.000_37,
+            },
+            counters: Counters {
+                instructions: 123_456_789,
+                cycles: 222_222,
+                branches: 300,
+                branch_misses: 7,
+                l1d_accesses: 40_000,
+                l1d_misses: 12,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_exactly() {
+        let records = vec![sample()];
+        let doc = to_string(&records);
+        assert_eq!(parse(&doc).expect("parses"), records);
+    }
+
+    #[test]
+    fn output_is_sorted_and_deduped_by_key() {
+        let mut b = sample();
+        b.bench = "aes".into();
+        let doc = to_string(&[sample(), b.clone(), sample()]);
+        let back = parse(&doc).expect("parses");
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].bench, "aes");
+        assert_eq!(back[1].bench, "crc32");
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_with_line() {
+        let mut doc = to_string(&[sample()]);
+        doc = doc.replace("\"v\":1", "\"v\":99");
+        let err = parse(&doc).expect_err("must reject");
+        assert!(err.contains("line 1"), "{err}");
+        assert!(err.contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_is_located() {
+        let doc = format!("{}\nnot json\n", sample().to_json_line());
+        let err = parse(&doc).expect_err("must reject");
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn ci_half_width_guards_small_n() {
+        let w = WallStats {
+            stddev_s: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(w.ci95_half_width(1), 0.0);
+        assert!((w.ci95_half_width(4) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,393 @@
+//! `wabench-prof` — profiling, flamegraph export, and regression gates.
+//!
+//! ```text
+//! wabench-prof record   --out FILE [--bench B]... [--engine E]... [--level O2] [--scale test] [--reps 5]
+//! wabench-prof diff     --base FILE [--cur FILE] [--wall-rel 0.25] [--counter-rel 0.10]
+//! wabench-prof fold     --out FILE [--weight wall-ns] [--workers 4] [--bench B]... [--level O2] [--scale test] [--chrome FILE]
+//! wabench-prof collapse --trace FILE [--out FILE]
+//! wabench-prof report   [--bench B]... [--engine E]... [--level O2] [--scale test]
+//! ```
+//!
+//! `record` writes a JSON-lines baseline; `diff` re-measures the same
+//! cells (or reads `--cur`) and exits non-zero on a regression, naming
+//! each regressed benchmark × engine cell. `fold` runs a job matrix
+//! through the scheduler and writes folded stacks for
+//! `flamegraph.pl`; `collapse` does the same offline from a saved
+//! Chrome trace. `report` prints the counter-attributed phase table.
+//!
+//! `WABENCH_PROF_SLOWDOWN` (a float, default 1) multiplies measured
+//! wall times in `record` and `diff`. It is a test hook: setting it to
+//! 2 on an unchanged tree must make `diff` fail, proving the gate can
+//! actually fire. It is read once here in `main` — the library never
+//! touches the environment.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use engines::EngineKind;
+use prof::baseline::{self, BaselineRecord, WallStats};
+use prof::diff::{diff, DiffRule};
+use prof::measure::{measure_cell, CellSpec, Scale};
+use prof::workload::WorkloadSpec;
+use wacc::OptLevel;
+
+fn usage() -> ! {
+    obs::error!(
+        "usage: wabench-prof <record|diff|fold|collapse|report> [options]\n\
+         \n\
+         record   --out FILE [--bench B]... [--engine E]... [--level O2] [--scale test] [--reps 5]\n\
+         diff     --base FILE [--cur FILE] [--wall-rel 0.25] [--counter-rel 0.10]\n\
+         fold     --out FILE [--weight wall-ns] [--workers 4] [--bench B]... [--level O2] [--scale test] [--chrome FILE]\n\
+         collapse --trace FILE [--out FILE]\n\
+         report   [--bench B]... [--engine E]... [--level O2] [--scale test]"
+    );
+    exit(2);
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => {
+            obs::error!("missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+struct Opts {
+    out: Option<PathBuf>,
+    base: Option<PathBuf>,
+    cur: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    chrome: Option<PathBuf>,
+    benches: Vec<String>,
+    engines: Vec<EngineKind>,
+    level: OptLevel,
+    scale_name: String,
+    reps: u32,
+    wall_rel: f64,
+    counter_rel: f64,
+    weight: obs::folded::Weight,
+    workers: usize,
+}
+
+impl Opts {
+    fn base() -> Opts {
+        Opts {
+            out: None,
+            base: None,
+            cur: None,
+            trace: None,
+            chrome: None,
+            benches: Vec::new(),
+            engines: Vec::new(),
+            level: OptLevel::O2,
+            scale_name: "test".to_string(),
+            reps: 5,
+            wall_rel: 0.25,
+            counter_rel: 0.10,
+            weight: obs::folded::Weight::WallNs,
+            workers: 4,
+        }
+    }
+}
+
+fn parse_f64(args: &[String], i: &mut usize, flag: &str) -> f64 {
+    take_value(args, i, flag).parse().unwrap_or_else(|_| {
+        obs::error!("{flag} needs a number");
+        usage();
+    })
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts::base();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => o.out = Some(PathBuf::from(take_value(args, &mut i, "--out"))),
+            "--base" => o.base = Some(PathBuf::from(take_value(args, &mut i, "--base"))),
+            "--cur" => o.cur = Some(PathBuf::from(take_value(args, &mut i, "--cur"))),
+            "--trace" => o.trace = Some(PathBuf::from(take_value(args, &mut i, "--trace"))),
+            "--chrome" => o.chrome = Some(PathBuf::from(take_value(args, &mut i, "--chrome"))),
+            "--bench" => o.benches.push(take_value(args, &mut i, "--bench")),
+            "--engine" => {
+                let v = take_value(args, &mut i, "--engine");
+                o.engines.push(EngineKind::parse(&v).unwrap_or_else(|| {
+                    obs::error!("unknown engine {v:?}");
+                    usage();
+                }));
+            }
+            "--level" => {
+                let v = take_value(args, &mut i, "--level");
+                o.level = parse_level(&v).unwrap_or_else(|| {
+                    obs::error!("unknown level {v:?} (use O0..O3)");
+                    usage();
+                });
+            }
+            "--scale" => {
+                let v = take_value(args, &mut i, "--scale");
+                if parse_scale(&v).is_none() {
+                    obs::error!("unknown scale {v:?} (use test|profile|timing)");
+                    usage();
+                }
+                o.scale_name = v;
+            }
+            "--reps" => {
+                o.reps = take_value(args, &mut i, "--reps")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        obs::error!("--reps needs a positive integer");
+                        usage();
+                    });
+            }
+            "--wall-rel" => o.wall_rel = parse_f64(args, &mut i, "--wall-rel"),
+            "--counter-rel" => o.counter_rel = parse_f64(args, &mut i, "--counter-rel"),
+            "--weight" => {
+                let v = take_value(args, &mut i, "--weight");
+                o.weight = obs::folded::Weight::parse(&v).unwrap_or_else(|| {
+                    obs::error!("unknown weight {v:?}");
+                    usage();
+                });
+            }
+            "--workers" => {
+                o.workers = take_value(args, &mut i, "--workers")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        obs::error!("--workers needs a positive integer");
+                        usage();
+                    });
+            }
+            other => {
+                obs::error!("unknown option {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if o.benches.is_empty() {
+        o.benches.push("crc32".to_string());
+    }
+    if o.engines.is_empty() {
+        o.engines = EngineKind::all().to_vec();
+    }
+    o
+}
+
+fn parse_level(s: &str) -> Option<OptLevel> {
+    match s.trim_start_matches('-') {
+        "O0" => Some(OptLevel::O0),
+        "O1" => Some(OptLevel::O1),
+        "O2" => Some(OptLevel::O2),
+        "O3" => Some(OptLevel::O3),
+        _ => None,
+    }
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "profile" => Some(Scale::Profile),
+        "timing" => Some(Scale::Timing),
+        _ => None,
+    }
+}
+
+fn need(path: &Option<PathBuf>, flag: &str) -> PathBuf {
+    path.clone().unwrap_or_else(|| {
+        obs::error!("{flag} is required");
+        usage();
+    })
+}
+
+/// Measures one cell into a baseline record; the strings are the
+/// file-format spellings so `diff` can re-measure from a parsed record.
+fn record_cell(
+    bench: &str,
+    engine: EngineKind,
+    level: OptLevel,
+    scale_name: &str,
+    reps: u32,
+    slowdown: f64,
+) -> Result<BaselineRecord, String> {
+    let b = suite::by_name(bench).ok_or_else(|| format!("unknown benchmark {bench:?}"))?;
+    let scale = parse_scale(scale_name).ok_or_else(|| format!("unknown scale {scale_name:?}"))?;
+    let spec = CellSpec {
+        bench: b,
+        engine,
+        level,
+        scale,
+    };
+    let m = measure_cell(&spec, reps, slowdown)?;
+    Ok(BaselineRecord {
+        bench: bench.to_string(),
+        engine: engine.name().to_string(),
+        level: format!("{level:?}"),
+        scale: scale_name.to_string(),
+        reps,
+        wall: WallStats::from_samples(&m.wall_s),
+        counters: m.counters,
+    })
+}
+
+fn cmd_record(o: &Opts, slowdown: f64) {
+    let out = need(&o.out, "--out");
+    let mut records = Vec::new();
+    for bench in &o.benches {
+        for kind in &o.engines {
+            match record_cell(bench, *kind, o.level, &o.scale_name, o.reps, slowdown) {
+                Ok(r) => {
+                    obs::info!(
+                        "recorded {}: wall mean {:.3}ms, {} instrs, ipc {:.3}",
+                        r.cell(),
+                        r.wall.mean_s * 1e3,
+                        r.counters.instructions,
+                        r.counters.ipc()
+                    );
+                    records.push(r);
+                }
+                Err(e) => {
+                    obs::error!("{e}");
+                    exit(2);
+                }
+            }
+        }
+    }
+    if let Err(e) = baseline::write_file(&out, &records) {
+        obs::error!("{}: {e}", out.display());
+        exit(2);
+    }
+    println!("wrote {} ({} cells)", out.display(), records.len());
+}
+
+fn cmd_diff(o: &Opts, slowdown: f64) {
+    let base_path = need(&o.base, "--base");
+    let base = baseline::read_file(&base_path).unwrap_or_else(|e| {
+        obs::error!("{e}");
+        exit(2);
+    });
+    let cur = match &o.cur {
+        Some(path) => baseline::read_file(path).unwrap_or_else(|e| {
+            obs::error!("{e}");
+            exit(2);
+        }),
+        // No --cur: re-measure every baseline cell right now.
+        None => base
+            .iter()
+            .map(|r| {
+                let engine = EngineKind::parse(&r.engine)
+                    .ok_or_else(|| format!("{}: unknown engine in baseline", r.cell()))?;
+                let level = parse_level(&r.level)
+                    .ok_or_else(|| format!("{}: unknown level in baseline", r.cell()))?;
+                record_cell(&r.bench, engine, level, &r.scale, r.reps, slowdown)
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_or_else(|e| {
+                obs::error!("{e}");
+                exit(2);
+            }),
+    };
+    let rule = DiffRule {
+        wall_rel: o.wall_rel,
+        counter_rel: o.counter_rel,
+    };
+    let report = diff(&base, &cur, &rule);
+    print!("{}", report.render());
+    exit(i32::from(!report.ok()));
+}
+
+fn cmd_fold(o: &Opts) {
+    let out = need(&o.out, "--out");
+    let spec = WorkloadSpec {
+        benches: o.benches.clone(),
+        engines: o.engines.clone(),
+        level: o.level,
+        scale: svc::Scale::parse(&o.scale_name).expect("scale validated at parse"),
+        mode: svc::JobMode::Profiled,
+        workers: o.workers,
+    };
+    let trace = prof::workload::capture_trace(&spec).unwrap_or_else(|e| {
+        obs::error!("{e}");
+        exit(2);
+    });
+    if let Err(e) = obs::folded::export_file(&trace, o.weight, &out) {
+        obs::error!("{}: {e}", out.display());
+        exit(2);
+    }
+    println!(
+        "wrote {} ({} spans, weight {})",
+        out.display(),
+        trace.span_count(),
+        o.weight.name()
+    );
+    if let Some(chrome) = &o.chrome {
+        if let Err(e) = obs::chrome::export_file(&trace, chrome) {
+            obs::error!("{}: {e}", chrome.display());
+            exit(2);
+        }
+        println!("wrote {}", chrome.display());
+    }
+}
+
+fn cmd_collapse(o: &Opts) {
+    let trace = need(&o.trace, "--trace");
+    let doc = std::fs::read_to_string(&trace).unwrap_or_else(|e| {
+        obs::error!("{}: {e}", trace.display());
+        exit(2);
+    });
+    let folded = prof::collapse::chrome_to_folded(&doc).unwrap_or_else(|e| {
+        obs::error!("{}: {e}", trace.display());
+        exit(1);
+    });
+    match &o.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &folded) {
+                obs::error!("{}: {e}", path.display());
+                exit(2);
+            }
+            println!("wrote {}", path.display());
+        }
+        None => print!("{folded}"),
+    }
+}
+
+fn cmd_report(o: &Opts, slowdown: f64) {
+    obs::trace::install(obs::trace::Sink::Ring);
+    for bench in &o.benches {
+        for kind in &o.engines {
+            if let Err(e) = record_cell(bench, *kind, o.level, &o.scale_name, 1, slowdown) {
+                obs::trace::install(obs::trace::Sink::Null);
+                obs::error!("{e}");
+                exit(2);
+            }
+        }
+    }
+    let trace = obs::trace::drain();
+    obs::trace::install(obs::trace::Sink::Null);
+    print!("{}", obs::prof::render(&trace));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let opts = parse_opts(&args[1..]);
+    // The test hook lives here, not in the library: measured wall
+    // times are multiplied so the regression gate can be exercised.
+    let slowdown = std::env::var("WABENCH_PROF_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0);
+    match cmd.as_str() {
+        "record" => cmd_record(&opts, slowdown),
+        "diff" => cmd_diff(&opts, slowdown),
+        "fold" => cmd_fold(&opts),
+        "collapse" => cmd_collapse(&opts),
+        "report" => cmd_report(&opts, slowdown),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,169 @@
+//! Chrome trace → folded stacks (`wabench-prof collapse`).
+//!
+//! The live path folds straight from ring data
+//! ([`obs::folded::export_string`]); this module covers the offline
+//! case — a `trace.json` saved earlier (e.g. by `wabench-served
+//! --trace-out`) that should become a flamegraph without re-running
+//! anything. Weights are wall nanoseconds of *self* time, matching the
+//! live exporter's `wall-ns` weight; counter args on `B` events are
+//! span totals, not self deltas, so they are not folded here.
+
+use std::collections::BTreeMap;
+
+use obs::json::{self, Value};
+
+/// One open frame on a thread's reconstruction stack.
+struct Frame {
+    name: String,
+    start_us: f64,
+    child_us: f64,
+}
+
+/// Converts a Chrome trace-event JSON document into folded stacks.
+/// Stacks are rooted at the thread name (from `thread_name` metadata,
+/// falling back to `tid-N`), one line per distinct stack, weights in
+/// nanoseconds of self time, zero-weight stacks omitted.
+///
+/// # Errors
+///
+/// Malformed JSON (with the parser's line/column) or trace documents
+/// that violate B/E nesting.
+pub fn chrome_to_folded(doc: &str) -> Result<String, String> {
+    let root = json::parse(doc)?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut thread_names: BTreeMap<u64, String> = BTreeMap::new();
+    let mut stacks: BTreeMap<u64, Vec<Frame>> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_num)
+            .ok_or_else(|| format!("event {i}: missing tid"))? as u64;
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        match ph {
+            "M" if name == "thread_name" => {
+                if let Some(n) = ev.get("args").and_then(|a| a.get("name")).and_then(Value::as_str) {
+                    thread_names.insert(tid, sanitize(n));
+                }
+            }
+            "B" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                stacks.entry(tid).or_default().push(Frame {
+                    name: sanitize(name),
+                    start_us: ts,
+                    child_us: 0.0,
+                });
+            }
+            "E" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("event {i}: missing ts"))?;
+                let stack = stacks.entry(tid).or_default();
+                let frame = stack
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E {name:?} with nothing open on tid {tid}"))?;
+                if frame.name != sanitize(name) {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes open span {:?} on tid {tid}",
+                        frame.name
+                    ));
+                }
+                let dur_us = (ts - frame.start_us).max(0.0);
+                let self_us = (dur_us - frame.child_us).max(0.0);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child_us += dur_us;
+                }
+                let self_ns = (self_us * 1e3).round() as u64;
+                if self_ns > 0 {
+                    let thread = thread_names
+                        .get(&tid)
+                        .cloned()
+                        .unwrap_or_else(|| format!("tid-{tid}"));
+                    let mut path = thread;
+                    for f in stack.iter() {
+                        path.push(';');
+                        path.push_str(&f.name);
+                    }
+                    path.push(';');
+                    path.push_str(&frame.name);
+                    *folded.entry(path).or_insert(0) += self_ns;
+                }
+            }
+            _ => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("span {:?} never closed on tid {tid}", open.name));
+        }
+    }
+
+    let mut out = String::new();
+    for (path, w) in &folded {
+        out.push_str(path);
+        out.push(' ');
+        out.push_str(&w.to_string());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Frame-name sanitization matching [`obs::folded`]'s: the folded
+/// format reserves `;` (separator) and space (weight delimiter).
+fn sanitize(name: &str) -> String {
+    name.replace([';', ' ', '\n'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_nested_spans_with_self_weights() {
+        // outer [0, 100µs] with inner [10µs, 50µs]: outer self = 60µs.
+        let doc = r#"{"traceEvents":[
+            {"ph":"M","pid":1,"tid":7,"name":"thread_name","args":{"name":"worker-0"}},
+            {"ph":"B","pid":1,"tid":7,"name":"outer","ts":0.0},
+            {"ph":"B","pid":1,"tid":7,"name":"inner","ts":10.0},
+            {"ph":"E","pid":1,"tid":7,"name":"inner","ts":50.0},
+            {"ph":"E","pid":1,"tid":7,"name":"outer","ts":100.0}
+        ]}"#;
+        let folded = chrome_to_folded(doc).expect("collapses");
+        let summary = obs::folded::parse(&folded).expect("valid folded output");
+        assert_eq!(summary.stacks, 2);
+        assert_eq!(summary.max_depth, 2);
+        assert!(folded.contains("worker-0;outer 60000\n"), "{folded}");
+        assert!(folded.contains("worker-0;outer;inner 40000\n"), "{folded}");
+    }
+
+    #[test]
+    fn unbalanced_documents_are_rejected() {
+        let open = r#"{"traceEvents":[{"ph":"B","pid":1,"tid":1,"name":"a","ts":1.0}]}"#;
+        assert!(chrome_to_folded(open).unwrap_err().contains("never closed"));
+        let stray = r#"{"traceEvents":[{"ph":"E","pid":1,"tid":1,"name":"a","ts":1.0}]}"#;
+        assert!(chrome_to_folded(stray).unwrap_err().contains("nothing open"));
+    }
+
+    #[test]
+    fn unnamed_threads_get_tid_roots() {
+        let doc = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":3,"name":"a","ts":0.0},
+            {"ph":"E","pid":1,"tid":3,"name":"a","ts":5.0}
+        ]}"#;
+        let folded = chrome_to_folded(doc).expect("collapses");
+        assert_eq!(folded, "tid-3;a 5000\n");
+    }
+}

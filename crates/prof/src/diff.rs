@@ -1,0 +1,239 @@
+//! Baseline comparison: the regression rules behind `wabench-prof diff`.
+//!
+//! Wall-clock time is noisy, so a wall regression needs two things at
+//! once: the mean moved past a relative threshold AND the ~95%
+//! confidence intervals of the two runs do not overlap. Simulated
+//! counters are deterministic — any drift there is a real code-path
+//! change — so they use a bare relative threshold, kept loose enough
+//! (10% by default) that intentional small tuning does not page anyone.
+
+use crate::baseline::BaselineRecord;
+
+/// Thresholds for [`diff`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffRule {
+    /// Relative wall-time increase required (0.25 = +25%).
+    pub wall_rel: f64,
+    /// Relative counter increase required (0.10 = +10%).
+    pub counter_rel: f64,
+}
+
+impl Default for DiffRule {
+    fn default() -> DiffRule {
+        DiffRule {
+            wall_rel: 0.25,
+            counter_rel: 0.10,
+        }
+    }
+}
+
+/// Counters worth gating on: the totals and the miss events the
+/// paper's figures track. Access counters (branches, L1 accesses)
+/// move with instruction count and would double-report.
+const GATED_COUNTERS: [&str; 5] = [
+    "instructions",
+    "cycles",
+    "branch_misses",
+    "l1d_misses",
+    "cache_misses",
+];
+
+fn gated(c: &archsim::Counters, field: &str) -> u64 {
+    match field {
+        "instructions" => c.instructions,
+        "cycles" => c.cycles,
+        "branch_misses" => c.branch_misses,
+        "l1d_misses" => c.l1d_misses,
+        "cache_misses" => c.cache_misses,
+        _ => unreachable!("unknown gated counter {field}"),
+    }
+}
+
+/// What a diff found.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Cells present in both runs and compared.
+    pub checked: usize,
+    /// Human-readable regression messages; empty means pass.
+    pub regressions: Vec<String>,
+    /// Non-fatal observations: new cells, cells missing from the
+    /// current run, improvements.
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no regression fired.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for n in &self.notes {
+            out.push_str("note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        for r in &self.regressions {
+            out.push_str("REGRESSION: ");
+            out.push_str(r);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} cells checked, {} regressions\n",
+            self.checked,
+            self.regressions.len()
+        ));
+        out
+    }
+}
+
+fn pct(base: f64, cur: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (cur / base - 1.0) * 100.0
+}
+
+/// Compares `cur` against `base` under `rule`.
+pub fn diff(base: &[BaselineRecord], cur: &[BaselineRecord], rule: &DiffRule) -> DiffReport {
+    let mut report = DiffReport::default();
+    for c in cur {
+        let Some(b) = base.iter().find(|b| b.key() == c.key()) else {
+            report.notes.push(format!("{}: new cell (no baseline)", c.cell()));
+            continue;
+        };
+        report.checked += 1;
+        check_wall(b, c, rule, &mut report);
+        check_counters(b, c, rule, &mut report);
+    }
+    for b in base {
+        if !cur.iter().any(|c| c.key() == b.key()) {
+            report
+                .notes
+                .push(format!("{}: in baseline but not in current run", b.cell()));
+        }
+    }
+    report
+}
+
+fn check_wall(b: &BaselineRecord, c: &BaselineRecord, rule: &DiffRule, report: &mut DiffReport) {
+    let (bm, cm) = (b.wall.mean_s, c.wall.mean_s);
+    let (ci_b, ci_c) = (b.wall.ci95_half_width(b.reps), c.wall.ci95_half_width(c.reps));
+    if cm > bm * (1.0 + rule.wall_rel) && cm - ci_c > bm + ci_b {
+        report.regressions.push(format!(
+            "{}: wall mean {:.3}ms → {:.3}ms ({:+.1}%, CIs disjoint)",
+            c.cell(),
+            bm * 1e3,
+            cm * 1e3,
+            pct(bm, cm)
+        ));
+    } else if bm > cm * (1.0 + rule.wall_rel) && cm + ci_c < bm - ci_b {
+        // Improvements are worth a note: the baseline is stale.
+        report.notes.push(format!(
+            "{}: wall improved {:.3}ms → {:.3}ms ({:+.1}%) — consider re-recording",
+            c.cell(),
+            bm * 1e3,
+            cm * 1e3,
+            pct(bm, cm)
+        ));
+    }
+}
+
+fn check_counters(
+    b: &BaselineRecord,
+    c: &BaselineRecord,
+    rule: &DiffRule,
+    report: &mut DiffReport,
+) {
+    for field in GATED_COUNTERS {
+        let (bv, cv) = (gated(&b.counters, field), gated(&c.counters, field));
+        if bv > 0 && cv as f64 > bv as f64 * (1.0 + rule.counter_rel) {
+            report.regressions.push(format!(
+                "{}: {field} {bv} → {cv} ({:+.1}%)",
+                c.cell(),
+                pct(bv as f64, cv as f64)
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::WallStats;
+
+    fn record(mean_s: f64, stddev_s: f64, instructions: u64) -> BaselineRecord {
+        BaselineRecord {
+            bench: "crc32".into(),
+            engine: "wasmtime".into(),
+            level: "O2".into(),
+            scale: "test".into(),
+            reps: 5,
+            wall: WallStats {
+                mean_s,
+                min_s: mean_s,
+                max_s: mean_s,
+                stddev_s,
+            },
+            counters: archsim::Counters {
+                instructions,
+                cycles: 2 * instructions,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![record(0.001, 0.000_01, 1_000)];
+        let report = diff(&base, &base.clone(), &DiffRule::default());
+        assert!(report.ok());
+        assert_eq!(report.checked, 1);
+    }
+
+    #[test]
+    fn separated_slowdown_regresses_and_names_the_cell() {
+        let base = vec![record(0.001, 0.000_01, 1_000)];
+        let cur = vec![record(0.002, 0.000_01, 1_000)];
+        let report = diff(&base, &cur, &DiffRule::default());
+        assert!(!report.ok());
+        assert!(
+            report.regressions[0].contains("crc32 × wasmtime (O2, test)"),
+            "{:?}",
+            report.regressions
+        );
+        assert!(report.regressions[0].contains("wall"));
+    }
+
+    #[test]
+    fn noisy_slowdown_with_overlapping_cis_passes() {
+        // Mean doubled, but the spread is so wide the intervals overlap:
+        // statistically indistinguishable, so no regression.
+        let base = vec![record(0.001, 0.002, 1_000)];
+        let cur = vec![record(0.002, 0.002, 1_000)];
+        let report = diff(&base, &cur, &DiffRule::default());
+        assert!(report.ok(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn counter_drift_regresses_without_any_wall_change() {
+        let base = vec![record(0.001, 0.000_01, 1_000)];
+        let cur = vec![record(0.001, 0.000_01, 1_200)];
+        let report = diff(&base, &cur, &DiffRule::default());
+        assert!(!report.ok());
+        assert!(report.regressions.iter().any(|r| r.contains("instructions 1000 → 1200")));
+    }
+
+    #[test]
+    fn disjoint_cells_become_notes() {
+        let base = vec![record(0.001, 0.0, 1_000)];
+        let mut other = record(0.001, 0.0, 1_000);
+        other.bench = "aes".into();
+        let report = diff(&base, &[other], &DiffRule::default());
+        assert!(report.ok());
+        assert_eq!(report.checked, 0);
+        assert_eq!(report.notes.len(), 2, "{:?}", report.notes);
+    }
+}

@@ -1,0 +1,35 @@
+//! Profiling and regression-detection toolkit for the benchmark suite.
+//!
+//! The crate ties the observability layer ([`obs`]) and the
+//! architectural simulator ([`archsim`]) into a workflow the paper's
+//! own methodology section describes: profile a benchmark matrix,
+//! attribute hardware-counter figures to execution phases, and keep
+//! the numbers honest over time by diffing fresh runs against a
+//! recorded baseline.
+//!
+//! - [`measure`] drives repeated profiled runs of one benchmark ×
+//!   engine × opt-level cell and collects wall-time samples plus the
+//!   deterministic simulator counters.
+//! - [`baseline`] persists those measurements as versioned JSON lines
+//!   and reads them back without any external serialization crate.
+//! - [`diff`] compares a current run against a baseline, flagging
+//!   wall-time regressions only when confidence intervals separate,
+//!   and counter regressions on a relative threshold (the simulator
+//!   is deterministic, so drift there is always a real code change).
+//! - [`workload`] captures a ring-buffer trace of a scheduler-driven
+//!   job matrix for flamegraph export.
+//! - [`collapse`] converts an exported Chrome trace back into folded
+//!   stacks for `flamegraph.pl`-style tooling.
+//!
+//! The `wabench-prof` binary exposes all of this as `record`, `diff`,
+//! `fold`, `collapse`, and `report` subcommands.
+
+pub mod baseline;
+pub mod collapse;
+pub mod diff;
+pub mod measure;
+pub mod workload;
+
+pub use baseline::BaselineRecord;
+pub use diff::{DiffReport, DiffRule};
+pub use measure::{measure_cell, CellMeasurement, CellSpec};

@@ -1,0 +1,124 @@
+//! The repetition driver behind `wabench-prof record` and `diff`.
+//!
+//! Each repetition is a cold profiled run: fresh engine, fresh
+//! simulator, compile + execute under [`archsim`]. Wall-clock time
+//! varies between repetitions (and machines); the simulated counters
+//! do not — the simulator is deterministic, so a single repetition's
+//! counters characterize the cell exactly.
+
+use archsim::{ArchSim, Counters};
+use engines::{Engine, EngineKind};
+use suite::Benchmark;
+use wacc::OptLevel;
+use wasi_rt::WasiCtx;
+use wasm_core::types::Value;
+
+pub use harness::runner::Scale;
+
+/// One benchmark × engine × opt-level × scale cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec<'a> {
+    /// The benchmark to run.
+    pub bench: &'a Benchmark,
+    /// The engine under test.
+    pub engine: EngineKind,
+    /// Source optimization level.
+    pub level: OptLevel,
+    /// Workload scale.
+    pub scale: Scale,
+}
+
+/// What [`measure_cell`] collected.
+#[derive(Debug, Clone)]
+pub struct CellMeasurement {
+    /// Wall-clock seconds per repetition (already scaled by the
+    /// slowdown multiplier).
+    pub wall_s: Vec<f64>,
+    /// Simulated counters for the cell (identical across repetitions).
+    pub counters: Counters,
+}
+
+/// Runs `spec` for `reps` repetitions, verifying the checksum each
+/// time. `slowdown` multiplies the recorded wall times — it exists so
+/// the regression detector can be exercised end-to-end (a synthetic
+/// 2× slowdown must trip the diff); production callers pass `1.0`.
+///
+/// Each repetition emits a `prof.cell` span carrying the cell's full
+/// counter totals, so a ring-sink capture of a measurement session
+/// yields an attributed profile for free.
+///
+/// # Errors
+///
+/// A message naming the cell on compile failure, trap, or checksum
+/// mismatch.
+pub fn measure_cell(
+    spec: &CellSpec<'_>,
+    reps: u32,
+    slowdown: f64,
+) -> Result<CellMeasurement, String> {
+    let n = spec.scale.arg(spec.bench);
+    let expected = (spec.bench.native)(n);
+    let bytes = harness::runner::wasm_bytes(spec.bench, spec.level);
+    let cell = format!("{} × {}", spec.bench.name, spec.engine.name());
+    let mut wall_s = Vec::with_capacity(reps as usize);
+    let mut counters = Counters::default();
+    for _ in 0..reps.max(1) {
+        let mut span = obs::span!("prof.cell", engine = spec.engine.name(), n = n);
+        let t0 = std::time::Instant::now();
+        let mut sim = ArchSim::new();
+        let engine = Engine::new(spec.engine);
+        let compiled = engine
+            .compile_profiled(&bytes, &mut sim)
+            .map_err(|e| format!("{cell}: compile: {e}"))?;
+        let mut inst = compiled
+            .instantiate(&wasi_rt::imports(), Box::new(WasiCtx::new()))
+            .map_err(|e| format!("{cell}: instantiate: {e}"))?;
+        let out = inst
+            .invoke_profiled("run", &[Value::I32(n)], &mut sim)
+            .map_err(|e| format!("{cell}: run: {e}"))?;
+        wall_s.push(t0.elapsed().as_secs_f64() * slowdown);
+        if out != Some(Value::I32(expected)) {
+            return Err(format!("{cell}: checksum mismatch: {out:?} != {expected}"));
+        }
+        counters = sim.counters();
+        span.set_counters(counters.into());
+    }
+    Ok(CellMeasurement { wall_s, counters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_deterministic_and_scaled() {
+        let b = suite::by_name("crc32").expect("registered");
+        let spec = CellSpec {
+            bench: b,
+            engine: EngineKind::Wasm3,
+            level: OptLevel::O1,
+            scale: Scale::Test,
+        };
+        let a = measure_cell(&spec, 2, 1.0).expect("measure");
+        let b2 = measure_cell(&spec, 1, 1.0).expect("measure");
+        assert_eq!(a.wall_s.len(), 2);
+        assert!(a.wall_s.iter().all(|w| *w > 0.0));
+        // Deterministic simulation: counters agree across sessions.
+        assert_eq!(a.counters, b2.counters);
+        assert!(a.counters.instructions > 0);
+    }
+
+    #[test]
+    fn bad_checksum_is_reported_not_panicked() {
+        // `reps.max(1)` also means reps=0 still measures once.
+        let b = suite::by_name("crc32").expect("registered");
+        let spec = CellSpec {
+            bench: b,
+            engine: EngineKind::Wasm3,
+            level: OptLevel::O0,
+            scale: Scale::Test,
+        };
+        let m = measure_cell(&spec, 0, 1.0).expect("measure");
+        assert_eq!(m.wall_s.len(), 1);
+    }
+}

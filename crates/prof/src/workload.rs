@@ -1,0 +1,99 @@
+//! Scheduler-driven trace capture for `wabench-prof fold`.
+//!
+//! Flamegraphs are most interesting when the process is actually
+//! concurrent, so the fold path runs a real job matrix through the
+//! [`svc`] worker pool with the ring sink installed and drains the
+//! per-thread rings into one [`obs::trace::Trace`].
+//!
+//! Capturing flips the process-global trace sink; callers running
+//! inside `cargo test` must serialize on their own gate.
+
+use std::time::Duration;
+
+use engines::EngineKind;
+use svc::scheduler::{Config, Scheduler};
+use svc::{JobMode, JobSpec, Scale};
+use wacc::OptLevel;
+
+/// What to run while the ring sink records.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Benchmarks to submit (each runs on every engine).
+    pub benches: Vec<String>,
+    /// Engines to submit each benchmark on.
+    pub engines: Vec<EngineKind>,
+    /// Opt level for every job.
+    pub level: OptLevel,
+    /// Workload scale for every job.
+    pub scale: Scale,
+    /// Job mode; `Profiled` makes engine spans carry counter payloads.
+    pub mode: JobMode,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            benches: vec!["crc32".to_string()],
+            engines: EngineKind::all().to_vec(),
+            level: OptLevel::O2,
+            scale: Scale::Test,
+            mode: JobMode::Profiled,
+            workers: 4,
+        }
+    }
+}
+
+/// Runs the matrix under the ring sink and returns the drained trace.
+/// The sink is restored to `Null` before returning, success or not.
+///
+/// # Errors
+///
+/// Scheduler start failures and failed jobs (by cell name).
+pub fn capture_trace(spec: &WorkloadSpec) -> Result<obs::trace::Trace, String> {
+    for b in &spec.benches {
+        if suite::by_name(b).is_none() {
+            return Err(format!("unknown benchmark {b:?}"));
+        }
+    }
+    obs::trace::install(obs::trace::Sink::Ring);
+    let result = run_matrix(spec);
+    let trace = obs::trace::drain();
+    obs::trace::install(obs::trace::Sink::Null);
+    result.map(|()| trace)
+}
+
+fn run_matrix(spec: &WorkloadSpec) -> Result<(), String> {
+    let sched = Scheduler::start(Config {
+        workers: spec.workers.max(1),
+        timeout: Duration::from_secs(300),
+        store_dir: None,
+        store_cap_bytes: 0,
+    })
+    .map_err(|e| format!("start scheduler: {e}"))?;
+    for bench in &spec.benches {
+        for kind in &spec.engines {
+            sched.submit(JobSpec {
+                benchmark: bench.clone(),
+                engine: *kind,
+                level: spec.level,
+                scale: spec.scale,
+                mode: spec.mode,
+                warm: false,
+            });
+        }
+    }
+    let results = sched.drain_sorted();
+    sched.shutdown();
+    let failed: Vec<String> = results
+        .iter()
+        .filter(|r| !r.ok())
+        .map(|r| format!("{} × {}", r.spec.benchmark, r.spec.engine.name()))
+        .collect();
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("jobs failed: {}", failed.join(", ")))
+    }
+}

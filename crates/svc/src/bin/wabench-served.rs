@@ -10,9 +10,11 @@
 //! wabench-served smoke  [--dir DIR] [--jobs N]
 //! ```
 //!
-//! `stats-ext` speaks protocol v2: besides the classic counters it
-//! reports queue depth, worker utilization, and queue-wait/per-engine
-//! latency histograms (p50/p95/p99). Older servers answer `Err`.
+//! `stats-ext` speaks protocol v3: besides the classic counters it
+//! reports queue depth, worker utilization, queue-wait/per-engine
+//! latency histograms (min/p50/p95/p99/max), and — once profiled jobs
+//! have run — per-engine simulated IPC/MPKI aggregates. Older servers
+//! answer `Err` (v1) or omit the v3 fields (v2).
 //!
 //! `smoke` is self-contained: it starts a scheduler + server on a
 //! scratch socket, drives it through a real client twice — a cold pass
@@ -237,6 +239,19 @@ fn print_stats_ext(s: &SvcStatsExt) {
     for (code, hist) in &s.engine_wall {
         let name = EngineKind::from_code(*code).map_or("unknown", |k| k.name());
         println!("engine {name}: wall {}", hist.summary());
+    }
+    for (code, agg) in &s.engine_counters {
+        let name = EngineKind::from_code(*code).map_or("unknown", |k| k.name());
+        let c = &agg.counters;
+        println!(
+            "engine {name}: {} profiled jobs, {} instrs, ipc {:.3}, mpki branch {:.2} l1d {:.2} llc {:.2}",
+            agg.jobs,
+            c.instructions,
+            c.ipc(),
+            c.branch_mpki(),
+            c.l1d_mpki(),
+            c.llc_mpki()
+        );
     }
 }
 

@@ -9,7 +9,7 @@ use obs::metrics::{HistogramSnapshot, BUCKETS};
 use serde::{Deserialize, Serialize};
 
 use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
-use crate::scheduler::{SvcStats, SvcStatsExt};
+use crate::scheduler::{EngineCounters, SvcStats, SvcStatsExt};
 use crate::store::StoreStats;
 use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter};
 
@@ -20,7 +20,11 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   carry no version field, and none of those messages changed).
 /// - v2: adds `StatsExt` (request tag 6, response tag 7) with queue
 ///   depth, worker utilization, and latency histogram snapshots.
-pub const PROTO_VERSION: u16 = 2;
+/// - v3: histogram snapshots carry exact `min_ns`/`max_ns`, and the
+///   `StatsExt` reply ends with per-engine simulated-counter
+///   aggregates (jobs + the ten perf-stat counters). Decoding still
+///   accepts v2 frames: the extras default to zero/empty.
+pub const PROTO_VERSION: u16 = 3;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -281,6 +285,9 @@ fn decode_stats(r: &mut WireReader<'_>) -> Result<SvcStats, WireError> {
 fn encode_histogram(w: &mut WireWriter, h: &HistogramSnapshot) {
     w.u64(h.count);
     w.u64(h.sum_ns);
+    // v3: exact extremes travel alongside the bucketed shape.
+    w.u64(h.min_ns);
+    w.u64(h.max_ns);
     let nonzero: Vec<(usize, u64)> = h
         .buckets
         .iter()
@@ -295,12 +302,19 @@ fn encode_histogram(w: &mut WireWriter, h: &HistogramSnapshot) {
     }
 }
 
-fn decode_histogram(r: &mut WireReader<'_>) -> Result<HistogramSnapshot, WireError> {
+fn decode_histogram(r: &mut WireReader<'_>, version: u16) -> Result<HistogramSnapshot, WireError> {
     let count = r.u64()?;
     let sum_ns = r.u64()?;
+    let (min_ns, max_ns) = if version >= 3 {
+        (r.u64()?, r.u64()?)
+    } else {
+        (0, 0)
+    };
     let mut snapshot = HistogramSnapshot {
         count,
         sum_ns,
+        min_ns,
+        max_ns,
         ..HistogramSnapshot::default()
     };
     let n = r.u32()?;
@@ -330,11 +344,18 @@ fn encode_stats_ext(w: &mut WireWriter, s: &SvcStatsExt) {
         w.u8(*code);
         encode_histogram(w, h);
     }
+    // v3: per-engine simulated-counter aggregates.
+    w.u32(s.engine_counters.len() as u32);
+    for (code, agg) in &s.engine_counters {
+        w.u8(*code);
+        w.u64(agg.jobs);
+        encode_counters(w, &agg.counters);
+    }
 }
 
 fn decode_stats_ext(r: &mut WireReader<'_>) -> Result<SvcStatsExt, WireError> {
     let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
-    if version != PROTO_VERSION {
+    if !(2..=PROTO_VERSION).contains(&version) {
         return Err(bad("unsupported stats-ext version"));
     }
     let base = decode_stats(r)?;
@@ -342,13 +363,26 @@ fn decode_stats_ext(r: &mut WireReader<'_>) -> Result<SvcStatsExt, WireError> {
     let workers = r.u64()?;
     let uptime_s = r.f64()?;
     let busy_s = r.f64()?;
-    let queue_wait = decode_histogram(r)?;
+    let queue_wait = decode_histogram(r, version)?;
     let n = r.u32()?;
     let mut engine_wall = Vec::with_capacity(n.min(64) as usize);
     for _ in 0..n {
         let code = r.u8()?;
-        engine_wall.push((code, decode_histogram(r)?));
+        engine_wall.push((code, decode_histogram(r, version)?));
     }
+    let engine_counters = if version >= 3 {
+        let n = r.u32()?;
+        let mut aggs = Vec::with_capacity(n.min(64) as usize);
+        for _ in 0..n {
+            let code = r.u8()?;
+            let jobs = r.u64()?;
+            let counters = decode_counters(r)?;
+            aggs.push((code, EngineCounters { jobs, counters }));
+        }
+        aggs
+    } else {
+        Vec::new()
+    };
     Ok(SvcStatsExt {
         base,
         queue_depth,
@@ -357,6 +391,7 @@ fn decode_stats_ext(r: &mut WireReader<'_>) -> Result<SvcStatsExt, WireError> {
         busy_s,
         queue_wait,
         engine_wall,
+        engine_counters,
     })
 }
 
@@ -548,6 +583,8 @@ mod tests {
         wall.buckets[BUCKETS - 1] = 2;
         wall.count = 2;
         wall.sum_ns = u64::MAX / 2;
+        wall.min_ns = 17;
+        wall.max_ns = u64::MAX / 4;
         SvcStatsExt {
             base: SvcStats {
                 submitted: 7,
@@ -561,6 +598,19 @@ mod tests {
             busy_s: 9.25,
             queue_wait,
             engine_wall: vec![(0, wall.clone()), (3, wall)],
+            engine_counters: vec![(
+                3,
+                EngineCounters {
+                    jobs: 2,
+                    counters: archsim::Counters {
+                        instructions: 1_000,
+                        cycles: 2_500,
+                        branches: 120,
+                        branch_misses: 6,
+                        ..Default::default()
+                    },
+                },
+            )],
         }
     }
 
@@ -577,6 +627,7 @@ mod tests {
             busy_s: 0.0,
             queue_wait: HistogramSnapshot::default(),
             engine_wall: Vec::new(),
+            engine_counters: Vec::new(),
         }));
         assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
     }
@@ -607,13 +658,57 @@ mod tests {
         w.f64(0.0);
         w.f64(0.0);
         // queue_wait histogram with an out-of-range bucket index.
-        w.u64(1);
-        w.u64(1);
+        w.u64(1); // count
+        w.u64(1); // sum_ns
+        w.u64(1); // min_ns (v3)
+        w.u64(1); // max_ns (v3)
         w.u32(1);
         w.u8(BUCKETS as u8); // one past the last valid index
         w.u64(1);
         w.u32(0); // no engine histograms
+        w.u32(0); // no engine counters
         assert!(Response::decode(&w.finish()).is_err());
+    }
+
+    /// A v2 server's `StatsExt` frame (no histogram extremes, no
+    /// engine-counter trailer) must still decode; the v3-only fields
+    /// come back zeroed/empty.
+    #[test]
+    fn stats_ext_decodes_legacy_v2_frames() {
+        let mut w = WireWriter::new();
+        w.u8(7);
+        w.u8(2); // version 2, little-endian
+        w.u8(0);
+        encode_stats(&mut w, &SvcStats::default());
+        w.u64(3); // queue_depth
+        w.u64(2); // workers
+        w.f64(1.5);
+        w.f64(0.75);
+        // v2 queue_wait histogram: count, sum, sparse pairs — no extremes.
+        w.u64(4);
+        w.u64(900);
+        w.u32(1);
+        w.u8(5);
+        w.u64(4);
+        // One engine histogram, also v2-shaped.
+        w.u32(1);
+        w.u8(2);
+        w.u64(1);
+        w.u64(250);
+        w.u32(1);
+        w.u8(9);
+        w.u64(1);
+        // No engine-counter trailer in v2.
+        let resp = Response::decode(&w.finish()).expect("legacy v2 frame decodes");
+        let Response::StatsExt(ext) = resp else {
+            panic!("expected StatsExt");
+        };
+        assert_eq!(ext.queue_depth, 3);
+        assert_eq!(ext.queue_wait.count, 4);
+        assert_eq!(ext.queue_wait.min_ns, 0);
+        assert_eq!(ext.queue_wait.max_ns, 0);
+        assert_eq!(ext.engine_wall.len(), 1);
+        assert!(ext.engine_counters.is_empty());
     }
 
     /// The v1 `Stats` message must stay byte-identical so old clients

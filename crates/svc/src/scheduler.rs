@@ -99,9 +99,24 @@ impl SvcStats {
     }
 }
 
+/// Summed simulated counters from an engine's successful profiled jobs.
+///
+/// IPC/MPKI figures derive from the summed [`archsim::Counters`], so a
+/// daemon can report per-engine architectural behavior live (`stats-ext`)
+/// without retaining per-job results.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineCounters {
+    /// Profiled jobs folded in.
+    pub jobs: u64,
+    /// Field-wise sums of those jobs' counters.
+    pub counters: archsim::Counters,
+}
+
 /// Extended statistics: everything in [`SvcStats`] plus queue and
 /// latency observability. Served over the wire by the `StatsExt`
-/// protocol message (protocol v2); the base `Stats` reply is unchanged.
+/// protocol message (protocol v2; v3 adds exact histogram extremes and
+/// the per-engine counter aggregates); the base `Stats` reply is
+/// unchanged.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SvcStatsExt {
     /// The classic counters (wire-compatible with protocol v1).
@@ -119,6 +134,10 @@ pub struct SvcStatsExt {
     /// Per-engine job wall-time distributions, keyed by
     /// [`engines::EngineKind::code`], sorted by code.
     pub engine_wall: Vec<(u8, HistogramSnapshot)>,
+    /// Per-engine simulated counter aggregates from profiled jobs,
+    /// keyed by [`engines::EngineKind::code`], sorted by code. Empty
+    /// until a `Profiled` job succeeds (and when talking to a v2 peer).
+    pub engine_counters: Vec<(u8, EngineCounters)>,
 }
 
 impl SvcStatsExt {
@@ -149,6 +168,7 @@ struct Inner {
     busy_ns: AtomicU64,
     queue_wait: Histogram,
     engine_wall: Mutex<HashMap<u8, Arc<Histogram>>>,
+    engine_counters: Mutex<HashMap<u8, EngineCounters>>,
 }
 
 /// The running scheduler: submit jobs, poll/wait for results.
@@ -193,6 +213,7 @@ impl Scheduler {
             busy_ns: AtomicU64::new(0),
             queue_wait: Histogram::default(),
             engine_wall: Mutex::new(HashMap::new()),
+            engine_counters: Mutex::new(HashMap::new()),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -291,6 +312,15 @@ impl Scheduler {
             .map(|(code, h)| (*code, h.snapshot()))
             .collect();
         engine_wall.sort_by_key(|(code, _)| *code);
+        let mut engine_counters: Vec<(u8, EngineCounters)> = self
+            .inner
+            .engine_counters
+            .lock()
+            .expect("engine counters lock")
+            .iter()
+            .map(|(code, agg)| (*code, *agg))
+            .collect();
+        engine_counters.sort_by_key(|(code, _)| *code);
         SvcStatsExt {
             base,
             queue_depth,
@@ -299,6 +329,7 @@ impl Scheduler {
             busy_s: self.inner.busy_ns.load(Ordering::Relaxed) as f64 / 1e9,
             queue_wait: self.inner.queue_wait.snapshot(),
             engine_wall,
+            engine_counters,
         }
     }
 
@@ -370,6 +401,14 @@ fn worker_loop(inner: &Arc<Inner>) {
             .entry(spec.engine.code())
             .or_default()
             .observe_ns((result.wall_s * 1e9) as u64);
+        if result.ok() {
+            if let Some(c) = &result.counters {
+                let mut aggs = inner.engine_counters.lock().expect("engine counters lock");
+                let agg = aggs.entry(spec.engine.code()).or_default();
+                agg.jobs += 1;
+                agg.counters.accumulate(c);
+            }
+        }
         {
             let mut stats = inner.stats.lock().expect("stats lock");
             stats.completed += 1;
@@ -491,6 +530,43 @@ mod tests {
         assert_eq!(ext.queue_wait.quantile_ns(0.99), 0);
         assert_eq!(ext.queue_wait.mean_ns(), 0.0);
         assert!(ext.engine_wall.is_empty());
+        assert!(ext.engine_counters.is_empty());
+        sched.shutdown();
+    }
+
+    /// Profiled jobs fold their simulated counters into per-engine
+    /// aggregates; plain exec jobs do not contribute.
+    #[test]
+    fn profiled_jobs_aggregate_engine_counters() {
+        let sched = Scheduler::start(Config {
+            workers: 2,
+            ..Config::default()
+        })
+        .unwrap();
+        let profiled = |_| JobSpec {
+            mode: JobMode::Profiled,
+            ..JobSpec::exec("crc32", EngineKind::Wamr, OptLevel::O1, Scale::Test)
+        };
+        sched.submit(profiled(0));
+        sched.submit(profiled(1));
+        sched.submit(JobSpec::exec(
+            "crc32",
+            EngineKind::Wasm3,
+            OptLevel::O1,
+            Scale::Test,
+        ));
+        let results = sched.drain_sorted();
+        assert!(results.iter().all(JobResult::ok));
+        let per_job = results[0].counters.expect("profiled job has counters");
+        let ext = sched.stats_ext();
+        assert_eq!(ext.engine_counters.len(), 1, "exec job must not appear");
+        let (code, agg) = ext.engine_counters[0];
+        assert_eq!(code, EngineKind::Wamr.code());
+        assert_eq!(agg.jobs, 2);
+        // Same spec twice on a deterministic simulator: the sum is
+        // exactly twice one job's counters.
+        assert_eq!(agg.counters.instructions, 2 * per_job.instructions);
+        assert!(agg.counters.ipc() > 0.0);
         sched.shutdown();
     }
 

@@ -8,6 +8,9 @@
 #   4. wabench-lint over crates/suite/programs (exits nonzero on findings)
 #   5. wabench-served smoke: socket round-trip, 3 jobs cold + 3 warm,
 #      asserting warm artifact loads beat cold compiles
+#   6. trace smoke: span capture -> Chrome trace -> validator
+#   7. prof smoke: record a baseline, diff it clean, prove the gate
+#      fires under a synthetic 2x slowdown, and round-trip folded stacks
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -45,5 +48,27 @@ cargo run -q --release -p wabench-harness --bin wabench-run -- \
     crc32 --jobs 2 --trace-out "$trace_tmp/trace.json" > /dev/null
 cargo run -q --release -p wabench-obs --bin wabench-trace-check -- \
     "$trace_tmp/trace.json"
+
+step "prof smoke (baseline record -> clean diff -> slowdown gate -> folded export)"
+prof=./target/release/wabench-prof
+cargo build -q --release -p wabench-prof
+"$prof" record --out "$trace_tmp/base.jsonl" \
+    --bench crc32 --engine wasm3 --engine wamr --level O1 --reps 3
+# An unchanged tree must diff clean...
+"$prof" diff --base "$trace_tmp/base.jsonl"
+# ...and the gate must actually fire when runs slow down 2x (the
+# synthetic-slowdown hook); a diff that cannot fail guards nothing.
+if WABENCH_PROF_SLOWDOWN=2 "$prof" diff --base "$trace_tmp/base.jsonl" > "$trace_tmp/diff.out"; then
+    echo "prof smoke FAILED: 2x slowdown did not trip the regression gate" >&2
+    exit 1
+fi
+grep -q "REGRESSION" "$trace_tmp/diff.out"
+# Folded stacks from a 4-worker scheduler run parse and agree with the
+# Chrome exporter (depth cross-check lives in the prof test suite).
+"$prof" fold --out "$trace_tmp/stacks.folded" --bench crc32 --level O1 --workers 4 \
+    --chrome "$trace_tmp/prof-trace.json"
+cargo run -q --release -p wabench-obs --bin wabench-trace-check -- \
+    "$trace_tmp/prof-trace.json"
+test -s "$trace_tmp/stacks.folded"
 
 step "verify OK"
