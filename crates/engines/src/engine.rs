@@ -251,6 +251,7 @@ impl Engine {
     /// Returns decode or validation errors for malformed modules.
     pub fn compile(&self, bytes: &[u8]) -> Result<CompiledModule, EngineError> {
         let _span = obs::span!("engine.compile", engine = self.kind.name());
+        crate::faultpoint::check(self.kind, bytes)?;
         let t0 = std::time::Instant::now();
         let module = {
             let _s = obs::span!("engine.decode");

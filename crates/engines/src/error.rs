@@ -89,6 +89,9 @@ pub enum EngineError {
     Trap(Trap),
     /// An AOT artifact was malformed or built by a different engine.
     BadArtifact(String),
+    /// A deterministic fault-injection hook vetoed the operation (chaos
+    /// testing only; never produced on a clean run).
+    Injected(String),
 }
 
 impl fmt::Display for EngineError {
@@ -99,6 +102,7 @@ impl fmt::Display for EngineError {
             EngineError::Link(e) => write!(f, "{e}"),
             EngineError::Trap(t) => write!(f, "trap: {t}"),
             EngineError::BadArtifact(m) => write!(f, "bad AOT artifact: {m}"),
+            EngineError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }
@@ -110,7 +114,7 @@ impl Error for EngineError {
             EngineError::Validate(e) => Some(e),
             EngineError::Link(e) => Some(e),
             EngineError::Trap(t) => Some(t),
-            EngineError::BadArtifact(_) => None,
+            EngineError::BadArtifact(_) | EngineError::Injected(_) => None,
         }
     }
 }

@@ -1,0 +1,97 @@
+//! Fallible-compile hook: a thread-local injection point that lets a
+//! host (the wabench service under a fault plan) make
+//! [`Engine::compile`](crate::Engine::compile) fail deterministically
+//! for chosen `(engine, module)` pairs.
+//!
+//! The hook is thread-local and scoped: installing returns an RAII
+//! guard, and the hook is only consulted on the installing thread while
+//! the guard lives. Code that never installs one — the serial harness
+//! runner, unit tests, every measurement path — pays one thread-local
+//! read per compile and can never observe an injected failure.
+
+use std::cell::RefCell;
+
+use crate::engine::EngineKind;
+use crate::error::EngineError;
+
+type Hook = Box<dyn Fn(EngineKind, &[u8]) -> Option<String>>;
+
+thread_local! {
+    static HOOK: RefCell<Option<Hook>> = const { RefCell::new(None) };
+}
+
+/// RAII guard for an installed compile-fault hook; dropping it
+/// uninstalls the hook from the current thread.
+#[derive(Debug)]
+pub struct ScopedCompileFault {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl ScopedCompileFault {
+    /// Installs `hook` on the current thread, replacing any previous
+    /// hook. The hook returns `Some(reason)` to fail a compile.
+    pub fn install(hook: impl Fn(EngineKind, &[u8]) -> Option<String> + 'static) -> ScopedCompileFault {
+        HOOK.with(|h| *h.borrow_mut() = Some(Box::new(hook)));
+        ScopedCompileFault {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+}
+
+impl Drop for ScopedCompileFault {
+    fn drop(&mut self) {
+        HOOK.with(|h| *h.borrow_mut() = None);
+    }
+}
+
+/// Consulted at the top of `Engine::compile`; `Err` when the installed
+/// hook (if any) vetoes this compile.
+pub(crate) fn check(kind: EngineKind, bytes: &[u8]) -> Result<(), EngineError> {
+    let verdict = HOOK.with(|h| h.borrow().as_ref().and_then(|hook| hook(kind, bytes)));
+    match verdict {
+        Some(reason) => Err(EngineError::Injected(reason)),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+
+    /// A minimal valid empty module: magic + version.
+    const EMPTY_WASM: &[u8] = &[0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+
+    #[test]
+    fn hook_is_scoped_and_selective() {
+        let jit = Engine::new(EngineKind::Wasmtime);
+        let interp = Engine::new(EngineKind::Wasm3);
+        assert!(jit.compile(EMPTY_WASM).is_ok(), "no hook: clean compile");
+        {
+            let _guard = ScopedCompileFault::install(|kind, _bytes| {
+                kind.tier()
+                    .is_some()
+                    .then(|| format!("injected compile failure ({})", kind.name()))
+            });
+            let err = jit.compile(EMPTY_WASM).expect_err("hook vetoes JITs");
+            assert!(matches!(err, EngineError::Injected(_)), "{err}");
+            assert!(err.to_string().contains("injected"));
+            assert!(
+                interp.compile(EMPTY_WASM).is_ok(),
+                "hook passes interpreters through"
+            );
+        }
+        assert!(jit.compile(EMPTY_WASM).is_ok(), "guard dropped: hook gone");
+    }
+
+    #[test]
+    fn hook_does_not_leak_across_threads() {
+        let _guard = ScopedCompileFault::install(|_, _| Some("always".to_string()));
+        std::thread::spawn(|| {
+            let engine = Engine::new(EngineKind::Wasmtime);
+            assert!(engine.compile(EMPTY_WASM).is_ok());
+        })
+        .join()
+        .unwrap();
+    }
+}

@@ -21,6 +21,7 @@
 pub mod account;
 pub mod engine;
 pub mod error;
+pub mod faultpoint;
 pub mod interp;
 pub mod jit;
 pub mod memory;

@@ -190,6 +190,7 @@ fn run_bench(opts: &Opts, b: &'static suite::Benchmark) -> i32 {
             timeout: Duration::from_secs(600),
             store_dir: None,
             store_cap_bytes: 0,
+            ..Config::default()
         }) {
             Ok(s) => s,
             Err(e) => {

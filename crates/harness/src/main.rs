@@ -7,12 +7,21 @@
 //! With `--jobs N` (N > 1) the measurement matrix first runs through the
 //! `wabench-svc` scheduler on N workers, then the tables are assembled
 //! serially from the primed results — same rows, same order.
+//!
+//! `--faults PLAN` (or `WABENCH_FAULTS`) arms deterministic fault
+//! injection in the warm pass for chaos testing: failed and degraded
+//! cells are skipped and recomputed cleanly by the serial pass, so
+//! output tables are unaffected. A greppable `resilience:` summary line
+//! reports what was injected and recovered. `--store DIR` gives the
+//! warm pass an on-disk artifact store (reusing a directory across runs
+//! exercises corruption detection/repair).
 
+use harness::parallel::WarmOptions;
 use harness::runner::Scale;
 use harness::{experiment_list, is_simulated, resolve_alias};
 
 const USAGE: &str =
-    "usage: wabench-harness <fig1..fig14|table4|table5|all> [--scale test|profile|timing] [--jobs N] [--out FILE] [--trace-out FILE] [--report]";
+    "usage: wabench-harness <fig1..fig14|table4|table5|all> [--scale test|profile|timing] [--jobs N] [--out FILE] [--trace-out FILE] [--report] [--faults PLAN] [--store DIR]";
 
 fn usage_exit() -> ! {
     obs::error!("{USAGE}");
@@ -55,6 +64,8 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut self_report = false;
     let mut jobs = 1usize;
+    let mut faults_arg: Option<String> = None;
+    let mut store_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +75,8 @@ fn main() {
                 trace_out = Some(flag_value(&args, &mut i, "--trace-out").to_string())
             }
             "--report" => self_report = true,
+            "--faults" => faults_arg = Some(flag_value(&args, &mut i, "--faults").to_string()),
+            "--store" => store_dir = Some(flag_value(&args, &mut i, "--store").to_string()),
             "--jobs" => {
                 jobs = flag_value(&args, &mut i, "--jobs")
                     .parse()
@@ -109,11 +122,53 @@ fn main() {
         }
     };
 
+    let faults = {
+        let parsed = match &faults_arg {
+            Some(spec) => fault::FaultPlan::parse(spec).map(Some),
+            None => fault::FaultPlan::from_env(),
+        };
+        parsed
+            .unwrap_or_else(|e| {
+                obs::error!("bad fault plan: {e}");
+                usage_exit();
+            })
+            .map(std::sync::Arc::new)
+    };
+    if faults.is_some() && jobs <= 1 {
+        obs::warn!("--faults only affects the parallel warm pass; use --jobs N (N > 1)");
+    }
+
     if jobs > 1 {
         let matrix: Vec<(&str, Scale)> = ids.iter().map(|id| (*id, scale_for(id))).collect();
         obs::info!("warming measurement matrix on {jobs} workers...");
-        let n = harness::parallel::warm_matrix(&matrix, jobs);
-        obs::info!("warmed {n} measurements");
+        if let Some(plan) = &faults {
+            obs::warn!("chaos mode: fault injection armed: {plan}");
+        }
+        let summary = harness::parallel::warm_matrix_opts(
+            &matrix,
+            &WarmOptions {
+                jobs,
+                faults: faults.clone(),
+                store_dir: store_dir.as_ref().map(std::path::PathBuf::from),
+            },
+        );
+        obs::info!("warmed {} of {} measurements", summary.primed, summary.jobs);
+        if faults.is_some() {
+            // One greppable line the chaos smoke asserts against.
+            let r = &summary.resilience;
+            println!(
+                "resilience: jobs={} primed={} degraded={} failed={} retries={} fallbacks={} repairs={} breaker_fast_fails={} injected={}",
+                summary.jobs,
+                summary.primed,
+                summary.degraded.len(),
+                summary.failed.len(),
+                r.retries,
+                r.compile_fallbacks,
+                r.store_repairs,
+                r.breaker_fast_fails,
+                summary.injected
+            );
+        }
     }
 
     let mut output = String::new();

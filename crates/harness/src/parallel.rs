@@ -13,11 +13,14 @@
 //! deterministic.
 
 use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use engines::{Backend, EngineKind};
+use fault::FaultPlan;
 use svc::job::{JobMode, JobSpec};
-use svc::scheduler::{Config, Scheduler};
+use svc::scheduler::{Config, ResilienceStats, Scheduler};
 use wacc::OptLevel;
 
 use crate::runner::{self, ExecTime, Scale};
@@ -107,6 +110,46 @@ fn specs_for(id: &str, scale: Scale, seen: &mut HashSet<(String, u8, u8, u8)>) -
     out
 }
 
+/// Options for [`warm_matrix_opts`]: worker count plus the resilience
+/// knobs the chaos path uses.
+#[derive(Debug, Clone, Default)]
+pub struct WarmOptions {
+    /// Scheduler worker threads.
+    pub jobs: usize,
+    /// Deterministic fault-injection plan (chaos mode). With a plan
+    /// armed, failed and degraded cells are *skipped* instead of
+    /// aborting the run — the serial pass recomputes them cleanly, so
+    /// figures stay bit-identical to a fault-free run.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Artifact-store directory for the warm pass (`None` = in-memory
+    /// only). Reusing a directory across runs exercises store
+    /// corruption detection and repair.
+    pub store_dir: Option<PathBuf>,
+}
+
+/// What a warm pass did: how much of the matrix was primed, which cells
+/// were recovered-but-degraded or failed (left for the serial path),
+/// and the scheduler's resilience counters.
+#[derive(Debug, Clone, Default)]
+pub struct WarmSummary {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Results primed into the serial runner caches.
+    pub primed: usize,
+    /// Cells that succeeded through a degradation path (interpreter
+    /// fallback); never primed, so the serial pass remeasures them.
+    pub degraded: Vec<String>,
+    /// Cells that failed even after retries; the serial pass recomputes
+    /// them from scratch.
+    pub failed: Vec<String>,
+    /// Scheduler resilience counters (retries, fallbacks, repairs,
+    /// breaker fast-fails).
+    pub resilience: ResilienceStats,
+    /// Total faults the plan injected across all sites (0 without a
+    /// plan).
+    pub injected: u64,
+}
+
 /// Runs the measurement matrices for `ids` through a `jobs`-worker
 /// scheduler and primes the serial runner caches with every result.
 /// Returns the number of jobs executed.
@@ -116,20 +159,45 @@ fn specs_for(id: &str, scale: Scale, seen: &mut HashSet<(String, u8, u8, u8)>) -
 /// Panics if any job fails — a failed measurement (bad compile, wrong
 /// checksum) would also abort a serial run, just later.
 pub fn warm_matrix(ids: &[(&str, Scale)], jobs: usize) -> usize {
-    let _span = obs::span!("harness.warm_matrix", jobs = jobs, figures = ids.len());
+    warm_matrix_opts(
+        ids,
+        &WarmOptions {
+            jobs,
+            ..WarmOptions::default()
+        },
+    )
+    .jobs
+}
+
+/// [`warm_matrix`] with resilience options. Only *clean* results prime
+/// the serial caches: degraded cells measured the wrong tier and failed
+/// cells produced nothing, so both are skipped and the serial pass
+/// recomputes them — output tables stay correct (and simulated figures
+/// bit-identical) under any fault plan.
+///
+/// # Panics
+///
+/// Without a fault plan, panics if any job fails (matching
+/// [`warm_matrix`]). With a plan armed, failures are expected and
+/// reported in the summary instead.
+pub fn warm_matrix_opts(ids: &[(&str, Scale)], opts: &WarmOptions) -> WarmSummary {
+    let _span = obs::span!("harness.warm_matrix", jobs = opts.jobs, figures = ids.len());
     let mut seen = HashSet::new();
     let mut specs = Vec::new();
     for (id, scale) in ids {
         specs.extend(specs_for(id, *scale, &mut seen));
     }
+    let mut summary = WarmSummary::default();
     if specs.is_empty() {
-        return 0;
+        return summary;
     }
     let sched = Scheduler::start(Config {
-        workers: jobs,
+        workers: opts.jobs,
         timeout: Duration::from_secs(600),
-        store_dir: None,
-        store_cap_bytes: 0,
+        store_dir: opts.store_dir.clone(),
+        store_cap_bytes: if opts.store_dir.is_some() { 256 << 20 } else { 0 },
+        faults: opts.faults.clone(),
+        ..Config::default()
     })
     .expect("start scheduler");
     for spec in &specs {
@@ -143,14 +211,26 @@ pub fn warm_matrix(ids: &[(&str, Scale)], jobs: usize) -> usize {
             runner::prime_wasm_bytes(b.name, level, bytes);
         }
     }
-    let total = results.len();
+    summary.jobs = results.len();
     for res in results {
-        assert!(
-            res.ok(),
-            "parallel job failed: {} — {:?}",
-            res.spec,
-            res.status
-        );
+        if !res.ok() {
+            assert!(
+                opts.faults.is_some(),
+                "parallel job failed: {} — {:?}",
+                res.spec,
+                res.status
+            );
+            obs::warn!("chaos: job failed, serial pass will recompute: {}", res.spec);
+            summary.failed.push(res.spec.to_string());
+            continue;
+        }
+        if res.degraded() {
+            // Correct checksum, wrong tier: the timings would poison the
+            // figure, so leave the cell for the clean serial pass.
+            obs::warn!("chaos: degraded cell not primed: {}", res.spec);
+            summary.degraded.push(res.spec.to_string());
+            continue;
+        }
         let b = suite::by_name(&res.spec.benchmark).expect("job benchmark registered");
         let n = res.spec.scale.arg(b);
         match res.spec.mode {
@@ -185,10 +265,13 @@ pub fn warm_matrix(ids: &[(&str, Scale)], jobs: usize) -> usize {
                 n,
                 res.counters.expect("profiled job reports counters"),
             ),
-            JobMode::SelfTestPanic | JobMode::SelfTestHang => {}
+            JobMode::SelfTestPanic | JobMode::SelfTestHang | JobMode::SelfTestFlaky => {}
         }
+        summary.primed += 1;
     }
-    total
+    summary.resilience = sched.resilience();
+    summary.injected = opts.faults.as_ref().map_or(0, |p| p.injected_total());
+    summary
 }
 
 #[cfg(test)]

@@ -107,6 +107,7 @@ fn chrome_trace_round_trips_under_workers() {
         timeout: Duration::from_secs(120),
         store_dir: None,
         store_cap_bytes: 0,
+        ..Config::default()
     })
     .expect("start scheduler");
     for kind in [

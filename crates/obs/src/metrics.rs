@@ -276,6 +276,24 @@ pub fn snapshot() -> Vec<(String, MetricValue)> {
     out
 }
 
+/// Snapshots every registered *counter* whose name starts with
+/// `prefix`, sorted by name. The resilience layer registers its
+/// counters under `svc.`/`fault.` prefixes, so dashboards and tests can
+/// pull one subsystem without walking the whole registry.
+pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
+    let reg = registry().lock().expect("metrics registry");
+    let mut out: Vec<(String, u64)> = reg
+        .iter()
+        .filter(|(name, _)| name.starts_with(prefix))
+        .filter_map(|(name, m)| match m {
+            Metric::Counter(c) => Some((name.clone(), c.get())),
+            Metric::Histogram(_) => None,
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
 /// Renders the full registry as an aligned plain-text block.
 pub fn render() -> String {
     let snap = snapshot();
@@ -379,6 +397,23 @@ mod tests {
         assert_eq!(histogram("test.reg.hist").snapshot().count, 1);
         let snap = snapshot();
         assert!(snap.iter().any(|(n, _)| n == "test.reg.counter"));
+    }
+
+    #[test]
+    fn prefix_filter_selects_counters_only() {
+        counter("test.prefix.a").add(1);
+        counter("test.prefix.b").add(2);
+        counter("test.other").add(9);
+        histogram("test.prefix.hist").observe_ns(1_000);
+        let got = counters_with_prefix("test.prefix.");
+        assert_eq!(
+            got,
+            vec![
+                ("test.prefix.a".to_string(), 1),
+                ("test.prefix.b".to_string(), 2),
+            ]
+        );
+        assert!(counters_with_prefix("test.nope.").is_empty());
     }
 
     #[test]

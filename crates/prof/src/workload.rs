@@ -70,6 +70,7 @@ fn run_matrix(spec: &WorkloadSpec) -> Result<(), String> {
         timeout: Duration::from_secs(300),
         store_dir: None,
         store_cap_bytes: 0,
+        ..Config::default()
     })
     .map_err(|e| format!("start scheduler: {e}"))?;
     for bench in &spec.benches {

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! wabench-served serve  --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S]
+//!                       [--faults PLAN]
 //! wabench-served submit --socket PATH --bench NAME [--engine E] [--level O0..O3]
 //!                       [--scale test|profile|timing] [--mode exec|aot|profiled] [--warm]
 //! wabench-served stats  --socket PATH
 //! wabench-served stats-ext --socket PATH
+//! wabench-served health --socket PATH
 //! wabench-served shutdown --socket PATH
 //! wabench-served smoke  [--dir DIR] [--jobs N]
 //! ```
@@ -15,6 +17,12 @@
 //! latency histograms (min/p50/p95/p99/max), and — once profiled jobs
 //! have run — per-engine simulated IPC/MPKI aggregates. Older servers
 //! answer `Err` (v1) or omit the v3 fields (v2).
+//!
+//! `health` speaks protocol v4: resilience counters (retries,
+//! interpreter fallbacks, store repairs, breaker fast-fails), circuit
+//! breaker states per engine, and any active fault-injection sites.
+//! `--faults PLAN` (or the `WABENCH_FAULTS` env var) arms deterministic
+//! fault injection for chaos testing; see `docs/OPERATIONS.md`.
 //!
 //! `smoke` is self-contained: it starts a scheduler + server on a
 //! scratch socket, drives it through a real client twice — a cold pass
@@ -30,20 +38,24 @@ use std::time::Duration;
 
 use engines::EngineKind;
 use svc::job::{JobMode, JobSpec, Scale};
-use svc::scheduler::{Config, Scheduler, SvcStats, SvcStatsExt};
+use svc::scheduler::{Config, HealthReport, Scheduler, SvcStats, SvcStatsExt};
 use svc::server::{serve, Client};
 use wacc::OptLevel;
 
 fn usage() -> ! {
     obs::error!(
-        "usage: wabench-served <serve|submit|stats|stats-ext|shutdown|smoke> [options]\n\
+        "usage: wabench-served <serve|submit|stats|stats-ext|health|shutdown|smoke> [options]\n\
          \n\
-         serve     --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S] [--trace-out FILE]\n\
+         serve     --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S] [--trace-out FILE] [--faults PLAN]\n\
          submit    --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
          stats     --socket PATH\n\
          stats-ext --socket PATH\n\
+         health    --socket PATH\n\
          shutdown  --socket PATH\n\
-         smoke     [--dir DIR] [--jobs N]"
+         smoke     [--dir DIR] [--jobs N]\n\
+         \n\
+         PLAN is a comma list like 'seed=7,compile=0.05,store.read=0.02'\n\
+         (also read from WABENCH_FAULTS; see docs/OPERATIONS.md)"
     );
     exit(2);
 }
@@ -77,6 +89,7 @@ struct Opts {
     dir: Option<PathBuf>,
     jobs: usize,
     trace_out: Option<PathBuf>,
+    faults: Option<String>,
 }
 
 impl Opts {
@@ -96,6 +109,7 @@ impl Opts {
             dir: None,
             jobs: 4,
             trace_out: None,
+            faults: None,
         }
     }
 }
@@ -177,6 +191,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--trace-out" => {
                 o.trace_out = Some(PathBuf::from(take_value(args, &mut i, "--trace-out")))
             }
+            "--faults" => o.faults = Some(take_value(args, &mut i, "--faults")),
             "--dir" => o.dir = Some(PathBuf::from(take_value(args, &mut i, "--dir"))),
             "--jobs" => {
                 o.jobs = take_value(args, &mut i, "--jobs")
@@ -255,6 +270,33 @@ fn print_stats_ext(s: &SvcStatsExt) {
     }
 }
 
+fn print_health(h: &HealthReport) {
+    let r = &h.resilience;
+    println!(
+        "resilience: {} retries, {} interpreter fallbacks, {} store repairs, {} breaker fast-fails",
+        r.retries, r.compile_fallbacks, r.store_repairs, r.breaker_fast_fails
+    );
+    if h.breakers.is_empty() {
+        println!("breakers: none (no jobs yet)");
+    }
+    for (code, b) in &h.breakers {
+        let name = EngineKind::from_code(*code).map_or("unknown", |k| k.name());
+        println!(
+            "breaker {name}: {} ({} consecutive failures, {} trips)",
+            b.state.name(),
+            b.consecutive_failures,
+            b.trips
+        );
+    }
+    if h.faults.is_empty() {
+        println!("faults: none armed");
+    }
+    for (site, rate, injected) in &h.faults {
+        let name = fault::Site::from_code(*site).map_or("unknown", |s| s.key());
+        println!("fault {name}: rate {rate} ({injected} injected)");
+    }
+}
+
 fn print_result(res: &svc::JobResult) {
     println!(
         "job {} [{}]: {:?} checksum={:?} compile {:.3}ms{} exec {:.3}ms wall {:.3}ms",
@@ -269,16 +311,37 @@ fn print_result(res: &svc::JobResult) {
     );
 }
 
+/// Resolves the fault plan: `--faults` wins, else `WABENCH_FAULTS`,
+/// else none. A malformed plan is a usage error.
+fn fault_plan(o: &Opts) -> Option<Arc<fault::FaultPlan>> {
+    let parsed = match &o.faults {
+        Some(spec) => fault::FaultPlan::parse(spec).map(Some),
+        None => fault::FaultPlan::from_env(),
+    };
+    parsed
+        .unwrap_or_else(|e| {
+            obs::error!("bad fault plan: {e}");
+            usage();
+        })
+        .map(Arc::new)
+}
+
 fn cmd_serve(o: &Opts) {
     let socket = need_socket(o);
     if o.trace_out.is_some() {
         obs::trace::install(obs::trace::Sink::Ring);
+    }
+    let faults = fault_plan(o);
+    if let Some(plan) = &faults {
+        obs::warn!("fault injection armed: {plan}");
     }
     let sched = Scheduler::start(Config {
         workers: o.workers,
         timeout: Duration::from_secs(o.timeout_s),
         store_dir: o.store.clone(),
         store_cap_bytes: o.store_cap_mb << 20,
+        faults,
+        ..Config::default()
     })
     .unwrap_or_else(|e| {
         obs::error!("failed to start scheduler: {e}");
@@ -352,6 +415,15 @@ fn cmd_stats_ext(o: &Opts) {
     print_stats_ext(&client.stats_ext().expect("stats-ext"));
 }
 
+fn cmd_health(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    print_health(&client.health().expect("health"));
+}
+
 fn cmd_shutdown(o: &Opts) {
     let socket = need_socket(o);
     let mut client = Client::connect(&socket).unwrap_or_else(|e| {
@@ -393,6 +465,7 @@ fn cmd_smoke(o: &Opts) {
             timeout: Duration::from_secs(120),
             store_dir: Some(store.clone()),
             store_cap_bytes: 256 << 20,
+            ..Config::default()
         })
         .expect("start scheduler");
         let sched = Arc::new(sched);
@@ -421,6 +494,10 @@ fn cmd_smoke(o: &Opts) {
         // Exercise the protocol-v2 path over the real socket too.
         let ext = client.stats_ext().expect("stats-ext");
         assert_eq!(ext.base.completed, stats.completed, "stats-ext disagrees");
+        // And the v4 health path: no faults armed, so everything clean.
+        let health = client.health().expect("health");
+        assert_eq!(health.resilience.retries, 0, "unexpected retries in smoke");
+        assert!(health.faults.is_empty(), "no fault plan was armed");
         println!(
             "[{label}] utilization {:.1}%, queue wait {}",
             ext.utilization() * 100.0,
@@ -490,6 +567,7 @@ fn main() {
         "submit" => cmd_submit(&opts),
         "stats" => cmd_stats(&opts),
         "stats-ext" => cmd_stats_ext(&opts),
+        "health" => cmd_health(&opts),
         "shutdown" => cmd_shutdown(&opts),
         "smoke" => cmd_smoke(&opts),
         _ => usage(),

@@ -15,15 +15,17 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use engines::Engine;
+use engines::faultpoint::ScopedCompileFault;
+use engines::{Engine, EngineKind};
+use fault::{FaultPlan, Site};
 use suite::Benchmark;
 use wacc::OptLevel;
 use wasi_rt::WasiCtx;
 use wasm_core::types::Value;
 
 use crate::hash::fnv64;
-use crate::job::{JobMode, JobResult, JobSpec, JobStatus};
-use crate::store::{ArtifactKey, ArtifactStore};
+use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Recovery};
+use crate::store::{ArtifactKey, ArtifactStore, GetOutcome};
 
 /// Compiled-wasm cache shared by all workers, keyed (benchmark, level).
 type BytesCache = Mutex<HashMap<(String, OptLevel), Arc<[u8]>>>;
@@ -36,14 +38,29 @@ pub struct ExecEnv {
     /// In-memory compiled-wasm cache shared by all workers. `Arc<[u8]>`
     /// so a hit hands out a refcount bump, never a byte copy.
     pub bytes_cache: BytesCache,
+    /// Optional fault-injection plan. Only jobs executed through this
+    /// environment see injected faults — the serial harness runner never
+    /// installs one, which is what keeps its recomputations clean.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl ExecEnv {
     /// A store-less environment.
     pub fn new(store: Option<ArtifactStore>) -> ExecEnv {
+        ExecEnv::with_faults(store, None)
+    }
+
+    /// An environment with a fault plan threaded through job execution
+    /// and the artifact store.
+    pub fn with_faults(store: Option<ArtifactStore>, faults: Option<Arc<FaultPlan>>) -> ExecEnv {
+        let store = store.map(|mut s| {
+            s.set_faults(faults.clone());
+            Mutex::new(s)
+        });
         ExecEnv {
-            store: store.map(Mutex::new),
+            store,
             bytes_cache: Mutex::new(HashMap::new()),
+            faults,
         }
     }
 
@@ -59,6 +76,18 @@ impl ExecEnv {
 
     /// Compiled wasm bytes for a benchmark, via cache → store → WaCC.
     pub fn wasm_bytes(&self, b: &Benchmark, level: OptLevel) -> Result<Arc<[u8]>, String> {
+        self.wasm_bytes_recovering(b, level, &mut Recovery::default())
+    }
+
+    /// [`wasm_bytes`](Self::wasm_bytes) that additionally records store
+    /// repairs (corrupt entry detected → recompiled → written back) into
+    /// `rec`.
+    pub fn wasm_bytes_recovering(
+        &self,
+        b: &Benchmark,
+        level: OptLevel,
+        rec: &mut Recovery,
+    ) -> Result<Arc<[u8]>, String> {
         let key = (b.name.to_string(), level);
         if let Some(hit) = self.bytes_cache.lock().expect("bytes cache lock").get(&key) {
             return Ok(hit.clone());
@@ -67,12 +96,15 @@ impl ExecEnv {
             Some(store) => {
                 let skey = ArtifactKey::wasm(&b.full_source(), level);
                 let mut store = store.lock().expect("store lock");
-                match store.get(&skey) {
-                    Some(payload) => payload.into(),
-                    None => {
+                match store.get_outcome(&skey) {
+                    GetOutcome::Hit(payload) => payload.into(),
+                    outcome => {
                         let fresh = b.compile(level).map_err(|e| e.to_string())?;
                         // Best effort: a full disk must not fail the job.
-                        let _ = store.put(skey, &fresh);
+                        if store.put(skey, &fresh).is_ok() && outcome == GetOutcome::Corrupt {
+                            rec.store_repairs += 1;
+                            obs::metrics::counter("svc.store.repair").inc();
+                        }
                         fresh.into()
                     }
                 }
@@ -91,6 +123,14 @@ impl ExecEnv {
 /// (they become [`JobStatus::Failed`]); a checksum mismatch panics by
 /// design and is caught at the scheduler's job boundary.
 pub fn execute(spec: &JobSpec, env: &ExecEnv) -> JobResult {
+    execute_attempt(spec, env, 1)
+}
+
+/// [`execute`] with the scheduler's attempt number (1-based) threaded
+/// in, so self-test modes and transient fault draws can distinguish a
+/// first run from a retry. `res.recovery.attempts` is set by the
+/// scheduler, not here.
+pub fn execute_attempt(spec: &JobSpec, env: &ExecEnv, attempt: u32) -> JobResult {
     let _span = obs::span!(
         "svc.job.exec",
         bench = spec.benchmark,
@@ -98,6 +138,18 @@ pub fn execute(spec: &JobSpec, env: &ExecEnv) -> JobResult {
         level = spec.level,
         mode = format_args!("{:?}", spec.mode)
     );
+    // With a fault plan active, JIT compiles in this job may be vetoed
+    // deterministically (keyed by module bytes × engine, so a retry
+    // hits the same verdict and the fallback path must engage). The
+    // hook is thread-local and scoped to this job.
+    let _hook = env.faults.as_ref().map(|plan| {
+        let plan = Arc::clone(plan);
+        ScopedCompileFault::install(move |kind, bytes| {
+            (kind.tier().is_some()
+                && plan.keyed(Site::CompileFail, fnv64(bytes) ^ kind.code() as u64))
+            .then(|| format!("injected compile failure ({})", kind.name()))
+        })
+    });
     let t0 = Instant::now();
     let mut res = JobResult {
         id: 0,
@@ -111,34 +163,51 @@ pub fn execute(spec: &JobSpec, env: &ExecEnv) -> JobResult {
         counters: None,
         warm_artifact: false,
         wall_s: 0.0,
+        recovery: Recovery::default(),
     };
-    if let Err(msg) = run(spec, env, &mut res) {
+    if let Err(msg) = run(spec, env, attempt, &mut res) {
         res.status = JobStatus::Failed(msg);
     }
     res.wall_s = t0.elapsed().as_secs_f64();
     res
 }
 
-fn run(spec: &JobSpec, env: &ExecEnv, res: &mut JobResult) -> Result<(), String> {
+fn run(spec: &JobSpec, env: &ExecEnv, attempt: u32, res: &mut JobResult) -> Result<(), String> {
     match spec.mode {
         JobMode::SelfTestPanic => panic!("injected failure (svc self-test)"),
         JobMode::SelfTestHang => {
             std::thread::sleep(std::time::Duration::from_secs(2));
             return Ok(());
         }
+        JobMode::SelfTestFlaky => {
+            if attempt == 1 {
+                panic!("injected flaky failure (svc self-test, attempt 1)");
+            }
+            return Ok(());
+        }
         _ => {}
+    }
+    // Injected worker panic: transient, so the scheduler's retry draws
+    // afresh and normally clears it. Caught at the job boundary like
+    // any other panic.
+    if let Some(plan) = &env.faults {
+        if plan.transient(Site::WorkerPanic) {
+            panic!("injected worker panic (fault plan, attempt {attempt})");
+        }
     }
     let b = suite::by_name(&spec.benchmark)
         .ok_or_else(|| format!("unknown benchmark {:?}", spec.benchmark))?;
     let n = spec.scale.arg(b);
-    let bytes = env.wasm_bytes(b, spec.level)?;
+    let bytes = env.wasm_bytes_recovering(b, spec.level, &mut res.recovery)?;
     res.bytes_hash = fnv64(&bytes);
     match spec.mode {
         JobMode::Exec => exec_job(spec, b, n, &bytes, env, res),
         JobMode::ExecAot => exec_aot_job(spec, b, n, &bytes, res),
         JobMode::Profiled => profiled_job(spec, b, n, &bytes, res),
         JobMode::ProfiledNative => profiled_native_job(b, n, &bytes, res),
-        JobMode::SelfTestPanic | JobMode::SelfTestHang => unreachable!("handled above"),
+        JobMode::SelfTestPanic | JobMode::SelfTestHang | JobMode::SelfTestFlaky => {
+            unreachable!("handled above")
+        }
     }
 }
 
@@ -183,19 +252,30 @@ fn exec_job(
     let engine = Engine::new(spec.engine);
     let akey = ArtifactKey::aot(bytes, spec.level, spec.engine);
     let mut compiled = None;
+    // A corrupt store entry (detected by checksum at the store, or by
+    // the semantic RegCode::try_new re-validation at load) is *repaired*:
+    // the cold path below recompiles and puts a fresh artifact back
+    // under the same key.
+    let mut repair_needed = false;
     if spec.warm && spec.engine.tier().is_some() {
         if let Some(store) = &env.store {
-            let artifact = store.lock().expect("store lock").get(&akey);
-            if let Some(artifact) = artifact {
-                let t = Instant::now();
-                // A checksum-valid but semantically corrupt artifact is
-                // rejected here by the untrusted RegCode::try_new path;
-                // fall back to a cold compile.
-                if let Ok(c) = engine.load_artifact(&artifact) {
-                    res.compile_s = t.elapsed().as_secs_f64();
-                    res.warm_artifact = true;
-                    compiled = Some(c);
+            let outcome = store.lock().expect("store lock").get_outcome(&akey);
+            match outcome {
+                GetOutcome::Hit(artifact) => {
+                    let t = Instant::now();
+                    // A checksum-valid but semantically corrupt artifact
+                    // is rejected here by the untrusted RegCode::try_new
+                    // path; fall back to a cold compile + repair.
+                    if let Ok(c) = engine.load_artifact(&artifact) {
+                        res.compile_s = t.elapsed().as_secs_f64();
+                        res.warm_artifact = true;
+                        compiled = Some(c);
+                    } else {
+                        repair_needed = true;
+                    }
                 }
+                GetOutcome::Corrupt => repair_needed = true,
+                GetOutcome::Miss => {}
             }
         }
     }
@@ -203,12 +283,44 @@ fn exec_job(
         Some(c) => c,
         None => {
             let t = Instant::now();
-            let c = engine.compile(bytes).map_err(|e| format!("compile: {e}"))?;
+            let c = match engine.compile(bytes) {
+                Ok(c) => c,
+                // Graceful degradation: a JIT whose compile fails hands
+                // the job to the interpreter tier. The checksum is still
+                // verified, but the timings now measure the wrong tier —
+                // the result is flagged degraded so callers can tell.
+                Err(e) if spec.engine.tier().is_some() => {
+                    let fallback = Engine::new(EngineKind::Wasm3);
+                    match fallback.compile(bytes) {
+                        Ok(c) => {
+                            res.recovery.compile_fallback = true;
+                            obs::metrics::counter("svc.fallback.interp").inc();
+                            obs::warn!(
+                                "{}: compile failed on {} ({e}); degraded to {}",
+                                spec.benchmark,
+                                spec.engine.name(),
+                                fallback.kind().name()
+                            );
+                            c
+                        }
+                        Err(_) => return Err(format!("compile: {e}")),
+                    }
+                }
+                Err(e) => return Err(format!("compile: {e}")),
+            };
             res.compile_s = t.elapsed().as_secs_f64();
-            if spec.warm && spec.engine.tier().is_some() {
+            if spec.warm && spec.engine.tier().is_some() && !res.recovery.compile_fallback {
                 if let Some(store) = &env.store {
                     if let Ok(artifact) = engine.precompile(bytes) {
-                        let _ = store.lock().expect("store lock").put(akey, &artifact);
+                        let repaired = store
+                            .lock()
+                            .expect("store lock")
+                            .put(akey, &artifact)
+                            .is_ok();
+                        if repaired && repair_needed {
+                            res.recovery.store_repairs += 1;
+                            obs::metrics::counter("svc.store.repair").inc();
+                        }
                     }
                 }
             }

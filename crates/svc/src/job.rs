@@ -74,6 +74,9 @@ pub enum JobMode {
     SelfTestPanic,
     /// Test-only: sleeps ~2s to exercise the per-job timeout.
     SelfTestHang,
+    /// Test-only: panics on the first attempt, succeeds on any retry —
+    /// exercises the scheduler's retry policy end to end.
+    SelfTestFlaky,
 }
 
 impl JobMode {
@@ -86,6 +89,7 @@ impl JobMode {
             JobMode::ProfiledNative => 3,
             JobMode::SelfTestPanic => 4,
             JobMode::SelfTestHang => 5,
+            JobMode::SelfTestFlaky => 6,
         }
     }
 
@@ -98,6 +102,7 @@ impl JobMode {
             3 => JobMode::ProfiledNative,
             4 => JobMode::SelfTestPanic,
             5 => JobMode::SelfTestHang,
+            6 => JobMode::SelfTestFlaky,
             _ => return None,
         })
     }
@@ -166,6 +171,53 @@ pub enum JobStatus {
     TimedOut,
 }
 
+/// What the resilience layer did to get a job to completion. Attached
+/// to every [`JobResult`]; a default value means "clean first-attempt
+/// run, nothing recovered".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recovery {
+    /// Attempts the scheduler made (1 = no retries).
+    pub attempts: u32,
+    /// The JIT compile failed and the job fell back to the interpreter
+    /// tier — the result is correct but its timings measure the wrong
+    /// tier, so callers must treat the cell as degraded.
+    pub compile_fallback: bool,
+    /// Corrupt store entries this job detected, recompiled, and wrote
+    /// back in place.
+    pub store_repairs: u32,
+}
+
+impl Default for Recovery {
+    fn default() -> Recovery {
+        Recovery {
+            attempts: 1,
+            compile_fallback: false,
+            store_repairs: 0,
+        }
+    }
+}
+
+impl Recovery {
+    /// Retries beyond the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// The three-way verdict callers branch on: a job is either clean,
+/// correct-but-degraded, or failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Succeeded with full measurement fidelity (retries and store
+    /// repairs reproduce identical values, so they stay clean).
+    Clean,
+    /// Succeeded, but through a fallback that changes what the timings
+    /// measure; the checksum is still verified.
+    Degraded,
+    /// Did not produce a usable result.
+    Failed,
+}
+
 /// The structured record a completed job produces.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobResult {
@@ -195,12 +247,32 @@ pub struct JobResult {
     pub warm_artifact: bool,
     /// End-to-end wall seconds inside the job.
     pub wall_s: f64,
+    /// What the resilience layer did (retries, fallbacks, repairs).
+    pub recovery: Recovery,
 }
 
 impl JobResult {
     /// Whether the job completed successfully.
     pub fn ok(&self) -> bool {
         self.status == JobStatus::Ok
+    }
+
+    /// Whether the result is correct but measured through a degradation
+    /// path (currently: interpreter fallback after a JIT compile
+    /// failure).
+    pub fn degraded(&self) -> bool {
+        self.ok() && self.recovery.compile_fallback
+    }
+
+    /// The clean/degraded/failed verdict.
+    pub fn outcome(&self) -> Outcome {
+        if !self.ok() {
+            Outcome::Failed
+        } else if self.degraded() {
+            Outcome::Degraded
+        } else {
+            Outcome::Clean
+        }
     }
 }
 
@@ -221,6 +293,7 @@ mod tests {
             JobMode::ProfiledNative,
             JobMode::SelfTestPanic,
             JobMode::SelfTestHang,
+            JobMode::SelfTestFlaky,
         ] {
             assert_eq!(JobMode::from_byte(m.byte()), Some(m));
         }

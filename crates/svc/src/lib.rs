@@ -24,7 +24,16 @@
 //!   panic fails that job's [`job::JobResult`], never the fleet.
 //! - [`server`] — `wabench-served`, a Unix-domain-socket daemon speaking
 //!   the length-prefixed binary protocol of [`proto`]
-//!   (submit / poll / wait / stats), plus a blocking client.
+//!   (submit / poll / wait / stats / health), plus a blocking client.
+//!
+//! Since protocol v4 the service also carries a **resilience layer**
+//! (see `docs/OPERATIONS.md`): the scheduler retries failed jobs with
+//! exponential backoff under a per-job deadline, trips a per-engine
+//! circuit breaker after repeated failures, falls back from a failing
+//! JIT compile to the interpreter tier (surfaced as a *degraded*
+//! result), and repairs corrupt artifact-store entries in place. The
+//! whole layer is exercised deterministically through `wabench-fault`'s
+//! seeded fault-injection plans (`WABENCH_FAULTS`).
 //!
 //! The harness's `--jobs N` flag drives the fig1/fig4/fig7 measurement
 //! matrices through the scheduler; assembly of the output tables stays
@@ -43,6 +52,8 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
-pub use scheduler::{Config, Scheduler, SvcStats, SvcStatsExt};
-pub use store::{ArtifactKey, ArtifactStore, StoreStats};
+pub use job::{JobMode, JobResult, JobSpec, JobStatus, Outcome, Recovery, Scale};
+pub use scheduler::{
+    Config, HealthReport, ResilienceStats, RetryPolicy, Scheduler, SvcStats, SvcStatsExt,
+};
+pub use store::{ArtifactKey, ArtifactStore, GetOutcome, StoreStats};

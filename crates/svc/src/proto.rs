@@ -8,13 +8,15 @@ use engines::EngineKind;
 use obs::metrics::{HistogramSnapshot, BUCKETS};
 use serde::{Deserialize, Serialize};
 
-use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Scale};
-use crate::scheduler::{EngineCounters, SvcStats, SvcStatsExt};
+use fault::{BreakerSnapshot, BreakerState};
+
+use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Recovery, Scale};
+use crate::scheduler::{EngineCounters, HealthReport, ResilienceStats, SvcStats, SvcStatsExt};
 use crate::store::StoreStats;
 use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter};
 
-/// Protocol version, carried at the head of the `StatsExt` reply.
-/// Version history:
+/// Protocol version, carried at the head of the `StatsExt` and `Health`
+/// replies. Version history:
 ///
 /// - v1: Ping/Submit/Poll/Wait/Stats/Shutdown (implicit — v1 frames
 ///   carry no version field, and none of those messages changed).
@@ -24,7 +26,13 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   `StatsExt` reply ends with per-engine simulated-counter
 ///   aggregates (jobs + the ten perf-stat counters). Decoding still
 ///   accepts v2 frames: the extras default to zero/empty.
-pub const PROTO_VERSION: u16 = 3;
+/// - v4: adds `Health` (request tag 7, response tag 8) reporting
+///   per-engine circuit-breaker states and resilience counters, and the
+///   `Result` response gains a recovery trailer (attempts, interpreter
+///   fallback, store repairs). `Result` frames without the trailer (v3
+///   peers) still decode with a default recovery; `StatsExt` is
+///   unchanged from v3.
+pub const PROTO_VERSION: u16 = 4;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +51,9 @@ pub enum Request {
     Shutdown,
     /// Extended statistics (protocol v2; older servers answer `Err`).
     StatsExt,
+    /// Resilience health: breaker states and fault/retry counters
+    /// (protocol v4; older servers answer `Err`).
+    Health,
 }
 
 /// Server → client.
@@ -65,6 +76,8 @@ pub enum Response {
     /// Extended statistics snapshot (protocol v2). Boxed: the inline
     /// histogram bucket arrays dwarf every other variant.
     StatsExt(Box<SvcStatsExt>),
+    /// Resilience health snapshot (protocol v4).
+    Health(HealthReport),
 }
 
 fn bad(msg: &str) -> WireError {
@@ -184,6 +197,12 @@ fn encode_result(w: &mut WireWriter, res: &JobResult) {
     }
     w.bool(res.warm_artifact);
     w.f64(res.wall_s);
+    // v4 recovery trailer. Result is the last field of its frame, so a
+    // v3 decoder reading a v4 frame stops cleanly before the trailer,
+    // and a v4 decoder detects a v3 frame by the missing bytes.
+    w.u32(res.recovery.attempts);
+    w.bool(res.recovery.compile_fallback);
+    w.u32(res.recovery.store_repairs);
 }
 
 fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
@@ -202,6 +221,16 @@ fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
     };
     let warm_artifact = r.bool()?;
     let wall_s = r.f64()?;
+    // v3 peers end the frame here; their results carry no recovery.
+    let recovery = if r.remaining() > 0 {
+        Recovery {
+            attempts: r.u32()?,
+            compile_fallback: r.bool()?,
+            store_repairs: r.u32()?,
+        }
+    } else {
+        Recovery::default()
+    };
     Ok(JobResult {
         id,
         spec,
@@ -214,6 +243,7 @@ fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
         counters,
         warm_artifact,
         wall_s,
+        recovery,
     })
 }
 
@@ -395,6 +425,75 @@ fn decode_stats_ext(r: &mut WireReader<'_>) -> Result<SvcStatsExt, WireError> {
     })
 }
 
+fn encode_health(w: &mut WireWriter, h: &HealthReport) {
+    // Version first, like StatsExt, so layout changes stay detectable.
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    for v in [
+        h.resilience.retries,
+        h.resilience.compile_fallbacks,
+        h.resilience.store_repairs,
+        h.resilience.breaker_fast_fails,
+    ] {
+        w.u64(v);
+    }
+    w.u32(h.breakers.len() as u32);
+    for (code, b) in &h.breakers {
+        w.u8(*code);
+        w.u8(b.state.byte());
+        w.u32(b.consecutive_failures);
+        w.u64(b.trips);
+    }
+    w.u32(h.faults.len() as u32);
+    for (site, rate, injected) in &h.faults {
+        w.u8(*site);
+        w.f64(*rate);
+        w.u64(*injected);
+    }
+}
+
+fn decode_health(r: &mut WireReader<'_>) -> Result<HealthReport, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if !(4..=PROTO_VERSION).contains(&version) {
+        return Err(bad("unsupported health version"));
+    }
+    let resilience = ResilienceStats {
+        retries: r.u64()?,
+        compile_fallbacks: r.u64()?,
+        store_repairs: r.u64()?,
+        breaker_fast_fails: r.u64()?,
+    };
+    let n = r.u32()?;
+    let mut breakers = Vec::with_capacity(n.min(64) as usize);
+    for _ in 0..n {
+        let code = r.u8()?;
+        let state = BreakerState::from_byte(r.u8()?).ok_or_else(|| bad("bad breaker state"))?;
+        let consecutive_failures = r.u32()?;
+        let trips = r.u64()?;
+        breakers.push((
+            code,
+            BreakerSnapshot {
+                state,
+                consecutive_failures,
+                trips,
+            },
+        ));
+    }
+    let n = r.u32()?;
+    let mut faults = Vec::with_capacity(n.min(64) as usize);
+    for _ in 0..n {
+        let site = r.u8()?;
+        let rate = r.f64()?;
+        let injected = r.u64()?;
+        faults.push((site, rate, injected));
+    }
+    Ok(HealthReport {
+        resilience,
+        breakers,
+        faults,
+    })
+}
+
 impl Request {
     /// Encodes into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -416,6 +515,7 @@ impl Request {
             Request::Stats => w.u8(4),
             Request::Shutdown => w.u8(5),
             Request::StatsExt => w.u8(6),
+            Request::Health => w.u8(7),
         }
         w.finish()
     }
@@ -436,6 +536,7 @@ impl Request {
             4 => Request::Stats,
             5 => Request::Shutdown,
             6 => Request::StatsExt,
+            7 => Request::Health,
             _ => return Err(bad("bad request tag")),
         };
         r.expect_end()?;
@@ -471,6 +572,10 @@ impl Response {
                 w.u8(7);
                 encode_stats_ext(&mut w, s);
             }
+            Response::Health(h) => {
+                w.u8(8);
+                encode_health(&mut w, h);
+            }
         }
         w.finish()
     }
@@ -491,6 +596,7 @@ impl Response {
             5 => Response::Err(r.str()?),
             6 => Response::Bye,
             7 => Response::StatsExt(Box::new(decode_stats_ext(&mut r)?)),
+            8 => Response::Health(decode_health(&mut r)?),
             _ => return Err(bad("bad response tag")),
         };
         r.expect_end()?;
@@ -524,6 +630,7 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::StatsExt,
+            Request::Health,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -547,6 +654,11 @@ mod tests {
             }),
             warm_artifact: true,
             wall_s: 2.0,
+            recovery: Recovery {
+                attempts: 3,
+                compile_fallback: true,
+                store_repairs: 1,
+            },
         };
         let stats = SvcStats {
             submitted: 3,
@@ -741,6 +853,96 @@ mod tests {
             w.finish()
         };
         assert_eq!(payload, expected);
+    }
+
+    fn sample_health() -> HealthReport {
+        HealthReport {
+            resilience: ResilienceStats {
+                retries: 5,
+                compile_fallbacks: 2,
+                store_repairs: 3,
+                breaker_fast_fails: 1,
+            },
+            breakers: vec![
+                (
+                    0,
+                    BreakerSnapshot {
+                        state: BreakerState::Closed,
+                        consecutive_failures: 0,
+                        trips: 0,
+                    },
+                ),
+                (
+                    4,
+                    BreakerSnapshot {
+                        state: BreakerState::Open,
+                        consecutive_failures: 9,
+                        trips: 2,
+                    },
+                ),
+            ],
+            faults: vec![(0, 0.05, 12), (3, 0.05, 7)],
+        }
+    }
+
+    /// Protocol v4: the `Health` reply round-trips, carries the version
+    /// at its head, and rejects unknown breaker states.
+    #[test]
+    fn health_round_trips() {
+        let resp = Response::Health(sample_health());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        // An empty report (fresh scheduler, no plan) round-trips too.
+        let empty = Response::Health(HealthReport::default());
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+        let payload = resp.encode();
+        assert_eq!(payload[0], 8);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+        // Corrupt the first breaker's state byte to an unknown value:
+        // tag + version(2) + resilience(4×8) + count(4) + code(1) = 40.
+        let mut bad_state = payload.clone();
+        bad_state[40] = 9;
+        assert!(Response::decode(&bad_state).is_err());
+    }
+
+    /// A v3 peer's `Result` frame ends without the v4 recovery trailer;
+    /// it must still decode, with a default (clean) recovery.
+    #[test]
+    fn result_decodes_legacy_v3_frames_without_recovery_trailer() {
+        let result = JobResult {
+            id: 4,
+            spec: sample_spec(),
+            status: JobStatus::Ok,
+            checksum: Some(11),
+            bytes_hash: 99,
+            compile_s: 0.5,
+            exec_s: 0.25,
+            aot_compile_s: None,
+            counters: None,
+            warm_artifact: false,
+            wall_s: 1.0,
+            recovery: Recovery::default(),
+        };
+        let full = Response::Result(result.clone()).encode();
+        // The v4 trailer is exactly 9 bytes (u32 + bool + u32); a v3
+        // frame is the same encoding without them.
+        let legacy = &full[..full.len() - 9];
+        let decoded = Response::decode(legacy).expect("legacy v3 result decodes");
+        assert_eq!(decoded, Response::Result(result));
+        // And a result that actually recovered survives its own trip.
+        let mut recovered = match decoded {
+            Response::Result(r) => r,
+            _ => unreachable!(),
+        };
+        recovered.recovery = Recovery {
+            attempts: 2,
+            compile_fallback: false,
+            store_repairs: 1,
+        };
+        let resp = Response::Result(recovered);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
     }
 
     #[test]

@@ -22,23 +22,58 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fault::{Breaker, BreakerConfig, BreakerEvent, BreakerSnapshot, FaultPlan};
 use obs::metrics::{Histogram, HistogramSnapshot};
 
 use crate::exec::{self, ExecEnv};
 use crate::job::{JobResult, JobSpec, JobStatus};
 use crate::store::{ArtifactStore, StoreStats};
 
+/// Retry tuning: exponential backoff with deterministic jitter.
+///
+/// Attempt `k` (1-based) sleeps `backoff_base × 2^(k-1)` plus a jitter
+/// in `[0, backoff/2)` derived from `fault::mix64(job id ^ attempt)` —
+/// deterministic for a given job, decorrelated across jobs — capped at
+/// `backoff_cap` and always bounded by the job's remaining deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (1 = never retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Worker threads.
     pub workers: usize,
-    /// Hard per-job timeout.
+    /// Hard per-job deadline, measured from the moment a worker starts
+    /// the job and spanning every retry attempt and backoff sleep.
     pub timeout: Duration,
     /// Artifact-store directory (`None` = no on-disk store).
     pub store_dir: Option<PathBuf>,
     /// Artifact-store size cap in bytes.
     pub store_cap_bytes: u64,
+    /// Retry policy for failed/panicked attempts.
+    pub retry: RetryPolicy,
+    /// Per-engine circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Optional deterministic fault-injection plan, threaded through
+    /// job execution and the artifact store.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for Config {
@@ -48,8 +83,42 @@ impl Default for Config {
             timeout: Duration::from_secs(120),
             store_dir: None,
             store_cap_bytes: 256 << 20,
+            retry: RetryPolicy::default(),
+            breaker: BreakerConfig::default(),
+            faults: None,
         }
     }
+}
+
+/// Aggregate counters from the resilience layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Retry attempts beyond each job's first.
+    pub retries: u64,
+    /// Jobs that degraded to the interpreter tier after a JIT compile
+    /// failure.
+    pub compile_fallbacks: u64,
+    /// Corrupt store entries recompiled and written back in place.
+    pub store_repairs: u64,
+    /// Jobs rejected without running because their engine's circuit
+    /// breaker was open.
+    pub breaker_fast_fails: u64,
+}
+
+/// What the protocol v4 `Health` request reports: breaker states,
+/// resilience counters, and (when a fault plan is active) per-site
+/// injected-fault tallies.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Aggregate resilience counters.
+    pub resilience: ResilienceStats,
+    /// Per-engine breaker snapshots, keyed by
+    /// [`engines::EngineKind::code`], sorted by code. Engines appear
+    /// once they have completed at least one job.
+    pub breakers: Vec<(u8, BreakerSnapshot)>,
+    /// Per-site `(site code, configured rate, injected count)` from the
+    /// active fault plan; empty when no plan is installed.
+    pub faults: Vec<(u8, f64, u64)>,
 }
 
 /// Aggregate service statistics (scheduler + artifact store).
@@ -154,6 +223,7 @@ impl SvcStatsExt {
 
 struct Inner {
     timeout: Duration,
+    retry: RetryPolicy,
     queue: Mutex<VecDeque<(u64, JobSpec, Instant)>>,
     queue_cv: Condvar,
     results: Mutex<HashMap<u64, JobResult>>,
@@ -169,6 +239,9 @@ struct Inner {
     queue_wait: Histogram,
     engine_wall: Mutex<HashMap<u8, Arc<Histogram>>>,
     engine_counters: Mutex<HashMap<u8, EngineCounters>>,
+    breaker_cfg: BreakerConfig,
+    breakers: Mutex<HashMap<u8, Breaker>>,
+    resilience: Mutex<ResilienceStats>,
 }
 
 /// The running scheduler: submit jobs, poll/wait for results.
@@ -199,6 +272,7 @@ impl Scheduler {
         };
         let inner = Arc::new(Inner {
             timeout: cfg.timeout,
+            retry: cfg.retry,
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             results: Mutex::new(HashMap::new()),
@@ -206,7 +280,7 @@ impl Scheduler {
             outstanding: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(1),
-            env: ExecEnv::new(store),
+            env: ExecEnv::with_faults(store, cfg.faults),
             stats: Mutex::new(SvcStats::default()),
             workers_n: cfg.workers.max(1),
             started: Instant::now(),
@@ -214,6 +288,9 @@ impl Scheduler {
             queue_wait: Histogram::default(),
             engine_wall: Mutex::new(HashMap::new()),
             engine_counters: Mutex::new(HashMap::new()),
+            breaker_cfg: cfg.breaker,
+            breakers: Mutex::new(HashMap::new()),
+            resilience: Mutex::new(ResilienceStats::default()),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -333,6 +410,39 @@ impl Scheduler {
         }
     }
 
+    /// Resilience counters (retries, fallbacks, repairs, fast-fails).
+    pub fn resilience(&self) -> ResilienceStats {
+        *self.inner.resilience.lock().expect("resilience lock")
+    }
+
+    /// Health snapshot: resilience counters, per-engine breaker states,
+    /// and injected-fault tallies from the active plan (if any). Served
+    /// over the wire by the protocol v4 `Health` request.
+    pub fn health(&self) -> HealthReport {
+        let mut breakers: Vec<(u8, BreakerSnapshot)> = self
+            .inner
+            .breakers
+            .lock()
+            .expect("breakers lock")
+            .iter()
+            .map(|(code, b)| (*code, b.snapshot()))
+            .collect();
+        breakers.sort_by_key(|(code, _)| *code);
+        let faults = match &self.inner.env.faults {
+            Some(plan) => plan
+                .injected()
+                .into_iter()
+                .map(|(site, n)| (site.code(), plan.rate(site), n))
+                .collect(),
+            None => Vec::new(),
+        };
+        HealthReport {
+            resilience: self.resilience(),
+            breakers,
+            faults,
+        }
+    }
+
     /// Snapshot of the shared compiled-wasm cache.
     pub fn bytes_snapshot(&self) -> Vec<(String, wacc::OptLevel, Arc<[u8]>)> {
         self.inner.env.bytes_snapshot()
@@ -388,8 +498,15 @@ fn worker_loop(inner: &Arc<Inner>) {
             engine = spec.engine.name(),
             level = spec.level
         );
+        // Injected scheduling delay: sleeps before the job's deadline
+        // clock starts, so it models queue pressure, not job slowness.
+        if let Some(plan) = &inner.env.faults {
+            if let Some(delay) = plan.job_delay() {
+                std::thread::sleep(delay);
+            }
+        }
         let t_run = Instant::now();
-        let mut result = run_isolated(inner, &spec);
+        let mut result = run_with_retries(inner, id, &spec, t_run);
         result.id = id;
         inner
             .busy_ns
@@ -429,6 +546,12 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         }
         {
+            let mut res = inner.resilience.lock().expect("resilience lock");
+            res.retries += result.recovery.retries() as u64;
+            res.compile_fallbacks += result.recovery.compile_fallback as u64;
+            res.store_repairs += result.recovery.store_repairs as u64;
+        }
+        {
             // Insert and decrement under the results lock: waiters check
             // `outstanding` while holding it, so publishing both under
             // the lock rules out a lost wakeup.
@@ -440,23 +563,9 @@ fn worker_loop(inner: &Arc<Inner>) {
     }
 }
 
-/// Runs one job on a dedicated thread with panic isolation and the hard
-/// timeout. The engine instances the job builds are `Rc`-based and live
-/// entirely on that thread.
-fn run_isolated(inner: &Arc<Inner>, spec: &JobSpec) -> JobResult {
-    let (tx, rx) = mpsc::channel();
-    let job_inner = Arc::clone(inner);
-    let job_spec = spec.clone();
-    let handle = std::thread::Builder::new()
-        .name("wabench-job".to_string())
-        .spawn(move || {
-            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
-                exec::execute(&job_spec, &job_inner.env)
-            }));
-            let _ = tx.send(outcome);
-        })
-        .expect("spawn job thread");
-    let failed = |status: JobStatus| JobResult {
+/// A zeroed failure result for a spec.
+fn failed_result(spec: &JobSpec, status: JobStatus) -> JobResult {
+    JobResult {
         id: 0,
         spec: spec.clone(),
         status,
@@ -468,8 +577,112 @@ fn run_isolated(inner: &Arc<Inner>, spec: &JobSpec) -> JobResult {
         counters: None,
         warm_artifact: false,
         wall_s: 0.0,
+        recovery: crate::job::Recovery::default(),
+    }
+}
+
+/// Drives one job to a final result: circuit-breaker admission, then up
+/// to `retry.max_attempts` isolated attempts under one shared deadline
+/// (`t_run + timeout`), with exponential backoff + deterministic jitter
+/// between attempts. Failed and panicked attempts retry; a timeout is
+/// final (the deadline is already spent).
+fn run_with_retries(inner: &Arc<Inner>, id: u64, spec: &JobSpec, t_run: Instant) -> JobResult {
+    let code = spec.engine.code();
+    let admitted = inner
+        .breakers
+        .lock()
+        .expect("breakers lock")
+        .entry(code)
+        .or_insert_with(|| Breaker::new(inner.breaker_cfg))
+        .admit();
+    if !admitted {
+        inner
+            .resilience
+            .lock()
+            .expect("resilience lock")
+            .breaker_fast_fails += 1;
+        obs::metrics::counter("svc.breaker.fast_fail").inc();
+        return failed_result(
+            spec,
+            JobStatus::Failed(format!(
+                "circuit breaker open for {} (cooling down)",
+                spec.engine.name()
+            )),
+        );
+    }
+    let deadline = t_run + inner.timeout;
+    let mut attempt = 1u32;
+    let mut result = loop {
+        let result = run_isolated(inner, spec, attempt, deadline);
+        if result.ok()
+            || result.status == JobStatus::TimedOut
+            || attempt >= inner.retry.max_attempts
+        {
+            break result;
+        }
+        // Exponential backoff with deterministic jitter, bounded by the
+        // cap and by what's left of the deadline.
+        let base = inner.retry.backoff_base.saturating_mul(1 << (attempt - 1));
+        let base = base.min(inner.retry.backoff_cap);
+        let jitter_ns = if base.is_zero() {
+            0
+        } else {
+            fault::mix64(id ^ ((attempt as u64) << 48)) % (base.as_nanos() as u64 / 2 + 1)
+        };
+        let backoff = base + Duration::from_nanos(jitter_ns);
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if backoff >= remaining {
+            break result;
+        }
+        obs::metrics::counter("svc.retry").inc();
+        obs::debug!(
+            "job {id} attempt {attempt} {}: retrying in {backoff:?}",
+            match &result.status {
+                JobStatus::Failed(m) | JobStatus::Panicked(m) => m.as_str(),
+                _ => "failed",
+            }
+        );
+        std::thread::sleep(backoff);
+        attempt += 1;
     };
-    match rx.recv_timeout(inner.timeout) {
+    result.recovery.attempts = attempt;
+    let event = inner
+        .breakers
+        .lock()
+        .expect("breakers lock")
+        .get_mut(&code)
+        .expect("breaker inserted above")
+        .record(result.ok());
+    if let Some(event) = event {
+        let (counter, what) = match event {
+            BreakerEvent::Opened => ("svc.breaker.open", "tripped open"),
+            BreakerEvent::Reopened => ("svc.breaker.reopen", "re-opened (probe failed)"),
+            BreakerEvent::Closed => ("svc.breaker.close", "closed (healed)"),
+        };
+        obs::metrics::counter(counter).inc();
+        obs::warn!("circuit breaker for {} {what}", spec.engine.name());
+    }
+    result
+}
+
+/// Runs one attempt on a dedicated thread with panic isolation, bounded
+/// by the job's remaining deadline. The engine instances the job builds
+/// are `Rc`-based and live entirely on that thread.
+fn run_isolated(inner: &Arc<Inner>, spec: &JobSpec, attempt: u32, deadline: Instant) -> JobResult {
+    let (tx, rx) = mpsc::channel();
+    let job_inner = Arc::clone(inner);
+    let job_spec = spec.clone();
+    let handle = std::thread::Builder::new()
+        .name("wabench-job".to_string())
+        .spawn(move || {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                exec::execute_attempt(&job_spec, &job_inner.env, attempt)
+            }));
+            let _ = tx.send(outcome);
+        })
+        .expect("spawn job thread");
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    match rx.recv_timeout(remaining) {
         Ok(Ok(result)) => {
             let _ = handle.join();
             result
@@ -478,15 +691,15 @@ fn run_isolated(inner: &Arc<Inner>, spec: &JobSpec) -> JobResult {
             let _ = handle.join();
             // `&*payload`, not `&payload`: the latter would unsize the
             // Box itself into `dyn Any` and every downcast would miss.
-            failed(JobStatus::Panicked(panic_message(&*payload)))
+            failed_result(spec, JobStatus::Panicked(panic_message(&*payload)))
         }
         Err(mpsc::RecvTimeoutError::Timeout) => {
             // Abandon the thread; its late send goes nowhere.
-            failed(JobStatus::TimedOut)
+            failed_result(spec, JobStatus::TimedOut)
         }
         Err(mpsc::RecvTimeoutError::Disconnected) => {
             let _ = handle.join();
-            failed(JobStatus::Panicked("job thread died".to_string()))
+            failed_result(spec, JobStatus::Panicked("job thread died".to_string()))
         }
     }
 }

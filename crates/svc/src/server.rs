@@ -10,42 +10,81 @@ use std::sync::Arc;
 
 use crate::job::JobSpec;
 use crate::proto::{Request, Response};
-use crate::scheduler::{Scheduler, SvcStats, SvcStatsExt};
+use crate::scheduler::{HealthReport, Scheduler, SvcStats, SvcStatsExt};
 use crate::wire::{read_frame, write_frame};
 use crate::JobResult;
 
+/// Removes the socket file when the server exits, on *every* path out
+/// of [`serve`] — normal shutdown, accept errors, panics. Before this
+/// guard existed a crashed server left a stale socket behind, and the
+/// next start papered over it by unconditionally unlinking (which would
+/// also tear the socket out from under a *live* server).
+struct SocketGuard(PathBuf);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Binds a listener at `path`, handling leftover socket files safely:
+/// if a file is already there, probe it with a connect — a live server
+/// answers and we refuse to usurp it (`AddrInUse`); a dead one (stale
+/// socket from a crashed server) gets unlinked and the bind retried.
+fn bind_socket(path: &Path) -> io::Result<UnixListener> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a server is already listening on {}", path.display()),
+                ));
+            }
+            std::fs::remove_file(path)?;
+            UnixListener::bind(path)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// Serves `sched` on a Unix socket at `path` until a client sends
-/// `Shutdown`. An existing socket file at `path` is replaced. The
-/// socket file is removed on exit.
+/// `Shutdown`. A stale socket file at `path` (no listener behind it) is
+/// replaced; a live one makes the bind fail with `AddrInUse`. The
+/// socket file is removed on every exit path, including errors.
 ///
 /// # Errors
 ///
-/// I/O errors binding or accepting on the socket.
+/// I/O errors binding or accepting on the socket, including `AddrInUse`
+/// when another server already owns `path`.
 pub fn serve(path: &Path, sched: Arc<Scheduler>) -> io::Result<()> {
-    let _ = std::fs::remove_file(path);
-    let listener = UnixListener::bind(path)?;
+    let listener = bind_socket(path)?;
+    let _guard = SocketGuard(PathBuf::from(path));
     let stop = Arc::new(AtomicBool::new(false));
     let mut conns = Vec::new();
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
+    let mut serve_loop = || -> io::Result<()> {
+        for stream in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            let sched = Arc::clone(&sched);
+            let conn_stop = Arc::clone(&stop);
+            let sock = PathBuf::from(path);
+            conns.push(std::thread::spawn(move || {
+                let _ = handle_conn(stream, &sched, &conn_stop, &sock);
+            }));
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
         }
-        let stream = stream?;
-        let sched = Arc::clone(&sched);
-        let conn_stop = Arc::clone(&stop);
-        let sock = PathBuf::from(path);
-        conns.push(std::thread::spawn(move || {
-            let _ = handle_conn(stream, &sched, &conn_stop, &sock);
-        }));
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-    }
+        Ok(())
+    };
+    let outcome = serve_loop();
     for c in conns {
         let _ = c.join();
     }
-    let _ = std::fs::remove_file(path);
-    Ok(())
+    outcome
 }
 
 fn handle_conn(
@@ -66,6 +105,7 @@ fn handle_conn(
             Ok(Request::Wait(id)) => Response::Result(sched.wait(id)),
             Ok(Request::Stats) => Response::Stats(sched.stats()),
             Ok(Request::StatsExt) => Response::StatsExt(Box::new(sched.stats_ext())),
+            Ok(Request::Health) => Response::Health(sched.health()),
             Ok(Request::Shutdown) => {
                 sched.wait_idle();
                 stop.store(true, Ordering::SeqCst);
@@ -184,6 +224,20 @@ impl Client {
     pub fn stats_ext(&mut self) -> io::Result<SvcStatsExt> {
         match self.request(&Request::StatsExt)? {
             Response::StatsExt(s) => Ok(*s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the resilience health report (protocol v4: retry /
+    /// fallback / repair counters, circuit-breaker states, active
+    /// fault-injection sites).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v4 servers answer `Err`.
+    pub fn health(&mut self) -> io::Result<HealthReport> {
+        match self.request(&Request::Health)? {
+            Response::Health(h) => Ok(h),
             other => Err(unexpected(&other)),
         }
     }

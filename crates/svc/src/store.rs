@@ -28,9 +28,11 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 use engines::EngineKind;
+use fault::{FaultPlan, Site};
 use wacc::OptLevel;
 
 use crate::hash::{fnv64, hex16};
@@ -73,13 +75,36 @@ impl ArtifactKey {
     }
 
     /// The on-disk file stem: hex of the hash over the key encoding.
-    fn file_stem(&self) -> String {
+    /// The entry file for this key lives at `<root>/<stem>.art`.
+    pub fn file_stem(&self) -> String {
         let mut enc = [0u8; 10];
         enc[..8].copy_from_slice(&self.content_hash.to_le_bytes());
         enc[8] = level_byte(self.level);
         enc[9] = engine_byte(self.engine);
         hex16(fnv64(&enc))
     }
+
+    /// The 64-bit stream a fault plan keys corruption decisions on: the
+    /// full key, so level/engine siblings corrupt independently.
+    fn fault_stream(&self) -> u64 {
+        self.content_hash
+            ^ ((level_byte(self.level) as u64) << 56)
+            ^ ((engine_byte(self.engine) as u64) << 48)
+    }
+}
+
+/// What a [`ArtifactStore::get_outcome`] lookup found. Distinguishing
+/// `Corrupt` from `Miss` is what lets callers *repair* an entry (recompile
+/// and put back) instead of merely recompiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// Verified payload.
+    Hit(Vec<u8>),
+    /// No entry under this key.
+    Miss,
+    /// An entry existed but failed verification; it has been removed
+    /// and the key is now free for a repair `put`.
+    Corrupt,
 }
 
 /// Store hit/miss/eviction counters.
@@ -113,6 +138,7 @@ pub struct ArtifactStore {
     total_bytes: u64,
     seq: u64,
     stats: StoreStats,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl ArtifactStore {
@@ -133,6 +159,7 @@ impl ArtifactStore {
             total_bytes: 0,
             seq: 0,
             stats: StoreStats::default(),
+            faults: None,
         };
         // Re-index survivors, oldest-modified first so their recency
         // order survives a restart.
@@ -197,24 +224,57 @@ impl ArtifactStore {
         self.stats
     }
 
+    /// Attaches (or clears) a fault-injection plan. With a plan set,
+    /// lookups can report spurious misses ([`Site::CacheMiss`]) or
+    /// keyed corruption ([`Site::StoreRead`]), and writes can flip a
+    /// payload byte on the way to disk ([`Site::StoreWrite`]).
+    pub fn set_faults(&mut self, faults: Option<Arc<FaultPlan>>) {
+        self.faults = faults;
+    }
+
     /// Looks up a payload. A hit refreshes LRU recency; a corrupt or
     /// mismatched file is removed and reported as a miss.
     pub fn get(&mut self, key: &ArtifactKey) -> Option<Vec<u8>> {
+        match self.get_outcome(key) {
+            GetOutcome::Hit(payload) => Some(payload),
+            GetOutcome::Miss | GetOutcome::Corrupt => None,
+        }
+    }
+
+    /// Like [`get`](Self::get), but tells `Miss` and `Corrupt` apart so
+    /// callers can repair a corrupt entry in place (recompile + `put`).
+    pub fn get_outcome(&mut self, key: &ArtifactKey) -> GetOutcome {
         let _span = obs::span!("svc.store.get");
         let Some(entry) = self.entries.get_mut(key) else {
             self.stats.misses += 1;
             obs::metrics::counter("svc.store.miss").inc();
-            return None;
+            return GetOutcome::Miss;
         };
+        // Injected spurious miss: the entry stays intact on disk, the
+        // caller just doesn't see it this time (transient, so a retry
+        // or the next job sees it again).
+        if let Some(plan) = &self.faults {
+            if plan.transient(Site::CacheMiss) {
+                self.stats.misses += 1;
+                obs::metrics::counter("svc.store.miss").inc();
+                return GetOutcome::Miss;
+            }
+        }
+        // Injected read corruption is keyed: this artifact reads corrupt
+        // on every lookup under this plan, exactly like a bad sector.
+        let injected_corrupt = self
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.keyed(Site::StoreRead, key.fault_stream()));
         match read_verified(&entry.path, key) {
-            Ok(payload) => {
+            Ok(payload) if !injected_corrupt => {
                 self.seq += 1;
                 entry.seq = self.seq;
                 self.stats.hits += 1;
                 obs::metrics::counter("svc.store.hit").inc();
-                Some(payload)
+                GetOutcome::Hit(payload)
             }
-            Err(_) => {
+            _ => {
                 let entry = self.entries.remove(key).expect("checked above");
                 self.total_bytes -= entry.file_len;
                 let _ = fs::remove_file(&entry.path);
@@ -222,7 +282,7 @@ impl ArtifactStore {
                 self.stats.misses += 1;
                 obs::metrics::counter("svc.store.corrupt").inc();
                 obs::metrics::counter("svc.store.miss").inc();
-                None
+                GetOutcome::Corrupt
             }
         }
     }
@@ -238,6 +298,15 @@ impl ArtifactStore {
         let path = self.root.join(format!("{}.art", key.file_stem()));
         let mut file = encode_header(&key, payload);
         file.extend_from_slice(payload);
+        // Injected write corruption (keyed): flip one payload byte after
+        // the checksum was computed, so the entry lands on disk corrupt
+        // and the next read detects it.
+        if let Some(plan) = &self.faults {
+            if !payload.is_empty() && plan.keyed(Site::StoreWrite, key.fault_stream()) {
+                let last = file.len() - 1;
+                file[last] ^= 0x01;
+            }
+        }
         // Write-then-rename so a crash mid-write never leaves a
         // half-entry under a live name.
         let tmp = self.root.join(format!(

@@ -60,6 +60,90 @@ fn truncated_and_mangled_artifacts_are_rejected() {
     assert!(engine.load_artifact(&mangled).is_err());
 }
 
+/// Regression test for store repair: an artifact that rots *on disk*
+/// (bit-flip or truncation) must be detected at the next warm lookup,
+/// evicted, recompiled, and written back under the same key — and the
+/// warm pass after the repair must hit the store again.
+#[test]
+fn rotten_artifact_is_detected_evicted_and_repaired_in_place() {
+    let dir = std::env::temp_dir().join(format!(
+        "wabench-svc-repair-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sched = Scheduler::start(Config {
+        workers: 1,
+        timeout: Duration::from_secs(120),
+        store_dir: Some(dir.clone()),
+        store_cap_bytes: 256 << 20,
+        ..Config::default()
+    })
+    .expect("start");
+    let warm_spec = |kind: EngineKind| JobSpec {
+        benchmark: "crc32".to_string(),
+        engine: kind,
+        level: OptLevel::O2,
+        scale: Scale::Test,
+        mode: JobMode::Exec,
+        warm: true,
+    };
+    let bytes = wasm_bytes();
+
+    // Two corruption shapes, one engine each: a flipped payload byte
+    // (checksum mismatch) and a truncated file (length mismatch).
+    type Mangle = fn(&mut Vec<u8>);
+    let rot: [(EngineKind, Mangle); 2] = [
+        (EngineKind::Wasmtime, |file| {
+            let last = file.len() - 1;
+            file[last] ^= 0x40;
+        }),
+        (EngineKind::Wavm, |file| {
+            file.truncate(file.len() / 2);
+        }),
+    ];
+    for (kind, mangle) in rot {
+        // Cold warm-mode job: populates the AOT entry.
+        let res = sched.wait(sched.submit(warm_spec(kind)));
+        assert!(res.ok(), "{:?}", res.status);
+        assert!(!res.warm_artifact, "first run is cold");
+
+        // Rot the artifact on disk, keeping the store open — a reopen
+        // would drop the bad file during reindexing and turn the
+        // corruption into a plain miss.
+        let path = dir.join(format!(
+            "{}.art",
+            ArtifactKey::aot(&bytes, OptLevel::O2, kind).file_stem()
+        ));
+        let mut file = std::fs::read(&path).expect("artifact file on disk");
+        mangle(&mut file);
+        std::fs::write(&path, &file).expect("write rotten artifact");
+
+        // Next warm job: detects, evicts, recompiles, repairs in place.
+        let res = sched.wait(sched.submit(warm_spec(kind)));
+        assert!(res.ok(), "{:?}", res.status);
+        assert!(!res.warm_artifact, "repair run compiles cold");
+        assert_eq!(
+            res.recovery.store_repairs, 1,
+            "repair must be surfaced in the result ({})",
+            kind.name()
+        );
+
+        // The repaired entry serves warm again.
+        let res = sched.wait(sched.submit(warm_spec(kind)));
+        assert!(res.ok(), "{:?}", res.status);
+        assert!(res.warm_artifact, "repaired entry must hit");
+        assert_eq!(res.recovery.store_repairs, 0);
+    }
+    let stats = sched.stats();
+    let store = stats.store.expect("store attached");
+    assert!(store.corrupt_rejected >= 2, "both rotten reads detected");
+    assert_eq!(sched.resilience().store_repairs, 2);
+    drop(sched);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn warm_job_falls_back_to_cold_compile_on_corrupt_artifact() {
     let dir = std::env::temp_dir().join(format!(
@@ -87,6 +171,7 @@ fn warm_job_falls_back_to_cold_compile_on_corrupt_artifact() {
         timeout: Duration::from_secs(120),
         store_dir: Some(dir.clone()),
         store_cap_bytes: 256 << 20,
+        ..Config::default()
     })
     .expect("start");
     let id = sched.submit(JobSpec {

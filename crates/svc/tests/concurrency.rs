@@ -17,6 +17,7 @@ fn config(workers: usize) -> Config {
         timeout: Duration::from_secs(120),
         store_dir: None,
         store_cap_bytes: 0,
+        ..Config::default()
     }
 }
 

@@ -1,0 +1,137 @@
+//! Keeps `docs/PROTOCOL.md` honest: the opcode tables and version
+//! documented there are parsed out of the markdown and asserted against
+//! the actual encodings in `svc::proto`. Renumbering a tag, adding a
+//! message, or bumping `PROTO_VERSION` without updating the spec fails
+//! this test.
+
+use obs::metrics::HistogramSnapshot;
+use svc::job::{JobSpec, JobStatus, Recovery, Scale};
+use svc::proto::{Request, Response, PROTO_VERSION};
+use svc::scheduler::{HealthReport, SvcStats, SvcStatsExt};
+use svc::JobResult;
+
+const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// Extracts `(tag, name)` rows from the table under the given `##`
+/// section heading. Rows look like `` | `7` | `Health` | v4 | — | ``.
+fn doc_table(section: &str) -> Vec<(u8, String)> {
+    let mut in_section = false;
+    let mut rows = Vec::new();
+    for line in DOC.lines() {
+        if let Some(h) = line.strip_prefix("## ") {
+            in_section = h.starts_with(section);
+            continue;
+        }
+        if !in_section || !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // cells[0] and the last are the empty outsides of the pipes.
+        if cells.len() < 4 {
+            continue;
+        }
+        let tag_cell = cells[1].trim_matches('`');
+        let name_cell = cells[2].trim_matches('`');
+        if let Ok(tag) = tag_cell.parse::<u8>() {
+            rows.push((tag, name_cell.to_string()));
+        }
+    }
+    assert!(!rows.is_empty(), "no table rows found under {section:?}");
+    rows
+}
+
+fn spec() -> JobSpec {
+    JobSpec::exec("crc32", engines::EngineKind::Wasm3, wacc::OptLevel::O0, Scale::Test)
+}
+
+fn result() -> JobResult {
+    JobResult {
+        id: 0,
+        spec: spec(),
+        status: JobStatus::Ok,
+        checksum: None,
+        bytes_hash: 0,
+        compile_s: 0.0,
+        exec_s: 0.0,
+        aot_compile_s: None,
+        counters: None,
+        warm_artifact: false,
+        wall_s: 0.0,
+        recovery: Recovery::default(),
+    }
+}
+
+fn stats_ext() -> SvcStatsExt {
+    SvcStatsExt {
+        base: SvcStats::default(),
+        queue_depth: 0,
+        workers: 0,
+        uptime_s: 0.0,
+        busy_s: 0.0,
+        queue_wait: HistogramSnapshot::default(),
+        engine_wall: Vec::new(),
+        engine_counters: Vec::new(),
+    }
+}
+
+#[test]
+fn documented_request_tags_match_the_code() {
+    let actual: Vec<(u8, &str)> = vec![
+        (Request::Ping.encode()[0], "Ping"),
+        (Request::Submit(spec()).encode()[0], "Submit"),
+        (Request::Poll(0).encode()[0], "Poll"),
+        (Request::Wait(0).encode()[0], "Wait"),
+        (Request::Stats.encode()[0], "Stats"),
+        (Request::Shutdown.encode()[0], "Shutdown"),
+        (Request::StatsExt.encode()[0], "StatsExt"),
+        (Request::Health.encode()[0], "Health"),
+    ];
+    let documented = doc_table("Requests");
+    assert_eq!(
+        documented.len(),
+        actual.len(),
+        "PROTOCOL.md requests table is missing or over-documenting messages"
+    );
+    for (tag, name) in &actual {
+        assert!(
+            documented.iter().any(|(t, n)| t == tag && n == name),
+            "request {name} (tag {tag}) not documented correctly in PROTOCOL.md"
+        );
+    }
+}
+
+#[test]
+fn documented_response_tags_match_the_code() {
+    let actual: Vec<(u8, &str)> = vec![
+        (Response::Pong.encode()[0], "Pong"),
+        (Response::Submitted(0).encode()[0], "Submitted"),
+        (Response::Pending.encode()[0], "Pending"),
+        (Response::Result(result()).encode()[0], "Result"),
+        (Response::Stats(SvcStats::default()).encode()[0], "Stats"),
+        (Response::Err(String::new()).encode()[0], "Err"),
+        (Response::Bye.encode()[0], "Bye"),
+        (Response::StatsExt(Box::new(stats_ext())).encode()[0], "StatsExt"),
+        (Response::Health(HealthReport::default()).encode()[0], "Health"),
+    ];
+    let documented = doc_table("Responses");
+    assert_eq!(
+        documented.len(),
+        actual.len(),
+        "PROTOCOL.md responses table is missing or over-documenting messages"
+    );
+    for (tag, name) in &actual {
+        assert!(
+            documented.iter().any(|(t, n)| t == tag && n == name),
+            "response {name} (tag {tag}) not documented correctly in PROTOCOL.md"
+        );
+    }
+}
+
+#[test]
+fn documented_version_matches_the_code() {
+    let needle = format!("The current protocol version is **{PROTO_VERSION}**.");
+    assert!(
+        DOC.contains(&needle),
+        "PROTOCOL.md must state: {needle}"
+    );
+}

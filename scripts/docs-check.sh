@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Validates intra-repo markdown links: every relative `](target)` in
+# README.md, EXPERIMENTS.md, and docs/*.md must resolve to a file or
+# directory in the tree. External (http/https/mailto) links and pure
+# #anchors are skipped; a `path#anchor` link is checked for the path
+# part only. Exits nonzero listing every dangling link.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+checked=0
+
+check_file() {
+    local doc="$1"
+    local dir
+    dir="$(dirname "$doc")"
+    # Inline links: `](target)` — good enough for the hand-written docs
+    # here (no nested parens in targets).
+    local links
+    links="$(grep -oE '\]\([^)]+\)' "$doc" | sed -e 's/^](//' -e 's/)$//' || true)"
+    local target
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+            '#'*) continue ;;
+        esac
+        local path="${target%%#*}"
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "docs-check: $doc: dangling link -> $target" >&2
+            fail=1
+        fi
+    done <<< "$links"
+}
+
+for doc in README.md EXPERIMENTS.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    check_file "$doc"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-check: FAILED" >&2
+    exit 1
+fi
+echo "docs-check: $checked intra-repo links OK"

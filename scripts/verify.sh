@@ -11,6 +11,11 @@
 #   6. trace smoke: span capture -> Chrome trace -> validator
 #   7. prof smoke: record a baseline, diff it clean, prove the gate
 #      fires under a synthetic 2x slowdown, and round-trip folded stacks
+#   8. docs check: every intra-repo markdown link in README.md,
+#      EXPERIMENTS.md, and docs/*.md resolves
+#   9. chaos smoke: fig6 under a 5% fault plan is bit-identical to a
+#      clean run, and the two chaos passes together exercise at least
+#      one retry, one interpreter fallback, and one store repair
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -70,5 +75,41 @@ grep -q "REGRESSION" "$trace_tmp/diff.out"
 cargo run -q --release -p wabench-obs --bin wabench-trace-check -- \
     "$trace_tmp/prof-trace.json"
 test -s "$trace_tmp/stacks.folded"
+
+step "docs check (intra-repo markdown links resolve)"
+scripts/docs-check.sh
+
+step "chaos smoke (fault injection: figures bit-identical, recovery paths exercised)"
+harness=./target/release/wabench-harness
+cargo build -q --release -p wabench-harness
+plan='seed=7,compile=0.05,panic=0.02,store.read=0.05'
+# A clean fig6 (simulated, deterministic) is the reference...
+"$harness" fig6 --scale test --jobs 4 --out "$trace_tmp/clean6.md" \
+    > /dev/null 2>&1
+# ...the same figure under 5% faults must reproduce it bit-for-bit:
+# degraded/failed cells are skipped by the warm pass and recomputed
+# cleanly by the serial pass.
+"$harness" fig6 --scale test --jobs 4 --faults "$plan" \
+    --store "$trace_tmp/chaos-store" --out "$trace_tmp/chaos6.md" \
+    > "$trace_tmp/chaos6.log" 2>&1
+cmp "$trace_tmp/clean6.md" "$trace_tmp/chaos6.md" || {
+    echo "chaos smoke FAILED: fig6 differs under fault injection" >&2
+    exit 1
+}
+# A second chaos pass (Exec jobs this time) reuses the store directory,
+# so keyed read-corruption faults now hit populated entries: together
+# the two runs must show every recovery path engaging.
+"$harness" fig4 --scale test --jobs 4 --faults "$plan" \
+    --store "$trace_tmp/chaos-store" --out "$trace_tmp/chaos4.md" \
+    > "$trace_tmp/chaos4.log" 2>&1
+grep -h '^resilience:' "$trace_tmp/chaos6.log" "$trace_tmp/chaos4.log"
+for counter in retries fallbacks repairs; do
+    total=$(grep -h '^resilience:' "$trace_tmp/chaos6.log" "$trace_tmp/chaos4.log" \
+        | grep -oE "$counter=[0-9]+" | cut -d= -f2 | awk '{s += $1} END {print s}')
+    if [ "${total:-0}" -lt 1 ]; then
+        echo "chaos smoke FAILED: no $counter recorded across chaos runs" >&2
+        exit 1
+    fi
+done
 
 step "verify OK"
