@@ -6,7 +6,7 @@
 //! described this way without this crate knowing the instruction set.
 
 /// Control-flow facts for one op in a linear instruction array.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OpFlow {
     /// Explicit branch targets (op indices). Empty for straight-line ops.
     pub targets: Vec<u32>,

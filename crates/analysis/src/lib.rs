@@ -12,6 +12,12 @@
 //!   (unused variables/functions, unreachable statements, constant
 //!   division by zero, constant out-of-bounds memory accesses), surfaced
 //!   by the `wabench-lint` binary in the harness crate.
+//! * [`range`] — interval (value-range) abstract interpretation with
+//!   widening/narrowing and branch refinement, consumed by the JIT's
+//!   check-elimination pass, the interpreter decode-time safety marks,
+//!   and the `wabench-audit` static reports. Eliminations are
+//!   proof-carrying: [`range::check_obligations`] independently
+//!   re-derives every claimed fact.
 //!
 //! The crate deliberately depends only on `wasm-core` and `wacc`; the
 //! engines crate depends on *it*, keeping the dependency graph acyclic.
@@ -19,4 +25,5 @@
 pub mod cfg;
 pub mod dataflow;
 pub mod lint;
+pub mod range;
 pub mod verify;

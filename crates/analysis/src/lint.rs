@@ -1,6 +1,6 @@
 //! Source-level lints over the checked WaCC AST.
 //!
-//! Five lints, all running on the unoptimized (`-O0`) typed AST so that
+//! Six lints, all running on the unoptimized (`-O0`) typed AST so that
 //! nothing the optimizer would delete escapes inspection:
 //!
 //! * `unused-function` — a non-exported function unreachable from any
@@ -13,7 +13,11 @@
 //!   zero divisor (guaranteed trap if reached);
 //! * `const-oob` — a memory intrinsic whose literal address lies outside
 //!   the program's declared linear memory (suppressed for positive
-//!   addresses when the program grows memory at runtime).
+//!   addresses when the program grows memory at runtime);
+//! * `dead-guard` — a `for` loop whose induction variable provably never
+//!   reaches its guard's bound (the interval of values the variable can
+//!   take never intersects the guard's exit set), so the guard can never
+//!   fail and the loop never terminates through it.
 //!
 //! Findings are [`Diagnostic`]s with 1-based lines into the *linted*
 //! source. Front-ends that lint a composed source (common helpers +
@@ -44,6 +48,7 @@ pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
     for f in &program.funcs {
         unused_variables(f, &mut diags);
         unreachable_statements(&f.body, &mut diags);
+        for_each_stmt(&f.body, &mut |s| dead_guard(s, &mut diags));
         for_each_expr(&f.body, &mut |e| {
             const_div_zero(e, &mut diags);
             const_oob(e, program.memory_pages, grows_memory, &mut diags);
@@ -53,13 +58,20 @@ pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
     diags
 }
 
-/// Keeps only findings with lines in `(offset, offset + len]` — the
-/// window a program's own lines occupy inside a composed source — and
-/// rebases them to be 1-based within the program.
+/// Keeps only findings inside the window a program's own lines occupy in
+/// a composed source, and rebases them to be 1-based within the program.
+///
+/// The lexer emits 1-based lines, so a program preceded by `offset`
+/// composed lines occupies exactly lines `offset + 1 ..= offset + len`
+/// (both edges inclusive): a finding on the program's first or last line
+/// is kept and rebases to `1` / `len` respectively. `offset + len`
+/// saturates rather than wrapping for degenerate windows.
 pub fn window(diags: Vec<Diagnostic>, offset: u32, len: u32) -> Vec<Diagnostic> {
+    let first = offset.saturating_add(1);
+    let last = offset.saturating_add(len);
     diags
         .into_iter()
-        .filter(|d| d.line > offset && d.line <= offset + len)
+        .filter(|d| d.line >= first && d.line <= last)
         .map(|mut d| {
             d.line -= offset;
             d
@@ -209,8 +221,15 @@ fn unreachable_statements(stmts: &[Stmt], diags: &mut Vec<Diagnostic>) {
         }
         if diverges(s) {
             if let Some(next) = stmts.get(i + 1) {
+                // An empty block has no line of its own; anchor the
+                // finding on the diverging statement so it stays 1-based
+                // and survives windowing.
+                let line = match stmt_line(next) {
+                    0 => stmt_line(s).max(1),
+                    l => l,
+                };
                 diags.push(Diagnostic::warning(
-                    stmt_line(next),
+                    line,
                     "unreachable-code",
                     "statement is unreachable".to_string(),
                 ));
@@ -230,6 +249,151 @@ fn stmt_line(stmt: &Stmt) -> u32 {
         Stmt::For { init, .. } => stmt_line(init),
         Stmt::Break(line) | Stmt::Continue(line) | Stmt::Return(_, line) => *line,
         Stmt::Block(body) => body.first().map_or(0, stmt_line),
+    }
+}
+
+// ---------------------------------------------------------------------
+// dead-guard
+
+/// The integer constant a literal evaluates to, if it is one.
+fn int_lit(e: &Expr) -> Option<i64> {
+    match e.kind {
+        ExprKind::Lit(Lit::I32(v)) => Some(i64::from(v)),
+        ExprKind::Lit(Lit::I64(v)) => Some(v),
+        _ => None,
+    }
+}
+
+/// `(slot, entry value)` when `stmt` sets a local to an integer constant.
+fn const_induction_init(stmt: &Stmt) -> Option<(u32, i64)> {
+    match stmt {
+        Stmt::Let { slot, init, .. } => Some((*slot, int_lit(init)?)),
+        Stmt::Assign { target: wacc::ast::AssignTarget::Local(slot), value, .. } => {
+            Some((*slot, int_lit(value)?))
+        }
+        _ => None,
+    }
+}
+
+/// `(comparison, bound)` with the induction variable normalized to the
+/// left-hand side, when `cond` compares `slot` against a constant.
+fn guard_bound(cond: &Expr, slot: u32) -> Option<(wacc::ast::BinOp, i64)> {
+    use wacc::ast::BinOp;
+    let ExprKind::Bin(op @ (BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge), lhs, rhs) = &cond.kind
+    else {
+        return None;
+    };
+    if matches!(lhs.kind, ExprKind::Local(s) if s == slot) {
+        return Some((*op, int_lit(rhs)?));
+    }
+    if matches!(rhs.kind, ExprKind::Local(s) if s == slot) {
+        // `bound < i` reads as `i > bound`, and so on.
+        let flipped = match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            _ => BinOp::Le,
+        };
+        return Some((flipped, int_lit(lhs)?));
+    }
+    None
+}
+
+/// The constant the step statement adds to `slot` each iteration.
+fn const_step(stmt: &Stmt, slot: u32) -> Option<i64> {
+    use wacc::ast::BinOp;
+    let Stmt::Assign { target: wacc::ast::AssignTarget::Local(s), value, .. } = stmt else {
+        return None;
+    };
+    if *s != slot {
+        return None;
+    }
+    let ExprKind::Bin(op @ (BinOp::Add | BinOp::Sub), lhs, rhs) = &value.kind else {
+        return None;
+    };
+    match (&lhs.kind, &rhs.kind) {
+        (ExprKind::Local(v), _) if *v == slot => {
+            let k = int_lit(rhs)?;
+            Some(if *op == BinOp::Add { k } else { k.checked_neg()? })
+        }
+        // `k + i` commutes; `k - i` is not an induction step.
+        (_, ExprKind::Local(v)) if *v == slot && *op == BinOp::Add => int_lit(lhs),
+        _ => None,
+    }
+}
+
+/// Whether any statement in `stmts` writes `slot` (the step is analyzed
+/// separately; any other write invalidates the induction model).
+fn writes_slot(stmts: &[Stmt], slot: u32) -> bool {
+    let mut found = false;
+    for_each_stmt(stmts, &mut |s| {
+        if matches!(
+            s,
+            Stmt::Assign { target: wacc::ast::AssignTarget::Local(v), .. } if *v == slot
+        ) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Flags `for` loops whose induction variable provably never reaches the
+/// guard's bound. With a constant entry value and a constant step, every
+/// value the variable takes lies in one interval of the value-range
+/// domain; if that interval never meets the guard's *exit set* (the
+/// values for which the guard is false) the guard can never fail — it is
+/// dead, and the loop only terminates through a `break` or `return`.
+fn dead_guard(stmt: &Stmt, diags: &mut Vec<Diagnostic>) {
+    use crate::range::Interval;
+    use wacc::ast::BinOp;
+
+    let Stmt::For { init, cond, step, body } = stmt else { return };
+    let Some((slot, entry)) = const_induction_init(init) else { return };
+    let Some((cmp, bound)) = guard_bound(cond, slot) else { return };
+    let Some(delta) = const_step(step, slot) else { return };
+    if writes_slot(body, slot) {
+        return;
+    }
+    if !cond_holds(cmp, entry, bound) {
+        // Guard is false on entry: the loop never runs. Real, but the
+        // unreachable-code story, not a dead guard.
+        return;
+    }
+
+    // Every value the induction variable takes (ignoring wrapping — a
+    // wrapped counter means ~2^32 iterations first, worth flagging too).
+    let reach = match delta.cmp(&0) {
+        std::cmp::Ordering::Greater => Interval::new(entry, i64::MAX),
+        std::cmp::Ordering::Less => Interval::new(i64::MIN, entry),
+        std::cmp::Ordering::Equal => Interval::exact(entry),
+    };
+    // Values for which the guard fails and the loop exits.
+    let exit = match cmp {
+        BinOp::Lt => Interval::new(bound, i64::MAX),
+        BinOp::Le => Interval::new(bound.saturating_add(1), i64::MAX),
+        BinOp::Gt => Interval::new(i64::MIN, bound),
+        _ => Interval::new(i64::MIN, bound.saturating_sub(1)),
+    };
+    if reach.meet(exit).is_empty() {
+        diags.push(Diagnostic::warning(
+            cond.line,
+            "dead-guard",
+            format!(
+                "loop guard can never fail: induction variable starts at {entry}, steps by \
+                 {delta}, and never reaches the bound {bound}"
+            ),
+        ));
+    }
+}
+
+/// Evaluates an integer comparison between two constants.
+fn cond_holds(cmp: wacc::ast::BinOp, lhs: i64, rhs: i64) -> bool {
+    use wacc::ast::BinOp;
+    match cmp {
+        BinOp::Lt => lhs < rhs,
+        BinOp::Le => lhs <= rhs,
+        BinOp::Gt => lhs > rhs,
+        _ => lhs >= rhs,
     }
 }
 
@@ -505,6 +669,104 @@ export fn main() -> i32 {
         ];
         let kept = window(diags, 10, 20);
         assert_eq!(codes_at(&kept), vec![("unused-variable", 2)]);
+    }
+
+    #[test]
+    fn window_keeps_both_edges_inclusive() {
+        // A 20-line program after 10 composed lines occupies lines
+        // 11..=30: both edge lines are the program's own.
+        let diags = vec![
+            Diagnostic::warning(10, "unused-variable", "last common line"),
+            Diagnostic::warning(11, "unused-variable", "first program line"),
+            Diagnostic::warning(30, "unused-variable", "last program line"),
+            Diagnostic::warning(31, "unused-variable", "first prelude line"),
+        ];
+        let kept = window(diags, 10, 20);
+        assert_eq!(
+            codes_at(&kept),
+            vec![("unused-variable", 1), ("unused-variable", 20)]
+        );
+    }
+
+    #[test]
+    fn window_zero_length_keeps_nothing_and_does_not_wrap() {
+        assert!(window(vec![Diagnostic::warning(5, "x", "m")], 5, 0).is_empty());
+        // Saturating edges: a window at the top of the line space must
+        // not wrap around and resurrect early lines.
+        assert!(window(vec![Diagnostic::warning(1, "x", "m")], u32::MAX - 1, 5).is_empty());
+    }
+
+    #[test]
+    fn dead_guard_flags_wrong_direction_step() {
+        let src = "\
+export fn main() -> i32 {
+    let sum: i32 = 0;
+    for (let i: i32 = 0; i < 10; i = i - 1) {
+        sum = sum + 1;
+        if (sum > 100) { break; }
+    }
+    return sum;
+}
+";
+        let diags = lint_user(src);
+        assert!(
+            diags.iter().any(|d| d.code == "dead-guard" && d.line == 3),
+            "descending counter never reaches an upper bound; got {diags:?}"
+        );
+    }
+
+    #[test]
+    fn dead_guard_flags_zero_step() {
+        let src = "\
+export fn main() -> i32 {
+    let n: i32 = 0;
+    for (let i: i32 = 5; i <= 9; i = i + 0) {
+        n = n + 1;
+        if (n > 3) { return n; }
+    }
+    return n;
+}
+";
+        let diags = lint_user(src);
+        assert!(diags.iter().any(|d| d.code == "dead-guard" && d.line == 3), "got {diags:?}");
+    }
+
+    #[test]
+    fn dead_guard_is_quiet_for_normal_loops() {
+        let src = "\
+export fn main() -> i32 {
+    let sum: i32 = 0;
+    for (let i: i32 = 0; i < 10; i = i + 1) {
+        sum = sum + i;
+    }
+    for (let j: i32 = 10; j > 0; j = j - 2) {
+        sum = sum + j;
+    }
+    return sum;
+}
+";
+        assert!(
+            lint_user(src).iter().all(|d| d.code != "dead-guard"),
+            "well-formed induction loops must not be flagged"
+        );
+    }
+
+    #[test]
+    fn dead_guard_is_quiet_when_body_writes_the_variable() {
+        let src = "\
+export fn main() -> i32 {
+    let sum: i32 = 0;
+    for (let i: i32 = 0; i < 10; i = i - 1) {
+        i = i + 2;
+        sum = sum + 1;
+    }
+    return sum;
+}
+";
+        assert!(
+            lint_user(src).iter().all(|d| d.code != "dead-guard"),
+            "a body write invalidates the induction model"
+        );
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub struct Counters {
     pub l1i_accesses: u64,
     /// L1-I misses.
     pub l1i_misses: u64,
+    /// Safety checks skipped thanks to static elimination proofs (not a
+    /// hardware counter; reported alongside so figures can attribute the
+    /// retired-instruction delta to check elimination).
+    pub checks_skipped: u64,
 }
 
 impl Counters {
@@ -110,6 +114,7 @@ impl Counters {
             l1d_misses: self.l1d_misses.saturating_sub(earlier.l1d_misses),
             l1i_accesses: self.l1i_accesses.saturating_sub(earlier.l1i_accesses),
             l1i_misses: self.l1i_misses.saturating_sub(earlier.l1i_misses),
+            checks_skipped: self.checks_skipped.saturating_sub(earlier.checks_skipped),
         }
     }
 
@@ -126,6 +131,7 @@ impl Counters {
         self.l1d_misses += other.l1d_misses;
         self.l1i_accesses += other.l1i_accesses;
         self.l1i_misses += other.l1i_misses;
+        self.checks_skipped += other.checks_skipped;
     }
 }
 
@@ -159,6 +165,7 @@ impl From<obs::trace::SpanCounters> for Counters {
             l1d_misses: c.l1d_misses,
             l1i_accesses: c.l1i_accesses,
             l1i_misses: c.l1i_misses,
+            checks_skipped: 0,
         }
     }
 }
@@ -172,6 +179,7 @@ pub struct ArchSim {
     pub branches: BranchPredictor,
     uops: u64,
     stall_cycles: u64,
+    checks_skipped: u64,
 }
 
 impl Default for ArchSim {
@@ -188,6 +196,7 @@ impl ArchSim {
             branches: BranchPredictor::new(),
             uops: 0,
             stall_cycles: 0,
+            checks_skipped: 0,
         }
     }
 
@@ -220,6 +229,7 @@ impl ArchSim {
             l1d_misses: l1d.misses,
             l1i_accesses: l1i.accesses,
             l1i_misses: l1i.misses,
+            checks_skipped: self.checks_skipped,
         }
     }
 }
@@ -258,6 +268,11 @@ impl Profiler for ArchSim {
     fn branch(&mut self, site: u64, kind: BranchKind, taken: bool, target: u64) {
         self.branches.observe(site, kind, taken, target);
         self.uops += 1; // the branch instruction itself
+    }
+
+    #[inline]
+    fn check_skipped(&mut self) {
+        self.checks_skipped += 1;
     }
 
     fn perf_counters(&self) -> Option<obs::trace::SpanCounters> {

@@ -115,6 +115,10 @@ pub enum TOp {
         op: Instr,
         /// Constant offset.
         offset: u32,
+        /// Translation-time range analysis proved the access in bounds;
+        /// the modeled bounds-check cost is skipped (the host check
+        /// remains as defense in depth).
+        safe: bool,
     },
     /// Memory store with constant offset.
     Store {
@@ -122,6 +126,8 @@ pub enum TOp {
         op: Instr,
         /// Constant offset.
         offset: u32,
+        /// Translation-time range analysis proved the access in bounds.
+        safe: bool,
     },
     /// Unconditional jump.
     Br {
@@ -247,8 +253,17 @@ impl ThreadedCode {
         let num_imported = module.num_imported_funcs() as u32;
         for (i, f) in module.funcs.iter().enumerate() {
             let ty = &module.types[f.type_idx as usize];
-            let tf = translate(&module, f, ty.params.len(), !ty.results.is_empty(), base, fuse)
-                .map_err(|e| e.with_func(num_imported + i as u32))?;
+            let safe = crate::jit::verify::safe_wasm_sites(&module, f);
+            let tf = translate(
+                &module,
+                f,
+                ty.params.len(),
+                !ty.results.is_empty(),
+                base,
+                fuse,
+                &safe,
+            )
+            .map_err(|e| e.with_func(num_imported + i as u32))?;
             base += tf.ops.len() as u64 * TOP_BYTES;
             funcs.push(tf);
         }
@@ -422,21 +437,33 @@ impl ThreadedCode {
                     push!(numeric::apply_unary(op, a)?);
                     p.uops(numeric_cost(&op));
                 }
-                TOp::Load { op, offset } => {
+                TOp::Load { op, offset, safe } => {
                     let addr = pop!() as u32;
                     let mem = rt.memory.as_ref().expect("validated memory");
                     let v = load_op(mem, &op, addr, offset)?;
                     p.read(HEAP_BASE + addr as u64 + offset as u64, load_width(&op));
-                    p.uops(1);
+                    // Access plus bounds check, unless translation proved
+                    // the check redundant.
+                    if safe {
+                        p.uops(1);
+                        p.check_skipped();
+                    } else {
+                        p.uops(2);
+                    }
                     push!(v);
                 }
-                TOp::Store { op, offset } => {
+                TOp::Store { op, offset, safe } => {
                     let v = pop!();
                     let addr = pop!() as u32;
                     let mem = rt.memory.as_mut().expect("validated memory");
                     store_op(mem, &op, addr, offset, v)?;
                     p.write(HEAP_BASE + addr as u64 + offset as u64, store_width(&op));
-                    p.uops(1);
+                    if safe {
+                        p.uops(1);
+                        p.check_skipped();
+                    } else {
+                        p.uops(2);
+                    }
                 }
                 TOp::Br { target, fix } => {
                     apply_fix!(fix);
@@ -579,6 +606,7 @@ fn translate(
     has_result: bool,
     base: u64,
     fuse: FusionLevel,
+    safe: &[bool],
 ) -> Result<TFunc, wasm_core::ValidateError> {
     // Validation has passed, so control structure is sound.
     let _map = ControlMap::build(&func.body)?;
@@ -871,16 +899,19 @@ fn translate(
             }
             other => {
                 if let Some((_, m)) = wasm_core::opcode::mem_opcode(other) {
+                    let is_safe = safe.get(i).copied().unwrap_or(false);
                     if is_store_op(other) {
                         height -= 2;
                         ops.push(TOp::Store {
                             op: *other,
                             offset: m.offset,
+                            safe: is_safe,
                         });
                     } else {
                         ops.push(TOp::Load {
                             op: *other,
                             offset: m.offset,
+                            safe: is_safe,
                         });
                     }
                 } else if numeric::is_binary(*other) {
@@ -1096,6 +1127,30 @@ mod tests {
         b.finish_func();
         b.export_func("sq1", f);
         assert_eq!(run(b.build(), "sq1", &[6]).unwrap(), Some(37));
+    }
+
+    #[test]
+    fn provably_safe_accesses_skip_the_modeled_check() {
+        use crate::profiler::CountingProfiler;
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let f = b.begin_func(FuncType::new(&[], &[ValType::I64]));
+        b.emit(Instr::I32Const(32));
+        b.emit(Instr::I64Const(-7));
+        b.emit(Instr::I64Store(Default::default()));
+        b.emit(Instr::I32Const(32));
+        b.emit(Instr::I64Load(Default::default()));
+        b.finish_func();
+        b.export_func("m", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).unwrap();
+        let code = ThreadedCode::load(Rc::new(m)).unwrap();
+        let mut rt = Runtime::instantiate(&code.module, &Imports::new(), Box::new(())).unwrap();
+        let idx = code.module.exported_func("m").unwrap();
+        let mut p = CountingProfiler::default();
+        assert_eq!(code.invoke(&mut rt, idx, &[], &mut p).unwrap(), Some(-7i64 as u64));
+        // Constant-address store + load, both within the 64 KiB minimum.
+        assert_eq!(p.checks_skipped, 2);
     }
 
     #[test]

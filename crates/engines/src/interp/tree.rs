@@ -30,6 +30,10 @@ pub struct TreeCode {
     maps: Vec<ControlMap>,
     /// Profiled bytecode base address of each module-defined function.
     func_base: Vec<u64>,
+    /// Per-function, per-instruction marks for safety checks the range
+    /// analysis proved redundant at load time. Marked sites keep the
+    /// host-side check (defense in depth) but skip its modeled cost.
+    safe: Vec<Vec<bool>>,
     num_imported: u32,
 }
 
@@ -43,6 +47,7 @@ impl TreeCode {
     pub fn load(module: Rc<Module>) -> Result<TreeCode, wasm_core::ValidateError> {
         let mut maps = Vec::with_capacity(module.funcs.len());
         let mut func_base = Vec::with_capacity(module.funcs.len());
+        let mut safe = Vec::with_capacity(module.funcs.len());
         let mut cursor = BYTECODE_BASE;
         let num_imported = module.num_imported_funcs() as u32;
         for (i, f) in module.funcs.iter().enumerate() {
@@ -50,6 +55,7 @@ impl TreeCode {
                 ControlMap::build(&f.body)
                     .map_err(|e| e.with_func(num_imported + i as u32))?,
             );
+            safe.push(crate::jit::verify::safe_wasm_sites(&module, f));
             func_base.push(cursor);
             cursor += f.body.len() as u64 * INSTR_BYTES;
         }
@@ -57,6 +63,7 @@ impl TreeCode {
             module,
             maps,
             func_base,
+            safe,
             num_imported,
         })
     }
@@ -101,6 +108,7 @@ impl TreeCode {
         let local_idx = (func_idx - self.num_imported) as usize;
         let func = &self.module.funcs[local_idx];
         let map = &self.maps[local_idx];
+        let safe = &self.safe[local_idx];
         let base = self.func_base[local_idx];
         let ty = &self.module.types[func.type_idx as usize];
         let result_arity = ty.results.len() as u8;
@@ -373,26 +381,45 @@ impl TreeCode {
                         let addr = pop!() as u32;
                         let mem = rt.memory.as_mut().expect("validated memory");
                         let ea = HEAP_BASE + addr as u64 + m.offset as u64;
+                        // Address computation + access, plus the bounds
+                        // check unless load-time analysis proved it
+                        // redundant.
                         if is_store {
                             let v = val.expect("store value");
                             store_op(mem, op, addr, m.offset, v)?;
                             p.write(ea, store_width(op));
-                            p.uops(2);
                         } else {
                             let loaded = load_op(mem, op, addr, m.offset)?;
                             p.read(ea, load_width(op));
-                            p.uops(2);
                             push!(loaded);
+                        }
+                        if safe[pc] {
+                            p.uops(1);
+                            p.check_skipped();
+                        } else {
+                            p.uops(2);
                         }
                     } else if numeric::is_binary(*op) {
                         let b = pop!();
                         let a = pop!();
                         push!(numeric::apply_binary(*op, a, b)?);
-                        p.uops(numeric_cost(op));
+                        let c = numeric_cost(op);
+                        if safe[pc] {
+                            p.uops((c - 1).max(1));
+                            p.check_skipped();
+                        } else {
+                            p.uops(c);
+                        }
                     } else if numeric::is_unary(*op) {
                         let a = pop!();
                         push!(numeric::apply_unary(*op, a)?);
-                        p.uops(numeric_cost(op));
+                        let c = numeric_cost(op);
+                        if safe[pc] {
+                            p.uops((c - 1).max(1));
+                            p.check_skipped();
+                        } else {
+                            p.uops(c);
+                        }
                     } else {
                         unreachable!("unhandled instruction {op:?}");
                     }
@@ -781,5 +808,51 @@ mod tests {
         assert_eq!(p.indirect_branches, 4);
         assert!(p.uops >= 16);
         assert!(p.reads >= 4); // bytecode reads
+    }
+
+    #[test]
+    fn provably_safe_accesses_skip_the_modeled_check() {
+        use crate::profiler::CountingProfiler;
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let f = b.begin_func(FuncType::new(&[], &[ValType::I64]));
+        b.emit(Instr::I32Const(64));
+        b.emit(Instr::I64Const(-3));
+        b.emit(Instr::I64Store(Default::default()));
+        b.emit(Instr::I32Const(64));
+        b.emit(Instr::I64Load(Default::default()));
+        b.finish_func();
+        b.export_func("m", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).unwrap();
+        let idx = m.exported_func("m").unwrap();
+        let code = TreeCode::load(Rc::new(m)).unwrap();
+        let mut rt = Runtime::instantiate(&code.module, &Imports::new(), Box::new(())).unwrap();
+        let mut p = CountingProfiler::default();
+        assert_eq!(code.invoke(&mut rt, idx, &[], &mut p).unwrap(), Some(-3i64 as u64));
+        // Both constant-address accesses are provably within the 64 KiB
+        // minimum memory, so both modeled bounds checks are skipped.
+        assert_eq!(p.checks_skipped, 2);
+    }
+
+    #[test]
+    fn unprovable_accesses_keep_the_modeled_check() {
+        use crate::profiler::CountingProfiler;
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let f = b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I64]));
+        b.emit(Instr::LocalGet(0));
+        b.emit(Instr::I64Load(Default::default()));
+        b.finish_func();
+        b.export_func("m", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).unwrap();
+        let idx = m.exported_func("m").unwrap();
+        let code = TreeCode::load(Rc::new(m)).unwrap();
+        let mut rt = Runtime::instantiate(&code.module, &Imports::new(), Box::new(())).unwrap();
+        let mut p = CountingProfiler::default();
+        // Unbounded parameter address: no proof, no skip.
+        assert_eq!(code.invoke(&mut rt, idx, &[16], &mut p).unwrap(), Some(0));
+        assert_eq!(p.checks_skipped, 0);
     }
 }

@@ -13,13 +13,16 @@ use crate::error::EngineError;
 use crate::jit::exec::RegCode;
 use crate::jit::ir::{RFunc, ROp};
 use crate::jit::Tier;
+use analysis::range;
 use wasm_core::instr::{Instr, MemArg};
 use wasm_core::leb::{self, Reader};
 
 /// Artifact magic: `WAOT`.
 const MAGIC: &[u8; 4] = b"WAOT";
-/// Artifact format version.
-const VERSION: u32 = 1;
+/// Artifact format version. Version 2 added the per-function minimum
+/// memory size and check-elimination proof obligations; loading
+/// re-derives every obligation, so a tampered artifact is rejected.
+const VERSION: u32 = 2;
 
 /// Serializes a compiled module into an AOT artifact.
 pub fn to_bytes(code: &RegCode, tier: Tier) -> Vec<u8> {
@@ -101,6 +104,69 @@ fn write_func(out: &mut Vec<u8>, f: &RFunc) {
     for op in &f.ops {
         write_op(out, op);
     }
+    leb::write_u64(out, f.mem_min_bytes);
+    leb::write_u32(out, f.proofs.len() as u32);
+    for p in &f.proofs {
+        write_obligation(out, p);
+    }
+}
+
+/// Guard sentinel for "no dominating guard".
+const NO_GUARD: u32 = u32::MAX;
+
+fn write_obligation(out: &mut Vec<u8>, p: &range::Obligation) {
+    leb::write_u32(out, p.op);
+    out.push(match p.kind {
+        range::CheckKind::MemInBounds => 0,
+        range::CheckKind::DivSafe => 1,
+        range::CheckKind::TruncSafe => 2,
+    });
+    match p.fact {
+        range::Fact::Int(iv) => {
+            out.push(0);
+            leb::write_u64(out, iv.lo as u64);
+            leb::write_u64(out, iv.hi as u64);
+        }
+        range::Fact::Float(fv) => {
+            out.push(1);
+            leb::write_u64(out, fv.lo.to_bits());
+            leb::write_u64(out, fv.hi.to_bits());
+            out.push(fv.nan as u8);
+        }
+    }
+    leb::write_u32(out, p.guard.unwrap_or(NO_GUARD));
+}
+
+fn read_obligation(r: &mut Reader<'_>) -> Result<range::Obligation, wasm_core::DecodeError> {
+    fn bad(r: &Reader<'_>) -> wasm_core::DecodeError {
+        wasm_core::DecodeError {
+            offset: r.pos(),
+            kind: wasm_core::error::DecodeErrorKind::UnknownOpcode(0),
+        }
+    }
+    let op = r.u32()?;
+    let kind = match r.byte()? {
+        0 => range::CheckKind::MemInBounds,
+        1 => range::CheckKind::DivSafe,
+        2 => range::CheckKind::TruncSafe,
+        _ => return Err(bad(r)),
+    };
+    let fact = match r.byte()? {
+        0 => {
+            let lo = r.u64()? as i64;
+            let hi = r.u64()? as i64;
+            range::Fact::Int(range::Interval { lo, hi })
+        }
+        1 => {
+            let lo = f64::from_bits(r.u64()?);
+            let hi = f64::from_bits(r.u64()?);
+            let nan = r.byte()? != 0;
+            range::Fact::Float(range::FInterval { lo, hi, nan })
+        }
+        _ => return Err(bad(r)),
+    };
+    let g = r.u32()?;
+    Ok(range::Obligation { op, kind, fact, guard: (g != NO_GUARD).then_some(g) })
 }
 
 fn read_func(r: &mut Reader<'_>) -> Result<RFunc, wasm_core::DecodeError> {
@@ -134,6 +200,12 @@ fn read_func(r: &mut Reader<'_>) -> Result<RFunc, wasm_core::DecodeError> {
     for _ in 0..nops {
         ops.push(read_op(r)?);
     }
+    let mem_min_bytes = r.u64()?;
+    let nproofs = r.u32()? as usize;
+    let mut proofs = Vec::with_capacity(nproofs.min(r.remaining()));
+    for _ in 0..nproofs {
+        proofs.push(read_obligation(r)?);
+    }
     Ok(RFunc {
         ops,
         nparams,
@@ -141,6 +213,8 @@ fn read_func(r: &mut Reader<'_>) -> Result<RFunc, wasm_core::DecodeError> {
         nregs,
         result,
         tables,
+        mem_min_bytes,
+        proofs,
     })
 }
 
@@ -506,6 +580,34 @@ mod tests {
         for cut in [5, bytes.len() / 2, bytes.len() - 1] {
             assert!(from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn proofs_round_trip_and_tampering_is_rejected() {
+        let mut b = ModuleBuilder::new();
+        b.memory(1, None);
+        let f = b.begin_func(FuncType::new(&[], &[ValType::I64]));
+        b.emit(Instr::I32Const(64));
+        b.emit(Instr::I64Load(Default::default()));
+        b.finish_func();
+        b.export_func("f", f);
+        let m = b.build();
+        wasm_core::validate::validate(&m).unwrap();
+        let mut code = compile_module(Rc::new(m), Tier::Cranelift).unwrap().0;
+        assert!(!code.funcs[0].proofs.is_empty(), "const-address load should be proven");
+
+        // Honest proofs survive the round trip (and its re-derivation).
+        let (loaded, _) = from_bytes(&to_bytes(&code, Tier::Cranelift)).unwrap();
+        assert_eq!(loaded.funcs[0].proofs, code.funcs[0].proofs);
+
+        // A widened (unsafe) claim must be rejected at load time.
+        code.funcs[0].proofs[0].fact =
+            range::Fact::Int(range::Interval::new(0, i32::MAX as i64));
+        let err = from_bytes(&to_bytes(&code, Tier::Cranelift));
+        assert!(
+            matches!(&err, Err(EngineError::BadArtifact(m)) if m.contains("proof")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -57,6 +57,11 @@ pub struct RegCode {
     pub num_imported: u32,
     /// Per-function resolved numeric handlers, parallel to `funcs[i].ops`.
     resolved: Vec<Vec<Resolved>>,
+    /// Per-op "check statically proven redundant" flags, parallel to
+    /// `funcs[i].ops`, materialized from each function's proof
+    /// obligations. Safe sites skip the modeled check cost (the host
+    /// bounds check stays as defense in depth).
+    safe: Vec<Vec<bool>>,
 }
 
 impl RegCode {
@@ -93,6 +98,13 @@ impl RegCode {
         }
         for (i, f) in funcs.iter().enumerate() {
             check_code(f, i, &module).map_err(|e| format!("function {i}: {e}"))?;
+            // Untrusted proofs get the full treatment: re-derive every
+            // obligation from scratch. A corrupt or malicious artifact
+            // must not buy itself skipped checks.
+            let violations = crate::jit::verify::check_proofs(f);
+            if let Some(v) = violations.first() {
+                return Err(format!("function {i}: unsound elimination proof: {v}"));
+            }
         }
         Ok(RegCode::new_unchecked(module, funcs))
     }
@@ -101,9 +113,15 @@ impl RegCode {
         let mut func_base = Vec::with_capacity(funcs.len());
         let mut cursor = CODE_BASE + 0x10_0000; // past the runtime stubs
         let mut resolved = Vec::with_capacity(funcs.len());
+        let mut safe = Vec::with_capacity(funcs.len());
         for f in &funcs {
             func_base.push(cursor);
             cursor += f.ops.len() as u64 * OP_BYTES;
+            let mut s = vec![false; f.ops.len()];
+            for proof in &f.proofs {
+                s[proof.op as usize] = true;
+            }
+            safe.push(s);
             resolved.push(
                 f.ops
                     .iter()
@@ -127,6 +145,7 @@ impl RegCode {
             funcs,
             func_base,
             resolved,
+            safe,
         }
     }
 
@@ -172,6 +191,7 @@ impl RegCode {
         let f = &self.funcs[fi];
         let base = self.func_base[fi];
         let resolved = &self.resolved[fi];
+        let safe = &self.safe[fi];
 
         let frame_base = frames.len();
         frames.resize(frame_base + f.nregs as usize, 0);
@@ -181,7 +201,7 @@ impl RegCode {
         p.uops(2);
         rt.peak_value_stack = rt.peak_value_stack.max(frames.len());
 
-        let result = self.exec_frame(rt, f, base, resolved, frame_base, depth, frames, p);
+        let result = self.exec_frame(rt, f, base, resolved, safe, frame_base, depth, frames, p);
         frames.truncate(frame_base);
         result
     }
@@ -193,6 +213,7 @@ impl RegCode {
         f: &RFunc,
         base: u64,
         resolved: &[Resolved],
+        safe: &[bool],
         frame_base: usize,
         depth: usize,
         frames: &mut Vec<u64>,
@@ -214,6 +235,22 @@ impl RegCode {
             }};
         }
         let mut pc: usize = 0;
+        // Accounts µops for an op carrying an implicit safety check:
+        // proven-safe sites skip the modeled check µop and report the
+        // skip; `checked` is the cost with the check included.
+        macro_rules! checked_uops {
+            ($checked:expr) => {{
+                let c: u64 = $checked;
+                // SAFETY: `safe` is parallel to `f.ops`, and `pc` is in
+                // bounds by the loop invariant below.
+                if unsafe { *safe.get_unchecked(pc) } {
+                    p.uops((c - 1).max(1));
+                    p.check_skipped();
+                } else {
+                    p.uops(c);
+                }
+            }};
+        }
         // SAFETY throughout this loop: `check_code` proved every register
         // operand < nregs (the frame size) and every branch target < the
         // op count, and the final op is a terminator, so `pc` always stays
@@ -238,7 +275,7 @@ impl RegCode {
                         _ => unreachable!("resolved table parallel to ops"),
                     };
                     set_reg!(rd, h(reg!(ra), reg!(rb))?);
-                    p.uops(op_cost(op.class()));
+                    checked_uops!(op_cost(op.class()));
                 }
                 ROp::Bin2 { op1, op2, rd, ra, rb, rc, swapped } => {
                     let (h1, h2) = match resolved[pc] {
@@ -253,7 +290,7 @@ impl RegCode {
                         h2(v1, reg!(rc))?
                     };
                     set_reg!(rd, v);
-                    p.uops(2);
+                    checked_uops!(2);
                 }
                 ROp::BinImm { op, rd, ra, imm } => {
                     let h = match resolved[pc] {
@@ -261,7 +298,7 @@ impl RegCode {
                         _ => unreachable!("resolved table parallel to ops"),
                     };
                     set_reg!(rd, h(reg!(ra), imm)?);
-                    p.uops(op_cost(op.class()));
+                    checked_uops!(op_cost(op.class()));
                 }
                 ROp::Un { op, rd, ra } => {
                     let h = match resolved[pc] {
@@ -269,21 +306,23 @@ impl RegCode {
                         _ => unreachable!("resolved table parallel to ops"),
                     };
                     set_reg!(rd, h(reg!(ra))?);
-                    p.uops(op_cost(op.class()));
+                    checked_uops!(op_cost(op.class()));
                 }
                 ROp::Load { op, rd, addr, offset } => {
                     let a = reg!(addr) as u32;
                     let mem = rt.memory.as_ref().expect("validated memory");
                     set_reg!(rd, load_op(mem, &op, a, offset)?);
                     p.read(HEAP_BASE + a as u64 + offset as u64, load_width(&op));
-                    p.uops(1);
+                    // Address computation + access, plus the bounds check
+                    // unless the compiler proved it redundant.
+                    checked_uops!(2);
                 }
                 ROp::Store { op, addr, val, offset } => {
                     let a = reg!(addr) as u32;
                     let mem = rt.memory.as_mut().expect("validated memory");
                     store_op(mem, &op, a, offset, reg!(val))?;
                     p.write(HEAP_BASE + a as u64 + offset as u64, store_width(&op));
-                    p.uops(1);
+                    checked_uops!(2);
                 }
                 ROp::Select { rd, cond, a, b } => {
                     let v = if reg!(cond) as u32 != 0 { reg!(a) } else { reg!(b) };
@@ -574,6 +613,13 @@ fn check_code(f: &RFunc, func_idx: usize, module: &Module) -> Result<(), String>
     // The last op must not fall off the end.
     if !f.ops.last().expect("non-empty").is_terminator() {
         return Err("function may fall off the end".to_string());
+    }
+    // Proof obligations must cite real ops (the semantic re-derivation
+    // happens in `verify::check_proofs`; this keeps indexing safe).
+    for p in &f.proofs {
+        if p.op as usize >= f.ops.len() {
+            return Err(format!("proof obligation cites op {} out of function", p.op));
+        }
     }
     Ok(())
 }

@@ -375,6 +375,12 @@ pub struct RFunc {
     pub result: bool,
     /// Jump-table pool for `BrTable` (targets plus default last).
     pub tables: Vec<Vec<u32>>,
+    /// Declared minimum linear-memory size in bytes (sound lower bound
+    /// for bounds-check elimination — memory only grows).
+    pub mem_min_bytes: u64,
+    /// Proof obligations for eliminated safety checks, re-derivable by
+    /// `jit::verify::check_proofs`.
+    pub proofs: Vec<analysis::range::Obligation>,
 }
 
 impl RFunc {

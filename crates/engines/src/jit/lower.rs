@@ -39,6 +39,21 @@ pub fn lower(
     module: &Module,
     func: &wasm_core::module::Func,
 ) -> Result<RFunc, wasm_core::ValidateError> {
+    lower_with_map(module, func).map(|(f, _)| f)
+}
+
+/// Like [`lower`], but also returns a source map: for every emitted op,
+/// the index of the wasm instruction it was lowered from. Used by the
+/// interpreter tiers to carry range-analysis facts (computed over the
+/// unoptimized register code) back to wasm instruction granularity.
+///
+/// # Errors
+///
+/// Fails only on malformed control structure, which validation excludes.
+pub fn lower_with_map(
+    module: &Module,
+    func: &wasm_core::module::Func,
+) -> Result<(RFunc, Vec<u32>), wasm_core::ValidateError> {
     let _map = ControlMap::build(&func.body)?;
     let ty = &module.types[func.type_idx as usize];
     let nparams = ty.params.len() as u16;
@@ -49,8 +64,10 @@ pub fn lower(
         nparams,
         nlocals,
         result: has_result,
+        mem_min_bytes: module.min_memory_pages() as u64 * 65536,
         ..RFunc::default()
     };
+    let mut srcmap: Vec<u32> = Vec::new();
     let mut height: u16 = 0;
     let mut max_height: u16 = 0;
     let mut blocks: Vec<OpenBlock> = vec![OpenBlock {
@@ -406,11 +423,13 @@ pub fn lower(
                 }
             }
         }
+        srcmap.resize(out.ops.len(), i as u32);
         i += 1;
     }
+    srcmap.resize(out.ops.len(), body.len().saturating_sub(1) as u32);
 
     out.nregs = nlocals + max_height + 2;
-    Ok(out)
+    Ok((out, srcmap))
 }
 
 /// Emits a branch of depth `d`; `cond` is `Some(reg)` for `br_if`.

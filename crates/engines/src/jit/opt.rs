@@ -24,6 +24,9 @@ pub struct PassStats {
     pub fused: u64,
     /// Value-numbering replacements.
     pub cse_hits: u64,
+    /// Runtime safety checks proven redundant (each carries a proof
+    /// obligation in [`RFunc::proofs`]).
+    pub checks_eliminated: u64,
     /// Wall time spent in the IR verifier between passes. Kept apart from
     /// `op_visits` so verification never inflates modeled compile work
     /// (`CompileStats::total_work`).
@@ -38,6 +41,7 @@ impl PassStats {
         self.folded += other.folded;
         self.fused += other.fused;
         self.cse_hits += other.cse_hits;
+        self.checks_eliminated += other.checks_eliminated;
         self.verify_ns += other.verify_ns;
     }
 }
@@ -61,6 +65,8 @@ pub struct PassConfig {
     pub dce: bool,
     /// Local value numbering (CSE).
     pub lvn: bool,
+    /// Interval-analysis check elimination (bounds, div, trunc guards).
+    pub bce: bool,
     /// Pipeline iterations (fixpoint rounds).
     pub rounds: u32,
 }
@@ -77,6 +83,7 @@ impl PassConfig {
             cmp_fuse: false,
             dce: false,
             lvn: false,
+            bce: false,
             rounds: 0,
         }
     }
@@ -92,6 +99,7 @@ impl PassConfig {
             cmp_fuse: true,
             dce: true,
             lvn: false,
+            bce: true,
             rounds: 1,
         }
     }
@@ -107,6 +115,7 @@ impl PassConfig {
             cmp_fuse: true,
             dce: true,
             lvn: true,
+            bce: true,
             rounds: 8,
         }
     }
@@ -162,9 +171,155 @@ pub fn optimize(f: &mut RFunc, config: &PassConfig) -> PassStats {
             stats.verify_ns += snapshot_ns + t1.elapsed().as_nanos() as u64;
         }
     }
+    // Check elimination runs once, after the scalar pipeline converges:
+    // it sees the final op layout (proof obligations cite op indices) and
+    // benefits from fused guards and folded address arithmetic.
+    if config.bce {
+        let _span = obs::span!("jit.pass", name = "check_elim");
+        if !verify::enabled() {
+            stats.merge(check_elim(f));
+        } else {
+            let t0 = std::time::Instant::now();
+            let before = verify::effect_trace(f);
+            let snapshot_ns = t0.elapsed().as_nanos() as u64;
+            stats.merge(check_elim(f));
+            let t1 = std::time::Instant::now();
+            verify::check_pass("check_elim", f, &before);
+            let violations = verify::check_proofs(f);
+            assert!(
+                violations.is_empty(),
+                "check_elim emitted proofs its own checker rejects: {violations:#?}"
+            );
+            stats.verify_ns += snapshot_ns + t1.elapsed().as_nanos() as u64;
+        }
+    }
     if stats.verify_ns > 0 {
         obs::metrics::histogram("jit.verify").observe_ns(stats.verify_ns);
     }
+    stats
+}
+
+/// Interval-analysis check elimination.
+///
+/// Two rounds over the interval analysis ([`analysis::range`], reached
+/// through the [`verify::abs_ops`] adapter):
+///
+/// 1. Proven-non-trapping divisions whose results are dead become `Nop`
+///    (ordinary DCE must keep them because they carry a potential trap).
+/// 2. Every remaining check the analysis discharges — memory bounds,
+///    division, float truncation — gets a proof [`Obligation`] recorded
+///    in [`RFunc::proofs`]: the claimed interval plus an optional
+///    dominating guard. The verifier re-derives each obligation from
+///    scratch and rejects the function if any claim is unsound; the
+///    execution tiers skip the modeled check cost for proven sites while
+///    keeping the host-side check as defense in depth.
+fn check_elim(f: &mut RFunc) -> PassStats {
+    use analysis::range::{self, Check, CheckKind, Fact, Obligation, Operand, Width};
+    let mut stats = PassStats::default();
+    f.proofs.clear();
+    if f.ops.is_empty() {
+        return stats;
+    }
+
+    // Round 1: drop dead proven-safe divisions.
+    let ops = verify::abs_ops(f);
+    stats.op_visits += ops.len() as u64;
+    let an = range::analyze(&ops, f.nregs as usize, f.nparams as usize);
+    let mut safe_divs: Vec<usize> = Vec::new();
+    an.walk(&ops, |i, st| {
+        if let Some(Check::Div { w, signed, divisor: Some(dv), dividend }) = &ops[i].check {
+            let iv = range::read_int(st, *dv, *w);
+            let dd = dividend.map(|d| range::read_int(st, d, *w));
+            if range::div_safe(iv, dd, *w, *signed) {
+                safe_divs.push(i);
+            }
+        }
+    });
+    let mut removed_any = false;
+    for &i in &safe_divs {
+        let dead = f.ops[i]
+            .def()
+            .is_some_and(|rd| rd >= f.nlocals && !reg_used_after(f, i + 1, rd));
+        if dead {
+            f.ops[i] = ROp::Nop;
+            stats.removed += 1;
+            removed_any = true;
+        }
+    }
+    if removed_any {
+        stats.merge(dce(f));
+        stats.merge(compact(f));
+    }
+
+    // Round 2: re-analyze the final layout and emit one obligation per
+    // provable check. The claimed fact is exactly the derived interval,
+    // so an honest proof always re-checks.
+    let ops = verify::abs_ops(f);
+    stats.op_visits += ops.len() as u64;
+    let an = range::analyze(&ops, f.nregs as usize, f.nparams as usize);
+    let idom = an.cfg.dominators();
+    // Nearest strictly-dominating block whose terminating branch carries
+    // a recoverable comparison guard.
+    let guard_for = |b: usize| -> Option<u32> {
+        let entry = an.cfg.rpo[0];
+        let mut cur = b;
+        loop {
+            if cur == entry || idom[cur] == usize::MAX {
+                return None;
+            }
+            cur = idom[cur];
+            let last = an.cfg.blocks[cur].end - 1;
+            if ops[last].guard.is_some() {
+                return Some(last as u32);
+            }
+        }
+    };
+    let mut proofs: Vec<Obligation> = Vec::new();
+    an.walk(&ops, |i, st| {
+        let Some(check) = &ops[i].check else { return };
+        let b = an.cfg.block_of[i];
+        match check {
+            Check::Mem { addr, offset, len } => {
+                let iv = range::read_int(st, Operand::Reg(*addr), Width::W32);
+                if range::mem_safe(iv, *offset, *len, f.mem_min_bytes) {
+                    proofs.push(Obligation {
+                        op: i as u32,
+                        kind: CheckKind::MemInBounds,
+                        fact: Fact::Int(iv),
+                        guard: guard_for(b),
+                    });
+                }
+            }
+            Check::Div { w, signed, divisor: Some(dv), dividend } => {
+                let iv = range::read_int(st, *dv, *w);
+                let dd = dividend.map(|d| range::read_int(st, d, *w));
+                if range::div_safe(iv, dd, *w, *signed) {
+                    proofs.push(Obligation {
+                        op: i as u32,
+                        kind: CheckKind::DivSafe,
+                        fact: Fact::Int(iv),
+                        guard: guard_for(b),
+                    });
+                }
+            }
+            // A fused pair where both halves trap has no single divisor
+            // operand; it stays an unprovable residual.
+            Check::Div { divisor: None, .. } => {}
+            Check::Trunc { src, signed, dst } => {
+                let fv = range::read_float(st, Operand::Reg(*src), Width::W64);
+                if range::trunc_safe(fv, *signed, *dst) {
+                    proofs.push(Obligation {
+                        op: i as u32,
+                        kind: CheckKind::TruncSafe,
+                        fact: Fact::Float(fv),
+                        guard: guard_for(b),
+                    });
+                }
+            }
+        }
+    });
+    stats.checks_eliminated = proofs.len() as u64;
+    f.proofs = proofs;
     stats
 }
 
@@ -912,6 +1067,101 @@ mod tests {
         optimize(&mut agg_f, &PassConfig::aggressive());
         assert!(agg_f.ops.len() <= std_f.ops.len());
     }
+    #[test]
+    fn check_elim_proves_constant_address_access() {
+        let mut f = lowered(|b| {
+            b.memory(1, None);
+            b.begin_func(FuncType::new(&[], &[ValType::I64]));
+            b.emit(Instr::I32Const(64));
+            b.emit(Instr::I64Load(wasm_core::instr::MemArg { align: 3, offset: 0 }));
+            b.finish_func();
+        });
+        let stats = optimize(&mut f, &PassConfig::standard());
+        assert!(stats.checks_eliminated >= 1, "{:?}", f.ops);
+        assert!(!f.proofs.is_empty());
+        assert!(verify::check_proofs(&f).is_empty());
+    }
+
+    #[test]
+    fn check_elim_uses_dominating_guard() {
+        // if (i < 128) { return load(i); } return 0;
+        let mut f = lowered(|b| {
+            b.memory(1, None);
+            b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+            b.emit(Instr::Block(wasm_core::instr::BlockType::Empty));
+            b.emit(Instr::LocalGet(0));
+            b.emit(Instr::I32Const(128));
+            b.emit(Instr::I32GeU);
+            b.emit(Instr::BrIf(0));
+            b.emit(Instr::LocalGet(0));
+            b.emit(Instr::I32Load(wasm_core::instr::MemArg { align: 2, offset: 0 }));
+            b.emit(Instr::Return);
+            b.emit(Instr::End);
+            b.emit(Instr::I32Const(0));
+            b.finish_func();
+        });
+        let stats = optimize(&mut f, &PassConfig::standard());
+        assert!(stats.checks_eliminated >= 1, "{:?}", f.ops);
+        let mem = f
+            .proofs
+            .iter()
+            .find(|p| p.kind == analysis::range::CheckKind::MemInBounds)
+            .expect("bounds proof");
+        assert!(mem.guard.is_some(), "proof should cite the range guard: {:?}", f.proofs);
+        assert!(verify::check_proofs(&f).is_empty());
+    }
+
+    #[test]
+    fn check_elim_drops_dead_safe_division() {
+        let mut f = lowered(|b| {
+            b.begin_func(FuncType::new(&[ValType::I32], &[ValType::I32]));
+            b.emit(Instr::LocalGet(0));
+            b.emit(Instr::I32Const(7));
+            b.emit(Instr::I32DivU);
+            b.emit(Instr::Drop);
+            b.emit(Instr::I32Const(1));
+            b.finish_func();
+        });
+        optimize(&mut f, &PassConfig::aggressive());
+        assert!(
+            !f.ops.iter().any(|op| matches!(
+                op,
+                ROp::Bin { op: Instr::I32DivU, .. } | ROp::BinImm { op: Instr::I32DivU, .. }
+            )),
+            "a dead division by a provably nonzero constant should vanish: {:?}",
+            f.ops
+        );
+    }
+
+    #[test]
+    fn corrupted_proof_is_rejected() {
+        let mut f = lowered(|b| {
+            b.memory(1, None);
+            b.begin_func(FuncType::new(&[], &[ValType::I64]));
+            b.emit(Instr::I32Const(64));
+            b.emit(Instr::I64Load(wasm_core::instr::MemArg { align: 3, offset: 0 }));
+            b.finish_func();
+        });
+        optimize(&mut f, &PassConfig::standard());
+        assert!(!f.proofs.is_empty());
+        // Tamper 1: claim an unsafe (out-of-bounds) interval.
+        let mut g = f.clone();
+        g.proofs[0].fact = analysis::range::Fact::Int(analysis::range::Interval::new(0, 1 << 30));
+        assert!(!verify::check_proofs(&g).is_empty());
+        // Tamper 2: claim a narrower interval than derivable.
+        let mut g = f.clone();
+        g.proofs[0].fact = analysis::range::Fact::Int(analysis::range::Interval::exact(0));
+        assert!(!verify::check_proofs(&g).is_empty());
+        // Tamper 3: cite a non-guard op as the dominating guard.
+        let mut g = f.clone();
+        g.proofs[0].guard = Some(0);
+        assert!(!verify::check_proofs(&g).is_empty());
+        // Tamper 4: point at an op with no check at all.
+        let mut g = f.clone();
+        g.proofs[0].op = (g.ops.len() - 1) as u32;
+        assert!(!verify::check_proofs(&g).is_empty());
+    }
+
     #[test]
     fn immediate_fusion_removes_const_defs() {
         let mut f = lowered(|b| {

@@ -87,6 +87,12 @@ pub trait Profiler {
         let _ = (site, kind, taken, target);
     }
 
+    /// A runtime safety check (bounds, division, truncation guard) was
+    /// statically proven redundant and skipped at this step. Lets the
+    /// simulator report how much modeled work check elimination removed.
+    #[inline]
+    fn check_skipped(&mut self) {}
+
     /// A `perf stat`-shaped snapshot of accumulated counters, for
     /// attaching deltas to trace spans. `None` (the default) means this
     /// profiler has nothing to report — the instrumentation sites then
@@ -124,6 +130,8 @@ pub struct CountingProfiler {
     pub taken_branches: u64,
     /// Indirect branches (dispatch, br_table, indirect calls).
     pub indirect_branches: u64,
+    /// Safety checks skipped thanks to static elimination proofs.
+    pub checks_skipped: u64,
 }
 
 impl Profiler for CountingProfiler {
@@ -156,6 +164,11 @@ impl Profiler for CountingProfiler {
         if matches!(kind, BranchKind::Indirect | BranchKind::IndirectCall) {
             self.indirect_branches += 1;
         }
+    }
+
+    #[inline]
+    fn check_skipped(&mut self) {
+        self.checks_skipped += 1;
     }
 }
 

@@ -1,0 +1,202 @@
+//! `wabench-audit`: static range-analysis audit over the benchmark suite.
+//!
+//! ```text
+//! wabench-audit [--bench NAME] [--level O2] [--md] [--min-eliminated N]
+//! ```
+//!
+//! Every suite program is compiled at each requested WaCC opt level,
+//! lowered to the register IR, and analyzed: the report gives, per
+//! module, the runtime safety checks found, how many the aggressive JIT
+//! tier eliminates (each elimination carries a proof obligation), the
+//! residual checks, blocks the analysis proves unreachable, sites proven
+//! to *always* trap at the declared minimum memory, and constant-address
+//! accesses (foldable loads). After elimination every proof obligation is
+//! independently re-derived by `jit::verify::check_proofs`; any rejection
+//! is a soundness violation and fails the run.
+//!
+//! Exit status: `0` clean, `1` on verifier violations or an unmet
+//! `--min-eliminated` floor, `2` on compile errors.
+
+use analysis::range::AuditFacts;
+use engines::jit::{lower, opt, verify};
+use harness::report::Report;
+use wacc::OptLevel;
+
+struct ModuleAudit {
+    funcs: usize,
+    facts: AuditFacts,
+    eliminated: u64,
+    violations: Vec<String>,
+}
+
+/// Lowers, audits, optimizes, and re-verifies every function of `module`.
+fn audit_module(module: &wasm_core::Module) -> Result<ModuleAudit, String> {
+    let module_rc = std::rc::Rc::new(module.clone());
+    let config = engines::jit::Tier::Llvm.pass_config();
+    let mut out = ModuleAudit {
+        funcs: module.funcs.len(),
+        facts: AuditFacts::default(),
+        eliminated: 0,
+        violations: Vec::new(),
+    };
+    for (i, f) in module.funcs.iter().enumerate() {
+        let mut rf = lower::lower(&module_rc, f).map_err(|e| format!("func {i}: {e:?}"))?;
+        // Audit the unoptimized lowering: these are the checks the
+        // module *has*; elimination below reports what the JIT removes.
+        let facts = verify::audit_rfunc(&rf);
+        out.facts.blocks += facts.blocks;
+        out.facts.unreachable_blocks += facts.unreachable_blocks;
+        out.facts.checks_total += facts.checks_total;
+        out.facts.checks_provable += facts.checks_provable;
+        out.facts.always_trapping += facts.always_trapping;
+        out.facts.const_addr_loads += facts.const_addr_loads;
+        let stats = opt::optimize(&mut rf, &config);
+        out.eliminated += stats.checks_eliminated;
+        for v in verify::check_proofs(&rf) {
+            out.violations.push(format!("func {i}: {v}"));
+        }
+    }
+    Ok(out)
+}
+
+fn main() {
+    let mut markdown = false;
+    let mut bench_filter: Option<String> = None;
+    let mut level_filter: Option<String> = None;
+    let mut min_eliminated: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--md" => markdown = true,
+            "--bench" => bench_filter = args.next(),
+            "--level" => level_filter = args.next(),
+            "--min-eliminated" => {
+                min_eliminated = args.next().and_then(|v| v.parse().ok());
+                if min_eliminated.is_none() {
+                    eprintln!("--min-eliminated needs an integer");
+                    std::process::exit(2);
+                }
+            }
+            other => {
+                eprintln!(
+                    "usage: wabench-audit [--bench NAME] [--level O0..O3] [--md] \
+                     [--min-eliminated N]; got {other:?}"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let levels: Vec<OptLevel> = OptLevel::all()
+        .into_iter()
+        .filter(|l| level_filter.as_deref().is_none_or(|want| l.to_string() == want))
+        .collect();
+    if levels.is_empty() {
+        eprintln!("no such opt level: {}", level_filter.unwrap_or_default());
+        std::process::exit(2);
+    }
+
+    let mut report = Report::new(
+        "audit",
+        "wabench-audit: static checks and JIT check elimination",
+        vec![
+            "bench".into(),
+            "level".into(),
+            "funcs".into(),
+            "checks".into(),
+            "eliminated".into(),
+            "residual".into(),
+            "unreachable-blocks".into(),
+            "always-trapping".into(),
+            "const-addr".into(),
+        ],
+    );
+
+    let mut modules = 0u64;
+    let mut total_checks = 0u64;
+    let mut total_eliminated = 0u64;
+    let mut violations = 0u64;
+    let mut errors = 0u64;
+    for b in suite::all() {
+        if bench_filter.as_deref().is_some_and(|want| want != b.name) {
+            continue;
+        }
+        for &level in &levels {
+            let bytes = match b.compile(level) {
+                Ok(bytes) => bytes,
+                Err(e) => {
+                    eprintln!("{} {level}: compile error: {e}", b.name);
+                    errors += 1;
+                    continue;
+                }
+            };
+            let module = match wasm_core::decode::decode(&bytes) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{} {level}: decode error: {e:?}", b.name);
+                    errors += 1;
+                    continue;
+                }
+            };
+            let audit = match audit_module(&module) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{} {level}: {e}", b.name);
+                    errors += 1;
+                    continue;
+                }
+            };
+            modules += 1;
+            total_checks += audit.facts.checks_total;
+            total_eliminated += audit.eliminated;
+            violations += audit.violations.len() as u64;
+            for v in &audit.violations {
+                eprintln!("{} {level}: VIOLATION: {v}", b.name);
+            }
+            let residual = audit.facts.checks_total.saturating_sub(audit.eliminated);
+            report.row(vec![
+                b.name.to_string(),
+                level.to_string(),
+                audit.funcs.to_string(),
+                audit.facts.checks_total.to_string(),
+                audit.eliminated.to_string(),
+                residual.to_string(),
+                audit.facts.unreachable_blocks.to_string(),
+                audit.facts.always_trapping.to_string(),
+                audit.facts.const_addr_loads.to_string(),
+            ]);
+        }
+    }
+
+    obs::metrics::counter("audit.modules").add(modules);
+    obs::metrics::counter("audit.checks.total").add(total_checks);
+    obs::metrics::counter("audit.checks.eliminated").add(total_eliminated);
+    obs::metrics::counter("audit.violations").add(violations);
+
+    report.note(format!(
+        "{modules} module(s) audited: {total_checks} check(s), \
+         {total_eliminated} eliminated with proofs, {violations} violation(s)"
+    ));
+    if markdown {
+        print!("{}", report.to_markdown());
+    } else {
+        eprintln!(
+            "wabench-audit: {modules} module(s), {total_checks} check(s), \
+             {total_eliminated} eliminated, {violations} violation(s)"
+        );
+    }
+
+    if errors > 0 {
+        std::process::exit(2);
+    }
+    if violations > 0 {
+        eprintln!("wabench-audit: {violations} proof violation(s)");
+        std::process::exit(1);
+    }
+    if let Some(floor) = min_eliminated {
+        if total_eliminated < floor {
+            eprintln!("wabench-audit: eliminated {total_eliminated} < required floor {floor}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -73,6 +73,43 @@ pub fn static_analysis_section() -> String {
     )
 }
 
+/// The "Static analysis & check elimination" section appended to
+/// `EXPERIMENTS.md` by `wabench-harness all`, describing the interval
+/// analysis, the proof-carrying elimination pass, and how to regenerate
+/// and read the audit report.
+pub fn check_elimination_section() -> String {
+    "### Static analysis & check elimination\n\n\
+     On top of the verifier, `wabench-analysis` runs an interval\n\
+     abstract interpretation over the lowered register IR (value ranges\n\
+     per register, widening with thresholds plus one narrowing pass for\n\
+     termination, and branch refinement so `if i < n` tightens `i` on\n\
+     the taken edge). The Cranelift- and LLVM-analogue tiers use it to\n\
+     eliminate runtime safety checks — bounds checks whose address\n\
+     interval fits the declared minimum memory, division guards whose\n\
+     divisor interval excludes zero (and, for signed division, excludes\n\
+     the `INT_MIN / -1` overflow pair), and float-truncation guards\n\
+     whose source interval fits the target width. Every elimination\n\
+     records a machine-checkable proof obligation (the interval fact and\n\
+     the guarded site); `jit::verify` re-derives each obligation from\n\
+     scratch with an independent analysis run, so an unsound or tampered\n\
+     proof is rejected rather than trusted, both after optimization and\n\
+     when an AOT artifact is loaded. The interpreter tiers consult the\n\
+     same facts at load time: statically safe sites keep the host-side\n\
+     check (defense in depth) but skip the modeled check cost, and the\n\
+     skips are attributed via the `checks_skipped` simulated counter.\n\n\
+     To see what the analysis proves on the suite, run\n\n\
+     ```sh\n\
+     cargo run --release -p wabench-harness --bin wabench-audit -- --md\n\
+     ```\n\n\
+     which compiles all 50 programs at every opt level and reports, per\n\
+     module: total checks, checks eliminated with proofs, residual\n\
+     checks, blocks proven unreachable, sites proven to always trap, and\n\
+     constant-address accesses. The run fails on any proof violation;\n\
+     `scripts/verify.sh` gates on zero violations and a floor on\n\
+     eliminated checks under `--features verify-ir`.\n"
+        .to_string()
+}
+
 /// The "Observability" section appended to `EXPERIMENTS.md` by
 /// `wabench-harness all`, describing how any number above can be broken
 /// down into its compiler/engine/service phases.

@@ -212,6 +212,7 @@ fn main() {
             run_one(id, &mut output);
         }
         output.push_str(&harness::static_analysis_section());
+        output.push_str(&harness::check_elimination_section());
         output.push_str(&harness::observability_section());
         output.push_str(&harness::profiling_section());
         let path = out_file.unwrap_or_else(|| "EXPERIMENTS.md".to_string());

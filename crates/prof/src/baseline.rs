@@ -12,11 +12,13 @@ use std::path::Path;
 use archsim::Counters;
 use obs::json::{self, Value};
 
-/// Baseline record layout version this build writes and reads.
-pub const BASELINE_VERSION: u64 = 1;
+/// Baseline record layout version this build writes. v2 added the
+/// `checks_skipped` counter; v1 lines are still read, with the missing
+/// counter defaulting to zero.
+pub const BASELINE_VERSION: u64 = 2;
 
-/// The ten simulated counters, in canonical serialization order.
-const COUNTER_FIELDS: [&str; 10] = [
+/// The eleven simulated counters, in canonical serialization order.
+const COUNTER_FIELDS: [&str; 11] = [
     "instructions",
     "cycles",
     "branches",
@@ -27,6 +29,7 @@ const COUNTER_FIELDS: [&str; 10] = [
     "l1d_misses",
     "l1i_accesses",
     "l1i_misses",
+    "checks_skipped",
 ];
 
 fn counter_get(c: &Counters, field: &str) -> u64 {
@@ -41,6 +44,7 @@ fn counter_get(c: &Counters, field: &str) -> u64 {
         "l1d_misses" => c.l1d_misses,
         "l1i_accesses" => c.l1i_accesses,
         "l1i_misses" => c.l1i_misses,
+        "checks_skipped" => c.checks_skipped,
         _ => unreachable!("unknown counter field {field}"),
     }
 }
@@ -57,6 +61,7 @@ fn counter_set(c: &mut Counters, field: &str, v: u64) {
         "l1d_misses" => c.l1d_misses = v,
         "l1i_accesses" => c.l1i_accesses = v,
         "l1i_misses" => c.l1i_misses = v,
+        "checks_skipped" => c.checks_skipped = v,
         _ => unreachable!("unknown counter field {field}"),
     }
 }
@@ -158,17 +163,23 @@ impl BaselineRecord {
     }
 
     fn from_json(v: &Value) -> Result<BaselineRecord, String> {
-        let version = num(v, "v")?;
-        if version as u64 != BASELINE_VERSION {
+        let version = num(v, "v")? as u64;
+        if version == 0 || version > BASELINE_VERSION {
             return Err(format!(
-                "unsupported baseline version {version} (this build reads v{BASELINE_VERSION})"
+                "unsupported baseline version {version} (this build reads up to v{BASELINE_VERSION})"
             ));
         }
         let wall = v.get("wall").ok_or("missing wall object")?;
         let counters_obj = v.get("counters").ok_or("missing counters object")?;
         let mut counters = Counters::default();
         for field in COUNTER_FIELDS {
-            counter_set(&mut counters, field, num(counters_obj, field)? as u64);
+            // v1 lines predate `checks_skipped`; absent means zero.
+            let value = match counters_obj.get(field).and_then(Value::as_num) {
+                Some(n) => n as u64,
+                None if version < 2 && field == "checks_skipped" => 0,
+                None => return Err(format!("missing numeric field {field:?}")),
+            };
+            counter_set(&mut counters, field, value);
         }
         Ok(BaselineRecord {
             bench: str_field(v, "bench")?,
@@ -311,10 +322,28 @@ mod tests {
     #[test]
     fn unknown_version_is_rejected_with_line() {
         let mut doc = to_string(&[sample()]);
-        doc = doc.replace("\"v\":1", "\"v\":99");
+        doc = doc.replace("\"v\":2", "\"v\":99");
         let err = parse(&doc).expect_err("must reject");
         assert!(err.contains("line 1"), "{err}");
         assert!(err.contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn v1_lines_without_checks_skipped_still_parse() {
+        let mut doc = to_string(&[sample()]);
+        doc = doc
+            .replace("\"v\":2", "\"v\":1")
+            .replace(",\"checks_skipped\":0", "");
+        assert!(!doc.contains("checks_skipped"), "test setup: {doc}");
+        let back = parse(&doc).expect("v1 parses");
+        assert_eq!(back, vec![sample()]);
+    }
+
+    #[test]
+    fn v2_lines_missing_checks_skipped_are_rejected() {
+        let doc = to_string(&[sample()]).replace(",\"checks_skipped\":0", "");
+        let err = parse(&doc).expect_err("must reject");
+        assert!(err.contains("checks_skipped"), "{err}");
     }
 
     #[test]

@@ -32,7 +32,13 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   fallback, store repairs). `Result` frames without the trailer (v3
 ///   peers) still decode with a default recovery; `StatsExt` is
 ///   unchanged from v3.
-pub const PROTO_VERSION: u16 = 4;
+/// - v5: adds the `checks_skipped` simulated counter (safety checks
+///   removed by static elimination proofs). The ten-u64 counter block
+///   is frozen; the new counter is appended frame-final to `Result`
+///   (after the v4 recovery trailer) and version-gated behind each
+///   per-engine aggregate in `StatsExt`. v4 frames still decode, with
+///   the counter defaulting to zero.
+pub const PROTO_VERSION: u16 = 5;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -164,6 +170,9 @@ fn decode_counters(r: &mut WireReader<'_>) -> Result<archsim::Counters, WireErro
         l1d_misses: r.u64()?,
         l1i_accesses: r.u64()?,
         l1i_misses: r.u64()?,
+        // v5 appends checks_skipped outside this block (frame-final in
+        // `Result`, version-gated in `StatsExt`) so v4 frames decode.
+        checks_skipped: 0,
     })
 }
 
@@ -203,6 +212,10 @@ fn encode_result(w: &mut WireWriter, res: &JobResult) {
     w.u32(res.recovery.attempts);
     w.bool(res.recovery.compile_fallback);
     w.u32(res.recovery.store_repairs);
+    // v5 trailer: checks skipped by static elimination proofs, zero for
+    // unprofiled jobs. Frame-final like the recovery trailer, so a v4
+    // frame's absence is detectable from the frame length.
+    w.u64(res.counters.as_ref().map_or(0, |c| c.checks_skipped));
 }
 
 fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
@@ -214,7 +227,7 @@ fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
     let compile_s = r.f64()?;
     let exec_s = r.f64()?;
     let aot_compile_s = if r.bool()? { Some(r.f64()?) } else { None };
-    let counters = if r.bool()? {
+    let mut counters = if r.bool()? {
         Some(decode_counters(r)?)
     } else {
         None
@@ -231,6 +244,13 @@ fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
     } else {
         Recovery::default()
     };
+    // v4 frames end here; their profiled results predate the counter.
+    if r.remaining() >= 8 {
+        let checks_skipped = r.u64()?;
+        if let Some(c) = &mut counters {
+            c.checks_skipped = checks_skipped;
+        }
+    }
     Ok(JobResult {
         id,
         spec,
@@ -380,6 +400,8 @@ fn encode_stats_ext(w: &mut WireWriter, s: &SvcStatsExt) {
         w.u8(*code);
         w.u64(agg.jobs);
         encode_counters(w, &agg.counters);
+        // v5: checks_skipped rides behind the frozen ten-u64 block.
+        w.u64(agg.counters.checks_skipped);
     }
 }
 
@@ -406,7 +428,10 @@ fn decode_stats_ext(r: &mut WireReader<'_>) -> Result<SvcStatsExt, WireError> {
         for _ in 0..n {
             let code = r.u8()?;
             let jobs = r.u64()?;
-            let counters = decode_counters(r)?;
+            let mut counters = decode_counters(r)?;
+            if version >= 5 {
+                counters.checks_skipped = r.u64()?;
+            }
             aggs.push((code, EngineCounters { jobs, counters }));
         }
         aggs
@@ -926,9 +951,15 @@ mod tests {
             recovery: Recovery::default(),
         };
         let full = Response::Result(result.clone()).encode();
-        // The v4 trailer is exactly 9 bytes (u32 + bool + u32); a v3
-        // frame is the same encoding without them.
-        let legacy = &full[..full.len() - 9];
+        // The v5 checks_skipped trailer is 8 bytes and the v4 recovery
+        // trailer 9 (u32 + bool + u32); a v4 frame is the same encoding
+        // without the former, a v3 frame without both.
+        let v4 = &full[..full.len() - 8];
+        assert_eq!(
+            Response::decode(v4).expect("v4 result decodes"),
+            Response::Result(result.clone())
+        );
+        let legacy = &full[..full.len() - 17];
         let decoded = Response::decode(legacy).expect("legacy v3 result decodes");
         assert_eq!(decoded, Response::Result(result));
         // And a result that actually recovered survives its own trip.
@@ -943,6 +974,42 @@ mod tests {
         };
         let resp = Response::Result(recovered);
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// Protocol v5: `checks_skipped` survives a profiled result's round
+    /// trip, and a v4 frame (no trailer) decodes it as zero instead of
+    /// misparsing the counter block.
+    #[test]
+    fn result_checks_skipped_round_trips_and_defaults_for_v4_frames() {
+        let counters = archsim::Counters {
+            instructions: 1000,
+            checks_skipped: 42,
+            ..Default::default()
+        };
+        let mut result = JobResult {
+            id: 4,
+            spec: sample_spec(),
+            status: JobStatus::Ok,
+            checksum: Some(11),
+            bytes_hash: 99,
+            compile_s: 0.5,
+            exec_s: 0.25,
+            aot_compile_s: None,
+            counters: Some(counters),
+            warm_artifact: false,
+            wall_s: 1.0,
+            recovery: Recovery::default(),
+        };
+        let resp = Response::Result(result.clone());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+
+        let full = resp.encode();
+        let v4 = &full[..full.len() - 8];
+        result.counters.as_mut().unwrap().checks_skipped = 0;
+        assert_eq!(
+            Response::decode(v4).expect("v4 profiled result decodes"),
+            Response::Result(result)
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 #   9. chaos smoke: fig6 under a 5% fault plan is bit-identical to a
 #      clean run, and the two chaos passes together exercise at least
 #      one retry, one interpreter fallback, and one store repair
+#  10. audit smoke: wabench-audit over the whole suite with the proof
+#      verifier compiled in (--features verify-ir) must report zero
+#      proof violations and at least 4000 eliminated checks
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -111,5 +114,13 @@ for counter in retries fallbacks repairs; do
         exit 1
     fi
 done
+
+step "audit smoke (static check-elimination proofs re-verified on the suite)"
+# All 50 programs x O0..O3 with every eliminated check's proof
+# obligation independently re-derived: zero violations, and the
+# eliminated-check floor catches an analysis that silently stops
+# proving anything (full suite currently eliminates ~4300).
+cargo run -q --release --features verify-ir -p wabench-harness \
+    --bin wabench-audit -- --min-eliminated 4000
 
 step "verify OK"
