@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod matrix;
 pub mod parallel;
 pub mod report;
 pub mod runner;

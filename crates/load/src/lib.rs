@@ -1,0 +1,42 @@
+//! # load — open-loop load generation and tail-latency suites
+//!
+//! The paper characterizes runtimes one execution at a time; this crate
+//! answers the serving question the ROADMAP's north star asks: *what
+//! QPS does the stack sustain at a p99 SLO?* It drives the `svc`
+//! scheduler — in-process or over the `wabench-served` Unix socket —
+//! with an **open-loop** workload:
+//!
+//! - **Seeded Poisson arrivals** ([`arrivals`]): submission times are
+//!   drawn ahead of time from a [`fault::mix64`]-based stream, so a run
+//!   is a pure function of its `--seed` (like `wabench-fault` plans).
+//! - **Figure-matrix job mixes** ([`mix`]): traffic is sampled from the
+//!   fig1–fig9 engine×level×mode matrices via [`harness::matrix`], at a
+//!   chosen scale, in cold-store and warm-store phases.
+//! - **Coordinated-omission-safe latency** ([`run`]): latency is
+//!   recorded from each job's *intended* arrival time, never its send
+//!   time, into [`obs::metrics::Histogram`]s — a stalled worker makes
+//!   the recorded tail worse, it cannot pause the clock.
+//! - **BENCH trajectory artifacts** ([`bench`]): every run emits a
+//!   versioned `BENCH_<timestamp>.json` (config + seed, sustained QPS,
+//!   per engine×level p50/p95/p99/max, outcome counts) that
+//!   `wabench-prof diff` gates on, making the perf trajectory a
+//!   first-class CI artifact.
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod bench;
+pub mod mix;
+pub mod rng;
+pub mod run;
+
+use svc::job::Scale;
+
+/// The artifact spelling of a scale (matches `Scale::parse`).
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Profile => "profile",
+        Scale::Timing => "timing",
+    }
+}

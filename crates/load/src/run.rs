@@ -1,0 +1,425 @@
+//! The open-loop run loop.
+//!
+//! One submitter thread walks the arrival schedule: it sleeps until
+//! each *intended* arrival offset, submits the sampled job without
+//! waiting for earlier results, and hands `(job id, intended instant,
+//! cell)` to a pool of collector threads. Collectors block on results
+//! and record latency as `collection time − intended arrival` into
+//! [`obs::metrics::Histogram`]s — never from the send time, so a
+//! stalled service *inflates* the recorded tail instead of silently
+//! pausing the clock (the coordinated-omission trap a closed-loop
+//! driver falls into).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use obs::metrics::{Histogram, HistogramSnapshot};
+use svc::job::{JobResult, Outcome, Scale};
+use svc::scheduler::{Config, HealthReport, Scheduler};
+use svc::server::Client;
+
+use crate::bench::{BenchArtifact, BenchCell, BenchConfig, BenchTotals};
+use crate::mix::Mix;
+use crate::{arrivals, scale_name};
+
+/// What the generator drives.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// An in-process scheduler (spun up and torn down by the run).
+    InProc {
+        /// Worker threads.
+        workers: usize,
+        /// Fault plan spec (`wabench-fault` grammar), if any.
+        faults: Option<String>,
+        /// Artifact-store directory for warm-phase hits, if any.
+        store_dir: Option<PathBuf>,
+    },
+    /// A live `wabench-served` daemon over its Unix socket.
+    Socket {
+        /// Socket path.
+        path: PathBuf,
+    },
+}
+
+/// One run phase: a full arrival schedule at one warm/cold setting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// `cold` or `warm` (recorded in the artifact).
+    pub name: String,
+    /// Whether jobs consult the artifact store.
+    pub warm: bool,
+}
+
+impl Phase {
+    /// Parses a comma-joined phase list (`cold`, `warm`, `cold,warm`).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown phase.
+    pub fn parse_list(s: &str) -> Result<Vec<Phase>, String> {
+        s.split(',')
+            .map(|p| match p.trim() {
+                "cold" => Ok(Phase {
+                    name: "cold".into(),
+                    warm: false,
+                }),
+                "warm" => Ok(Phase {
+                    name: "warm".into(),
+                    warm: true,
+                }),
+                other => Err(format!("unknown phase {other:?} (want cold or warm)")),
+            })
+            .collect()
+    }
+}
+
+/// A full run description.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Seed for arrivals and the job mix.
+    pub seed: u64,
+    /// The job mix.
+    pub mix: Mix,
+    /// Workload scale.
+    pub scale: Scale,
+    /// Target arrival rate, jobs per second.
+    pub qps: f64,
+    /// Jobs per phase.
+    pub jobs: usize,
+    /// Phases, in order.
+    pub phases: Vec<Phase>,
+    /// What to drive.
+    pub target: Target,
+    /// Collector threads (0 = pick from the target).
+    pub collectors: usize,
+}
+
+/// What a run produced: the artifact plus the overall latency shape.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The trajectory artifact (serialize with
+    /// [`BenchArtifact::to_json`]).
+    pub artifact: BenchArtifact,
+    /// All-cell latency distribution, for human summaries.
+    pub latency: HistogramSnapshot,
+}
+
+/// Either side of the service boundary, submit half.
+enum Submitter {
+    InProc(Arc<Scheduler>),
+    Socket(Client),
+}
+
+impl Submitter {
+    fn submit(&mut self, spec: svc::job::JobSpec) -> Result<u64, String> {
+        match self {
+            Submitter::InProc(s) => Ok(s.submit(spec)),
+            Submitter::Socket(c) => c.submit(spec).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn health(&mut self) -> Result<HealthReport, String> {
+        match self {
+            Submitter::InProc(s) => Ok(s.health()),
+            Submitter::Socket(c) => c.health().map_err(|e| e.to_string()),
+        }
+    }
+}
+
+/// Shared tallies the collectors update.
+#[derive(Default)]
+struct Tallies {
+    completed: AtomicU64,
+    ok: AtomicU64,
+    degraded: AtomicU64,
+    failed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Tallies {
+    fn record(&self, res: &JobResult) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        match res.outcome() {
+            Outcome::Clean => self.ok.fetch_add(1, Ordering::Relaxed),
+            Outcome::Degraded => self.degraded.fetch_add(1, Ordering::Relaxed),
+            Outcome::Failed => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+}
+
+/// Executes a run: all phases, latency recording, artifact assembly.
+///
+/// # Errors
+///
+/// Configuration errors (bad fault plan, empty mix), store I/O errors,
+/// and a failure to *connect* to a socket target. Per-job transport
+/// errors do not abort the run — they are tallied as
+/// `protocol_errors` in the artifact.
+pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
+    if cfg.mix.cells.is_empty() {
+        return Err("job mix has no cells".to_string());
+    }
+    if !(cfg.qps.is_finite() && cfg.qps > 0.0) {
+        return Err("qps must be positive".to_string());
+    }
+    if cfg.jobs == 0 || cfg.phases.is_empty() {
+        return Err("need at least one job and one phase".to_string());
+    }
+
+    // Spin up / connect to the target.
+    let (mut submitter, sched, workers, faults_spec) = match &cfg.target {
+        Target::InProc {
+            workers,
+            faults,
+            store_dir,
+        } => {
+            let plan = match faults {
+                Some(spec) => Some(Arc::new(
+                    fault::FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+                )),
+                None => None,
+            };
+            let sched = Arc::new(
+                Scheduler::start(Config {
+                    workers: (*workers).max(1),
+                    store_dir: store_dir.clone(),
+                    faults: plan,
+                    ..Config::default()
+                })
+                .map_err(|e| format!("scheduler start: {e}"))?,
+            );
+            (
+                Submitter::InProc(Arc::clone(&sched)),
+                Some(sched),
+                (*workers).max(1) as u64,
+                faults.clone().unwrap_or_default(),
+            )
+        }
+        Target::Socket { path } => (
+            Submitter::Socket(
+                Client::connect(path).map_err(|e| format!("connect {}: {e}", path.display()))?,
+            ),
+            None,
+            0,
+            String::new(),
+        ),
+    };
+
+    // One histogram per engine×level cell key, plus a global one.
+    let mut key_index: HashMap<String, usize> = HashMap::new();
+    let mut keys: Vec<String> = Vec::new();
+    let key_of_cell: Vec<usize> = cfg
+        .mix
+        .cells
+        .iter()
+        .map(|c| {
+            let key = c.cell_key();
+            *key_index.entry(key.clone()).or_insert_with(|| {
+                keys.push(key);
+                keys.len() - 1
+            })
+        })
+        .collect();
+    let per_key: Arc<Vec<Histogram>> =
+        Arc::new((0..keys.len()).map(|_| Histogram::default()).collect());
+    let global = Arc::new(Histogram::default());
+    let tallies = Arc::new(Tallies::default());
+
+    let collectors = if cfg.collectors > 0 {
+        cfg.collectors
+    } else {
+        (workers as usize).max(2)
+    };
+
+    let mut submitted = 0u64;
+    let mut wall_s = 0.0f64;
+    for (phase_idx, phase) in cfg.phases.iter().enumerate() {
+        let schedule = arrivals::schedule(cfg.seed, phase_idx as u64, cfg.jobs, cfg.qps);
+        let sample = cfg.mix.sample(cfg.seed, phase_idx as u64, cfg.jobs);
+
+        let (tx, rx) = mpsc::channel::<(u64, Instant, usize)>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles: Vec<_> = (0..collectors)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let per_key = Arc::clone(&per_key);
+                let global = Arc::clone(&global);
+                let tallies = Arc::clone(&tallies);
+                match (&sched, &cfg.target) {
+                    (Some(s), _) => {
+                        let s = Arc::clone(s);
+                        std::thread::spawn(move || {
+                            collect_inproc(&s, &rx, &per_key, &global, &tallies);
+                        })
+                    }
+                    (None, Target::Socket { path }) => {
+                        let path = path.clone();
+                        std::thread::spawn(move || {
+                            collect_socket(&path, &rx, &per_key, &global, &tallies);
+                        })
+                    }
+                    (None, Target::InProc { .. }) => unreachable!("inproc always has sched"),
+                }
+            })
+            .collect();
+
+        let start = Instant::now();
+        for (offset, &cell_idx) in schedule.iter().zip(&sample) {
+            let intended = start + *offset;
+            let now = Instant::now();
+            if intended > now {
+                std::thread::sleep(intended - now);
+            }
+            let spec = cfg.mix.spec(cell_idx, cfg.scale, phase.warm);
+            match submitter.submit(spec) {
+                Ok(id) => {
+                    submitted += 1;
+                    // Collector gone ⇒ nothing will record this job; the
+                    // tally below still counts the submission.
+                    let _ = tx.send((id, intended, key_of_cell[cell_idx]));
+                }
+                Err(_) => {
+                    tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(tx);
+        for h in handles {
+            let _ = h.join();
+        }
+        wall_s += start.elapsed().as_secs_f64();
+    }
+
+    // Saturation signal: the scheduler's queue high-water mark.
+    let peak_queue_depth = submitter.health().map_or(0, |h| h.peak_queue_depth);
+    drop(submitter);
+    drop(sched); // joins the in-process workers
+
+    let completed = tallies.completed.load(Ordering::Relaxed);
+    let cells = keys
+        .iter()
+        .enumerate()
+        .filter_map(|(i, key)| {
+            let snap = per_key[i].snapshot();
+            if snap.count == 0 {
+                return None;
+            }
+            Some(BenchCell {
+                cell: key.clone(),
+                count: snap.count,
+                mean_ns: snap.mean_ns() as u64,
+                p50_ns: snap.quantile_ns(0.50),
+                p95_ns: snap.quantile_ns(0.95),
+                p99_ns: snap.quantile_ns(0.99),
+                max_ns: snap.max_ns,
+            })
+        })
+        .collect();
+
+    let artifact = BenchArtifact {
+        config: BenchConfig {
+            seed: cfg.seed,
+            mix: cfg.mix.name.clone(),
+            scale: scale_name(cfg.scale).to_string(),
+            qps: cfg.qps,
+            jobs: cfg.jobs as u64,
+            driver: match cfg.target {
+                Target::InProc { .. } => "inproc".to_string(),
+                Target::Socket { .. } => "socket".to_string(),
+            },
+            workers,
+            faults: faults_spec,
+            phases: cfg
+                .phases
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join(","),
+        },
+        totals: BenchTotals {
+            submitted,
+            completed,
+            ok: tallies.ok.load(Ordering::Relaxed),
+            degraded: tallies.degraded.load(Ordering::Relaxed),
+            failed: tallies.failed.load(Ordering::Relaxed),
+            protocol_errors: tallies.protocol_errors.load(Ordering::Relaxed),
+            wall_s,
+            qps: if wall_s > 0.0 {
+                completed as f64 / wall_s
+            } else {
+                0.0
+            },
+            peak_queue_depth,
+        },
+        cells,
+    };
+    Ok(RunReport {
+        artifact,
+        latency: global.snapshot(),
+    })
+}
+
+/// Pulls one pending job off the shared channel.
+fn next_job(rx: &Mutex<mpsc::Receiver<(u64, Instant, usize)>>) -> Option<(u64, Instant, usize)> {
+    rx.lock().expect("collector channel lock").recv().ok()
+}
+
+fn record(
+    intended: Instant,
+    key: usize,
+    res: &JobResult,
+    per_key: &[Histogram],
+    global: &Histogram,
+    tallies: &Tallies,
+) {
+    // Intended arrival → observed completion: queueing delay a stalled
+    // worker causes lands in the tail instead of being omitted.
+    let lat_ns = Instant::now().duration_since(intended).as_nanos() as u64;
+    per_key[key].observe_ns(lat_ns);
+    global.observe_ns(lat_ns);
+    tallies.record(res);
+}
+
+fn collect_inproc(
+    sched: &Scheduler,
+    rx: &Mutex<mpsc::Receiver<(u64, Instant, usize)>>,
+    per_key: &[Histogram],
+    global: &Histogram,
+    tallies: &Tallies,
+) {
+    while let Some((id, intended, key)) = next_job(rx) {
+        let res = sched.wait(id);
+        record(intended, key, &res, per_key, global, tallies);
+    }
+}
+
+fn collect_socket(
+    path: &std::path::Path,
+    rx: &Mutex<mpsc::Receiver<(u64, Instant, usize)>>,
+    per_key: &[Histogram],
+    global: &Histogram,
+    tallies: &Tallies,
+) {
+    let mut client = match Client::connect(path) {
+        Ok(c) => c,
+        Err(_) => {
+            // Drain so the submitter is not blocked; every lost job is a
+            // protocol error.
+            while next_job(rx).is_some() {
+                tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    };
+    while let Some((id, intended, key)) = next_job(rx) {
+        match client.wait(id) {
+            Ok(res) => record(intended, key, &res, per_key, global, tallies),
+            Err(_) => {
+                tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

@@ -4,10 +4,13 @@
 //! so instrumentation sites just say
 //! `obs::metrics::counter("svc.store.hits").inc()` — no handles to
 //! thread through constructors. Histograms use power-of-two nanosecond
-//! buckets, which makes observation lock-free and snapshots mergeable,
-//! at the cost of quantiles being bucket upper bounds (≤2× the true
-//! value) — the right trade for p50/p95/p99 *summaries* of latencies
-//! spanning microseconds to minutes.
+//! buckets, which makes observation lock-free and snapshots mergeable.
+//! Quantile queries interpolate linearly within the target bucket and
+//! clamp to the exact recorded extremes, so the estimate error is
+//! bounded by the bucket width (a ≤2× ratio in the worst case, exact
+//! for single-valued buckets at the edges) — the right trade for
+//! p50/p95/p99 *summaries* of latencies spanning microseconds to
+//! minutes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,19 +140,47 @@ impl Default for HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// The `q`-quantile (0.0..=1.0) as a bucket upper bound in ns;
-    /// 0 when empty.
+    /// The `q`-quantile (0.0..=1.0) estimate in ns; 0 when empty.
+    ///
+    /// The estimate interpolates linearly within the bucket holding the
+    /// target rank (power-of-two buckets alone would round any quantile
+    /// up to its bucket's upper bound — as much as 2× the true value)
+    /// and is clamped into `[min_ns, max_ns]` when the snapshot carries
+    /// exact extremes, which makes single-valued histograms and the
+    /// p100 exact. Snapshots decoded from legacy v2 wire frames have no
+    /// extremes (`max_ns == 0` with observations) and skip the clamp.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        // Rank 1 is the recorded minimum and rank `count` the maximum —
+        // answer those exactly when the snapshot carries extremes.
+        if self.max_ns > 0 {
+            if target == 1 {
+                return self.min_ns.min(self.max_ns);
+            }
+            if target == self.count {
+                return self.max_ns;
+            }
+        }
         let mut cum = 0u64;
         for (i, c) in self.buckets.iter().enumerate() {
-            cum += c;
-            if cum >= target {
-                return bucket_bound_ns(i);
+            if *c == 0 {
+                continue;
             }
+            if cum + c >= target {
+                let lower = if i == 0 { 0 } else { bucket_bound_ns(i - 1) };
+                let upper = bucket_bound_ns(i);
+                // Rank position within this bucket, in (0, 1].
+                let into = (target - cum) as f64 / *c as f64;
+                let mut est = (lower as f64 + (upper - lower) as f64 * into) as u64;
+                if self.max_ns > 0 {
+                    est = est.clamp(self.min_ns.min(self.max_ns), self.max_ns);
+                }
+                return est;
+            }
+            cum += c;
         }
         bucket_bound_ns(BUCKETS - 1)
     }
@@ -182,7 +213,7 @@ impl HistogramSnapshot {
 
     /// `count=… mean=… min=… p50=… p95=… p99=… max=…` with
     /// human-scaled units; the mean, min, and max are exact while the
-    /// quantiles are bucket upper bounds.
+    /// quantiles are interpolated estimates (see [`Self::quantile_ns`]).
     pub fn summary(&self) -> String {
         format!(
             "count={} mean={} min={} p50={} p95={} p99={} max={}",
@@ -343,6 +374,56 @@ mod tests {
         assert!(s.quantile_ns(1.0) >= 1_000_000);
         assert!(s.quantile_ns(0.99) <= 2 * 1_048_576, "≤2× true max");
         assert_eq!(s.mean_ns() as u64, (1_000 + 2_000 + 4_000 + 1_000_000) / 4);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // 100 observations evenly spread over one bucket's span
+        // (8192, 16384]: v_k = 8192 + k*81 (k = 1..=100 ⊂ that range).
+        let h = Histogram::default();
+        for k in 1..=100u64 {
+            h.observe_ns(8_192 + k * 81);
+        }
+        let s = h.snapshot();
+        for (q, true_v) in [(0.25, 8_192 + 25 * 81), (0.5, 8_192 + 50 * 81), (0.95, 8_192 + 95 * 81)] {
+            let est = s.quantile_ns(q);
+            let err = (est as f64 - true_v as f64).abs() / true_v as f64;
+            // Interpolation tracks the uniform rank; the old
+            // bucket-bound answer (16384) would be off by up to 63%.
+            assert!(err < 0.15, "q={q}: est {est} vs true {true_v} (err {err:.3})");
+        }
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        // A p99 of N identical observations must be that value, not the
+        // bucket bound (300_000 would previously report 524_288).
+        let h = Histogram::default();
+        for _ in 0..1_000 {
+            h.observe_ns(300_000);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile_ns(q), 300_000, "q={q}");
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_recorded_extremes() {
+        let h = Histogram::default();
+        for v in [1_000u64, 2_000, 4_000, 1_000_000] {
+            h.observe_ns(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile_ns(1.0), 1_000_000, "p100 is the exact max");
+        assert_eq!(s.quantile_ns(0.0), 1_000, "p0 is the exact min");
+        // Without extremes (legacy wire snapshots), estimates still fall
+        // inside the target bucket instead of clamping.
+        let mut legacy = s.clone();
+        legacy.min_ns = 0;
+        legacy.max_ns = 0;
+        let p100 = legacy.quantile_ns(1.0);
+        assert!(p100 > 524_288 && p100 <= 1_048_576, "{p100}");
     }
 
     #[test]

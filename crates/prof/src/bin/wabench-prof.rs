@@ -10,7 +10,11 @@
 //!
 //! `record` writes a JSON-lines baseline; `diff` re-measures the same
 //! cells (or reads `--cur`) and exits non-zero on a regression, naming
-//! each regressed benchmark × engine cell. `fold` runs a job matrix
+//! each regressed benchmark × engine cell. When `--base` is a BENCH
+//! trajectory artifact from `wabench-load` (sniffed by its schema tag),
+//! `diff` instead gates sustained QPS, per-cell p99 SLOs, and failure
+//! counts against a second artifact — `--cur` is required there, since
+//! a load run cannot be re-measured in-process. `fold` runs a job matrix
 //! through the scheduler and writes folded stacks for
 //! `flamegraph.pl`; `collapse` does the same offline from a saved
 //! Chrome trace. `report` prints the counter-attributed phase table.
@@ -27,6 +31,7 @@ use std::process::exit;
 use engines::EngineKind;
 use prof::baseline::{self, BaselineRecord, WallStats};
 use prof::diff::{diff, DiffRule};
+use prof::loadgate::{diff_load, LoadRule};
 use prof::measure::{measure_cell, CellSpec, Scale};
 use prof::workload::WorkloadSpec;
 use wacc::OptLevel;
@@ -266,6 +271,13 @@ fn cmd_record(o: &Opts, slowdown: f64) {
 
 fn cmd_diff(o: &Opts, slowdown: f64) {
     let base_path = need(&o.base, "--base");
+    let doc = std::fs::read_to_string(&base_path).unwrap_or_else(|e| {
+        obs::error!("{}: {e}", base_path.display());
+        exit(2);
+    });
+    if load::bench::BenchArtifact::sniff(&doc) {
+        cmd_diff_bench(o, &doc);
+    }
     let base = baseline::read_file(&base_path).unwrap_or_else(|e| {
         obs::error!("{e}");
         exit(2);
@@ -296,6 +308,29 @@ fn cmd_diff(o: &Opts, slowdown: f64) {
         counter_rel: o.counter_rel,
     };
     let report = diff(&base, &cur, &rule);
+    print!("{}", report.render());
+    exit(i32::from(!report.ok()));
+}
+
+/// The BENCH-artifact arm of `diff`: gate a current load run against a
+/// baseline one. Never returns.
+fn cmd_diff_bench(o: &Opts, base_doc: &str) -> ! {
+    let base = load::bench::BenchArtifact::parse(base_doc).unwrap_or_else(|e| {
+        obs::error!("--base: {e}");
+        exit(2);
+    });
+    let Some(cur_path) = &o.cur else {
+        obs::error!(
+            "--base is a BENCH trajectory artifact; load runs cannot be re-measured \
+             in-process, so --cur must name a second BENCH_*.json"
+        );
+        exit(2);
+    };
+    let cur = load::bench::BenchArtifact::read_file(cur_path).unwrap_or_else(|e| {
+        obs::error!("--cur: {e}");
+        exit(2);
+    });
+    let report = diff_load(&base, &cur, &LoadRule::default());
     print!("{}", report.render());
     exit(i32::from(!report.ok()));
 }

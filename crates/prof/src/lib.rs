@@ -16,20 +16,26 @@
 //!   wall-time regressions only when confidence intervals separate,
 //!   and counter regressions on a relative threshold (the simulator
 //!   is deterministic, so drift there is always a real code change).
+//! - [`loadgate`] gates BENCH trajectory artifacts from `wabench-load`:
+//!   sustained QPS, per engine×level p99 SLOs, and failure counts.
 //! - [`workload`] captures a ring-buffer trace of a scheduler-driven
 //!   job matrix for flamegraph export.
 //! - [`collapse`] converts an exported Chrome trace back into folded
 //!   stacks for `flamegraph.pl`-style tooling.
 //!
 //! The `wabench-prof` binary exposes all of this as `record`, `diff`,
-//! `fold`, `collapse`, and `report` subcommands.
+//! `fold`, `collapse`, and `report` subcommands; `diff` sniffs whether
+//! its inputs are baselines or BENCH artifacts and applies the matching
+//! rules.
 
 pub mod baseline;
 pub mod collapse;
 pub mod diff;
+pub mod loadgate;
 pub mod measure;
 pub mod workload;
 
 pub use baseline::BaselineRecord;
 pub use diff::{DiffReport, DiffRule};
+pub use loadgate::{diff_load, LoadRule};
 pub use measure::{measure_cell, CellMeasurement, CellSpec};

@@ -276,6 +276,10 @@ fn print_health(h: &HealthReport) {
         "resilience: {} retries, {} interpreter fallbacks, {} store repairs, {} breaker fast-fails",
         r.retries, r.compile_fallbacks, r.store_repairs, r.breaker_fast_fails
     );
+    println!(
+        "queue: depth {} (peak {})",
+        h.queue_depth, h.peak_queue_depth
+    );
     if h.breakers.is_empty() {
         println!("breakers: none (no jobs yet)");
     }

@@ -38,7 +38,11 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   (after the v4 recovery trailer) and version-gated behind each
 ///   per-engine aggregate in `StatsExt`. v4 frames still decode, with
 ///   the counter defaulting to zero.
-pub const PROTO_VERSION: u16 = 5;
+/// - v6: the `Health` reply gains a frame-final queue-depth trailer
+///   (`u64` current depth, `u64` peak depth) so load generators can
+///   detect scheduler saturation. Gated on the version head: v4/v5
+///   frames still decode with both depths defaulting to zero.
+pub const PROTO_VERSION: u16 = 6;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -475,6 +479,9 @@ fn encode_health(w: &mut WireWriter, h: &HealthReport) {
         w.f64(*rate);
         w.u64(*injected);
     }
+    // v6 queue-depth trailer, gated on the version head above.
+    w.u64(h.queue_depth);
+    w.u64(h.peak_queue_depth);
 }
 
 fn decode_health(r: &mut WireReader<'_>) -> Result<HealthReport, WireError> {
@@ -512,10 +519,18 @@ fn decode_health(r: &mut WireReader<'_>) -> Result<HealthReport, WireError> {
         let injected = r.u64()?;
         faults.push((site, rate, injected));
     }
+    // v6 trailer; absent from v4/v5 frames, where depths default to 0.
+    let (queue_depth, peak_queue_depth) = if version >= 6 {
+        (r.u64()?, r.u64()?)
+    } else {
+        (0, 0)
+    };
     Ok(HealthReport {
         resilience,
         breakers,
         faults,
+        queue_depth,
+        peak_queue_depth,
     })
 }
 
@@ -907,6 +922,8 @@ mod tests {
                 ),
             ],
             faults: vec![(0, 0.05, 12), (3, 0.05, 7)],
+            queue_depth: 6,
+            peak_queue_depth: 31,
         }
     }
 
@@ -930,6 +947,31 @@ mod tests {
         let mut bad_state = payload.clone();
         bad_state[40] = 9;
         assert!(Response::decode(&bad_state).is_err());
+    }
+
+    /// A v5 peer's `Health` frame has no queue-depth trailer; it must
+    /// still decode, with both depths defaulting to zero. A v6 frame
+    /// truncated before the trailer must be rejected, not zero-filled.
+    #[test]
+    fn health_decodes_legacy_v5_frames_without_queue_trailer() {
+        let mut payload = Response::Health(sample_health()).encode();
+        // Rewrite the version head to 5 and drop the 16-byte trailer.
+        payload[1] = 5;
+        payload[2] = 0;
+        payload.truncate(payload.len() - 16);
+        let Response::Health(h) = Response::decode(&payload).expect("v5 health decodes") else {
+            panic!("expected Health");
+        };
+        assert_eq!(h.resilience, sample_health().resilience);
+        assert_eq!(h.breakers, sample_health().breakers);
+        assert_eq!((h.queue_depth, h.peak_queue_depth), (0, 0));
+
+        let mut truncated = Response::Health(sample_health()).encode();
+        truncated.truncate(truncated.len() - 16);
+        assert!(
+            Response::decode(&truncated).is_err(),
+            "v6 frame without its trailer must not decode"
+        );
     }
 
     /// A v3 peer's `Result` frame ends without the v4 recovery trailer;

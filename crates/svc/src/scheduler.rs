@@ -119,6 +119,14 @@ pub struct HealthReport {
     /// Per-site `(site code, configured rate, injected count)` from the
     /// active fault plan; empty when no plan is installed.
     pub faults: Vec<(u8, f64, u64)>,
+    /// Jobs queued but not yet picked up by a worker, at snapshot time.
+    /// Protocol v6; zero when talking to a v4/v5 peer.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth since the scheduler started —
+    /// a saturation signal for open-loop load generators: a peak well
+    /// above the worker count means arrivals outran service capacity.
+    /// Protocol v6; zero when talking to a v4/v5 peer.
+    pub peak_queue_depth: u64,
 }
 
 /// Aggregate service statistics (scheduler + artifact store).
@@ -236,6 +244,7 @@ struct Inner {
     workers_n: usize,
     started: Instant,
     busy_ns: AtomicU64,
+    peak_queue: AtomicU64,
     queue_wait: Histogram,
     engine_wall: Mutex<HashMap<u8, Arc<Histogram>>>,
     engine_counters: Mutex<HashMap<u8, EngineCounters>>,
@@ -285,6 +294,7 @@ impl Scheduler {
             workers_n: cfg.workers.max(1),
             started: Instant::now(),
             busy_ns: AtomicU64::new(0),
+            peak_queue: AtomicU64::new(0),
             queue_wait: Histogram::default(),
             engine_wall: Mutex::new(HashMap::new()),
             engine_counters: Mutex::new(HashMap::new()),
@@ -308,11 +318,12 @@ impl Scheduler {
     pub fn submit(&self, spec: JobSpec) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.inner
-            .queue
-            .lock()
-            .expect("queue lock")
-            .push_back((id, spec, Instant::now()));
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock");
+            queue.push_back((id, spec, Instant::now()));
+            let depth = queue.len() as u64;
+            self.inner.peak_queue.fetch_max(depth, Ordering::Relaxed);
+        }
         self.inner.queue_cv.notify_one();
         {
             let mut stats = self.inner.stats.lock().expect("stats lock");
@@ -440,6 +451,8 @@ impl Scheduler {
             resilience: self.resilience(),
             breakers,
             faults,
+            queue_depth: self.inner.queue.lock().expect("queue lock").len() as u64,
+            peak_queue_depth: self.inner.peak_queue.load(Ordering::Relaxed),
         }
     }
 

@@ -135,3 +135,30 @@ fn documented_version_matches_the_code() {
         "PROTOCOL.md must state: {needle}"
     );
 }
+
+/// The v6 Health queue-depth trailer must be documented and must match
+/// the code: two trailing u64s that v4/v5 frames omit.
+#[test]
+fn documented_health_queue_trailer_matches_the_code() {
+    for field in ["queue_depth", "peak_queue_depth"] {
+        assert!(
+            DOC.contains(field),
+            "PROTOCOL.md must document the Health {field} field"
+        );
+    }
+    let report = HealthReport {
+        queue_depth: 4,
+        peak_queue_depth: 17,
+        ..HealthReport::default()
+    };
+    let with = Response::Health(report).encode();
+    let without = Response::Health(HealthReport::default()).encode();
+    assert_eq!(
+        with.len(),
+        without.len(),
+        "the trailer is two fixed-width u64s"
+    );
+    let trailer = &with[with.len() - 16..];
+    assert_eq!(u64::from_le_bytes(trailer[..8].try_into().unwrap()), 4);
+    assert_eq!(u64::from_le_bytes(trailer[8..].try_into().unwrap()), 17);
+}

@@ -19,6 +19,10 @@
 #  10. audit smoke: wabench-audit over the whole suite with the proof
 #      verifier compiled in (--features verify-ir) must report zero
 #      proof violations and at least 4000 eliminated checks
+#  11. load smoke: a short fixed-seed wabench-load run against a live
+#      wabench-served produces a well-formed BENCH_*.json with completed
+#      jobs and zero protocol errors, and wabench-prof diff accepts the
+#      artifact against itself
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -122,5 +126,31 @@ step "audit smoke (static check-elimination proofs re-verified on the suite)"
 # proving anything (full suite currently eliminates ~4300).
 cargo run -q --release --features verify-ir -p wabench-harness \
     --bin wabench-audit -- --min-eliminated 4000
+
+step "load smoke (open-loop generator -> live server -> BENCH artifact gate)"
+loadgen=./target/release/wabench-load
+cargo build -q --release -p wabench-load
+sock="$trace_tmp/load.sock"
+./target/release/wabench-served serve --socket "$sock" --workers 2 \
+    --store "$trace_tmp/load-store" > "$trace_tmp/served.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+if ! [ -S "$sock" ]; then
+    echo "load smoke FAILED: wabench-served socket never appeared" >&2
+    cat "$trace_tmp/served.log" >&2
+    exit 1
+fi
+# wabench-load itself exits nonzero on zero completed jobs or any
+# protocol error, so a 0 here already covers both health assertions.
+"$loadgen" run --seed 7 --mix fig1 --qps 200 --jobs 20 --phases cold,warm \
+    --socket "$sock" --out "$trace_tmp/BENCH_smoke.json" \
+    | tee "$trace_tmp/load.out"
+./target/release/wabench-served shutdown --socket "$sock" > /dev/null
+wait "$served_pid" 2> /dev/null || true
+# The artifact must carry the schema tag prof's sniffing keys on...
+head -c 64 "$trace_tmp/BENCH_smoke.json" | grep -q '^{"schema":"wabench-bench"'
+grep -q '"completed":' "$trace_tmp/BENCH_smoke.json"
+# ...and the SLO gate must accept a run compared against itself.
+"$prof" diff --base "$trace_tmp/BENCH_smoke.json" --cur "$trace_tmp/BENCH_smoke.json"
 
 step "verify OK"
