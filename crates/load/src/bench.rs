@@ -90,6 +90,29 @@ pub struct BenchCell {
     pub max_ns: u64,
 }
 
+/// One live-telemetry sample interval, echoed from the server's
+/// protocol v7 `Series` window into the artifact (optional: present
+/// only when the run's target was sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BenchSeriesPoint {
+    /// Monotone sample number since the server's sampler started.
+    pub seq: u64,
+    /// Sample time on the server trace clock, ns.
+    pub t_ns: u64,
+    /// Nanoseconds the sample covers.
+    pub interval_ns: u64,
+    /// Jobs completed during the interval.
+    pub completed: u64,
+    /// ... of which failed.
+    pub failed: u64,
+    /// Queue depth at sample time.
+    pub queue_depth: u64,
+    /// Interval job-latency median, ns (0 when idle).
+    pub p50_ns: u64,
+    /// Interval job-latency p99, ns (0 when idle).
+    pub p99_ns: u64,
+}
+
 /// One complete trajectory point.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchArtifact {
@@ -99,6 +122,10 @@ pub struct BenchArtifact {
     pub totals: BenchTotals,
     /// Per-cell latency summaries, sorted by cell key.
     pub cells: Vec<BenchCell>,
+    /// The server's live sample window over the run (empty — and
+    /// omitted from the JSON — when the target ran without a sampler,
+    /// so v1 artifacts from older writers parse unchanged).
+    pub series: Vec<BenchSeriesPoint>,
 }
 
 impl BenchArtifact {
@@ -154,7 +181,29 @@ impl BenchArtifact {
                 cell.max_ns,
             );
         }
-        s.push_str("]}\n");
+        s.push(']');
+        if !self.series.is_empty() {
+            s.push_str(",\n\"series\":[");
+            for (i, p) in self.series.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(",\n");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"seq\":{},\"t_ns\":{},\"interval_ns\":{},\"completed\":{},\"failed\":{},\"queue_depth\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                    p.seq,
+                    p.t_ns,
+                    p.interval_ns,
+                    p.completed,
+                    p.failed,
+                    p.queue_depth,
+                    p.p50_ns,
+                    p.p99_ns,
+                );
+            }
+            s.push(']');
+        }
+        s.push_str("}\n");
         s
     }
 
@@ -195,6 +244,23 @@ impl BenchArtifact {
                 max_ns: num(cv, "max_ns")? as u64,
             });
         }
+        // `series` is optional: absent (pre-telemetry writers, sampler
+        // off) means empty.
+        let mut series = Vec::new();
+        if let Some(series_v) = v.get("series").and_then(Value::as_arr) {
+            for sv in series_v {
+                series.push(BenchSeriesPoint {
+                    seq: num(sv, "seq")? as u64,
+                    t_ns: num(sv, "t_ns")? as u64,
+                    interval_ns: num(sv, "interval_ns")? as u64,
+                    completed: num(sv, "completed")? as u64,
+                    failed: num(sv, "failed")? as u64,
+                    queue_depth: num(sv, "queue_depth")? as u64,
+                    p50_ns: num(sv, "p50_ns")? as u64,
+                    p99_ns: num(sv, "p99_ns")? as u64,
+                });
+            }
+        }
         Ok(BenchArtifact {
             config: BenchConfig {
                 seed: num(c, "seed")? as u64,
@@ -219,6 +285,7 @@ impl BenchArtifact {
                 peak_queue_depth: num(t, "peak_queue_depth")? as u64,
             },
             cells,
+            series,
         })
     }
 
@@ -307,6 +374,7 @@ mod tests {
                     max_ns: 1_600_000,
                 },
             ],
+            series: Vec::new(),
         }
     }
 
@@ -314,6 +382,40 @@ mod tests {
     fn artifacts_round_trip_exactly() {
         let a = sample();
         assert_eq!(BenchArtifact::parse(&a.to_json()).expect("parses"), a);
+    }
+
+    #[test]
+    fn series_window_round_trips_and_is_omitted_when_empty() {
+        let mut a = sample();
+        assert!(
+            !a.to_json().contains("\"series\""),
+            "empty window stays off the wire for v1 compatibility"
+        );
+        a.series = vec![
+            BenchSeriesPoint {
+                seq: 3,
+                t_ns: 1_000_000,
+                interval_ns: 250_000_000,
+                completed: 40,
+                failed: 1,
+                queue_depth: 6,
+                p50_ns: 700_000,
+                p99_ns: 3_000_000,
+            },
+            BenchSeriesPoint {
+                seq: 4,
+                t_ns: 251_000_000,
+                interval_ns: 250_000_000,
+                completed: 38,
+                failed: 0,
+                queue_depth: 2,
+                p50_ns: 650_000,
+                p99_ns: 2_100_000,
+            },
+        ];
+        let back = BenchArtifact::parse(&a.to_json()).expect("parses");
+        assert_eq!(back, a);
+        assert_eq!(back.series.len(), 2);
     }
 
     #[test]

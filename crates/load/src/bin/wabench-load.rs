@@ -3,7 +3,7 @@
 //! ```text
 //! wabench-load run      --seed N [--mix fig1] [--scale test] [--qps Q] [--jobs N]
 //!                       [--phases cold,warm] [--socket PATH | --workers N [--faults PLAN] [--store DIR]]
-//!                       [--collectors N] [--out PATH]
+//!                       [--collectors N] [--out PATH] [--stitch-out FILE] [--log LEVEL]
 //! wabench-load schedule --seed N [--mix fig1] [--qps Q] [--jobs N] [--phase I] [--head K]
 //! ```
 //!
@@ -16,6 +16,13 @@
 //! directory). Exit code 0 only if jobs completed and no protocol
 //! errors occurred — `wabench-prof diff` consumes the artifact for the
 //! throughput/SLO gate.
+//!
+//! Every submit carries a deterministic client-originated trace id
+//! (protocol v7). `--stitch-out FILE` fetches the server's `TraceDump`
+//! after the run, estimates the clock offset from the fetch round-trip,
+//! stitches the client `submit → response` spans against the server
+//! queue/compile/execute spans, and writes one Chrome trace that
+//! `wabench-trace-check` accepts.
 //!
 //! `schedule` prints the first arrivals and sampled cells for a seed
 //! without running anything: the determinism contract, inspectable.
@@ -35,9 +42,10 @@ fn usage() -> ! {
          run      --seed N [--mix fig1|fig2|fig3|fig4|arch] [--scale test|profile|timing]\n\
          \x20        [--qps Q] [--jobs N] [--phases cold,warm]\n\
          \x20        [--socket PATH | --workers N [--faults PLAN] [--store DIR]]\n\
-         \x20        [--collectors N] [--out PATH]\n\
+         \x20        [--collectors N] [--out PATH] [--stitch-out FILE]\n\
          schedule --seed N [--mix fig1] [--qps Q] [--jobs N] [--phase I] [--head K]\n\
          \n\
+         common: --log error|warn|info|debug (overrides WABENCH_LOG)\n\
          PLAN is a wabench-fault spec like 'seed=7,compile=0.05,delay=0.05:2ms'"
     );
     exit(2);
@@ -67,6 +75,7 @@ struct Opts {
     store: Option<PathBuf>,
     collectors: usize,
     out: Option<PathBuf>,
+    stitch_out: Option<PathBuf>,
     phase: u64,
     head: usize,
 }
@@ -85,6 +94,7 @@ fn parse_opts(args: &[String]) -> Opts {
         store: None,
         collectors: 0,
         out: None,
+        stitch_out: None,
         phase: 0,
         head: 10,
     };
@@ -148,6 +158,19 @@ fn parse_opts(args: &[String]) -> Opts {
                     })
             }
             "--out" => o.out = Some(PathBuf::from(take_value(args, &mut i, "--out"))),
+            "--stitch-out" => {
+                o.stitch_out = Some(PathBuf::from(take_value(args, &mut i, "--stitch-out")))
+            }
+            "--log" => {
+                let v = take_value(args, &mut i, "--log");
+                match obs::logger::Level::parse(&v) {
+                    Some(lvl) => obs::logger::set_level(lvl),
+                    None => {
+                        obs::error!("unknown log level {v:?} (use error|warn|info|debug)");
+                        usage();
+                    }
+                }
+            }
             "--phase" => {
                 o.phase = take_value(args, &mut i, "--phase").parse().unwrap_or_else(|_| {
                     obs::error!("--phase needs an integer");
@@ -217,6 +240,7 @@ fn cmd_run(o: &Opts) {
         phases,
         target,
         collectors: o.collectors,
+        stitch: o.stitch_out.is_some(),
     };
     let report = execute(&cfg).unwrap_or_else(|e| {
         obs::error!("load run failed: {e}");
@@ -250,6 +274,19 @@ fn cmd_run(o: &Opts) {
         exit(1);
     }
     println!("artifact: {}", path.display());
+    if let (Some(stitch_path), Some(trace)) = (&o.stitch_out, &report.stitched) {
+        match obs::chrome::export_file(trace, stitch_path) {
+            Ok(()) => println!(
+                "stitched trace: {} ({} requests)",
+                stitch_path.display(),
+                trace.threads.len() / 2
+            ),
+            Err(e) => {
+                obs::error!("writing {}: {e}", stitch_path.display());
+                exit(1);
+            }
+        }
+    }
     if t.completed == 0 || t.protocol_errors > 0 {
         obs::error!("run unhealthy: {} completed, {} protocol errors", t.completed, t.protocol_errors);
         exit(1);

@@ -16,6 +16,10 @@
 //!   recorded from each job's *intended* arrival time, never its send
 //!   time, into [`obs::metrics::Histogram`]s — a stalled worker makes
 //!   the recorded tail worse, it cannot pause the clock.
+//! - **End-to-end request traces** ([`traces`]): every submit carries a
+//!   deterministic client-originated trace id (protocol v7); after the
+//!   run the client-side `submit → response` spans are stitched against
+//!   the server's `TraceDump` phase digests into one Chrome trace.
 //! - **BENCH trajectory artifacts** ([`bench`]): every run emits a
 //!   versioned `BENCH_<timestamp>.json` (config + seed, sustained QPS,
 //!   per engine×level p50/p95/p99/max, outcome counts) that
@@ -29,6 +33,7 @@ pub mod bench;
 pub mod mix;
 pub mod rng;
 pub mod run;
+pub mod traces;
 
 use svc::job::Scale;
 

@@ -17,13 +17,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use obs::metrics::{Histogram, HistogramSnapshot};
-use svc::job::{JobResult, Outcome, Scale};
+use obs::stitch::ClientSpan;
+use obs::trace::Trace;
+use svc::job::{JobResult, Outcome, Scale, TraceCtx};
 use svc::scheduler::{Config, HealthReport, Scheduler};
 use svc::server::Client;
+use svc::telemetry::{SeriesReport, TraceReport};
 
-use crate::bench::{BenchArtifact, BenchCell, BenchConfig, BenchTotals};
+use crate::bench::{BenchArtifact, BenchCell, BenchConfig, BenchSeriesPoint, BenchTotals};
 use crate::mix::Mix;
-use crate::{arrivals, scale_name};
+use crate::{arrivals, scale_name, traces};
 
 /// What the generator drives.
 #[derive(Debug, Clone)]
@@ -95,6 +98,9 @@ pub struct RunConfig {
     pub target: Target,
     /// Collector threads (0 = pick from the target).
     pub collectors: usize,
+    /// Fetch the server's `TraceDump` after the run and stitch it
+    /// against the collected client spans into [`RunReport::stitched`].
+    pub stitch: bool,
 }
 
 /// What a run produced: the artifact plus the overall latency shape.
@@ -105,6 +111,12 @@ pub struct RunReport {
     pub artifact: BenchArtifact,
     /// All-cell latency distribution, for human summaries.
     pub latency: HistogramSnapshot,
+    /// Client-side `submit → response` spans, one per collected job,
+    /// keyed by the deterministic trace ids ([`traces::trace_ids`]).
+    pub client_spans: Vec<ClientSpan>,
+    /// The stitched client+server Chrome trace, when
+    /// [`RunConfig::stitch`] was set and the dump matched any spans.
+    pub stitched: Option<Trace>,
 }
 
 /// Either side of the service boundary, submit half.
@@ -114,10 +126,10 @@ enum Submitter {
 }
 
 impl Submitter {
-    fn submit(&mut self, spec: svc::job::JobSpec) -> Result<u64, String> {
+    fn submit_traced(&mut self, spec: svc::job::JobSpec, ctx: TraceCtx) -> Result<u64, String> {
         match self {
-            Submitter::InProc(s) => Ok(s.submit(spec)),
-            Submitter::Socket(c) => c.submit(spec).map_err(|e| e.to_string()),
+            Submitter::InProc(s) => Ok(s.submit_traced(spec, ctx)),
+            Submitter::Socket(c) => c.submit_traced(spec, ctx).map_err(|e| e.to_string()),
         }
     }
 
@@ -125,6 +137,20 @@ impl Submitter {
         match self {
             Submitter::InProc(s) => Ok(s.health()),
             Submitter::Socket(c) => c.health().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn trace_dump(&mut self) -> Result<TraceReport, String> {
+        match self {
+            Submitter::InProc(s) => Ok(s.trace_dump()),
+            Submitter::Socket(c) => c.trace_dump().map_err(|e| e.to_string()),
+        }
+    }
+
+    fn series(&mut self) -> Result<SeriesReport, String> {
+        match self {
+            Submitter::InProc(s) => Ok(s.series()),
+            Submitter::Socket(c) => c.series().map_err(|e| e.to_string()),
         }
     }
 }
@@ -227,6 +253,7 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
         Arc::new((0..keys.len()).map(|_| Histogram::default()).collect());
     let global = Arc::new(Histogram::default());
     let tallies = Arc::new(Tallies::default());
+    let spans: Arc<Mutex<Vec<ClientSpan>>> = Arc::new(Mutex::new(Vec::new()));
 
     let collectors = if cfg.collectors > 0 {
         cfg.collectors
@@ -239,8 +266,9 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
     for (phase_idx, phase) in cfg.phases.iter().enumerate() {
         let schedule = arrivals::schedule(cfg.seed, phase_idx as u64, cfg.jobs, cfg.qps);
         let sample = cfg.mix.sample(cfg.seed, phase_idx as u64, cfg.jobs);
+        let trace_ids = traces::trace_ids(cfg.seed, phase_idx as u64, cfg.jobs);
 
-        let (tx, rx) = mpsc::channel::<(u64, Instant, usize)>();
+        let (tx, rx) = mpsc::channel::<Pending>();
         let rx = Arc::new(Mutex::new(rx));
         let handles: Vec<_> = (0..collectors)
             .map(|_| {
@@ -248,17 +276,18 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
                 let per_key = Arc::clone(&per_key);
                 let global = Arc::clone(&global);
                 let tallies = Arc::clone(&tallies);
+                let spans = Arc::clone(&spans);
                 match (&sched, &cfg.target) {
                     (Some(s), _) => {
                         let s = Arc::clone(s);
                         std::thread::spawn(move || {
-                            collect_inproc(&s, &rx, &per_key, &global, &tallies);
+                            collect_inproc(&s, &rx, &per_key, &global, &tallies, &spans);
                         })
                     }
                     (None, Target::Socket { path }) => {
                         let path = path.clone();
                         std::thread::spawn(move || {
-                            collect_socket(&path, &rx, &per_key, &global, &tallies);
+                            collect_socket(&path, &rx, &per_key, &global, &tallies, &spans);
                         })
                     }
                     (None, Target::InProc { .. }) => unreachable!("inproc always has sched"),
@@ -267,19 +296,30 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
             .collect();
 
         let start = Instant::now();
-        for (offset, &cell_idx) in schedule.iter().zip(&sample) {
+        for ((offset, &cell_idx), &trace_id) in schedule.iter().zip(&sample).zip(&trace_ids) {
             let intended = start + *offset;
             let now = Instant::now();
             if intended > now {
                 std::thread::sleep(intended - now);
             }
             let spec = cfg.mix.spec(cell_idx, cfg.scale, phase.warm);
-            match submitter.submit(spec) {
+            let begin_ns = obs::trace::now_ns();
+            let ctx = TraceCtx {
+                trace_id,
+                origin_ns: begin_ns,
+            };
+            match submitter.submit_traced(spec, ctx) {
                 Ok(id) => {
                     submitted += 1;
                     // Collector gone ⇒ nothing will record this job; the
                     // tally below still counts the submission.
-                    let _ = tx.send((id, intended, key_of_cell[cell_idx]));
+                    let _ = tx.send(Pending {
+                        id,
+                        intended,
+                        key: key_of_cell[cell_idx],
+                        trace_id,
+                        begin_ns,
+                    });
                 }
                 Err(_) => {
                     tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -295,6 +335,46 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
 
     // Saturation signal: the scheduler's queue high-water mark.
     let peak_queue_depth = submitter.health().map_or(0, |h| h.peak_queue_depth);
+    // The target's live sample window, if it was sampling (pre-v7
+    // servers answer Err; a sampler-less target answers empty) — either
+    // way the artifact's optional series section just stays absent.
+    let series = submitter.series().map_or_else(
+        |_| Vec::new(),
+        |r| {
+            r.points
+                .iter()
+                .map(|p| BenchSeriesPoint {
+                    seq: p.seq,
+                    t_ns: p.t_ns,
+                    interval_ns: p.interval_ns,
+                    completed: p.completed,
+                    failed: p.failed,
+                    queue_depth: p.queue_depth,
+                    p50_ns: p.lat.p50_ns,
+                    p99_ns: p.lat.p99_ns,
+                })
+                .collect()
+        },
+    );
+    let client_spans = std::mem::take(&mut *spans.lock().expect("span log"));
+    // Stitch while the target is still up: bracket the dump fetch on
+    // the client clock for the round-trip offset estimate.
+    let stitched = if cfg.stitch {
+        let before_ns = obs::trace::now_ns();
+        let report = submitter.trace_dump()?;
+        let after_ns = obs::trace::now_ns();
+        let trace = traces::stitch_report(&client_spans, &report, before_ns, after_ns);
+        if trace.threads.is_empty() {
+            return Err(format!(
+                "stitch matched no requests: {} client spans vs {} server records",
+                client_spans.len(),
+                report.all_records().len()
+            ));
+        }
+        Some(trace)
+    } else {
+        None
+    };
     drop(submitter);
     drop(sched); // joins the in-process workers
 
@@ -355,53 +435,72 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
             peak_queue_depth,
         },
         cells,
+        series,
     };
     Ok(RunReport {
         artifact,
         latency: global.snapshot(),
+        client_spans,
+        stitched,
     })
 }
 
+/// One in-flight job as handed from the submitter to the collectors.
+struct Pending {
+    id: u64,
+    intended: Instant,
+    key: usize,
+    trace_id: u64,
+    begin_ns: u64,
+}
+
 /// Pulls one pending job off the shared channel.
-fn next_job(rx: &Mutex<mpsc::Receiver<(u64, Instant, usize)>>) -> Option<(u64, Instant, usize)> {
+fn next_job(rx: &Mutex<mpsc::Receiver<Pending>>) -> Option<Pending> {
     rx.lock().expect("collector channel lock").recv().ok()
 }
 
 fn record(
-    intended: Instant,
-    key: usize,
+    job: &Pending,
     res: &JobResult,
     per_key: &[Histogram],
     global: &Histogram,
     tallies: &Tallies,
+    spans: &Mutex<Vec<ClientSpan>>,
 ) {
     // Intended arrival → observed completion: queueing delay a stalled
     // worker causes lands in the tail instead of being omitted.
-    let lat_ns = Instant::now().duration_since(intended).as_nanos() as u64;
-    per_key[key].observe_ns(lat_ns);
+    let lat_ns = Instant::now().duration_since(job.intended).as_nanos() as u64;
+    per_key[job.key].observe_ns(lat_ns);
     global.observe_ns(lat_ns);
     tallies.record(res);
+    spans.lock().expect("span log").push(ClientSpan {
+        trace_id: job.trace_id,
+        begin_ns: job.begin_ns,
+        end_ns: obs::trace::now_ns(),
+    });
 }
 
 fn collect_inproc(
     sched: &Scheduler,
-    rx: &Mutex<mpsc::Receiver<(u64, Instant, usize)>>,
+    rx: &Mutex<mpsc::Receiver<Pending>>,
     per_key: &[Histogram],
     global: &Histogram,
     tallies: &Tallies,
+    spans: &Mutex<Vec<ClientSpan>>,
 ) {
-    while let Some((id, intended, key)) = next_job(rx) {
-        let res = sched.wait(id);
-        record(intended, key, &res, per_key, global, tallies);
+    while let Some(job) = next_job(rx) {
+        let res = sched.wait(job.id);
+        record(&job, &res, per_key, global, tallies, spans);
     }
 }
 
 fn collect_socket(
     path: &std::path::Path,
-    rx: &Mutex<mpsc::Receiver<(u64, Instant, usize)>>,
+    rx: &Mutex<mpsc::Receiver<Pending>>,
     per_key: &[Histogram],
     global: &Histogram,
     tallies: &Tallies,
+    spans: &Mutex<Vec<ClientSpan>>,
 ) {
     let mut client = match Client::connect(path) {
         Ok(c) => c,
@@ -414,9 +513,9 @@ fn collect_socket(
             return;
         }
     };
-    while let Some((id, intended, key)) = next_job(rx) {
-        match client.wait(id) {
-            Ok(res) => record(intended, key, &res, per_key, global, tallies),
+    while let Some(job) = next_job(rx) {
+        match client.wait(job.id) {
+            Ok(res) => record(&job, &res, per_key, global, tallies, spans),
             Err(_) => {
                 tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
             }

@@ -43,6 +43,7 @@ fn config(faults: Option<String>) -> RunConfig {
             store_dir: None,
         },
         collectors: 2,
+        stitch: false,
     }
 }
 

@@ -1,0 +1,134 @@
+//! Slow-request exemplars: a bounded buffer of the span trees behind
+//! tail latency.
+//!
+//! Aggregates tell you the p99 moved; an exemplar tells you *which*
+//! request moved it and where its time went. Producers offer every
+//! completed request's [`ServerPhases`] digest; the buffer keeps only
+//! those whose end-to-end latency meets the threshold, bounded FIFO so
+//! a long-running server cannot grow without limit. Consumers fetch the
+//! buffer (the `TraceDump` protocol request) and export it through the
+//! chrome/folded exporters via [`crate::stitch::server_only`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::stitch::ServerPhases;
+
+/// One retained slow request: its phase digest plus a human label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// What ran, e.g. `"crc32 on Wasm3 at -O1"`.
+    pub label: String,
+    /// The request's full server-side span tree digest.
+    pub phases: ServerPhases,
+}
+
+impl Exemplar {
+    /// End-to-end server latency (enqueue → done), ns.
+    pub fn total_ns(&self) -> u64 {
+        self.phases.done_ns.saturating_sub(self.phases.enqueue_ns)
+    }
+}
+
+/// A bounded, threshold-gated exemplar buffer (thread-safe).
+#[derive(Debug)]
+pub struct ExemplarBuffer {
+    threshold_ns: u64,
+    cap: usize,
+    kept: Mutex<VecDeque<Exemplar>>,
+}
+
+impl ExemplarBuffer {
+    /// A buffer keeping at most `cap` (min 1) exemplars at or above
+    /// `threshold_ns` end-to-end latency.
+    pub fn new(threshold_ns: u64, cap: usize) -> ExemplarBuffer {
+        ExemplarBuffer {
+            threshold_ns,
+            cap: cap.max(1),
+            kept: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The retention threshold, ns.
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns
+    }
+
+    /// Offers a completed request; returns whether it was retained.
+    /// At capacity the oldest exemplar is evicted (recency beats
+    /// severity: operators debug the spike that is happening now).
+    pub fn offer(&self, exemplar: Exemplar) -> bool {
+        if exemplar.total_ns() < self.threshold_ns {
+            return false;
+        }
+        let mut kept = self.kept.lock().expect("exemplar buffer");
+        if kept.len() == self.cap {
+            kept.pop_front();
+        }
+        kept.push_back(exemplar);
+        true
+    }
+
+    /// Every retained exemplar, oldest first.
+    pub fn window(&self) -> Vec<Exemplar> {
+        self.kept.lock().expect("exemplar buffer").iter().cloned().collect()
+    }
+
+    /// Retained count.
+    pub fn len(&self) -> usize {
+        self.kept.lock().expect("exemplar buffer").len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chrome, stitch};
+
+    fn slow(trace_id: u64, total_ns: u64) -> Exemplar {
+        Exemplar {
+            label: format!("job-{trace_id}"),
+            phases: ServerPhases {
+                trace_id,
+                enqueue_ns: 1_000,
+                start_ns: 2_000,
+                done_ns: 1_000 + total_ns,
+                exec_ns: total_ns / 2,
+                attempts: 1,
+                ..ServerPhases::default()
+            },
+        }
+    }
+
+    #[test]
+    fn threshold_gates_and_capacity_bounds() {
+        let buf = ExemplarBuffer::new(1_000_000, 3);
+        assert!(!buf.offer(slow(1, 999_999)), "below threshold rejected");
+        for id in 2..=6 {
+            assert!(buf.offer(slow(id, 1_000_000 + id)));
+        }
+        let kept = buf.window();
+        assert_eq!(kept.len(), 3, "capacity bounds the buffer");
+        let ids: Vec<u64> = kept.iter().map(|e| e.phases.trace_id).collect();
+        assert_eq!(ids, vec![4, 5, 6], "oldest evicted first");
+    }
+
+    #[test]
+    fn exemplars_export_through_the_chrome_exporter() {
+        let buf = ExemplarBuffer::new(0, 8);
+        buf.offer(slow(0xaa, 5_000_000));
+        buf.offer(slow(0xbb, 7_000_000));
+        let phases: Vec<ServerPhases> = buf.window().iter().map(|e| e.phases).collect();
+        let trace = stitch::server_only(&phases);
+        assert_eq!(trace.threads.len(), 2);
+        let summary = chrome::validate(&chrome::export_string(&trace))
+            .expect("exemplar trace validates");
+        assert!(summary.names.iter().any(|n| n == "server.job"));
+        assert!(summary.names.iter().any(|n| n == "queue.wait"));
+    }
+}

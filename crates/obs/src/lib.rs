@@ -21,6 +21,13 @@
 //!   stacks ([`folded`], wall- or counter-weighted); [`json`] carries
 //!   the tiny parser the round-trip validators are built on.
 //!
+//! Three live-telemetry pieces ride on those: a background registry
+//! sampler feeding a bounded delta ring ([`series`]), a threshold-gated
+//! slow-request exemplar buffer ([`exemplar`]), and a client/server
+//! trace stitcher with round-trip clock-offset estimation ([`stitch`]).
+//! None of them run unless explicitly started, preserving the
+//! bit-identical-when-off contract.
+//!
 //! There is also a leveled [`log!`] macro family (respecting
 //! `WABENCH_LOG=error|warn|info|debug`, [`logger`]) that replaces the
 //! scattered `eprintln!` progress lines in the binaries.
@@ -44,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod exemplar;
 pub mod folded;
 pub mod json;
 pub mod logger;
@@ -51,9 +59,11 @@ pub mod metrics;
 pub mod prof;
 pub mod report;
 pub mod ring;
+pub mod series;
+pub mod stitch;
 pub mod trace;
 
-pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use trace::{SpanCounters, SpanEvent, SpanGuard, ThreadTrace, Trace};
 
 /// Opens a timing span that ends when the returned guard drops.
@@ -89,12 +99,15 @@ macro_rules! span {
 ///
 /// The default level is `info`, chosen so existing progress output is
 /// preserved verbatim; `WABENCH_LOG=error` silences progress,
-/// `WABENCH_LOG=debug` adds diagnostics.
+/// `WABENCH_LOG=debug` adds diagnostics. Setting `WABENCH_LOG_TS=1`
+/// prefixes each line with seconds since the first logged line
+/// ([`logger::prefix`]); without it the output is byte-identical to the
+/// historical `eprintln!` lines.
 #[macro_export]
 macro_rules! log {
     ($lvl:expr, $($arg:tt)*) => {
         if $crate::logger::enabled($lvl) {
-            eprintln!("{}", format_args!($($arg)*));
+            eprintln!("{}{}", $crate::logger::prefix(), format_args!($($arg)*));
         }
     };
 }

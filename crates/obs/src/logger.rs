@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Log severity, ordered from most to least important.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -82,6 +83,29 @@ pub fn set_level(lvl: Level) {
 #[inline]
 pub fn enabled(lvl: Level) -> bool {
     lvl <= level()
+}
+
+fn ts_enabled() -> bool {
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| std::env::var("WABENCH_LOG_TS").as_deref() == Ok("1"))
+}
+
+fn ts_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The per-line prefix for [`crate::log!`] output.
+///
+/// Empty unless `WABENCH_LOG_TS=1`, so default output stays
+/// byte-identical; with it, each line is prefixed with seconds since the
+/// first logged line, e.g. `[     1.042] starting phase`.
+pub fn prefix() -> String {
+    if ts_enabled() {
+        format!("[{:>10.3}] ", ts_epoch().elapsed().as_secs_f64())
+    } else {
+        String::new()
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,46 @@ impl Counter {
     }
 }
 
+/// An instantaneous level (queue depth, busy workers, breaker state).
+///
+/// Unlike a [`Counter`] a gauge moves both ways; the series sampler
+/// records its point-in-time value rather than a delta.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero (concurrent add/sub can
+    /// transiently observe a stale level; a floor beats a wrap).
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// A fixed-bucket latency histogram (nanosecond observations).
 #[derive(Debug)]
 pub struct Histogram {
@@ -241,6 +281,7 @@ pub fn fmt_ns(ns: u64) -> String {
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
 }
 
@@ -261,7 +302,23 @@ pub fn counter(name: &str) -> Arc<Counter> {
         .or_insert_with(|| Metric::Counter(Arc::default()))
     {
         Metric::Counter(c) => Arc::clone(c),
-        Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+        _ => panic!("metric {name:?} is not a counter"),
+    }
+}
+
+/// The gauge registered under `name` (created on first use).
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as another metric kind.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = registry().lock().expect("metrics registry");
+    match reg
+        .entry(name.to_string())
+        .or_insert_with(|| Metric::Gauge(Arc::default()))
+    {
+        Metric::Gauge(g) => Arc::clone(g),
+        _ => panic!("metric {name:?} is not a gauge"),
     }
 }
 
@@ -277,7 +334,7 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
         .or_insert_with(|| Metric::Histogram(Arc::default()))
     {
         Metric::Histogram(h) => Arc::clone(h),
-        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+        _ => panic!("metric {name:?} is not a histogram"),
     }
 }
 
@@ -286,6 +343,8 @@ pub fn histogram(name: &str) -> Arc<Histogram> {
 pub enum MetricValue {
     /// Counter value.
     Counter(u64),
+    /// Gauge level.
+    Gauge(u64),
     /// Histogram state (boxed: a snapshot is ~35× a counter).
     Histogram(Box<HistogramSnapshot>),
 }
@@ -298,6 +357,7 @@ pub fn snapshot() -> Vec<(String, MetricValue)> {
         .map(|(name, m)| {
             let v = match m {
                 Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
                 Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
             };
             (name.clone(), v)
@@ -318,7 +378,7 @@ pub fn counters_with_prefix(prefix: &str) -> Vec<(String, u64)> {
         .filter(|(name, _)| name.starts_with(prefix))
         .filter_map(|(name, m)| match m {
             Metric::Counter(c) => Some((name.clone(), c.get())),
-            Metric::Histogram(_) => None,
+            _ => None,
         })
         .collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -335,7 +395,7 @@ pub fn render() -> String {
     let mut out = String::new();
     for (name, value) in snap {
         match value {
-            MetricValue::Counter(v) => {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
                 out.push_str(&format!("{name:width$}  {v}\n"));
             }
             MetricValue::Histogram(h) => {
@@ -478,6 +538,21 @@ mod tests {
         assert_eq!(histogram("test.reg.hist").snapshot().count, 1);
         let snap = snapshot();
         assert!(snap.iter().any(|(n, _)| n == "test.reg.counter"));
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_floor_at_zero() {
+        let g = gauge("test.reg.gauge");
+        g.set(5);
+        g.add(2);
+        g.sub(3);
+        assert_eq!(g.get(), 4);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "sub saturates instead of wrapping");
+        g.set(9);
+        assert!(snapshot()
+            .iter()
+            .any(|(n, v)| n == "test.reg.gauge" && *v == MetricValue::Gauge(9)));
     }
 
     #[test]

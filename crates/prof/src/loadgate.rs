@@ -120,6 +120,20 @@ pub fn diff_load(base: &BenchArtifact, cur: &BenchArtifact, rule: &LoadRule) -> 
                 .push(format!("{}: in baseline but not in current run", b.cell));
         }
     }
+    // Live-telemetry context (protocol v7): a run against a sampling
+    // server embeds its series window. Purely informational — the
+    // gate's signal stays the end-of-run quantiles — but the note makes
+    // a flagged regression attributable to a burst vs. a level shift.
+    if !cur.series.is_empty() {
+        let peak_p99 = cur.series.iter().map(|p| p.p99_ns).max().unwrap_or(0);
+        let peak_queue = cur.series.iter().map(|p| p.queue_depth).max().unwrap_or(0);
+        report.notes.push(format!(
+            "live series: {} intervals, peak interval p99 {}, peak sampled queue {}",
+            cur.series.len(),
+            obs::metrics::fmt_ns(peak_p99),
+            peak_queue
+        ));
+    }
     report
 }
 
@@ -172,6 +186,7 @@ mod tests {
                     max_ns: 7_000_000,
                 },
             ],
+            series: Vec::new(),
         }
     }
 
@@ -233,6 +248,28 @@ mod tests {
         assert!(report.regressions[0].contains("not comparable"));
         // Config errors short-circuit: no cells were compared.
         assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn series_window_is_a_note_not_a_gate() {
+        use load::bench::BenchSeriesPoint;
+        let base = artifact();
+        let mut cur = artifact();
+        cur.series = vec![BenchSeriesPoint {
+            seq: 1,
+            t_ns: 0,
+            interval_ns: 250_000_000,
+            completed: 40,
+            failed: 0,
+            queue_depth: 9,
+            p50_ns: 800_000,
+            p99_ns: 4_000_000,
+        }];
+        let report = diff_load(&base, &cur, &LoadRule::default());
+        assert!(report.ok(), "{:?}", report.regressions);
+        let all = report.notes.join("\n");
+        assert!(all.contains("live series: 1 intervals"), "{all}");
+        assert!(all.contains("peak sampled queue 9"), "{all}");
     }
 
     #[test]

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! wabench-served serve  --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S]
-//!                       [--faults PLAN]
+//!                       [--faults PLAN] [--sample-ms N] [--series-cap N] [--slow-ms N]
 //! wabench-served submit --socket PATH --bench NAME [--engine E] [--level O0..O3]
 //!                       [--scale test|profile|timing] [--mode exec|aot|profiled] [--warm]
 //! wabench-served stats  --socket PATH
 //! wabench-served stats-ext --socket PATH
 //! wabench-served health --socket PATH
+//! wabench-served series --socket PATH
+//! wabench-served trace-dump --socket PATH
 //! wabench-served shutdown --socket PATH
 //! wabench-served smoke  [--dir DIR] [--jobs N]
 //! ```
@@ -23,6 +25,12 @@
 //! breaker states per engine, and any active fault-injection sites.
 //! `--faults PLAN` (or the `WABENCH_FAULTS` env var) arms deterministic
 //! fault injection for chaos testing; see `docs/OPERATIONS.md`.
+//!
+//! `series` and `trace-dump` speak protocol v7: the serve path runs a
+//! background telemetry sampler (`--sample-ms`, 0 disables) whose delta
+//! window `series` fetches, and keeps recent plus slow-request
+//! (`--slow-ms` threshold) span digests that `trace-dump` fetches for
+//! client-side stitching. `wabench-top` builds a live view on top.
 //!
 //! `smoke` is self-contained: it starts a scheduler + server on a
 //! scratch socket, drives it through a real client twice — a cold pass
@@ -40,20 +48,25 @@ use engines::EngineKind;
 use svc::job::{JobMode, JobSpec, Scale};
 use svc::scheduler::{Config, HealthReport, Scheduler, SvcStats, SvcStatsExt};
 use svc::server::{serve, Client};
+use svc::telemetry::{SeriesReport, TelemetryConfig, TraceReport};
 use wacc::OptLevel;
 
 fn usage() -> ! {
     obs::error!(
-        "usage: wabench-served <serve|submit|stats|stats-ext|health|shutdown|smoke> [options]\n\
+        "usage: wabench-served <serve|submit|stats|stats-ext|health|series|trace-dump|shutdown|smoke> [options]\n\
          \n\
-         serve     --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S] [--trace-out FILE] [--faults PLAN]\n\
-         submit    --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
-         stats     --socket PATH\n\
-         stats-ext --socket PATH\n\
-         health    --socket PATH\n\
-         shutdown  --socket PATH\n\
-         smoke     [--dir DIR] [--jobs N]\n\
+         serve      --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S] [--trace-out FILE] [--faults PLAN]\n\
+         \u{20}          [--sample-ms N] [--series-cap N] [--slow-ms N]\n\
+         submit     --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
+         stats      --socket PATH\n\
+         stats-ext  --socket PATH\n\
+         health     --socket PATH\n\
+         series     --socket PATH\n\
+         trace-dump --socket PATH\n\
+         shutdown   --socket PATH\n\
+         smoke      [--dir DIR] [--jobs N]\n\
          \n\
+         common: --log error|warn|info|debug (overrides WABENCH_LOG)\n\
          PLAN is a comma list like 'seed=7,compile=0.05,store.read=0.02'\n\
          (also read from WABENCH_FAULTS; see docs/OPERATIONS.md)"
     );
@@ -90,6 +103,9 @@ struct Opts {
     jobs: usize,
     trace_out: Option<PathBuf>,
     faults: Option<String>,
+    sample_ms: u64,
+    series_cap: usize,
+    slow_ms: u64,
 }
 
 impl Opts {
@@ -110,6 +126,9 @@ impl Opts {
             jobs: 4,
             trace_out: None,
             faults: None,
+            sample_ms: 250,
+            series_cap: 600,
+            slow_ms: 250,
         }
     }
 }
@@ -192,6 +211,42 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.trace_out = Some(PathBuf::from(take_value(args, &mut i, "--trace-out")))
             }
             "--faults" => o.faults = Some(take_value(args, &mut i, "--faults")),
+            "--log" => {
+                let v = take_value(args, &mut i, "--log");
+                match obs::logger::Level::parse(&v) {
+                    Some(lvl) => obs::logger::set_level(lvl),
+                    None => {
+                        obs::error!("unknown log level {v:?} (use error|warn|info|debug)");
+                        usage();
+                    }
+                }
+            }
+            "--sample-ms" => {
+                o.sample_ms = take_value(args, &mut i, "--sample-ms")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        obs::error!("--sample-ms needs an integer (0 disables sampling)");
+                        usage();
+                    })
+            }
+            "--series-cap" => {
+                o.series_cap = take_value(args, &mut i, "--series-cap")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        obs::error!("--series-cap needs a positive integer");
+                        usage();
+                    })
+            }
+            "--slow-ms" => {
+                o.slow_ms = take_value(args, &mut i, "--slow-ms")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        obs::error!("--slow-ms needs an integer");
+                        usage();
+                    })
+            }
             "--dir" => o.dir = Some(PathBuf::from(take_value(args, &mut i, "--dir"))),
             "--jobs" => {
                 o.jobs = take_value(args, &mut i, "--jobs")
@@ -301,6 +356,65 @@ fn print_health(h: &HealthReport) {
     }
 }
 
+fn print_series(s: &SeriesReport) {
+    if s.points.is_empty() {
+        println!("series: empty (server running without a sampler?)");
+        return;
+    }
+    println!(
+        "series: {} points at {}ms intervals",
+        s.points.len(),
+        s.interval_ns / 1_000_000
+    );
+    for p in &s.points {
+        let mut line = format!(
+            "#{:>5}  qps {:>8.1}  ok {:>4} fail {:>3}  queue {:>3} busy {:>2}",
+            p.seq,
+            p.qps(),
+            p.ok,
+            p.failed,
+            p.queue_depth,
+            p.busy_workers
+        );
+        if p.lat.count > 0 {
+            line.push_str(&format!(
+                "  p50 {:.2}ms p99 {:.2}ms",
+                p.lat.p50_ns as f64 / 1e6,
+                p.lat.p99_ns as f64 / 1e6
+            ));
+        }
+        println!("{line}");
+    }
+}
+
+fn print_trace_report(t: &TraceReport) {
+    println!(
+        "traces: {} recent, {} slow (threshold {:.1}ms)",
+        t.recent.len(),
+        t.exemplars.len(),
+        t.slow_threshold_ns as f64 / 1e6
+    );
+    for rec in t.all_records() {
+        let p = &rec.phases;
+        println!(
+            "trace {:#018x} [{}] {}: queue {:.2}ms compile {:.2}ms exec {:.2}ms wall {:.2}ms{}{}",
+            p.trace_id,
+            rec.label,
+            if rec.ok { "ok" } else { "FAILED" },
+            p.start_ns.saturating_sub(p.enqueue_ns) as f64 / 1e6,
+            p.compile_ns as f64 / 1e6,
+            p.exec_ns as f64 / 1e6,
+            p.done_ns.saturating_sub(p.enqueue_ns) as f64 / 1e6,
+            if p.attempts > 1 {
+                format!(" ({} attempts)", p.attempts)
+            } else {
+                String::new()
+            },
+            if p.compile_fallback { " (fallback)" } else { "" },
+        );
+    }
+}
+
 fn print_result(res: &svc::JobResult) {
     println!(
         "job {} [{}]: {:?} checksum={:?} compile {:.3}ms{} exec {:.3}ms wall {:.3}ms",
@@ -345,6 +459,12 @@ fn cmd_serve(o: &Opts) {
         store_dir: o.store.clone(),
         store_cap_bytes: o.store_cap_mb << 20,
         faults,
+        telemetry: TelemetryConfig {
+            sample_interval: (o.sample_ms > 0).then(|| Duration::from_millis(o.sample_ms)),
+            series_cap: o.series_cap,
+            slow_threshold: Duration::from_millis(o.slow_ms),
+            ..TelemetryConfig::default()
+        },
         ..Config::default()
     })
     .unwrap_or_else(|e| {
@@ -426,6 +546,24 @@ fn cmd_health(o: &Opts) {
         exit(1);
     });
     print_health(&client.health().expect("health"));
+}
+
+fn cmd_series(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    print_series(&client.series().expect("series"));
+}
+
+fn cmd_trace_dump(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    print_trace_report(&client.trace_dump().expect("trace-dump"));
 }
 
 fn cmd_shutdown(o: &Opts) {
@@ -572,6 +710,8 @@ fn main() {
         "stats" => cmd_stats(&opts),
         "stats-ext" => cmd_stats_ext(&opts),
         "health" => cmd_health(&opts),
+        "series" => cmd_series(&opts),
+        "trace-dump" => cmd_trace_dump(&opts),
         "shutdown" => cmd_shutdown(&opts),
         "smoke" => cmd_smoke(&opts),
         _ => usage(),

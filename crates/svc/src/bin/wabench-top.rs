@@ -1,0 +1,317 @@
+//! `wabench-top` — live terminal view of a running `wabench-served`.
+//!
+//! ```text
+//! wabench-top --socket PATH [--interval-ms N] [--iterations N] [--once]
+//!             [--slo-target F] [--log LEVEL]
+//! ```
+//!
+//! Polls the protocol v7 `Series` request (plus `Health` and `StatsExt`
+//! for breaker states and worker counts) and prints one status line per
+//! tick, vmstat-style: live QPS, p50/p99 job latency, queue depth,
+//! worker utilization, breaker states, and a rolling SLO burn-rate
+//! column (error-budget consumption relative to `--slo-target`, default
+//! 0.999 availability — burn 1.0 means failing at exactly the budgeted
+//! rate, above 1.0 the budget is being consumed faster than allotted).
+//!
+//! `--once` instead fetches a single window and prints machine-readable
+//! `key=value` lines aggregated over the whole buffered window — the
+//! mode scripts and the verify smoke use. Exit code is 0 when the
+//! server answered, 1 on connection or protocol errors, 2 on usage
+//! errors.
+//!
+//! The server must be sampling (`wabench-served serve --sample-ms`,
+//! on by default) for the window to be nonempty; against a sampler-less
+//! server `wabench-top` reports an empty window rather than failing.
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+use engines::EngineKind;
+use svc::server::Client;
+use svc::telemetry::{SeriesPoint, SeriesReport};
+
+fn usage() -> ! {
+    obs::error!(
+        "usage: wabench-top --socket PATH [--interval-ms N] [--iterations N] [--once]\n\
+         \u{20}                  [--slo-target F] [--log error|warn|info|debug]\n\
+         \n\
+         --interval-ms  poll cadence (default 1000)\n\
+         --iterations   stop after N ticks (default: run until interrupted)\n\
+         --once         fetch one window, print key=value lines, exit\n\
+         --slo-target   availability SLO for the burn-rate column (default 0.999)"
+    );
+    exit(2);
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    match args.get(*i) {
+        Some(v) => v.clone(),
+        None => {
+            obs::error!("missing value for {flag}");
+            usage();
+        }
+    }
+}
+
+struct Opts {
+    socket: PathBuf,
+    interval: Duration,
+    iterations: Option<u64>,
+    once: bool,
+    slo_target: f64,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut socket = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut iterations = None;
+    let mut once = false;
+    let mut slo_target = 0.999;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => socket = Some(PathBuf::from(take_value(args, &mut i, "--socket"))),
+            "--interval-ms" => {
+                let ms: u64 = take_value(args, &mut i, "--interval-ms")
+                    .parse()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| {
+                        obs::error!("--interval-ms needs a positive integer");
+                        usage();
+                    });
+                interval = Duration::from_millis(ms);
+            }
+            "--iterations" => {
+                iterations = Some(
+                    take_value(args, &mut i, "--iterations")
+                        .parse()
+                        .ok()
+                        .filter(|n| *n > 0)
+                        .unwrap_or_else(|| {
+                            obs::error!("--iterations needs a positive integer");
+                            usage();
+                        }),
+                )
+            }
+            "--once" => once = true,
+            "--slo-target" => {
+                slo_target = take_value(args, &mut i, "--slo-target")
+                    .parse()
+                    .ok()
+                    .filter(|f| (0.0..1.0).contains(f))
+                    .unwrap_or_else(|| {
+                        obs::error!("--slo-target needs a fraction in [0, 1)");
+                        usage();
+                    })
+            }
+            "--log" => {
+                let v = take_value(args, &mut i, "--log");
+                match obs::logger::Level::parse(&v) {
+                    Some(lvl) => obs::logger::set_level(lvl),
+                    None => {
+                        obs::error!("unknown log level {v:?} (use error|warn|info|debug)");
+                        usage();
+                    }
+                }
+            }
+            other => {
+                obs::error!("unknown option {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let Some(socket) = socket else {
+        obs::error!("--socket is required");
+        usage();
+    };
+    Opts {
+        socket,
+        interval,
+        iterations,
+        once,
+        slo_target,
+    }
+}
+
+/// Whole-window aggregate of a series reply.
+#[derive(Debug, Default)]
+struct WindowAgg {
+    completed: u64,
+    ok: u64,
+    failed: u64,
+    lat_count: u64,
+    lat_sum_ns: u64,
+    /// Count-weighted p50 numerator (Σ count·p50).
+    p50_weighted: u128,
+    /// Max interval p99 — a conservative window tail.
+    p99_max_ns: u64,
+    span_ns: u64,
+}
+
+impl WindowAgg {
+    fn over(points: &[SeriesPoint]) -> WindowAgg {
+        let mut a = WindowAgg::default();
+        for p in points {
+            a.completed += p.completed;
+            a.ok += p.ok;
+            a.failed += p.failed;
+            a.lat_count += p.lat.count;
+            a.lat_sum_ns += p.lat.sum_ns;
+            a.p50_weighted += u128::from(p.lat.count) * u128::from(p.lat.p50_ns);
+            a.p99_max_ns = a.p99_max_ns.max(p.lat.p99_ns);
+            a.span_ns += p.interval_ns;
+        }
+        a
+    }
+
+    fn qps(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1e9 / self.span_ns as f64
+        }
+    }
+
+    fn p50_ns(&self) -> u64 {
+        if self.lat_count == 0 {
+            0
+        } else {
+            (self.p50_weighted / u128::from(self.lat_count)) as u64
+        }
+    }
+
+    /// Error-budget burn: (observed failure ratio) / (allotted failure
+    /// ratio). 0 when nothing completed.
+    fn burn_rate(&self, slo_target: f64) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        let budget = 1.0 - slo_target;
+        (self.failed as f64 / self.completed as f64) / budget
+    }
+}
+
+fn breaker_summary(breakers: &[(u8, fault::BreakerSnapshot)]) -> String {
+    let open: Vec<String> = breakers
+        .iter()
+        .filter(|(_, b)| b.state != fault::BreakerState::Closed)
+        .map(|(code, b)| {
+            let name = EngineKind::from_code(*code).map_or("unknown", |k| k.name());
+            format!("{name}:{}", b.state.name())
+        })
+        .collect();
+    if open.is_empty() {
+        "all-closed".to_string()
+    } else {
+        open.join(",")
+    }
+}
+
+fn connect(socket: &std::path::Path) -> Client {
+    Client::connect(socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(1);
+    })
+}
+
+fn fetch<T>(what: &str, r: std::io::Result<T>) -> T {
+    r.unwrap_or_else(|e| {
+        obs::error!("{what}: {e}");
+        exit(1);
+    })
+}
+
+/// One fetch, machine-readable, aggregated over the buffered window.
+fn cmd_once(o: &Opts) {
+    let mut client = connect(&o.socket);
+    let series = fetch("series", client.series());
+    let health = fetch("health", client.health());
+    let ext = fetch("stats-ext", client.stats_ext());
+    let agg = WindowAgg::over(&series.points);
+    let last = series.points.last();
+    println!("sampling={}", u8::from(!series.points.is_empty()));
+    println!("points={}", series.points.len());
+    println!("interval_ns={}", series.interval_ns);
+    println!("window_ns={}", agg.span_ns);
+    println!("completed={}", agg.completed);
+    println!("ok={}", agg.ok);
+    println!("failed={}", agg.failed);
+    println!("qps={:.3}", agg.qps());
+    println!("p50_ns={}", agg.p50_ns());
+    println!("p99_ns={}", agg.p99_max_ns);
+    println!("queue_depth={}", last.map_or(0, |p| p.queue_depth));
+    println!("busy_workers={}", last.map_or(0, |p| p.busy_workers));
+    println!("workers={}", ext.workers);
+    println!("utilization={:.3}", ext.utilization());
+    println!("burn_rate={:.3}", agg.burn_rate(o.slo_target));
+    println!("slo_target={}", o.slo_target);
+    println!("breakers={}", breaker_summary(&health.breakers));
+}
+
+fn header() {
+    println!(
+        "{:>8}  {:>8}  {:>9}  {:>9}  {:>5}  {:>9}  {:>7}  breakers",
+        "time", "qps", "p50", "p99", "queue", "busy", "burn"
+    );
+}
+
+/// Poll loop: one status line per tick from the newest sample deltas.
+fn cmd_watch(o: &Opts) {
+    let mut client = connect(&o.socket);
+    // Redraw the header periodically so it survives scrollback.
+    const HEADER_EVERY: u64 = 20;
+    let mut last_seq: Option<u64> = None;
+    let mut tick = 0u64;
+    loop {
+        if tick.is_multiple_of(HEADER_EVERY) {
+            header();
+        }
+        let series: SeriesReport = fetch("series", client.series());
+        let health = fetch("health", client.health());
+        let ext = fetch("stats-ext", client.stats_ext());
+        // Only the samples that landed since the last tick.
+        let fresh: Vec<SeriesPoint> = series
+            .points
+            .iter()
+            .filter(|p| last_seq.is_none_or(|s| p.seq > s))
+            .cloned()
+            .collect();
+        if let Some(p) = series.points.last() {
+            last_seq = Some(p.seq);
+        }
+        let agg = WindowAgg::over(&fresh);
+        let last = fresh.last().or(series.points.last());
+        let busy = last.map_or(0, |p| p.busy_workers);
+        println!(
+            "{:>8.1}  {:>8.1}  {:>7.2}ms  {:>7.2}ms  {:>5}  {:>4}/{:<4}  {:>6.2}x  {}",
+            series.server_now_ns as f64 / 1e9,
+            agg.qps(),
+            agg.p50_ns() as f64 / 1e6,
+            agg.p99_max_ns as f64 / 1e6,
+            last.map_or(0, |p| p.queue_depth),
+            busy,
+            ext.workers,
+            agg.burn_rate(o.slo_target),
+            breaker_summary(&health.breakers),
+        );
+        tick += 1;
+        if o.iterations.is_some_and(|n| tick >= n) {
+            break;
+        }
+        std::thread::sleep(o.interval);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = parse_opts(&args);
+    if o.once {
+        cmd_once(&o);
+    } else {
+        cmd_watch(&o);
+    }
+}

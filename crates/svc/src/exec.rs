@@ -164,6 +164,7 @@ pub fn execute_attempt(spec: &JobSpec, env: &ExecEnv, attempt: u32) -> JobResult
         warm_artifact: false,
         wall_s: 0.0,
         recovery: Recovery::default(),
+        trace: crate::job::TraceDigest::default(),
     };
     if let Err(msg) = run(spec, env, attempt, &mut res) {
         res.status = JobStatus::Failed(msg);

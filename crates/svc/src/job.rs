@@ -157,6 +157,48 @@ impl std::fmt::Display for JobSpec {
     }
 }
 
+/// Client-originated trace context carried alongside a submit.
+///
+/// `trace_id == 0` means "untraced" (legacy v6 clients, or callers that
+/// do not stitch); the scheduler still records a digest, it just cannot
+/// be joined against client spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCtx {
+    /// 64-bit trace id minted by the client (the stitch join key).
+    pub trace_id: u64,
+    /// The request's intended-arrival time on the client's trace clock
+    /// (`obs::trace::now_ns`), for client-side bookkeeping. The server
+    /// echoes it untouched; it is meaningless on the server clock.
+    pub origin_ns: u64,
+}
+
+/// The compact per-job span digest the scheduler stamps on every
+/// [`JobResult`]: where the request's wall time went, on the *server's*
+/// trace clock ([`obs::trace::now_ns`] in the server process), plus the
+/// echoed client context. Together with a clock-offset estimate this is
+/// enough to place queue-wait/compile/execute spans on the client's
+/// timeline (`obs::stitch`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceDigest {
+    /// Echoed client trace id (0 = untraced submit).
+    pub trace_id: u64,
+    /// Echoed client origin timestamp.
+    pub origin_ns: u64,
+    /// Server trace clock when the job entered the queue.
+    pub enqueue_ns: u64,
+    /// Server trace clock when a worker picked the job up.
+    pub start_ns: u64,
+    /// Server trace clock when the job finished.
+    pub done_ns: u64,
+}
+
+impl TraceDigest {
+    /// Nanoseconds the job waited in queue.
+    pub fn queue_ns(&self) -> u64 {
+        self.start_ns.saturating_sub(self.enqueue_ns)
+    }
+}
+
 /// How a job ended.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobStatus {
@@ -249,6 +291,9 @@ pub struct JobResult {
     pub wall_s: f64,
     /// What the resilience layer did (retries, fallbacks, repairs).
     pub recovery: Recovery,
+    /// Span digest: phase timestamps on the server trace clock plus the
+    /// echoed client trace context (all-zero for legacy v6 frames).
+    pub trace: TraceDigest,
 }
 
 impl JobResult {

@@ -35,6 +35,13 @@
 //! whole layer is exercised deterministically through `wabench-fault`'s
 //! seeded fault-injection plans (`WABENCH_FAULTS`).
 //!
+//! Since protocol v7 the service is also observable *live* (see
+//! [`telemetry`]): submits carry a client-originated trace id, every
+//! result returns a per-job span digest ([`job::TraceDigest`]), and the
+//! `Series` / `TraceDump` requests serve a bounded time-series window
+//! and recent/slow-request span trees that `wabench-top` and the
+//! client-side trace stitcher consume.
+//!
 //! The harness's `--jobs N` flag drives the fig1/fig4/fig7 measurement
 //! matrices through the scheduler; assembly of the output tables stays
 //! serial and ordered, so tables are independent of job completion
@@ -50,10 +57,12 @@ pub mod scheduler;
 #[cfg(unix)]
 pub mod server;
 pub mod store;
+pub mod telemetry;
 pub mod wire;
 
-pub use job::{JobMode, JobResult, JobSpec, JobStatus, Outcome, Recovery, Scale};
+pub use job::{JobMode, JobResult, JobSpec, JobStatus, Outcome, Recovery, Scale, TraceCtx, TraceDigest};
 pub use scheduler::{
     Config, HealthReport, ResilienceStats, RetryPolicy, Scheduler, SvcStats, SvcStatsExt,
 };
 pub use store::{ArtifactKey, ArtifactStore, GetOutcome, StoreStats};
+pub use telemetry::{SeriesReport, TelemetryConfig, TraceRecord, TraceReport};

@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 
 use fault::{BreakerSnapshot, BreakerState};
 
-use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Recovery, Scale};
+use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Recovery, Scale, TraceCtx, TraceDigest};
 use crate::scheduler::{EngineCounters, HealthReport, ResilienceStats, SvcStats, SvcStatsExt};
 use crate::store::StoreStats;
+use crate::telemetry::{SeriesPoint, SeriesReport, TraceRecord, TraceReport};
 use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter};
 
 /// Protocol version, carried at the head of the `StatsExt` and `Health`
@@ -42,15 +43,29 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   (`u64` current depth, `u64` peak depth) so load generators can
 ///   detect scheduler saturation. Gated on the version head: v4/v5
 ///   frames still decode with both depths defaulting to zero.
-pub const PROTO_VERSION: u16 = 6;
+/// - v7: end-to-end tracing and live telemetry. `Submit` gains an
+///   optional frame-final trace-context trailer (client trace id +
+///   origin timestamp, 16 bytes) — omitted entirely for untraced
+///   submits, which therefore stay byte-identical to v6, and absent
+///   trailers decode as "untraced". The `Result` response gains a
+///   frame-final 40-byte span-digest trailer (echoed trace context
+///   plus enqueue/start/done timestamps on the server trace clock);
+///   v4–v6 frames decode with an all-zero digest. Two new messages:
+///   `Series` (request tag 8, response tag 9) returns the live
+///   telemetry sample window, and `TraceDump` (request tag 9, response
+///   tag 10) returns recent and slow-request server span digests; both
+///   replies carry the version head.
+pub const PROTO_VERSION: u16 = 7;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// Liveness probe.
     Ping,
-    /// Enqueue a job; answered with `Submitted(id)`.
-    Submit(JobSpec),
+    /// Enqueue a job; answered with `Submitted(id)`. The trace context
+    /// (protocol v7) joins the job's server-side spans to the client's;
+    /// a default context means "untraced" and encodes exactly like v6.
+    Submit(JobSpec, TraceCtx),
     /// Non-blocking result query; `Pending` or `Result`.
     Poll(u64),
     /// Blocking result query; answered with `Result`.
@@ -64,6 +79,12 @@ pub enum Request {
     /// Resilience health: breaker states and fault/retry counters
     /// (protocol v4; older servers answer `Err`).
     Health,
+    /// Live telemetry time series: the sampler's buffered delta window
+    /// (protocol v7; older servers answer `Err`).
+    Series,
+    /// Recent and slow-request server span digests for client-side
+    /// stitching (protocol v7; older servers answer `Err`).
+    TraceDump,
 }
 
 /// Server → client.
@@ -88,6 +109,10 @@ pub enum Response {
     StatsExt(Box<SvcStatsExt>),
     /// Resilience health snapshot (protocol v4).
     Health(HealthReport),
+    /// Live telemetry sample window (protocol v7).
+    Series(SeriesReport),
+    /// Recent/slow-request span digests (protocol v7).
+    TraceDump(TraceReport),
 }
 
 fn bad(msg: &str) -> WireError {
@@ -220,6 +245,14 @@ fn encode_result(w: &mut WireWriter, res: &JobResult) {
     // unprofiled jobs. Frame-final like the recovery trailer, so a v4
     // frame's absence is detectable from the frame length.
     w.u64(res.counters.as_ref().map_or(0, |c| c.checks_skipped));
+    // v7 trailer: the per-job span digest (echoed trace context plus
+    // the queue/run timestamps on the server trace clock). Five u64s =
+    // 40 bytes, frame-final, so v6 frames are detectable by length.
+    w.u64(res.trace.trace_id);
+    w.u64(res.trace.origin_ns);
+    w.u64(res.trace.enqueue_ns);
+    w.u64(res.trace.start_ns);
+    w.u64(res.trace.done_ns);
 }
 
 fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
@@ -255,6 +288,18 @@ fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
             c.checks_skipped = checks_skipped;
         }
     }
+    // v5/v6 frames end here; their results carry no span digest.
+    let trace = if r.remaining() >= 40 {
+        TraceDigest {
+            trace_id: r.u64()?,
+            origin_ns: r.u64()?,
+            enqueue_ns: r.u64()?,
+            start_ns: r.u64()?,
+            done_ns: r.u64()?,
+        }
+    } else {
+        TraceDigest::default()
+    };
     Ok(JobResult {
         id,
         spec,
@@ -268,6 +313,7 @@ fn decode_result(r: &mut WireReader<'_>) -> Result<JobResult, WireError> {
         warm_artifact,
         wall_s,
         recovery,
+        trace,
     })
 }
 
@@ -534,15 +580,195 @@ fn decode_health(r: &mut WireReader<'_>) -> Result<HealthReport, WireError> {
     })
 }
 
+fn encode_series(w: &mut WireWriter, s: &SeriesReport) {
+    // Version first, like StatsExt/Health, so layout changes stay
+    // detectable.
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    w.u64(s.server_now_ns);
+    w.u64(s.interval_ns);
+    w.u32(s.points.len() as u32);
+    for p in &s.points {
+        for v in [
+            p.seq,
+            p.t_ns,
+            p.interval_ns,
+            p.completed,
+            p.ok,
+            p.failed,
+            p.queue_depth,
+            p.busy_workers,
+            p.lat.count,
+            p.lat.sum_ns,
+            p.lat.p50_ns,
+            p.lat.p99_ns,
+        ] {
+            w.u64(v);
+        }
+        w.u32(p.engines.len() as u32);
+        for (code, jobs) in &p.engines {
+            w.u8(*code);
+            w.u64(*jobs);
+        }
+        w.u32(p.breakers.len() as u32);
+        for (code, state) in &p.breakers {
+            w.u8(*code);
+            w.u8(*state);
+        }
+    }
+}
+
+fn decode_series(r: &mut WireReader<'_>) -> Result<SeriesReport, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if !(7..=PROTO_VERSION).contains(&version) {
+        return Err(bad("unsupported series version"));
+    }
+    let server_now_ns = r.u64()?;
+    let interval_ns = r.u64()?;
+    let n = r.u32()?;
+    let mut points = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        let seq = r.u64()?;
+        let t_ns = r.u64()?;
+        let point_interval_ns = r.u64()?;
+        let completed = r.u64()?;
+        let ok = r.u64()?;
+        let failed = r.u64()?;
+        let queue_depth = r.u64()?;
+        let busy_workers = r.u64()?;
+        let lat = obs::series::HistDelta {
+            count: r.u64()?,
+            sum_ns: r.u64()?,
+            p50_ns: r.u64()?,
+            p99_ns: r.u64()?,
+        };
+        let m = r.u32()?;
+        let mut engines = Vec::with_capacity(m.min(64) as usize);
+        for _ in 0..m {
+            let code = r.u8()?;
+            engines.push((code, r.u64()?));
+        }
+        let m = r.u32()?;
+        let mut breakers = Vec::with_capacity(m.min(64) as usize);
+        for _ in 0..m {
+            let code = r.u8()?;
+            breakers.push((code, r.u8()?));
+        }
+        points.push(SeriesPoint {
+            seq,
+            t_ns,
+            interval_ns: point_interval_ns,
+            completed,
+            ok,
+            failed,
+            queue_depth,
+            busy_workers,
+            lat,
+            engines,
+            breakers,
+        });
+    }
+    Ok(SeriesReport {
+        server_now_ns,
+        interval_ns,
+        points,
+    })
+}
+
+fn encode_trace_record(w: &mut WireWriter, rec: &TraceRecord) {
+    w.str(&rec.label);
+    w.bool(rec.ok);
+    for v in [
+        rec.phases.trace_id,
+        rec.phases.enqueue_ns,
+        rec.phases.start_ns,
+        rec.phases.done_ns,
+        rec.phases.compile_ns,
+        rec.phases.exec_ns,
+    ] {
+        w.u64(v);
+    }
+    w.u32(rec.phases.attempts);
+    w.bool(rec.phases.compile_fallback);
+    w.u32(rec.phases.store_repairs);
+}
+
+fn decode_trace_record(r: &mut WireReader<'_>) -> Result<TraceRecord, WireError> {
+    let label = r.str()?;
+    let ok = r.bool()?;
+    Ok(TraceRecord {
+        label,
+        ok,
+        phases: obs::stitch::ServerPhases {
+            trace_id: r.u64()?,
+            enqueue_ns: r.u64()?,
+            start_ns: r.u64()?,
+            done_ns: r.u64()?,
+            compile_ns: r.u64()?,
+            exec_ns: r.u64()?,
+            attempts: r.u32()?,
+            compile_fallback: r.bool()?,
+            store_repairs: r.u32()?,
+        },
+    })
+}
+
+fn encode_trace_report(w: &mut WireWriter, t: &TraceReport) {
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    w.u64(t.server_now_ns);
+    w.u64(t.slow_threshold_ns);
+    w.u32(t.recent.len() as u32);
+    for rec in &t.recent {
+        encode_trace_record(w, rec);
+    }
+    w.u32(t.exemplars.len() as u32);
+    for rec in &t.exemplars {
+        encode_trace_record(w, rec);
+    }
+}
+
+fn decode_trace_report(r: &mut WireReader<'_>) -> Result<TraceReport, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if !(7..=PROTO_VERSION).contains(&version) {
+        return Err(bad("unsupported trace-dump version"));
+    }
+    let server_now_ns = r.u64()?;
+    let slow_threshold_ns = r.u64()?;
+    let n = r.u32()?;
+    let mut recent = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        recent.push(decode_trace_record(r)?);
+    }
+    let n = r.u32()?;
+    let mut exemplars = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        exemplars.push(decode_trace_record(r)?);
+    }
+    Ok(TraceReport {
+        server_now_ns,
+        slow_threshold_ns,
+        recent,
+        exemplars,
+    })
+}
+
 impl Request {
     /// Encodes into a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         match self {
             Request::Ping => w.u8(0),
-            Request::Submit(spec) => {
+            Request::Submit(spec, ctx) => {
                 w.u8(1);
                 encode_spec(&mut w, spec);
+                // v7 trace-context trailer, omitted when untraced so the
+                // frame stays byte-identical to v6 (and old servers keep
+                // accepting untraced submits from new clients).
+                if *ctx != TraceCtx::default() {
+                    w.u64(ctx.trace_id);
+                    w.u64(ctx.origin_ns);
+                }
             }
             Request::Poll(id) => {
                 w.u8(2);
@@ -556,6 +782,8 @@ impl Request {
             Request::Shutdown => w.u8(5),
             Request::StatsExt => w.u8(6),
             Request::Health => w.u8(7),
+            Request::Series => w.u8(8),
+            Request::TraceDump => w.u8(9),
         }
         w.finish()
     }
@@ -570,13 +798,27 @@ impl Request {
         let mut r = WireReader::new(payload);
         let req = match r.u8()? {
             0 => Request::Ping,
-            1 => Request::Submit(decode_spec(&mut r)?),
+            1 => {
+                let spec = decode_spec(&mut r)?;
+                // v6 submits (and untraced v7 ones) end the frame here.
+                let ctx = if r.remaining() >= 16 {
+                    TraceCtx {
+                        trace_id: r.u64()?,
+                        origin_ns: r.u64()?,
+                    }
+                } else {
+                    TraceCtx::default()
+                };
+                Request::Submit(spec, ctx)
+            }
             2 => Request::Poll(r.u64()?),
             3 => Request::Wait(r.u64()?),
             4 => Request::Stats,
             5 => Request::Shutdown,
             6 => Request::StatsExt,
             7 => Request::Health,
+            8 => Request::Series,
+            9 => Request::TraceDump,
             _ => return Err(bad("bad request tag")),
         };
         r.expect_end()?;
@@ -616,6 +858,14 @@ impl Response {
                 w.u8(8);
                 encode_health(&mut w, h);
             }
+            Response::Series(s) => {
+                w.u8(9);
+                encode_series(&mut w, s);
+            }
+            Response::TraceDump(t) => {
+                w.u8(10);
+                encode_trace_report(&mut w, t);
+            }
         }
         w.finish()
     }
@@ -637,6 +887,8 @@ impl Response {
             6 => Response::Bye,
             7 => Response::StatsExt(Box::new(decode_stats_ext(&mut r)?)),
             8 => Response::Health(decode_health(&mut r)?),
+            9 => Response::Series(decode_series(&mut r)?),
+            10 => Response::TraceDump(decode_trace_report(&mut r)?),
             _ => return Err(bad("bad response tag")),
         };
         r.expect_end()?;
@@ -664,16 +916,48 @@ mod tests {
     fn requests_round_trip() {
         for req in [
             Request::Ping,
-            Request::Submit(sample_spec()),
+            Request::Submit(sample_spec(), TraceCtx::default()),
+            Request::Submit(
+                sample_spec(),
+                TraceCtx {
+                    trace_id: 0xfeed_f00d_dead_beef,
+                    origin_ns: 123_456_789,
+                },
+            ),
             Request::Poll(42),
             Request::Wait(7),
             Request::Stats,
             Request::Shutdown,
             Request::StatsExt,
             Request::Health,
+            Request::Series,
+            Request::TraceDump,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    /// Protocol v7: an untraced submit must be byte-identical to the v6
+    /// encoding (no trailer at all), so old servers accept new clients'
+    /// untraced submits, and a v6 frame decodes to the default context.
+    #[test]
+    fn untraced_submit_is_byte_identical_to_v6() {
+        let untraced = Request::Submit(sample_spec(), TraceCtx::default()).encode();
+        let v6: Vec<u8> = {
+            let mut w = WireWriter::new();
+            w.u8(1);
+            encode_spec(&mut w, &sample_spec());
+            w.finish()
+        };
+        assert_eq!(untraced, v6);
+        let decoded = Request::decode(&v6).expect("v6 submit decodes");
+        assert_eq!(decoded, Request::Submit(sample_spec(), TraceCtx::default()));
+        // A traced submit is exactly 16 bytes longer.
+        let ctx = TraceCtx {
+            trace_id: 1,
+            origin_ns: 2,
+        };
+        assert_eq!(Request::Submit(sample_spec(), ctx).encode().len(), v6.len() + 16);
     }
 
     #[test]
@@ -698,6 +982,13 @@ mod tests {
                 attempts: 3,
                 compile_fallback: true,
                 store_repairs: 1,
+            },
+            trace: TraceDigest {
+                trace_id: 0xabcd,
+                origin_ns: 10,
+                enqueue_ns: 100,
+                start_ns: 200,
+                done_ns: 900,
             },
         };
         let stats = SvcStats {
@@ -991,17 +1282,19 @@ mod tests {
             warm_artifact: false,
             wall_s: 1.0,
             recovery: Recovery::default(),
+            trace: TraceDigest::default(),
         };
         let full = Response::Result(result.clone()).encode();
-        // The v5 checks_skipped trailer is 8 bytes and the v4 recovery
-        // trailer 9 (u32 + bool + u32); a v4 frame is the same encoding
-        // without the former, a v3 frame without both.
-        let v4 = &full[..full.len() - 8];
+        // Frame-final trailers, newest last: the v7 span digest is 40
+        // bytes, the v5 checks_skipped 8, the v4 recovery 9 (u32 + bool
+        // + u32). Peeling them off the v7 encoding reproduces each
+        // older peer's frame exactly.
+        let v4 = &full[..full.len() - 48];
         assert_eq!(
             Response::decode(v4).expect("v4 result decodes"),
             Response::Result(result.clone())
         );
-        let legacy = &full[..full.len() - 17];
+        let legacy = &full[..full.len() - 57];
         let decoded = Response::decode(legacy).expect("legacy v3 result decodes");
         assert_eq!(decoded, Response::Result(result));
         // And a result that actually recovered survives its own trip.
@@ -1041,16 +1334,146 @@ mod tests {
             warm_artifact: false,
             wall_s: 1.0,
             recovery: Recovery::default(),
+            trace: TraceDigest::default(),
         };
         let resp = Response::Result(result.clone());
         assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
 
         let full = resp.encode();
-        let v4 = &full[..full.len() - 8];
+        // A v4 frame lacks both the v5 (8B) and v7 (40B) trailers.
+        let v4 = &full[..full.len() - 48];
         result.counters.as_mut().unwrap().checks_skipped = 0;
         assert_eq!(
             Response::decode(v4).expect("v4 profiled result decodes"),
             Response::Result(result)
+        );
+    }
+
+    /// Protocol v7: the span digest survives a result's round trip, and
+    /// a v6 frame (no digest trailer) decodes to the all-zero digest.
+    #[test]
+    fn result_trace_digest_round_trips_and_defaults_for_v6_frames() {
+        let mut result = JobResult {
+            id: 4,
+            spec: sample_spec(),
+            status: JobStatus::Ok,
+            checksum: Some(11),
+            bytes_hash: 99,
+            compile_s: 0.5,
+            exec_s: 0.25,
+            aot_compile_s: None,
+            counters: None,
+            warm_artifact: false,
+            wall_s: 1.0,
+            recovery: Recovery::default(),
+            trace: TraceDigest {
+                trace_id: 0x1234_5678_9abc_def0,
+                origin_ns: 7,
+                enqueue_ns: 1_000,
+                start_ns: 5_000,
+                done_ns: 42_000,
+            },
+        };
+        let resp = Response::Result(result.clone());
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let decoded = match Response::decode(&resp.encode()).unwrap() {
+            Response::Result(r) => r,
+            _ => unreachable!(),
+        };
+        assert_eq!(decoded.trace.queue_ns(), 4_000);
+
+        let full = resp.encode();
+        let v6 = &full[..full.len() - 40];
+        result.trace = TraceDigest::default();
+        assert_eq!(
+            Response::decode(v6).expect("v6 result decodes"),
+            Response::Result(result)
+        );
+    }
+
+    /// Protocol v7: the `Series` reply round-trips (empty and
+    /// populated), carries the version head, and rejects versions the
+    /// decoder does not know.
+    #[test]
+    fn series_round_trips() {
+        let empty = Response::Series(SeriesReport::default());
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+
+        let report = SeriesReport {
+            server_now_ns: 1_000_000,
+            interval_ns: 500_000_000,
+            points: vec![
+                SeriesPoint {
+                    seq: 3,
+                    t_ns: 900_000,
+                    interval_ns: 499_000_000,
+                    completed: 12,
+                    ok: 11,
+                    failed: 1,
+                    queue_depth: 4,
+                    busy_workers: 2,
+                    lat: obs::series::HistDelta {
+                        count: 12,
+                        sum_ns: 36_000_000,
+                        p50_ns: 2_500_000,
+                        p99_ns: 9_000_000,
+                    },
+                    engines: vec![(0, 7), (5, 5)],
+                    breakers: vec![(4, 1)],
+                },
+                SeriesPoint::default(),
+            ],
+        };
+        let resp = Response::Series(report);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+
+        let payload = resp.encode();
+        assert_eq!(payload[0], 9);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+        // A v6 version head must be refused: Series did not exist then.
+        let mut old = payload.clone();
+        old[1] = 6;
+        old[2] = 0;
+        assert!(Response::decode(&old).is_err());
+    }
+
+    /// Protocol v7: the `TraceDump` reply round-trips with both record
+    /// lists and carries the version head.
+    #[test]
+    fn trace_dump_round_trips() {
+        let rec = |id: u64, ok: bool| TraceRecord {
+            label: format!("crc32 on Wasm3 at -O1 ({id})"),
+            ok,
+            phases: obs::stitch::ServerPhases {
+                trace_id: id,
+                enqueue_ns: 1_000,
+                start_ns: 2_000,
+                done_ns: 9_000,
+                compile_ns: 3_000,
+                exec_ns: 3_500,
+                attempts: 2,
+                compile_fallback: ok,
+                store_repairs: 1,
+            },
+        };
+        let report = TraceReport {
+            server_now_ns: 77_000,
+            slow_threshold_ns: 250_000_000,
+            recent: vec![rec(1, true), rec(2, false)],
+            exemplars: vec![rec(1, true)],
+        };
+        let resp = Response::TraceDump(report);
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let empty = Response::TraceDump(TraceReport::default());
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+        let payload = resp.encode();
+        assert_eq!(payload[0], 10);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
         );
     }
 
@@ -1063,7 +1486,15 @@ mod tests {
         buf.push(0);
         assert!(Request::decode(&buf).is_err());
         // Truncated submit.
-        let buf = Request::Submit(sample_spec()).encode();
+        let buf = Request::Submit(sample_spec(), TraceCtx::default()).encode();
         assert!(Request::decode(&buf[..buf.len() - 2]).is_err());
+        // A traced submit with a truncated context trailer must error,
+        // not silently decode as untraced with trailing bytes.
+        let ctx = TraceCtx {
+            trace_id: 5,
+            origin_ns: 6,
+        };
+        let buf = Request::Submit(sample_spec(), ctx).encode();
+        assert!(Request::decode(&buf[..buf.len() - 1]).is_err());
     }
 }

@@ -26,8 +26,9 @@ use fault::{Breaker, BreakerConfig, BreakerEvent, BreakerSnapshot, FaultPlan};
 use obs::metrics::{Histogram, HistogramSnapshot};
 
 use crate::exec::{self, ExecEnv};
-use crate::job::{JobResult, JobSpec, JobStatus};
+use crate::job::{JobResult, JobSpec, JobStatus, TraceCtx, TraceDigest};
 use crate::store::{ArtifactStore, StoreStats};
+use crate::telemetry::{JobMetrics, SeriesReport, Telemetry, TelemetryConfig, TraceRecord, TraceReport};
 
 /// Retry tuning: exponential backoff with deterministic jitter.
 ///
@@ -74,6 +75,11 @@ pub struct Config {
     /// Optional deterministic fault-injection plan, threaded through
     /// job execution and the artifact store.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Live-telemetry tuning (protocol v7). The default starts no
+    /// sampler thread; trace digests and the recent-request log are
+    /// always maintained (cheap, bounded) so `TraceDump` works even on
+    /// a sampler-less scheduler.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for Config {
@@ -86,6 +92,7 @@ impl Default for Config {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             faults: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -229,10 +236,21 @@ impl SvcStatsExt {
     }
 }
 
+/// One queued job, with everything the worker needs to stamp its span
+/// digest.
+struct Queued {
+    id: u64,
+    spec: JobSpec,
+    enqueued: Instant,
+    ctx: TraceCtx,
+    /// Server trace clock at submit time ([`obs::trace::now_ns`]).
+    enqueue_ns: u64,
+}
+
 struct Inner {
     timeout: Duration,
     retry: RetryPolicy,
-    queue: Mutex<VecDeque<(u64, JobSpec, Instant)>>,
+    queue: Mutex<VecDeque<Queued>>,
     queue_cv: Condvar,
     results: Mutex<HashMap<u64, JobResult>>,
     done_cv: Condvar,
@@ -251,6 +269,8 @@ struct Inner {
     breaker_cfg: BreakerConfig,
     breakers: Mutex<HashMap<u8, Breaker>>,
     resilience: Mutex<ResilienceStats>,
+    metrics: JobMetrics,
+    telemetry: Telemetry,
 }
 
 /// The running scheduler: submit jobs, poll/wait for results.
@@ -301,6 +321,8 @@ impl Scheduler {
             breaker_cfg: cfg.breaker,
             breakers: Mutex::new(HashMap::new()),
             resilience: Mutex::new(ResilienceStats::default()),
+            metrics: JobMetrics::resolve(),
+            telemetry: Telemetry::new(&cfg.telemetry),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -314,15 +336,29 @@ impl Scheduler {
         Ok(Scheduler { inner, workers })
     }
 
-    /// Enqueues a job; returns its id.
+    /// Enqueues an untraced job; returns its id.
     pub fn submit(&self, spec: JobSpec) -> u64 {
+        self.submit_traced(spec, TraceCtx::default())
+    }
+
+    /// Enqueues a job carrying a client trace context (protocol v7);
+    /// returns its id. The context is echoed on the result's span
+    /// digest so client spans can be stitched to server spans.
+    pub fn submit_traced(&self, spec: JobSpec, ctx: TraceCtx) -> u64 {
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         self.inner.outstanding.fetch_add(1, Ordering::SeqCst);
         {
             let mut queue = self.inner.queue.lock().expect("queue lock");
-            queue.push_back((id, spec, Instant::now()));
+            queue.push_back(Queued {
+                id,
+                spec,
+                enqueued: Instant::now(),
+                ctx,
+                enqueue_ns: obs::trace::now_ns(),
+            });
             let depth = queue.len() as u64;
             self.inner.peak_queue.fetch_max(depth, Ordering::Relaxed);
+            self.inner.metrics.queue_depth.set(depth);
         }
         self.inner.queue_cv.notify_one();
         {
@@ -461,6 +497,17 @@ impl Scheduler {
         self.inner.env.bytes_snapshot()
     }
 
+    /// Live telemetry sample window (protocol v7 `Series`): empty but
+    /// well-formed when the scheduler was started without a sampler.
+    pub fn series(&self) -> SeriesReport {
+        self.inner.telemetry.series()
+    }
+
+    /// Recent and slow-request span digests (protocol v7 `TraceDump`).
+    pub fn trace_dump(&self) -> TraceReport {
+        self.inner.telemetry.trace_dump()
+    }
+
     /// Stops accepting work, drains queued jobs, joins the workers.
     pub fn shutdown(mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
@@ -468,6 +515,7 @@ impl Scheduler {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.inner.telemetry.stop();
     }
 }
 
@@ -478,6 +526,7 @@ impl Drop for Scheduler {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.inner.telemetry.stop();
     }
 }
 
@@ -492,6 +541,7 @@ fn worker_loop(inner: &Arc<Inner>) {
             let mut queue = inner.queue.lock().expect("queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    inner.metrics.queue_depth.set(queue.len() as u64);
                     break Some(job);
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
@@ -500,7 +550,16 @@ fn worker_loop(inner: &Arc<Inner>) {
                 queue = inner.queue_cv.wait(queue).expect("queue lock");
             }
         };
-        let Some((id, spec, enqueued)) = job else { return };
+        let Some(Queued {
+            id,
+            spec,
+            enqueued,
+            ctx,
+            enqueue_ns,
+        }) = job
+        else {
+            return;
+        };
         inner
             .queue_wait
             .observe_ns(enqueued.elapsed().as_nanos() as u64);
@@ -519,8 +578,19 @@ fn worker_loop(inner: &Arc<Inner>) {
             }
         }
         let t_run = Instant::now();
+        let start_ns = obs::trace::now_ns();
+        inner.metrics.busy.add(1);
         let mut result = run_with_retries(inner, id, &spec, t_run);
+        inner.metrics.busy.sub(1);
+        let done_ns = obs::trace::now_ns();
         result.id = id;
+        result.trace = TraceDigest {
+            trace_id: ctx.trace_id,
+            origin_ns: ctx.origin_ns,
+            enqueue_ns,
+            start_ns,
+            done_ns,
+        };
         inner
             .busy_ns
             .fetch_add(t_run.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -564,6 +634,37 @@ fn worker_loop(inner: &Arc<Inner>) {
             res.compile_fallbacks += result.recovery.compile_fallback as u64;
             res.store_repairs += result.recovery.store_repairs as u64;
         }
+        // Registry metrics + trace log for the live-telemetry surface
+        // (protocol v7 Series/TraceDump). The wall histogram measures
+        // enqueue→done: the latency a waiting client actually observed.
+        inner.metrics.completed.inc();
+        if result.ok() {
+            inner.metrics.ok.inc();
+        } else {
+            inner.metrics.failed.inc();
+        }
+        if let Some(c) = inner.metrics.engines.get(spec.engine.code() as usize) {
+            c.inc();
+        }
+        inner
+            .metrics
+            .wall
+            .observe_ns(done_ns.saturating_sub(enqueue_ns));
+        inner.telemetry.record(TraceRecord {
+            label: spec.to_string(),
+            ok: result.ok(),
+            phases: obs::stitch::ServerPhases {
+                trace_id: ctx.trace_id,
+                enqueue_ns,
+                start_ns,
+                done_ns,
+                compile_ns: (result.compile_s.max(0.0) * 1e9) as u64,
+                exec_ns: (result.exec_s.max(0.0) * 1e9) as u64,
+                attempts: result.recovery.attempts,
+                compile_fallback: result.recovery.compile_fallback,
+                store_repairs: result.recovery.store_repairs,
+            },
+        });
         {
             // Insert and decrement under the results lock: waiters check
             // `outstanding` while holding it, so publishing both under
@@ -591,6 +692,7 @@ fn failed_result(spec: &JobSpec, status: JobStatus) -> JobResult {
         warm_artifact: false,
         wall_s: 0.0,
         recovery: crate::job::Recovery::default(),
+        trace: TraceDigest::default(),
     }
 }
 
@@ -601,13 +703,19 @@ fn failed_result(spec: &JobSpec, status: JobStatus) -> JobResult {
 /// final (the deadline is already spent).
 fn run_with_retries(inner: &Arc<Inner>, id: u64, spec: &JobSpec, t_run: Instant) -> JobResult {
     let code = spec.engine.code();
-    let admitted = inner
-        .breakers
-        .lock()
-        .expect("breakers lock")
-        .entry(code)
-        .or_insert_with(|| Breaker::new(inner.breaker_cfg))
-        .admit();
+    let admitted = {
+        let mut breakers = inner.breakers.lock().expect("breakers lock");
+        let b = breakers
+            .entry(code)
+            .or_insert_with(|| Breaker::new(inner.breaker_cfg));
+        let admitted = b.admit();
+        // Mirror the state into the telemetry gauge (admission may have
+        // moved an open breaker to half-open).
+        if let Some(g) = inner.metrics.breakers.get(code as usize) {
+            g.set(b.snapshot().state.byte() as u64);
+        }
+        admitted
+    };
     if !admitted {
         inner
             .resilience
@@ -659,13 +767,15 @@ fn run_with_retries(inner: &Arc<Inner>, id: u64, spec: &JobSpec, t_run: Instant)
         attempt += 1;
     };
     result.recovery.attempts = attempt;
-    let event = inner
-        .breakers
-        .lock()
-        .expect("breakers lock")
-        .get_mut(&code)
-        .expect("breaker inserted above")
-        .record(result.ok());
+    let event = {
+        let mut breakers = inner.breakers.lock().expect("breakers lock");
+        let b = breakers.get_mut(&code).expect("breaker inserted above");
+        let event = b.record(result.ok());
+        if let Some(g) = inner.metrics.breakers.get(code as usize) {
+            g.set(b.snapshot().state.byte() as u64);
+        }
+        event
+    };
     if let Some(event) = event {
         let (counter, what) = match event {
             BreakerEvent::Opened => ("svc.breaker.open", "tripped open"),

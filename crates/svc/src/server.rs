@@ -8,9 +8,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crate::job::JobSpec;
+use crate::job::{JobSpec, TraceCtx};
 use crate::proto::{Request, Response};
 use crate::scheduler::{HealthReport, Scheduler, SvcStats, SvcStatsExt};
+use crate::telemetry::{SeriesReport, TraceReport};
 use crate::wire::{read_frame, write_frame};
 use crate::JobResult;
 
@@ -61,27 +62,49 @@ pub fn serve(path: &Path, sched: Arc<Scheduler>) -> io::Result<()> {
     let listener = bind_socket(path)?;
     let _guard = SocketGuard(PathBuf::from(path));
     let stop = Arc::new(AtomicBool::new(false));
-    let mut conns = Vec::new();
-    let mut serve_loop = || -> io::Result<()> {
+    // Each connection is (handle, done-flag). The flag lets the accept
+    // loop reap *completed* handler threads without blocking on live
+    // ones — before this, every connection's JoinHandle (and thread
+    // stack) accumulated until shutdown, an unbounded leak under
+    // long-lived servers taking many short connections.
+    let mut conns: Vec<(std::thread::JoinHandle<()>, Arc<AtomicBool>)> = Vec::new();
+    let reaped = obs::metrics::counter("svc.conn.reaped");
+    let serve_loop = |conns: &mut Vec<(std::thread::JoinHandle<()>, Arc<AtomicBool>)>| -> io::Result<()> {
         for stream in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             let stream = stream?;
+            let mut i = 0;
+            while i < conns.len() {
+                if conns[i].1.load(Ordering::Acquire) {
+                    let (handle, _) = conns.swap_remove(i);
+                    let _ = handle.join();
+                    reaped.inc();
+                } else {
+                    i += 1;
+                }
+            }
             let sched = Arc::clone(&sched);
             let conn_stop = Arc::clone(&stop);
             let sock = PathBuf::from(path);
-            conns.push(std::thread::spawn(move || {
-                let _ = handle_conn(stream, &sched, &conn_stop, &sock);
-            }));
+            let done = Arc::new(AtomicBool::new(false));
+            let conn_done = Arc::clone(&done);
+            conns.push((
+                std::thread::spawn(move || {
+                    let _ = handle_conn(stream, &sched, &conn_stop, &sock);
+                    conn_done.store(true, Ordering::Release);
+                }),
+                done,
+            ));
             if stop.load(Ordering::SeqCst) {
                 break;
             }
         }
         Ok(())
     };
-    let outcome = serve_loop();
-    for c in conns {
+    let outcome = serve_loop(&mut conns);
+    for (c, _) in conns {
         let _ = c.join();
     }
     outcome
@@ -97,7 +120,7 @@ fn handle_conn(
         let response = match Request::decode(&payload) {
             Err(e) => Response::Err(e.to_string()),
             Ok(Request::Ping) => Response::Pong,
-            Ok(Request::Submit(spec)) => Response::Submitted(sched.submit(spec)),
+            Ok(Request::Submit(spec, ctx)) => Response::Submitted(sched.submit_traced(spec, ctx)),
             Ok(Request::Poll(id)) => match sched.poll(id) {
                 Some(res) => Response::Result(res),
                 None => Response::Pending,
@@ -106,6 +129,8 @@ fn handle_conn(
             Ok(Request::Stats) => Response::Stats(sched.stats()),
             Ok(Request::StatsExt) => Response::StatsExt(Box::new(sched.stats_ext())),
             Ok(Request::Health) => Response::Health(sched.health()),
+            Ok(Request::Series) => Response::Series(sched.series()),
+            Ok(Request::TraceDump) => Response::TraceDump(sched.trace_dump()),
             Ok(Request::Shutdown) => {
                 sched.wait_idle();
                 stop.store(true, Ordering::SeqCst);
@@ -166,13 +191,24 @@ impl Client {
         }
     }
 
-    /// Submits a job, returning its id.
+    /// Submits an untraced job, returning its id.
     ///
     /// # Errors
     ///
     /// I/O or protocol errors.
     pub fn submit(&mut self, spec: JobSpec) -> io::Result<u64> {
-        match self.request(&Request::Submit(spec))? {
+        self.submit_traced(spec, TraceCtx::default())
+    }
+
+    /// Submits a job carrying a client trace context (protocol v7),
+    /// returning its id. An untraced (default) context encodes exactly
+    /// like a v6 submit, so this also works against older servers.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn submit_traced(&mut self, spec: JobSpec, ctx: TraceCtx) -> io::Result<u64> {
+        match self.request(&Request::Submit(spec, ctx))? {
             Response::Submitted(id) => Ok(id),
             other => Err(unexpected(&other)),
         }
@@ -238,6 +274,32 @@ impl Client {
     pub fn health(&mut self) -> io::Result<HealthReport> {
         match self.request(&Request::Health)? {
             Response::Health(h) => Ok(h),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the live telemetry sample window (protocol v7). Empty
+    /// when the server runs without a sampler.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v7 servers answer `Err`.
+    pub fn series(&mut self) -> io::Result<SeriesReport> {
+        match self.request(&Request::Series)? {
+            Response::Series(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches recent and slow-request server span digests for
+    /// client-side stitching (protocol v7).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v7 servers answer `Err`.
+    pub fn trace_dump(&mut self) -> io::Result<TraceReport> {
+        match self.request(&Request::TraceDump)? {
+            Response::TraceDump(t) => Ok(t),
             other => Err(unexpected(&other)),
         }
     }

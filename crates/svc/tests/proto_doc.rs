@@ -5,9 +5,10 @@
 //! this test.
 
 use obs::metrics::HistogramSnapshot;
-use svc::job::{JobSpec, JobStatus, Recovery, Scale};
+use svc::job::{JobSpec, JobStatus, Recovery, Scale, TraceCtx, TraceDigest};
 use svc::proto::{Request, Response, PROTO_VERSION};
 use svc::scheduler::{HealthReport, SvcStats, SvcStatsExt};
+use svc::telemetry::{SeriesReport, TraceReport};
 use svc::JobResult;
 
 const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
@@ -58,6 +59,7 @@ fn result() -> JobResult {
         warm_artifact: false,
         wall_s: 0.0,
         recovery: Recovery::default(),
+        trace: TraceDigest::default(),
     }
 }
 
@@ -78,13 +80,15 @@ fn stats_ext() -> SvcStatsExt {
 fn documented_request_tags_match_the_code() {
     let actual: Vec<(u8, &str)> = vec![
         (Request::Ping.encode()[0], "Ping"),
-        (Request::Submit(spec()).encode()[0], "Submit"),
+        (Request::Submit(spec(), TraceCtx::default()).encode()[0], "Submit"),
         (Request::Poll(0).encode()[0], "Poll"),
         (Request::Wait(0).encode()[0], "Wait"),
         (Request::Stats.encode()[0], "Stats"),
         (Request::Shutdown.encode()[0], "Shutdown"),
         (Request::StatsExt.encode()[0], "StatsExt"),
         (Request::Health.encode()[0], "Health"),
+        (Request::Series.encode()[0], "Series"),
+        (Request::TraceDump.encode()[0], "TraceDump"),
     ];
     let documented = doc_table("Requests");
     assert_eq!(
@@ -112,6 +116,8 @@ fn documented_response_tags_match_the_code() {
         (Response::Bye.encode()[0], "Bye"),
         (Response::StatsExt(Box::new(stats_ext())).encode()[0], "StatsExt"),
         (Response::Health(HealthReport::default()).encode()[0], "Health"),
+        (Response::Series(SeriesReport::default()).encode()[0], "Series"),
+        (Response::TraceDump(TraceReport::default()).encode()[0], "TraceDump"),
     ];
     let documented = doc_table("Responses");
     assert_eq!(
@@ -161,4 +167,53 @@ fn documented_health_queue_trailer_matches_the_code() {
     let trailer = &with[with.len() - 16..];
     assert_eq!(u64::from_le_bytes(trailer[..8].try_into().unwrap()), 4);
     assert_eq!(u64::from_le_bytes(trailer[8..].try_into().unwrap()), 17);
+}
+
+/// The v7 trailers must be documented and match the code: a 16-byte
+/// trace-context trailer that untraced submits omit entirely, and a
+/// fixed 40-byte span digest at the end of every `Result` frame.
+#[test]
+fn documented_v7_trailers_match_the_code() {
+    for field in ["trace_id", "origin_ns", "enqueue_ns", "start_ns", "done_ns"] {
+        assert!(
+            DOC.contains(field),
+            "PROTOCOL.md must document the {field} field"
+        );
+    }
+    let untraced = Request::Submit(spec(), TraceCtx::default()).encode();
+    let ctx = TraceCtx {
+        trace_id: 0xabc,
+        origin_ns: 7,
+    };
+    let traced = Request::Submit(spec(), ctx).encode();
+    assert_eq!(
+        traced.len(),
+        untraced.len() + 16,
+        "the Submit trace-context trailer is two u64s, omitted when untraced"
+    );
+    let trailer = &traced[traced.len() - 16..];
+    assert_eq!(u64::from_le_bytes(trailer[..8].try_into().unwrap()), 0xabc);
+    assert_eq!(u64::from_le_bytes(trailer[8..].try_into().unwrap()), 7);
+
+    let mut traced_result = result();
+    traced_result.trace = TraceDigest {
+        trace_id: 0xabc,
+        origin_ns: 7,
+        enqueue_ns: 1,
+        start_ns: 2,
+        done_ns: 3,
+    };
+    let with = Response::Result(traced_result).encode();
+    let without = Response::Result(result()).encode();
+    assert_eq!(
+        with.len(),
+        without.len(),
+        "the Result span digest is five fixed-width u64s"
+    );
+    let digest = &with[with.len() - 40..];
+    let vals: Vec<u64> = digest
+        .chunks(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    assert_eq!(vals, vec![0xabc, 7, 1, 2, 3]);
 }

@@ -23,6 +23,11 @@
 #      wabench-served produces a well-formed BENCH_*.json with completed
 #      jobs and zero protocol errors, and wabench-prof diff accepts the
 #      artifact against itself
+#  12. live telemetry smoke: a fixed-seed load run against a sampling
+#      server stitches client+server request spans into a Chrome trace
+#      that wabench-trace-check accepts, and wabench-top --once reports
+#      a window (completed count, nonzero QPS, ordered quantiles) that
+#      agrees with the run's BENCH artifact
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -152,5 +157,50 @@ head -c 64 "$trace_tmp/BENCH_smoke.json" | grep -q '^{"schema":"wabench-bench"'
 grep -q '"completed":' "$trace_tmp/BENCH_smoke.json"
 # ...and the SLO gate must accept a run compared against itself.
 "$prof" diff --base "$trace_tmp/BENCH_smoke.json" --cur "$trace_tmp/BENCH_smoke.json"
+
+step "live telemetry smoke (sampler window -> wabench-top --once; stitched request traces)"
+top=./target/release/wabench-top
+sock="$trace_tmp/top.sock"
+./target/release/wabench-served serve --socket "$sock" --workers 2 \
+    --store "$trace_tmp/top-store" --sample-ms 25 > "$trace_tmp/served-top.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+if ! [ -S "$sock" ]; then
+    echo "telemetry smoke FAILED: wabench-served socket never appeared" >&2
+    cat "$trace_tmp/served-top.log" >&2
+    exit 1
+fi
+"$loadgen" run --seed 11 --mix fig1 --qps 200 --jobs 20 --phases cold,warm \
+    --socket "$sock" --out "$trace_tmp/BENCH_top.json" \
+    --stitch-out "$trace_tmp/requests.json" | tee "$trace_tmp/load-top.out"
+sleep 0.2 # two+ sampler intervals, so the final completions get sampled
+"$top" --once --socket "$sock" | tee "$trace_tmp/top.out"
+./target/release/wabench-served shutdown --socket "$sock" > /dev/null
+wait "$served_pid" 2> /dev/null || true
+# The stitched trace must pair client and server spans per request and
+# pass the same validator as every other trace artifact...
+grep -q '"client.request"' "$trace_tmp/requests.json"
+grep -q '"server.job"' "$trace_tmp/requests.json"
+cargo run -q --release -p wabench-obs --bin wabench-trace-check -- \
+    "$trace_tmp/requests.json"
+# ...and the live window must agree with the BENCH artifact: the same
+# completed count, nonzero QPS, and ordered quantiles.
+bench_completed=$(grep -oE '"completed":[0-9]+' "$trace_tmp/BENCH_top.json" \
+    | head -1 | cut -d: -f2)
+awk -F= -v bench="$bench_completed" '
+    $1 == "completed" { completed = $2 + 0 }
+    $1 == "qps"       { qps = $2 + 0 }
+    $1 == "p50_ns"    { p50 = $2 + 0 }
+    $1 == "p99_ns"    { p99 = $2 + 0 }
+    END {
+        if (completed != bench) {
+            print "telemetry smoke FAILED: window completed " completed \
+                " != artifact completed " bench; exit 1
+        }
+        if (qps <= 0) { print "telemetry smoke FAILED: qps=" qps; exit 1 }
+        if (p50 <= 0 || p99 < p50) {
+            print "telemetry smoke FAILED: quantiles p50=" p50 " p99=" p99; exit 1
+        }
+    }' "$trace_tmp/top.out"
 
 step "verify OK"
