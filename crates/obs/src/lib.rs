@@ -21,12 +21,13 @@
 //!   stacks ([`folded`], wall- or counter-weighted); [`json`] carries
 //!   the tiny parser the round-trip validators are built on.
 //!
-//! Three live-telemetry pieces ride on those: a background registry
+//! Live-telemetry pieces ride on those: a background registry
 //! sampler feeding a bounded delta ring ([`series`]), a threshold-gated
-//! slow-request exemplar buffer ([`exemplar`]), and a client/server
-//! trace stitcher with round-trip clock-offset estimation ([`stitch`]).
-//! None of them run unless explicitly started, preserving the
-//! bit-identical-when-off contract.
+//! slow-request exemplar buffer ([`exemplar`]), a client/server
+//! trace stitcher with round-trip clock-offset estimation ([`stitch`]),
+//! a windowed continuous-profile aggregator ([`contprof`]), and an SLO
+//! alert-rule engine ([`alert`]). None of them run unless explicitly
+//! started, preserving the bit-identical-when-off contract.
 //!
 //! There is also a leveled [`log!`] macro family (respecting
 //! `WABENCH_LOG=error|warn|info|debug`, [`logger`]) that replaces the
@@ -50,7 +51,9 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod chrome;
+pub mod contprof;
 pub mod exemplar;
 pub mod folded;
 pub mod json;

@@ -38,7 +38,7 @@ pub struct SeriesSpec {
 /// Per-interval view of one histogram: the observations made since the
 /// previous sample. Quantiles are bucket-interpolated (the interval
 /// difference of two cumulative snapshots has no exact min/max).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HistDelta {
     /// Observations during the interval.
     pub count: u64,
@@ -48,6 +48,12 @@ pub struct HistDelta {
     pub p50_ns: u64,
     /// Interval p99 estimate, nanoseconds (0 when `count == 0`).
     pub p99_ns: u64,
+    /// Sparse nonzero bucket deltas `(bucket index, count)`, index
+    /// order (see [`crate::metrics::bucket_bound_ns`]). Summing these
+    /// across intervals reconstructs the window histogram, so a merged
+    /// window quantile is exact where averaging interval quantiles is
+    /// not.
+    pub buckets: Vec<(u8, u64)>,
 }
 
 /// One sample: deltas and levels for every name in the ring's
@@ -184,6 +190,13 @@ fn hist_delta(cur: &HistogramSnapshot, prev: &HistogramSnapshot) -> HistDelta {
         sum_ns: diff.sum_ns,
         p50_ns: diff.quantile_ns(0.50),
         p99_ns: diff.quantile_ns(0.99),
+        buckets: diff
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as u8, *c))
+            .collect(),
     }
 }
 
@@ -315,12 +328,21 @@ mod tests {
         assert_eq!(p.hists[0].count, 2);
         assert_eq!(p.hists[0].sum_ns, 110_000);
         assert!(p.hists[0].p99_ns >= 32_768 && p.hists[0].p99_ns <= 131_072);
+        // The sparse bucket deltas carry exactly the interval's
+        // observations (both land in the 32k..64k bucket).
+        let bucket_total: u64 = p.hists[0].buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(bucket_total, 2);
+        assert!(p.hists[0]
+            .buckets
+            .iter()
+            .all(|(i, c)| usize::from(*i) < metrics::BUCKETS && *c > 0));
 
         // A quiet interval reads all-zero deltas, not repeats.
         let q = ring.sample();
         assert_eq!(q.counters, vec![0]);
         assert_eq!(q.hists[0].count, 0);
         assert_eq!(q.hists[0].p99_ns, 0);
+        assert!(q.hists[0].buckets.is_empty());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! wabench-prof fold     --out FILE [--weight wall-ns] [--workers 4] [--bench B]... [--level O2] [--scale test] [--chrome FILE]
 //! wabench-prof collapse --trace FILE [--out FILE]
 //! wabench-prof report   [--bench B]... [--engine E]... [--level O2] [--scale test]
+//! wabench-prof windows  --socket PATH
+//! wabench-prof wdiff    --socket PATH [--from SEQ] [--to SEQ]
 //! ```
 //!
 //! `record` writes a JSON-lines baseline; `diff` re-measures the same
@@ -18,6 +20,13 @@
 //! through the scheduler and writes folded stacks for
 //! `flamegraph.pl`; `collapse` does the same offline from a saved
 //! Chrome trace. `report` prints the counter-attributed phase table.
+//!
+//! `windows` and `wdiff` speak protocol v8 to a live `wabench-served`
+//! running with `--profile-ms`: `windows` lists the continuous
+//! profiler's recent windows with their hottest phases, and `wdiff`
+//! diffs two windows' collapsed stacks (by `--from`/`--to` seq, or the
+//! last two) and names the most-regressed phase — the live-service
+//! analogue of `diff` for in-process baselines.
 //!
 //! `WABENCH_PROF_SLOWDOWN` (a float, default 1) multiplies measured
 //! wall times in `record` and `diff`. It is a test hook: setting it to
@@ -38,13 +47,15 @@ use wacc::OptLevel;
 
 fn usage() -> ! {
     obs::error!(
-        "usage: wabench-prof <record|diff|fold|collapse|report> [options]\n\
+        "usage: wabench-prof <record|diff|fold|collapse|report|windows|wdiff> [options]\n\
          \n\
          record   --out FILE [--bench B]... [--engine E]... [--level O2] [--scale test] [--reps 5]\n\
          diff     --base FILE [--cur FILE] [--wall-rel 0.25] [--counter-rel 0.10]\n\
          fold     --out FILE [--weight wall-ns] [--workers 4] [--bench B]... [--level O2] [--scale test] [--chrome FILE]\n\
          collapse --trace FILE [--out FILE]\n\
-         report   [--bench B]... [--engine E]... [--level O2] [--scale test]"
+         report   [--bench B]... [--engine E]... [--level O2] [--scale test]\n\
+         windows  --socket PATH\n\
+         wdiff    --socket PATH [--from SEQ] [--to SEQ]"
     );
     exit(2);
 }
@@ -75,6 +86,9 @@ struct Opts {
     counter_rel: f64,
     weight: obs::folded::Weight,
     workers: usize,
+    socket: Option<PathBuf>,
+    from_seq: Option<u64>,
+    to_seq: Option<u64>,
 }
 
 impl Opts {
@@ -94,6 +108,9 @@ impl Opts {
             counter_rel: 0.10,
             weight: obs::folded::Weight::WallNs,
             workers: 4,
+            socket: None,
+            from_seq: None,
+            to_seq: None,
         }
     }
 }
@@ -156,6 +173,21 @@ fn parse_opts(args: &[String]) -> Opts {
                     obs::error!("unknown weight {v:?}");
                     usage();
                 });
+            }
+            "--socket" => o.socket = Some(PathBuf::from(take_value(args, &mut i, "--socket"))),
+            "--from" => {
+                o.from_seq = Some(take_value(args, &mut i, "--from").parse().unwrap_or_else(
+                    |_| {
+                        obs::error!("--from needs a window seq (see `windows`)");
+                        usage();
+                    },
+                ))
+            }
+            "--to" => {
+                o.to_seq = Some(take_value(args, &mut i, "--to").parse().unwrap_or_else(|_| {
+                    obs::error!("--to needs a window seq (see `windows`)");
+                    usage();
+                }))
             }
             "--workers" => {
                 o.workers = take_value(args, &mut i, "--workers")
@@ -406,6 +438,133 @@ fn cmd_report(o: &Opts, slowdown: f64) {
     print!("{}", obs::prof::render(&trace));
 }
 
+/// Per-stack share movement between two profile windows: the union of
+/// stacks with `(stack, from_share, to_share)`, largest share increase
+/// first — the head row is the most-regressed phase.
+fn window_share_diff(
+    from: &obs::contprof::ProfileWindow,
+    to: &obs::contprof::ProfileWindow,
+) -> Vec<(String, f64, f64)> {
+    let from_shares: std::collections::BTreeMap<String, f64> = from.shares().into_iter().collect();
+    let to_shares: std::collections::BTreeMap<String, f64> = to.shares().into_iter().collect();
+    let mut stacks: Vec<&String> = from_shares.keys().chain(to_shares.keys()).collect();
+    stacks.sort();
+    stacks.dedup();
+    let mut rows: Vec<(String, f64, f64)> = stacks
+        .into_iter()
+        .map(|s| {
+            (
+                s.clone(),
+                from_shares.get(s).copied().unwrap_or(0.0),
+                to_shares.get(s).copied().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| (b.2 - b.1).total_cmp(&(a.2 - a.1)));
+    rows
+}
+
+fn fetch_profile(o: &Opts) -> svc::telemetry::ProfileReport {
+    let socket = need(&o.socket, "--socket");
+    let mut client = svc::server::Client::connect(&socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(2);
+    });
+    let rep = client.profile_dump().unwrap_or_else(|e| {
+        obs::error!("profile-dump: {e} (server too old for protocol v8?)");
+        exit(2);
+    });
+    if rep.window_ns == 0 {
+        obs::error!("continuous profiler is off — serve with --profile-ms N");
+        exit(1);
+    }
+    rep
+}
+
+fn cmd_windows(o: &Opts) {
+    let rep = fetch_profile(o);
+    println!(
+        "profiler: {} window(s) of {:.0}ms",
+        rep.windows.len(),
+        rep.window_ns as f64 / 1e6
+    );
+    for w in &rep.windows {
+        let mut shares = w.shares();
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let top: Vec<String> = shares
+            .iter()
+            .take(3)
+            .map(|(s, sh)| format!("{s} {:.1}%", sh * 100.0))
+            .collect();
+        println!(
+            "window #{:<4} [{:8.2}s .. {:8.2}s]  self {:9.3}ms  {}",
+            w.seq,
+            w.start_ns as f64 / 1e9,
+            w.end_ns as f64 / 1e9,
+            w.total_self_ns() as f64 / 1e6,
+            if top.is_empty() {
+                "(no samples)".to_string()
+            } else {
+                top.join(", ")
+            }
+        );
+    }
+}
+
+fn cmd_wdiff(o: &Opts) {
+    let rep = fetch_profile(o);
+    let by_seq = |seq: u64| {
+        rep.windows.iter().find(|w| w.seq == seq).unwrap_or_else(|| {
+            obs::error!("no window with seq {seq} (see `windows`)");
+            exit(1);
+        })
+    };
+    let (from, to) = match (o.from_seq, o.to_seq) {
+        (Some(f), Some(t)) => (by_seq(f), by_seq(t)),
+        (None, None) if rep.windows.len() >= 2 => {
+            (&rep.windows[rep.windows.len() - 2], &rep.windows[rep.windows.len() - 1])
+        }
+        (None, None) => {
+            obs::error!(
+                "need at least two buffered windows to diff (have {})",
+                rep.windows.len()
+            );
+            exit(1);
+        }
+        _ => {
+            obs::error!("--from and --to must be given together (or neither)");
+            usage();
+        }
+    };
+    println!(
+        "wdiff: window #{} ({:.2}s) -> #{} ({:.2}s), {:.0}ms windows",
+        from.seq,
+        from.start_ns as f64 / 1e9,
+        to.seq,
+        to.start_ns as f64 / 1e9,
+        rep.window_ns as f64 / 1e6
+    );
+    let rows = window_share_diff(from, to);
+    if rows.is_empty() {
+        println!("no samples in either window");
+        return;
+    }
+    for (stack, f, t) in &rows {
+        println!(
+            "phase {stack}: share {:.1}% -> {:.1}% ({:+.1}pt)",
+            f * 100.0,
+            t * 100.0,
+            (t - f) * 100.0
+        );
+    }
+    let (stack, f, t) = &rows[0];
+    if t > f {
+        println!("most regressed: {stack} ({:+.1}pt)", (t - f) * 100.0);
+    } else {
+        println!("no phase grew its share");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -423,6 +582,51 @@ fn main() {
         "fold" => cmd_fold(&opts),
         "collapse" => cmd_collapse(&opts),
         "report" => cmd_report(&opts, slowdown),
+        "windows" => cmd_windows(&opts),
+        "wdiff" => cmd_wdiff(&opts),
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::contprof::ContProf;
+    use std::time::Duration;
+
+    const MS: u64 = 1_000_000;
+
+    /// Two windows where `exec` grows from a third to three quarters of
+    /// self-time: the diff must rank it first and compute both shares.
+    #[test]
+    fn wdiff_names_the_phase_that_grew() {
+        let mut p = ContProf::new(Duration::from_millis(10), 8);
+        p.record(MS, "wasm3", "compile", 2 * MS, 0, 0);
+        p.record(2 * MS, "wasm3", "exec", MS, 0, 0);
+        p.record(11 * MS, "wasm3", "compile", MS, 0, 0);
+        p.record(12 * MS, "wasm3", "exec", 3 * MS, 0, 0);
+        p.record(21 * MS, "wasm3", "exec", 1, 0, 0); // seals window 2
+        let windows = p.windows();
+        assert!(windows.len() >= 2);
+        let rows = window_share_diff(&windows[0], &windows[1]);
+        assert_eq!(rows[0].0, "wasm3;exec");
+        assert!((rows[0].1 - 1.0 / 3.0).abs() < 1e-9);
+        assert!((rows[0].2 - 0.75).abs() < 1e-9);
+        assert_eq!(rows[1].0, "wasm3;compile");
+        assert!(rows[1].2 < rows[1].1, "compile's share shrank");
+    }
+
+    /// A phase present in only one window still appears, with a zero
+    /// share on the missing side.
+    #[test]
+    fn wdiff_handles_phases_missing_from_one_window() {
+        let mut p = ContProf::new(Duration::from_millis(10), 8);
+        p.record(MS, "wasm3", "exec", MS, 0, 0);
+        p.record(11 * MS, "wavm", "compile", MS, 0, 0);
+        p.record(21 * MS, "wavm", "compile", 1, 0, 0);
+        let windows = p.windows();
+        let rows = window_share_diff(&windows[0], &windows[1]);
+        assert_eq!(rows[0], ("wavm;compile".to_string(), 0.0, 1.0));
+        assert_eq!(rows[1], ("wasm3;exec".to_string(), 1.0, 0.0));
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! wabench-served serve  --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S]
 //!                       [--faults PLAN] [--sample-ms N] [--series-cap N] [--slow-ms N]
+//!                       [--profile-ms N] [--alerts SPEC] [--postmortem-dir DIR]
 //! wabench-served submit --socket PATH --bench NAME [--engine E] [--level O0..O3]
 //!                       [--scale test|profile|timing] [--mode exec|aot|profiled] [--warm]
 //! wabench-served stats  --socket PATH
@@ -10,6 +11,7 @@
 //! wabench-served health --socket PATH
 //! wabench-served series --socket PATH
 //! wabench-served trace-dump --socket PATH
+//! wabench-served alerts --socket PATH
 //! wabench-served shutdown --socket PATH
 //! wabench-served smoke  [--dir DIR] [--jobs N]
 //! ```
@@ -32,6 +34,15 @@
 //! (`--slow-ms` threshold) span digests that `trace-dump` fetches for
 //! client-side stitching. `wabench-top` builds a live view on top.
 //!
+//! `alerts` speaks protocol v8: `--alerts SPEC` (or `WABENCH_ALERTS`)
+//! arms the SLO alert engine — burn-rate, p99-ceiling, queue-depth,
+//! breaker-open and profile-drift rules evaluated against the sampled
+//! series — and `--postmortem-dir DIR` makes every pending→firing
+//! transition snapshot a flight-recorder bundle for `wabench-doctor`.
+//! `--profile-ms N` arms the continuous profiler whose windows
+//! `wabench-prof windows` / `wdiff` fetch. All three are off by
+//! default and cost nothing when disarmed.
+//!
 //! `smoke` is self-contained: it starts a scheduler + server on a
 //! scratch socket, drives it through a real client twice — a cold pass
 //! that compiles and populates the artifact store, then a warm pass
@@ -45,30 +56,34 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use engines::EngineKind;
+use obs::alert::AlertSpec;
 use svc::job::{JobMode, JobSpec, Scale};
 use svc::scheduler::{Config, HealthReport, Scheduler, SvcStats, SvcStatsExt};
 use svc::server::{serve, Client};
-use svc::telemetry::{SeriesReport, TelemetryConfig, TraceReport};
+use svc::telemetry::{AlertReport, SeriesReport, TelemetryConfig, TraceReport};
 use wacc::OptLevel;
 
 fn usage() -> ! {
     obs::error!(
-        "usage: wabench-served <serve|submit|stats|stats-ext|health|series|trace-dump|shutdown|smoke> [options]\n\
+        "usage: wabench-served <serve|submit|stats|stats-ext|health|series|trace-dump|alerts|shutdown|smoke> [options]\n\
          \n\
          serve      --socket PATH [--workers N] [--store DIR] [--store-cap-mb M] [--timeout-s S] [--trace-out FILE] [--faults PLAN]\n\
-         \u{20}          [--sample-ms N] [--series-cap N] [--slow-ms N]\n\
+         \u{20}          [--sample-ms N] [--series-cap N] [--slow-ms N] [--profile-ms N] [--alerts SPEC] [--postmortem-dir DIR]\n\
          submit     --socket PATH --bench NAME [--engine E] [--level O2] [--scale test] [--mode exec|aot|profiled] [--warm]\n\
          stats      --socket PATH\n\
          stats-ext  --socket PATH\n\
          health     --socket PATH\n\
          series     --socket PATH\n\
          trace-dump --socket PATH\n\
+         alerts     --socket PATH\n\
          shutdown   --socket PATH\n\
          smoke      [--dir DIR] [--jobs N]\n\
          \n\
          common: --log error|warn|info|debug (overrides WABENCH_LOG)\n\
          PLAN is a comma list like 'seed=7,compile=0.05,store.read=0.02'\n\
-         (also read from WABENCH_FAULTS; see docs/OPERATIONS.md)"
+         (also read from WABENCH_FAULTS; see docs/OPERATIONS.md)\n\
+         SPEC is a comma list like 'slo=0.99,burn=14:5m:1h,p99=250ms:1m'\n\
+         (also read from WABENCH_ALERTS; see docs/OPERATIONS.md)"
     );
     exit(2);
 }
@@ -106,6 +121,9 @@ struct Opts {
     sample_ms: u64,
     series_cap: usize,
     slow_ms: u64,
+    profile_ms: u64,
+    alerts: Option<String>,
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl Opts {
@@ -129,6 +147,9 @@ impl Opts {
             sample_ms: 250,
             series_cap: 600,
             slow_ms: 250,
+            profile_ms: 0,
+            alerts: None,
+            postmortem_dir: None,
         }
     }
 }
@@ -246,6 +267,19 @@ fn parse_opts(args: &[String]) -> Opts {
                         obs::error!("--slow-ms needs an integer");
                         usage();
                     })
+            }
+            "--profile-ms" => {
+                o.profile_ms = take_value(args, &mut i, "--profile-ms")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        obs::error!("--profile-ms needs an integer (0 disables profiling)");
+                        usage();
+                    })
+            }
+            "--alerts" => o.alerts = Some(take_value(args, &mut i, "--alerts")),
+            "--postmortem-dir" => {
+                o.postmortem_dir =
+                    Some(PathBuf::from(take_value(args, &mut i, "--postmortem-dir")))
             }
             "--dir" => o.dir = Some(PathBuf::from(take_value(args, &mut i, "--dir"))),
             "--jobs" => {
@@ -429,6 +463,50 @@ fn print_result(res: &svc::JobResult) {
     );
 }
 
+fn print_alert_report(a: &AlertReport) {
+    println!(
+        "alerts: {} ({} firing, {} logged transitions)",
+        if a.armed { "armed" } else { "disarmed" },
+        a.firing.len(),
+        a.events.len()
+    );
+    for f in &a.firing {
+        println!(
+            "firing {}: value {:.4} threshold {:.4} since {:.1}s ({})",
+            f.rule,
+            f.value,
+            f.threshold,
+            a.server_now_ns.saturating_sub(f.since_ns) as f64 / 1e9,
+            f.detail
+        );
+    }
+    for e in &a.events {
+        println!(
+            "event #{:<4} {:>9.1}s {:>8} {}: value {:.4} threshold {:.4} ({})",
+            e.seq,
+            e.t_ns as f64 / 1e9,
+            e.transition.name(),
+            e.rule,
+            e.value,
+            e.threshold,
+            e.detail
+        );
+    }
+}
+
+/// Resolves the alert spec: `--alerts` wins, else `WABENCH_ALERTS`,
+/// else none. A malformed spec is a usage error.
+fn alert_spec(o: &Opts) -> Option<AlertSpec> {
+    let parsed = match &o.alerts {
+        Some(spec) => AlertSpec::parse(spec).map(Some),
+        None => AlertSpec::from_env(),
+    };
+    parsed.unwrap_or_else(|e| {
+        obs::error!("bad alert spec: {e}");
+        usage();
+    })
+}
+
 /// Resolves the fault plan: `--faults` wins, else `WABENCH_FAULTS`,
 /// else none. A malformed plan is a usage error.
 fn fault_plan(o: &Opts) -> Option<Arc<fault::FaultPlan>> {
@@ -453,6 +531,13 @@ fn cmd_serve(o: &Opts) {
     if let Some(plan) = &faults {
         obs::warn!("fault injection armed: {plan}");
     }
+    let alerts = alert_spec(o);
+    if let Some(spec) = &alerts {
+        if o.sample_ms == 0 {
+            obs::warn!("--alerts armed but --sample-ms is 0: no samples, no evaluations");
+        }
+        obs::info!("alert engine armed: {spec}");
+    }
     let sched = Scheduler::start(Config {
         workers: o.workers,
         timeout: Duration::from_secs(o.timeout_s),
@@ -465,6 +550,9 @@ fn cmd_serve(o: &Opts) {
             slow_threshold: Duration::from_millis(o.slow_ms),
             ..TelemetryConfig::default()
         },
+        alerts,
+        postmortem_dir: o.postmortem_dir.clone(),
+        profile_window: (o.profile_ms > 0).then(|| Duration::from_millis(o.profile_ms)),
         ..Config::default()
     })
     .unwrap_or_else(|e| {
@@ -546,6 +634,27 @@ fn cmd_health(o: &Opts) {
         exit(1);
     });
     print_health(&client.health().expect("health"));
+    // v8 servers also report firing alerts; older servers answer Err.
+    if let Ok(a) = client.alert_log() {
+        if a.armed && a.firing.is_empty() {
+            println!("alerts: armed, none firing");
+        }
+        for f in &a.firing {
+            println!(
+                "ALERT {} firing: value {:.4} threshold {:.4} ({})",
+                f.rule, f.value, f.threshold, f.detail
+            );
+        }
+    }
+}
+
+fn cmd_alerts(o: &Opts) {
+    let socket = need_socket(o);
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        obs::error!("connect {}: {e}", socket.display());
+        exit(1);
+    });
+    print_alert_report(&client.alert_log().expect("alerts"));
 }
 
 fn cmd_series(o: &Opts) {
@@ -712,6 +821,7 @@ fn main() {
         "health" => cmd_health(&opts),
         "series" => cmd_series(&opts),
         "trace-dump" => cmd_trace_dump(&opts),
+        "alerts" => cmd_alerts(&opts),
         "shutdown" => cmd_shutdown(&opts),
         "smoke" => cmd_smoke(&opts),
         _ => usage(),

@@ -28,6 +28,7 @@ use std::process::exit;
 use std::time::Duration;
 
 use engines::EngineKind;
+use obs::metrics::{HistogramSnapshot, BUCKETS};
 use svc::server::Client;
 use svc::telemetry::{SeriesPoint, SeriesReport};
 
@@ -149,6 +150,10 @@ struct WindowAgg {
     p50_weighted: u128,
     /// Max interval p99 — a conservative window tail.
     p99_max_ns: u64,
+    /// Merged interval bucket deltas (v8 sparse trailers summed) and
+    /// how many observations they cover.
+    lat_buckets: [u64; BUCKETS],
+    lat_bucket_count: u64,
     span_ns: u64,
 }
 
@@ -163,6 +168,12 @@ impl WindowAgg {
             a.lat_sum_ns += p.lat.sum_ns;
             a.p50_weighted += u128::from(p.lat.count) * u128::from(p.lat.p50_ns);
             a.p99_max_ns = a.p99_max_ns.max(p.lat.p99_ns);
+            for (i, c) in &p.lat.buckets {
+                if let Some(slot) = a.lat_buckets.get_mut(*i as usize) {
+                    *slot += c;
+                    a.lat_bucket_count += c;
+                }
+            }
             a.span_ns += p.interval_ns;
         }
         a
@@ -182,6 +193,27 @@ impl WindowAgg {
         } else {
             (self.p50_weighted / u128::from(self.lat_count)) as u64
         }
+    }
+
+    /// Honest whole-window p99: merge the per-interval bucket deltas
+    /// into one histogram and interpolate, instead of taking the max
+    /// of interval p99s (which over-reports whenever one thin interval
+    /// has a bad tail). Falls back to the interval max against pre-v8
+    /// servers that ship no bucket deltas.
+    fn p99_ns(&self) -> u64 {
+        if self.lat_bucket_count == 0 {
+            return self.p99_max_ns;
+        }
+        let merged = HistogramSnapshot {
+            buckets: self.lat_buckets,
+            count: self.lat_bucket_count,
+            sum_ns: self.lat_sum_ns,
+            // No exact extremes survive the merge; zero max_ns keeps
+            // quantile_ns on pure bucket interpolation.
+            min_ns: 0,
+            max_ns: 0,
+        };
+        merged.quantile_ns(0.99)
     }
 
     /// Error-budget burn: (observed failure ratio) / (allotted failure
@@ -242,7 +274,8 @@ fn cmd_once(o: &Opts) {
     println!("failed={}", agg.failed);
     println!("qps={:.3}", agg.qps());
     println!("p50_ns={}", agg.p50_ns());
-    println!("p99_ns={}", agg.p99_max_ns);
+    println!("p99_ns={}", agg.p99_ns());
+    println!("p99_max={}", agg.p99_max_ns);
     println!("queue_depth={}", last.map_or(0, |p| p.queue_depth));
     println!("busy_workers={}", last.map_or(0, |p| p.busy_workers));
     println!("workers={}", ext.workers);
@@ -250,6 +283,17 @@ fn cmd_once(o: &Opts) {
     println!("burn_rate={:.3}", agg.burn_rate(o.slo_target));
     println!("slo_target={}", o.slo_target);
     println!("breakers={}", breaker_summary(&health.breakers));
+    // v8 servers report the alert engine; older ones answer Err.
+    if let Ok(a) = client.alert_log() {
+        println!("alerts_armed={}", u8::from(a.armed));
+        println!("alerts_firing={}", a.firing.len());
+        for f in &a.firing {
+            println!(
+                "alert_firing={} value={:.4} threshold={:.4}",
+                f.rule, f.value, f.threshold
+            );
+        }
+    }
 }
 
 fn header() {
@@ -260,43 +304,54 @@ fn header() {
 }
 
 /// Poll loop: one status line per tick from the newest sample deltas.
+/// Uses the v8 `since` cursor so the server only ships fresh samples;
+/// a cursorless first fetch seeds the cursor from the buffered window.
 fn cmd_watch(o: &Opts) {
     let mut client = connect(&o.socket);
     // Redraw the header periodically so it survives scrollback.
     const HEADER_EVERY: u64 = 20;
     let mut last_seq: Option<u64> = None;
+    let mut last_point: Option<SeriesPoint> = None;
     let mut tick = 0u64;
     loop {
         if tick.is_multiple_of(HEADER_EVERY) {
             header();
         }
-        let series: SeriesReport = fetch("series", client.series());
+        let series: SeriesReport = fetch("series", client.series_since(last_seq));
         let health = fetch("health", client.health());
         let ext = fetch("stats-ext", client.stats_ext());
-        // Only the samples that landed since the last tick.
-        let fresh: Vec<SeriesPoint> = series
-            .points
-            .iter()
-            .filter(|p| last_seq.is_none_or(|s| p.seq > s))
-            .cloned()
-            .collect();
         if let Some(p) = series.points.last() {
             last_seq = Some(p.seq);
+            last_point = Some(p.clone());
         }
-        let agg = WindowAgg::over(&fresh);
-        let last = fresh.last().or(series.points.last());
-        let busy = last.map_or(0, |p| p.busy_workers);
+        let agg = WindowAgg::over(&series.points);
+        let last = series.points.last().or(last_point.as_ref());
+        let firing = client
+            .alert_log()
+            .map(|a| {
+                a.firing
+                    .iter()
+                    .map(|f| f.rule.clone())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default();
         println!(
-            "{:>8.1}  {:>8.1}  {:>7.2}ms  {:>7.2}ms  {:>5}  {:>4}/{:<4}  {:>6.2}x  {}",
+            "{:>8.1}  {:>8.1}  {:>7.2}ms  {:>7.2}ms  {:>5}  {:>4}/{:<4}  {:>6.2}x  {}{}",
             series.server_now_ns as f64 / 1e9,
             agg.qps(),
             agg.p50_ns() as f64 / 1e6,
-            agg.p99_max_ns as f64 / 1e6,
+            agg.p99_ns() as f64 / 1e6,
             last.map_or(0, |p| p.queue_depth),
-            busy,
+            last.map_or(0, |p| p.busy_workers),
             ext.workers,
             agg.burn_rate(o.slo_target),
             breaker_summary(&health.breakers),
+            if firing.is_empty() {
+                String::new()
+            } else {
+                format!("  ALERT[{firing}]")
+            },
         );
         tick += 1;
         if o.iterations.is_some_and(|n| tick >= n) {
@@ -313,5 +368,75 @@ fn main() {
         cmd_once(&o);
     } else {
         cmd_watch(&o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::series::HistDelta;
+
+    fn point(seq: u64, count: u64, p50_ns: u64, p99_ns: u64, buckets: Vec<(u8, u64)>) -> SeriesPoint {
+        SeriesPoint {
+            seq,
+            interval_ns: 1_000_000_000,
+            completed: count,
+            ok: count,
+            lat: HistDelta {
+                count,
+                sum_ns: count * p50_ns,
+                p50_ns,
+                p99_ns,
+                buckets,
+            },
+            ..SeriesPoint::default()
+        }
+    }
+
+    /// The satellite regression: 99 fast jobs in one interval plus one
+    /// 500ms straggler in a thin interval. Max-of-interval-p99s reports
+    /// the straggler (500ms-ish) as the window p99; the merged
+    /// histogram knows it is 1 job in 100 — beyond rank 99 — and
+    /// reports a fast-bucket p99 instead.
+    #[test]
+    fn window_p99_merges_bucket_deltas_instead_of_taking_the_interval_max() {
+        let fast_ms = 1_000_000u64; // bucket 12, bound 2^20 ns
+        let slow_ms = 500_000_000u64; // bucket 21, bound 2^29 ns
+        let points = vec![
+            point(1, 99, fast_ms, fast_ms, vec![(12, 99)]),
+            point(2, 1, slow_ms, slow_ms, vec![(21, 1)]),
+        ];
+        let agg = WindowAgg::over(&points);
+        assert_eq!(agg.lat_count, 100);
+        assert_eq!(agg.lat_bucket_count, 100);
+        assert_eq!(agg.p99_max_ns, slow_ms, "old max aggregation kept as p99_max");
+        let merged = agg.p99_ns();
+        assert!(
+            merged <= obs::metrics::bucket_bound_ns(12),
+            "merged p99 ({merged}ns) must come from the fast bucket, not the straggler"
+        );
+        assert!(merged > 0, "merged p99 interpolates a nonzero estimate");
+    }
+
+    /// Against a pre-v8 server no bucket deltas arrive; the aggregate
+    /// falls back to the conservative interval max.
+    #[test]
+    fn window_p99_falls_back_to_interval_max_without_bucket_deltas() {
+        let points = vec![
+            point(1, 99, 1_000_000, 1_000_000, Vec::new()),
+            point(2, 1, 500_000_000, 500_000_000, Vec::new()),
+        ];
+        let agg = WindowAgg::over(&points);
+        assert_eq!(agg.lat_bucket_count, 0);
+        assert_eq!(agg.p99_ns(), 500_000_000);
+    }
+
+    /// Out-of-range bucket indices (a corrupt or future-version point)
+    /// are ignored rather than panicking.
+    #[test]
+    fn window_agg_ignores_out_of_range_bucket_indices() {
+        let points = vec![point(1, 5, 1_000_000, 1_000_000, vec![(BUCKETS as u8, 5)])];
+        let agg = WindowAgg::over(&points);
+        assert_eq!(agg.lat_bucket_count, 0);
     }
 }

@@ -13,7 +13,9 @@ use fault::{BreakerSnapshot, BreakerState};
 use crate::job::{JobMode, JobResult, JobSpec, JobStatus, Recovery, Scale, TraceCtx, TraceDigest};
 use crate::scheduler::{EngineCounters, HealthReport, ResilienceStats, SvcStats, SvcStatsExt};
 use crate::store::StoreStats;
-use crate::telemetry::{SeriesPoint, SeriesReport, TraceRecord, TraceReport};
+use crate::telemetry::{
+    AlertReport, ProfileReport, SeriesPoint, SeriesReport, TraceRecord, TraceReport,
+};
 use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter};
 
 /// Protocol version, carried at the head of the `StatsExt` and `Health`
@@ -55,7 +57,19 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   telemetry sample window, and `TraceDump` (request tag 9, response
 ///   tag 10) returns recent and slow-request server span digests; both
 ///   replies carry the version head.
-pub const PROTO_VERSION: u16 = 7;
+/// - v8: continuous profiling and SLO alerting. The `Series` request
+///   gains an optional frame-final `since` cursor (u64 sequence number;
+///   only points with a greater seq are returned) — omitted entirely
+///   for whole-window fetches, which stay byte-identical to v7, and
+///   absent cursors decode as "whole window". Each `Series` reply point
+///   gains a sparse latency-bucket trailer (u32 pair count, then
+///   `(u8 bucket index, u64 count)` pairs), gated on the version head
+///   so v7 frames still decode with empty buckets. Two new messages:
+///   `ProfileDump` (request tag 10, response tag 11) returns the
+///   continuous profiler's retained windows, and `AlertLog` (request
+///   tag 11, response tag 12) returns the alert engine's firing set and
+///   transition log; both replies carry the version head.
+pub const PROTO_VERSION: u16 = 8;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,11 +94,20 @@ pub enum Request {
     /// (protocol v4; older servers answer `Err`).
     Health,
     /// Live telemetry time series: the sampler's buffered delta window
-    /// (protocol v7; older servers answer `Err`).
-    Series,
+    /// (protocol v7; older servers answer `Err`). The optional cursor
+    /// (protocol v8) limits the reply to points with a greater sequence
+    /// number; `None` fetches the whole window and encodes exactly like
+    /// v7.
+    Series(Option<u64>),
     /// Recent and slow-request server span digests for client-side
     /// stitching (protocol v7; older servers answer `Err`).
     TraceDump,
+    /// The continuous profiler's retained windows (protocol v8; older
+    /// servers answer `Err`).
+    ProfileDump,
+    /// The SLO alert engine's firing set and transition log (protocol
+    /// v8; older servers answer `Err`).
+    AlertLog,
 }
 
 /// Server → client.
@@ -113,6 +136,10 @@ pub enum Response {
     Series(SeriesReport),
     /// Recent/slow-request span digests (protocol v7).
     TraceDump(TraceReport),
+    /// Continuous-profile windows (protocol v8).
+    ProfileDump(ProfileReport),
+    /// Alert firing set and transition log (protocol v8).
+    AlertLog(AlertReport),
 }
 
 fn bad(msg: &str) -> WireError {
@@ -615,6 +642,14 @@ fn encode_series(w: &mut WireWriter, s: &SeriesReport) {
             w.u8(*code);
             w.u8(*state);
         }
+        // v8: the interval's sparse latency-bucket deltas, so clients
+        // can merge intervals into an honest aggregate p99 instead of
+        // maxing the per-interval ones.
+        w.u32(p.lat.buckets.len() as u32);
+        for (i, c) in &p.lat.buckets {
+            w.u8(*i);
+            w.u64(*c);
+        }
     }
 }
 
@@ -636,11 +671,12 @@ fn decode_series(r: &mut WireReader<'_>) -> Result<SeriesReport, WireError> {
         let failed = r.u64()?;
         let queue_depth = r.u64()?;
         let busy_workers = r.u64()?;
-        let lat = obs::series::HistDelta {
+        let mut lat = obs::series::HistDelta {
             count: r.u64()?,
             sum_ns: r.u64()?,
             p50_ns: r.u64()?,
             p99_ns: r.u64()?,
+            buckets: Vec::new(),
         };
         let m = r.u32()?;
         let mut engines = Vec::with_capacity(m.min(64) as usize);
@@ -653,6 +689,19 @@ fn decode_series(r: &mut WireReader<'_>) -> Result<SeriesReport, WireError> {
         for _ in 0..m {
             let code = r.u8()?;
             breakers.push((code, r.u8()?));
+        }
+        // v8 bucket trailer; v7 peers never wrote it.
+        if version >= 8 {
+            let m = r.u32()?;
+            let mut buckets = Vec::with_capacity(m.min(BUCKETS as u32) as usize);
+            for _ in 0..m {
+                let i = r.u8()?;
+                if i as usize >= BUCKETS {
+                    return Err(bad("bad series bucket index"));
+                }
+                buckets.push((i, r.u64()?));
+            }
+            lat.buckets = buckets;
         }
         points.push(SeriesPoint {
             seq,
@@ -672,6 +721,135 @@ fn decode_series(r: &mut WireReader<'_>) -> Result<SeriesReport, WireError> {
         server_now_ns,
         interval_ns,
         points,
+    })
+}
+
+fn encode_profile_report(w: &mut WireWriter, p: &ProfileReport) {
+    // Version first, like the other evolving replies.
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    w.u64(p.server_now_ns);
+    w.u64(p.window_ns);
+    w.u32(p.windows.len() as u32);
+    for win in &p.windows {
+        w.u64(win.seq);
+        w.u64(win.start_ns);
+        w.u64(win.end_ns);
+        w.u32(win.phases.len() as u32);
+        for (stack, s) in &win.phases {
+            w.str(stack);
+            w.u64(s.count);
+            w.u64(s.self_ns);
+            w.u64(s.instructions);
+            w.u64(s.cycles);
+        }
+    }
+}
+
+fn decode_profile_report(r: &mut WireReader<'_>) -> Result<ProfileReport, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if !(8..=PROTO_VERSION).contains(&version) {
+        return Err(bad("unsupported profile-dump version"));
+    }
+    let server_now_ns = r.u64()?;
+    let window_ns = r.u64()?;
+    let n = r.u32()?;
+    let mut windows = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        let seq = r.u64()?;
+        let start_ns = r.u64()?;
+        let end_ns = r.u64()?;
+        let m = r.u32()?;
+        let mut phases = std::collections::BTreeMap::new();
+        for _ in 0..m {
+            let stack = r.str()?;
+            let stat = obs::contprof::PhaseStat {
+                count: r.u64()?,
+                self_ns: r.u64()?,
+                instructions: r.u64()?,
+                cycles: r.u64()?,
+            };
+            phases.insert(stack, stat);
+        }
+        windows.push(obs::contprof::ProfileWindow {
+            seq,
+            start_ns,
+            end_ns,
+            phases,
+        });
+    }
+    Ok(ProfileReport {
+        server_now_ns,
+        window_ns,
+        windows,
+    })
+}
+
+fn encode_alert_report(w: &mut WireWriter, a: &AlertReport) {
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    w.u64(a.server_now_ns);
+    w.bool(a.armed);
+    w.u32(a.firing.len() as u32);
+    for f in &a.firing {
+        w.str(&f.rule);
+        w.u64(f.since_ns);
+        w.f64(f.value);
+        w.f64(f.threshold);
+        w.str(&f.detail);
+    }
+    w.u32(a.events.len() as u32);
+    for e in &a.events {
+        w.u64(e.seq);
+        w.u64(e.t_ns);
+        w.u8(e.transition.byte());
+        w.str(&e.rule);
+        w.f64(e.value);
+        w.f64(e.threshold);
+        w.str(&e.detail);
+    }
+}
+
+fn decode_alert_report(r: &mut WireReader<'_>) -> Result<AlertReport, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if !(8..=PROTO_VERSION).contains(&version) {
+        return Err(bad("unsupported alert-log version"));
+    }
+    let server_now_ns = r.u64()?;
+    let armed = r.bool()?;
+    let n = r.u32()?;
+    let mut firing = Vec::with_capacity(n.min(64) as usize);
+    for _ in 0..n {
+        firing.push(obs::alert::FiringAlert {
+            rule: r.str()?,
+            since_ns: r.u64()?,
+            value: r.f64()?,
+            threshold: r.f64()?,
+            detail: r.str()?,
+        });
+    }
+    let n = r.u32()?;
+    let mut events = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        let seq = r.u64()?;
+        let t_ns = r.u64()?;
+        let transition = obs::alert::Transition::from_byte(r.u8()?)
+            .ok_or_else(|| bad("bad alert transition"))?;
+        events.push(obs::alert::AlertEvent {
+            seq,
+            t_ns,
+            rule: r.str()?,
+            transition,
+            value: r.f64()?,
+            threshold: r.f64()?,
+            detail: r.str()?,
+        });
+    }
+    Ok(AlertReport {
+        server_now_ns,
+        armed,
+        firing,
+        events,
     })
 }
 
@@ -782,8 +960,18 @@ impl Request {
             Request::Shutdown => w.u8(5),
             Request::StatsExt => w.u8(6),
             Request::Health => w.u8(7),
-            Request::Series => w.u8(8),
+            Request::Series(since) => {
+                w.u8(8);
+                // v8 cursor trailer, omitted for whole-window fetches so
+                // the frame stays byte-identical to v7 (and old servers
+                // keep accepting cursorless fetches from new clients).
+                if let Some(seq) = since {
+                    w.u64(*seq);
+                }
+            }
             Request::TraceDump => w.u8(9),
+            Request::ProfileDump => w.u8(10),
+            Request::AlertLog => w.u8(11),
         }
         w.finish()
     }
@@ -817,8 +1005,16 @@ impl Request {
             5 => Request::Shutdown,
             6 => Request::StatsExt,
             7 => Request::Health,
-            8 => Request::Series,
+            // v7 fetches (and cursorless v8 ones) end the frame at the
+            // tag; a present trailer is the since-cursor.
+            8 => Request::Series(if r.remaining() >= 8 {
+                Some(r.u64()?)
+            } else {
+                None
+            }),
             9 => Request::TraceDump,
+            10 => Request::ProfileDump,
+            11 => Request::AlertLog,
             _ => return Err(bad("bad request tag")),
         };
         r.expect_end()?;
@@ -866,6 +1062,14 @@ impl Response {
                 w.u8(10);
                 encode_trace_report(&mut w, t);
             }
+            Response::ProfileDump(p) => {
+                w.u8(11);
+                encode_profile_report(&mut w, p);
+            }
+            Response::AlertLog(a) => {
+                w.u8(12);
+                encode_alert_report(&mut w, a);
+            }
         }
         w.finish()
     }
@@ -889,6 +1093,8 @@ impl Response {
             8 => Response::Health(decode_health(&mut r)?),
             9 => Response::Series(decode_series(&mut r)?),
             10 => Response::TraceDump(decode_trace_report(&mut r)?),
+            11 => Response::ProfileDump(decode_profile_report(&mut r)?),
+            12 => Response::AlertLog(decode_alert_report(&mut r)?),
             _ => return Err(bad("bad response tag")),
         };
         r.expect_end()?;
@@ -930,11 +1136,26 @@ mod tests {
             Request::Shutdown,
             Request::StatsExt,
             Request::Health,
-            Request::Series,
+            Request::Series(None),
+            Request::Series(Some(417)),
             Request::TraceDump,
+            Request::ProfileDump,
+            Request::AlertLog,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    /// Protocol v8: a cursorless `Series` fetch must be byte-identical
+    /// to the v7 encoding (bare tag), so old servers accept new
+    /// clients' whole-window fetches, and a v7 frame decodes to `None`.
+    #[test]
+    fn cursorless_series_is_byte_identical_to_v7() {
+        let bare = Request::Series(None).encode();
+        assert_eq!(bare, vec![8]);
+        assert_eq!(Request::decode(&[8]).unwrap(), Request::Series(None));
+        // A cursored fetch is exactly 8 bytes longer.
+        assert_eq!(Request::Series(Some(7)).encode().len(), 9);
     }
 
     /// Protocol v7: an untraced submit must be byte-identical to the v6
@@ -1417,6 +1638,7 @@ mod tests {
                         sum_ns: 36_000_000,
                         p50_ns: 2_500_000,
                         p99_ns: 9_000_000,
+                        buckets: vec![(13, 10), (17, 2)],
                     },
                     engines: vec![(0, 7), (5, 5)],
                     breakers: vec![(4, 1)],
@@ -1438,6 +1660,149 @@ mod tests {
         old[1] = 6;
         old[2] = 0;
         assert!(Response::decode(&old).is_err());
+        // An out-of-range bucket index must be refused.
+        let mut report = SeriesReport::default();
+        report.points.push(SeriesPoint {
+            lat: obs::series::HistDelta {
+                buckets: vec![(BUCKETS as u8, 1)],
+                ..obs::series::HistDelta::default()
+            },
+            ..SeriesPoint::default()
+        });
+        let bad = Response::Series(report).encode();
+        assert!(Response::decode(&bad).is_err());
+    }
+
+    /// A v7 peer's `Series` frame carries no per-point bucket trailer;
+    /// it must still decode, with empty buckets.
+    #[test]
+    fn series_decodes_legacy_v7_frames_without_bucket_trailer() {
+        let mut w = WireWriter::new();
+        w.u8(9);
+        w.u8(7); // version 7, little-endian
+        w.u8(0);
+        w.u64(1_000); // server_now_ns
+        w.u64(500_000_000); // interval_ns
+        w.u32(1); // one point
+        for v in [3u64, 900, 499, 12, 11, 1, 4, 2, 12, 36_000, 2_500, 9_000] {
+            w.u64(v);
+        }
+        w.u32(0); // no engines
+        w.u32(0); // no breakers
+        // No bucket trailer in v7.
+        let resp = Response::decode(&w.finish()).expect("legacy v7 series decodes");
+        let Response::Series(s) = resp else {
+            panic!("expected Series");
+        };
+        assert_eq!(s.points.len(), 1);
+        assert_eq!(s.points[0].lat.count, 12);
+        assert!(s.points[0].lat.buckets.is_empty());
+    }
+
+    /// Protocol v8: the `ProfileDump` reply round-trips (off, empty,
+    /// and populated), carries the version head, and refuses a v7 head.
+    #[test]
+    fn profile_dump_round_trips() {
+        let off = Response::ProfileDump(ProfileReport::default());
+        assert_eq!(Response::decode(&off.encode()).unwrap(), off);
+
+        let mut win = obs::contprof::ProfileWindow {
+            seq: 2,
+            start_ns: 20_000_000,
+            end_ns: 30_000_000,
+            phases: Default::default(),
+        };
+        win.phases.insert(
+            "wasm3;exec".to_string(),
+            obs::contprof::PhaseStat {
+                count: 5,
+                self_ns: 9_000_000,
+                instructions: 1_000_000,
+                cycles: 2_000_000,
+            },
+        );
+        win.phases.insert(
+            "wasm3;compile".to_string(),
+            obs::contprof::PhaseStat {
+                count: 5,
+                self_ns: 1_000_000,
+                instructions: 0,
+                cycles: 0,
+            },
+        );
+        let resp = Response::ProfileDump(ProfileReport {
+            server_now_ns: 31_000_000,
+            window_ns: 10_000_000,
+            windows: vec![win],
+        });
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let payload = resp.encode();
+        assert_eq!(payload[0], 11);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+        let mut old = payload.clone();
+        old[1] = 7;
+        old[2] = 0;
+        assert!(Response::decode(&old).is_err());
+    }
+
+    /// Protocol v8: the `AlertLog` reply round-trips (disarmed, armed +
+    /// firing), carries the version head, and rejects unknown
+    /// transition bytes.
+    #[test]
+    fn alert_log_round_trips() {
+        let disarmed = Response::AlertLog(AlertReport::default());
+        assert_eq!(Response::decode(&disarmed.encode()).unwrap(), disarmed);
+
+        let resp = Response::AlertLog(AlertReport {
+            server_now_ns: 5_000,
+            armed: true,
+            firing: vec![obs::alert::FiringAlert {
+                rule: "p99".to_string(),
+                since_ns: 4_000,
+                value: 21_000_000.0,
+                threshold: 5_000_000.0,
+                detail: "p99 21.0ms over 1s".to_string(),
+            }],
+            events: vec![
+                obs::alert::AlertEvent {
+                    seq: 0,
+                    t_ns: 3_000,
+                    rule: "p99".to_string(),
+                    transition: obs::alert::Transition::Pending,
+                    value: 20_000_000.0,
+                    threshold: 5_000_000.0,
+                    detail: String::new(),
+                },
+                obs::alert::AlertEvent {
+                    seq: 1,
+                    t_ns: 4_000,
+                    rule: "p99".to_string(),
+                    transition: obs::alert::Transition::Firing,
+                    value: 21_000_000.0,
+                    threshold: 5_000_000.0,
+                    detail: "held".to_string(),
+                },
+            ],
+        });
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let payload = resp.encode();
+        assert_eq!(payload[0], 12);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+        // Corrupt the first event's transition byte: tag + version(2) +
+        // now(8) + armed(1) + firing count(4) + one firing entry, then
+        // event count(4) + seq(8) + t_ns(8) = offset of the byte.
+        let firing_len = 4 + "p99".len() + 8 + 8 + 8 + 4 + "p99 21.0ms over 1s".len();
+        let off = 1 + 2 + 8 + 1 + 4 + firing_len + 4 + 8 + 8;
+        let mut bad_transition = payload.clone();
+        assert_eq!(bad_transition[off], 0, "expected the Pending byte");
+        bad_transition[off] = 9;
+        assert!(Response::decode(&bad_transition).is_err());
     }
 
     /// Protocol v7: the `TraceDump` reply round-trips with both record

@@ -16,19 +16,34 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fault::{Breaker, BreakerConfig, BreakerEvent, BreakerSnapshot, FaultPlan};
+use obs::alert::{AlertEngine, AlertEvent, AlertSpec, Observation, Transition};
+use obs::contprof::ContProf;
 use obs::metrics::{Histogram, HistogramSnapshot};
 
 use crate::exec::{self, ExecEnv};
 use crate::job::{JobResult, JobSpec, JobStatus, TraceCtx, TraceDigest};
 use crate::store::{ArtifactStore, StoreStats};
-use crate::telemetry::{JobMetrics, SeriesReport, Telemetry, TelemetryConfig, TraceRecord, TraceReport};
+use crate::telemetry::{
+    AlertReport, JobMetrics, ProfileReport, SeriesPoint, SeriesReport, Telemetry, TelemetryConfig,
+    TraceRecord, TraceReport,
+};
+
+/// Sealed profile windows retained by the continuous profiler.
+const PROFILE_WINDOW_CAP: usize = 64;
+
+/// Series points embedded in a postmortem bundle (most recent first in
+/// time, oldest first in the array).
+const POSTMORTEM_SERIES_TAIL: usize = 64;
+
+/// Trace-log records embedded in a postmortem bundle.
+const POSTMORTEM_TRACE_TAIL: usize = 16;
 
 /// Retry tuning: exponential backoff with deterministic jitter.
 ///
@@ -80,6 +95,17 @@ pub struct Config {
     /// always maintained (cheap, bounded) so `TraceDump` works even on
     /// a sampler-less scheduler.
     pub telemetry: TelemetryConfig,
+    /// SLO alert rules (protocol v8). `None` (the default) arms no
+    /// engine: nothing is evaluated, `AlertLog` reports disarmed, and
+    /// no postmortem is ever written.
+    pub alerts: Option<AlertSpec>,
+    /// Where firing alerts snapshot postmortem bundles. `None` disables
+    /// the flight recorder even when alerts are armed.
+    pub postmortem_dir: Option<PathBuf>,
+    /// Continuous-profiler window span (protocol v8). `None` (the
+    /// default) aggregates nothing and `ProfileDump` reports the
+    /// profiler off.
+    pub profile_window: Option<Duration>,
 }
 
 impl Default for Config {
@@ -93,8 +119,20 @@ impl Default for Config {
             breaker: BreakerConfig::default(),
             faults: None,
             telemetry: TelemetryConfig::default(),
+            alerts: None,
+            postmortem_dir: None,
+            profile_window: None,
         }
     }
+}
+
+/// The alert engine plus its pump cursor and flight-recorder target.
+struct AlertRuntime {
+    engine: AlertEngine,
+    /// Highest series seq already fed to the engine; the pump only
+    /// feeds newer points, so re-pumping is idempotent.
+    last_seq: Option<u64>,
+    postmortem_dir: Option<PathBuf>,
 }
 
 /// Aggregate counters from the resilience layer.
@@ -271,6 +309,8 @@ struct Inner {
     resilience: Mutex<ResilienceStats>,
     metrics: JobMetrics,
     telemetry: Telemetry,
+    contprof: Mutex<Option<ContProf>>,
+    alerts: Mutex<Option<AlertRuntime>>,
 }
 
 /// The running scheduler: submit jobs, poll/wait for results.
@@ -323,6 +363,15 @@ impl Scheduler {
             resilience: Mutex::new(ResilienceStats::default()),
             metrics: JobMetrics::resolve(),
             telemetry: Telemetry::new(&cfg.telemetry),
+            contprof: Mutex::new(
+                cfg.profile_window
+                    .map(|w| ContProf::new(w, PROFILE_WINDOW_CAP)),
+            ),
+            alerts: Mutex::new(cfg.alerts.map(|spec| AlertRuntime {
+                engine: AlertEngine::new(spec),
+                last_seq: None,
+                postmortem_dir: cfg.postmortem_dir.clone(),
+            })),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -464,32 +513,11 @@ impl Scheduler {
 
     /// Health snapshot: resilience counters, per-engine breaker states,
     /// and injected-fault tallies from the active plan (if any). Served
-    /// over the wire by the protocol v4 `Health` request.
+    /// over the wire by the protocol v4 `Health` request. Also pumps
+    /// the alert engine, so health polls advance alert state.
     pub fn health(&self) -> HealthReport {
-        let mut breakers: Vec<(u8, BreakerSnapshot)> = self
-            .inner
-            .breakers
-            .lock()
-            .expect("breakers lock")
-            .iter()
-            .map(|(code, b)| (*code, b.snapshot()))
-            .collect();
-        breakers.sort_by_key(|(code, _)| *code);
-        let faults = match &self.inner.env.faults {
-            Some(plan) => plan
-                .injected()
-                .into_iter()
-                .map(|(site, n)| (site.code(), plan.rate(site), n))
-                .collect(),
-            None => Vec::new(),
-        };
-        HealthReport {
-            resilience: self.resilience(),
-            breakers,
-            faults,
-            queue_depth: self.inner.queue.lock().expect("queue lock").len() as u64,
-            peak_queue_depth: self.inner.peak_queue.load(Ordering::Relaxed),
-        }
+        pump_alerts(&self.inner);
+        health_of(&self.inner)
     }
 
     /// Snapshot of the shared compiled-wasm cache.
@@ -500,12 +528,60 @@ impl Scheduler {
     /// Live telemetry sample window (protocol v7 `Series`): empty but
     /// well-formed when the scheduler was started without a sampler.
     pub fn series(&self) -> SeriesReport {
-        self.inner.telemetry.series()
+        self.series_since(None)
+    }
+
+    /// Like [`Scheduler::series`], but with points at or below the
+    /// `since` cursor filtered out (protocol v8): a watcher passes the
+    /// last seq it saw and receives only the gap. Also pumps the alert
+    /// engine, so watching a server advances alert state.
+    pub fn series_since(&self, since: Option<u64>) -> SeriesReport {
+        pump_alerts(&self.inner);
+        let mut report = self.inner.telemetry.series();
+        if let Some(seq) = since {
+            report.points.retain(|p| p.seq > seq);
+        }
+        report
     }
 
     /// Recent and slow-request span digests (protocol v7 `TraceDump`).
     pub fn trace_dump(&self) -> TraceReport {
         self.inner.telemetry.trace_dump()
+    }
+
+    /// The continuous profiler's retained windows (protocol v8
+    /// `ProfileDump`): `window_ns == 0` and no windows when the
+    /// profiler is off.
+    pub fn profile_dump(&self) -> ProfileReport {
+        let prof = self.inner.contprof.lock().expect("contprof lock");
+        ProfileReport {
+            server_now_ns: obs::trace::now_ns(),
+            window_ns: prof.as_ref().map_or(0, ContProf::window_ns),
+            windows: prof.as_ref().map(ContProf::windows).unwrap_or_default(),
+        }
+    }
+
+    /// The alert engine's firing set and transition log (protocol v8
+    /// `AlertLog`), after pumping any unseen series points through the
+    /// rules. Disarmed schedulers report `armed: false` and empty
+    /// lists.
+    pub fn alert_log(&self) -> AlertReport {
+        pump_alerts(&self.inner);
+        let slot = self.inner.alerts.lock().expect("alerts lock");
+        match slot.as_ref() {
+            Some(rt) => AlertReport {
+                server_now_ns: obs::trace::now_ns(),
+                armed: true,
+                firing: rt.engine.firing(),
+                events: rt.engine.log(),
+            },
+            None => AlertReport {
+                server_now_ns: obs::trace::now_ns(),
+                armed: false,
+                firing: Vec::new(),
+                events: Vec::new(),
+            },
+        }
     }
 
     /// Stops accepting work, drains queued jobs, joins the workers.
@@ -528,6 +604,249 @@ impl Drop for Scheduler {
         }
         self.inner.telemetry.stop();
     }
+}
+
+/// Assembles the health report from the shared scheduler state (used by
+/// both the `Health` handler and the flight recorder).
+fn health_of(inner: &Inner) -> HealthReport {
+    let mut breakers: Vec<(u8, BreakerSnapshot)> = inner
+        .breakers
+        .lock()
+        .expect("breakers lock")
+        .iter()
+        .map(|(code, b)| (*code, b.snapshot()))
+        .collect();
+    breakers.sort_by_key(|(code, _)| *code);
+    let faults = match &inner.env.faults {
+        Some(plan) => plan
+            .injected()
+            .into_iter()
+            .map(|(site, n)| (site.code(), plan.rate(site), n))
+            .collect(),
+        None => Vec::new(),
+    };
+    HealthReport {
+        resilience: *inner.resilience.lock().expect("resilience lock"),
+        breakers,
+        faults,
+        queue_depth: inner.queue.lock().expect("queue lock").len() as u64,
+        peak_queue_depth: inner.peak_queue.load(Ordering::Relaxed),
+    }
+}
+
+/// Feeds any series points the alert engine has not seen through the
+/// rules, and snapshots a postmortem bundle on each transition to
+/// firing. A no-op (one uncontended lock) when alerts are disarmed.
+///
+/// Evaluation is pull-based: workers pump on job completion and the
+/// server pumps on `Health`/`Series`/`AlertLog` requests, so alert
+/// state advances deterministically with the observation stream rather
+/// than on its own thread.
+fn pump_alerts(inner: &Inner) {
+    let mut slot = inner.alerts.lock().expect("alerts lock");
+    let Some(rt) = slot.as_mut() else {
+        return;
+    };
+    let report = inner.telemetry.series();
+    for p in &report.points {
+        if rt.last_seq.is_some_and(|seen| p.seq <= seen) {
+            continue;
+        }
+        rt.last_seq = Some(p.seq);
+        let phase_shares = inner
+            .contprof
+            .lock()
+            .expect("contprof lock")
+            .as_ref()
+            .map(ContProf::current_shares)
+            .unwrap_or_default();
+        let observation = Observation {
+            t_ns: p.t_ns,
+            interval_ns: p.interval_ns,
+            completed: p.completed,
+            failed: p.failed,
+            lat_count: p.lat.count,
+            p99_ns: p.lat.p99_ns,
+            lat_buckets: p.lat.buckets.clone(),
+            queue_depth: p.queue_depth,
+            breakers_open: p.breakers.iter().filter(|(_, s)| *s == 1).count() as u32,
+            phase_shares,
+        };
+        for event in rt.engine.observe(observation) {
+            match event.transition {
+                Transition::Pending => obs::debug!(
+                    "alert {} pending: {} (threshold {})",
+                    event.rule,
+                    event.value,
+                    event.threshold
+                ),
+                Transition::Firing => {
+                    obs::warn!(
+                        "alert {} firing: {} (threshold {}) {}",
+                        event.rule,
+                        event.value,
+                        event.threshold,
+                        event.detail
+                    );
+                    if let Some(dir) = rt.postmortem_dir.clone() {
+                        let firing = rt.engine.firing();
+                        if let Err(e) =
+                            write_postmortem(inner, &dir, &event, &firing, &report.points)
+                        {
+                            obs::error!("postmortem write failed: {e}");
+                        }
+                    }
+                }
+                Transition::Resolved => {
+                    obs::info!("alert {} resolved", event.rule);
+                }
+            }
+        }
+    }
+}
+
+/// JSON string literal (quoted + escaped).
+fn jstr(s: &str) -> String {
+    format!("\"{}\"", obs::json::escape(s))
+}
+
+/// Snapshots the flight-recorder postmortem bundle for a firing alert:
+/// the triggering rule and values, the recent series tail, slow-request
+/// exemplars, the trace-log tail, the current profile window, and the
+/// health report. Versioned JSON, one file per firing transition, named
+/// by event seq + rule so simulated-clock reruns are byte-stable.
+fn write_postmortem(
+    inner: &Inner,
+    dir: &Path,
+    event: &AlertEvent,
+    firing: &[obs::alert::FiringAlert],
+    series_tail: &[SeriesPoint],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"wabench-postmortem\",\"version\":1,");
+    out.push_str(&format!(
+        "\"alert\":{{\"seq\":{},\"t_ns\":{},\"rule\":{},\"value\":{},\"threshold\":{},\"detail\":{}}},",
+        event.seq,
+        event.t_ns,
+        jstr(&event.rule),
+        event.value,
+        event.threshold,
+        jstr(&event.detail)
+    ));
+    out.push_str("\"firing\":[");
+    for (i, f) in firing.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"since_ns\":{},\"value\":{},\"threshold\":{},\"detail\":{}}}",
+            jstr(&f.rule),
+            f.since_ns,
+            f.value,
+            f.threshold,
+            jstr(&f.detail)
+        ));
+    }
+    out.push_str("],\"series\":[");
+    let skip = series_tail.len().saturating_sub(POSTMORTEM_SERIES_TAIL);
+    for (i, p) in series_tail.iter().skip(skip).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"seq\":{},\"t_ns\":{},\"interval_ns\":{},\"completed\":{},\"ok\":{},\"failed\":{},\"queue_depth\":{},\"busy_workers\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            p.seq,
+            p.t_ns,
+            p.interval_ns,
+            p.completed,
+            p.ok,
+            p.failed,
+            p.queue_depth,
+            p.busy_workers,
+            p.lat.p50_ns,
+            p.lat.p99_ns
+        ));
+    }
+    out.push_str("],");
+    let dump = inner.telemetry.trace_dump();
+    out.push_str("\"exemplars\":[");
+    for (i, rec) in dump.exemplars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":{},\"total_ns\":{},\"attempts\":{},\"compile_fallback\":{}}}",
+            jstr(&rec.label),
+            rec.phases.done_ns.saturating_sub(rec.phases.enqueue_ns),
+            rec.phases.attempts,
+            rec.phases.compile_fallback
+        ));
+    }
+    out.push_str("],\"trace_tail\":[");
+    let skip = dump.recent.len().saturating_sub(POSTMORTEM_TRACE_TAIL);
+    for (i, rec) in dump.recent.iter().skip(skip).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":{},\"ok\":{},\"total_ns\":{}}}",
+            jstr(&rec.label),
+            rec.ok,
+            rec.phases.done_ns.saturating_sub(rec.phases.enqueue_ns)
+        ));
+    }
+    out.push_str("],");
+    {
+        let prof = inner.contprof.lock().expect("contprof lock");
+        match prof.as_ref().and_then(|p| p.windows().into_iter().last()) {
+            Some(w) => out.push_str(&format!(
+                "\"profile\":{{\"window_ns\":{},\"seq\":{},\"folded\":{}}},",
+                prof.as_ref().map_or(0, ContProf::window_ns),
+                w.seq,
+                jstr(&w.folded())
+            )),
+            None => out.push_str("\"profile\":null,"),
+        }
+    }
+    let health = health_of(inner);
+    out.push_str(&format!(
+        "\"health\":{{\"retries\":{},\"compile_fallbacks\":{},\"store_repairs\":{},\"breaker_fast_fails\":{},\"queue_depth\":{},\"peak_queue_depth\":{},",
+        health.resilience.retries,
+        health.resilience.compile_fallbacks,
+        health.resilience.store_repairs,
+        health.resilience.breaker_fast_fails,
+        health.queue_depth,
+        health.peak_queue_depth
+    ));
+    out.push_str("\"breakers\":[");
+    for (i, (code, b)) in health.breakers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"engine\":{},\"state\":{},\"trips\":{}}}",
+            code,
+            jstr(b.state.name()),
+            b.trips
+        ));
+    }
+    out.push_str("],\"faults\":[");
+    for (i, (code, rate, injected)) in health.faults.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let site = fault::Site::from_code(*code).map_or("unknown", fault::Site::key);
+        out.push_str(&format!(
+            "{{\"site\":{},\"rate\":{},\"injected\":{}}}",
+            jstr(site),
+            rate,
+            injected
+        ));
+    }
+    out.push_str("]}}");
+    std::fs::create_dir_all(dir)?;
+    let name = format!("postmortem-{}-{}.json", event.seq, event.rule);
+    std::fs::write(dir.join(name), out)
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
@@ -665,6 +984,26 @@ fn worker_loop(inner: &Arc<Inner>) {
                 store_repairs: result.recovery.store_repairs,
             },
         });
+        // Continuous profiler: fold the job's phase costs into the
+        // current window (engine × phase wall self-time, plus simulated
+        // counters when the job was profiled). Off by default.
+        {
+            let mut prof = inner.contprof.lock().expect("contprof lock");
+            if let Some(prof) = prof.as_mut() {
+                let engine = spec.engine.name();
+                let compile_ns = (result.compile_s.max(0.0) * 1e9) as u64;
+                let exec_ns = (result.exec_s.max(0.0) * 1e9) as u64;
+                let (instructions, cycles) = result
+                    .counters
+                    .map_or((0, 0), |c| (c.instructions, c.cycles));
+                if compile_ns > 0 {
+                    prof.record(done_ns, engine, "compile", compile_ns, 0, 0);
+                }
+                if exec_ns > 0 || instructions > 0 {
+                    prof.record(done_ns, engine, "exec", exec_ns, instructions, cycles);
+                }
+            }
+        }
         {
             // Insert and decrement under the results lock: waiters check
             // `outstanding` while holding it, so publishing both under
@@ -674,6 +1013,10 @@ fn worker_loop(inner: &Arc<Inner>) {
             inner.outstanding.fetch_sub(1, Ordering::SeqCst);
         }
         inner.done_cv.notify_all();
+        // Evaluate alert rules against any new telemetry samples (no-op
+        // when disarmed). After the result is published, so a firing
+        // alert's postmortem sees the job that tripped it.
+        pump_alerts(inner);
     }
 }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use crate::job::{JobSpec, TraceCtx};
 use crate::proto::{Request, Response};
 use crate::scheduler::{HealthReport, Scheduler, SvcStats, SvcStatsExt};
-use crate::telemetry::{SeriesReport, TraceReport};
+use crate::telemetry::{AlertReport, ProfileReport, SeriesReport, TraceReport};
 use crate::wire::{read_frame, write_frame};
 use crate::JobResult;
 
@@ -129,8 +129,10 @@ fn handle_conn(
             Ok(Request::Stats) => Response::Stats(sched.stats()),
             Ok(Request::StatsExt) => Response::StatsExt(Box::new(sched.stats_ext())),
             Ok(Request::Health) => Response::Health(sched.health()),
-            Ok(Request::Series) => Response::Series(sched.series()),
+            Ok(Request::Series(since)) => Response::Series(sched.series_since(since)),
             Ok(Request::TraceDump) => Response::TraceDump(sched.trace_dump()),
+            Ok(Request::ProfileDump) => Response::ProfileDump(sched.profile_dump()),
+            Ok(Request::AlertLog) => Response::AlertLog(sched.alert_log()),
             Ok(Request::Shutdown) => {
                 sched.wait_idle();
                 stop.store(true, Ordering::SeqCst);
@@ -285,8 +287,48 @@ impl Client {
     ///
     /// I/O or protocol errors; pre-v7 servers answer `Err`.
     pub fn series(&mut self) -> io::Result<SeriesReport> {
-        match self.request(&Request::Series)? {
+        self.series_since(None)
+    }
+
+    /// Fetches the sample window after the `since` cursor (protocol
+    /// v8): only points with a greater seq come back. `None` fetches
+    /// the whole window and encodes exactly like a v7 request, so it
+    /// also works against v7 servers (which ignore no cursor — a
+    /// cursored request to a v7 server fails to decode there).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v7 servers answer `Err`.
+    pub fn series_since(&mut self, since: Option<u64>) -> io::Result<SeriesReport> {
+        match self.request(&Request::Series(since))? {
             Response::Series(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the continuous profiler's retained windows (protocol
+    /// v8). `window_ns == 0` means the profiler is off.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v8 servers answer `Err`.
+    pub fn profile_dump(&mut self) -> io::Result<ProfileReport> {
+        match self.request(&Request::ProfileDump)? {
+            Response::ProfileDump(p) => Ok(p),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the alert engine's firing set and transition log
+    /// (protocol v8), pumping pending observations through the rules
+    /// server-side first.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; pre-v8 servers answer `Err`.
+    pub fn alert_log(&mut self) -> io::Result<AlertReport> {
+        match self.request(&Request::AlertLog)? {
+            Response::AlertLog(a) => Ok(a),
             other => Err(unexpected(&other)),
         }
     }

@@ -185,6 +185,37 @@ pub struct SeriesReport {
     pub points: Vec<SeriesPoint>,
 }
 
+/// The protocol v8 `ProfileDump` reply: the continuous profiler's
+/// retained windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Server trace clock at reply time ([`obs::trace::now_ns`]).
+    pub server_now_ns: u64,
+    /// Configured window span, ns; 0 when the profiler is off (and
+    /// `windows` is empty).
+    pub window_ns: u64,
+    /// Retained windows, oldest first (the sealed ring plus the
+    /// in-progress window).
+    pub windows: Vec<obs::contprof::ProfileWindow>,
+}
+
+/// The protocol v8 `AlertLog` reply: the alert engine's current firing
+/// set and recent transition events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlertReport {
+    /// Server trace clock at reply time ([`obs::trace::now_ns`]).
+    pub server_now_ns: u64,
+    /// Whether an alert engine is armed (`--alerts` was given). When
+    /// false both lists are empty — distinguishable from "armed and
+    /// healthy".
+    pub armed: bool,
+    /// Currently firing alerts.
+    pub firing: Vec<obs::alert::FiringAlert>,
+    /// Recent pending/firing/resolved transitions, oldest first
+    /// (bounded log).
+    pub events: Vec<obs::alert::AlertEvent>,
+}
+
 /// Maps a generic sampler point laid out by [`series_spec`] into
 /// service terms.
 pub fn svc_point(p: &series::SeriesPoint) -> SeriesPoint {
@@ -216,7 +247,7 @@ pub fn svc_point(p: &series::SeriesPoint) -> SeriesPoint {
         failed: p.counters.get(2).copied().unwrap_or(0),
         queue_depth: p.gauges.first().copied().unwrap_or(0),
         busy_workers: p.gauges.get(1).copied().unwrap_or(0),
-        lat: p.hists.first().copied().unwrap_or_default(),
+        lat: p.hists.first().cloned().unwrap_or_default(),
         engines,
         breakers,
     }
@@ -423,6 +454,7 @@ mod tests {
                 sum_ns: 4_000,
                 p50_ns: 900,
                 p99_ns: 1_800,
+                buckets: vec![(9, 4)],
             }],
         };
         generic.counters[0] = 5; // completed
@@ -440,6 +472,7 @@ mod tests {
         assert_eq!(p.engines, vec![(5u8, 5u64)], "zero-delta engines omitted");
         assert_eq!(p.breakers, vec![(1u8, 1u8)], "closed breakers omitted");
         assert_eq!(p.lat.count, 4);
+        assert_eq!(p.lat.buckets, vec![(9, 4)], "bucket deltas pass through");
         assert!((p.qps() - 10.0).abs() < 1e-9, "5 jobs / 0.5s");
     }
 

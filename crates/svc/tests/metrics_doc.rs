@@ -1,0 +1,156 @@
+//! Keeps `docs/METRICS.md` honest: runs a representative workload —
+//! warm store, JIT and interpreter engines, an armed fault plan — then
+//! walks the process-wide metrics registry and asserts every
+//! registered name matches a documented row of the right kind. A
+//! metric added without a METRICS.md row fails here.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use engines::EngineKind;
+use obs::metrics::MetricValue;
+use svc::job::{JobMode, JobSpec, Scale};
+use svc::scheduler::{Config, Scheduler};
+use svc::telemetry::TelemetryConfig;
+use wacc::OptLevel;
+
+const DOC: &str = include_str!("../../../docs/METRICS.md");
+
+/// `(name pattern, kind)` rows from every table in the doc. Patterns
+/// may end in a `<placeholder>` segment, which matches any instance
+/// sharing the prefix before the `<`.
+fn doc_rows() -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for line in DOC.lines() {
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 5 {
+            continue;
+        }
+        let name = cells[1].trim_matches('`');
+        let kind = cells[2];
+        if name.is_empty() || name == "Name" || name.starts_with('-') {
+            continue;
+        }
+        assert!(
+            matches!(kind, "counter" | "gauge" | "histogram"),
+            "METRICS.md row {name:?} has unknown kind {kind:?}"
+        );
+        rows.push((name.to_string(), kind.to_string()));
+    }
+    assert!(
+        rows.len() >= 30,
+        "METRICS.md tables look truncated ({} rows)",
+        rows.len()
+    );
+    rows
+}
+
+fn pattern_matches(pattern: &str, name: &str) -> bool {
+    match pattern.find('<') {
+        Some(i) => name.len() > i && name.starts_with(&pattern[..i]),
+        None => pattern == name,
+    }
+}
+
+fn kind_of(v: &MetricValue) -> &'static str {
+    match v {
+        MetricValue::Counter(_) => "counter",
+        MetricValue::Gauge(_) => "gauge",
+        MetricValue::Histogram(_) => "histogram",
+    }
+}
+
+#[test]
+fn every_registered_metric_is_documented() {
+    let rows = doc_rows();
+    // The workload: warm jobs through a real store on a JIT engine
+    // (store puts/hits, engine + jit histograms) and the interpreter,
+    // under an always-firing delay fault (fault.injected.*). The
+    // registry is process-global, so this is the file's only #[test]
+    // that runs jobs.
+    let dir = std::env::temp_dir().join(format!("wabench-metrics-doc-{}", std::process::id()));
+    let plan = fault::FaultPlan::parse("seed=7,delay=1.0:1ms").expect("fault plan");
+    let sched = Scheduler::start(Config {
+        workers: 2,
+        store_dir: Some(dir.join("store")),
+        store_cap_bytes: 64 << 20,
+        faults: Some(Arc::new(plan)),
+        telemetry: TelemetryConfig {
+            sample_interval: Some(Duration::from_millis(20)),
+            ..TelemetryConfig::default()
+        },
+        ..Config::default()
+    })
+    .expect("start scheduler");
+    let spec = |engine: EngineKind| JobSpec {
+        benchmark: "crc32".to_string(),
+        engine,
+        level: OptLevel::O2,
+        scale: Scale::Test,
+        mode: JobMode::Exec,
+        warm: true,
+    };
+    for engine in [EngineKind::Wasmtime, EngineKind::Wasm3, EngineKind::Wasmtime] {
+        let res = sched.wait(sched.submit(spec(engine)));
+        assert!(res.ok(), "workload job failed: {:?}", res.status);
+    }
+
+    // The workload must have actually exercised the registry — an
+    // empty snapshot would pass the documentation check vacuously.
+    let snap = obs::metrics::snapshot();
+    for sentinel in [
+        "fault.injected.delay",
+        "svc.jobs.completed",
+        "svc.store.put",
+        "svc.queue.depth",
+        "svc.job.wall",
+    ] {
+        assert!(
+            snap.iter().any(|(n, _)| n == sentinel),
+            "workload did not register {sentinel} — the honesty check has no teeth"
+        );
+    }
+    assert!(
+        snap.iter().any(|(n, _)| n.starts_with("engine.compile.")),
+        "workload did not register any engine.compile.<engine> histogram"
+    );
+
+    let mut undocumented = Vec::new();
+    let mut wrong_kind = Vec::new();
+    for (name, value) in snap {
+        if name.starts_with("test.") {
+            continue;
+        }
+        match rows.iter().find(|(p, _)| pattern_matches(p, &name)) {
+            None => undocumented.push(name),
+            Some((pattern, kind)) => {
+                if kind != kind_of(&value) {
+                    wrong_kind.push(format!(
+                        "{name} is a {} but METRICS.md row {pattern:?} says {kind}",
+                        kind_of(&value)
+                    ));
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        undocumented.is_empty(),
+        "metrics registered at runtime but missing from docs/METRICS.md: {undocumented:?}"
+    );
+    assert!(wrong_kind.is_empty(), "{}", wrong_kind.join("\n"));
+}
+
+#[test]
+fn workload_independent_pattern_rules() {
+    // Placeholder rows match instances, not their own literal text or
+    // unrelated names; literal rows match exactly.
+    assert!(pattern_matches("svc.jobs.engine.<code>", "svc.jobs.engine.3"));
+    assert!(!pattern_matches("svc.jobs.engine.<code>", "svc.jobs.engine."));
+    assert!(!pattern_matches("svc.jobs.engine.<code>", "svc.jobs.ok"));
+    assert!(pattern_matches("svc.job.wall", "svc.job.wall"));
+    assert!(!pattern_matches("svc.job.wall", "svc.job.wall.extra"));
+}

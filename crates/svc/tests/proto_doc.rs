@@ -8,7 +8,7 @@ use obs::metrics::HistogramSnapshot;
 use svc::job::{JobSpec, JobStatus, Recovery, Scale, TraceCtx, TraceDigest};
 use svc::proto::{Request, Response, PROTO_VERSION};
 use svc::scheduler::{HealthReport, SvcStats, SvcStatsExt};
-use svc::telemetry::{SeriesReport, TraceReport};
+use svc::telemetry::{AlertReport, ProfileReport, SeriesReport, TraceReport};
 use svc::JobResult;
 
 const DOC: &str = include_str!("../../../docs/PROTOCOL.md");
@@ -87,8 +87,10 @@ fn documented_request_tags_match_the_code() {
         (Request::Shutdown.encode()[0], "Shutdown"),
         (Request::StatsExt.encode()[0], "StatsExt"),
         (Request::Health.encode()[0], "Health"),
-        (Request::Series.encode()[0], "Series"),
+        (Request::Series(None).encode()[0], "Series"),
         (Request::TraceDump.encode()[0], "TraceDump"),
+        (Request::ProfileDump.encode()[0], "ProfileDump"),
+        (Request::AlertLog.encode()[0], "AlertLog"),
     ];
     let documented = doc_table("Requests");
     assert_eq!(
@@ -118,6 +120,8 @@ fn documented_response_tags_match_the_code() {
         (Response::Health(HealthReport::default()).encode()[0], "Health"),
         (Response::Series(SeriesReport::default()).encode()[0], "Series"),
         (Response::TraceDump(TraceReport::default()).encode()[0], "TraceDump"),
+        (Response::ProfileDump(ProfileReport::default()).encode()[0], "ProfileDump"),
+        (Response::AlertLog(AlertReport::default()).encode()[0], "AlertLog"),
     ];
     let documented = doc_table("Responses");
     assert_eq!(
@@ -216,4 +220,45 @@ fn documented_v7_trailers_match_the_code() {
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
         .collect();
     assert_eq!(vals, vec![0xabc, 7, 1, 2, 3]);
+}
+
+/// The v8 additions must be documented and match the code: the Series
+/// since-cursor (an optional trailing u64 on the request), the sparse
+/// latency-bucket trailer on each Series reply point, and the
+/// ProfileDump / AlertLog bodies.
+#[test]
+fn documented_v8_additions_match_the_code() {
+    for field in [
+        "since",
+        "window_ns",
+        "self_ns",
+        "instructions",
+        "cycles",
+        "armed",
+        "since_ns",
+        "threshold",
+        "transition",
+    ] {
+        assert!(
+            DOC.contains(field),
+            "PROTOCOL.md must document the v8 {field} field"
+        );
+    }
+    // The Series cursor is one trailing u64, omitted when None.
+    let bare = Request::Series(None).encode();
+    let cursored = Request::Series(Some(0x1122)).encode();
+    assert_eq!(cursored.len(), bare.len() + 8);
+    let trailer = &cursored[cursored.len() - 8..];
+    assert_eq!(u64::from_le_bytes(trailer.try_into().unwrap()), 0x1122);
+    // Both v8 replies carry the version head right after the tag.
+    for resp in [
+        Response::ProfileDump(ProfileReport::default()),
+        Response::AlertLog(AlertReport::default()),
+    ] {
+        let payload = resp.encode();
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+    }
 }

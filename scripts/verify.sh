@@ -28,6 +28,12 @@
 #      that wabench-trace-check accepts, and wabench-top --once reports
 #      a window (completed count, nonzero QPS, ordered quantiles) that
 #      agrees with the run's BENCH artifact
+#  13. alert & postmortem smoke: a server with the alert engine, the
+#      continuous profiler, and a deterministic 20ms delay fault armed
+#      must fire the p99 rule, write a flight-recorder bundle that
+#      wabench-doctor diagnoses (naming the delay site), and list
+#      profile windows; a fault-free control run under the same engine
+#      fires nothing and writes no bundle
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -202,5 +208,82 @@ awk -F= -v bench="$bench_completed" '
             print "telemetry smoke FAILED: quantiles p50=" p50 " p99=" p99; exit 1
         }
     }' "$trace_tmp/top.out"
+
+step "alert & postmortem smoke (SLO rules -> flight recorder -> wabench-doctor)"
+doctor=./target/release/wabench-doctor
+served=./target/release/wabench-served
+sock="$trace_tmp/alert.sock"
+pm_dir="$trace_tmp/postmortems"
+# Every job is delayed 20ms (rate 1.0, seeded), far over the 5ms p99
+# ceiling, so the rule fires deterministically.
+"$served" serve --socket "$sock" --workers 2 --sample-ms 25 --profile-ms 50 \
+    --faults 'seed=7,delay=1.0:20ms' --alerts 'p99=5ms:1s' \
+    --postmortem-dir "$pm_dir" > "$trace_tmp/served-alert.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+if ! [ -S "$sock" ]; then
+    echo "alert smoke FAILED: wabench-served socket never appeared" >&2
+    cat "$trace_tmp/served-alert.log" >&2
+    exit 1
+fi
+"$loadgen" run --seed 13 --mix fig1 --qps 100 --jobs 10 --phases cold \
+    --socket "$sock" --out "$trace_tmp/BENCH_alert.json" > /dev/null
+sleep 0.2 # let the sampler cover the delayed completions
+"$served" alerts --socket "$sock" | tee "$trace_tmp/alerts.out"
+"$prof" windows --socket "$sock" | tee "$trace_tmp/windows.out"
+"$served" shutdown --socket "$sock" > /dev/null
+wait "$served_pid" 2> /dev/null || true
+# The p99 rule must have fired (live now, or as a logged transition)...
+grep -qE 'firing p99:' "$trace_tmp/alerts.out" || {
+    echo "alert smoke FAILED: p99 rule never fired under a 20ms delay fault" >&2
+    exit 1
+}
+# ...the continuous profiler must have sealed at least one window...
+grep -q '^window #' "$trace_tmp/windows.out" || {
+    echo "alert smoke FAILED: no continuous-profile windows buffered" >&2
+    exit 1
+}
+# ...and the flight recorder must have written a versioned bundle.
+bundle=$(ls "$pm_dir"/postmortem-*-p99.json 2> /dev/null | head -1)
+if [ -z "$bundle" ]; then
+    echo "alert smoke FAILED: no postmortem bundle in $pm_dir" >&2
+    exit 1
+fi
+head -c 32 "$bundle" | grep -q '^{"schema":"wabench-postmortem"'
+# The doctor must diagnose the bundle (exit 1 = findings) and name the
+# injected delay site as a root-cause candidate.
+rc=0
+"$doctor" --bundle "$bundle" | tee "$trace_tmp/doctor.out" || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "alert smoke FAILED: doctor exit $rc on a bundle with findings" >&2
+    exit 1
+fi
+grep -q 'site=delay' "$trace_tmp/doctor.out" || {
+    echo "alert smoke FAILED: doctor did not name the injected delay site" >&2
+    exit 1
+}
+# Control: the same engine with a generous ceiling and no faults must
+# stay quiet — no firing rules, no transitions, no bundle written.
+sock="$trace_tmp/alert-clean.sock"
+pm_clean="$trace_tmp/postmortems-clean"
+"$served" serve --socket "$sock" --workers 2 --sample-ms 25 \
+    --alerts 'p99=250ms:1s' --postmortem-dir "$pm_clean" \
+    > "$trace_tmp/served-clean.log" 2>&1 &
+served_pid=$!
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+"$loadgen" run --seed 13 --mix fig1 --qps 100 --jobs 10 --phases cold \
+    --socket "$sock" --out "$trace_tmp/BENCH_clean.json" > /dev/null
+sleep 0.2
+"$served" alerts --socket "$sock" | tee "$trace_tmp/alerts-clean.out"
+"$served" shutdown --socket "$sock" > /dev/null
+wait "$served_pid" 2> /dev/null || true
+grep -q 'armed (0 firing, 0 logged' "$trace_tmp/alerts-clean.out" || {
+    echo "alert smoke FAILED: rules fired on a fault-free run" >&2
+    exit 1
+}
+if [ -d "$pm_clean" ] && [ -n "$(ls -A "$pm_clean" 2> /dev/null)" ]; then
+    echo "alert smoke FAILED: postmortem written on a fault-free run" >&2
+    exit 1
+fi
 
 step "verify OK"
