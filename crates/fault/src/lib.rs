@@ -27,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Number of injection sites (length of [`Site::ALL`]).
-const N_SITES: usize = 6;
+const N_SITES: usize = 7;
 
 /// An injection site: one place in the stack where a fault can fire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -44,6 +44,12 @@ pub enum Site {
     WorkerPanic,
     /// The worker sleeps before running the job (scheduling delay).
     JobDelay,
+    /// The whole process aborts when a worker picks up a job — a
+    /// backend-kill switch for multi-node failover chaos. Unlike
+    /// [`Site::WorkerPanic`] (caught and retried in-process), a crash
+    /// takes the daemon down hard; only a fronting router can absorb
+    /// it.
+    Crash,
 }
 
 impl Site {
@@ -55,6 +61,7 @@ impl Site {
         Site::CompileFail,
         Site::WorkerPanic,
         Site::JobDelay,
+        Site::Crash,
     ];
 
     /// Stable wire byte (also the internal array index).
@@ -66,6 +73,7 @@ impl Site {
             Site::CompileFail => 3,
             Site::WorkerPanic => 4,
             Site::JobDelay => 5,
+            Site::Crash => 6,
         }
     }
 
@@ -83,6 +91,7 @@ impl Site {
             Site::CompileFail => "compile",
             Site::WorkerPanic => "panic",
             Site::JobDelay => "delay",
+            Site::Crash => "crash",
         }
     }
 
@@ -95,6 +104,7 @@ impl Site {
             Site::CompileFail => "fault.injected.compile",
             Site::WorkerPanic => "fault.injected.panic",
             Site::JobDelay => "fault.injected.delay",
+            Site::Crash => "fault.injected.crash",
         }
     }
 

@@ -62,6 +62,10 @@ pub struct BenchTotals {
     pub failed: u64,
     /// Transport-level errors talking to the service (0 in-process).
     pub protocol_errors: u64,
+    /// Submits the target refused with a protocol v9 `Busy` reply
+    /// (router admission control). Refused work, not errors: the run
+    /// keeps going and the artifact records how much was turned away.
+    pub shed: u64,
     /// Wall seconds from first intended arrival to last collection.
     pub wall_s: f64,
     /// Sustained throughput: completed / wall_s.
@@ -113,6 +117,22 @@ pub struct BenchSeriesPoint {
     pub p99_ns: u64,
 }
 
+/// Per-shard attribution when the run's target was a `wabench-router`
+/// socket, echoed from the protocol v9 `Backends` reply (optional:
+/// plain `wabench-served` targets have no routing table and the
+/// section stays absent).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchBackend {
+    /// Shard name from the router config.
+    pub name: String,
+    /// Whether the shard's last health probe succeeded.
+    pub healthy: bool,
+    /// Jobs the router forwarded to this shard.
+    pub forwarded: u64,
+    /// Jobs diverted off this shard to a ring replica.
+    pub failovers: u64,
+}
+
 /// One complete trajectory point.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchArtifact {
@@ -126,6 +146,9 @@ pub struct BenchArtifact {
     /// omitted from the JSON — when the target ran without a sampler,
     /// so v1 artifacts from older writers parse unchanged).
     pub series: Vec<BenchSeriesPoint>,
+    /// Per-shard routing attribution (empty — and omitted from the
+    /// JSON — when the target was not a router).
+    pub backends: Vec<BenchBackend>,
 }
 
 impl BenchArtifact {
@@ -149,13 +172,14 @@ impl BenchArtifact {
         );
         let _ = writeln!(
             s,
-            "\"totals\":{{\"submitted\":{},\"completed\":{},\"ok\":{},\"degraded\":{},\"failed\":{},\"protocol_errors\":{},\"wall_s\":{},\"qps\":{},\"peak_queue_depth\":{}}},",
+            "\"totals\":{{\"submitted\":{},\"completed\":{},\"ok\":{},\"degraded\":{},\"failed\":{},\"protocol_errors\":{},\"shed\":{},\"wall_s\":{},\"qps\":{},\"peak_queue_depth\":{}}},",
             t.submitted,
             t.completed,
             t.ok,
             t.degraded,
             t.failed,
             t.protocol_errors,
+            t.shed,
             t.wall_s,
             t.qps,
             t.peak_queue_depth,
@@ -203,6 +227,23 @@ impl BenchArtifact {
             }
             s.push(']');
         }
+        if !self.backends.is_empty() {
+            s.push_str(",\n\"backends\":[");
+            for (i, b) in self.backends.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(",\n");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"healthy\":{},\"forwarded\":{},\"failovers\":{}}}",
+                    json::escape(&b.name),
+                    b.healthy,
+                    b.forwarded,
+                    b.failovers,
+                );
+            }
+            s.push(']');
+        }
         s.push_str("}\n");
         s
     }
@@ -244,6 +285,19 @@ impl BenchArtifact {
                 max_ns: num(cv, "max_ns")? as u64,
             });
         }
+        // `backends` is optional: absent (non-router targets, older
+        // writers) means empty.
+        let mut backends = Vec::new();
+        if let Some(backends_v) = v.get("backends").and_then(Value::as_arr) {
+            for bv in backends_v {
+                backends.push(BenchBackend {
+                    name: str_field(bv, "name")?,
+                    healthy: matches!(bv.get("healthy"), Some(Value::Bool(true))),
+                    forwarded: num(bv, "forwarded")? as u64,
+                    failovers: num(bv, "failovers")? as u64,
+                });
+            }
+        }
         // `series` is optional: absent (pre-telemetry writers, sampler
         // off) means empty.
         let mut series = Vec::new();
@@ -280,12 +334,15 @@ impl BenchArtifact {
                 degraded: num(t, "degraded")? as u64,
                 failed: num(t, "failed")? as u64,
                 protocol_errors: num(t, "protocol_errors")? as u64,
+                // Absent in artifacts written before routed serving.
+                shed: t.get("shed").and_then(Value::as_num).unwrap_or(0.0) as u64,
                 wall_s: num(t, "wall_s")?,
                 qps: num(t, "qps")?,
                 peak_queue_depth: num(t, "peak_queue_depth")? as u64,
             },
             cells,
             series,
+            backends,
         })
     }
 
@@ -350,6 +407,7 @@ mod tests {
                 degraded: 1,
                 failed: 1,
                 protocol_errors: 0,
+                shed: 0,
                 wall_s: 0.4125,
                 qps: 193.9,
                 peak_queue_depth: 9,
@@ -375,6 +433,7 @@ mod tests {
                 },
             ],
             series: Vec::new(),
+            backends: Vec::new(),
         }
     }
 
@@ -416,6 +475,41 @@ mod tests {
         let back = BenchArtifact::parse(&a.to_json()).expect("parses");
         assert_eq!(back, a);
         assert_eq!(back.series.len(), 2);
+    }
+
+    #[test]
+    fn backends_section_round_trips_and_is_omitted_when_absent() {
+        let mut a = sample();
+        assert!(
+            !a.to_json().contains("\"backends\""),
+            "non-router runs must not grow a backends section"
+        );
+        a.totals.shed = 3;
+        a.backends = vec![
+            BenchBackend {
+                name: "shard-0".into(),
+                healthy: true,
+                forwarded: 50,
+                failovers: 0,
+            },
+            BenchBackend {
+                name: "shard-1".into(),
+                healthy: false,
+                forwarded: 27,
+                failovers: 3,
+            },
+        ];
+        let back = BenchArtifact::parse(&a.to_json()).expect("parses");
+        assert_eq!(back, a);
+        assert_eq!(back.totals.shed, 3);
+        assert!(!back.backends[1].healthy);
+    }
+
+    #[test]
+    fn pre_router_totals_without_shed_still_parse() {
+        let doc = sample().to_json().replace("\"shed\":0,", "");
+        let back = BenchArtifact::parse(&doc).expect("old artifact parses");
+        assert_eq!(back.totals.shed, 0);
     }
 
     #[test]

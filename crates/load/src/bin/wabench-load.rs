@@ -253,9 +253,18 @@ fn cmd_run(o: &Opts) {
         a.config.seed, a.config.mix, a.config.scale, a.config.qps, t.qps, t.wall_s
     );
     println!(
-        "jobs: {} submitted, {} completed ({} ok, {} degraded, {} failed), {} protocol errors, peak queue {}",
-        t.submitted, t.completed, t.ok, t.degraded, t.failed, t.protocol_errors, t.peak_queue_depth
+        "jobs: {} submitted, {} completed ({} ok, {} degraded, {} failed), {} protocol errors, {} shed, peak queue {}",
+        t.submitted, t.completed, t.ok, t.degraded, t.failed, t.protocol_errors, t.shed, t.peak_queue_depth
     );
+    for b in &a.backends {
+        println!(
+            "shard {} [{}]: {} forwarded, {} failovers",
+            b.name,
+            if b.healthy { "healthy" } else { "DOWN" },
+            b.forwarded,
+            b.failovers,
+        );
+    }
     println!("latency: {}", report.latency.summary());
     for cell in &a.cells {
         println!(

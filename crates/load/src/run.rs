@@ -21,10 +21,13 @@ use obs::stitch::ClientSpan;
 use obs::trace::Trace;
 use svc::job::{JobResult, Outcome, Scale, TraceCtx};
 use svc::scheduler::{Config, HealthReport, Scheduler};
-use svc::server::Client;
+use svc::proto::BackendsReport;
+use svc::server::{Client, Submission};
 use svc::telemetry::{SeriesReport, TraceReport};
 
-use crate::bench::{BenchArtifact, BenchCell, BenchConfig, BenchSeriesPoint, BenchTotals};
+use crate::bench::{
+    BenchArtifact, BenchBackend, BenchCell, BenchConfig, BenchSeriesPoint, BenchTotals,
+};
 use crate::mix::Mix;
 use crate::{arrivals, scale_name, traces};
 
@@ -126,10 +129,28 @@ enum Submitter {
 }
 
 impl Submitter {
-    fn submit_traced(&mut self, spec: svc::job::JobSpec, ctx: TraceCtx) -> Result<u64, String> {
+    /// Submits, distinguishing a router's `Busy` admission refusal
+    /// (protocol v9) from a transport failure. In-process targets have
+    /// no admission layer and always accept.
+    fn submit_traced(
+        &mut self,
+        spec: svc::job::JobSpec,
+        ctx: TraceCtx,
+    ) -> Result<Submission, String> {
         match self {
-            Submitter::InProc(s) => Ok(s.submit_traced(spec, ctx)),
-            Submitter::Socket(c) => c.submit_traced(spec, ctx).map_err(|e| e.to_string()),
+            Submitter::InProc(s) => Ok(Submission::Accepted(s.submit_traced(spec, ctx))),
+            Submitter::Socket(c) => c.try_submit_traced(spec, ctx).map_err(|e| e.to_string()),
+        }
+    }
+
+    /// The router's routing table, when the target is one. Plain
+    /// `wabench-served` shards refuse `Backends` with an `Err` reply
+    /// and in-process targets have no routing tier — both yield `None`
+    /// and the artifact's backends section stays absent.
+    fn backends(&mut self) -> Option<BackendsReport> {
+        match self {
+            Submitter::InProc(_) => None,
+            Submitter::Socket(c) => c.backends().ok(),
         }
     }
 
@@ -163,6 +184,7 @@ struct Tallies {
     degraded: AtomicU64,
     failed: AtomicU64,
     protocol_errors: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl Tallies {
@@ -309,7 +331,7 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
                 origin_ns: begin_ns,
             };
             match submitter.submit_traced(spec, ctx) {
-                Ok(id) => {
+                Ok(Submission::Accepted(id)) => {
                     submitted += 1;
                     // Collector gone ⇒ nothing will record this job; the
                     // tally below still counts the submission.
@@ -320,6 +342,12 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
                         trace_id,
                         begin_ns,
                     });
+                }
+                // A router refusing admission is refused work, not a
+                // broken wire: tallied separately, the loop keeps its
+                // arrival schedule (open-loop — no retry storm).
+                Ok(Submission::Busy { .. }) => {
+                    tallies.shed.fetch_add(1, Ordering::Relaxed);
                 }
                 Err(_) => {
                     tallies.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -356,6 +384,18 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
                 .collect()
         },
     );
+    // Routed runs also capture per-shard attribution (None elsewhere).
+    let backends = submitter.backends().map_or_else(Vec::new, |r| {
+        r.backends
+            .iter()
+            .map(|b| BenchBackend {
+                name: b.name.clone(),
+                healthy: b.healthy,
+                forwarded: b.forwarded,
+                failovers: b.failovers,
+            })
+            .collect()
+    });
     let client_spans = std::mem::take(&mut *spans.lock().expect("span log"));
     // Stitch while the target is still up: bracket the dump fetch on
     // the client clock for the round-trip offset estimate.
@@ -426,6 +466,7 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
             degraded: tallies.degraded.load(Ordering::Relaxed),
             failed: tallies.failed.load(Ordering::Relaxed),
             protocol_errors: tallies.protocol_errors.load(Ordering::Relaxed),
+            shed: tallies.shed.load(Ordering::Relaxed),
             wall_s,
             qps: if wall_s > 0.0 {
                 completed as f64 / wall_s
@@ -436,6 +477,7 @@ pub fn execute(cfg: &RunConfig) -> Result<RunReport, String> {
         },
         cells,
         series,
+        backends,
     };
     Ok(RunReport {
         artifact,

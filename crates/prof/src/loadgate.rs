@@ -162,6 +162,7 @@ mod tests {
                 degraded: 0,
                 failed: 0,
                 protocol_errors: 0,
+                shed: 0,
                 wall_s: 0.4,
                 qps: 200.0,
                 peak_queue_depth: 5,
@@ -187,6 +188,7 @@ mod tests {
                 },
             ],
             series: Vec::new(),
+            backends: Vec::new(),
         }
     }
 

@@ -1,0 +1,169 @@
+//! Consistent-hash ring over the shard fleet.
+//!
+//! Jobs are sharded on the store's content-address key (benchmark ×
+//! opt level × engine), so a module's compiled artifacts stay hot in
+//! **one** shard's store instead of being recompiled everywhere. The
+//! classic vnode construction keeps that placement stable under fleet
+//! changes: each backend owns ~[`VNODES`] pseudo-random points on a
+//! `u64` ring, a key routes to the first point at or after its hash,
+//! and removing one of N backends remaps only ~1/N of the keyspace
+//! (the arcs the dead backend owned) instead of reshuffling everything
+//! — which is exactly what keeps the *other* shards' artifact stores
+//! warm through a failover.
+
+use svc::hash::fnv64;
+
+/// Ring point hash: FNV-1a, then a strong bit-mix finalizer. Raw FNV of
+/// short, near-identical strings (`shard-4#17`) clusters badly enough
+/// that one backend can own half or double its fair share of the ring;
+/// the mix restores avalanche so per-backend ownership concentrates
+/// around 1/N.
+fn point(bytes: &[u8]) -> u64 {
+    fault::mix64(fnv64(bytes))
+}
+
+/// Virtual nodes per backend. Enough that per-backend load imbalance
+/// stays in the low percents; few enough that building the ring is
+/// trivially cheap.
+pub const VNODES: usize = 100;
+
+/// An immutable consistent-hash ring over backend indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(point, backend index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl Ring {
+    /// Builds the ring from backend labels. Labels (not indices) seed
+    /// the vnode hashes so a fleet described in a different order
+    /// produces the same placement.
+    pub fn new(labels: &[String]) -> Ring {
+        let mut points: Vec<(u64, usize)> = Vec::with_capacity(labels.len() * VNODES);
+        for (idx, label) in labels.iter().enumerate() {
+            for v in 0..VNODES {
+                points.push((point(format!("{label}#{v}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring {
+            points,
+            backends: labels.len(),
+        }
+    }
+
+    /// Backend count the ring was built over.
+    pub fn len(&self) -> usize {
+        self.backends
+    }
+
+    /// Whether the ring has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.backends == 0
+    }
+
+    /// Every backend index in preference order for `key`: the owner of
+    /// the first ring point at or after the key's hash, then each
+    /// *distinct* backend encountered walking the ring — the failover
+    /// replica order.
+    pub fn replicas(&self, key: &[u8]) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.backends);
+        if self.points.is_empty() {
+            return order;
+        }
+        let h = point(key);
+        let start = self.points.partition_point(|(p, _)| *p < h);
+        for i in 0..self.points.len() {
+            let (_, idx) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&idx) {
+                order.push(idx);
+                if order.len() == self.backends {
+                    break;
+                }
+            }
+        }
+        order
+    }
+
+    /// The primary backend for `key` (first replica).
+    pub fn primary(&self, key: &[u8]) -> Option<usize> {
+        self.replicas(key).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("shard-{i}")).collect()
+    }
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("bench-{i}|O2|3").into_bytes()).collect()
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_cover_the_fleet() {
+        let ring = Ring::new(&labels(5));
+        for key in keys(50) {
+            let order = ring.replicas(&key);
+            assert_eq!(order.len(), 5);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5, "replica order must be a permutation");
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let ring_a = Ring::new(&labels(4));
+        // Same labels listed in reverse: placement must not change
+        // (indices differ, the label behind them must not).
+        let mut rev = labels(4);
+        rev.reverse();
+        let ring_b = Ring::new(&rev);
+        for key in keys(100) {
+            let a = ring_a.primary(&key).unwrap();
+            let b = ring_b.primary(&key).unwrap();
+            assert_eq!(labels(4)[a], rev[b], "primary differs under relabeling");
+        }
+    }
+
+    /// The consistent-hashing contract: removing 1 of N backends remaps
+    /// only the keys the dead backend owned — about 1/N of them — and
+    /// every key it did own moves to its *next* replica, so a router
+    /// failing over walks exactly this ring order.
+    #[test]
+    fn removing_one_backend_remaps_about_one_nth_of_keys() {
+        const N: usize = 5;
+        const KEYS: usize = 2000;
+        let full = Ring::new(&labels(N));
+        // Drop the last backend; the survivors keep their labels.
+        let reduced = Ring::new(&labels(N - 1));
+        let mut moved = 0usize;
+        for key in keys(KEYS) {
+            let before = full.primary(&key).unwrap();
+            let after = reduced.primary(&key).unwrap();
+            if before == N - 1 {
+                // Owned by the removed backend: must move, and must
+                // land on its old second choice.
+                moved += 1;
+                assert_eq!(
+                    after,
+                    full.replicas(&key)[1],
+                    "evicted key must fail over to its next replica"
+                );
+            } else {
+                assert_eq!(before, after, "surviving placements must not move");
+            }
+        }
+        let frac = moved as f64 / KEYS as f64;
+        assert!(
+            (0.10..=0.30).contains(&frac),
+            "expected ~1/{N} of keys to move, got {frac:.3}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Keeps `docs/METRICS.md` honest for the routing tier: every counter
+//! the router registers (the [`router::COUNTERS`] list) must have a
+//! documented row, and the list itself must stay in sync with what a
+//! live router actually registers.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use router::{BackendCfg, RouterConfig};
+use svc::scheduler::{Config, Scheduler};
+use svc::server::{serve, Client};
+
+const DOC: &str = include_str!("../../../docs/METRICS.md");
+
+#[test]
+fn every_router_counter_has_a_metrics_doc_row() {
+    for name in router::COUNTERS {
+        assert!(
+            DOC.contains(&format!("`{name}`")),
+            "docs/METRICS.md is missing a row for `{name}`"
+        );
+    }
+}
+
+/// Drive a real router briefly, then assert every `router.*` name in
+/// the live registry is covered by [`router::COUNTERS`] (and therefore
+/// by the doc check above) — a counter added to the code but not the
+/// list fails here.
+#[test]
+fn live_registry_router_counters_are_all_listed() {
+    let dir = std::env::temp_dir().join(format!("wabench-rmetrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+
+    let shard_sock = dir.join("shard.sock");
+    let sched = Arc::new(Scheduler::start(Config { workers: 1, ..Config::default() }).expect("sched"));
+    let shard_path = shard_sock.clone();
+    let shard = std::thread::spawn(move || serve(&shard_path, sched));
+    wait_ready(&shard_sock);
+
+    let rsock = dir.join("router.sock");
+    let cfg = RouterConfig {
+        backends: vec![BackendCfg { name: "shard-0".to_string(), socket: shard_sock.clone() }],
+        watermark: 0, // shed immediately: registers router.shed
+        probe_interval: Duration::from_millis(10),
+        ..RouterConfig::default()
+    };
+    let rpath = rsock.clone();
+    let rhandle = std::thread::spawn(move || router::serve(&rpath, &cfg));
+    wait_ready(&rsock);
+
+    let mut client = Client::connect(&rsock).expect("connect router");
+    let spec = svc::job::JobSpec::exec(
+        "crc32",
+        engines::EngineKind::Wasm3,
+        wacc::OptLevel::O0,
+        svc::job::Scale::Test,
+    );
+    // Shed one submit so the shed counter exists.
+    let _ = client.try_submit_traced(spec, Default::default()).expect("exchange");
+    client.shutdown().expect("router shutdown");
+    rhandle.join().expect("join").expect("router serve");
+    let mut c = Client::connect(&shard_sock).expect("shard alive");
+    c.shutdown().expect("shard shutdown");
+    shard.join().expect("join").expect("shard serve");
+
+    for (name, _) in obs::metrics::counters_with_prefix("router.") {
+        assert!(
+            router::COUNTERS.contains(&name.as_str()),
+            "router registers `{name}` but it is missing from router::COUNTERS \
+             (add it there and to docs/METRICS.md)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn wait_ready(socket: &Path) {
+    for _ in 0..400 {
+        if let Ok(mut c) = Client::connect(socket) {
+            if c.ping().is_ok() {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("server at {} never came up", socket.display());
+}

@@ -264,36 +264,61 @@ fn evidence_from_socket(path: &Path) -> Result<Evidence, String> {
         })
         .collect();
     // v8 extras; older servers answer Err and the sections stay empty.
-    if let Ok(a) = client.alert_log() {
-        ev.firing = a
-            .firing
-            .iter()
-            .map(|f| Firing {
-                rule: f.rule.clone(),
-                value: f.value,
-                threshold: f.threshold,
-                detail: f.detail.clone(),
-            })
-            .collect();
-    }
-    if let Ok(p) = client.profile_dump() {
-        if let Some(w) = p.windows.last() {
-            ev.profile = w.shares();
-            ev.profile.sort_by(|a, b| b.1.total_cmp(&a.1));
+    // A wabench-router target refuses these per-shard requests with a
+    // `router:`-prefixed Err (see PROTOCOL.md): same degradation, but
+    // say so — the diagnosis then covers fleet aggregates only.
+    let mut router_refusals = 0u32;
+    let mut note_refusal = |e: std::io::Error| {
+        if e.to_string().contains("router:") {
+            router_refusals += 1;
         }
+    };
+    match client.alert_log() {
+        Ok(a) => {
+            ev.firing = a
+                .firing
+                .iter()
+                .map(|f| Firing {
+                    rule: f.rule.clone(),
+                    value: f.value,
+                    threshold: f.threshold,
+                    detail: f.detail.clone(),
+                })
+                .collect();
+        }
+        Err(e) => note_refusal(e),
     }
-    if let Ok(t) = client.trace_dump() {
-        ev.exemplars = t
-            .exemplars
-            .iter()
-            .map(|rec| {
-                (
-                    rec.label.clone(),
-                    rec.phases.done_ns.saturating_sub(rec.phases.enqueue_ns),
-                )
-            })
-            .collect();
-        ev.exemplars.sort_by_key(|(_, ns)| Reverse(*ns));
+    match client.profile_dump() {
+        Ok(p) => {
+            if let Some(w) = p.windows.last() {
+                ev.profile = w.shares();
+                ev.profile.sort_by(|a, b| b.1.total_cmp(&a.1));
+            }
+        }
+        Err(e) => note_refusal(e),
+    }
+    match client.trace_dump() {
+        Ok(t) => {
+            ev.exemplars = t
+                .exemplars
+                .iter()
+                .map(|rec| {
+                    (
+                        rec.label.clone(),
+                        rec.phases.done_ns.saturating_sub(rec.phases.enqueue_ns),
+                    )
+                })
+                .collect();
+            ev.exemplars.sort_by_key(|(_, ns)| Reverse(*ns));
+        }
+        Err(e) => note_refusal(e),
+    }
+    if router_refusals > 0 {
+        obs::warn!(
+            "target is a router: {router_refusals} per-shard request(s) \
+             (alerts/profile/trace) were refused; diagnosing fleet aggregates only — \
+             point --socket at a shard for full detail (see docs/DEPLOYMENT.md)"
+        );
     }
     Ok(ev)
 }

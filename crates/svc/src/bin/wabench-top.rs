@@ -22,6 +22,11 @@
 //! The server must be sampling (`wabench-served serve --sample-ms`,
 //! on by default) for the window to be nonempty; against a sampler-less
 //! server `wabench-top` reports an empty window rather than failing.
+//! Pointed at a `wabench-router` socket the per-shard requests
+//! (`Series`, `StatsExt`) are refused by the router; `wabench-top`
+//! warns once and shows the fleet aggregates (`Health`) with empty
+//! per-shard columns instead of erroring — watch an individual shard's
+//! socket for full detail (see docs/DEPLOYMENT.md).
 
 use std::path::PathBuf;
 use std::process::exit;
@@ -257,12 +262,39 @@ fn fetch<T>(what: &str, r: std::io::Result<T>) -> T {
     })
 }
 
+/// Like [`fetch`], but a `wabench-router` target's documented per-shard
+/// refusal (an `Err` reply prefixed `router:`, see PROTOCOL.md) degrades
+/// to a default value instead of exiting — pointing `wabench-top` at a
+/// router shows fleet aggregates (`Health`, `Stats`) with empty
+/// per-shard columns rather than dying. Warns once per refused request
+/// kind; genuine transport errors still exit 1.
+fn fetch_routed<T: Default>(what: &str, r: std::io::Result<T>, warned: &mut bool) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) if e.to_string().contains("router:") => {
+            if !*warned {
+                obs::warn!(
+                    "{what} is per-shard and the target is a router; showing fleet \
+                     aggregates only (query a shard socket for {what}, see docs/DEPLOYMENT.md)"
+                );
+                *warned = true;
+            }
+            T::default()
+        }
+        Err(e) => {
+            obs::error!("{what}: {e}");
+            exit(1);
+        }
+    }
+}
+
 /// One fetch, machine-readable, aggregated over the buffered window.
 fn cmd_once(o: &Opts) {
     let mut client = connect(&o.socket);
-    let series = fetch("series", client.series());
+    let mut warned = (false, false);
+    let series = fetch_routed("series", client.series(), &mut warned.0);
     let health = fetch("health", client.health());
-    let ext = fetch("stats-ext", client.stats_ext());
+    let ext = fetch_routed("stats-ext", client.stats_ext(), &mut warned.1);
     let agg = WindowAgg::over(&series.points);
     let last = series.points.last();
     println!("sampling={}", u8::from(!series.points.is_empty()));
@@ -313,13 +345,15 @@ fn cmd_watch(o: &Opts) {
     let mut last_seq: Option<u64> = None;
     let mut last_point: Option<SeriesPoint> = None;
     let mut tick = 0u64;
+    let mut warned = (false, false);
     loop {
         if tick.is_multiple_of(HEADER_EVERY) {
             header();
         }
-        let series: SeriesReport = fetch("series", client.series_since(last_seq));
+        let series: SeriesReport =
+            fetch_routed("series", client.series_since(last_seq), &mut warned.0);
         let health = fetch("health", client.health());
-        let ext = fetch("stats-ext", client.stats_ext());
+        let ext = fetch_routed("stats-ext", client.stats_ext(), &mut warned.1);
         if let Some(p) = series.points.last() {
             last_seq = Some(p.seq);
             last_point = Some(p.clone());

@@ -53,6 +53,8 @@ pub mod exec;
 pub mod hash;
 pub mod job;
 pub mod proto;
+#[cfg(unix)]
+pub mod reactor;
 pub mod scheduler;
 #[cfg(unix)]
 pub mod server;

@@ -69,7 +69,17 @@ use crate::wire::{level_byte, level_from_byte, WireError, WireReader, WireWriter
 ///   continuous profiler's retained windows, and `AlertLog` (request
 ///   tag 11, response tag 12) returns the alert engine's firing set and
 ///   transition log; both replies carry the version head.
-pub const PROTO_VERSION: u16 = 8;
+/// - v9: multi-node serving. `Busy` (response tag 13) is an explicit
+///   admission-control rejection carrying a `u32` retry-after hint in
+///   milliseconds — `wabench-router` sheds load with it when aggregate
+///   shard queue depth crosses its watermark (a single-node
+///   `wabench-served` never sends it). `Backends` (request tag 12,
+///   response tag 14) reports a router's per-backend routing table:
+///   health, cached queue depth, jobs forwarded, and failovers; the
+///   reply carries the version head. A plain `wabench-served` answers
+///   `Backends` with `Err`, which is how clients tell a shard from a
+///   router.
+pub const PROTO_VERSION: u16 = 9;
 
 /// Client → server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -108,6 +118,11 @@ pub enum Request {
     /// The SLO alert engine's firing set and transition log (protocol
     /// v8; older servers answer `Err`).
     AlertLog,
+    /// The routing table of a `wabench-router`: per-backend health,
+    /// forward counts, and failovers (protocol v9). A plain
+    /// `wabench-served` answers `Err` — the cheap way to distinguish a
+    /// shard from a router.
+    Backends,
 }
 
 /// Server → client.
@@ -140,6 +155,86 @@ pub enum Response {
     ProfileDump(ProfileReport),
     /// Alert firing set and transition log (protocol v8).
     AlertLog(AlertReport),
+    /// Admission-control rejection (protocol v9): the tier is saturated
+    /// and the job was *not* enqueued. Carries a retry-after hint in
+    /// milliseconds. Only routers send this; it is not an error — the
+    /// client should back off and resubmit.
+    Busy(u32),
+    /// A router's routing table (protocol v9).
+    Backends(BackendsReport),
+}
+
+/// The protocol v9 `Backends` reply: a router's view of its shard
+/// fleet plus its own admission-control state.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendsReport {
+    /// Aggregate queue-depth watermark above which the router sheds
+    /// load with `Busy` (0 = admission control off).
+    pub watermark: u64,
+    /// Jobs shed with `Busy` since the router started.
+    pub shed: u64,
+    /// Per-backend status, in ring order.
+    pub backends: Vec<BackendStatus>,
+}
+
+/// One backend row of a [`BackendsReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendStatus {
+    /// Human name (`shard0`, ...).
+    pub name: String,
+    /// Socket path the router forwards to.
+    pub socket: String,
+    /// Last health probe succeeded.
+    pub healthy: bool,
+    /// Queue depth from the last successful probe.
+    pub queue_depth: u64,
+    /// Jobs forwarded to this backend.
+    pub forwarded: u64,
+    /// Failovers *away* from this backend (submit or poll failures that
+    /// re-routed a job to the next ring replica).
+    pub failovers: u64,
+}
+
+fn encode_backends(w: &mut WireWriter, b: &BackendsReport) {
+    w.u8((PROTO_VERSION & 0xff) as u8);
+    w.u8((PROTO_VERSION >> 8) as u8);
+    w.u64(b.watermark);
+    w.u64(b.shed);
+    w.u32(b.backends.len() as u32);
+    for be in &b.backends {
+        w.str(&be.name);
+        w.str(&be.socket);
+        w.bool(be.healthy);
+        w.u64(be.queue_depth);
+        w.u64(be.forwarded);
+        w.u64(be.failovers);
+    }
+}
+
+fn decode_backends(r: &mut WireReader<'_>) -> Result<BackendsReport, WireError> {
+    let version = r.u8()? as u16 | ((r.u8()? as u16) << 8);
+    if !(9..=PROTO_VERSION).contains(&version) {
+        return Err(bad("unsupported backends version"));
+    }
+    let watermark = r.u64()?;
+    let shed = r.u64()?;
+    let n = r.u32()?;
+    let mut backends = Vec::with_capacity(n.min(1024) as usize);
+    for _ in 0..n {
+        backends.push(BackendStatus {
+            name: r.str()?,
+            socket: r.str()?,
+            healthy: r.bool()?,
+            queue_depth: r.u64()?,
+            forwarded: r.u64()?,
+            failovers: r.u64()?,
+        });
+    }
+    Ok(BackendsReport {
+        watermark,
+        shed,
+        backends,
+    })
 }
 
 fn bad(msg: &str) -> WireError {
@@ -972,6 +1067,7 @@ impl Request {
             Request::TraceDump => w.u8(9),
             Request::ProfileDump => w.u8(10),
             Request::AlertLog => w.u8(11),
+            Request::Backends => w.u8(12),
         }
         w.finish()
     }
@@ -1015,6 +1111,7 @@ impl Request {
             9 => Request::TraceDump,
             10 => Request::ProfileDump,
             11 => Request::AlertLog,
+            12 => Request::Backends,
             _ => return Err(bad("bad request tag")),
         };
         r.expect_end()?;
@@ -1070,6 +1167,14 @@ impl Response {
                 w.u8(12);
                 encode_alert_report(&mut w, a);
             }
+            Response::Busy(retry_after_ms) => {
+                w.u8(13);
+                w.u32(*retry_after_ms);
+            }
+            Response::Backends(b) => {
+                w.u8(14);
+                encode_backends(&mut w, b);
+            }
         }
         w.finish()
     }
@@ -1095,6 +1200,8 @@ impl Response {
             10 => Response::TraceDump(decode_trace_report(&mut r)?),
             11 => Response::ProfileDump(decode_profile_report(&mut r)?),
             12 => Response::AlertLog(decode_alert_report(&mut r)?),
+            13 => Response::Busy(r.u32()?),
+            14 => Response::Backends(decode_backends(&mut r)?),
             _ => return Err(bad("bad response tag")),
         };
         r.expect_end()?;
@@ -1141,6 +1248,7 @@ mod tests {
             Request::TraceDump,
             Request::ProfileDump,
             Request::AlertLog,
+            Request::Backends,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -1232,9 +1340,54 @@ mod tests {
             Response::Stats(stats),
             Response::Err("nope".into()),
             Response::Bye,
+            Response::Busy(250),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    /// Protocol v9: the `Backends` reply round-trips, carries the
+    /// version head, and rejects claimed pre-v9 versions.
+    #[test]
+    fn backends_report_round_trips() {
+        let report = BackendsReport {
+            watermark: 64,
+            shed: 3,
+            backends: vec![
+                BackendStatus {
+                    name: "shard0".into(),
+                    socket: "/tmp/shard0.sock".into(),
+                    healthy: true,
+                    queue_depth: 4,
+                    forwarded: 120,
+                    failovers: 0,
+                },
+                BackendStatus {
+                    name: "shard1".into(),
+                    socket: "/tmp/shard1.sock".into(),
+                    healthy: false,
+                    queue_depth: 0,
+                    forwarded: 80,
+                    failovers: 2,
+                },
+            ],
+        };
+        let resp = Response::Backends(report);
+        let payload = resp.encode();
+        assert_eq!(payload[0], 14);
+        assert_eq!(
+            payload[1] as u16 | ((payload[2] as u16) << 8),
+            PROTO_VERSION
+        );
+        assert_eq!(Response::decode(&payload).unwrap(), resp);
+        // An empty report (router just started) survives too.
+        let empty = Response::Backends(BackendsReport::default());
+        assert_eq!(Response::decode(&empty.encode()).unwrap(), empty);
+        // A frame claiming a pre-v9 version is malformed.
+        let mut bad = empty.encode();
+        bad[1] = 8;
+        bad[2] = 0;
+        assert!(Response::decode(&bad).is_err());
     }
 
     fn sample_stats_ext() -> SvcStatsExt {

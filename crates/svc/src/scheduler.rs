@@ -239,7 +239,7 @@ pub struct EngineCounters {
 /// protocol message (protocol v2; v3 adds exact histogram extremes and
 /// the per-engine counter aggregates); the base `Stats` reply is
 /// unchanged.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SvcStatsExt {
     /// The classic counters (wire-compatible with protocol v1).
     pub base: SvcStats,
@@ -427,6 +427,18 @@ impl Scheduler {
             .cloned()
     }
 
+    /// Non-blocking result claim: removes and returns the result if the
+    /// job has completed. The reactor front-end resolves parked `Wait`
+    /// requests with this from its tick, so results don't accumulate
+    /// the way repeated [`Scheduler::poll`] clones would let them.
+    pub fn try_take(&self, id: u64) -> Option<JobResult> {
+        self.inner
+            .results
+            .lock()
+            .expect("results lock")
+            .remove(&id)
+    }
+
     /// Blocks until job `id` completes; removes and returns its result.
     pub fn wait(&self, id: u64) -> JobResult {
         let mut results = self.inner.results.lock().expect("results lock");
@@ -436,6 +448,13 @@ impl Scheduler {
             }
             results = self.inner.done_cv.wait(results).expect("results lock");
         }
+    }
+
+    /// Whether every submitted job has completed — the non-blocking
+    /// counterpart of [`Scheduler::wait_idle`], polled by the reactor
+    /// while draining for shutdown.
+    pub fn idle(&self) -> bool {
+        self.inner.outstanding.load(Ordering::SeqCst) == 0
     }
 
     /// Blocks until every submitted job has completed.
@@ -892,6 +911,15 @@ fn worker_loop(inner: &Arc<Inner>) {
         // Injected scheduling delay: sleeps before the job's deadline
         // clock starts, so it models queue pressure, not job slowness.
         if let Some(plan) = &inner.env.faults {
+            // Backend-kill chaos: a `crash` site takes the whole daemon
+            // down the moment a worker picks up a job. Unlike
+            // `worker_panic` (caught and retried in-process) nothing
+            // recovers here — the site exists so multi-node failover
+            // can be exercised by arming one shard to die mid-load.
+            if plan.transient(fault::Site::Crash) {
+                eprintln!("wabench-served: injected crash (fault site `crash`); aborting");
+                std::process::abort();
+            }
             if let Some(delay) = plan.job_delay() {
                 std::thread::sleep(delay);
             }

@@ -1,6 +1,13 @@
 //! Unix-domain-socket front end for the scheduler, plus a blocking
-//! client. One thread per connection; a `Shutdown` request drains the
-//! scheduler and stops the accept loop.
+//! client.
+//!
+//! [`serve`] runs the nonblocking [`crate::reactor`]: one thread
+//! multiplexes every connection, `Wait` requests park instead of
+//! pinning a thread, and pipelined frames are first-class. The old
+//! thread-per-connection path survives as [`serve_threaded`] — it is
+//! the QPS baseline the reactor is measured against in
+//! `scripts/verify.sh`, and a fallback while the reactor soaks.
+//! A `Shutdown` request drains the scheduler and stops either loop.
 
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -9,7 +16,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::job::{JobSpec, TraceCtx};
-use crate::proto::{Request, Response};
+use crate::proto::{BackendsReport, Request, Response};
+use crate::reactor::{Action, Handler, Resolution, Token};
 use crate::scheduler::{HealthReport, Scheduler, SvcStats, SvcStatsExt};
 use crate::telemetry::{AlertReport, ProfileReport, SeriesReport, TraceReport};
 use crate::wire::{read_frame, write_frame};
@@ -20,7 +28,17 @@ use crate::JobResult;
 /// guard existed a crashed server left a stale socket behind, and the
 /// next start papered over it by unconditionally unlinking (which would
 /// also tear the socket out from under a *live* server).
-struct SocketGuard(PathBuf);
+///
+/// Public so other daemons speaking this protocol (`wabench-router`)
+/// get identical socket hygiene.
+pub struct SocketGuard(PathBuf);
+
+impl SocketGuard {
+    /// Guards `path`: it is unlinked when the guard drops.
+    pub fn new(path: &Path) -> SocketGuard {
+        SocketGuard(PathBuf::from(path))
+    }
+}
 
 impl Drop for SocketGuard {
     fn drop(&mut self) {
@@ -32,7 +50,11 @@ impl Drop for SocketGuard {
 /// if a file is already there, probe it with a connect — a live server
 /// answers and we refuse to usurp it (`AddrInUse`); a dead one (stale
 /// socket from a crashed server) gets unlinked and the bind retried.
-fn bind_socket(path: &Path) -> io::Result<UnixListener> {
+///
+/// # Errors
+///
+/// I/O errors binding, including `AddrInUse` for a live socket.
+pub fn bind_socket(path: &Path) -> io::Result<UnixListener> {
     match UnixListener::bind(path) {
         Ok(l) => Ok(l),
         Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
@@ -50,15 +72,133 @@ fn bind_socket(path: &Path) -> io::Result<UnixListener> {
 }
 
 /// Serves `sched` on a Unix socket at `path` until a client sends
-/// `Shutdown`. A stale socket file at `path` (no listener behind it) is
-/// replaced; a live one makes the bind fail with `AddrInUse`. The
-/// socket file is removed on every exit path, including errors.
+/// `Shutdown`, multiplexing every connection on one thread with the
+/// nonblocking [`crate::reactor`]. A stale socket file at `path` (no
+/// listener behind it) is replaced; a live one makes the bind fail with
+/// `AddrInUse`. The socket file is removed on every exit path,
+/// including errors.
+///
+/// # Errors
+///
+/// I/O errors binding or polling the socket, including `AddrInUse`
+/// when another server already owns `path`.
+pub fn serve(path: &Path, sched: Arc<Scheduler>) -> io::Result<()> {
+    let listener = bind_socket(path)?;
+    let _guard = SocketGuard(PathBuf::from(path));
+    let mut handler = SchedHandler {
+        sched,
+        waits: Vec::new(),
+        shutdowns: Vec::new(),
+        parked: obs::metrics::gauge("svc.wait.parked"),
+    };
+    crate::reactor::run(&listener, &mut handler)
+}
+
+/// Adapts the [`Scheduler`] to the reactor's [`Handler`] contract.
+///
+/// Everything except `Wait` and `Shutdown` answers synchronously (the
+/// scheduler's query paths are lock-bounded, never job-bounded).
+/// `Wait` parks until the job's result is claimable; `Shutdown` parks
+/// until the scheduler drains, then resolves to `Bye` and stops the
+/// reactor.
+struct SchedHandler {
+    sched: Arc<Scheduler>,
+    /// Parked `Wait`s: (response slot, job id).
+    waits: Vec<(Token, u64)>,
+    /// Parked `Shutdown`s, resolved together once the scheduler is
+    /// idle. More than one is possible (two clients racing to stop the
+    /// server); each gets its `Bye`.
+    shutdowns: Vec<Token>,
+    /// Gauge `svc.wait.parked`: currently parked `Wait` requests.
+    parked: Arc<obs::metrics::Gauge>,
+}
+
+impl SchedHandler {
+    fn dispatch(&mut self, token: Token, payload: &[u8]) -> Action {
+        let sched = &self.sched;
+        let response = match Request::decode(payload) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Submit(spec, ctx)) => Response::Submitted(sched.submit_traced(spec, ctx)),
+            Ok(Request::Poll(id)) => match sched.poll(id) {
+                Some(res) => Response::Result(res),
+                None => Response::Pending,
+            },
+            Ok(Request::Wait(id)) => match sched.try_take(id) {
+                Some(res) => Response::Result(res),
+                None => {
+                    self.waits.push((token, id));
+                    self.parked.set(self.waits.len() as u64);
+                    return Action::Park;
+                }
+            },
+            Ok(Request::Stats) => Response::Stats(sched.stats()),
+            Ok(Request::StatsExt) => Response::StatsExt(Box::new(sched.stats_ext())),
+            Ok(Request::Health) => Response::Health(sched.health()),
+            Ok(Request::Series(since)) => Response::Series(sched.series_since(since)),
+            Ok(Request::TraceDump) => Response::TraceDump(sched.trace_dump()),
+            Ok(Request::ProfileDump) => Response::ProfileDump(sched.profile_dump()),
+            Ok(Request::AlertLog) => Response::AlertLog(sched.alert_log()),
+            Ok(Request::Backends) => Response::Err(
+                "backends: this server is a single shard, not a router; \
+                 see docs/DEPLOYMENT.md"
+                    .to_string(),
+            ),
+            Ok(Request::Shutdown) => {
+                if sched.idle() {
+                    return Action::Bye(Response::Bye.encode());
+                }
+                self.shutdowns.push(token);
+                return Action::Park;
+            }
+        };
+        Action::Respond(response.encode())
+    }
+}
+
+impl Handler for SchedHandler {
+    fn handle(&mut self, token: Token, payload: &[u8]) -> Action {
+        self.dispatch(token, payload)
+    }
+
+    fn tick(&mut self, done: &mut Vec<(Token, Resolution)>) {
+        let sched = &self.sched;
+        self.waits.retain(|(token, id)| match sched.try_take(*id) {
+            Some(res) => {
+                done.push((*token, Resolution::Respond(Response::Result(res).encode())));
+                false
+            }
+            None => true,
+        });
+        self.parked.set(self.waits.len() as u64);
+        if !self.shutdowns.is_empty() && sched.idle() {
+            for token in self.shutdowns.drain(..) {
+                done.push((token, Resolution::Bye(Response::Bye.encode())));
+            }
+        }
+    }
+
+    fn conn_closed(&mut self, conn: u64) {
+        self.waits.retain(|(token, _)| token.conn != conn);
+        self.shutdowns.retain(|token| token.conn != conn);
+    }
+
+    fn parked(&self) -> bool {
+        !self.waits.is_empty() || !self.shutdowns.is_empty()
+    }
+}
+
+/// Serves `sched` with the pre-reactor thread-per-connection loop
+/// (`wabench-served serve --threaded`). Kept as the measured baseline
+/// for the reactor's QPS acceptance gate and as an escape hatch;
+/// protocol behavior is identical except that parked `Wait`s each pin
+/// a thread.
 ///
 /// # Errors
 ///
 /// I/O errors binding or accepting on the socket, including `AddrInUse`
 /// when another server already owns `path`.
-pub fn serve(path: &Path, sched: Arc<Scheduler>) -> io::Result<()> {
+pub fn serve_threaded(path: &Path, sched: Arc<Scheduler>) -> io::Result<()> {
     let listener = bind_socket(path)?;
     let _guard = SocketGuard(PathBuf::from(path));
     let stop = Arc::new(AtomicBool::new(false));
@@ -133,6 +273,11 @@ fn handle_conn(
             Ok(Request::TraceDump) => Response::TraceDump(sched.trace_dump()),
             Ok(Request::ProfileDump) => Response::ProfileDump(sched.profile_dump()),
             Ok(Request::AlertLog) => Response::AlertLog(sched.alert_log()),
+            Ok(Request::Backends) => Response::Err(
+                "backends: this server is a single shard, not a router; \
+                 see docs/DEPLOYMENT.md"
+                    .to_string(),
+            ),
             Ok(Request::Shutdown) => {
                 sched.wait_idle();
                 stop.store(true, Ordering::SeqCst);
@@ -145,6 +290,21 @@ fn handle_conn(
         write_frame(&mut stream, &response.encode())?;
     }
     Ok(())
+}
+
+/// Outcome of a submit against a server that may shed load
+/// (protocol v9): a router under admission control answers `Busy`
+/// instead of accepting the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// The job was accepted; carry this id to `wait`/`poll`.
+    Accepted(u64),
+    /// The server shed the job; retry no sooner than the hinted
+    /// backoff.
+    Busy {
+        /// Server's suggested retry delay, milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// A blocking protocol client.
@@ -212,6 +372,35 @@ impl Client {
     pub fn submit_traced(&mut self, spec: JobSpec, ctx: TraceCtx) -> io::Result<u64> {
         match self.request(&Request::Submit(spec, ctx))? {
             Response::Submitted(id) => Ok(id),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits a traced job against a server that may shed load
+    /// (protocol v9). A `Busy` answer is a *successful* exchange — the
+    /// job was refused, not lost in transit — so it comes back as
+    /// [`Submission::Busy`] rather than an error. Single-shard servers
+    /// never answer `Busy`.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors.
+    pub fn try_submit_traced(&mut self, spec: JobSpec, ctx: TraceCtx) -> io::Result<Submission> {
+        match self.request(&Request::Submit(spec, ctx))? {
+            Response::Submitted(id) => Ok(Submission::Accepted(id)),
+            Response::Busy(retry_after_ms) => Ok(Submission::Busy { retry_after_ms }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the router's per-backend routing table (protocol v9).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol errors; single-shard servers answer `Err`.
+    pub fn backends(&mut self) -> io::Result<BackendsReport> {
+        match self.request(&Request::Backends)? {
+            Response::Backends(b) => Ok(b),
             other => Err(unexpected(&other)),
         }
     }

@@ -6,7 +6,7 @@
 
 use obs::metrics::HistogramSnapshot;
 use svc::job::{JobSpec, JobStatus, Recovery, Scale, TraceCtx, TraceDigest};
-use svc::proto::{Request, Response, PROTO_VERSION};
+use svc::proto::{BackendsReport, BackendStatus, Request, Response, PROTO_VERSION};
 use svc::scheduler::{HealthReport, SvcStats, SvcStatsExt};
 use svc::telemetry::{AlertReport, ProfileReport, SeriesReport, TraceReport};
 use svc::JobResult;
@@ -91,6 +91,7 @@ fn documented_request_tags_match_the_code() {
         (Request::TraceDump.encode()[0], "TraceDump"),
         (Request::ProfileDump.encode()[0], "ProfileDump"),
         (Request::AlertLog.encode()[0], "AlertLog"),
+        (Request::Backends.encode()[0], "Backends"),
     ];
     let documented = doc_table("Requests");
     assert_eq!(
@@ -122,6 +123,8 @@ fn documented_response_tags_match_the_code() {
         (Response::TraceDump(TraceReport::default()).encode()[0], "TraceDump"),
         (Response::ProfileDump(ProfileReport::default()).encode()[0], "ProfileDump"),
         (Response::AlertLog(AlertReport::default()).encode()[0], "AlertLog"),
+        (Response::Busy(0).encode()[0], "Busy"),
+        (Response::Backends(BackendsReport::default()).encode()[0], "Backends"),
     ];
     let documented = doc_table("Responses");
     assert_eq!(
@@ -260,5 +263,56 @@ fn documented_v8_additions_match_the_code() {
             payload[1] as u16 | ((payload[2] as u16) << 8),
             PROTO_VERSION
         );
+    }
+}
+
+/// The v9 routing additions must be documented and match the code: the
+/// `Busy` retry hint is one fixed u32, the `Backends` request is bare,
+/// and the `Backends` reply carries the version head plus the
+/// per-backend status fields.
+#[test]
+fn documented_v9_additions_match_the_code() {
+    for field in [
+        "retry_after_ms",
+        "watermark",
+        "shed",
+        "queue_depth",
+        "forwarded",
+        "failovers",
+        "healthy",
+    ] {
+        assert!(
+            DOC.contains(field),
+            "PROTOCOL.md must document the v9 {field} field"
+        );
+    }
+    // Busy: tag + u32 retry hint, nothing else.
+    let busy = Response::Busy(250).encode();
+    assert_eq!(busy.len(), 5);
+    assert_eq!(u32::from_le_bytes(busy[1..5].try_into().unwrap()), 250);
+    // Backends request is a bare tag.
+    assert_eq!(Request::Backends.encode().len(), 1);
+    // Backends reply carries the version head right after the tag and
+    // round-trips its per-backend rows.
+    let report = BackendsReport {
+        watermark: 32,
+        shed: 2,
+        backends: vec![BackendStatus {
+            name: "shard-0".to_string(),
+            socket: "/tmp/shard0.sock".to_string(),
+            healthy: true,
+            queue_depth: 3,
+            forwarded: 41,
+            failovers: 1,
+        }],
+    };
+    let payload = Response::Backends(report.clone()).encode();
+    assert_eq!(
+        payload[1] as u16 | ((payload[2] as u16) << 8),
+        PROTO_VERSION
+    );
+    match Response::decode(&payload).expect("decode backends") {
+        Response::Backends(decoded) => assert_eq!(decoded, report),
+        other => panic!("expected Backends, got {other:?}"),
     }
 }

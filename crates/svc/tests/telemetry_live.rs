@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use svc::job::{JobSpec, Scale, TraceCtx};
 use svc::scheduler::{Config, Scheduler};
-use svc::server::{serve, Client};
+use svc::server::{serve, serve_threaded, Client};
 use svc::telemetry::TelemetryConfig;
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -137,22 +137,34 @@ fn untraced_submits_still_work_and_digest_is_zeroed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// The accept loop must reap finished handler threads as it goes — a
-/// long-lived server taking many short connections previously kept
-/// every JoinHandle (and thread stack) until shutdown.
+/// The *threaded* accept loop must reap finished handler threads as it
+/// goes — a long-lived server taking many short connections previously
+/// kept every JoinHandle (and thread stack) until shutdown. The
+/// default reactor front-end has no handler threads to reap; this
+/// pins the `serve_threaded` fallback's behavior.
 #[test]
 fn accept_loop_reaps_finished_connection_threads() {
     let dir = tmp_dir("reap");
     let socket = dir.join("svc.sock");
     let reaped = obs::metrics::counter("svc.conn.reaped");
     let before = reaped.get();
-    let server = start_server(
-        &socket,
-        Config {
+    let sched = Arc::new(
+        Scheduler::start(Config {
             workers: 1,
             ..Config::default()
-        },
+        })
+        .expect("start scheduler"),
     );
+    let path = socket.clone();
+    let server = std::thread::spawn(move || serve_threaded(&path, sched));
+    for _ in 0..400 {
+        if let Ok(mut c) = Client::connect(&socket) {
+            if c.ping().is_ok() {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
 
     const CONNS: u64 = 60;
     for _ in 0..CONNS {

@@ -34,6 +34,13 @@
 #      wabench-doctor diagnoses (naming the delay site), and list
 #      profile windows; a fault-free control run under the same engine
 #      fires nothing and writes no bundle
+#  14. router smoke: a fixed-seed load through wabench-router over two
+#      wabench-served shards completes with zero protocol errors and
+#      both shards serving jobs; wabench-top/wabench-doctor degrade
+#      gracefully against the router socket; a chaos pass with one
+#      shard armed 'crash=1.0' (the process aborts on its first job)
+#      still completes the run with at least one failover; and the
+#      reactor front-end sustains at least the --threaded baseline QPS
 #
 # Offline / vendored-cargo caveat: this workspace builds fully offline.
 # Every external dependency (proptest, criterion, rand, ...) is a path
@@ -285,5 +292,141 @@ if [ -d "$pm_clean" ] && [ -n "$(ls -A "$pm_clean" 2> /dev/null)" ]; then
     echo "alert smoke FAILED: postmortem written on a fault-free run" >&2
     exit 1
 fi
+
+step "router smoke (2-shard fleet -> failover chaos -> reactor vs threaded baseline)"
+routerbin=./target/release/wabench-router
+cargo build -q --release -p wabench-router
+wait_sock() { # wait_sock PATH LABEL LOG
+    for _ in $(seq 1 50); do [ -S "$1" ] && return 0; sleep 0.1; done
+    echo "router smoke FAILED: $2 socket never appeared" >&2
+    cat "$3" >&2
+    exit 1
+}
+s0="$trace_tmp/rshard0.sock"; s1="$trace_tmp/rshard1.sock"
+rsock="$trace_tmp/router.sock"
+"$served" serve --socket "$s0" --workers 2 --store "$trace_tmp/rstore0" \
+    > "$trace_tmp/rshard0.log" 2>&1 &
+shard0_pid=$!
+"$served" serve --socket "$s1" --workers 2 --store "$trace_tmp/rstore1" \
+    > "$trace_tmp/rshard1.log" 2>&1 &
+shard1_pid=$!
+wait_sock "$s0" shard-0 "$trace_tmp/rshard0.log"
+wait_sock "$s1" shard-1 "$trace_tmp/rshard1.log"
+"$routerbin" serve --socket "$rsock" \
+    --backend shard-0="$s0" --backend shard-1="$s1" \
+    > "$trace_tmp/router.log" 2>&1 &
+router_pid=$!
+wait_sock "$rsock" router "$trace_tmp/router.log"
+# wabench-load exits nonzero on zero completed jobs or any protocol
+# error, so a 0 here covers both; clients speak the ordinary protocol
+# to the router socket.
+"$loadgen" run --seed 7 --mix fig1 --qps 200 --jobs 20 --phases cold,warm \
+    --socket "$rsock" --out "$trace_tmp/BENCH_router.json" \
+    | tee "$trace_tmp/load-router.out"
+head -c 64 "$trace_tmp/BENCH_router.json" | grep -q '^{"schema":"wabench-bench"'
+grep -q '"backends":' "$trace_tmp/BENCH_router.json"
+# Both shards must have served traffic (the ring splits fig1's cells).
+"$routerbin" status --socket "$rsock" | tee "$trace_tmp/router-status.out"
+for shard in shard-0 shard-1; do
+    fwd=$(grep -oE "^shard $shard .* ([0-9]+) forwarded" "$trace_tmp/router-status.out" \
+        | grep -oE '[0-9]+ forwarded' | cut -d' ' -f1)
+    if [ "${fwd:-0}" -lt 1 ]; then
+        echo "router smoke FAILED: $shard served no jobs" >&2
+        exit 1
+    fi
+done
+# Pointed at the router, wabench-top and wabench-doctor must degrade
+# gracefully (per-shard requests are refused with the router: prefix),
+# not error out.
+"$top" --once --socket "$rsock" > "$trace_tmp/top-router.out" 2>&1 || {
+    echo "router smoke FAILED: wabench-top errored against the router socket" >&2
+    cat "$trace_tmp/top-router.out" >&2
+    exit 1
+}
+grep -q '^sampling=0' "$trace_tmp/top-router.out"
+rc=0
+"$doctor" --socket "$rsock" > "$trace_tmp/doctor-router.out" 2>&1 || rc=$?
+if [ "$rc" -gt 1 ]; then
+    echo "router smoke FAILED: wabench-doctor exit $rc against the router socket" >&2
+    cat "$trace_tmp/doctor-router.out" >&2
+    exit 1
+fi
+"$routerbin" shutdown --socket "$rsock" > /dev/null
+wait "$router_pid" 2> /dev/null || true
+"$served" shutdown --socket "$s0" > /dev/null
+"$served" shutdown --socket "$s1" > /dev/null
+wait "$shard0_pid" "$shard1_pid" 2> /dev/null || true
+
+# Chaos pass: one shard armed with the crash fault aborts its whole
+# process on the first job it picks up; the run must still complete
+# with zero protocol errors, the dead shard's keys failing over.
+c0="$trace_tmp/cshard0.sock"; c1="$trace_tmp/cshard1.sock"
+crsock="$trace_tmp/crouter.sock"
+"$served" serve --socket "$c0" --workers 2 --faults 'seed=7,crash=1.0' \
+    > "$trace_tmp/cshard0.log" 2>&1 &
+cshard0_pid=$!
+"$served" serve --socket "$c1" --workers 2 \
+    > "$trace_tmp/cshard1.log" 2>&1 &
+cshard1_pid=$!
+wait_sock "$c0" chaos-shard-0 "$trace_tmp/cshard0.log"
+wait_sock "$c1" chaos-shard-1 "$trace_tmp/cshard1.log"
+"$routerbin" serve --socket "$crsock" \
+    --backend shard-0="$c0" --backend shard-1="$c1" \
+    > "$trace_tmp/crouter.log" 2>&1 &
+crouter_pid=$!
+wait_sock "$crsock" chaos-router "$trace_tmp/crouter.log"
+"$loadgen" run --seed 7 --mix fig1 --qps 200 --jobs 20 --phases cold \
+    --socket "$crsock" --out "$trace_tmp/BENCH_chaos_router.json" \
+    | tee "$trace_tmp/load-chaos-router.out"
+"$routerbin" status --socket "$crsock" | tee "$trace_tmp/crouter-status.out"
+failovers=$(grep -oE '[0-9]+ failovers' "$trace_tmp/crouter-status.out" \
+    | cut -d' ' -f1 | awk '{s += $1} END {print s}')
+if [ "${failovers:-0}" -lt 1 ]; then
+    echo "router smoke FAILED: shard crash caused no failovers" >&2
+    exit 1
+fi
+"$routerbin" shutdown --socket "$crsock" > /dev/null
+wait "$crouter_pid" 2> /dev/null || true
+"$served" shutdown --socket "$c1" > /dev/null
+wait "$cshard0_pid" "$cshard1_pid" 2> /dev/null || true
+
+# Front-end baseline: the same fixed-seed run against a reactor server
+# and a --threaded server; the reactor must sustain at least the
+# thread-per-connection QPS (0.75 margin absorbs scheduler noise on a
+# shared CI host — the real regression this guards is an order-of-
+# magnitude stall, not a few percent).
+fsock="$trace_tmp/fe-reactor.sock"
+"$served" serve --socket "$fsock" --workers 2 > "$trace_tmp/fe-reactor.log" 2>&1 &
+fe_pid=$!
+wait_sock "$fsock" fe-reactor "$trace_tmp/fe-reactor.log"
+"$loadgen" run --seed 17 --mix fig1 --qps 300 --jobs 30 --phases cold \
+    --socket "$fsock" --out "$trace_tmp/BENCH_fe_reactor.json" > /dev/null
+"$served" shutdown --socket "$fsock" > /dev/null
+wait "$fe_pid" 2> /dev/null || true
+fsock="$trace_tmp/fe-threaded.sock"
+"$served" serve --threaded --socket "$fsock" --workers 2 \
+    > "$trace_tmp/fe-threaded.log" 2>&1 &
+fe_pid=$!
+wait_sock "$fsock" fe-threaded "$trace_tmp/fe-threaded.log"
+"$loadgen" run --seed 17 --mix fig1 --qps 300 --jobs 30 --phases cold \
+    --socket "$fsock" --out "$trace_tmp/BENCH_fe_threaded.json" > /dev/null
+"$served" shutdown --socket "$fsock" > /dev/null
+wait "$fe_pid" 2> /dev/null || true
+qps_of() { # second "qps" in the file is totals.qps (the first is config)
+    grep -oE '"qps":[0-9.]+' "$1" | sed -n 2p | cut -d: -f2
+}
+reactor_qps=$(qps_of "$trace_tmp/BENCH_fe_reactor.json")
+threaded_qps=$(qps_of "$trace_tmp/BENCH_fe_threaded.json")
+echo "front-end QPS: reactor $reactor_qps vs threaded $threaded_qps"
+awk -v r="$reactor_qps" -v t="$threaded_qps" 'BEGIN {
+    if (r + 0 <= 0 || t + 0 <= 0) {
+        print "router smoke FAILED: missing sustained QPS (reactor=" r ", threaded=" t ")"
+        exit 1
+    }
+    if (r < t * 0.75) {
+        print "router smoke FAILED: reactor " r " qps below threaded baseline " t
+        exit 1
+    }
+}'
 
 step "verify OK"
